@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation: return-edge validation scheme -- the paper's delayed
+ * predecessor check (Sec. V.A, contribution #4: "does not rely on the use
+ * of a shadow call stack") vs a conventional shadow call stack.
+ */
+
+#include <cstdio>
+
+#include "core/simulator.hpp"
+#include "workloads/generator.hpp"
+
+int
+main()
+{
+    using namespace rev;
+    constexpr u64 kBudget = 500'000;
+
+    std::printf("=============================================================="
+                "==================\n");
+    std::printf("Ablation -- return validation: delayed predecessor "
+                "(paper) vs shadow stack\n");
+    std::printf("=============================================================="
+                "==================\n");
+    std::printf("%-10s %12s %12s %10s %10s\n", "bench", "delayed-ovh%",
+                "shadow-ovh%", "spills", "refills");
+
+    for (const char *name : {"bzip2", "mcf", "h264ref", "gcc", "gobmk"}) {
+        const prog::Program program =
+            workloads::generateWorkload(workloads::specProfile(name));
+        core::SimConfig base;
+        base.withRev = false;
+        base.core.maxInstrs = kBudget;
+        const double base_ipc =
+            core::Simulator(program, base).run().run.ipc();
+
+        core::SimConfig delayed;
+        delayed.core.maxInstrs = kBudget;
+        const auto rd = core::Simulator(program, delayed).run();
+
+        core::SimConfig shadow;
+        shadow.core.maxInstrs = kBudget;
+        shadow.rev.returnValidation = core::ReturnValidation::ShadowStack;
+        const auto rs = core::Simulator(program, shadow).run();
+
+        std::printf("%-10s %12.2f %12.2f %10llu %10llu\n", name,
+                    100.0 * (base_ipc - rd.run.ipc()) / base_ipc,
+                    100.0 * (base_ipc - rs.run.ipc()) / base_ipc,
+                    static_cast<unsigned long long>(rs.rev.shadowSpills),
+                    static_cast<unsigned long long>(rs.rev.shadowRefills));
+    }
+
+    std::printf("\nBoth schemes authenticate every return; the paper's "
+                "delayed check needs no\nshadow structure (no spills at any "
+                "call depth) at the cost of predecessor\nlists in the table "
+                "and MRU partial misses.\n");
+    return 0;
+}

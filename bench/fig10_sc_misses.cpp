@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 10: signature-cache miss counts (32 KB SC).
+ *
+ * Paper: gcc and gobmk have by far the highest SC miss counts (gobmk more
+ * than gcc), and overheads correlate with these counts.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/suite.hpp"
+
+int
+main()
+{
+    using namespace rev::bench;
+    using rev::u64;
+    const Sweep &s = fullSweep();
+
+    printHeader("Figure 10 -- signature cache miss counts (32 KB SC)",
+                "Sec. VIII, Fig. 10");
+    std::printf("%-12s %12s %12s %12s %12s\n", "benchmark", "complete",
+                "partial", "total", "ovh-32K%");
+    std::vector<std::pair<u64, std::string>> ranked;
+    for (const auto &b : s.benchmarks) {
+        const auto &r = s.at(b, Config::Full32);
+        ranked.push_back({r.scMisses(), b});
+        std::printf("%-12s %12llu %12llu %12llu %12.2f\n", b.c_str(),
+                    static_cast<unsigned long long>(r.scCompleteMisses),
+                    static_cast<unsigned long long>(r.scPartialMisses),
+                    static_cast<unsigned long long>(r.scMisses()),
+                    overheadPct(s, b, Config::Full32));
+    }
+    std::sort(ranked.rbegin(), ranked.rend());
+    std::printf("\nHighest SC miss counts: %s, %s (paper: gobmk, gcc)\n",
+                ranked[0].second.c_str(), ranked[1].second.c_str());
+    return 0;
+}

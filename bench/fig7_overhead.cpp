@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 7: IPC overhead (% of base IPC) of REV for 32 KB and 64 KB
+ * signature caches.
+ *
+ * Paper anchors: average overhead 1.87% (32 KB) and 1.63% (64 KB); every
+ * benchmark except gcc and gobmk below 5%; gobmk worst at about 15%.
+ */
+
+#include <cstdio>
+
+#include "bench/suite.hpp"
+
+int
+main()
+{
+    using namespace rev::bench;
+    const Sweep &s = fullSweep();
+
+    printHeader("Figure 7 -- IPC overhead (%) vs base for REV",
+                "Sec. VIII, Fig. 7; avg 1.87% @32K, 1.63% @64K, gobmk ~15%");
+    std::printf("%-12s %10s %10s\n", "benchmark", "ovh-32K%", "ovh-64K%");
+
+    double sum32 = 0, sum64 = 0;
+    std::string worst;
+    double worst32 = -1;
+    for (const auto &b : s.benchmarks) {
+        const double o32 = overheadPct(s, b, Config::Full32);
+        const double o64 = overheadPct(s, b, Config::Full64);
+        sum32 += o32;
+        sum64 += o64;
+        if (o32 > worst32) {
+            worst32 = o32;
+            worst = b;
+        }
+        std::printf("%-12s %10.2f %10.2f\n", b.c_str(), o32, o64);
+    }
+    const double n = static_cast<double>(s.benchmarks.size());
+    std::printf("%-12s %10.2f %10.2f   (paper: 1.87 / 1.63)\n", "average",
+                sum32 / n, sum64 / n);
+    std::printf("\nWorst case: %s at %.2f%% (paper: gobmk at ~15%%)\n",
+                worst.c_str(), worst32);
+    std::printf("64K <= 32K per benchmark: %s\n", [&] {
+        for (const auto &b : s.benchmarks)
+            if (overheadPct(s, b, Config::Full64) >
+                overheadPct(s, b, Config::Full32) + 0.8)
+                return "NO";
+        return "yes";
+    }());
+    return 0;
+}

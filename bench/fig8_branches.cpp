@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 8: number of committed branches during execution.
+ *
+ * The paper's takeaway: gcc (and gobmk) commit very many branches; mcf's
+ * branch count is also high (short basic blocks) but is compensated by SC
+ * hits (Sec. VIII discussion).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/suite.hpp"
+
+int
+main()
+{
+    using namespace rev::bench;
+    const Sweep &s = fullSweep();
+
+    printHeader("Figure 8 -- committed branches during execution",
+                "Sec. VIII, Fig. 8");
+    std::printf("%-12s %14s %16s\n", "benchmark", "branches",
+                "branches/kinstr");
+    std::vector<std::pair<double, std::string>> density;
+    for (const auto &b : s.benchmarks) {
+        const auto &r = s.at(b, Config::Full32);
+        const double per_k =
+            1000.0 * static_cast<double>(r.committedBranches) / r.instrs;
+        density.push_back({per_k, b});
+        std::printf("%-12s %14llu %16.1f\n", b.c_str(),
+                    static_cast<unsigned long long>(r.committedBranches),
+                    per_k);
+    }
+    std::sort(density.rbegin(), density.rend());
+    std::printf("\nHighest branch density: %s, %s, %s "
+                "(paper: gcc and mcf among the highest)\n",
+                density[0].second.c_str(), density[1].second.c_str(),
+                density[2].second.c_str());
+    return 0;
+}

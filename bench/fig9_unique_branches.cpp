@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 9: number of unique branches encountered during execution --
+ * the SC working-set driver.
+ *
+ * Paper: gcc's unique-branch count is very high compared to the others
+ * (with gobmk similar); the low-overhead group has small sets.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/suite.hpp"
+
+int
+main()
+{
+    using namespace rev::bench;
+    using rev::u64;
+    const Sweep &s = fullSweep();
+
+    printHeader("Figure 9 -- unique branches during execution",
+                "Sec. VIII, Fig. 9");
+    std::printf("%-12s %14s %18s\n", "benchmark", "unique",
+                "fits 32K SC (2048)?");
+    std::vector<std::pair<u64, std::string>> ranked;
+    for (const auto &b : s.benchmarks) {
+        const u64 uniq = s.at(b, Config::Full32).uniqueBranches;
+        ranked.push_back({uniq, b});
+        std::printf("%-12s %14llu %18s\n", b.c_str(),
+                    static_cast<unsigned long long>(uniq),
+                    uniq < 2048 ? "yes" : "NO");
+    }
+    std::sort(ranked.rbegin(), ranked.rend());
+    std::printf("\nLargest unique-branch sets: %s, %s "
+                "(paper: gcc, gobmk)\n",
+                ranked[0].second.c_str(), ranked[1].second.c_str());
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Shared benchmark sweep for the paper-reproduction harnesses.
+ *
+ * Every figure/table binary consumes the same underlying experiment: the
+ * 15 SPEC stand-ins, each simulated under the base core and under REV in
+ * several configurations (Full with 32/64 KB SC, Aggressive with 32/64 KB,
+ * CFI-only with 32 KB). The sweep is computed once and cached on disk
+ * (rev_bench_cache.txt in the working directory) so that running all
+ * bench binaries in sequence only pays for simulation once. Delete the
+ * cache file to force a re-run.
+ */
+
+#ifndef REV_BENCH_SUITE_HPP
+#define REV_BENCH_SUITE_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rev::bench
+{
+
+/** Simulated configurations. */
+enum class Config
+{
+    Base,   ///< no REV
+    Full32, ///< REV, full validation, 32 KB SC
+    Full64,
+    Agg32, ///< aggressive validation (Sec. V.C)
+    Agg64,
+    Cfi32, ///< CFI-only validation (Sec. V.D)
+};
+
+inline constexpr Config kAllConfigs[] = {Config::Base,  Config::Full32,
+                                         Config::Full64, Config::Agg32,
+                                         Config::Agg64, Config::Cfi32};
+
+const char *configName(Config c);
+
+/** One (benchmark, config) measurement. */
+struct RunNumbers
+{
+    double ipc = 0;
+    u64 cycles = 0;
+    u64 instrs = 0;
+    u64 committedBranches = 0;
+    u64 uniqueBranches = 0;
+    u64 mispredicts = 0;
+    u64 scCompleteMisses = 0;
+    u64 scPartialMisses = 0;
+    u64 commitStallCycles = 0;
+    u64 scFillAccesses = 0;
+    u64 scFillL1Misses = 0;
+    u64 scFillL2Misses = 0;
+    u64 violations = 0;
+
+    u64 scMisses() const { return scCompleteMisses + scPartialMisses; }
+};
+
+/** Static per-benchmark facts (independent of the simulated config). */
+struct StaticNumbers
+{
+    u64 numBlocks = 0;
+    u64 numTerminators = 0;
+    double instrsPerBlock = 0;
+    double succsPerBlock = 0;
+    u64 codeBytes = 0;
+    u64 computedSites = 0;
+    u64 branchSites = 0;
+    u64 tableBytesFull = 0;
+    u64 tableBytesAggressive = 0;
+    u64 tableBytesCfi = 0;
+};
+
+/** The whole sweep. */
+struct Sweep
+{
+    std::vector<std::string> benchmarks; ///< paper order
+    std::map<std::string, StaticNumbers> statics;
+    std::map<std::pair<std::string, Config>, RunNumbers> runs;
+
+    const RunNumbers &
+    at(const std::string &bench, Config c) const
+    {
+        return runs.at({bench, c});
+    }
+};
+
+/** Instructions simulated per benchmark per config. */
+inline constexpr u64 kInstrBudget = 2'000'000;
+
+/**
+ * Compute (or load from cache) the full sweep.
+ * @param quick Restrict to three benchmarks and a small budget (tests).
+ */
+const Sweep &fullSweep(bool quick = false);
+
+/** Percentage IPC overhead of @p cfg relative to the base run. */
+double overheadPct(const Sweep &s, const std::string &bench, Config cfg);
+
+/** Print a standard table header for bench binaries. */
+void printHeader(const std::string &title, const std::string &paper_ref);
+
+} // namespace rev::bench
+
+#endif // REV_BENCH_SUITE_HPP

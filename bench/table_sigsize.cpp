@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Signature table sizes as a fraction of the binary (Sec. V.B/V.C/V.D).
+ *
+ * Paper anchors:
+ *  - default (full) tables: 15% .. 52% of the executable, average 37%
+ *  - aggressive tables: 40% .. 65% (about double)
+ *  - CFI-only tables: 3% .. 20%, average 9%; computed sites are ~10% of
+ *    branch sites on average.
+ */
+
+#include <cstdio>
+
+#include "bench/suite.hpp"
+
+int
+main()
+{
+    using namespace rev::bench;
+    const Sweep &s = fullSweep();
+
+    printHeader("Sec. V -- signature table size as % of binary size",
+                "full 15-52% (avg 37), aggressive 40-65%, CFI-only 3-20% "
+                "(avg 9)");
+    std::printf("%-12s %10s %10s %10s %14s\n", "benchmark", "full%",
+                "aggr%", "cfi%", "computed/sites");
+    double sum_f = 0, sum_a = 0, sum_c = 0, sum_dyn = 0;
+    for (const auto &b : s.benchmarks) {
+        const auto &st = s.statics.at(b);
+        const double code = static_cast<double>(st.codeBytes);
+        const double f = 100.0 * st.tableBytesFull / code;
+        const double a = 100.0 * st.tableBytesAggressive / code;
+        const double c = 100.0 * st.tableBytesCfi / code;
+        const double dyn =
+            100.0 * st.computedSites / static_cast<double>(st.branchSites);
+        sum_f += f;
+        sum_a += a;
+        sum_c += c;
+        sum_dyn += dyn;
+        std::printf("%-12s %10.1f %10.1f %10.1f %13.1f%%\n", b.c_str(), f,
+                    a, c, dyn);
+    }
+    const double n = static_cast<double>(s.benchmarks.size());
+    std::printf("%-12s %10.1f %10.1f %10.1f %13.1f%%\n", "average",
+                sum_f / n, sum_a / n, sum_c / n, sum_dyn / n);
+    std::printf("\nPaper averages: full 37%%, CFI-only 9%%, computed sites "
+                "~10%% of branches.\n");
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Context switching under REV (Requirement R4).
+ *
+ * Prior hardware CFA proposals held reference signatures in CPU-internal
+ * tables that had to be reloaded wholesale on every context switch
+ * (Arora et al. [6]); REV's signature cache refills on demand like any
+ * cache, so a switch costs only natural warm-up misses. This example
+ * time-slices two thread contexts on one simulated core (the "OS" saving
+ * and restoring architectural state at block boundaries) and reports the
+ * SC behaviour around each switch.
+ */
+
+#include <cstdio>
+
+#include "core/simulator.hpp"
+#include "workloads/generator.hpp"
+
+namespace
+{
+
+using namespace rev;
+
+/** A saved context: architectural registers + PC + REV thread state. */
+struct ProcessContext
+{
+    std::array<u64, isa::kNumArchRegs> regs{};
+    Addr pc = 0;
+    core::RevEngine::ThreadState rev;
+};
+
+void
+saveContext(prog::Machine &m, ProcessContext &ctx)
+{
+    for (unsigned r = 0; r < isa::kNumArchRegs; ++r)
+        ctx.regs[r] = m.reg(r);
+    ctx.pc = m.pc();
+}
+
+void
+restoreContext(prog::Machine &m, const ProcessContext &ctx)
+{
+    for (unsigned r = 0; r < isa::kNumArchRegs; ++r)
+        m.setReg(r, ctx.regs[r]);
+    m.setPc(ctx.pc);
+}
+
+} // namespace
+
+int
+main()
+{
+    workloads::WorkloadProfile prof = workloads::specProfile("sjeng");
+    prof.numFunctions = 600;
+    prog::Program program = workloads::generateWorkload(prof);
+
+    core::SimConfig cfg;
+    cfg.core.maxInstrs = 20'000; // one scheduling quantum
+    core::Simulator sim(program, cfg);
+    prog::Machine &machine = sim.core().machine();
+
+    // Two thread contexts over the same text, driven apart by different
+    // LCG state (r21) -> different hot code paths competing for the SC.
+    ProcessContext ctx_a, ctx_b;
+    saveContext(machine, ctx_a);
+    ctx_b = ctx_a;
+    ctx_b.regs[21] ^= 0xdeadbeef;
+    ctx_b.regs[isa::kRegSp] -= 0x80000; // its own stack region
+
+    std::printf("quantum  thread   instrs        IPC   SC-misses(delta)\n");
+    u64 last_misses = 0;
+    ProcessContext *cur = &ctx_a, *other = &ctx_b;
+    const char *names[2] = {"A", "B"};
+    int who = 0;
+
+    for (int quantum = 0; quantum < 8; ++quantum) {
+        restoreContext(machine, *cur);
+        sim.engine()->restoreThreadState(cur->rev);
+        const core::SimResult r = sim.run(); // one quantum
+        cur->rev = sim.engine()->saveThreadState();
+        saveContext(machine, *cur);
+
+        if (r.run.violation) {
+            std::printf("violation: %s\n", r.run.violation->reason.c_str());
+            return 1;
+        }
+        const u64 misses = r.rev.scMisses();
+        std::printf("%7d  %6s  %7llu  %9.3f  %12llu\n", quantum,
+                    names[who],
+                    static_cast<unsigned long long>(r.run.instrs),
+                    r.run.ipc(),
+                    static_cast<unsigned long long>(misses - last_misses));
+        last_misses = misses;
+
+        std::swap(cur, other);
+        who ^= 1;
+    }
+
+    std::printf("\nNo table reloads were needed across any switch: the SC "
+                "refills on demand\n(Requirement R4), unlike CAM-table "
+                "designs that reload per switch.\n");
+    return 0;
+}

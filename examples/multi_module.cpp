@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Cross-module validation (Sec. IV.B): a main executable calling into two
+ * "library" modules, each with its own encrypted signature table and its
+ * own key, dispatched at run time through the SAG base/limit registers.
+ *
+ * Also demonstrates the trusted-toolchain workflow for computed calls:
+ * the indirect dispatch into the libraries is discovered by a profiling
+ * run (Sec. IV.D) instead of hand annotations.
+ */
+
+#include <cstdio>
+
+#include "core/simulator.hpp"
+#include "program/assembler.hpp"
+#include "program/profiler.hpp"
+
+int
+main()
+{
+    using namespace rev;
+
+    prog::Program program;
+
+    // ---- libm: a math library ------------------------------------------------
+    // Linked at a fixed base past main (the trusted linker's choice).
+    const Addr libm_base = 0x40000;
+    prog::Module libm;
+    {
+        prog::Assembler a(libm_base);
+        a.label("square");
+        a.mul(1, 1, 1);
+        a.ret();
+        a.label("cube");
+        a.mul(2, 1, 1);
+        a.mul(1, 2, 1);
+        a.ret();
+        libm = a.finalize("libm", "square");
+    }
+
+    // ---- main executable -------------------------------------------------------
+    {
+        prog::Assembler a(prog::kDefaultCodeBase);
+        a.label("main");
+        a.movi(1, 5);
+        // Indirect call through a function-pointer table: square or cube.
+        a.movi(3, 1); // select cube
+        a.shli(3, 3, 3);
+        a.la(4, "fntab");
+        a.add(4, 4, 3);
+        a.ld(4, 4, 0);
+        a.callr(4); // discovered by the profiling run
+        a.movi(5, static_cast<i32>(prog::kHeapBase));
+        a.st(1, 5, 0);
+        a.halt();
+
+        a.beginData();
+        a.align(8);
+        a.label("fntab");
+        a.word64(libm.symbol("square"));
+        a.word64(libm.symbol("cube"));
+
+        program.addModule(a.finalize("main", "main"));
+        program.addModule(std::move(libm));
+    }
+
+    // ---- profiling run discovers the computed-call targets --------------------
+    const prog::Profile profile = prog::profileRun(program);
+    prog::applyProfile(program, profile);
+    std::printf("Profiling run: %llu instrs, %zu indirect site(s) "
+                "discovered\n",
+                static_cast<unsigned long long>(profile.instrCount),
+                profile.indirectTargets.size());
+
+    // ---- simulate under REV -----------------------------------------------------
+    core::Simulator sim(program, core::SimConfig{});
+    const core::SimResult r = sim.run();
+
+    std::printf("\nResult: 5^3 = %llu (expected 125)\n",
+                static_cast<unsigned long long>(
+                    sim.memory().read64(prog::kHeapBase)));
+    std::printf("Modules with signature tables: %zu\n",
+                sim.sigStore()->moduleSigs().size());
+    for (const auto &ms : sim.sigStore()->moduleSigs()) {
+        std::printf("  %-8s code 0x%llx..0x%llx  table @0x%llx (%llu B)\n",
+                    ms.module->name.c_str(),
+                    static_cast<unsigned long long>(ms.module->base),
+                    static_cast<unsigned long long>(ms.module->codeEnd()),
+                    static_cast<unsigned long long>(ms.tableBase),
+                    static_cast<unsigned long long>(ms.stats.sizeBytes));
+    }
+    std::printf("SAG lookups: %llu (cross-module transfers resolved "
+                "associatively)\n",
+                static_cast<unsigned long long>(
+                    sim.engine()->sag().lookups()));
+    std::printf("Validation: %s\n",
+                r.run.violation ? r.run.violation->reason.c_str()
+                                : "clean -- every block authenticated");
+    return 0;
+}

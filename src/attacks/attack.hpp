@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Run-time attack injection framework (Table 1 of the paper).
+ *
+ * Each attack builds a small victim program and arms a tampering hook that
+ * fires while the victim executes on the simulated machine — overwriting
+ * code bytes, smashing stack return addresses, or corrupting function-
+ * pointer tables, exactly the classes in Table 1. The framework then
+ * reports whether REV detected the compromise and via which mechanism.
+ */
+
+#ifndef REV_ATTACKS_ATTACK_HPP
+#define REV_ATTACKS_ATTACK_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hpp"
+
+namespace rev::attacks
+{
+
+/** Result of one attack run. */
+struct AttackOutcome
+{
+    bool triggered = false; ///< the tampering hook actually fired
+    bool detected = false;  ///< REV raised a validation exception
+    std::string reason;     ///< violation reason (empty if undetected)
+    cpu::RunResult run;
+
+    /** True if the attack achieved its goal (tainted state / ran code). */
+    bool succeeded = false;
+};
+
+/**
+ * Base class of all injected attacks.
+ */
+class Attack
+{
+  public:
+    virtual ~Attack() = default;
+
+    /** Table 1 row name, e.g. "return-oriented". */
+    virtual const char *name() const = 0;
+
+    /** Table 1 "How REV detects" summary. */
+    virtual const char *table1Mechanism() const = 0;
+
+    /**
+     * Whether this attack class is detectable in @p mode. CFI-only
+     * validation cannot see pure code substitution that leaves the control
+     * flow intact (Sec. V.D).
+     */
+    virtual bool
+    detectableIn(sig::ValidationMode mode) const
+    {
+        (void)mode;
+        return true;
+    }
+
+    /** Build the victim, arm the tamper hook, run, and report. */
+    AttackOutcome execute(const core::SimConfig &cfg);
+
+  protected:
+    /** Build the victim program (called once per execute()). */
+    virtual prog::Program buildVictim() = 0;
+
+    /** Install the tampering hook on the simulator. */
+    virtual void arm(core::Simulator &sim) = 0;
+
+    /** Judge post-run whether the attack's goal was achieved. */
+    virtual bool goalAchieved(core::Simulator &sim) = 0;
+
+    prog::Program victim_;
+    bool triggered_ = false;
+};
+
+/** All Table 1 attacks, in paper order. */
+std::vector<std::unique_ptr<Attack>> makeAllAttacks();
+
+} // namespace rev::attacks
+
+#endif // REV_ATTACKS_ATTACK_HPP

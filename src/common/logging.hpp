@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Minimal logging / fatal-error helpers in the spirit of gem5's
+ * base/logging.hh: panic() for internal invariant violations, fatal() for
+ * user-caused misconfiguration, warn()/inform() for status messages.
+ */
+
+#ifndef REV_COMMON_LOGGING_HPP
+#define REV_COMMON_LOGGING_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rev
+{
+
+/** Thrown by fatal(): the simulation cannot continue due to a user error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Thrown by panic(): an internal simulator invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace detail
+{
+
+inline void
+appendAll(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+appendAll(std::ostringstream &os, const T &head, const Rest &...rest)
+{
+    os << head;
+    appendAll(os, rest...);
+}
+
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    appendAll(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an internal simulator bug. Never returns.
+ * Use when something happens that should never happen regardless of what
+ * the user does.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    throw PanicError(detail::concat("panic: ", args...));
+}
+
+/**
+ * Report a user-caused configuration error. Never returns.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    throw FatalError(detail::concat("fatal: ", args...));
+}
+
+/** Warn about questionable but survivable conditions. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    std::fputs(("warn: " + detail::concat(args...) + "\n").c_str(), stderr);
+}
+
+/** Informational status message. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    std::fputs((detail::concat(args...) + "\n").c_str(), stdout);
+}
+
+/** panic() unless the condition holds. */
+#define REV_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::rev::panic("assertion failed: " #cond " ", ##__VA_ARGS__);    \
+        }                                                                   \
+    } while (0)
+
+} // namespace rev
+
+#endif // REV_COMMON_LOGGING_HPP

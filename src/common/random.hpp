@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Deterministic PRNG (xoshiro256**) used everywhere randomness is needed so
+ * that simulations are exactly reproducible from a seed.
+ */
+
+#ifndef REV_COMMON_RANDOM_HPP
+#define REV_COMMON_RANDOM_HPP
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace rev
+{
+
+/**
+ * xoshiro256** generator. Small, fast, and deterministic across platforms,
+ * unlike std::mt19937_64 + std::uniform_int_distribution whose mapping is
+ * implementation-defined.
+ */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    /** Re-initialize state from a 64-bit seed via splitmix64. */
+    void
+    reseed(u64 seed)
+    {
+        for (auto &word : state_) {
+            seed += 0x9e3779b97f4a7c15ULL;
+            u64 z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    u64
+    next()
+    {
+        const u64 result = rotl(state_[1] * 5, 7) * 9;
+        const u64 t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound). bound must be nonzero. */
+    u64
+    below(u64 bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    u64
+    range(u64 lo, u64 hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** True with probability p (p in [0,1]). */
+    bool
+    chance(double p)
+    {
+        return static_cast<double>(next() >> 11) *
+                   (1.0 / 9007199254740992.0) < p;
+    }
+
+    /** Uniform double in [0,1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+    u64 state_[4];
+};
+
+} // namespace rev
+
+#endif // REV_COMMON_RANDOM_HPP

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Sparse byte-addressable memory image of the simulated machine.
+ *
+ * The functional state of the machine lives here (code, data, stack). The
+ * timing model (caches, DRAM) tracks tags and latencies only and reads
+ * values from this image, mirroring how trace-driven cache models work.
+ */
+
+#ifndef REV_COMMON_SPARSE_MEMORY_HPP
+#define REV_COMMON_SPARSE_MEMORY_HPP
+
+#include <array>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rev
+{
+
+/**
+ * Page-granular sparse memory. Reads of unwritten locations return zero.
+ */
+class SparseMemory
+{
+  public:
+    static constexpr unsigned kPageShift = 12;
+    static constexpr u64 kPageSize = u64{1} << kPageShift;
+
+    u8
+    read8(Addr addr) const
+    {
+        const Page *page = findPage(addr);
+        return page ? (*page)[addr & (kPageSize - 1)] : 0;
+    }
+
+    void
+    write8(Addr addr, u8 value)
+    {
+        getPage(addr)[addr & (kPageSize - 1)] = value;
+    }
+
+    u64
+    read64(Addr addr) const
+    {
+        u64 v = 0;
+        for (int i = 7; i >= 0; --i)
+            v = (v << 8) | read8(addr + i);
+        return v;
+    }
+
+    void
+    write64(Addr addr, u64 value)
+    {
+        for (int i = 0; i < 8; ++i)
+            write8(addr + i, static_cast<u8>(value >> (8 * i)));
+    }
+
+    void
+    readBytes(Addr addr, u8 *out, std::size_t len) const
+    {
+        for (std::size_t i = 0; i < len; ++i)
+            out[i] = read8(addr + i);
+    }
+
+    void
+    writeBytes(Addr addr, const u8 *data, std::size_t len)
+    {
+        for (std::size_t i = 0; i < len; ++i)
+            write8(addr + i, data[i]);
+    }
+
+    void
+    writeBytes(Addr addr, const std::vector<u8> &data)
+    {
+        writeBytes(addr, data.data(), data.size());
+    }
+
+    /** Number of populated pages (tests / diagnostics). */
+    std::size_t pageCount() const { return pages_.size(); }
+
+    /** Deep copy (pages are owned uniquely, so copying is explicit). */
+    SparseMemory
+    clone() const
+    {
+        SparseMemory copy;
+        for (const auto &[page_no, page] : pages_) {
+            auto dup = std::make_unique<Page>(*page);
+            copy.pages_.emplace(page_no, std::move(dup));
+        }
+        return copy;
+    }
+
+    /** Visit every populated page as (page_number, bytes). */
+    template <typename Fn>
+    void
+    forEachPage(Fn &&fn) const
+    {
+        for (const auto &[page_no, page] : pages_)
+            fn(page_no, page->data());
+    }
+
+  private:
+    using Page = std::array<u8, kPageSize>;
+
+    const Page *
+    findPage(Addr addr) const
+    {
+        auto it = pages_.find(addr >> kPageShift);
+        return it == pages_.end() ? nullptr : it->second.get();
+    }
+
+    Page &
+    getPage(Addr addr)
+    {
+        auto &slot = pages_[addr >> kPageShift];
+        if (!slot) {
+            slot = std::make_unique<Page>();
+            slot->fill(0);
+        }
+        return *slot;
+    }
+
+    std::unordered_map<u64, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace rev
+
+#endif // REV_COMMON_SPARSE_MEMORY_HPP

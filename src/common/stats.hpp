@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tiny statistics framework. Components own Counter / Scalar members that
+ * register with a StatGroup; groups can be dumped as name=value rows.
+ */
+
+#ifndef REV_COMMON_STATS_HPP
+#define REV_COMMON_STATS_HPP
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rev::stats
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(u64 n) { value_ += n; return *this; }
+    void reset() { value_ = 0; }
+
+    u64 value() const { return value_; }
+    operator u64() const { return value_; }
+
+  private:
+    u64 value_ = 0;
+};
+
+/**
+ * A named collection of statistics belonging to one component. Components
+ * register their counters by name; dump() emits "prefix.name value" rows.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string prefix) : prefix_(std::move(prefix)) {}
+
+    /** Register a counter under @p name. The counter must outlive the group. */
+    void
+    add(const std::string &name, const Counter *counter)
+    {
+        entries_.emplace_back(name, counter);
+    }
+
+    /** Emit all registered counters to @p os. */
+    void
+    dump(std::ostream &os) const
+    {
+        for (const auto &[name, counter] : entries_)
+            os << prefix_ << '.' << name << ' ' << counter->value() << '\n';
+    }
+
+    /** Look up a counter value by name; returns 0 if absent. */
+    u64
+    get(const std::string &name) const
+    {
+        for (const auto &[ename, counter] : entries_)
+            if (ename == name)
+                return counter->value();
+        return 0;
+    }
+
+    const std::string &prefix() const { return prefix_; }
+
+  private:
+    std::string prefix_;
+    std::vector<std::pair<std::string, const Counter *>> entries_;
+};
+
+} // namespace rev::stats
+
+#endif // REV_COMMON_STATS_HPP

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fundamental type aliases shared by every REV subsystem.
+ */
+
+#ifndef REV_COMMON_TYPES_HPP
+#define REV_COMMON_TYPES_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rev
+{
+
+/** Virtual address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** Simulation time in CPU clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Monotonically increasing id of a dynamic instruction. */
+using SeqNum = std::uint64_t;
+
+/** Monotonically increasing id of a dynamic basic-block instance. */
+using BBSeq = std::uint64_t;
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Sentinel for "no address". */
+inline constexpr Addr kNoAddr = ~Addr{0};
+
+/** Sentinel for "no cycle / not yet scheduled". */
+inline constexpr Cycle kNoCycle = ~Cycle{0};
+
+} // namespace rev
+
+#endif // REV_COMMON_TYPES_HPP

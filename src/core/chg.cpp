@@ -1,0 +1,39 @@
+#include "core/chg.hpp"
+
+#include <vector>
+
+#include "sig/table.hpp"
+
+namespace rev::core
+{
+
+Chg::Chg(const SparseMemory &mem, const ChgConfig &cfg)
+    : mem_(mem), cfg_(cfg)
+{
+}
+
+u32
+Chg::digest(Addr start, Addr term, Addr end)
+{
+    const Key key{start, term};
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+
+    ++blocksHashed_;
+    std::vector<u8> bytes(end - start);
+    mem_.readBytes(start, bytes.data(), bytes.size());
+    const u32 h = sig::bbHashBytes(bytes.data(), bytes.size(), start, term,
+                                   cfg_.hashRounds);
+    cache_.emplace(key, h);
+    return h;
+}
+
+void
+Chg::addStats(stats::StatGroup &group) const
+{
+    group.add("chg.blocks_hashed", &blocksHashed_);
+    group.add("chg.flushes", &flushes_);
+}
+
+} // namespace rev::core

@@ -1,0 +1,28 @@
+#include "core/costmodel.hpp"
+
+namespace rev::core
+{
+
+CostEstimate
+estimateCost(const CostInputs &in)
+{
+    const double sc_kb = static_cast<double>(in.scBytes) / 1024.0;
+
+    CostEstimate out;
+    out.revAreaMm2 = sc_kb * in.scAreaMm2PerKB + in.chgAreaMm2 +
+                     in.sagCmpAreaMm2 + in.postCommitAreaMm2;
+    out.revPowerW = sc_kb * in.scPowerWPerKB + in.chgPowerW +
+                    in.sagCmpPowerW + in.postCommitPowerW;
+    if (!in.shareCryptoWithCore) {
+        out.revAreaMm2 += in.decryptAreaMm2;
+        out.revPowerW += in.decryptPowerW;
+    }
+
+    out.coreAreaOverhead = out.revAreaMm2 / in.coreAreaMm2;
+    out.corePowerOverhead = out.revPowerW / in.corePowerW;
+    out.chipPowerOverhead =
+        out.revPowerW / (in.corePowerW + in.uncorePowerW);
+    return out;
+}
+
+} // namespace rev::core

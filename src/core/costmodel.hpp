@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Analytic area / power model of the REV hardware (Sec. VI).
+ *
+ * The paper estimates the additions with CACTI 6.0 (SC, registers,
+ * latches, comparators, write-queue extension RAM) and extrapolates the
+ * CHG from published 180 nm SHA-3 implementations to 32 nm, reporting:
+ * ~7.2% dynamic power overhead over a base core with private L1/L2, ~8%
+ * core area overhead, and <5.5% power at the chip level once a shared L3
+ * and I/O pads are included. This model reproduces that arithmetic and
+ * exposes the inputs so sensitivity studies (e.g., SC size) are possible.
+ */
+
+#ifndef REV_CORE_COSTMODEL_HPP
+#define REV_CORE_COSTMODEL_HPP
+
+#include "common/types.hpp"
+
+namespace rev::core
+{
+
+/** Inputs to the Sec. VI estimates. */
+struct CostInputs
+{
+    // Base core (from McPAT, 32 nm, 3 GHz, private L1+L2).
+    double coreAreaMm2 = 18.0;
+    double corePowerW = 9.0;
+
+    // Uncore contribution when a shared L3 + I/O pads are included.
+    double uncorePowerW = 3.6;
+
+    // REV structures.
+    u64 scBytes = 32 * 1024;
+    double scAreaMm2PerKB = 0.009;  ///< CACTI-style SRAM density
+    double scPowerWPerKB = 0.0106;  ///< dynamic power at 3 GHz
+
+    double chgAreaMm2 = 0.82;       ///< 5-round CubeHash pipe @32 nm
+    double chgPowerW = 0.24;
+
+    double sagCmpAreaMm2 = 0.12;    ///< base/limit/key regs + comparators
+    double sagCmpPowerW = 0.03;
+
+    double postCommitAreaMm2 = 0.18; ///< ROB / store-queue extension RAM
+    double postCommitPowerW = 0.022;
+
+    double decryptAreaMm2 = 0.14;   ///< AES pipe (0 when shared with core)
+    double decryptPowerW = 0.018;
+    bool shareCryptoWithCore = false;
+};
+
+/** Derived overheads. */
+struct CostEstimate
+{
+    double revAreaMm2 = 0;
+    double revPowerW = 0;
+    double coreAreaOverhead = 0; ///< fraction of base core area
+    double corePowerOverhead = 0;
+    double chipPowerOverhead = 0; ///< with shared L3 + I/O included
+};
+
+/** Evaluate the Sec. VI arithmetic. */
+CostEstimate estimateCost(const CostInputs &in);
+
+} // namespace rev::core
+
+#endif // REV_CORE_COSTMODEL_HPP

@@ -1,0 +1,458 @@
+#include "core/rev_engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace rev::core
+{
+
+using isa::InstrClass;
+using sig::ValidationMode;
+
+namespace
+{
+
+bool
+contains(const std::vector<Addr> &v, Addr a)
+{
+    return std::find(v.begin(), v.end(), a) != v.end();
+}
+
+std::string
+hex(Addr a)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << a;
+    return os.str();
+}
+
+} // namespace
+
+RevEngine::RevEngine(const sig::SigStore &store,
+                     const crypto::KeyVault &vault, const SparseMemory &mem,
+                     mem::MemorySystem &memsys, const RevConfig &cfg)
+    : store_(store), vault_(vault), mem_(mem), memsys_(memsys), cfg_(cfg),
+      sc_(cfg.sc), sag_(cfg.sagEntries), chg_(mem, cfg.chg),
+      enabled_(cfg.startEnabled)
+{
+    // The trusted linker pre-loads the SAG for statically linked modules
+    // (Sec. IV.B); modules beyond the SAG capacity fault in at run time.
+    unsigned installed = 0;
+    for (const auto &ms : store_.moduleSigs()) {
+        if (installed++ >= sag_.capacity())
+            break;
+        sag_.install(ms.module->base, ms.module->codeEnd(), ms.tableBase);
+    }
+}
+
+bool
+RevEngine::isComputedClass(InstrClass c)
+{
+    return c == InstrClass::CallIndirect || c == InstrClass::JumpIndirect;
+}
+
+const sig::TableReader &
+RevEngine::readerFor(Addr table_base)
+{
+    auto it = readers_.find(table_base);
+    if (it == readers_.end()) {
+        it = readers_
+                 .emplace(table_base, std::make_unique<sig::TableReader>(
+                                          mem_, table_base, vault_))
+                 .first;
+        if (!it->second->valid())
+            warn("REV: signature table at ", hex(table_base),
+                 " failed authentication");
+    }
+    return *it->second;
+}
+
+sig::LookupResult
+RevEngine::walk(const SagEntry &sag_entry, Addr term, u32 key,
+                Cycle from, Cycle &ready_at, const sig::WalkNeeds &needs)
+{
+    const sig::TableReader &reader = readerFor(sag_entry.tableBase);
+    sig::LookupResult res;
+    if (reader.valid()) {
+        res = reader.mode() == ValidationMode::CfiOnly
+                  ? reader.lookupSite(term, sag_entry.moduleBase, &needs)
+                  : reader.lookup(term, key, sag_entry.moduleBase, &needs);
+    }
+    Cycle t = from;
+    for (Addr a : res.memAddrs)
+        t = memsys_.access(a, mem::AccessType::ScFill, t).completeAt;
+    stats_.tableWalkReads += res.memAddrs.size();
+    ready_at = t + cfg_.decryptLatency;
+    return res;
+}
+
+void
+RevEngine::onBBFetched(const cpu::BBFetchInfo &info)
+{
+    cur_ = PendingBB{};
+    cur_.valid = true;
+    cur_.info = info;
+    curScHit_ = false;
+    curPartial_ = false;
+    curStall_ = 0;
+
+    if (!enabled_) {
+        cur_.bypass = true;
+        return;
+    }
+
+    const ValidationMode mode = store_.mode();
+
+    // CFI-only validates computed transfers and returns; every other block
+    // commits unchecked (Sec. V.D).
+    if (mode == ValidationMode::CfiOnly &&
+        !isComputedClass(info.termClass) &&
+        info.termClass != InstrClass::Return) {
+        cur_.bypass = true;
+        return;
+    }
+
+    Cycle t = info.fetchDoneAt;
+
+    // --- SAG: which module / table owns this block? -----------------------
+    const SagEntry *sag_entry = sag_.match(info.term);
+    if (!sag_entry) {
+        ++stats_.sagExceptions;
+        t += cfg_.sagMissPenalty;
+        if (const sig::ModuleSig *ms = store_.findByCode(info.term)) {
+            sag_.install(ms->module->base, ms->module->codeEnd(),
+                         ms->tableBase);
+            sag_entry = sag_.match(info.term);
+        }
+    }
+    if (!sag_entry) {
+        // Code outside every registered module: nothing can authenticate it.
+        cur_.refFound = false;
+        cur_.scReadyAt = t;
+        return;
+    }
+
+    // --- CHG ----------------------------------------------------------------
+    if (mode != ValidationMode::CfiOnly) {
+        cur_.computedHash = chg_.digest(info.start, info.term, info.end);
+        cur_.hashReadyAt = chg_.readyAt(info.fetchDoneAt);
+    }
+
+    // --- SC probe -------------------------------------------------------------
+    const Addr sc_start = mode == ValidationMode::CfiOnly ? info.term
+                                                          : info.start;
+    ScEntry *entry = sc_.probe(info.term, sc_start);
+
+    const bool need_target =
+        mode == ValidationMode::CfiOnly
+            ? true
+            : (isComputedClass(info.termClass) ||
+               (mode == ValidationMode::Aggressive &&
+                info.termClass != InstrClass::Return &&
+                info.termClass != InstrClass::Halt));
+    const bool need_pred =
+        mode != ValidationMode::CfiOnly &&
+        cfg_.returnValidation == ReturnValidation::DelayedPredecessor &&
+        pendingReturn_.has_value();
+
+    // Aggressive entries verify up to two successors (Sec. VIII); CFI-only
+    // entries are hash-free and small enough to cache two MRU targets in
+    // the same SRAM budget.
+    const bool two_slots = mode != ValidationMode::Full;
+    if (entry) {
+        const bool target_ok =
+            !need_target ||
+            (entry->succ && *entry->succ == info.nextStart) ||
+            (two_slots && entry->succ2 && *entry->succ2 == info.nextStart);
+        const bool pred_ok =
+            !need_pred || (entry->pred && *entry->pred == *pendingReturn_);
+        if (target_ok && pred_ok) {
+            // Full hit: validate from the cached entry.
+            curScHit_ = true;
+            cur_.refFound = true;
+            cur_.refHash = entry->hash;
+            if (entry->succ)
+                cur_.refTargets.push_back(*entry->succ);
+            if (two_slots && entry->succ2)
+                cur_.refTargets.push_back(*entry->succ2);
+            if (entry->pred)
+                cur_.refPreds.push_back(*entry->pred);
+            cur_.scReadyAt = t;
+            return;
+        }
+        // Partial miss: the entry lacks the needed successor/predecessor.
+        curPartial_ = true;
+        ++stats_.scPartialMisses;
+        sig::WalkNeeds needs;
+        if (need_target)
+            needs.target = info.nextStart;
+        if (need_pred)
+            needs.pred = *pendingReturn_;
+        // Partial-miss walks present the entry's reference hash (the SC
+        // already authenticated this block's code).
+        const sig::LookupResult ref = walk(*sag_entry, info.term,
+                                           entry->hash, t, cur_.scReadyAt,
+                                           needs);
+        cur_.refFound = ref.found;
+        cur_.termSeen = ref.termSeen;
+        cur_.refHash = ref.found ? ref.hash : entry->hash;
+        cur_.refTargets = ref.targets;
+        cur_.refPreds = ref.retPreds;
+        // MRU update (only legitimate addresses are cached).
+        if (ref.found) {
+            if (need_target && contains(ref.targets, info.nextStart)) {
+                if (two_slots)
+                    entry->succ2 = entry->succ;
+                entry->succ = info.nextStart;
+            }
+            if (need_pred && contains(ref.retPreds, *pendingReturn_))
+                entry->pred = *pendingReturn_;
+        }
+        return;
+    }
+
+    // Complete miss: fetch + decrypt the reference entry from RAM.
+    ++stats_.scCompleteMisses;
+    sig::WalkNeeds needs;
+    if (need_target)
+        needs.target = info.nextStart;
+    if (need_pred)
+        needs.pred = *pendingReturn_;
+    // Complete-miss walks present the CHG digest as the discriminator.
+    const sig::LookupResult ref = walk(*sag_entry, info.term,
+                                       cur_.computedHash, t,
+                                       cur_.scReadyAt, needs);
+    cur_.refFound = ref.found;
+    cur_.termSeen = ref.termSeen;
+    cur_.refHash = ref.hash;
+    cur_.refTargets = ref.targets;
+    cur_.refPreds = ref.retPreds;
+    if (ref.found) {
+        ScEntry &fresh = sc_.insert(info.term, sc_start);
+        fresh.hash = ref.hash;
+        fresh.kind = ref.termKind;
+        if (contains(ref.targets, info.nextStart))
+            fresh.succ = info.nextStart;
+        else if (!ref.targets.empty())
+            fresh.succ = ref.targets.front();
+        if (two_slots) {
+            for (Addr cand : ref.targets) {
+                if (!fresh.succ || cand != *fresh.succ) {
+                    fresh.succ2 = cand;
+                    break;
+                }
+            }
+        }
+        if (pendingReturn_ && contains(ref.retPreds, *pendingReturn_))
+            fresh.pred = *pendingReturn_;
+        else if (!ref.retPreds.empty())
+            fresh.pred = ref.retPreds.front();
+    }
+}
+
+Cycle
+RevEngine::commitReadyAt(BBSeq bb, Cycle earliest)
+{
+    if (!cur_.valid || cur_.info.bbSeq != bb || cur_.bypass)
+        return earliest;
+    Cycle ready = std::max({earliest, cur_.hashReadyAt, cur_.scReadyAt});
+    if (shadowPenaltyAt_ > ready)
+        ready = shadowPenaltyAt_; // shadow-stack spill/refill round trip
+    shadowPenaltyAt_ = 0;
+    curStall_ = ready - earliest;
+    stats_.commitStallCycles += curStall_;
+    return ready;
+}
+
+bool
+RevEngine::validateBB(BBSeq bb, Addr actual_target, Cycle commit_cycle)
+{
+    if (!cur_.valid || cur_.info.bbSeq != bb || cur_.bypass) {
+        cur_ = PendingBB{};
+        return true;
+    }
+    const cpu::BBFetchInfo info = cur_.info;
+    const ValidationMode mode = store_.mode();
+
+    auto emit_trace = [&](bool passed, const std::string &reason) {
+        if (!trace_)
+            return;
+        ValidationEvent ev;
+        ev.bbSeq = info.bbSeq;
+        ev.start = info.start;
+        ev.term = info.term;
+        ev.commitCycle = commit_cycle;
+        ev.hash = cur_.computedHash;
+        ev.scHit = curScHit_;
+        ev.partialMiss = curPartial_;
+        ev.stallCycles = curStall_;
+        ev.passed = passed;
+        ev.reason = reason;
+        trace_(ev);
+    };
+
+    auto fail = [&](const std::string &reason) {
+        ++stats_.violations;
+        lastViolation_ = reason + " (bb " + hex(info.start) + ".." +
+                         hex(info.term) + ")";
+        // Keep the offender's signature for later recognition
+        // (paper, Sec. X).
+        offenders_.push_back({info.start, info.term, cur_.computedHash,
+                              lastViolation_});
+        emit_trace(false, lastViolation_);
+        cur_ = PendingBB{};
+        return false;
+    };
+
+    if (!cur_.refFound) {
+        return fail(cur_.termSeen
+                        ? "basic-block hash mismatch"
+                        : "no reference signature for basic block");
+    }
+
+    if (mode != ValidationMode::CfiOnly) {
+        if (cur_.computedHash != cur_.refHash)
+            return fail("basic-block hash mismatch");
+
+        if (cfg_.returnValidation == ReturnValidation::DelayedPredecessor) {
+            // Delayed return validation (Sec. V.A): this block was
+            // entered following a return; its entry lists the legitimate
+            // RET predecessors.
+            if (pendingReturn_) {
+                if (!contains(cur_.refPreds, *pendingReturn_))
+                    return fail("return from " + hex(*pendingReturn_) +
+                                " to unexpected site");
+                pendingReturn_.reset();
+            }
+        }
+    }
+
+    // Explicit target validation: always in CFI-only (only computed/return
+    // blocks get here), computed transfers in Full, and every non-return
+    // branch in Aggressive.
+    bool check_target = isComputedClass(info.termClass);
+    if (mode == ValidationMode::CfiOnly)
+        check_target = true;
+    else if (mode == ValidationMode::Aggressive &&
+             info.termClass != InstrClass::Return &&
+             info.termClass != InstrClass::Halt)
+        check_target = true;
+    if (check_target && !contains(cur_.refTargets, actual_target))
+        return fail("illegal transfer to " + hex(actual_target));
+
+    if (mode != ValidationMode::CfiOnly &&
+        cfg_.returnValidation == ReturnValidation::DelayedPredecessor) {
+        // Arm the return latch for the next block (Full/Aggressive).
+        if (info.termClass == InstrClass::Return)
+            pendingReturn_ = info.term;
+    } else if (mode != ValidationMode::CfiOnly) {
+        // Shadow call stack (the conventional alternative).
+        if (info.termClass == InstrClass::Call ||
+            info.termClass == InstrClass::CallIndirect) {
+            shadowStack_.push_back(info.end);
+            if (shadowStack_.size() - shadowSpilled_ >
+                cfg_.shadowStackEntries) {
+                // On-chip stack full: spill the older half to memory.
+                shadowSpilled_ += cfg_.shadowStackEntries / 2;
+                ++stats_.shadowSpills;
+                shadowPenaltyAt_ =
+                    commit_cycle + cfg_.shadowSpillPenalty;
+            }
+        } else if (info.termClass == InstrClass::Return) {
+            if (shadowStack_.empty())
+                return fail("shadow stack underflow on return");
+            if (shadowStack_.size() == shadowSpilled_ &&
+                shadowSpilled_ > 0) {
+                // On-chip stack empty: refill a batch from memory.
+                shadowSpilled_ -=
+                    std::min<u64>(shadowSpilled_,
+                                  cfg_.shadowStackEntries / 2);
+                ++stats_.shadowRefills;
+                shadowPenaltyAt_ =
+                    commit_cycle + cfg_.shadowSpillPenalty;
+            }
+            const Addr expected = shadowStack_.back();
+            shadowStack_.pop_back();
+            if (actual_target != expected)
+                return fail("return to " + hex(actual_target) +
+                            " violates shadow stack (expected " +
+                            hex(expected) + ")");
+        }
+    }
+
+    ++stats_.bbValidated;
+    emit_trace(true, "");
+    cur_ = PendingBB{};
+    return true;
+}
+
+void
+RevEngine::onMispredictResolved(Cycle resolve_cycle)
+{
+    (void)resolve_cycle;
+    if (enabled_)
+        chg_.flush();
+}
+
+void
+RevEngine::refreshTables()
+{
+    readers_.clear();
+    sc_.invalidateAll();
+    chg_.invalidate();
+    sag_.reset();
+    unsigned installed = 0;
+    for (const auto &ms : store_.moduleSigs()) {
+        if (installed++ >= sag_.capacity())
+            break;
+        sag_.install(ms.module->base, ms.module->codeEnd(), ms.tableBase);
+    }
+}
+
+RevEngine::ThreadState
+RevEngine::saveThreadState() const
+{
+    return ThreadState{pendingReturn_, shadowStack_, shadowSpilled_};
+}
+
+void
+RevEngine::restoreThreadState(const ThreadState &state)
+{
+    pendingReturn_ = state.pendingReturn;
+    shadowStack_ = state.shadowStack;
+    shadowSpilled_ = state.shadowSpilled;
+}
+
+void
+RevEngine::onInterrupt(Cycle cycle)
+{
+    (void)cycle;
+    // The current block has already validated; the refetched stream
+    // restarts the CHG, and any wrong-path SC prefetches are dropped.
+    if (enabled_)
+        chg_.flush();
+}
+
+void
+RevEngine::onSyscall(u8 service, Cycle commit_cycle)
+{
+    (void)commit_cycle;
+    // Sec. VII: one protected system call disables REV (for trusted
+    // self-modifying code), another re-enables it.
+    if (service == 1)
+        enabled_ = false;
+    else if (service == 2)
+        enabled_ = true;
+}
+
+void
+RevEngine::addStats(stats::StatGroup &group) const
+{
+    sc_.addStats(group);
+    sag_.addStats(group);
+    chg_.addStats(group);
+}
+
+} // namespace rev::core

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * The REV engine: orchestrates the CHG, SC, SAG, and RAM table walker to
+ * validate every committed basic block (Sec. IV), implementing the core's
+ * RevHooks interface.
+ *
+ * Flow per dynamic basic block:
+ *  1. Front end fetches the terminator -> onBBFetched():
+ *     - SAG matches the module (exception + software refill on miss),
+ *     - the CHG digest of the fetched bytes is scheduled (ready H cycles
+ *       after fetch),
+ *     - the SC is probed; a complete miss walks the encrypted RAM table
+ *       through the memory hierarchy (ScFill requests); a partial miss
+ *       (entry present, but the needed successor/predecessor address is
+ *       not the cached MRU one) walks it too.
+ *  2. The terminator may only commit once the digest and the reference
+ *     signature are both available -> commitReadyAt().
+ *  3. At commit the block is authenticated -> validateBB(): hash match,
+ *     computed-target membership, and the delayed return validation of
+ *     Sec. V.A (a latch holds the RET address; the following block's entry
+ *     lists the legitimate RET predecessors).
+ *
+ * Memory updates of a block are withheld (by the core's StoreBuffer) until
+ * validateBB() passes — a failed block never taints memory (R5).
+ */
+
+#ifndef REV_CORE_REV_ENGINE_HPP
+#define REV_CORE_REV_ENGINE_HPP
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "core/chg.hpp"
+#include "core/sag.hpp"
+#include "core/sc.hpp"
+#include "cpu/revhooks.hpp"
+#include "mem/memsys.hpp"
+#include "sig/sigstore.hpp"
+
+namespace rev::core
+{
+
+/**
+ * How return edges are authenticated.
+ */
+enum class ReturnValidation : u8
+{
+    /**
+     * The paper's low-overhead scheme (Sec. V.A): the RET address is
+     * latched; the next block's table entry lists its legitimate RET
+     * predecessors. No shadow structure, scales to any call depth, but
+     * predecessor lists cost table space and MRU partial misses.
+     */
+    DelayedPredecessor = 0,
+
+    /**
+     * Conventional shadow call stack (the alternative the paper argues
+     * against, cf. Branch Regulation [35]): CALLs push the expected
+     * return site into a hardware stack; RETs must match the popped
+     * entry. Overflow spills are counted (and charged a memory
+     * round-trip), underflow is a violation.
+     */
+    ShadowStack = 1,
+};
+
+/** REV engine configuration. */
+struct RevConfig
+{
+    ScConfig sc;
+    ChgConfig chg;
+    unsigned sagEntries = 16;
+    Cycle sagMissPenalty = 200;  ///< software handler refill cost
+    unsigned decryptLatency = 2; ///< per-fill AES-CTR pipe latency
+    bool startEnabled = true;
+
+    ReturnValidation returnValidation = ReturnValidation::DelayedPredecessor;
+    unsigned shadowStackEntries = 32;   ///< on-chip depth before spilling
+    Cycle shadowSpillPenalty = 12;      ///< per spill/refill batch
+};
+
+/** Engine statistics (drive Figs. 10/11 and the stall accounting). */
+struct RevStats
+{
+    u64 bbValidated = 0;
+    u64 scCompleteMisses = 0;
+    u64 scPartialMisses = 0;
+    u64 tableWalkReads = 0;
+    u64 violations = 0;
+    u64 sagExceptions = 0;
+    Cycle commitStallCycles = 0;
+    u64 shadowSpills = 0;   ///< shadow-stack overflow spill batches
+    u64 shadowRefills = 0;  ///< shadow-stack underflow refill batches
+
+    u64
+    scMisses() const
+    {
+        return scCompleteMisses + scPartialMisses;
+    }
+};
+
+/**
+ * The run-time execution validator.
+ */
+class RevEngine : public cpu::RevHooks
+{
+  public:
+    /**
+     * @param store  Signature tables (already loaded into @p mem).
+     * @param vault  CPU key vault for unwrapping module keys.
+     * @param mem    Functional memory (holds code and the tables).
+     * @param memsys Timing hierarchy for SC fill traffic.
+     */
+    RevEngine(const sig::SigStore &store, const crypto::KeyVault &vault,
+              const SparseMemory &mem, mem::MemorySystem &memsys,
+              const RevConfig &cfg = {});
+
+    // --- RevHooks ---------------------------------------------------------
+    void onBBFetched(const cpu::BBFetchInfo &info) override;
+    Cycle commitReadyAt(BBSeq bb, Cycle earliest) override;
+    bool validateBB(BBSeq bb, Addr actual_target,
+                    Cycle commit_cycle) override;
+    void onMispredictResolved(Cycle resolve_cycle) override;
+    void onInterrupt(Cycle cycle) override;
+    void onSyscall(u8 service, Cycle commit_cycle) override;
+    bool validationActive() const override { return enabled_; }
+    std::string violationReason() const override { return lastViolation_; }
+
+    /** Attacks that modify code space must invalidate memoized digests. */
+    void invalidateCodeCache() { chg_.invalidate(); }
+
+    /**
+     * The trusted OS/linker rebuilt the signature tables (dynamic code
+     * generation or dynamic linking, Sec. IV.E): drop every cached
+     * decrypted signature and re-initialize the SAG from the store.
+     */
+    void refreshTables();
+
+    /**
+     * Per-thread REV micro-state the OS saves/restores across context
+     * switches: the Sec. V.A return latch and (when the shadow-stack
+     * scheme is selected) the shadow call stack itself. Everything else
+     * (SC, CHG, readers) is shared and refills on demand (R4).
+     */
+    struct ThreadState
+    {
+        std::optional<Addr> pendingReturn;
+        std::vector<Addr> shadowStack;
+        u64 shadowSpilled = 0;
+    };
+
+    ThreadState saveThreadState() const;
+    void restoreThreadState(const ThreadState &state);
+
+    /** One authenticated (or rejected) basic block, for tracing. */
+    struct ValidationEvent
+    {
+        BBSeq bbSeq = 0;
+        Addr start = 0;
+        Addr term = 0;
+        Cycle commitCycle = 0;
+        u32 hash = 0;
+        bool scHit = false;        ///< no RAM walk was needed
+        bool partialMiss = false;
+        Cycle stallCycles = 0;     ///< commit delay charged to REV
+        bool passed = false;
+        std::string reason;        ///< failure reason when !passed
+    };
+
+    using TraceCallback = std::function<void(const ValidationEvent &)>;
+
+    /** Stream every validation outcome to @p cb (empty = off). */
+    void setTraceCallback(TraceCallback cb) { trace_ = std::move(cb); }
+
+    /**
+     * Signature of code that failed authentication (the paper's
+     * conclusion: "failed validation attempts can reveal signatures of
+     * the offending code that can be used to detect them later").
+     */
+    struct OffenderRecord
+    {
+        Addr start = 0;
+        Addr term = 0;
+        u32 hash = 0; ///< CHG digest of the offending bytes
+        std::string reason;
+    };
+
+    /** Signatures collected from failed validations this run. */
+    const std::vector<OffenderRecord> &offenders() const
+    {
+        return offenders_;
+    }
+
+    const RevStats &stats() const { return stats_; }
+
+    /** Zero the engine counters but keep SC/SAG/latch state. */
+    void resetStats() { stats_ = RevStats{}; }
+    const SignatureCache &sc() const { return sc_; }
+    const Sag &sag() const { return sag_; }
+    const Chg &chg() const { return chg_; }
+    sig::ValidationMode mode() const { return store_.mode(); }
+
+    void addStats(stats::StatGroup &group) const;
+
+  private:
+    /** In-flight state of the basic block between fetch and commit. */
+    struct PendingBB
+    {
+        bool valid = false;
+        bool bypass = false; ///< REV disabled or no validation needed
+        cpu::BBFetchInfo info;
+        Cycle hashReadyAt = 0;
+        Cycle scReadyAt = 0;
+        u32 computedHash = 0;
+        bool refFound = false;
+        bool termSeen = false; ///< terminator present, hash mismatched
+        u32 refHash = 0;
+        std::vector<Addr> refTargets;
+        std::vector<Addr> refPreds;
+    };
+
+    static bool isComputedClass(isa::InstrClass c);
+
+    const sig::TableReader &readerFor(Addr table_base);
+
+    /**
+     * Walk the RAM table; returns the reference data and sets ready.
+     * @param key For Full/Aggressive tables the generated hash (the
+     *            Sec. V.B discriminator); ignored for CFI-only.
+     */
+    sig::LookupResult walk(const SagEntry &sag_entry, Addr term, u32 key,
+                           Cycle from, Cycle &ready_at,
+                           const sig::WalkNeeds &needs);
+
+    const sig::SigStore &store_;
+    const crypto::KeyVault &vault_;
+    const SparseMemory &mem_;
+    mem::MemorySystem &memsys_;
+    RevConfig cfg_;
+
+    SignatureCache sc_;
+    Sag sag_;
+    Chg chg_;
+
+    bool enabled_;
+    PendingBB cur_;
+    std::optional<Addr> pendingReturn_; ///< Sec. V.A latch
+
+    /**
+     * Shadow call stack (ReturnValidation::ShadowStack). The on-chip
+     * portion holds cfg_.shadowStackEntries; deeper frames live in a
+     * (modeled) memory spill area. spilled_ counts frames currently in
+     * memory; crossings charge shadowSpillPenalty at the next commit.
+     */
+    std::vector<Addr> shadowStack_;
+    u64 shadowSpilled_ = 0;
+    Cycle shadowPenaltyAt_ = 0;
+
+    std::string lastViolation_;
+    RevStats stats_;
+    TraceCallback trace_;
+    std::vector<OffenderRecord> offenders_;
+
+    /** Per-block trace bookkeeping filled across the fetch/commit hooks. */
+    bool curScHit_ = false;
+    bool curPartial_ = false;
+    Cycle curStall_ = 0;
+
+    std::map<Addr, std::unique_ptr<sig::TableReader>> readers_;
+};
+
+} // namespace rev::core
+
+#endif // REV_CORE_REV_ENGINE_HPP

@@ -1,0 +1,63 @@
+#include "core/sag.hpp"
+
+#include "common/logging.hpp"
+
+namespace rev::core
+{
+
+Sag::Sag(unsigned num_entries)
+{
+    if (num_entries == 0)
+        fatal("SAG: need at least one entry");
+    entries_.resize(num_entries);
+}
+
+const SagEntry *
+Sag::match(Addr addr)
+{
+    ++lookups_;
+    for (const auto &e : entries_)
+        if (e.valid && addr >= e.moduleBase && addr < e.moduleLimit)
+            return &e;
+    ++misses_;
+    return nullptr;
+}
+
+void
+Sag::install(Addr module_base, Addr module_limit, Addr table_base)
+{
+    // Prefer an invalid slot; otherwise round-robin replacement (the
+    // handler's policy is software-defined).
+    SagEntry *slot = nullptr;
+    for (auto &e : entries_) {
+        if (!e.valid) {
+            slot = &e;
+            break;
+        }
+    }
+    if (!slot) {
+        slot = &entries_[victim_];
+        victim_ = (victim_ + 1) % entries_.size();
+    }
+    slot->valid = true;
+    slot->moduleBase = module_base;
+    slot->moduleLimit = module_limit;
+    slot->tableBase = table_base;
+}
+
+void
+Sag::reset()
+{
+    for (auto &e : entries_)
+        e = SagEntry{};
+    victim_ = 0;
+}
+
+void
+Sag::addStats(stats::StatGroup &group) const
+{
+    group.add("sag.lookups", &lookups_);
+    group.add("sag.misses", &misses_);
+}
+
+} // namespace rev::core

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Signature Address Generation unit (SAG) — Sec. IV.B.
+ *
+ * A set of B base registers pointing at the RAM-resident signature tables
+ * of up to B modules, each paired with limit registers recording the
+ * module's virtual-address range (and, in hardware, a key register for the
+ * module's decryption key — in the model the key stays inside the table
+ * header / key vault). Every call or return target is associatively
+ * compared against the limit pairs to select the table to use; when no
+ * pair encloses the address an exception is raised and a software handler
+ * (the OS) refills a victim entry.
+ */
+
+#ifndef REV_CORE_SAG_HPP
+#define REV_CORE_SAG_HPP
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace rev::core
+{
+
+/** One base/limit register set. */
+struct SagEntry
+{
+    bool valid = false;
+    Addr moduleBase = 0;  ///< first code address of the module
+    Addr moduleLimit = 0; ///< one past the last code address
+    Addr tableBase = 0;   ///< RAM address of the signature table
+};
+
+/**
+ * The SAG register file.
+ */
+class Sag
+{
+  public:
+    /** @param num_entries The paper suggests B in 16..32. */
+    explicit Sag(unsigned num_entries = 16);
+
+    /**
+     * Associative range match of @p addr against all limit pairs.
+     * Returns nullptr when no entry encloses the address (exception).
+     */
+    const SagEntry *match(Addr addr);
+
+    /**
+     * Install a module's registers (trusted linker/loader or the
+     * exception handler). Picks an invalid entry or round-robin victim.
+     */
+    void install(Addr module_base, Addr module_limit, Addr table_base);
+
+    /** Drop all entries. */
+    void reset();
+
+    unsigned capacity() const { return static_cast<unsigned>(entries_.size()); }
+    u64 lookups() const { return lookups_; }
+    u64 misses() const { return misses_; }
+
+    void addStats(stats::StatGroup &group) const;
+
+  private:
+    std::vector<SagEntry> entries_;
+    std::size_t victim_ = 0;
+    stats::Counter lookups_, misses_;
+};
+
+} // namespace rev::core
+
+#endif // REV_CORE_SAG_HPP

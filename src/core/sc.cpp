@@ -1,0 +1,86 @@
+#include "core/sc.hpp"
+
+#include "common/bitutil.hpp"
+#include "common/logging.hpp"
+
+namespace rev::core
+{
+
+SignatureCache::SignatureCache(const ScConfig &cfg) : cfg_(cfg)
+{
+    const u64 entries = cfg_.sizeBytes / cfg_.entryBytes;
+    if (entries == 0 || entries % cfg_.assoc)
+        fatal("SC: size/entry/assoc mismatch");
+    const u64 sets = entries / cfg_.assoc;
+    if (!isPow2(sets))
+        fatal("SC: set count must be a power of two (got ", sets, ")");
+    numSets_ = static_cast<unsigned>(sets);
+    entries_.resize(entries);
+}
+
+unsigned
+SignatureCache::setOf(Addr term) const
+{
+    // Low bits of the BB (terminator) address index the cache. Skip the
+    // lowest bit to spread variable-length terminators a little.
+    return static_cast<unsigned>((term >> 1) & (numSets_ - 1));
+}
+
+ScEntry *
+SignatureCache::probe(Addr term, Addr start)
+{
+    ++probes_;
+    ScEntry *set = &entries_[static_cast<std::size_t>(setOf(term)) *
+                             cfg_.assoc];
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        ScEntry &e = set[w];
+        if (e.valid && e.term == term && e.start == start) {
+            e.lastUse = ++useClock_;
+            ++hits_;
+            return &e;
+        }
+    }
+    return nullptr;
+}
+
+ScEntry &
+SignatureCache::insert(Addr term, Addr start)
+{
+    ScEntry *set = &entries_[static_cast<std::size_t>(setOf(term)) *
+                             cfg_.assoc];
+    ScEntry *victim = &set[0];
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        ScEntry &e = set[w];
+        if (e.valid && e.term == term && e.start == start) {
+            victim = &e; // refresh in place
+            break;
+        }
+        if (victim->valid && (!e.valid || e.lastUse < victim->lastUse))
+            victim = &e;
+    }
+    if (victim->valid && !(victim->term == term && victim->start == start))
+        ++evictions_;
+    *victim = ScEntry{};
+    victim->valid = true;
+    victim->term = term;
+    victim->start = start;
+    victim->lastUse = ++useClock_;
+    return *victim;
+}
+
+void
+SignatureCache::invalidateAll()
+{
+    for (auto &e : entries_)
+        e = ScEntry{};
+}
+
+void
+SignatureCache::addStats(stats::StatGroup &group) const
+{
+    group.add("sc.probes", &probes_);
+    group.add("sc.hits", &hits_);
+    group.add("sc.evictions", &evictions_);
+}
+
+} // namespace rev::core

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The Signature Cache (SC) — the on-chip cache of decrypted reference
+ * signatures (Sec. IV.C, Fig. 2).
+ *
+ * Set-associative, probed with the basic-block address (the address of the
+ * instruction terminating the BB). An entry holds the entry type, the
+ * decrypted 4-byte crypto hash, and the most-recently-used successor and
+ * predecessor addresses; when a BB has more successors/predecessors than
+ * the entry can hold, only the MRU ones are kept and a *partial miss*
+ * occurs when a different one is needed (serviced from the RAM table).
+ *
+ * Because control can enter a straight-line run in the middle, validation
+ * units with the same terminator but different entry points coexist; the
+ * SC tag therefore covers both addresses.
+ */
+
+#ifndef REV_CORE_SC_HPP
+#define REV_CORE_SC_HPP
+
+#include <optional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "program/cfg.hpp"
+
+namespace rev::core
+{
+
+/** SC geometry. */
+struct ScConfig
+{
+    u64 sizeBytes = 32 * 1024;
+    unsigned assoc = 4;
+    unsigned entryBytes = 16; ///< modeled entry footprint (Fig. 2)
+};
+
+/** One SC entry. */
+struct ScEntry
+{
+    bool valid = false;
+    Addr term = 0;
+    Addr start = 0;
+    u32 hash = 0;
+    prog::TermKind kind = prog::TermKind::Halt;
+    std::optional<Addr> succ;  ///< MRU explicitly-validated successor
+    std::optional<Addr> succ2; ///< second successor slot (aggressive mode
+                               ///< entries verify up to two, Sec. VIII)
+    std::optional<Addr> pred;  ///< MRU return-predecessor address
+    u64 lastUse = 0;
+};
+
+/**
+ * The signature cache.
+ */
+class SignatureCache
+{
+  public:
+    explicit SignatureCache(const ScConfig &cfg = {});
+
+    /** Find the entry for (term, start); nullptr on a complete miss. */
+    ScEntry *probe(Addr term, Addr start);
+
+    /** Allocate (LRU-evicting) an entry for (term, start). */
+    ScEntry &insert(Addr term, Addr start);
+
+    /** Drop everything (context-switch-free by design; used by tests). */
+    void invalidateAll();
+
+    unsigned numSets() const { return numSets_; }
+    unsigned assoc() const { return cfg_.assoc; }
+    u64 entryCount() const { return static_cast<u64>(numSets_) * cfg_.assoc; }
+
+    u64 probes() const { return probes_; }
+    u64 hits() const { return hits_; }
+    u64 evictions() const { return evictions_; }
+
+    void addStats(stats::StatGroup &group) const;
+
+  private:
+    unsigned setOf(Addr term) const;
+
+    ScConfig cfg_;
+    unsigned numSets_;
+    std::vector<ScEntry> entries_;
+    u64 useClock_ = 0;
+
+    stats::Counter probes_, hits_, evictions_;
+};
+
+} // namespace rev::core
+
+#endif // REV_CORE_SC_HPP

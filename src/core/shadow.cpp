@@ -1,0 +1,86 @@
+#include "core/shadow.hpp"
+
+namespace rev::core
+{
+
+bool
+ShadowAddressSpace::isShadowed(Addr addr) const
+{
+    return shadow_.count(addr >> kPageShift) != 0;
+}
+
+ShadowAddressSpace::Page &
+ShadowAddressSpace::shadowPage(Addr addr)
+{
+    auto &slot = shadow_[addr >> kPageShift];
+    if (!slot) {
+        // Copy-on-write: seed the shadow with the original content.
+        slot = std::make_unique<Page>();
+        base_.readBytes((addr >> kPageShift) << kPageShift, slot->data(),
+                        kPageSize);
+    }
+    return *slot;
+}
+
+u8
+ShadowAddressSpace::read8(Addr addr) const
+{
+    auto it = shadow_.find(addr >> kPageShift);
+    if (it != shadow_.end())
+        return (*it->second)[addr & (kPageSize - 1)];
+    return base_.read8(addr);
+}
+
+void
+ShadowAddressSpace::write8(Addr addr, u8 value)
+{
+    shadowPage(addr)[addr & (kPageSize - 1)] = value;
+}
+
+u64
+ShadowAddressSpace::read64(Addr addr) const
+{
+    u64 v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | read8(addr + i);
+    return v;
+}
+
+void
+ShadowAddressSpace::write64(Addr addr, u64 value)
+{
+    for (int i = 0; i < 8; ++i)
+        write8(addr + i, static_cast<u8>(value >> (8 * i)));
+}
+
+void
+ShadowAddressSpace::readBytes(Addr addr, u8 *out, std::size_t len) const
+{
+    for (std::size_t i = 0; i < len; ++i)
+        out[i] = read8(addr + i);
+}
+
+void
+ShadowAddressSpace::writeBytes(Addr addr, const u8 *data, std::size_t len)
+{
+    for (std::size_t i = 0; i < len; ++i)
+        write8(addr + i, data[i]);
+}
+
+void
+ShadowAddressSpace::commit()
+{
+    for (auto &[page_no, page] : shadow_)
+        base_.writeBytes(page_no << kPageShift, page->data(), kPageSize);
+    shadow_.clear();
+    ++commits_;
+}
+
+void
+ShadowAddressSpace::discard()
+{
+    shadow_.clear();
+    ++discards_;
+}
+
+} // namespace rev::core

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Page shadowing (Sec. IV.A): the stricter alternative for Requirement
+ * R5 that defers ALL changes to the system state until the entire
+ * execution has been authenticated.
+ *
+ * "Initially, the original pages accessed by the program are mapped to a
+ *  set of shadow pages with identical initial content. All memory updates
+ *  are made on the shadow pages during execution and when the entire
+ *  execution is authenticated, the shadow pages are mapped in as the
+ *  program's original pages. Also, while execution is going on, no output
+ *  operation (that is, DMA) is allowed out of a shadow page." [42]
+ *
+ * ShadowAddressSpace implements exactly that contract over a base
+ * SparseMemory: writes copy-on-write into private shadow pages; reads see
+ * the shadow when one exists; commit() folds shadows back into the
+ * original; discard() drops them; dmaAllowed() is false for shadowed
+ * pages until commit.
+ */
+
+#ifndef REV_CORE_SHADOW_HPP
+#define REV_CORE_SHADOW_HPP
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/sparse_memory.hpp"
+#include "common/stats.hpp"
+
+namespace rev::core
+{
+
+/**
+ * Copy-on-write view over a base memory.
+ */
+class ShadowAddressSpace
+{
+  public:
+    static constexpr unsigned kPageShift = SparseMemory::kPageShift;
+    static constexpr u64 kPageSize = SparseMemory::kPageSize;
+
+    /** @param base The original memory; stays untouched until commit(). */
+    explicit ShadowAddressSpace(SparseMemory &base) : base_(base) {}
+
+    // --- the machine-facing interface (mirrors SparseMemory) --------------
+
+    u8 read8(Addr addr) const;
+    void write8(Addr addr, u8 value);
+    u64 read64(Addr addr) const;
+    void write64(Addr addr, u64 value);
+    void readBytes(Addr addr, u8 *out, std::size_t len) const;
+    void writeBytes(Addr addr, const u8 *data, std::size_t len);
+
+    // --- the OS-facing transaction interface -------------------------------
+
+    /** Pages currently shadowed (dirtied since the last commit/discard). */
+    std::size_t shadowedPages() const { return shadow_.size(); }
+
+    /** True iff @p addr's page has been written during this epoch. */
+    bool isShadowed(Addr addr) const;
+
+    /**
+     * DMA out of a shadowed page is disallowed until the execution that
+     * produced it has been authenticated (Sec. IV.A).
+     */
+    bool dmaAllowed(Addr addr) const { return !isShadowed(addr); }
+
+    /**
+     * The execution authenticated: map every shadow page in as the
+     * original ("atomically", from the program's point of view).
+     */
+    void commit();
+
+    /** The execution failed authentication: drop every shadow page. */
+    void discard();
+
+    u64 commits() const { return commits_; }
+    u64 discards() const { return discards_; }
+
+  private:
+    using Page = std::array<u8, kPageSize>;
+
+    /** Get (copy-on-write allocating) the shadow page of @p addr. */
+    Page &shadowPage(Addr addr);
+
+    SparseMemory &base_;
+    std::unordered_map<u64, std::unique_ptr<Page>> shadow_;
+    stats::Counter commits_, discards_;
+};
+
+} // namespace rev::core
+
+#endif // REV_CORE_SHADOW_HPP

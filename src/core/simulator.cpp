@@ -1,0 +1,101 @@
+#include "core/simulator.hpp"
+
+namespace rev::core
+{
+
+Simulator::Simulator(const prog::Program &program, const SimConfig &cfg)
+    : program_(program), cfg_(cfg), memsys_(cfg.mem), vault_(cfg.cpuSeed)
+{
+    program_.loadInto(mem_);
+    if (cfg_.withRev) {
+        // CFI-only SC entries hold no hash and no predecessor (Sec. V.D):
+        // the same SRAM budget holds twice as many entries.
+        if (cfg_.mode == sig::ValidationMode::CfiOnly &&
+            cfg_.rev.sc.entryBytes == ScConfig{}.entryBytes) {
+            cfg_.rev.sc.entryBytes = 8;
+        }
+        // Split limits of the toolchain and the front end must agree.
+        prog::SplitLimits limits = cfg_.core.splitLimits;
+        store_ = std::make_unique<sig::SigStore>(
+            program_, cfg_.mode, vault_, cfg_.toolchainSeed, limits,
+            cfg_.rev.chg.hashRounds);
+        store_->loadInto(mem_);
+        engine_ = std::make_unique<RevEngine>(*store_, vault_, mem_,
+                                              memsys_, cfg_.rev);
+    }
+    core_ = std::make_unique<cpu::Core>(program_, mem_, memsys_,
+                                        cfg_.core, engine_.get());
+    if (cfg_.pageShadowing)
+        pristine_ = mem_.clone();
+}
+
+void
+Simulator::reloadProgram()
+{
+    program_.loadInto(mem_);
+    if (store_) {
+        store_->rebuild(program_);
+        store_->loadInto(mem_);
+    }
+    if (engine_)
+        engine_->refreshTables();
+    if (cfg_.pageShadowing)
+        pristine_ = mem_.clone();
+}
+
+void
+Simulator::dumpStats(std::ostream &os) const
+{
+    stats::StatGroup group("sim");
+    memsys_.addStats(group);
+    core_->predictor().addStats(group);
+    if (engine_)
+        engine_->addStats(group);
+    group.dump(os);
+
+    if (engine_) {
+        const RevStats &rs = engine_->stats();
+        os << "sim.rev.bb_validated " << rs.bbValidated << '\n';
+        os << "sim.rev.sc_complete_misses " << rs.scCompleteMisses << '\n';
+        os << "sim.rev.sc_partial_misses " << rs.scPartialMisses << '\n';
+        os << "sim.rev.table_walk_reads " << rs.tableWalkReads << '\n';
+        os << "sim.rev.violations " << rs.violations << '\n';
+        os << "sim.rev.sag_exceptions " << rs.sagExceptions << '\n';
+        os << "sim.rev.commit_stall_cycles " << rs.commitStallCycles
+           << '\n';
+        os << "sim.rev.shadow_spills " << rs.shadowSpills << '\n';
+        os << "sim.rev.shadow_refills " << rs.shadowRefills << '\n';
+    }
+}
+
+void
+Simulator::resetStats()
+{
+    memsys_.resetStats();
+    if (engine_)
+        engine_->resetStats();
+}
+
+SimResult
+Simulator::run()
+{
+    SimResult res;
+    res.run = core_->run();
+    if (engine_) {
+        res.rev = engine_->stats();
+        res.sigTableBytes = store_->totalTableBytes();
+    }
+    res.scFillAccesses = memsys_.accesses(mem::AccessType::ScFill);
+    res.scFillL1Misses = memsys_.l1Misses(mem::AccessType::ScFill);
+    res.scFillL2Misses = memsys_.l2Misses(mem::AccessType::ScFill);
+
+    if (cfg_.pageShadowing && res.run.violation) {
+        // Strict R5 (Sec. IV.A): the compromised execution's shadow pages
+        // are never mapped in; the original state survives intact.
+        mem_ = pristine_.clone();
+        res.memoryRolledBack = true;
+    }
+    return res;
+}
+
+} // namespace rev::core

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Top-level simulation harness: wires a Program, its signature tables,
+ * the functional memory, the memory hierarchy, the OoO core, and the REV
+ * engine together. This is the primary entry point of the library.
+ *
+ * Typical use:
+ *
+ *   prog::Program p = ...;             // build or generate a program
+ *   core::SimConfig cfg;
+ *   cfg.withRev = true;                // attach REV
+ *   core::Simulator sim(p, cfg);
+ *   core::SimResult r = sim.run();
+ *   std::cout << r.run.ipc();
+ */
+
+#ifndef REV_CORE_SIMULATOR_HPP
+#define REV_CORE_SIMULATOR_HPP
+
+#include <memory>
+#include <ostream>
+
+#include "core/rev_engine.hpp"
+#include "cpu/core.hpp"
+
+namespace rev::core
+{
+
+/** Simulation configuration. */
+struct SimConfig
+{
+    cpu::CoreConfig core;
+    mem::MemConfig mem;
+    RevConfig rev;
+    sig::ValidationMode mode = sig::ValidationMode::Full;
+
+    /** Attach the REV machinery (false = paper's base case). */
+    bool withRev = true;
+
+    /**
+     * Sec. IV.A strict R5: treat the whole run as a transaction against
+     * shadow pages. If the execution fails authentication, the entire
+     * memory state is rolled back to its pre-run content (instead of only
+     * squashing the offending block's stores). See core/shadow.hpp for
+     * the page-granular mechanism itself.
+     */
+    bool pageShadowing = false;
+
+    u64 cpuSeed = 1;      ///< per-CPU key-vault fuses
+    u64 toolchainSeed = 1; ///< per-module key generation
+};
+
+/** Results of one simulated run. */
+struct SimResult
+{
+    cpu::RunResult run;
+    RevStats rev; ///< zeros when REV is not attached
+
+    // Fig. 10/11 inputs: SC-fill traffic through the hierarchy.
+    u64 scFillAccesses = 0;
+    u64 scFillL1Misses = 0;
+    u64 scFillL2Misses = 0;
+
+    u64 sigTableBytes = 0; ///< total signature-table footprint in RAM
+
+    /** pageShadowing: the run failed and memory was rolled back. */
+    bool memoryRolledBack = false;
+};
+
+/**
+ * One program, one machine, one (optional) REV engine.
+ */
+class Simulator
+{
+  public:
+    Simulator(const prog::Program &program, const SimConfig &cfg = {});
+
+    /** Run to completion and collect results. */
+    SimResult run();
+
+    /**
+     * The program object changed (a module was added by the dynamic
+     * linker, or trusted code generation produced new functions): reload
+     * every module image into memory, rebuild + reload the signature
+     * tables, and refresh the engine's cached state (Sec. IV.B/IV.E).
+     * Safe to call from a pre-step hook while a run is in progress.
+     */
+    void reloadProgram();
+
+    /**
+     * Dump every component's statistics (caches, TLBs, DRAM, predictor,
+     * SC/SAG/CHG, engine counters) as "name value" rows.
+     */
+    void dumpStats(std::ostream &os) const;
+
+    /**
+     * Zero every statistic while keeping all warmed state (caches, TLBs,
+     * SC, predictor tables): run a warm-up quantum, resetStats(), then
+     * measure a steady-state quantum.
+     */
+    void resetStats();
+
+    cpu::Core &core() { return *core_; }
+    RevEngine *engine() { return engine_.get(); }
+    SparseMemory &memory() { return mem_; }
+    mem::MemorySystem &memsys() { return memsys_; }
+    const sig::SigStore *sigStore() const { return store_.get(); }
+
+  private:
+    const prog::Program &program_;
+    SimConfig cfg_;
+
+    SparseMemory mem_;
+    SparseMemory pristine_; ///< pre-run snapshot (pageShadowing only)
+    mem::MemorySystem memsys_;
+    crypto::KeyVault vault_;
+    std::unique_ptr<sig::SigStore> store_;
+    std::unique_ptr<RevEngine> engine_;
+    std::unique_ptr<cpu::Core> core_;
+};
+
+} // namespace rev::core
+
+#endif // REV_CORE_SIMULATOR_HPP

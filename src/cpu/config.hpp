@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Out-of-order core configuration (defaults mirror Table 2 of the paper).
+ */
+
+#ifndef REV_CPU_CONFIG_HPP
+#define REV_CPU_CONFIG_HPP
+
+#include "cpu/predictor.hpp"
+#include "program/cfg.hpp"
+
+namespace rev::cpu
+{
+
+/** Core pipeline / structure parameters. */
+struct CoreConfig
+{
+    unsigned fetchWidth = 4;
+    unsigned fetchQueueSize = 32;
+    unsigned dispatchWidth = 4;
+    unsigned issueWidth = 8;
+    unsigned commitWidth = 4;
+
+    unsigned robSize = 128;
+    unsigned lsqSize = 92;
+    unsigned iqSize = 64;
+    unsigned numPhysRegs = 256; ///< unified register file (informational:
+                                ///< never binding with a 128-entry ROB)
+
+    /**
+     * Pipeline stages between the final fetch stage and commit (the paper's
+     * S, assumed 16). The CHG latency H is overlapped against this
+     * (Sec. VI).
+     */
+    unsigned frontendDepth = 16;
+
+    /** Front-end refill cycles after a branch resolves mispredicted. */
+    unsigned redirectPenalty = 3;
+
+    // Functional unit latencies (cycles).
+    unsigned intAluLat = 1;
+    unsigned intMulLat = 3;
+    unsigned intDivLat = 12;
+    unsigned fpAluLat = 3;
+    unsigned fpMulLat = 4;
+    unsigned fpDivLat = 12;
+
+    // Functional unit counts (Table 2: 2 ALU, 2 FPU, 2 load + 2 store).
+    unsigned numIntAlu = 2;
+    unsigned numFpu = 2;
+    unsigned numLoadPorts = 2;
+    unsigned numStorePorts = 2;
+
+    /**
+     * Artificial basic-block split limits; must match the limits used when
+     * building the signature tables (the front end counts instructions and
+     * stores and forces an SC lookup at the boundary, Sec. IV.A).
+     */
+    prog::SplitLimits splitLimits;
+
+    PredictorConfig predictor;
+
+    /**
+     * External-interrupt injection period in cycles (0 = none). Interrupts
+     * are taken at basic-block boundaries, after the current block has
+     * been validated (Sec. IV.A), and flush the front end.
+     */
+    u64 interruptInterval = 0;
+
+    /** Front-end flush + handler entry/exit cost per interrupt. */
+    unsigned interruptPenalty = 40;
+
+    /**
+     * Model wrong-path instruction fetch after a misprediction: the
+     * front end keeps fetching down the predicted path until the branch
+     * resolves, polluting the I-cache/TLB (and triggering SC prefetches
+     * that get canceled, Sec. IV.A). Bounded by wrongPathInstrs.
+     */
+    bool modelWrongPath = true;
+    unsigned wrongPathInstrs = 12;
+
+    /**
+     * Next-line instruction prefetcher: an L1I miss also requests the
+     * following line at Prefetch priority (below SC fills, Sec. IV.A).
+     */
+    bool nextLinePrefetch = true;
+
+    /** Stop at the first basic-block boundary after this many committed
+     *  instructions (0 = run to halt). Stopping at block granularity
+     *  keeps the machine at a validated entry point, so run() can be
+     *  resumed (context switches, scheduling quanta). */
+    u64 maxInstrs = 0;
+};
+
+} // namespace rev::cpu
+
+#endif // REV_CPU_CONFIG_HPP

@@ -1,0 +1,400 @@
+#include "cpu/core.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "isa/codec.hpp"
+
+namespace rev::cpu
+{
+
+using isa::InstrClass;
+
+namespace
+{
+
+/** Decode/rename depth in cycles (part of the S-stage front end). */
+constexpr unsigned kDecodeDepth = 6;
+
+/** Source/destination register usage of one instruction. */
+struct RegUse
+{
+    u8 srcs[3];
+    unsigned nsrc = 0;
+    int dst = -1;
+};
+
+RegUse
+regUse(const isa::Instr &ins)
+{
+    RegUse u;
+    auto src = [&](u8 r) {
+        if (r != isa::kRegZero)
+            u.srcs[u.nsrc++] = r;
+    };
+    switch (ins.klass()) {
+      case InstrClass::Nop:
+      case InstrClass::Halt:
+      case InstrClass::Syscall:
+      case InstrClass::Jump:
+        break;
+      case InstrClass::Call:
+        src(isa::kRegSp);
+        u.dst = isa::kRegSp;
+        break;
+      case InstrClass::CallIndirect:
+        src(ins.rs1);
+        src(isa::kRegSp);
+        u.dst = isa::kRegSp;
+        break;
+      case InstrClass::JumpIndirect:
+        src(ins.rs1);
+        break;
+      case InstrClass::Return:
+        src(isa::kRegSp);
+        u.dst = isa::kRegSp;
+        break;
+      case InstrClass::Load:
+        src(ins.rs1);
+        u.dst = ins.rd;
+        break;
+      case InstrClass::Store:
+        src(ins.rs1);
+        src(ins.rd); // store data
+        break;
+      case InstrClass::Branch:
+        src(ins.rs1);
+        src(ins.rs2);
+        break;
+      default:
+        // ALU forms: R3 reads rs1/rs2; RI reads rs1; MOVI/LUI read none.
+        switch (ins.length()) {
+          case 4:
+            src(ins.rs1);
+            src(ins.rs2);
+            break;
+          case 7:
+            src(ins.rs1);
+            break;
+          default:
+            break;
+        }
+        u.dst = ins.rd;
+        break;
+    }
+    if (u.dst == isa::kRegZero)
+        u.dst = -1;
+    return u;
+}
+
+} // namespace
+
+Core::Core(const prog::Program &program, SparseMemory &mem,
+           mem::MemorySystem &memsys, const CoreConfig &cfg,
+           RevHooks *hooks)
+    : program_(program), mem_(mem), memsys_(memsys), cfg_(cfg),
+      hooks_(hooks), machine_(program, mem), predictor_(cfg.predictor)
+{
+}
+
+void
+Core::drainStores(SeqNum up_to, Cycle at)
+{
+    while (!pendingStores_.empty() && pendingStores_.front().seq <= up_to) {
+        memsys_.access(pendingStores_.front().addr,
+                       mem::AccessType::DataWrite, at);
+        pendingStores_.pop_front();
+    }
+}
+
+RunResult
+Core::run()
+{
+    RunResult res;
+
+    WidthLimiter fetch_w(cfg_.fetchWidth);
+    WidthLimiter dispatch_w(cfg_.dispatchWidth);
+    WidthLimiter commit_w(cfg_.commitWidth);
+    OccupancyRing rob(cfg_.robSize);
+    OccupancyRing iq(cfg_.iqSize);
+    OccupancyRing lsq(cfg_.lsqSize);
+    OccupancyRing fq(cfg_.fetchQueueSize);
+    FuPool alu(cfg_.numIntAlu);
+    FuPool fpu(cfg_.numFpu);
+    FuPool ld_port(cfg_.numLoadPorts);
+    FuPool st_port(cfg_.numStorePorts);
+
+    std::array<Cycle, isa::kNumArchRegs> reg_ready{};
+    std::unordered_set<Addr> unique_branches;
+
+    // Resumed runs continue the cycle timebase so the (persistent)
+    // memory-system port and bank timestamps stay coherent.
+    Cycle fetch_resume = clockBase_; ///< redirect lower bound
+    Cycle fetch_frontier = clockBase_; ///< last fetch cycle
+    Addr last_line = kNoAddr;
+    Cycle line_ready = clockBase_;
+    Cycle prev_commit = clockBase_;
+
+    SeqNum seq = 0;
+    BBState bb{machine_.pc(), 0, 0, 1};
+    BBSeq bb_counter = 1;
+    Cycle next_interrupt =
+        cfg_.interruptInterval ? clockBase_ + cfg_.interruptInterval
+                               : kNoCycle;
+
+    const unsigned line_bytes = memsys_.config().lineBytes;
+    const unsigned line_shift = 6; // 64-byte lines
+    REV_ASSERT(line_bytes == 64, "core assumes 64-byte lines");
+
+    while (true) {
+        if (preStep_)
+            preStep_(res.instrs, machine_.pc());
+        if (machine_.halted())
+            break;
+
+        const Addr pc = machine_.pc();
+        const prog::ExecRecord rec = machine_.step(&sb_, ++seq);
+        if (rec.invalid) {
+            res.violation = Violation{prev_commit, pc, seq,
+                                      "undecodable instruction bytes"};
+            break;
+        }
+        const unsigned len = rec.ins.length();
+
+        // ---- fetch -------------------------------------------------------
+        Cycle fetch_lower = std::max(fetch_resume, fetch_frontier);
+        for (Addr line = pc >> line_shift; line <= (pc + len - 1) >> line_shift;
+             ++line) {
+            if (line == last_line)
+                continue;
+            last_line = line;
+            const auto r = memsys_.access(line << line_shift,
+                                          mem::AccessType::InstrFetch,
+                                          fetch_lower);
+            line_ready = r.l1Hit ? fetch_lower : r.completeAt;
+            if (!r.l1Hit && cfg_.nextLinePrefetch) {
+                // Prefetch the next line at the lowest priority class.
+                memsys_.access((line + 1) << line_shift,
+                               mem::AccessType::Prefetch, fetch_lower);
+            }
+        }
+        fetch_lower = std::max({fetch_lower, line_ready, fq.allocReadyAt()});
+        const Cycle fetch_at = fetch_w.reserve(fetch_lower);
+        fetch_frontier = fetch_at;
+
+        // ---- basic-block tracking (front end) -----------------------------
+        ++bb.instrs;
+        if (rec.ins.writesMem())
+            ++bb.stores;
+        const bool is_cf = rec.ins.isControlFlow();
+        const bool is_split =
+            !is_cf && (bb.instrs >= cfg_.splitLimits.maxInstrs ||
+                       bb.stores >= cfg_.splitLimits.maxStores);
+        const bool is_term = is_cf || is_split;
+
+        if (is_term && hooks_) {
+            BBFetchInfo info;
+            info.bbSeq = bb.seq;
+            info.start = bb.start;
+            info.term = pc;
+            info.end = pc + len;
+            info.termClass = rec.ins.klass();
+            info.artificialSplit = is_split;
+            info.termSeq = seq;
+            info.fetchDoneAt = fetch_at;
+            info.nextStart = rec.nextPc;
+            hooks_->onBBFetched(info);
+        }
+
+        // ---- rename / dispatch --------------------------------------------
+        const bool is_mem = rec.isLoad || rec.isStore;
+        Cycle dispatch_lower = std::max<Cycle>(
+            {fetch_at + kDecodeDepth, rob.allocReadyAt(), iq.allocReadyAt()});
+        if (is_mem)
+            dispatch_lower = std::max(dispatch_lower, lsq.allocReadyAt());
+        const Cycle dispatch_at = dispatch_w.reserve(dispatch_lower);
+        fq.push(dispatch_at);
+
+        // ---- issue / execute ----------------------------------------------
+        const RegUse use = regUse(rec.ins);
+        Cycle op_ready = 0;
+        for (unsigned i = 0; i < use.nsrc; ++i)
+            op_ready = std::max(op_ready, reg_ready[use.srcs[i]]);
+        const Cycle issue_lower = std::max(dispatch_at + 1, op_ready);
+
+        Cycle issue_at = 0, complete_at = 0;
+        switch (rec.ins.klass()) {
+          case InstrClass::IntDiv:
+            issue_at = alu.acquire(issue_lower, cfg_.intDivLat);
+            complete_at = issue_at + cfg_.intDivLat;
+            break;
+          case InstrClass::IntMul:
+            issue_at = alu.acquire(issue_lower, 1);
+            complete_at = issue_at + cfg_.intMulLat;
+            break;
+          case InstrClass::FpAlu:
+            issue_at = fpu.acquire(issue_lower, 1);
+            complete_at = issue_at + cfg_.fpAluLat;
+            break;
+          case InstrClass::FpMul:
+            issue_at = fpu.acquire(issue_lower, 1);
+            complete_at = issue_at + cfg_.fpMulLat;
+            break;
+          case InstrClass::FpDiv:
+            issue_at = fpu.acquire(issue_lower, cfg_.fpDivLat);
+            complete_at = issue_at + cfg_.fpDivLat;
+            break;
+          case InstrClass::Load:
+          case InstrClass::Return: {
+            issue_at = ld_port.acquire(issue_lower, 1);
+            const Cycle agu_done = issue_at + 1;
+            if (sb_.covers(rec.memAddr, rec.memSize)) {
+                complete_at = agu_done + 1; // store-queue forwarding
+            } else {
+                const auto r = memsys_.access(
+                    rec.memAddr, mem::AccessType::DataRead, agu_done);
+                complete_at = r.completeAt;
+            }
+            ++res.loads;
+            break;
+          }
+          case InstrClass::Store:
+          case InstrClass::Call:
+          case InstrClass::CallIndirect:
+            issue_at = st_port.acquire(issue_lower, 1);
+            complete_at = issue_at + 1; // address + data capture
+            ++res.stores;
+            break;
+          default:
+            issue_at = alu.acquire(issue_lower, 1);
+            complete_at = issue_at + cfg_.intAluLat;
+            break;
+        }
+        iq.push(issue_at + 1);
+        if (use.dst >= 0)
+            reg_ready[use.dst] = complete_at;
+
+        if (rec.isStore)
+            pendingStores_.push_back({seq, rec.memAddr});
+
+        // ---- branch resolution / redirect -----------------------------------
+        if (is_cf && rec.ins.klass() != InstrClass::Halt) {
+            const bool taken = rec.ins.isBranch() ? rec.taken : true;
+            Prediction pred;
+            const bool wrong = predictor_.predictAndTrain(
+                rec.ins, pc, taken, rec.nextPc, &pred);
+            if (wrong) {
+                const Cycle resolve = complete_at;
+                fetch_resume = std::max(fetch_resume,
+                                        resolve + cfg_.redirectPenalty);
+                ++res.mispredicts;
+                if (cfg_.modelWrongPath) {
+                    // The front end keeps streaming down the predicted
+                    // (wrong) path until the branch resolves, dirtying
+                    // the I-side structures. The fetched work itself is
+                    // squashed.
+                    Addr wpc = pred.valid && pred.taken
+                                   ? pred.target
+                                   : rec.ins.fallThrough(pc);
+                    if (wpc == rec.nextPc)
+                        wpc = rec.ins.fallThrough(pc); // target mispredict
+                    Addr wline = kNoAddr;
+                    Cycle t = fetch_at;
+                    for (unsigned i = 0;
+                         i < cfg_.wrongPathInstrs && wpc != rec.nextPc;
+                         ++i) {
+                        u8 raw[8];
+                        mem_.readBytes(wpc, raw, sizeof(raw));
+                        const auto wins = isa::decode(raw, sizeof(raw));
+                        if (!wins)
+                            break;
+                        const Addr line = wpc >> line_shift;
+                        if (line != wline) {
+                            wline = line;
+                            memsys_.access(line << line_shift,
+                                           mem::AccessType::InstrFetch, t);
+                            ++t;
+                        }
+                        ++res.wrongPathFetches;
+                        if (wins->isControlFlow())
+                            break; // cannot follow further without resolving
+                        wpc = wins->fallThrough(wpc);
+                    }
+                }
+                if (hooks_)
+                    hooks_->onMispredictResolved(resolve);
+            }
+        }
+
+        // ---- commit ----------------------------------------------------------
+        Cycle commit_lower = std::max<Cycle>(
+            {complete_at + 1, fetch_at + cfg_.frontendDepth, prev_commit});
+        if (is_term && hooks_)
+            commit_lower = hooks_->commitReadyAt(bb.seq, commit_lower);
+        const Cycle commit_at = commit_w.reserve(commit_lower);
+        prev_commit = commit_at;
+        rob.push(commit_at);
+        if (is_mem)
+            lsq.push(commit_at);
+
+        ++res.instrs;
+        if (is_cf) {
+            ++res.committedBranches;
+            unique_branches.insert(pc);
+        }
+        if (rec.isSyscall && hooks_)
+            hooks_->onSyscall(rec.syscallNo, commit_at);
+
+        // ---- external interrupts (taken at validated BB boundaries) ----
+        if (is_term && commit_at >= next_interrupt) {
+            fetch_resume = std::max(fetch_resume,
+                                    commit_at + cfg_.interruptPenalty);
+            next_interrupt = commit_at + cfg_.interruptInterval;
+            ++res.interrupts;
+            if (hooks_)
+                hooks_->onInterrupt(commit_at);
+        }
+
+        // ---- validation & store release ---------------------------------------
+        const bool defer = hooks_ && hooks_->validationActive();
+        if (is_term) {
+            if (hooks_ && !hooks_->validateBB(bb.seq, rec.nextPc, commit_at)) {
+                res.violation = Violation{commit_at, pc, seq,
+                                          hooks_->violationReason()};
+                // Tainted stores of the offending block never reach memory.
+                sb_.squash(seq - bb.instrs + 1);
+                break;
+            }
+            sb_.drain(mem_, seq);
+            drainStores(seq, commit_at);
+            bb = BBState{rec.nextPc, 0, 0, ++bb_counter};
+        } else if (!defer) {
+            sb_.drain(mem_, seq);
+            drainStores(seq, commit_at);
+        }
+
+        if (rec.halted)
+            break;
+        // The instruction budget stops at the next block boundary, the
+        // same points where interrupts / context switches are taken
+        // (Sec. IV.A), so a resumed run() restarts at a known entry.
+        if (is_term && cfg_.maxInstrs && res.instrs >= cfg_.maxInstrs)
+            break;
+    }
+
+    // An instruction-budget stop can land mid-block; release the already
+    // executed stores so a follow-up run() (e.g., after a context switch)
+    // resumes from consistent state.
+    if (!res.violation) {
+        sb_.drain(mem_, seq);
+        drainStores(seq, prev_commit);
+    }
+
+    res.cycles = prev_commit - clockBase_;
+    clockBase_ = prev_commit;
+    res.uniqueBranches = unique_branches.size();
+    res.halted = machine_.halted() && !res.violation;
+    return res;
+}
+
+} // namespace rev::cpu

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The out-of-order core model.
+ *
+ * Execute-functional, timing-directed: architectural execution happens in
+ * program order through the embedded Machine (supplying values and actual
+ * branch outcomes), while a timestamp-propagation timing model with
+ * explicit finite resources (ROB, IQ, LSQ, fetch queue, FU pools,
+ * per-stage widths) computes when each instruction fetches, issues,
+ * completes, and commits. Commit is in order; stores are held in the
+ * StoreBuffer and released to memory at commit (base core) or at basic-
+ * block validation time (REV, Requirement R5). Branch mispredictions stall
+ * the front end until the branch resolves plus a redirect penalty;
+ * mispredicted-path instructions are not themselves simulated (DESIGN.md,
+ * timing-fidelity notes).
+ */
+
+#ifndef REV_CPU_CORE_HPP
+#define REV_CPU_CORE_HPP
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_set>
+
+#include "cpu/config.hpp"
+#include "cpu/predictor.hpp"
+#include "cpu/resources.hpp"
+#include "cpu/revhooks.hpp"
+#include "mem/memsys.hpp"
+#include "program/interp.hpp"
+
+namespace rev::cpu
+{
+
+/** A detected run-time validation failure. */
+struct Violation
+{
+    Cycle cycle = 0;
+    Addr pc = 0;
+    SeqNum seq = 0;
+    std::string reason;
+};
+
+/** Results of one simulation run. */
+struct RunResult
+{
+    Cycle cycles = 0;
+    u64 instrs = 0;
+    u64 committedBranches = 0; ///< control-flow instructions committed
+    u64 uniqueBranches = 0;    ///< distinct control-flow PCs (Fig. 9)
+    u64 mispredicts = 0;
+    u64 loads = 0;
+    u64 stores = 0;
+    u64 interrupts = 0; ///< external interrupts taken
+    u64 wrongPathFetches = 0; ///< wrong-path instructions fetched
+    bool halted = false;
+    std::optional<Violation> violation;
+
+    /** cycles counts only this run() invocation (quantum). */
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instrs) / cycles : 0.0;
+    }
+};
+
+/**
+ * The core. One instance simulates one program run.
+ */
+class Core
+{
+  public:
+    /**
+     * @param program Program to run (must already be loaded into @p mem).
+     * @param mem     Functional memory image.
+     * @param memsys  Timing memory hierarchy.
+     * @param cfg     Core configuration.
+     * @param hooks   REV engine, or nullptr for the base machine.
+     */
+    Core(const prog::Program &program, SparseMemory &mem,
+         mem::MemorySystem &memsys, const CoreConfig &cfg = {},
+         RevHooks *hooks = nullptr);
+
+    /**
+     * Hook invoked before each architectural step; attack injectors use it
+     * to tamper with memory / machine state at a precise point.
+     * Arguments: committed-instruction index and next PC.
+     */
+    using PreStepHook = std::function<void(u64 instr_index, Addr pc)>;
+    void setPreStepHook(PreStepHook hook) { preStep_ = std::move(hook); }
+
+    /** Run to halt, violation, or the configured instruction budget. */
+    RunResult run();
+
+    prog::Machine &machine() { return machine_; }
+    const BranchPredictor &predictor() const { return predictor_; }
+
+  private:
+    struct BBState
+    {
+        Addr start = 0;
+        unsigned instrs = 0;
+        unsigned stores = 0;
+        BBSeq seq = 0;
+    };
+
+    /** Issue the D-cache write traffic for stores released to memory. */
+    void drainStores(SeqNum up_to, Cycle at);
+
+    const prog::Program &program_;
+    SparseMemory &mem_;
+    mem::MemorySystem &memsys_;
+    CoreConfig cfg_;
+    RevHooks *hooks_;
+
+    prog::Machine machine_;
+    prog::StoreBuffer sb_;
+    BranchPredictor predictor_;
+    PreStepHook preStep_;
+
+    /** Pending (not yet drained) store records for timing. */
+    struct PendingStore
+    {
+        SeqNum seq;
+        Addr addr;
+    };
+    std::deque<PendingStore> pendingStores_;
+
+    /** End cycle of the previous run() (resumed runs continue from it). */
+    Cycle clockBase_ = 0;
+};
+
+} // namespace rev::cpu
+
+#endif // REV_CPU_CORE_HPP

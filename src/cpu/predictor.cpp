@@ -1,0 +1,141 @@
+#include "cpu/predictor.hpp"
+
+#include "common/bitutil.hpp"
+#include "common/logging.hpp"
+
+namespace rev::cpu
+{
+
+using isa::InstrClass;
+
+BranchPredictor::BranchPredictor(const PredictorConfig &cfg) : cfg_(cfg)
+{
+    if (!isPow2(cfg_.gshareEntries) || !isPow2(cfg_.btbEntries))
+        fatal("predictor tables must be powers of two");
+    counters_.assign(cfg_.gshareEntries, 2); // weakly taken
+    btb_.resize(cfg_.btbEntries);
+    ras_.resize(cfg_.rasEntries);
+}
+
+unsigned
+BranchPredictor::gshareIndex(Addr pc) const
+{
+    return static_cast<unsigned>((pc ^ history_) & (cfg_.gshareEntries - 1));
+}
+
+unsigned
+BranchPredictor::btbIndex(Addr pc) const
+{
+    return static_cast<unsigned>((pc >> 1) & (cfg_.btbEntries - 1));
+}
+
+Prediction
+BranchPredictor::predict(const isa::Instr &ins, Addr pc)
+{
+    ++lookups_;
+    Prediction pred;
+    switch (ins.klass()) {
+      case InstrClass::Branch: {
+        pred.taken = counters_[gshareIndex(pc)] >= 2;
+        pred.target = pred.taken ? ins.directTarget(pc)
+                                 : ins.fallThrough(pc);
+        pred.valid = true;
+        break;
+      }
+      case InstrClass::Jump:
+        pred.taken = true;
+        pred.target = ins.directTarget(pc);
+        pred.valid = true;
+        break;
+      case InstrClass::Call:
+      case InstrClass::CallIndirect: {
+        pred.taken = true;
+        // Circular RAS: overflow silently wraps, keeping the newest
+        // frames (standard hardware behaviour).
+        ras_[rasTop_ % ras_.size()] = ins.fallThrough(pc);
+        ++rasTop_;
+        if (ins.klass() == InstrClass::Call) {
+            pred.target = ins.directTarget(pc);
+            pred.valid = true;
+        } else {
+            const BtbEntry &e = btb_[btbIndex(pc)];
+            pred.valid = e.valid && e.pc == pc;
+            pred.target = pred.valid ? e.target : 0;
+        }
+        break;
+      }
+      case InstrClass::JumpIndirect: {
+        pred.taken = true;
+        const BtbEntry &e = btb_[btbIndex(pc)];
+        pred.valid = e.valid && e.pc == pc;
+        pred.target = pred.valid ? e.target : 0;
+        break;
+      }
+      case InstrClass::Return:
+        pred.taken = true;
+        if (rasTop_ > 0) {
+            --rasTop_;
+            pred.target = ras_[rasTop_ % ras_.size()];
+            pred.valid = true;
+        }
+        break;
+      default:
+        // Not a control-flow instruction: fall through.
+        pred.taken = false;
+        pred.target = ins.fallThrough(pc);
+        pred.valid = true;
+        break;
+    }
+    return pred;
+}
+
+void
+BranchPredictor::update(const isa::Instr &ins, Addr pc, bool taken,
+                        Addr target)
+{
+    switch (ins.klass()) {
+      case InstrClass::Branch: {
+        u8 &ctr = counters_[gshareIndex(pc)];
+        if (taken && ctr < 3)
+            ++ctr;
+        else if (!taken && ctr > 0)
+            --ctr;
+        history_ = (history_ << 1) | (taken ? 1 : 0);
+        break;
+      }
+      case InstrClass::CallIndirect:
+      case InstrClass::JumpIndirect: {
+        BtbEntry &e = btb_[btbIndex(pc)];
+        e.pc = pc;
+        e.target = target;
+        e.valid = true;
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+bool
+BranchPredictor::predictAndTrain(const isa::Instr &ins, Addr pc, bool taken,
+                                 Addr target, Prediction *out)
+{
+    const Prediction pred = predict(ins, pc);
+    update(ins, pc, taken, target);
+    if (out)
+        *out = pred;
+    const bool wrong = !pred.valid || pred.taken != taken ||
+                       (pred.taken && pred.target != target);
+    if (ins.isControlFlow() && wrong)
+        ++mispredicts_;
+    return wrong;
+}
+
+void
+BranchPredictor::addStats(stats::StatGroup &group) const
+{
+    group.add("bp.lookups", &lookups_);
+    group.add("bp.mispredicts", &mispredicts_);
+}
+
+} // namespace rev::cpu

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Branch prediction: 32K-entry gshare direction predictor (Table 2), a
+ * tagged BTB for computed-branch targets, and a return-address stack.
+ */
+
+#ifndef REV_CPU_PREDICTOR_HPP
+#define REV_CPU_PREDICTOR_HPP
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "isa/instr.hpp"
+
+namespace rev::cpu
+{
+
+/** Predictor configuration. */
+struct PredictorConfig
+{
+    unsigned gshareEntries = 32 * 1024; ///< 2-bit counters
+    unsigned btbEntries = 4096;
+    unsigned rasEntries = 32;
+};
+
+/** Outcome of a prediction. */
+struct Prediction
+{
+    bool taken = false;  ///< direction (conditional branches)
+    Addr target = 0;     ///< predicted next PC
+    bool valid = false;  ///< a target prediction was available
+};
+
+/**
+ * Front-end branch predictor. predict() is called at fetch of a
+ * control-flow instruction; update() with the actual outcome trains the
+ * structures (the simulator fetches down the resolved path, so train-at-
+ * fetch is equivalent to train-at-commit for this model).
+ */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const PredictorConfig &cfg = {});
+
+    /** Predict the next PC after @p ins at @p pc. */
+    Prediction predict(const isa::Instr &ins, Addr pc);
+
+    /** Train with the actual direction/target. */
+    void update(const isa::Instr &ins, Addr pc, bool taken, Addr target);
+
+    u64 lookups() const { return lookups_; }
+    u64 mispredicts() const { return mispredicts_; }
+
+    /** Convenience: predict + update + mispredict accounting in one call.
+     *  Returns true if the prediction was wrong. @p out, when non-null,
+     *  receives the prediction itself (for wrong-path modeling). */
+    bool predictAndTrain(const isa::Instr &ins, Addr pc, bool taken,
+                         Addr target, Prediction *out = nullptr);
+
+    void addStats(stats::StatGroup &group) const;
+
+  private:
+    unsigned gshareIndex(Addr pc) const;
+    unsigned btbIndex(Addr pc) const;
+
+    PredictorConfig cfg_;
+    std::vector<u8> counters_; ///< 2-bit saturating
+    u64 history_ = 0;
+
+    struct BtbEntry
+    {
+        Addr pc = 0;
+        Addr target = 0;
+        bool valid = false;
+    };
+    std::vector<BtbEntry> btb_;
+
+    std::vector<Addr> ras_;
+    std::size_t rasTop_ = 0; ///< number of valid entries
+
+    stats::Counter lookups_, mispredicts_;
+};
+
+} // namespace rev::cpu
+
+#endif // REV_CPU_PREDICTOR_HPP

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Interface between the out-of-order core and the REV machinery.
+ *
+ * The core is REV-agnostic: it reports front-end and commit events through
+ * this interface and respects the commit-gating / store-deferral answers.
+ * The REV engine (src/core) implements it; a base-case core runs with a
+ * null hooks pointer.
+ */
+
+#ifndef REV_CPU_REVHOOKS_HPP
+#define REV_CPU_REVHOOKS_HPP
+
+#include <string>
+
+#include "isa/instr.hpp"
+
+namespace rev::cpu
+{
+
+/** Front-end description of a dynamic basic block whose terminator was
+ *  just fetched. */
+struct BBFetchInfo
+{
+    BBSeq bbSeq = 0;       ///< dynamic basic-block instance id
+    Addr start = 0;        ///< first instruction address
+    Addr term = 0;         ///< terminating instruction address
+    Addr end = 0;          ///< first byte past the terminator
+    isa::InstrClass termClass = isa::InstrClass::Nop;
+    bool artificialSplit = false; ///< ended by the split rule, not control flow
+    SeqNum termSeq = 0;    ///< sequence number of the terminator
+    Cycle fetchDoneAt = 0; ///< cycle the terminator left the fetch stage
+
+    /**
+     * Start address of the next dynamic basic block. The hardware would
+     * use the predicted target here (probing for a partial miss); the
+     * model uses the resolved target, which matches whenever the BTB
+     * predicts correctly (the dominant case).
+     */
+    Addr nextStart = 0;
+};
+
+/**
+ * REV integration points.
+ */
+class RevHooks
+{
+  public:
+    virtual ~RevHooks() = default;
+
+    /**
+     * The front end finished fetching a basic block: the CHG has consumed
+     * its bytes and the SC is probed (starting a fill on a miss).
+     */
+    virtual void onBBFetched(const BBFetchInfo &info) = 0;
+
+    /**
+     * Earliest cycle the terminator of @p bb may commit: the generated
+     * hash must be available (CHG latency) and the reference signature
+     * must be present in the SC (miss service time). @p earliest is the
+     * commit time the pipeline could otherwise achieve.
+     */
+    virtual Cycle commitReadyAt(BBSeq bb, Cycle earliest) = 0;
+
+    /**
+     * The terminator of @p bb commits now: authenticate the block.
+     * @param actual_target Where control actually flows next.
+     * @return false on a validation failure (an exception is raised).
+     */
+    virtual bool validateBB(BBSeq bb, Addr actual_target,
+                            Cycle commit_cycle) = 0;
+
+    /** A mispredicted control transfer resolved: CHG flushed, in-flight
+     *  SC prefetches for the wrong path canceled. */
+    virtual void onMispredictResolved(Cycle resolve_cycle) = 0;
+
+    /** An external interrupt was taken (after the current block
+     *  validated, Sec. IV.A); in-flight front-end REV state flushes. */
+    virtual void onInterrupt(Cycle cycle) { (void)cycle; }
+
+    /** A SYSCALL committed (services 1/2 disable/enable REV, Sec. VII). */
+    virtual void onSyscall(u8 service, Cycle commit_cycle) = 0;
+
+    /** True while REV is active (stores defer until BB validation). */
+    virtual bool validationActive() const = 0;
+
+    /** Human-readable reason of the most recent validation failure. */
+    virtual std::string violationReason() const = 0;
+};
+
+} // namespace rev::cpu
+
+#endif // REV_CPU_REVHOOKS_HPP

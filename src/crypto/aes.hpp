@@ -1,0 +1,72 @@
+/**
+ * @file
+ * AES-128 block cipher with CTR-mode helpers.
+ *
+ * REV stores the per-module reference signature tables in RAM in encrypted
+ * form (Sec. IV.A, Sec. IX). The paper notes that AES units already exist
+ * on contemporary chips; we implement AES-128 from scratch so that the
+ * simulated RAM genuinely holds ciphertext and SC fills genuinely decrypt.
+ */
+
+#ifndef REV_CRYPTO_AES_HPP
+#define REV_CRYPTO_AES_HPP
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rev::crypto
+{
+
+/** A 128-bit AES key. */
+using AesKey = std::array<u8, 16>;
+
+/** A 128-bit AES block. */
+using AesBlock = std::array<u8, 16>;
+
+/**
+ * AES-128 engine. Key schedule is expanded at construction; encryptBlock /
+ * decryptBlock operate on single 16-byte blocks, and ctrCrypt provides a
+ * stream transform (encrypt == decrypt) used for signature tables.
+ */
+class Aes128
+{
+  public:
+    explicit Aes128(const AesKey &key);
+
+    /** Encrypt one 16-byte block in place. */
+    void encryptBlock(u8 *block) const;
+
+    /** Decrypt one 16-byte block in place. */
+    void decryptBlock(u8 *block) const;
+
+    /**
+     * CTR-mode transform of @p len bytes (in place). The same call both
+     * encrypts and decrypts. @p nonce selects the keystream.
+     */
+    void ctrCrypt(u8 *data, std::size_t len, u64 nonce) const;
+
+    void
+    ctrCrypt(std::vector<u8> &data, u64 nonce) const
+    {
+        ctrCrypt(data.data(), data.size(), nonce);
+    }
+
+    /**
+     * CTR-mode transform of a range that begins @p byte_offset bytes into
+     * the stream. Allows decrypting an arbitrary slice (e.g., one
+     * signature-table record) without processing the prefix.
+     */
+    void ctrCryptAt(u8 *data, std::size_t len, u64 nonce,
+                    u64 byte_offset) const;
+
+  private:
+    /** Round keys: 11 x 16 bytes. */
+    std::array<u8, 176> roundKeys_;
+};
+
+} // namespace rev::crypto
+
+#endif // REV_CRYPTO_AES_HPP

@@ -1,0 +1,151 @@
+#include "crypto/cubehash.hpp"
+
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace rev::crypto
+{
+
+namespace
+{
+
+inline u32
+rotl32(u32 x, int k)
+{
+    return (x << k) | (x >> (32 - k));
+}
+
+/** One round of the CubeHash permutation (ten steps). */
+inline void
+round(std::array<u32, 32> &x)
+{
+    // 1. x[16+i] += x[i]
+    for (int i = 0; i < 16; ++i)
+        x[16 + i] += x[i];
+    // 2. rotate x[i] left by 7
+    for (int i = 0; i < 16; ++i)
+        x[i] = rotl32(x[i], 7);
+    // 3. swap x[i] <-> x[i^8] within the first half
+    for (int i = 0; i < 8; ++i)
+        std::swap(x[i], x[i + 8]);
+    // 4. x[i] ^= x[16+i]
+    for (int i = 0; i < 16; ++i)
+        x[i] ^= x[16 + i];
+    // 5. swap x[16+i] <-> x[16+(i^2)]
+    for (int i : {0, 1, 4, 5, 8, 9, 12, 13})
+        std::swap(x[16 + i], x[16 + i + 2]);
+    // 6. x[16+i] += x[i]
+    for (int i = 0; i < 16; ++i)
+        x[16 + i] += x[i];
+    // 7. rotate x[i] left by 11
+    for (int i = 0; i < 16; ++i)
+        x[i] = rotl32(x[i], 11);
+    // 8. swap x[i] <-> x[i^4]
+    for (int i : {0, 1, 2, 3, 8, 9, 10, 11})
+        std::swap(x[i], x[i + 4]);
+    // 9. x[i] ^= x[16+i]
+    for (int i = 0; i < 16; ++i)
+        x[i] ^= x[16 + i];
+    // 10. swap x[16+i] <-> x[16+(i^1)]
+    for (int i : {0, 2, 4, 6, 8, 10, 12, 14})
+        std::swap(x[16 + i], x[16 + i + 1]);
+}
+
+} // namespace
+
+CubeHash::CubeHash(unsigned rounds, unsigned block_bytes,
+                   unsigned digest_bits)
+    : rounds_(rounds), blockBytes_(block_bytes), digestBits_(digest_bits)
+{
+    if (rounds_ == 0)
+        fatal("CubeHash: rounds must be nonzero");
+    if (blockBytes_ == 0 || blockBytes_ > 128)
+        fatal("CubeHash: block size must be in 1..128 bytes");
+    if (digestBits_ < 8 || digestBits_ > 512 || digestBits_ % 8 != 0)
+        fatal("CubeHash: digest size must be 8..512 bits, multiple of 8");
+
+    // Initialize: state = (h/8, b, r, 0, ...), then 10*r rounds. Cache the
+    // resulting IV so reset() is cheap.
+    state_.fill(0);
+    state_[0] = digestBits_ / 8;
+    state_[1] = blockBytes_;
+    state_[2] = rounds_;
+    permute(10 * rounds_);
+    iv_ = state_;
+}
+
+void
+CubeHash::reset()
+{
+    state_ = iv_;
+    bufFill_ = 0;
+}
+
+void
+CubeHash::permute(unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i)
+        round(state_);
+}
+
+void
+CubeHash::absorbBlock()
+{
+    for (unsigned i = 0; i < blockBytes_; ++i)
+        state_[i / 4] ^= static_cast<u32>(buffer_[i]) << (8 * (i % 4));
+    permute(rounds_);
+    bufFill_ = 0;
+}
+
+void
+CubeHash::update(const u8 *data, std::size_t len)
+{
+    while (len > 0) {
+        const std::size_t take =
+            std::min<std::size_t>(len, blockBytes_ - bufFill_);
+        std::memcpy(buffer_.data() + bufFill_, data, take);
+        bufFill_ += static_cast<unsigned>(take);
+        data += take;
+        len -= take;
+        if (bufFill_ == blockBytes_)
+            absorbBlock();
+    }
+}
+
+Digest
+CubeHash::finalize()
+{
+    // Pad: append 0x80 then zero-fill the block, absorb it.
+    buffer_[bufFill_++] = 0x80;
+    while (bufFill_ < blockBytes_)
+        buffer_[bufFill_++] = 0;
+    absorbBlock();
+
+    // Finalize: xor 1 into the last state word, 10*r rounds.
+    state_[31] ^= 1;
+    permute(10 * rounds_);
+
+    Digest out{};
+    const unsigned bytes = digestBits_ / 8;
+    for (unsigned i = 0; i < bytes && i < out.size(); ++i)
+        out[i] = static_cast<u8>(state_[i / 4] >> (8 * (i % 4)));
+    return out;
+}
+
+Digest
+CubeHash::hash(const u8 *data, std::size_t len, unsigned rounds)
+{
+    CubeHash h(rounds);
+    h.update(data, len);
+    return h.finalize();
+}
+
+u32
+CubeHash::signature32(const Digest &d)
+{
+    return static_cast<u32>(d[0]) | (static_cast<u32>(d[1]) << 8) |
+           (static_cast<u32>(d[2]) << 16) | (static_cast<u32>(d[3]) << 24);
+}
+
+} // namespace rev::crypto

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * CubeHash implementation (Bernstein's SHA-3 round-2 candidate).
+ *
+ * The paper's crypto hash generator (CHG) is a pipelined 5-round CubeHash
+ * unit with a 16-cycle latency (Sec. VI). We implement the real algorithm,
+ * parameterized as CubeHash<r,b,h>: r rounds per b-byte block, h-bit digest.
+ * REV uses the low 4 bytes of the digest as a basic-block signature
+ * (Sec. V.C).
+ */
+
+#ifndef REV_CRYPTO_CUBEHASH_HPP
+#define REV_CRYPTO_CUBEHASH_HPP
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rev::crypto
+{
+
+/** A CubeHash digest (up to 512 bits; we use 256-bit by default). */
+using Digest = std::array<u8, 32>;
+
+/**
+ * Incremental CubeHash hasher.
+ *
+ * Parameters follow the CubeHashr/b-h naming: @p rounds rounds are applied
+ * after absorbing each @p blockBytes sized message block, with 10*rounds
+ * initialization and finalization rounds, producing a @p digestBits digest.
+ */
+class CubeHash
+{
+  public:
+    /**
+     * @param rounds      Rounds per message block (paper uses 5).
+     * @param block_bytes Message block size in bytes (1..128).
+     * @param digest_bits Digest size in bits (8..512, multiple of 8).
+     */
+    explicit CubeHash(unsigned rounds = 5, unsigned block_bytes = 32,
+                      unsigned digest_bits = 256);
+
+    /** Reset to the initial (post-IV) state. */
+    void reset();
+
+    /** Absorb @p len bytes of message. */
+    void update(const u8 *data, std::size_t len);
+
+    void
+    update(const std::vector<u8> &data)
+    {
+        update(data.data(), data.size());
+    }
+
+    /**
+     * Finalize and return the digest. The hasher must be reset() before
+     * reuse.
+     */
+    Digest finalize();
+
+    /** One-shot convenience hash. */
+    static Digest hash(const u8 *data, std::size_t len, unsigned rounds = 5);
+
+    /** Truncated 32-bit signature (low 4 bytes of digest), per Sec. V.C. */
+    static u32 signature32(const Digest &d);
+
+    unsigned rounds() const { return rounds_; }
+    unsigned blockBytes() const { return blockBytes_; }
+    unsigned digestBits() const { return digestBits_; }
+
+  private:
+    /** Apply @p n rounds of the CubeHash permutation to the state. */
+    void permute(unsigned n);
+
+    /** Absorb the staged block and permute. */
+    void absorbBlock();
+
+    unsigned rounds_;
+    unsigned blockBytes_;
+    unsigned digestBits_;
+
+    std::array<u32, 32> state_;
+    std::array<u32, 32> iv_; ///< cached post-initialization state
+    std::array<u8, 128> buffer_;
+    unsigned bufFill_ = 0;
+};
+
+} // namespace rev::crypto
+
+#endif // REV_CRYPTO_CUBEHASH_HPP

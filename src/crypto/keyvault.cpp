@@ -1,0 +1,63 @@
+#include "crypto/keyvault.hpp"
+
+#include <cstring>
+
+namespace rev::crypto
+{
+
+KeyVault::KeyVault(u64 cpu_seed)
+{
+    Rng rng(cpu_seed ^ 0xc0ffee1234567890ULL);
+    for (auto &b : cpuSecret_)
+        b = static_cast<u8>(rng.next());
+}
+
+AesKey
+KeyVault::generateModuleKey(Rng &rng) const
+{
+    AesKey key;
+    for (auto &b : key)
+        b = static_cast<u8>(rng.next());
+    return key;
+}
+
+WrappedKey
+KeyVault::wrap(const AesKey &key) const
+{
+    // Encrypt the key under the CPU secret, and append an integrity tag:
+    // E(key) || E(E(key) ^ const). A real design would use an AEAD; the
+    // tag only needs to let unwrap() notice tampering / wrong-CPU blobs.
+    Aes128 cipher(cpuSecret_);
+    WrappedKey blob{};
+    std::memcpy(blob.data(), key.data(), 16);
+    cipher.encryptBlock(blob.data());
+
+    u8 tag[16];
+    std::memcpy(tag, blob.data(), 16);
+    for (auto &b : tag)
+        b ^= 0x5a;
+    cipher.encryptBlock(tag);
+    std::memcpy(blob.data() + 16, tag, 16);
+    return blob;
+}
+
+std::optional<AesKey>
+KeyVault::unwrap(const WrappedKey &blob) const
+{
+    Aes128 cipher(cpuSecret_);
+
+    u8 expect[16];
+    std::memcpy(expect, blob.data(), 16);
+    for (auto &b : expect)
+        b ^= 0x5a;
+    cipher.encryptBlock(expect);
+    if (std::memcmp(expect, blob.data() + 16, 16) != 0)
+        return std::nullopt;
+
+    AesKey key;
+    std::memcpy(key.data(), blob.data(), 16);
+    cipher.decryptBlock(key.data());
+    return key;
+}
+
+} // namespace rev::crypto

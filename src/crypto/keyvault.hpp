@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Section IX key management model.
+ *
+ * The paper assumes a TPM-like attestation facility inside the CPU: each
+ * signature table is encrypted with a per-module symmetric key; that
+ * symmetric key is itself wrapped with a key specific to the CPU and stored
+ * at the head of the signature table. The symmetric key is therefore never
+ * visible in RAM in the clear; only the CPU can unwrap it.
+ *
+ * KeyVault models exactly that contract. The per-CPU secret lives inside
+ * the vault object (standing in for fuses/TPM NVRAM); wrap() produces the
+ * wrapped-key blob placed at the head of a table in simulated RAM; unwrap()
+ * is only callable through the vault, standing in for the in-CPU unwrap.
+ */
+
+#ifndef REV_CRYPTO_KEYVAULT_HPP
+#define REV_CRYPTO_KEYVAULT_HPP
+
+#include <array>
+#include <optional>
+
+#include "crypto/aes.hpp"
+#include "common/random.hpp"
+
+namespace rev::crypto
+{
+
+/** Wrapped (CPU-bound) module key blob: 16 key bytes + 16 MAC-ish bytes. */
+using WrappedKey = std::array<u8, 32>;
+
+/**
+ * In-CPU key vault. One instance per simulated CPU.
+ */
+class KeyVault
+{
+  public:
+    /** @param cpu_seed Seeds the per-CPU secret (models per-die fuses). */
+    explicit KeyVault(u64 cpu_seed);
+
+    /** Generate a fresh random module key (trusted-toolchain side). */
+    AesKey generateModuleKey(Rng &rng) const;
+
+    /**
+     * Wrap @p key for this CPU. The result is safe to store in RAM at the
+     * head of a signature table.
+     */
+    WrappedKey wrap(const AesKey &key) const;
+
+    /**
+     * Unwrap a key blob. Returns std::nullopt if the blob fails its
+     * integrity check (e.g., it was wrapped for a different CPU or was
+     * tampered with in RAM).
+     */
+    std::optional<AesKey> unwrap(const WrappedKey &blob) const;
+
+  private:
+    AesKey cpuSecret_;
+};
+
+} // namespace rev::crypto
+
+#endif // REV_CRYPTO_KEYVAULT_HPP

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Byte-exact RVX encoder / decoder.
+ */
+
+#ifndef REV_ISA_CODEC_HPP
+#define REV_ISA_CODEC_HPP
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "isa/instr.hpp"
+
+namespace rev::isa
+{
+
+/** Append the encoding of @p ins to @p out; returns encoded length. */
+unsigned encode(const Instr &ins, std::vector<u8> &out);
+
+/**
+ * Decode one instruction from @p bytes (with @p avail bytes available).
+ * Returns std::nullopt on an undefined opcode byte or a truncated
+ * encoding.
+ */
+std::optional<Instr> decode(const u8 *bytes, std::size_t avail);
+
+} // namespace rev::isa
+
+#endif // REV_ISA_CODEC_HPP

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * RVX disassembler (debugging / example output).
+ */
+
+#ifndef REV_ISA_DISASM_HPP
+#define REV_ISA_DISASM_HPP
+
+#include <string>
+
+#include "isa/instr.hpp"
+
+namespace rev::isa
+{
+
+/** Render @p ins at address @p pc as e.g. "beq r1, r2, 0x1040". */
+std::string disassemble(const Instr &ins, Addr pc);
+
+} // namespace rev::isa
+
+#endif // REV_ISA_DISASM_HPP

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Decoded RVX instruction representation.
+ */
+
+#ifndef REV_ISA_INSTR_HPP
+#define REV_ISA_INSTR_HPP
+
+#include "common/types.hpp"
+#include "isa/opcodes.hpp"
+
+namespace rev::isa
+{
+
+/**
+ * A decoded RVX instruction. Field use depends on format:
+ *  - R3:  rd, rs1, rs2
+ *  - RI:  rd, rs1, imm
+ *  - MEM: rd (data reg), rs1 (base), imm (offset)
+ *  - BR:  rs1, rs2, imm (pc-relative target offset)
+ *  - JMP/CALL: imm (pc-relative target offset)
+ *  - CALLR/JMPR: rs1 (target register)
+ *  - MOVI/LUI: rd, imm
+ *  - SYSCALL: imm (service number, 0..255)
+ */
+struct Instr
+{
+    Opcode op = Opcode::Nop;
+    u8 rd = 0;
+    u8 rs1 = 0;
+    u8 rs2 = 0;
+    i32 imm = 0;
+
+    /** Encoded length in bytes. */
+    unsigned length() const { return opcodeLength(op); }
+
+    InstrClass klass() const { return opcodeClass(op); }
+
+    bool isControlFlow() const { return classIsControlFlow(klass()); }
+    bool isComputed() const { return classIsComputed(klass()); }
+    bool isBranch() const { return klass() == InstrClass::Branch; }
+    bool isReturn() const { return klass() == InstrClass::Return; }
+
+    bool
+    isCall() const
+    {
+        const auto c = klass();
+        return c == InstrClass::Call || c == InstrClass::CallIndirect;
+    }
+
+    /** True iff the instruction reads memory (LD, RET pop). */
+    bool
+    readsMem() const
+    {
+        const auto c = klass();
+        return c == InstrClass::Load || c == InstrClass::Return;
+    }
+
+    /** True iff the instruction writes memory (ST, CALL push). */
+    bool
+    writesMem() const
+    {
+        const auto c = klass();
+        return c == InstrClass::Store || c == InstrClass::Call ||
+               c == InstrClass::CallIndirect;
+    }
+
+    /** Direct branch/jump/call target given the instruction's address. */
+    Addr
+    directTarget(Addr pc) const
+    {
+        return pc + static_cast<i64>(imm);
+    }
+
+    /** Fall-through address (address of the next sequential instruction). */
+    Addr fallThrough(Addr pc) const { return pc + length(); }
+
+    bool operator==(const Instr &) const = default;
+};
+
+} // namespace rev::isa
+
+#endif // REV_ISA_INSTR_HPP

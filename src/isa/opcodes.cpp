@@ -1,0 +1,191 @@
+#include "isa/opcodes.hpp"
+
+namespace rev::isa
+{
+
+unsigned
+opcodeLength(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop:
+      case Opcode::Halt:
+      case Opcode::Ret:
+        return 1;
+      case Opcode::CallR:
+      case Opcode::JmpR:
+      case Opcode::Syscall:
+        return 2;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Divu:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::Slt:
+      case Opcode::Sltu:
+      case Opcode::Fadd:
+      case Opcode::Fsub:
+      case Opcode::Fmul:
+      case Opcode::Fdiv:
+        return 4;
+      case Opcode::Jmp:
+      case Opcode::Call:
+        return 5;
+      case Opcode::Movi:
+      case Opcode::Lui:
+        return 6;
+      case Opcode::Addi:
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Xori:
+      case Opcode::Shli:
+      case Opcode::Shri:
+      case Opcode::Slti:
+      case Opcode::Muli:
+      case Opcode::Ld:
+      case Opcode::St:
+      case Opcode::Lb:
+      case Opcode::Sb:
+      case Opcode::Lw:
+      case Opcode::Sw:
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Bltu:
+        return 7;
+    }
+    return 0;
+}
+
+unsigned
+opcodeMemBytes(Opcode op)
+{
+    switch (op) {
+      case Opcode::Lb:
+      case Opcode::Sb:
+        return 1;
+      case Opcode::Lw:
+      case Opcode::Sw:
+        return 4;
+      case Opcode::Ld:
+      case Opcode::St:
+        return 8;
+      default:
+        return 0;
+    }
+}
+
+bool
+opcodeValid(u8 raw)
+{
+    return opcodeLength(static_cast<Opcode>(raw)) != 0;
+}
+
+InstrClass
+opcodeClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop:
+        return InstrClass::Nop;
+      case Opcode::Halt:
+        return InstrClass::Halt;
+      case Opcode::Ret:
+        return InstrClass::Return;
+      case Opcode::CallR:
+        return InstrClass::CallIndirect;
+      case Opcode::JmpR:
+        return InstrClass::JumpIndirect;
+      case Opcode::Syscall:
+        return InstrClass::Syscall;
+      case Opcode::Mul:
+      case Opcode::Muli:
+        return InstrClass::IntMul;
+      case Opcode::Divu:
+        return InstrClass::IntDiv;
+      case Opcode::Fadd:
+      case Opcode::Fsub:
+        return InstrClass::FpAlu;
+      case Opcode::Fmul:
+        return InstrClass::FpMul;
+      case Opcode::Fdiv:
+        return InstrClass::FpDiv;
+      case Opcode::Jmp:
+        return InstrClass::Jump;
+      case Opcode::Call:
+        return InstrClass::Call;
+      case Opcode::Ld:
+      case Opcode::Lb:
+      case Opcode::Lw:
+        return InstrClass::Load;
+      case Opcode::St:
+      case Opcode::Sb:
+      case Opcode::Sw:
+        return InstrClass::Store;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Bltu:
+        return InstrClass::Branch;
+      default:
+        return InstrClass::IntAlu;
+    }
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::Halt: return "halt";
+      case Opcode::Ret: return "ret";
+      case Opcode::CallR: return "callr";
+      case Opcode::JmpR: return "jmpr";
+      case Opcode::Syscall: return "syscall";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Divu: return "divu";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::Slt: return "slt";
+      case Opcode::Sltu: return "sltu";
+      case Opcode::Fadd: return "fadd";
+      case Opcode::Fsub: return "fsub";
+      case Opcode::Fmul: return "fmul";
+      case Opcode::Fdiv: return "fdiv";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Call: return "call";
+      case Opcode::Movi: return "movi";
+      case Opcode::Lui: return "lui";
+      case Opcode::Addi: return "addi";
+      case Opcode::Andi: return "andi";
+      case Opcode::Ori: return "ori";
+      case Opcode::Xori: return "xori";
+      case Opcode::Shli: return "shli";
+      case Opcode::Shri: return "shri";
+      case Opcode::Slti: return "slti";
+      case Opcode::Muli: return "muli";
+      case Opcode::Ld: return "ld";
+      case Opcode::St: return "st";
+      case Opcode::Lb: return "lb";
+      case Opcode::Sb: return "sb";
+      case Opcode::Lw: return "lw";
+      case Opcode::Sw: return "sw";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Bltu: return "bltu";
+    }
+    return "???";
+}
+
+} // namespace rev::isa

@@ -1,0 +1,102 @@
+#include "mem/cache.hpp"
+
+#include "common/bitutil.hpp"
+#include "common/logging.hpp"
+
+namespace rev::mem
+{
+
+SetAssocCache::SetAssocCache(std::string name, u64 size_bytes,
+                             unsigned assoc, unsigned line_bytes)
+    : name_(std::move(name)), assoc_(assoc), lineBytes_(line_bytes)
+{
+    if (!isPow2(size_bytes) || !isPow2(line_bytes))
+        fatal("cache ", name_, ": size and line size must be powers of two");
+    if (assoc_ == 0 || size_bytes % (static_cast<u64>(assoc_) * line_bytes))
+        fatal("cache ", name_, ": capacity not divisible into sets");
+    lineShift_ = log2i(line_bytes);
+    const u64 sets = size_bytes / (static_cast<u64>(assoc_) * line_bytes);
+    if (!isPow2(sets))
+        fatal("cache ", name_, ": set count must be a power of two");
+    numSets_ = static_cast<unsigned>(sets);
+    lines_.resize(static_cast<std::size_t>(numSets_) * assoc_);
+}
+
+bool
+SetAssocCache::access(Addr addr, bool is_write,
+                      std::optional<Addr> *writeback)
+{
+    const u64 tag = tagOf(addr);
+    Line *set = &lines_[static_cast<std::size_t>(setOf(addr)) * assoc_];
+
+    Line *victim = &set[0];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Line &line = set[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = ++useClock_;
+            line.dirty |= is_write;
+            ++hits_;
+            return true;
+        }
+        if (!victim->valid)
+            continue; // keep first invalid way as victim
+        if (!line.valid || line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+
+    ++misses_;
+    if (victim->valid && victim->dirty) {
+        ++writebacks_;
+        if (writeback)
+            *writeback = victim->tag << lineShift_;
+    }
+    victim->tag = tag;
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->lastUse = ++useClock_;
+    return false;
+}
+
+bool
+SetAssocCache::probe(Addr addr) const
+{
+    const u64 tag = tagOf(addr);
+    const Line *set = &lines_[static_cast<std::size_t>(setOf(addr)) * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w)
+        if (set[w].valid && set[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+SetAssocCache::invalidateLine(Addr addr)
+{
+    const u64 tag = tagOf(addr);
+    Line *set = &lines_[static_cast<std::size_t>(setOf(addr)) * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (set[w].valid && set[w].tag == tag) {
+            set[w].valid = false;
+            set[w].dirty = false;
+        }
+    }
+}
+
+void
+SetAssocCache::reset()
+{
+    for (auto &line : lines_)
+        line = Line{};
+    hits_.reset();
+    misses_.reset();
+    writebacks_.reset();
+}
+
+void
+SetAssocCache::addStats(stats::StatGroup &group) const
+{
+    group.add(name_ + ".hits", &hits_);
+    group.add(name_ + ".misses", &misses_);
+    group.add(name_ + ".writebacks", &writebacks_);
+}
+
+} // namespace rev::mem

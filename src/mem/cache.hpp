@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Set-associative cache tag model with true-LRU replacement.
+ *
+ * The simulator is execute-functional / timing-directed: caches track tags,
+ * dirty bits, and recency only; data values live in the SparseMemory image.
+ */
+
+#ifndef REV_MEM_CACHE_HPP
+#define REV_MEM_CACHE_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace rev::mem
+{
+
+/**
+ * Tag array of one cache level.
+ */
+class SetAssocCache
+{
+  public:
+    /**
+     * @param name       Stats prefix (e.g. "l1d").
+     * @param size_bytes Total capacity; must be a power of two.
+     * @param assoc      Ways per set.
+     * @param line_bytes Line size; must be a power of two.
+     */
+    SetAssocCache(std::string name, u64 size_bytes, unsigned assoc,
+                  unsigned line_bytes);
+
+    /**
+     * Access (and allocate on miss). Returns true on hit. If the access
+     * misses and evicts a dirty line, its address is returned through
+     * @p writeback.
+     */
+    bool access(Addr addr, bool is_write,
+                std::optional<Addr> *writeback = nullptr);
+
+    /** Tag check without any state change. */
+    bool probe(Addr addr) const;
+
+    /** Invalidate the line containing @p addr if present. */
+    void invalidateLine(Addr addr);
+
+    /** Drop all lines (e.g., between benchmark runs). */
+    void reset();
+
+    /** Zero the counters but keep the tag state (warm measurement). */
+    void
+    resetStats()
+    {
+        hits_.reset();
+        misses_.reset();
+        writebacks_.reset();
+    }
+
+    unsigned lineBytes() const { return lineBytes_; }
+    u64 sizeBytes() const { return static_cast<u64>(numSets_) * assoc_ * lineBytes_; }
+    unsigned assoc() const { return assoc_; }
+
+    u64 hits() const { return hits_; }
+    u64 misses() const { return misses_; }
+    u64 writebacks() const { return writebacks_; }
+
+    /** Register hit/miss counters with @p group. */
+    void addStats(stats::StatGroup &group) const;
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        u64 lastUse = 0;
+    };
+
+    u64 tagOf(Addr addr) const { return addr >> lineShift_; }
+    unsigned setOf(Addr addr) const
+    {
+        return static_cast<unsigned>((addr >> lineShift_) & (numSets_ - 1));
+    }
+
+    std::string name_;
+    unsigned assoc_;
+    unsigned lineBytes_;
+    unsigned lineShift_;
+    unsigned numSets_;
+    std::vector<Line> lines_; ///< numSets_ * assoc_
+    u64 useClock_ = 0;
+
+    stats::Counter hits_, misses_, writebacks_;
+};
+
+} // namespace rev::mem
+
+#endif // REV_MEM_CACHE_HPP

@@ -1,0 +1,51 @@
+#include "mem/dram.hpp"
+
+namespace rev::mem
+{
+
+DramModel::DramModel(const DramConfig &cfg) : cfg_(cfg)
+{
+    banks_.resize(cfg_.banks);
+}
+
+Cycle
+DramModel::access(Addr addr, Cycle now)
+{
+    // Line-interleaved bank mapping; rows are contiguous within a bank.
+    const u64 line = addr / cfg_.burstBytes;
+    const unsigned bank_idx = static_cast<unsigned>(line % cfg_.banks);
+    const u64 row = addr / cfg_.rowBytes;
+    Bank &bank = banks_[bank_idx];
+
+    const Cycle start = std::max(now, bank.freeAt);
+    unsigned latency;
+    if (bank.openRow == row) {
+        latency = cfg_.openPageLatency;
+        ++rowHits_;
+    } else {
+        latency = cfg_.firstChunkLatency;
+        ++rowMisses_;
+        bank.openRow = row;
+    }
+    const Cycle done = start + latency;
+    bank.freeAt = start + cfg_.burstCycles;
+    return done;
+}
+
+void
+DramModel::reset()
+{
+    for (auto &bank : banks_)
+        bank = Bank{};
+    rowHits_.reset();
+    rowMisses_.reset();
+}
+
+void
+DramModel::addStats(stats::StatGroup &group) const
+{
+    group.add("dram.row_hits", &rowHits_);
+    group.add("dram.row_misses", &rowMisses_);
+}
+
+} // namespace rev::mem

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Banked DRAM model with open-page row buffers (Table 2: 100-cycle first
+ * chunk, 8 banks, 64-byte bursts, faster access to open pages).
+ */
+
+#ifndef REV_MEM_DRAM_HPP
+#define REV_MEM_DRAM_HPP
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace rev::mem
+{
+
+/** DRAM timing parameters. */
+struct DramConfig
+{
+    unsigned banks = 8;
+    unsigned firstChunkLatency = 100; ///< row-miss access (cycles)
+    unsigned openPageLatency = 60;    ///< row-hit access (cycles)
+    unsigned burstBytes = 64;
+    unsigned rowBytes = 4096; ///< open-page (row buffer) granularity
+    unsigned burstCycles = 4; ///< bank busy time transferring one burst
+};
+
+/**
+ * Per-bank open-row and availability tracking.
+ */
+class DramModel
+{
+  public:
+    explicit DramModel(const DramConfig &cfg = {});
+
+    /**
+     * Schedule a 64-byte burst for the line containing @p addr, arriving
+     * at the controller at @p now. Returns the cycle the data is
+     * available.
+     */
+    Cycle access(Addr addr, Cycle now);
+
+    void reset();
+
+    /** Zero the counters but keep row/bank state. */
+    void
+    resetStats()
+    {
+        rowHits_.reset();
+        rowMisses_.reset();
+    }
+
+    u64 rowHits() const { return rowHits_; }
+    u64 rowMisses() const { return rowMisses_; }
+    u64 accesses() const { return static_cast<u64>(rowHits_) + rowMisses_; }
+
+    void addStats(stats::StatGroup &group) const;
+
+  private:
+    struct Bank
+    {
+        Cycle freeAt = 0;
+        u64 openRow = ~u64{0};
+    };
+
+    DramConfig cfg_;
+    std::vector<Bank> banks_;
+    stats::Counter rowHits_, rowMisses_;
+};
+
+} // namespace rev::mem
+
+#endif // REV_MEM_DRAM_HPP

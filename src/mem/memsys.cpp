@@ -1,0 +1,158 @@
+#include "mem/memsys.hpp"
+
+namespace rev::mem
+{
+
+const char *
+accessTypeName(AccessType t)
+{
+    switch (t) {
+      case AccessType::DataRead: return "data_read";
+      case AccessType::DataWrite: return "data_write";
+      case AccessType::ScFill: return "sc_fill";
+      case AccessType::InstrFetch: return "instr_fetch";
+      case AccessType::Prefetch: return "prefetch";
+    }
+    return "?";
+}
+
+MemorySystem::MemorySystem(const MemConfig &cfg)
+    : cfg_(cfg),
+      l1i_("l1i", cfg.l1iBytes, cfg.l1iAssoc, cfg.lineBytes),
+      l1d_("l1d", cfg.l1dBytes, cfg.l1dAssoc, cfg.lineBytes),
+      l2_("l2", cfg.l2Bytes, cfg.l2Assoc, cfg.lineBytes),
+      dram_(cfg.dram), tlbs_(cfg.tlb)
+{
+}
+
+void
+MemorySystem::advanceDma(Cycle now)
+{
+    if (cfg_.dmaIntervalCycles == 0)
+        return;
+    while (nextDmaAt_ <= now) {
+        // Each burst targets the current channel's buffer; channels are
+        // spread across rows so they occupy different banks over time.
+        const Addr addr = cfg_.dmaBufferBase +
+                          static_cast<Addr>(dmaChannel_) *
+                              cfg_.dram.rowBytes +
+                          (dmaBursts_.value() % 64) * cfg_.lineBytes;
+        dram_.access(addr, nextDmaAt_);
+        ++dmaBursts_;
+        dmaChannel_ = (dmaChannel_ + 1) % cfg_.dmaChannels;
+        nextDmaAt_ += cfg_.dmaIntervalCycles;
+    }
+}
+
+AccessResult
+MemorySystem::access(Addr addr, AccessType type, Cycle now)
+{
+    AccessResult res;
+    ++accesses_[idx(type)];
+
+    const bool is_instr = type == AccessType::InstrFetch ||
+                          type == AccessType::Prefetch;
+    const bool is_write = type == AccessType::DataWrite;
+    SetAssocCache &l1 = is_instr ? l1i_ : l1d_;
+    const unsigned l1_latency =
+        is_instr ? cfg_.l1iLatency : cfg_.l1dLatency;
+
+    // Address translation (SC fills share the D-TLB, Sec. VIII).
+    const unsigned tlb_extra = tlbs_.translate(addr, is_instr);
+    Cycle t = now + tlb_extra;
+
+    std::optional<Addr> l1_wb;
+    if (l1.access(addr, is_write, &l1_wb)) {
+        res.l1Hit = true;
+        res.completeAt = t + l1_latency;
+        return res;
+    }
+    ++l1Misses_[idx(type)];
+    t += l1_latency;
+
+    // An evicted dirty L1 line is absorbed by the L2 (write-back).
+    if (l1_wb)
+        l2_.access(*l1_wb, true);
+
+    // L2 has a single port; contended requests serialize.
+    const Cycle l2_start = std::max(t, l2PortFree_);
+    l2PortFree_ = l2_start + 1;
+
+    std::optional<Addr> l2_wb;
+    if (l2_.access(addr, is_write, &l2_wb)) {
+        res.l2Hit = true;
+        res.completeAt = l2_start + cfg_.l2Latency;
+        return res;
+    }
+    ++l2Misses_[idx(type)];
+
+    // Background DMA bursts scheduled before this request reaches the
+    // DRAM controller contend for the banks.
+    advanceDma(l2_start + cfg_.l2Latency);
+
+    // A dirty L2 victim costs a DRAM burst (bank occupancy only).
+    if (l2_wb)
+        dram_.access(*l2_wb, l2_start + cfg_.l2Latency);
+
+    res.completeAt = dram_.access(addr, l2_start + cfg_.l2Latency);
+    return res;
+}
+
+void
+MemorySystem::reset()
+{
+    l1i_.reset();
+    l1d_.reset();
+    l2_.reset();
+    dram_.reset();
+    tlbs_.reset();
+    l2PortFree_ = 0;
+    nextDmaAt_ = 0;
+    dmaChannel_ = 0;
+    dmaBursts_.reset();
+    for (auto &c : accesses_)
+        c.reset();
+    for (auto &c : l1Misses_)
+        c.reset();
+    for (auto &c : l2Misses_)
+        c.reset();
+}
+
+void
+MemorySystem::resetStats()
+{
+    l1i_.resetStats();
+    l1d_.resetStats();
+    l2_.resetStats();
+    dram_.resetStats();
+    tlbs_.resetStats();
+    dmaBursts_.reset();
+    for (auto &c : accesses_)
+        c.reset();
+    for (auto &c : l1Misses_)
+        c.reset();
+    for (auto &c : l2Misses_)
+        c.reset();
+}
+
+void
+MemorySystem::addStats(stats::StatGroup &group) const
+{
+    l1i_.addStats(group);
+    l1d_.addStats(group);
+    l2_.addStats(group);
+    dram_.addStats(group);
+    tlbs_.addStats(group);
+    group.add("dma.bursts", &dmaBursts_);
+    for (unsigned i = 0; i < kNumAccessTypes; ++i) {
+        const auto type = static_cast<AccessType>(i);
+        group.add(std::string("req.") + accessTypeName(type) + ".count",
+                  &accesses_[i]);
+        group.add(std::string("req.") + accessTypeName(type) + ".l1_miss",
+                  &l1Misses_[i]);
+        group.add(std::string("req.") + accessTypeName(type) + ".l2_miss",
+                  &l2Misses_[i]);
+    }
+}
+
+} // namespace rev::mem

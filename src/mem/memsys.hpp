@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The full memory system of the simulated machine: split L1 I/D, unified
+ * L2, banked DRAM, and the TLB hierarchy (Table 2 configuration).
+ *
+ * Requests are latency-composed per level with simple port contention at
+ * the L2 and bank contention at the DRAM. Signature-cache fills use the
+ * L1 D-cache through an extra port and the shared D-TLB, per Sec. IV.A /
+ * Sec. VIII; their priority relative to other request classes is realized
+ * by issue order (the core issues data misses first, then SC fills, then
+ * instruction fetches and prefetches in each cycle).
+ */
+
+#ifndef REV_MEM_MEMSYS_HPP
+#define REV_MEM_MEMSYS_HPP
+
+#include <array>
+
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+#include "mem/tlb.hpp"
+
+namespace rev::mem
+{
+
+/** Request classes, in descending service priority (Sec. IV.A). */
+enum class AccessType : u8
+{
+    DataRead = 0,  ///< demand load miss path
+    DataWrite = 1, ///< store writeback path
+    ScFill = 2,    ///< signature-cache miss service
+    InstrFetch = 3,
+    Prefetch = 4,
+};
+
+inline constexpr unsigned kNumAccessTypes = 5;
+
+/** Memory system configuration (defaults = Table 2). */
+struct MemConfig
+{
+    u64 l1iBytes = 64 * 1024;
+    unsigned l1iAssoc = 4;
+    unsigned l1iLatency = 2;
+
+    u64 l1dBytes = 64 * 1024;
+    unsigned l1dAssoc = 4;
+    unsigned l1dLatency = 2;
+
+    u64 l2Bytes = 512 * 1024;
+    unsigned l2Assoc = 8;
+    unsigned l2Latency = 5;
+
+    unsigned lineBytes = 64;
+
+    DramConfig dram;
+    TlbConfig tlb;
+
+    /**
+     * Background DMA traffic (Table 2 lists 64 DMA channels with 64-byte
+     * bursts). When dmaIntervalCycles > 0, one channel issues a burst to
+     * the DRAM banks every interval, round-robin across channels --
+     * modeling I/O interference with demand and SC-fill traffic. DMA
+     * bypasses the caches.
+     */
+    unsigned dmaChannels = 64;
+    u64 dmaIntervalCycles = 0; ///< 0 = no background DMA
+    Addr dmaBufferBase = 0x30000000;
+};
+
+/** Outcome of one memory access. */
+struct AccessResult
+{
+    Cycle completeAt = 0;
+    bool l1Hit = false;
+    bool l2Hit = false;
+};
+
+/**
+ * Latency-composing memory system.
+ */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const MemConfig &cfg = {});
+
+    /**
+     * Perform an access of @p type to @p addr arriving at cycle @p now.
+     */
+    AccessResult access(Addr addr, AccessType type, Cycle now);
+
+    void reset();
+
+    /** Zero every counter but keep cache/TLB/DRAM state: measurement can
+     *  start from a warmed machine. */
+    void resetStats();
+
+    const MemConfig &config() const { return cfg_; }
+
+    const SetAssocCache &l1i() const { return l1i_; }
+    const SetAssocCache &l1d() const { return l1d_; }
+    const SetAssocCache &l2() const { return l2_; }
+    const DramModel &dram() const { return dram_; }
+    const TlbHierarchy &tlbs() const { return tlbs_; }
+
+    /** DMA bursts issued so far. */
+    u64 dmaBursts() const { return dmaBursts_; }
+
+    /** Per-request-class counters (drives Figs. 10/11). */
+    u64 accesses(AccessType t) const { return accesses_[idx(t)]; }
+    u64 l1Misses(AccessType t) const { return l1Misses_[idx(t)]; }
+    u64 l2Misses(AccessType t) const { return l2Misses_[idx(t)]; }
+
+    void addStats(stats::StatGroup &group) const;
+
+  private:
+    static unsigned idx(AccessType t) { return static_cast<unsigned>(t); }
+
+    MemConfig cfg_;
+    SetAssocCache l1i_, l1d_, l2_;
+    DramModel dram_;
+    TlbHierarchy tlbs_;
+
+    /** Issue any background DMA bursts scheduled before @p now. */
+    void advanceDma(Cycle now);
+
+    Cycle l2PortFree_ = 0;
+    Cycle nextDmaAt_ = 0;
+    unsigned dmaChannel_ = 0;
+    stats::Counter dmaBursts_;
+
+    std::array<stats::Counter, kNumAccessTypes> accesses_;
+    std::array<stats::Counter, kNumAccessTypes> l1Misses_;
+    std::array<stats::Counter, kNumAccessTypes> l2Misses_;
+};
+
+/** Display name of an access type. */
+const char *accessTypeName(AccessType t);
+
+} // namespace rev::mem
+
+#endif // REV_MEM_MEMSYS_HPP

@@ -1,0 +1,90 @@
+#include "mem/tlb.hpp"
+
+namespace rev::mem
+{
+
+Tlb::Tlb(std::string name, unsigned entries, unsigned page_shift)
+    : name_(std::move(name)), pageShift_(page_shift), capacity_(entries)
+{
+    index_.reserve(entries * 2);
+}
+
+bool
+Tlb::access(Addr addr)
+{
+    const u64 page = addr >> pageShift_;
+    auto it = index_.find(page);
+    if (it != index_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second); // refresh to MRU
+        ++hits_;
+        return true;
+    }
+    ++misses_;
+    lru_.push_front(page);
+    index_[page] = lru_.begin();
+    if (lru_.size() > capacity_) {
+        index_.erase(lru_.back());
+        lru_.pop_back();
+    }
+    return false;
+}
+
+bool
+Tlb::probe(Addr addr) const
+{
+    return index_.count(addr >> pageShift_) != 0;
+}
+
+void
+Tlb::reset()
+{
+    lru_.clear();
+    index_.clear();
+    hits_.reset();
+    misses_.reset();
+}
+
+void
+Tlb::addStats(stats::StatGroup &group) const
+{
+    group.add(name_ + ".hits", &hits_);
+    group.add(name_ + ".misses", &misses_);
+}
+
+TlbHierarchy::TlbHierarchy(const TlbConfig &cfg)
+    : cfg_(cfg), itlb_("itlb", cfg.itlbEntries),
+      dtlb_("dtlb", cfg.dtlbEntries), l2_("l2tlb", cfg.l2Entries)
+{
+}
+
+unsigned
+TlbHierarchy::translate(Addr addr, bool instr)
+{
+    Tlb &l1 = instr ? itlb_ : dtlb_;
+    if (l1.access(addr))
+        return 0;
+    if (l2_.access(addr))
+        return cfg_.l2Latency;
+    ++pageWalks_;
+    return cfg_.l2Latency + cfg_.pageWalkLatency;
+}
+
+void
+TlbHierarchy::reset()
+{
+    itlb_.reset();
+    dtlb_.reset();
+    l2_.reset();
+    pageWalks_.reset();
+}
+
+void
+TlbHierarchy::addStats(stats::StatGroup &group) const
+{
+    itlb_.addStats(group);
+    dtlb_.addStats(group);
+    l2_.addStats(group);
+    group.add("tlb.page_walks", &pageWalks_);
+}
+
+} // namespace rev::mem

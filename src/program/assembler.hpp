@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Label-based RVX assembler producing linked Modules.
+ *
+ * This stands in for the trusted toolchain of the paper: it produces the
+ * binary image, the symbol table, and the computed-branch target
+ * annotations that the signature-table builder consumes.
+ */
+
+#ifndef REV_PROGRAM_ASSEMBLER_HPP
+#define REV_PROGRAM_ASSEMBLER_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/instr.hpp"
+#include "program/module.hpp"
+
+namespace rev::prog
+{
+
+/**
+ * Two-pass assembler. Emit instructions and data with emit*()/label();
+ * label references are fixed up in finalize().
+ */
+class Assembler
+{
+  public:
+    /** @param base Absolute load address of the module being assembled. */
+    explicit Assembler(Addr base);
+
+    /** Define @p name at the current emission point. */
+    void label(const std::string &name);
+
+    /** Current absolute emission address. */
+    Addr here() const { return base_ + image_.size(); }
+
+    // --- instruction emitters; each returns the instruction's address ---
+
+    Addr nop();
+    Addr halt();
+    Addr ret();
+    Addr syscall(u8 service);
+
+    Addr add(u8 rd, u8 rs1, u8 rs2);
+    Addr sub(u8 rd, u8 rs1, u8 rs2);
+    Addr mul(u8 rd, u8 rs1, u8 rs2);
+    Addr divu(u8 rd, u8 rs1, u8 rs2);
+    Addr and_(u8 rd, u8 rs1, u8 rs2);
+    Addr or_(u8 rd, u8 rs1, u8 rs2);
+    Addr xor_(u8 rd, u8 rs1, u8 rs2);
+    Addr shl(u8 rd, u8 rs1, u8 rs2);
+    Addr shr(u8 rd, u8 rs1, u8 rs2);
+    Addr slt(u8 rd, u8 rs1, u8 rs2);
+    Addr sltu(u8 rd, u8 rs1, u8 rs2);
+    Addr fadd(u8 rd, u8 rs1, u8 rs2);
+    Addr fsub(u8 rd, u8 rs1, u8 rs2);
+    Addr fmul(u8 rd, u8 rs1, u8 rs2);
+    Addr fdiv(u8 rd, u8 rs1, u8 rs2);
+
+    Addr movi(u8 rd, i32 imm);
+    Addr lui(u8 rd, i32 imm);
+
+    Addr addi(u8 rd, u8 rs1, i32 imm);
+    Addr andi(u8 rd, u8 rs1, i32 imm);
+    Addr ori(u8 rd, u8 rs1, i32 imm);
+    Addr xori(u8 rd, u8 rs1, i32 imm);
+    Addr shli(u8 rd, u8 rs1, i32 imm);
+    Addr shri(u8 rd, u8 rs1, i32 imm);
+    Addr slti(u8 rd, u8 rs1, i32 imm);
+    Addr muli(u8 rd, u8 rs1, i32 imm);
+
+    Addr ld(u8 rd, u8 base, i32 off);
+    Addr st(u8 rs, u8 base, i32 off);
+    Addr lb(u8 rd, u8 base, i32 off);
+    Addr sb(u8 rs, u8 base, i32 off);
+    Addr lw(u8 rd, u8 base, i32 off);
+    Addr sw(u8 rs, u8 base, i32 off);
+
+    Addr jmp(const std::string &target);
+    Addr call(const std::string &target);
+    Addr callr(u8 rs);
+    Addr jmpr(u8 rs);
+
+    Addr beq(u8 rs1, u8 rs2, const std::string &target);
+    Addr bne(u8 rs1, u8 rs2, const std::string &target);
+    Addr blt(u8 rs1, u8 rs2, const std::string &target);
+    Addr bge(u8 rs1, u8 rs2, const std::string &target);
+    Addr bltu(u8 rs1, u8 rs2, const std::string &target);
+
+    /** Load the absolute address of @p target into @p rd (movi+lui pair). */
+    Addr la(u8 rd, const std::string &target);
+
+    // --- data emission ---
+
+    /** Mark the end of the code region; data follows. */
+    void beginData();
+
+    /** Emit a raw 64-bit little-endian word. */
+    void word64(u64 value);
+
+    /** Emit the absolute address of @p target as a 64-bit word. */
+    void word64Label(const std::string &target);
+
+    /** Emit @p count zero bytes. */
+    void zeros(std::size_t count);
+
+    /** Align the emission point to @p alignment bytes (power of two). */
+    void align(unsigned alignment);
+
+    // --- computed-branch metadata ---
+
+    /**
+     * Declare that the computed transfer at @p site may target the given
+     * labels. Resolved to addresses in finalize().
+     */
+    void annotateIndirect(Addr site, std::vector<std::string> targets);
+
+    /** Resolve fixups and produce the linked module. */
+    Module finalize(const std::string &name, const std::string &entry_label);
+
+  private:
+    enum class FixupKind { PcRel32, Abs64, AbsHiLo };
+
+    struct Fixup
+    {
+        FixupKind kind;
+        std::size_t offset; ///< image offset of the field to patch
+        Addr instrAddr;     ///< address of the referencing instruction
+        std::string target;
+    };
+
+    Addr emit(const isa::Instr &ins);
+    Addr emitBranch(isa::Opcode op, u8 rs1, u8 rs2, const std::string &tgt);
+
+    Addr base_;
+    std::vector<u8> image_;
+    std::size_t codeSize_ = 0;
+    bool inData_ = false;
+    std::map<std::string, Addr> symbols_;
+    std::vector<Fixup> fixups_;
+    std::vector<std::pair<Addr, std::vector<std::string>>> indirect_;
+};
+
+} // namespace rev::prog
+
+#endif // REV_PROGRAM_ASSEMBLER_HPP

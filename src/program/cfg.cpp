@@ -1,0 +1,361 @@
+#include "program/cfg.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "common/logging.hpp"
+#include "isa/codec.hpp"
+
+namespace rev::prog
+{
+
+using isa::Instr;
+using isa::InstrClass;
+
+namespace
+{
+
+TermKind
+termKindOf(InstrClass c)
+{
+    switch (c) {
+      case InstrClass::Branch:
+        return TermKind::Branch;
+      case InstrClass::Jump:
+        return TermKind::Jump;
+      case InstrClass::Call:
+        return TermKind::Call;
+      case InstrClass::CallIndirect:
+        return TermKind::CallIndirect;
+      case InstrClass::JumpIndirect:
+        return TermKind::JumpIndirect;
+      case InstrClass::Return:
+        return TermKind::Return;
+      case InstrClass::Halt:
+        return TermKind::Halt;
+      default:
+        panic("termKindOf: not a control-flow class");
+    }
+}
+
+} // namespace
+
+const BasicBlock *
+Cfg::blockAtStart(Addr start) const
+{
+    auto it = byStart_.find(start);
+    return it == byStart_.end() ? nullptr : &blocks_[it->second];
+}
+
+std::vector<const BasicBlock *>
+Cfg::blocksAtTerm(Addr term) const
+{
+    std::vector<const BasicBlock *> out;
+    auto it = byTerm_.find(term);
+    if (it != byTerm_.end())
+        for (u32 id : it->second)
+            out.push_back(&blocks_[id]);
+    return out;
+}
+
+CfgStats
+Cfg::stats() const
+{
+    CfgStats s;
+    s.numBlocks = blocks_.size();
+    s.numTerminators = byTerm_.size();
+    u64 instrs = 0, succs = 0;
+    std::set<Addr> seen_terms;
+    for (const auto &bb : blocks_) {
+        instrs += bb.numInstrs;
+        succs += bb.succs.size();
+        if (seen_terms.insert(bb.term).second) {
+            ++s.numBranchInstrs;
+            if (termIsComputed(bb.kind))
+                ++s.numComputedSites;
+        }
+    }
+    if (!blocks_.empty()) {
+        s.avgInstrsPerBlock = static_cast<double>(instrs) / blocks_.size();
+        s.avgSuccsPerBlock = static_cast<double>(succs) / blocks_.size();
+    }
+    return s;
+}
+
+Cfg
+buildCfg(const Module &mod, const SplitLimits &limits)
+{
+    Cfg cfg;
+    cfg.limits_ = limits;
+
+    // ---- pass 1: linear decode of the code region -----------------------
+    std::map<Addr, Instr> instr_at;
+    {
+        Addr pc = mod.base;
+        while (pc < mod.codeEnd()) {
+            const std::size_t off = pc - mod.base;
+            auto ins = isa::decode(mod.image.data() + off,
+                                   mod.codeSize - off);
+            if (!ins)
+                fatal("buildCfg: undecodable code in '", mod.name,
+                      "' at offset ", off);
+            instr_at[pc] = *ins;
+            pc += ins->length();
+        }
+    }
+
+    auto instr_exists = [&](Addr a) { return instr_at.count(a) != 0; };
+
+    // ---- pass 2: leader discovery ---------------------------------------
+    std::set<Addr> leaders;
+    auto add_leader = [&](Addr a, const char *why) {
+        if (!instr_exists(a))
+            fatal("buildCfg: '", mod.name, "': ", why, " target 0x",
+                  std::hex, a, " is not an instruction boundary");
+        leaders.insert(a);
+    };
+
+    if (mod.codeSize > 0)
+        add_leader(mod.entry, "entry");
+
+    for (const auto &[pc, ins] : instr_at) {
+        switch (ins.klass()) {
+          case InstrClass::Branch:
+          case InstrClass::Jump:
+          case InstrClass::Call:
+            add_leader(ins.directTarget(pc), "direct branch");
+            break;
+          default:
+            break;
+        }
+        if (ins.isControlFlow()) {
+            const Addr ft = ins.fallThrough(pc);
+            if (instr_exists(ft))
+                leaders.insert(ft);
+        }
+    }
+    for (const auto &[site, targets] : mod.indirectTargets) {
+        if (!instr_exists(site))
+            fatal("buildCfg: '", mod.name, "': indirect annotation site 0x",
+                  std::hex, site, " is not an instruction");
+        for (Addr t : targets) {
+            // Cross-module targets are resolved by the callee module's
+            // own CFG; only intra-module targets become leaders here.
+            if (t >= mod.base && t < mod.codeEnd())
+                add_leader(t, "annotated indirect");
+        }
+    }
+
+    // ---- pass 3: walk each leader to its terminator ----------------------
+    // Walking may create artificial-split fall-through leaders; use a
+    // worklist.
+    std::deque<Addr> work(leaders.begin(), leaders.end());
+    std::set<Addr> queued(leaders.begin(), leaders.end());
+
+    while (!work.empty()) {
+        const Addr start = work.front();
+        work.pop_front();
+        if (cfg.byStart_.count(start))
+            continue;
+
+        BasicBlock bb;
+        bb.id = static_cast<u32>(cfg.blocks_.size());
+        bb.start = start;
+
+        Addr pc = start;
+        while (true) {
+            auto it = instr_at.find(pc);
+            if (it == instr_at.end())
+                fatal("buildCfg: '", mod.name, "': control falls off the ",
+                      "end of code at 0x", std::hex, pc);
+            const Instr &ins = it->second;
+            ++bb.numInstrs;
+            if (ins.writesMem())
+                ++bb.numStores;
+
+            if (ins.isControlFlow()) {
+                bb.term = pc;
+                bb.end = ins.fallThrough(pc);
+                bb.kind = termKindOf(ins.klass());
+                break;
+            }
+            if (bb.numInstrs >= limits.maxInstrs ||
+                bb.numStores >= limits.maxStores) {
+                bb.term = pc;
+                bb.end = ins.fallThrough(pc);
+                bb.kind = TermKind::Split;
+                break;
+            }
+            pc = ins.fallThrough(pc);
+        }
+
+        if (bb.kind == TermKind::Split && !queued.count(bb.end)) {
+            queued.insert(bb.end);
+            work.push_back(bb.end);
+        }
+
+        cfg.byStart_[start] = bb.id;
+        cfg.byTerm_[bb.term].push_back(bb.id);
+        cfg.blocks_.push_back(std::move(bb));
+    }
+
+    // ---- pass 4: successor sets per terminator ---------------------------
+    // Successors are a property of the terminating instruction, shared by
+    // every (suffix) block ending at it.
+    std::map<Addr, std::vector<Addr>> term_succs;
+
+    auto add_succ = [&](Addr term, Addr target) {
+        auto &v = term_succs[term];
+        if (std::find(v.begin(), v.end(), target) == v.end())
+            v.push_back(target);
+    };
+
+    for (const auto &[term, ids] : cfg.byTerm_) {
+        const BasicBlock &bb = cfg.blocks_[ids.front()];
+        const Instr &ins = instr_at.at(term);
+        switch (bb.kind) {
+          case TermKind::Branch:
+            add_succ(term, ins.directTarget(term));
+            add_succ(term, bb.end);
+            break;
+          case TermKind::Jump:
+          case TermKind::Call:
+            add_succ(term, ins.directTarget(term));
+            break;
+          case TermKind::CallIndirect:
+          case TermKind::JumpIndirect: {
+            auto it = mod.indirectTargets.find(term);
+            if (it != mod.indirectTargets.end())
+                for (Addr t : it->second)
+                    add_succ(term, t);
+            break;
+          }
+          case TermKind::Split:
+            add_succ(term, bb.end);
+            break;
+          case TermKind::Return:
+          case TermKind::Halt:
+            break; // returns handled below; halt has no successor
+        }
+    }
+
+    // ---- finalize ---------------------------------------------------------
+    for (auto &bb : cfg.blocks_) {
+        auto sit = term_succs.find(bb.term);
+        if (sit != term_succs.end())
+            bb.succs = sit->second;
+    }
+
+    // Return-site analysis for this module in isolation; SigStore re-runs
+    // it program-wide once every module's CFG exists.
+    linkCfgs({&cfg});
+    return cfg;
+}
+
+void
+linkCfgs(const std::vector<Cfg *> &cfgs)
+{
+    // Global indices across all modules (module address ranges are
+    // disjoint, so starts and terminators are unique program-wide).
+    struct Ref
+    {
+        Cfg *cfg;
+        u32 idx;
+    };
+    std::map<Addr, Ref> by_start;
+    std::map<Addr, std::vector<Ref>> by_term;
+
+    for (Cfg *cfg : cfgs) {
+        for (auto &bb : cfg->blocks_) {
+            // Reset any previous return-edge information (idempotence).
+            if (bb.kind == TermKind::Return)
+                bb.succs.clear();
+            bb.retPreds.clear();
+        }
+        for (const auto &[start, idx] : cfg->byStart_)
+            by_start.emplace(start, Ref{cfg, idx});
+        for (const auto &[term, ids] : cfg->byTerm_)
+            for (u32 id : ids)
+                by_term[term].push_back(Ref{cfg, id});
+    }
+
+    auto block_at = [&](Addr start) -> BasicBlock * {
+        auto it = by_start.find(start);
+        return it == by_start.end() ? nullptr
+                                    : &it->second.cfg->blocks_[it->second.idx];
+    };
+
+    // RET instructions reachable intra-procedurally from a function entry,
+    // following edges across modules.
+    std::map<Addr, std::vector<Addr>> rets_of_entry;
+    auto reachable_rets = [&](Addr entry) -> const std::vector<Addr> & {
+        auto memo = rets_of_entry.find(entry);
+        if (memo != rets_of_entry.end())
+            return memo->second;
+
+        std::vector<Addr> rets;
+        std::set<Addr> visited;
+        std::deque<Addr> bfs{entry};
+        while (!bfs.empty()) {
+            const Addr s = bfs.front();
+            bfs.pop_front();
+            if (!visited.insert(s).second)
+                continue;
+            const BasicBlock *bb = block_at(s);
+            if (!bb)
+                continue; // target outside every known module
+            switch (bb->kind) {
+              case TermKind::Return:
+                rets.push_back(bb->term);
+                break;
+              case TermKind::Halt:
+                break;
+              case TermKind::Call:
+              case TermKind::CallIndirect:
+                // Intra-procedural flow resumes at the return site.
+                bfs.push_back(bb->end);
+                break;
+              default:
+                for (Addr t : bb->succs)
+                    bfs.push_back(t);
+                break;
+            }
+        }
+        return rets_of_entry.emplace(entry, std::move(rets)).first->second;
+    };
+
+    // Visit every call site once (by terminator address).
+    std::set<Addr> call_terms_seen;
+    for (Cfg *cfg : cfgs) {
+        for (const auto &bb : cfg->blocks_) {
+            if (bb.kind != TermKind::Call &&
+                bb.kind != TermKind::CallIndirect)
+                continue;
+            if (!call_terms_seen.insert(bb.term).second)
+                continue;
+            const Addr return_site = bb.end;
+            BasicBlock *rb = block_at(return_site);
+            if (!rb)
+                continue;
+            for (Addr entry : bb.succs) {
+                for (Addr r : reachable_rets(entry)) {
+                    // The RET may transfer to this call's return site.
+                    for (const Ref &ref : by_term[r]) {
+                        auto &succs = ref.cfg->blocks_[ref.idx].succs;
+                        if (std::find(succs.begin(), succs.end(),
+                                      return_site) == succs.end())
+                            succs.push_back(return_site);
+                    }
+                    auto &preds = rb->retPreds;
+                    if (std::find(preds.begin(), preds.end(), r) ==
+                        preds.end())
+                        preds.push_back(r);
+                }
+            }
+        }
+    }
+}
+
+} // namespace rev::prog

@@ -1,0 +1,295 @@
+#include "program/interp.hpp"
+
+#include <bit>
+
+#include "common/logging.hpp"
+#include "isa/codec.hpp"
+
+namespace rev::prog
+{
+
+using isa::Instr;
+using isa::Opcode;
+
+// ---------------------------------------------------------------------------
+// StoreBuffer
+// ---------------------------------------------------------------------------
+
+void
+StoreBuffer::push(SeqNum seq, Addr addr, u64 value, unsigned size)
+{
+    REV_ASSERT(queue_.empty() || queue_.back().seq <= seq,
+               "StoreBuffer: out-of-order push");
+    queue_.push_back({seq, addr, value, size});
+    for (unsigned i = 0; i < size; ++i) {
+        auto &bv = bytes_[addr + i];
+        bv.value = static_cast<u8>(value >> (8 * i));
+        ++bv.refs;
+    }
+}
+
+u8
+StoreBuffer::readByte(const SparseMemory &mem, Addr addr) const
+{
+    auto it = bytes_.find(addr);
+    return it != bytes_.end() ? it->second.value : mem.read8(addr);
+}
+
+bool
+StoreBuffer::covers(Addr addr, unsigned size) const
+{
+    for (unsigned i = 0; i < size; ++i)
+        if (bytes_.count(addr + i))
+            return true;
+    return false;
+}
+
+u64
+StoreBuffer::read64(const SparseMemory &mem, Addr addr) const
+{
+    u64 v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | readByte(mem, addr + i);
+    return v;
+}
+
+void
+StoreBuffer::removeBytes(const Pending &p)
+{
+    for (unsigned i = 0; i < p.size; ++i) {
+        auto it = bytes_.find(p.addr + i);
+        REV_ASSERT(it != bytes_.end(), "StoreBuffer: missing byte view");
+        if (--it->second.refs == 0)
+            bytes_.erase(it);
+    }
+}
+
+void
+StoreBuffer::drain(SparseMemory &mem, SeqNum upTo)
+{
+    while (!queue_.empty() && queue_.front().seq <= upTo) {
+        const Pending p = queue_.front();
+        queue_.pop_front();
+        for (unsigned i = 0; i < p.size; ++i)
+            mem.write8(p.addr + i, static_cast<u8>(p.value >> (8 * i)));
+        removeBytes(p);
+    }
+}
+
+void
+StoreBuffer::squash(SeqNum from)
+{
+    while (!queue_.empty() && queue_.back().seq >= from) {
+        const Pending p = queue_.back();
+        queue_.pop_back();
+        removeBytes(p);
+        // Re-derive the forwarded value for bytes still covered by an older
+        // pending store to the same location.
+        for (const auto &older : queue_) {
+            for (unsigned i = 0; i < older.size; ++i) {
+                const Addr b = older.addr + i;
+                if (b >= p.addr && b < p.addr + p.size) {
+                    auto it = bytes_.find(b);
+                    if (it != bytes_.end())
+                        it->second.value =
+                            static_cast<u8>(older.value >> (8 * i));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Machine
+// ---------------------------------------------------------------------------
+
+Machine::Machine(const Program &program, SparseMemory &mem)
+    : pc_(program.entry()), mem_(mem)
+{
+    regs_.fill(0);
+    regs_[isa::kRegSp] = Program::initialSp();
+}
+
+u64
+Machine::readMem64(const StoreBuffer *sb, Addr addr) const
+{
+    return sb ? sb->read64(mem_, addr) : mem_.read64(addr);
+}
+
+ExecRecord
+Machine::step(StoreBuffer *sb, SeqNum seq)
+{
+    ExecRecord rec;
+    rec.pc = pc_;
+
+    if (halted_) {
+        rec.halted = true;
+        return rec;
+    }
+
+    u8 raw[8];
+    mem_.readBytes(pc_, raw, sizeof(raw));
+    auto decoded = isa::decode(raw, sizeof(raw));
+    if (!decoded) {
+        rec.invalid = true;
+        rec.halted = true;
+        halted_ = true;
+        return rec;
+    }
+    const Instr &ins = *decoded;
+    rec.ins = ins;
+    rec.nextPc = ins.fallThrough(pc_);
+
+    auto wr = [&](u64 v) { setReg(ins.rd, v); };
+    const u64 a = regs_[ins.rs1];
+    const u64 b = regs_[ins.rs2];
+    const i64 simm = static_cast<i64>(ins.imm);
+    const u64 zimm = static_cast<u32>(ins.imm);
+    auto fp = [](u64 v) { return std::bit_cast<double>(v); };
+    auto fpu = [](double d) { return std::bit_cast<u64>(d); };
+
+    auto doStore = [&](Addr addr, u64 value, unsigned size = 8) {
+        rec.isStore = true;
+        rec.memAddr = addr;
+        rec.memSize = size;
+        rec.storeValue = value;
+        if (sb) {
+            sb->push(seq, addr, value, size);
+        } else {
+            for (unsigned i = 0; i < size; ++i)
+                mem_.write8(addr + i, static_cast<u8>(value >> (8 * i)));
+        }
+    };
+    auto doLoad = [&](Addr addr, unsigned size = 8) {
+        rec.isLoad = true;
+        rec.memAddr = addr;
+        rec.memSize = size;
+        u64 v = 0;
+        for (unsigned i = size; i-- > 0;) {
+            v = (v << 8) | (sb ? sb->readByte(mem_, addr + i)
+                               : mem_.read8(addr + i));
+        }
+        rec.loadValue = v;
+        return v;
+    };
+
+    switch (ins.op) {
+      case Opcode::Nop:
+        break;
+      case Opcode::Halt:
+        halted_ = true;
+        rec.halted = true;
+        rec.nextPc = pc_;
+        break;
+      case Opcode::Ret: {
+        const Addr sp = regs_[isa::kRegSp];
+        rec.nextPc = doLoad(sp);
+        regs_[isa::kRegSp] = sp + 8;
+        break;
+      }
+      case Opcode::CallR:
+      case Opcode::Call: {
+        const Addr target = ins.op == Opcode::Call
+                                ? ins.directTarget(pc_)
+                                : regs_[ins.rs1];
+        const Addr sp = regs_[isa::kRegSp] - 8;
+        regs_[isa::kRegSp] = sp;
+        doStore(sp, ins.fallThrough(pc_));
+        rec.nextPc = target;
+        break;
+      }
+      case Opcode::JmpR:
+        rec.nextPc = regs_[ins.rs1];
+        break;
+      case Opcode::Jmp:
+        rec.nextPc = ins.directTarget(pc_);
+        break;
+      case Opcode::Syscall:
+        rec.isSyscall = true;
+        rec.syscallNo = static_cast<u8>(ins.imm);
+        break;
+
+      case Opcode::Add: wr(a + b); break;
+      case Opcode::Sub: wr(a - b); break;
+      case Opcode::Mul: wr(a * b); break;
+      case Opcode::Divu: wr(b == 0 ? 0 : a / b); break;
+      case Opcode::And: wr(a & b); break;
+      case Opcode::Or: wr(a | b); break;
+      case Opcode::Xor: wr(a ^ b); break;
+      case Opcode::Shl: wr(a << (b & 63)); break;
+      case Opcode::Shr: wr(a >> (b & 63)); break;
+      case Opcode::Slt:
+        wr(static_cast<i64>(a) < static_cast<i64>(b) ? 1 : 0);
+        break;
+      case Opcode::Sltu: wr(a < b ? 1 : 0); break;
+      case Opcode::Fadd: wr(fpu(fp(a) + fp(b))); break;
+      case Opcode::Fsub: wr(fpu(fp(a) - fp(b))); break;
+      case Opcode::Fmul: wr(fpu(fp(a) * fp(b))); break;
+      case Opcode::Fdiv: wr(fpu(fp(a) / fp(b))); break;
+
+      case Opcode::Movi: wr(static_cast<u64>(simm)); break;
+      case Opcode::Lui: wr(zimm << 32); break;
+
+      case Opcode::Addi: wr(a + static_cast<u64>(simm)); break;
+      case Opcode::Andi: wr(a & zimm); break;
+      case Opcode::Ori: wr(a | zimm); break;
+      case Opcode::Xori: wr(a ^ zimm); break;
+      case Opcode::Shli: wr(a << (ins.imm & 63)); break;
+      case Opcode::Shri: wr(a >> (ins.imm & 63)); break;
+      case Opcode::Slti:
+        wr(static_cast<i64>(a) < simm ? 1 : 0);
+        break;
+      case Opcode::Muli: wr(a * static_cast<u64>(simm)); break;
+
+      case Opcode::Ld:
+        wr(doLoad(a + static_cast<u64>(simm)));
+        break;
+      case Opcode::St:
+        doStore(a + static_cast<u64>(simm), regs_[ins.rd]);
+        break;
+      case Opcode::Lb:
+        wr(doLoad(a + static_cast<u64>(simm), 1));
+        break;
+      case Opcode::Sb:
+        doStore(a + static_cast<u64>(simm), regs_[ins.rd] & 0xff, 1);
+        break;
+      case Opcode::Lw:
+        wr(doLoad(a + static_cast<u64>(simm), 4));
+        break;
+      case Opcode::Sw:
+        doStore(a + static_cast<u64>(simm), regs_[ins.rd] & 0xffffffff, 4);
+        break;
+
+      case Opcode::Beq: rec.taken = a == b; goto branch;
+      case Opcode::Bne: rec.taken = a != b; goto branch;
+      case Opcode::Blt:
+        rec.taken = static_cast<i64>(a) < static_cast<i64>(b);
+        goto branch;
+      case Opcode::Bge:
+        rec.taken = static_cast<i64>(a) >= static_cast<i64>(b);
+        goto branch;
+      case Opcode::Bltu:
+        rec.taken = a < b;
+        goto branch;
+      branch:
+        if (rec.taken)
+            rec.nextPc = ins.directTarget(pc_);
+        break;
+    }
+
+    pc_ = rec.nextPc;
+    return rec;
+}
+
+u64
+runToHalt(Machine &machine, u64 max_instrs)
+{
+    u64 count = 0;
+    while (!machine.halted() && count < max_instrs) {
+        machine.step();
+        ++count;
+    }
+    return count;
+}
+
+} // namespace rev::prog

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Functional RVX machine: architectural registers, PC, and instruction
+ * semantics over a SparseMemory image.
+ *
+ * Used three ways:
+ *  - as the reference interpreter in tests,
+ *  - by the profiler to discover computed-branch targets (Sec. IV.D),
+ *  - embedded in the cycle-level core as the in-order oracle that supplies
+ *    values and actual branch outcomes to the timing model.
+ *
+ * Stores may be redirected into a StoreBuffer instead of memory; this is
+ * how the pipeline defers memory updates until REV validates the basic
+ * block (Requirement R5). Loads transparently forward from the buffer.
+ */
+
+#ifndef REV_PROGRAM_INTERP_HPP
+#define REV_PROGRAM_INTERP_HPP
+
+#include <array>
+#include <deque>
+#include <unordered_map>
+
+#include "common/sparse_memory.hpp"
+#include "isa/instr.hpp"
+#include "program/program.hpp"
+
+namespace rev::prog
+{
+
+/**
+ * Pending (not yet validated) stores, in program order. Loads forward from
+ * the newest pending value per byte; drain() releases the oldest stores to
+ * memory once their basic block has been authenticated.
+ */
+class StoreBuffer
+{
+  public:
+    /** Queue a store of the low @p size bytes of @p value at @p addr. */
+    void push(SeqNum seq, Addr addr, u64 value, unsigned size = 8);
+
+    /** Read one byte as the machine would see it (buffer else memory). */
+    u8 readByte(const SparseMemory &mem, Addr addr) const;
+
+    /** True if any byte of the @p size-byte word at @p addr has a pending
+     *  store (the load would forward from the store queue). */
+    bool covers(Addr addr, unsigned size = 8) const;
+
+    /** Read a 64-bit value with forwarding. */
+    u64 read64(const SparseMemory &mem, Addr addr) const;
+
+    /** Release all stores with seq <= @p upTo into @p mem, oldest first. */
+    void drain(SparseMemory &mem, SeqNum upTo);
+
+    /** Discard all stores with seq >= @p from (squash on violation). */
+    void squash(SeqNum from);
+
+    std::size_t size() const { return queue_.size(); }
+    bool empty() const { return queue_.empty(); }
+
+    /** Sequence number of the oldest pending store (0 if none). */
+    SeqNum oldestSeq() const { return queue_.empty() ? 0 : queue_.front().seq; }
+
+  private:
+    struct Pending
+    {
+        SeqNum seq;
+        Addr addr;
+        u64 value;
+        unsigned size;
+    };
+
+    struct ByteView
+    {
+        u8 value;
+        u32 refs; ///< pending stores covering this byte
+    };
+
+    void removeBytes(const Pending &p);
+
+    std::deque<Pending> queue_;
+    std::unordered_map<Addr, ByteView> bytes_;
+};
+
+/**
+ * Result of executing one instruction.
+ */
+struct ExecRecord
+{
+    Addr pc = 0;
+    isa::Instr ins;
+    Addr nextPc = 0;
+    bool taken = false;   ///< conditional branch outcome
+    bool isLoad = false;  ///< load or RET pop
+    bool isStore = false; ///< store or CALL push
+    Addr memAddr = 0;
+    unsigned memSize = 8; ///< access width in bytes
+    u64 storeValue = 0;
+    u64 loadValue = 0;
+    bool halted = false;
+    bool invalid = false; ///< undecodable bytes at pc
+    u8 syscallNo = 0;
+    bool isSyscall = false;
+};
+
+/**
+ * The architectural machine.
+ */
+class Machine
+{
+  public:
+    /** Construct with PC at the program entry and SP at the stack top. */
+    Machine(const Program &program, SparseMemory &mem);
+
+    /**
+     * Execute the instruction at the current PC. If @p sb is non-null,
+     * stores go to the buffer (tagged @p seq) instead of memory, and loads
+     * forward from it.
+     */
+    ExecRecord step(StoreBuffer *sb = nullptr, SeqNum seq = 0);
+
+    u64 reg(unsigned idx) const { return regs_[idx]; }
+    void setReg(unsigned idx, u64 v) { if (idx != 0) regs_[idx] = v; }
+
+    Addr pc() const { return pc_; }
+    void setPc(Addr pc) { pc_ = pc; halted_ = false; }
+
+    bool halted() const { return halted_; }
+
+    SparseMemory &memory() { return mem_; }
+    const SparseMemory &memory() const { return mem_; }
+
+  private:
+    u64 readMem64(const StoreBuffer *sb, Addr addr) const;
+
+    std::array<u64, isa::kNumArchRegs> regs_{};
+    Addr pc_;
+    bool halted_ = false;
+    SparseMemory &mem_;
+};
+
+/**
+ * Run @p machine to completion (or @p max_instrs) and return the number of
+ * instructions executed. Convenience for tests and the profiler.
+ */
+u64 runToHalt(Machine &machine, u64 max_instrs = 100'000'000);
+
+} // namespace rev::prog
+
+#endif // REV_PROGRAM_INTERP_HPP

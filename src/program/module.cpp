@@ -1,0 +1,17 @@
+#include "program/module.hpp"
+
+#include "common/logging.hpp"
+
+namespace rev::prog
+{
+
+Addr
+Module::symbol(const std::string &label) const
+{
+    auto it = symbols.find(label);
+    if (it == symbols.end())
+        fatal("module '", name, "': undefined symbol '", label, "'");
+    return it->second;
+}
+
+} // namespace rev::prog

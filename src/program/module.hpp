@@ -1,0 +1,74 @@
+/**
+ * @file
+ * An executable module: a named byte image at a base address, plus the
+ * metadata needed to build its reference signature table.
+ *
+ * A Program is made of one or more modules (main executable plus statically
+ * or dynamically linked libraries, Sec. IV.B). Each module gets its own
+ * encrypted signature table and its own secret key.
+ */
+
+#ifndef REV_PROGRAM_MODULE_HPP
+#define REV_PROGRAM_MODULE_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rev::prog
+{
+
+/**
+ * A linked, loadable module.
+ */
+struct Module
+{
+    std::string name;
+
+    /** Load address of the first byte of the image. */
+    Addr base = 0;
+
+    /** Raw bytes: code region [0, codeSize) followed by data. */
+    std::vector<u8> image;
+
+    /** Bytes of the code region; data (jump tables etc.) follows. */
+    std::size_t codeSize = 0;
+
+    /** Entry point (absolute address); meaningful for the main module. */
+    Addr entry = 0;
+
+    /** Symbol table: label -> absolute address. */
+    std::map<std::string, Addr> symbols;
+
+    /**
+     * Statically known targets of computed control transfers:
+     * address of the CALLR/JMPR instruction -> possible target addresses.
+     * Populated by the toolchain (assembler annotations) and/or profiling
+     * runs (Sec. IV.D).
+     */
+    std::map<Addr, std::vector<Addr>> indirectTargets;
+
+    Addr codeEnd() const { return base + codeSize; }
+    Addr imageEnd() const { return base + image.size(); }
+
+    bool
+    containsCode(Addr addr) const
+    {
+        return addr >= base && addr < codeEnd();
+    }
+
+    bool
+    containsAddr(Addr addr) const
+    {
+        return addr >= base && addr < imageEnd();
+    }
+
+    /** Look up a symbol; throws FatalError if undefined. */
+    Addr symbol(const std::string &label) const;
+};
+
+} // namespace rev::prog
+
+#endif // REV_PROGRAM_MODULE_HPP

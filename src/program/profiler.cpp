@@ -1,0 +1,48 @@
+#include "program/profiler.hpp"
+
+#include <algorithm>
+
+#include "isa/opcodes.hpp"
+
+namespace rev::prog
+{
+
+Profile
+profileRun(const Program &program, u64 max_instrs)
+{
+    SparseMemory mem;
+    program.loadInto(mem);
+    Machine machine(program, mem);
+
+    Profile prof;
+    while (!machine.halted() && prof.instrCount < max_instrs) {
+        const ExecRecord rec = machine.step();
+        if (rec.invalid)
+            break;
+        ++prof.instrCount;
+        if (rec.ins.isControlFlow()) {
+            ++prof.branchCount;
+            if (rec.ins.isComputed())
+                prof.indirectTargets[rec.pc].insert(rec.nextPc);
+        }
+    }
+    prof.halted = machine.halted();
+    return prof;
+}
+
+void
+applyProfile(Program &program, const Profile &profile)
+{
+    for (auto &mod : program.modules()) {
+        for (const auto &[site, targets] : profile.indirectTargets) {
+            if (!mod.containsCode(site))
+                continue;
+            auto &annot = mod.indirectTargets[site];
+            for (Addr t : targets)
+                if (std::find(annot.begin(), annot.end(), t) == annot.end())
+                    annot.push_back(t);
+        }
+    }
+}
+
+} // namespace rev::prog

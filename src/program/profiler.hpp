@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Profiling-run discovery of computed-branch targets (Sec. IV.D).
+ *
+ * REV needs an a-priori list of legitimate targets for every computed
+ * transfer. The paper uses static analysis plus profiling runs; our
+ * assembler annotations play the static-analysis role and this profiler
+ * plays the profiling-run role: it executes the program functionally and
+ * records every (site -> target) pair observed, which can then be merged
+ * back into the modules' annotations.
+ */
+
+#ifndef REV_PROGRAM_PROFILER_HPP
+#define REV_PROGRAM_PROFILER_HPP
+
+#include <map>
+#include <set>
+
+#include "program/interp.hpp"
+#include "program/program.hpp"
+
+namespace rev::prog
+{
+
+/** Observed dynamic behaviour of one profiling run. */
+struct Profile
+{
+    /** site address -> set of observed targets (CALLR/JMPR/RET sites). */
+    std::map<Addr, std::set<Addr>> indirectTargets;
+
+    u64 instrCount = 0;
+    u64 branchCount = 0; ///< committed control-flow instructions
+    bool halted = false;
+};
+
+/**
+ * Run @p program functionally for at most @p max_instrs and collect a
+ * Profile. The program image is loaded into a private memory.
+ */
+Profile profileRun(const Program &program, u64 max_instrs = 50'000'000);
+
+/**
+ * Merge profiled targets of CALLR/JMPR sites into each module's
+ * indirectTargets annotations (union with any static annotations).
+ */
+void applyProfile(Program &program, const Profile &profile);
+
+} // namespace rev::prog
+
+#endif // REV_PROGRAM_PROFILER_HPP

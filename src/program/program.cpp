@@ -1,0 +1,36 @@
+#include "program/program.hpp"
+
+#include "common/bitutil.hpp"
+#include "common/logging.hpp"
+
+namespace rev::prog
+{
+
+Addr
+Program::nextModuleBase() const
+{
+    Addr next = kDefaultCodeBase;
+    for (const auto &mod : modules_)
+        next = std::max(next, roundUp(mod.imageEnd() + kModuleGap, 0x1000));
+    return next;
+}
+
+const Module *
+Program::findModule(Addr addr) const
+{
+    for (const auto &mod : modules_)
+        if (mod.containsAddr(addr))
+            return &mod;
+    return nullptr;
+}
+
+void
+Program::loadInto(SparseMemory &mem) const
+{
+    if (modules_.empty())
+        fatal("Program::loadInto: no modules");
+    for (const auto &mod : modules_)
+        mem.writeBytes(mod.base, mod.image);
+}
+
+} // namespace rev::prog

@@ -1,0 +1,20 @@
+#include "sig/mode.hpp"
+
+namespace rev::sig
+{
+
+const char *
+modeName(ValidationMode mode)
+{
+    switch (mode) {
+      case ValidationMode::Full:
+        return "full";
+      case ValidationMode::Aggressive:
+        return "aggressive";
+      case ValidationMode::CfiOnly:
+        return "cfi-only";
+    }
+    return "?";
+}
+
+} // namespace rev::sig

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * REV validation modes (Sec. V.B, V.C, V.D).
+ */
+
+#ifndef REV_SIG_MODE_HPP
+#define REV_SIG_MODE_HPP
+
+#include "common/types.hpp"
+
+namespace rev::sig
+{
+
+/**
+ * What the reference signature tables encode and the hardware validates.
+ */
+enum class ValidationMode : u8
+{
+    /**
+     * Default REV (Sec. V.B): 4-byte BB crypto hash per validation unit;
+     * explicit target lists only for computed transfers; delayed return
+     * validation via predecessor (RET-address) lists on return-site
+     * blocks. Static branch targets are validated implicitly by the hash.
+     */
+    Full = 0,
+
+    /**
+     * Aggressive CFA (Sec. V.C): additionally validates the target address
+     * of *every* branch; entries carry up to two targets inline, so tables
+     * are larger (40-65% of binary vs 15-52%).
+     */
+    Aggressive = 1,
+
+    /**
+     * CFI-only (Sec. V.D): control-flow integrity without code hashes.
+     * Entries exist only for computed transfers and returns (roughly 10%
+     * of branch sites), giving tables of only a few percent of the binary.
+     */
+    CfiOnly = 2,
+};
+
+/** Display name. */
+const char *modeName(ValidationMode mode);
+
+} // namespace rev::sig
+
+#endif // REV_SIG_MODE_HPP

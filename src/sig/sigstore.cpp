@@ -1,0 +1,76 @@
+#include "sig/sigstore.hpp"
+
+#include "common/bitutil.hpp"
+
+namespace rev::sig
+{
+
+SigStore::SigStore(const prog::Program &program, ValidationMode mode,
+                   const crypto::KeyVault &vault, u64 seed,
+                   const prog::SplitLimits &limits, unsigned hash_rounds)
+    : mode_(mode), hashRounds_(hash_rounds), vault_(&vault), seed_(seed),
+      limits_(limits)
+{
+    rebuild(program);
+}
+
+void
+SigStore::rebuild(const prog::Program &program)
+{
+    sigs_.clear();
+    images_.clear();
+    Rng rng(seed_ ^ 0x5167a11eULL ^ (generation_ * 0x9e3779b9ULL));
+    ++generation_;
+    Addr next_base = kSigTableRegion;
+
+    // Derive every module's CFG, then resolve cross-module return edges
+    // (the trusted static linker's knowledge, Sec. IV.B).
+    for (const auto &mod : program.modules()) {
+        ModuleSig sig;
+        sig.module = &mod;
+        sig.cfg = prog::buildCfg(mod, limits_);
+        sigs_.push_back(std::move(sig));
+    }
+    std::vector<prog::Cfg *> cfgs;
+    for (auto &sig : sigs_)
+        cfgs.push_back(&sig.cfg);
+    prog::linkCfgs(cfgs);
+
+    for (auto &sig : sigs_) {
+        const crypto::AesKey key = vault_->generateModuleKey(rng);
+        const u64 nonce = rng.next();
+        BuiltTable built = buildTable(*sig.module, sig.cfg, mode_, *vault_,
+                                      key, nonce, hashRounds_);
+        sig.tableBase = next_base;
+        sig.stats = built.stats;
+        next_base = roundUp(next_base + built.bytes.size() + 0x100, 0x40);
+        images_.push_back(std::move(built.bytes));
+    }
+}
+
+void
+SigStore::loadInto(SparseMemory &mem) const
+{
+    for (std::size_t i = 0; i < sigs_.size(); ++i)
+        mem.writeBytes(sigs_[i].tableBase, images_[i]);
+}
+
+const ModuleSig *
+SigStore::findByCode(Addr addr) const
+{
+    for (const auto &sig : sigs_)
+        if (sig.module->containsCode(addr))
+            return &sig;
+    return nullptr;
+}
+
+u64
+SigStore::totalTableBytes() const
+{
+    u64 total = 0;
+    for (const auto &img : images_)
+        total += img.size();
+    return total;
+}
+
+} // namespace rev::sig

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * SigStore: the trusted linker/loader side of REV.
+ *
+ * For every module of a program it derives the reference CFG, builds the
+ * encrypted signature table, assigns the table a home in RAM, and exposes
+ * the (module range, table base) records that initialize the SAG base /
+ * limit / key registers (Sec. IV.B). The per-module symmetric keys are
+ * generated here and survive only in wrapped form inside the table
+ * headers, mirroring Sec. IX.
+ */
+
+#ifndef REV_SIG_SIGSTORE_HPP
+#define REV_SIG_SIGSTORE_HPP
+
+#include <vector>
+
+#include "common/random.hpp"
+#include "program/cfg.hpp"
+#include "program/program.hpp"
+#include "sig/table.hpp"
+
+namespace rev::sig
+{
+
+/** RAM region where signature tables are placed (above heap and stack). */
+inline constexpr Addr kSigTableRegion = 0x20000000;
+
+/** Everything REV needs to know about one module's signatures. */
+struct ModuleSig
+{
+    const prog::Module *module = nullptr;
+    prog::Cfg cfg;
+    Addr tableBase = 0;
+    TableStats stats;
+};
+
+/**
+ * Builds and manages the signature tables of one program.
+ */
+class SigStore
+{
+  public:
+    /**
+     * Derive CFGs and build all tables.
+     *
+     * @param program   The program (annotations must already include any
+     *                  profiled indirect targets).
+     * @param mode      Validation mode shared by all tables.
+     * @param vault     CPU key vault the tables are bound to.
+     * @param seed      Seeds per-module key generation.
+     */
+    SigStore(const prog::Program &program, ValidationMode mode,
+             const crypto::KeyVault &vault, u64 seed = 1,
+             const prog::SplitLimits &limits = {},
+             unsigned hash_rounds = 5);
+
+    /**
+     * Re-derive every CFG and rebuild every table from @p program's
+     * current contents. This is the trusted dynamic linker / OS path of
+     * Sec. IV.E: after new code is generated or a module is dynamically
+     * linked (and its annotations merged), the tables are regenerated
+     * with fresh keys before the code may execute. Call loadInto() and
+     * RevEngine::refreshTables() afterwards.
+     */
+    void rebuild(const prog::Program &program);
+
+    /** Copy every table image into simulated RAM. */
+    void loadInto(SparseMemory &mem) const;
+
+    /** Per-module signature records, in program module order. */
+    const std::vector<ModuleSig> &moduleSigs() const { return sigs_; }
+
+    /** Record for the module whose code contains @p addr, or nullptr. */
+    const ModuleSig *findByCode(Addr addr) const;
+
+    ValidationMode mode() const { return mode_; }
+    unsigned hashRounds() const { return hashRounds_; }
+
+    /** Sum of table sizes in bytes. */
+    u64 totalTableBytes() const;
+
+  private:
+    ValidationMode mode_;
+    unsigned hashRounds_;
+    const crypto::KeyVault *vault_;
+    u64 seed_;
+    prog::SplitLimits limits_;
+    u64 generation_ = 0; ///< bumps each rebuild (fresh keys/nonces)
+    std::vector<ModuleSig> sigs_;
+    std::vector<std::vector<u8>> images_;
+};
+
+} // namespace rev::sig
+
+#endif // REV_SIG_SIGSTORE_HPP

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Synthetic-benchmark generator: WorkloadProfile -> runnable RVX Program.
+ */
+
+#ifndef REV_WORKLOADS_GENERATOR_HPP
+#define REV_WORKLOADS_GENERATOR_HPP
+
+#include "program/program.hpp"
+#include "workloads/profile.hpp"
+
+namespace rev::workloads
+{
+
+/**
+ * Generate the stand-in program for @p profile. Deterministic in
+ * (profile contents, profile.seed). The returned program is fully
+ * annotated (every computed site lists its legitimate targets), so
+ * signature tables can be built without a separate profiling run.
+ */
+prog::Program generateWorkload(const WorkloadProfile &profile);
+
+} // namespace rev::workloads
+
+#endif // REV_WORKLOADS_GENERATOR_HPP

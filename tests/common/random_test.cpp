@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the deterministic PRNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.hpp"
+
+namespace rev
+{
+namespace
+{
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestoresStream)
+{
+    Rng a(7);
+    std::vector<u64> first;
+    for (int i = 0; i < 16; ++i)
+        first.push_back(a.next());
+    a.reseed(7);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(4);
+    std::set<u64> seen;
+    for (int i = 0; i < 10000; ++i) {
+        const u64 v = rng.range(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u); // all values hit
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated)
+{
+    Rng rng(6);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.02);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(8);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.uniform();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+} // namespace
+} // namespace rev

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Unit tests for the sparse memory image.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/sparse_memory.hpp"
+
+namespace rev
+{
+namespace
+{
+
+TEST(SparseMemory, UnwrittenReadsZero)
+{
+    SparseMemory mem;
+    EXPECT_EQ(mem.read8(0x1234), 0);
+    EXPECT_EQ(mem.read64(0xdeadbeef), 0u);
+    EXPECT_EQ(mem.pageCount(), 0u);
+}
+
+TEST(SparseMemory, ByteRoundTrip)
+{
+    SparseMemory mem;
+    mem.write8(0x1000, 0xab);
+    EXPECT_EQ(mem.read8(0x1000), 0xab);
+    EXPECT_EQ(mem.read8(0x1001), 0);
+}
+
+TEST(SparseMemory, Word64RoundTripLittleEndian)
+{
+    SparseMemory mem;
+    mem.write64(0x2000, 0x1122334455667788ULL);
+    EXPECT_EQ(mem.read64(0x2000), 0x1122334455667788ULL);
+    EXPECT_EQ(mem.read8(0x2000), 0x88); // little-endian
+    EXPECT_EQ(mem.read8(0x2007), 0x11);
+}
+
+TEST(SparseMemory, CrossPageAccess)
+{
+    SparseMemory mem;
+    const Addr boundary = SparseMemory::kPageSize - 4;
+    mem.write64(boundary, 0xcafebabe12345678ULL);
+    EXPECT_EQ(mem.read64(boundary), 0xcafebabe12345678ULL);
+    EXPECT_EQ(mem.pageCount(), 2u);
+}
+
+TEST(SparseMemory, BulkBytes)
+{
+    SparseMemory mem;
+    std::vector<u8> data(10000);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<u8>(i * 7);
+    mem.writeBytes(0x8000, data);
+
+    std::vector<u8> back(data.size());
+    mem.readBytes(0x8000, back.data(), back.size());
+    EXPECT_EQ(back, data);
+}
+
+} // namespace
+} // namespace rev

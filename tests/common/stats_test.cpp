@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Unit tests for the statistics framework.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hpp"
+
+namespace rev::stats
+{
+namespace
+{
+
+TEST(Counter, StartsAtZero)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter c;
+    ++c;
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, Reset)
+{
+    Counter c;
+    c += 10;
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(StatGroup, DumpFormat)
+{
+    StatGroup group("l1d");
+    Counter hits, misses;
+    group.add("hits", &hits);
+    group.add("misses", &misses);
+    hits += 3;
+    ++misses;
+
+    std::ostringstream os;
+    group.dump(os);
+    EXPECT_EQ(os.str(), "l1d.hits 3\nl1d.misses 1\n");
+}
+
+TEST(StatGroup, GetByName)
+{
+    StatGroup group("sc");
+    Counter probes;
+    group.add("probes", &probes);
+    probes += 7;
+    EXPECT_EQ(group.get("probes"), 7u);
+    EXPECT_EQ(group.get("absent"), 0u);
+}
+
+} // namespace
+} // namespace rev::stats

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * CHG (crypto hash generator) tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/chg.hpp"
+#include "sig/table.hpp"
+
+namespace rev::core
+{
+namespace
+{
+
+TEST(Chg, DigestMatchesReferenceComputation)
+{
+    SparseMemory mem;
+    const u8 code[] = {0x10, 1, 2, 3, 0x02}; // add; ret
+    mem.writeBytes(0x1000, code, sizeof(code));
+
+    Chg chg(mem);
+    const u32 d = chg.digest(0x1000, 0x1004, 0x1005);
+    EXPECT_EQ(d, sig::bbHashBytes(code, sizeof(code), 0x1000, 0x1004, 5));
+}
+
+TEST(Chg, LatencyModel)
+{
+    SparseMemory mem;
+    Chg chg(mem, {.latency = 16, .hashRounds = 5});
+    EXPECT_EQ(chg.readyAt(100), 116u);
+}
+
+TEST(Chg, MemoizesUnchangedBlocks)
+{
+    SparseMemory mem;
+    mem.write8(0x1000, 0x02);
+    Chg chg(mem);
+    chg.digest(0x1000, 0x1000, 0x1001);
+    chg.digest(0x1000, 0x1000, 0x1001);
+    EXPECT_EQ(chg.blocksHashed(), 1u);
+}
+
+TEST(Chg, InvalidateSeesModifiedCode)
+{
+    SparseMemory mem;
+    mem.write8(0x1000, 0x02);
+    Chg chg(mem);
+    const u32 before = chg.digest(0x1000, 0x1000, 0x1001);
+
+    mem.write8(0x1000, 0x01); // tamper
+    chg.invalidate();
+    const u32 after = chg.digest(0x1000, 0x1000, 0x1001);
+    EXPECT_NE(before, after);
+}
+
+TEST(Chg, FlushCounted)
+{
+    SparseMemory mem;
+    Chg chg(mem);
+    chg.flush();
+    chg.flush();
+    EXPECT_EQ(chg.flushes(), 2u);
+}
+
+} // namespace
+} // namespace rev::core

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Sec. VI area/power estimate tests: the default inputs must land on the
+ * paper's published overheads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/costmodel.hpp"
+
+namespace rev::core
+{
+namespace
+{
+
+TEST(CostModel, MatchesPaperHeadlineNumbers)
+{
+    const CostEstimate est = estimateCost(CostInputs{});
+    // Paper: ~7.2% core power, ~8% core area, <5.5% chip power.
+    EXPECT_NEAR(est.corePowerOverhead, 0.072, 0.008);
+    EXPECT_NEAR(est.coreAreaOverhead, 0.080, 0.010);
+    EXPECT_LT(est.chipPowerOverhead, 0.055);
+    EXPECT_GT(est.chipPowerOverhead, 0.040);
+}
+
+TEST(CostModel, SharedCryptoReducesOverhead)
+{
+    CostInputs shared;
+    shared.shareCryptoWithCore = true;
+    const CostEstimate base = estimateCost(CostInputs{});
+    const CostEstimate opt = estimateCost(shared);
+    EXPECT_LT(opt.corePowerOverhead, base.corePowerOverhead);
+    EXPECT_LT(opt.coreAreaOverhead, base.coreAreaOverhead);
+}
+
+TEST(CostModel, LargerScCostsMore)
+{
+    CostInputs big;
+    big.scBytes = 64 * 1024;
+    EXPECT_GT(estimateCost(big).coreAreaOverhead,
+              estimateCost(CostInputs{}).coreAreaOverhead);
+}
+
+TEST(CostModel, ChipLevelBelowCoreLevel)
+{
+    const CostEstimate est = estimateCost(CostInputs{});
+    EXPECT_LT(est.chipPowerOverhead, est.corePowerOverhead);
+}
+
+} // namespace
+} // namespace rev::core

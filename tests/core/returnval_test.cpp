@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Return-validation scheme tests: the paper's delayed-predecessor scheme
+ * (Sec. V.A) vs a conventional shadow call stack, both as REV engine
+ * options. Both must accept legitimate executions and catch return
+ * hijacks; the shadow stack additionally models spill/refill costs on
+ * deep recursion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "program/assembler.hpp"
+#include "testutil.hpp"
+
+namespace rev::core
+{
+namespace
+{
+
+SimConfig
+cfgWith(ReturnValidation rv)
+{
+    SimConfig cfg;
+    cfg.rev.returnValidation = rv;
+    return cfg;
+}
+
+class ReturnSchemes : public ::testing::TestWithParam<ReturnValidation>
+{
+};
+
+TEST_P(ReturnSchemes, LegitimateCallsAndReturnsPass)
+{
+    auto p = test::makeLoopCallProgram();
+    Simulator sim(p, cfgWith(GetParam()));
+    const SimResult r = sim.run();
+    EXPECT_TRUE(r.run.halted);
+    EXPECT_FALSE(r.run.violation.has_value());
+    EXPECT_EQ(sim.memory().read64(test::kResultAddr), 110u);
+}
+
+TEST_P(ReturnSchemes, IndirectDispatchPasses)
+{
+    auto p = test::makeIndirectDispatchProgram();
+    Simulator sim(p, cfgWith(GetParam()));
+    const SimResult r = sim.run();
+    EXPECT_TRUE(r.run.halted);
+    EXPECT_FALSE(r.run.violation.has_value());
+}
+
+TEST_P(ReturnSchemes, ReturnHijackDetected)
+{
+    using namespace isa;
+    prog::Assembler a(prog::kDefaultCodeBase);
+    a.label("main");
+    a.call("f");
+    a.halt();
+    a.label("f");
+    a.addi(1, 1, 1);
+    const Addr ret_pc = a.ret();
+    a.label("gadget");
+    a.movi(9, 666);
+    a.halt();
+    prog::Program p;
+    p.addModule(a.finalize("t", "main"));
+
+    Simulator sim(p, cfgWith(GetParam()));
+    const Addr gadget = p.main().symbol("gadget");
+    sim.core().setPreStepHook([&](u64, Addr pc) {
+        if (pc == ret_pc) {
+            const Addr sp = sim.core().machine().reg(isa::kRegSp);
+            sim.memory().write64(sp, gadget);
+        }
+    });
+    const SimResult r = sim.run();
+    ASSERT_TRUE(r.run.violation.has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, ReturnSchemes,
+    ::testing::Values(ReturnValidation::DelayedPredecessor,
+                      ReturnValidation::ShadowStack),
+    [](const auto &info) {
+        return info.param == ReturnValidation::DelayedPredecessor
+                   ? std::string("DelayedPredecessor")
+                   : std::string("ShadowStack");
+    });
+
+/** Build a deep recursion: f(n) calls itself n times. */
+prog::Program
+makeDeepRecursion(int depth)
+{
+    using namespace isa;
+    prog::Assembler a(prog::kDefaultCodeBase);
+    a.label("main");
+    a.movi(1, depth);
+    a.call("f");
+    a.halt();
+    a.label("f");
+    a.addi(1, 1, -1);
+    a.beq(1, 0, "base");
+    a.call("f"); // recurse
+    a.label("base");
+    a.ret();
+    prog::Program p;
+    p.addModule(a.finalize("rec", "main"));
+    return p;
+}
+
+TEST(ShadowStack, DeepRecursionSpillsAndRefills)
+{
+    auto p = makeDeepRecursion(300);
+    SimConfig cfg = cfgWith(ReturnValidation::ShadowStack);
+    cfg.rev.shadowStackEntries = 32;
+    Simulator sim(p, cfg);
+    const SimResult r = sim.run();
+    EXPECT_TRUE(r.run.halted);
+    EXPECT_FALSE(r.run.violation.has_value());
+    EXPECT_GT(r.rev.shadowSpills, 0u);
+    EXPECT_GT(r.rev.shadowRefills, 0u);
+}
+
+TEST(ShadowStack, DelayedSchemeHandlesRecursionWithoutSpills)
+{
+    auto p = makeDeepRecursion(300);
+    Simulator sim(p, cfgWith(ReturnValidation::DelayedPredecessor));
+    const SimResult r = sim.run();
+    EXPECT_TRUE(r.run.halted);
+    EXPECT_FALSE(r.run.violation.has_value());
+    EXPECT_EQ(r.rev.shadowSpills, 0u);
+}
+
+TEST(ShadowStack, SpillsCostCycles)
+{
+    auto p = makeDeepRecursion(400);
+    SimConfig tight = cfgWith(ReturnValidation::ShadowStack);
+    tight.rev.shadowStackEntries = 8;
+    SimConfig roomy = cfgWith(ReturnValidation::ShadowStack);
+    roomy.rev.shadowStackEntries = 1024;
+
+    Simulator s1(p, tight), s2(p, roomy);
+    const SimResult r1 = s1.run();
+    const SimResult r2 = s2.run();
+    EXPECT_GT(r1.rev.shadowSpills, r2.rev.shadowSpills);
+    EXPECT_GE(r1.run.cycles, r2.run.cycles);
+}
+
+} // namespace
+} // namespace rev::core

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * SAG (cross-module call support, Sec. IV.B) tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sag.hpp"
+
+namespace rev::core
+{
+namespace
+{
+
+TEST(Sag, MatchWithinLimits)
+{
+    Sag sag(4);
+    sag.install(0x10000, 0x12000, 0x6000000);
+    const SagEntry *e = sag.match(0x11000);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->tableBase, 0x6000000u);
+}
+
+TEST(Sag, BoundariesAreHalfOpen)
+{
+    Sag sag(4);
+    sag.install(0x10000, 0x12000, 1);
+    EXPECT_NE(sag.match(0x10000), nullptr);
+    EXPECT_NE(sag.match(0x11fff), nullptr);
+    EXPECT_EQ(sag.match(0x12000), nullptr);
+    EXPECT_EQ(sag.match(0xffff), nullptr);
+}
+
+TEST(Sag, MultipleModulesSelectCorrectTable)
+{
+    Sag sag(4);
+    sag.install(0x10000, 0x12000, 100);
+    sag.install(0x20000, 0x23000, 200);
+    EXPECT_EQ(sag.match(0x11abc)->tableBase, 100u);
+    EXPECT_EQ(sag.match(0x22abc)->tableBase, 200u);
+}
+
+TEST(Sag, MissCountsException)
+{
+    Sag sag(2);
+    sag.match(0x5000);
+    EXPECT_EQ(sag.misses(), 1u);
+    EXPECT_EQ(sag.lookups(), 1u);
+}
+
+TEST(Sag, RoundRobinReplacementWhenFull)
+{
+    Sag sag(2);
+    sag.install(0x10000, 0x11000, 1);
+    sag.install(0x20000, 0x21000, 2);
+    sag.install(0x30000, 0x31000, 3); // evicts the first
+    EXPECT_EQ(sag.match(0x10500), nullptr);
+    EXPECT_NE(sag.match(0x20500), nullptr);
+    EXPECT_NE(sag.match(0x30500), nullptr);
+}
+
+TEST(Sag, ResetInvalidatesAll)
+{
+    Sag sag(2);
+    sag.install(0x10000, 0x11000, 1);
+    sag.reset();
+    EXPECT_EQ(sag.match(0x10500), nullptr);
+}
+
+} // namespace
+} // namespace rev::core

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Signature cache structure tests (Sec. IV.C).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "core/sc.hpp"
+
+namespace rev::core
+{
+namespace
+{
+
+TEST(SignatureCache, GeometryFromConfig)
+{
+    SignatureCache sc({.sizeBytes = 32 * 1024, .assoc = 4, .entryBytes = 16});
+    EXPECT_EQ(sc.entryCount(), 2048u);
+    EXPECT_EQ(sc.numSets(), 512u);
+
+    SignatureCache sc64({.sizeBytes = 64 * 1024, .assoc = 4, .entryBytes = 16});
+    EXPECT_EQ(sc64.entryCount(), 4096u);
+}
+
+TEST(SignatureCache, MissThenHit)
+{
+    SignatureCache sc;
+    EXPECT_EQ(sc.probe(0x1000, 0x0f00), nullptr);
+    ScEntry &e = sc.insert(0x1000, 0x0f00);
+    e.hash = 42;
+    ScEntry *found = sc.probe(0x1000, 0x0f00);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->hash, 42u);
+}
+
+TEST(SignatureCache, StartDisambiguatesSuffixBlocks)
+{
+    // Two validation units sharing a terminator but with different entry
+    // points coexist.
+    SignatureCache sc;
+    sc.insert(0x1000, 0x0f00).hash = 1;
+    sc.insert(0x1000, 0x0f80).hash = 2;
+    ASSERT_NE(sc.probe(0x1000, 0x0f00), nullptr);
+    ASSERT_NE(sc.probe(0x1000, 0x0f80), nullptr);
+    EXPECT_EQ(sc.probe(0x1000, 0x0f00)->hash, 1u);
+    EXPECT_EQ(sc.probe(0x1000, 0x0f80)->hash, 2u);
+}
+
+TEST(SignatureCache, LruEvictionWithinSet)
+{
+    SignatureCache sc({.sizeBytes = 128, .assoc = 2, .entryBytes = 16});
+    // 4 sets; terminators mapping to set 0 (term>>1 & 3 == 0): 0x0, 0x8...
+    sc.insert(0x00, 1);
+    sc.insert(0x08, 2);
+    sc.probe(0x00, 1);  // refresh
+    sc.insert(0x10, 3); // evicts 0x08
+    EXPECT_NE(sc.probe(0x00, 1), nullptr);
+    EXPECT_EQ(sc.probe(0x08, 2), nullptr);
+    EXPECT_NE(sc.probe(0x10, 3), nullptr);
+    EXPECT_EQ(sc.evictions(), 1u);
+}
+
+TEST(SignatureCache, ReinsertRefreshesInPlace)
+{
+    SignatureCache sc;
+    sc.insert(0x1000, 1).hash = 5;
+    sc.insert(0x1000, 1).hash = 9; // same block, no eviction
+    EXPECT_EQ(sc.evictions(), 0u);
+    EXPECT_EQ(sc.probe(0x1000, 1)->hash, 9u);
+}
+
+TEST(SignatureCache, InvalidateAll)
+{
+    SignatureCache sc;
+    sc.insert(0x1000, 1);
+    sc.invalidateAll();
+    EXPECT_EQ(sc.probe(0x1000, 1), nullptr);
+}
+
+TEST(SignatureCache, RejectsBadGeometry)
+{
+    // 10 entries / 2-way = 5 sets: not a power of two.
+    EXPECT_THROW(SignatureCache({.sizeBytes = 160, .assoc = 2,
+                                 .entryBytes = 16}),
+                 FatalError);
+    // 7 entries not divisible by 3 ways.
+    EXPECT_THROW(SignatureCache({.sizeBytes = 112, .assoc = 3,
+                                 .entryBytes = 16}),
+                 FatalError);
+}
+
+TEST(SignatureCache, HitCountersTrack)
+{
+    SignatureCache sc;
+    sc.probe(0x1, 0x1);
+    sc.insert(0x1, 0x1);
+    sc.probe(0x1, 0x1);
+    EXPECT_EQ(sc.probes(), 2u);
+    EXPECT_EQ(sc.hits(), 1u);
+}
+
+} // namespace
+} // namespace rev::core

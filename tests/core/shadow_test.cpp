@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Page-shadowing tests (Sec. IV.A strict R5): the copy-on-write shadow
+ * address space and the simulator-level transactional rollback.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/shadow.hpp"
+#include "core/simulator.hpp"
+#include "testutil.hpp"
+
+namespace rev::core
+{
+namespace
+{
+
+TEST(ShadowAddressSpace, ReadsSeeBaseUntilWritten)
+{
+    SparseMemory base;
+    base.write64(0x1000, 42);
+    ShadowAddressSpace shadow(base);
+    EXPECT_EQ(shadow.read64(0x1000), 42u);
+    EXPECT_EQ(shadow.shadowedPages(), 0u);
+}
+
+TEST(ShadowAddressSpace, WritesStayInShadow)
+{
+    SparseMemory base;
+    base.write64(0x1000, 42);
+    ShadowAddressSpace shadow(base);
+    shadow.write64(0x1000, 99);
+    EXPECT_EQ(shadow.read64(0x1000), 99u); // program sees its write
+    EXPECT_EQ(base.read64(0x1000), 42u);   // original untouched
+    EXPECT_EQ(shadow.shadowedPages(), 1u);
+}
+
+TEST(ShadowAddressSpace, CopyOnWritePreservesPageNeighbours)
+{
+    SparseMemory base;
+    base.write64(0x1000, 1);
+    base.write64(0x1008, 2);
+    ShadowAddressSpace shadow(base);
+    shadow.write64(0x1000, 7);
+    // The untouched neighbour on the same page still reads its original
+    // value through the shadow copy.
+    EXPECT_EQ(shadow.read64(0x1008), 2u);
+}
+
+TEST(ShadowAddressSpace, CommitMapsShadowsIn)
+{
+    SparseMemory base;
+    base.write64(0x1000, 1);
+    ShadowAddressSpace shadow(base);
+    shadow.write64(0x1000, 2);
+    shadow.write64(0x5000, 3);
+    shadow.commit();
+    EXPECT_EQ(base.read64(0x1000), 2u);
+    EXPECT_EQ(base.read64(0x5000), 3u);
+    EXPECT_EQ(shadow.shadowedPages(), 0u);
+    EXPECT_EQ(shadow.commits(), 1u);
+}
+
+TEST(ShadowAddressSpace, DiscardDropsEverything)
+{
+    SparseMemory base;
+    base.write64(0x1000, 1);
+    ShadowAddressSpace shadow(base);
+    shadow.write64(0x1000, 2);
+    shadow.discard();
+    EXPECT_EQ(base.read64(0x1000), 1u);
+    EXPECT_EQ(shadow.read64(0x1000), 1u); // falls back to base again
+    EXPECT_EQ(shadow.discards(), 1u);
+}
+
+TEST(ShadowAddressSpace, DmaBlockedFromShadowedPages)
+{
+    SparseMemory base;
+    ShadowAddressSpace shadow(base);
+    EXPECT_TRUE(shadow.dmaAllowed(0x1000));
+    shadow.write8(0x1000, 1);
+    EXPECT_FALSE(shadow.dmaAllowed(0x1000)); // Sec. IV.A: no DMA out
+    EXPECT_TRUE(shadow.dmaAllowed(0x2000));  // other pages fine
+    shadow.commit();
+    EXPECT_TRUE(shadow.dmaAllowed(0x1000));  // authenticated: visible
+}
+
+TEST(ShadowAddressSpace, EpochsAreIndependent)
+{
+    SparseMemory base;
+    ShadowAddressSpace shadow(base);
+    shadow.write64(0x1000, 1);
+    shadow.commit();
+    shadow.write64(0x1000, 2);
+    shadow.discard();
+    EXPECT_EQ(base.read64(0x1000), 1u); // first epoch kept, second dropped
+}
+
+TEST(ShadowAddressSpace, FuzzAgainstCloneReference)
+{
+    // Random op mix vs the trivially correct model (clone + direct writes
+    // with an undo snapshot at every epoch boundary).
+    Rng rng(2024);
+    SparseMemory base;
+    for (int i = 0; i < 64; ++i)
+        base.write64(0x1000 + rng.below(8192), rng.next());
+
+    ShadowAddressSpace dut(base);
+    SparseMemory ref = base.clone();     // committed state
+    SparseMemory epoch = ref.clone();    // current epoch's view
+
+    for (int op = 0; op < 30'000; ++op) {
+        const Addr a = 0x1000 + rng.below(9000);
+        switch (rng.below(8)) {
+          case 0: { // write
+            const u64 v = rng.next();
+            dut.write64(a, v);
+            epoch.write64(a, v);
+            break;
+          }
+          case 1: // commit
+            dut.commit();
+            ref = epoch.clone();
+            break;
+          case 2: // discard
+            dut.discard();
+            epoch = ref.clone();
+            break;
+          default: // read
+            ASSERT_EQ(dut.read64(a), epoch.read64(a)) << "op " << op;
+            break;
+        }
+    }
+    dut.commit();
+    for (int i = 0; i < 2000; ++i) {
+        const Addr a = 0x1000 + rng.below(9000);
+        ASSERT_EQ(base.read64(a), epoch.read64(a));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulator-level transactional rollback.
+// ---------------------------------------------------------------------------
+
+TEST(PageShadowing, CleanRunKeepsResults)
+{
+    auto p = test::makeLoopCallProgram();
+    SimConfig cfg;
+    cfg.pageShadowing = true;
+    Simulator sim(p, cfg);
+    const SimResult r = sim.run();
+    EXPECT_FALSE(r.memoryRolledBack);
+    EXPECT_EQ(sim.memory().read64(test::kResultAddr), 110u);
+}
+
+TEST(PageShadowing, ViolationRollsBackAllMemory)
+{
+    // The victim writes a benign marker in an early (valid) block, then a
+    // later block is compromised. Block-granular containment keeps the
+    // early marker; whole-run shadowing rolls even it back.
+    using namespace isa;
+    auto build = [] {
+        prog::Assembler a(prog::kDefaultCodeBase);
+        a.label("main");
+        a.movi(5, static_cast<i32>(prog::kHeapBase));
+        a.movi(2, 7);
+        a.st(2, 5, 0); // benign marker, validated and committed
+        a.jmp("next");
+        a.label("next");
+        a.call("victim");
+        a.halt();
+        a.label("victim");
+        a.addi(1, 1, 1);
+        a.ret();
+        prog::Program p;
+        p.addModule(a.finalize("t", "main"));
+        return p;
+    };
+
+    // Baseline: block-granular containment (default REV).
+    {
+        auto p = build();
+        SimConfig cfg;
+        Simulator sim(p, cfg);
+        const Addr victim = p.main().symbol("victim");
+        sim.core().setPreStepHook([&](u64 idx, Addr) {
+            if (idx == 5) {
+                sim.memory().write8(victim, 0x11);
+                sim.engine()->invalidateCodeCache();
+            }
+        });
+        const SimResult r = sim.run();
+        ASSERT_TRUE(r.run.violation.has_value());
+        EXPECT_EQ(sim.memory().read64(prog::kHeapBase), 7u); // marker kept
+    }
+
+    // Strict R5: the whole execution is a transaction.
+    {
+        auto p = build();
+        SimConfig cfg;
+        cfg.pageShadowing = true;
+        Simulator sim(p, cfg);
+        const Addr victim = p.main().symbol("victim");
+        sim.core().setPreStepHook([&](u64 idx, Addr) {
+            if (idx == 5) {
+                sim.memory().write8(victim, 0x11);
+                sim.engine()->invalidateCodeCache();
+            }
+        });
+        const SimResult r = sim.run();
+        ASSERT_TRUE(r.run.violation.has_value());
+        EXPECT_TRUE(r.memoryRolledBack);
+        EXPECT_EQ(sim.memory().read64(prog::kHeapBase), 0u); // rolled back
+    }
+}
+
+} // namespace
+} // namespace rev::core

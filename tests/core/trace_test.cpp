@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Validation-trace facility tests: every committed block appears exactly
+ * once, in commit order, with consistent hit/miss attribution; failures
+ * carry the reason.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "testutil.hpp"
+
+namespace rev::core
+{
+namespace
+{
+
+TEST(Trace, OneEventPerValidatedBlockInOrder)
+{
+    auto p = test::makeLoopCallProgram();
+    Simulator sim(p, SimConfig{});
+
+    std::vector<RevEngine::ValidationEvent> events;
+    sim.engine()->setTraceCallback(
+        [&](const RevEngine::ValidationEvent &ev) {
+            events.push_back(ev);
+        });
+
+    const SimResult r = sim.run();
+    ASSERT_FALSE(r.run.violation.has_value());
+    EXPECT_EQ(events.size(), r.rev.bbValidated);
+
+    BBSeq prev = 0;
+    Cycle prev_cycle = 0;
+    u64 hits = 0, partials = 0;
+    for (const auto &ev : events) {
+        EXPECT_TRUE(ev.passed);
+        EXPECT_GT(ev.bbSeq, prev);
+        EXPECT_GE(ev.commitCycle, prev_cycle);
+        EXPECT_LE(ev.start, ev.term);
+        prev = ev.bbSeq;
+        prev_cycle = ev.commitCycle;
+        hits += ev.scHit;
+        partials += ev.partialMiss;
+    }
+    // Attribution must reconcile with the engine counters.
+    EXPECT_EQ(partials, r.rev.scPartialMisses);
+    EXPECT_EQ(events.size() - hits, r.rev.scMisses());
+}
+
+TEST(Trace, FailureEventCarriesReason)
+{
+    auto p = test::makeLoopCallProgram();
+    Simulator sim(p, SimConfig{});
+    std::vector<RevEngine::ValidationEvent> events;
+    sim.engine()->setTraceCallback(
+        [&](const RevEngine::ValidationEvent &ev) {
+            events.push_back(ev);
+        });
+
+    const Addr victim = p.main().symbol("helper");
+    sim.memory().write8(victim, 0x11);
+    sim.engine()->invalidateCodeCache();
+
+    const SimResult r = sim.run();
+    ASSERT_TRUE(r.run.violation.has_value());
+    ASSERT_FALSE(events.empty());
+    const auto &last = events.back();
+    EXPECT_FALSE(last.passed);
+    EXPECT_NE(last.reason.find("hash mismatch"), std::string::npos);
+    // All earlier events passed.
+    for (std::size_t i = 0; i + 1 < events.size(); ++i)
+        EXPECT_TRUE(events[i].passed);
+}
+
+TEST(Trace, StallAttributionSumsToCounter)
+{
+    auto p = test::makeIndirectDispatchProgram();
+    Simulator sim(p, SimConfig{});
+    Cycle total = 0;
+    sim.engine()->setTraceCallback(
+        [&](const RevEngine::ValidationEvent &ev) {
+            total += ev.stallCycles;
+        });
+    const SimResult r = sim.run();
+    EXPECT_EQ(total, r.rev.commitStallCycles);
+}
+
+TEST(Offenders, FailedValidationRevealsSignature)
+{
+    auto p = test::makeLoopCallProgram();
+    Simulator sim(p, SimConfig{});
+    const Addr victim = p.main().symbol("helper");
+    sim.memory().write8(victim, 0x11);
+    sim.engine()->invalidateCodeCache();
+
+    const SimResult r = sim.run();
+    ASSERT_TRUE(r.run.violation.has_value());
+    const auto &offenders = sim.engine()->offenders();
+    ASSERT_EQ(offenders.size(), 1u);
+    EXPECT_EQ(offenders[0].start, victim);
+    // The recorded hash is the digest of the *tampered* bytes -- a
+    // signature that can recognise the same injected code elsewhere.
+    std::vector<u8> bytes(offenders[0].term + 1 - offenders[0].start);
+    sim.memory().readBytes(offenders[0].start, bytes.data(), bytes.size());
+    EXPECT_EQ(offenders[0].hash,
+              sig::bbHashBytes(bytes.data(), bytes.size(),
+                               offenders[0].start, offenders[0].term, 5));
+    EXPECT_FALSE(offenders[0].reason.empty());
+}
+
+TEST(Offenders, CleanRunRecordsNothing)
+{
+    auto p = test::makeLoopCallProgram();
+    Simulator sim(p, SimConfig{});
+    sim.run();
+    EXPECT_TRUE(sim.engine()->offenders().empty());
+}
+
+} // namespace
+} // namespace rev::core

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Base (no-REV) out-of-order core tests: functional equivalence with the
+ * reference interpreter, timing sanity, and Table 2 configuration checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.hpp"
+#include "program/profiler.hpp"
+#include "testutil.hpp"
+
+namespace rev::cpu
+{
+namespace
+{
+
+RunResult
+runBase(const prog::Program &p, SparseMemory &mem, CoreConfig cfg = {})
+{
+    mem::MemorySystem ms;
+    p.loadInto(mem);
+    Core core(p, mem, ms, cfg);
+    return core.run();
+}
+
+TEST(CoreConfigDefaults, MatchTable2)
+{
+    const CoreConfig cfg;
+    EXPECT_EQ(cfg.fetchQueueSize, 32u);
+    EXPECT_EQ(cfg.lsqSize, 92u);
+    EXPECT_EQ(cfg.dispatchWidth, 4u);
+    EXPECT_EQ(cfg.robSize, 128u);
+    EXPECT_EQ(cfg.numPhysRegs, 256u);
+    EXPECT_EQ(cfg.numIntAlu, 2u);
+    EXPECT_EQ(cfg.numFpu, 2u);
+    EXPECT_EQ(cfg.numLoadPorts, 2u);
+    EXPECT_EQ(cfg.numStorePorts, 2u);
+    EXPECT_EQ(cfg.predictor.gshareEntries, 32u * 1024);
+
+    const mem::MemConfig mc;
+    EXPECT_EQ(mc.l1dBytes, 64u * 1024);
+    EXPECT_EQ(mc.l1dAssoc, 4u);
+    EXPECT_EQ(mc.l1dLatency, 2u);
+    EXPECT_EQ(mc.l1iBytes, 64u * 1024);
+    EXPECT_EQ(mc.l2Bytes, 512u * 1024);
+    EXPECT_EQ(mc.l2Assoc, 8u);
+    EXPECT_EQ(mc.l2Latency, 5u);
+    EXPECT_EQ(mc.dram.firstChunkLatency, 100u);
+    EXPECT_EQ(mc.dram.banks, 8u);
+    EXPECT_EQ(mc.tlb.itlbEntries, 32u);
+    EXPECT_EQ(mc.tlb.dtlbEntries, 128u);
+    EXPECT_EQ(mc.tlb.l2Entries, 512u);
+}
+
+TEST(Core, MatchesInterpreterResult)
+{
+    auto p = test::makeLoopCallProgram();
+    SparseMemory mem;
+    const RunResult res = runBase(p, mem);
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(mem.read64(test::kResultAddr), 110u);
+}
+
+TEST(Core, IndirectDispatchMatchesInterpreter)
+{
+    auto p = test::makeIndirectDispatchProgram();
+    SparseMemory mem;
+    mem::MemorySystem ms;
+    p.loadInto(mem);
+    Core core(p, mem, ms);
+    const RunResult res = core.run();
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(core.machine().reg(1), 32u);
+}
+
+TEST(Core, InstructionAndBranchCountsMatchProfile)
+{
+    auto p = test::makeLoopCallProgram();
+    const prog::Profile prof = prog::profileRun(p);
+
+    SparseMemory mem;
+    const RunResult res = runBase(p, mem);
+    EXPECT_EQ(res.instrs, prof.instrCount);
+    EXPECT_EQ(res.committedBranches, prof.branchCount);
+}
+
+TEST(Core, DeterministicAcrossRuns)
+{
+    auto p = test::makeIndirectDispatchProgram();
+    SparseMemory m1, m2;
+    const RunResult a = runBase(p, m1);
+    const RunResult b = runBase(p, m2);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instrs, b.instrs);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+}
+
+TEST(Core, IpcIsPlausible)
+{
+    auto p = test::makeLoopCallProgram();
+    SparseMemory mem;
+    const RunResult res = runBase(p, mem);
+    EXPECT_GT(res.ipc(), 0.1);
+    EXPECT_LE(res.ipc(), 4.0); // commit width bound
+}
+
+TEST(Core, CommitWidthBoundsIpc)
+{
+    // A long chain of independent adds: IPC limited by the 2 ALUs.
+    prog::Assembler a(prog::kDefaultCodeBase);
+    a.label("main");
+    a.movi(1, 1000);
+    a.label("loop");
+    for (int i = 0; i < 16; ++i)
+        a.addi(static_cast<u8>(2 + (i % 8)), 1, i);
+    a.addi(1, 1, -1);
+    a.bne(1, 0, "loop");
+    a.halt();
+    prog::Program p;
+    p.addModule(a.finalize("alu", "main"));
+
+    SparseMemory mem;
+    const RunResult res = runBase(p, mem);
+    EXPECT_TRUE(res.halted);
+    EXPECT_LE(res.ipc(), 2.1); // 2 integer ALUs
+    EXPECT_GT(res.ipc(), 1.2); // but clearly superscalar
+}
+
+TEST(Core, DependentChainLimitsIpc)
+{
+    // Serial dependency: every add depends on the previous one.
+    prog::Assembler a(prog::kDefaultCodeBase);
+    a.label("main");
+    a.movi(1, 2000);
+    a.label("loop");
+    for (int i = 0; i < 16; ++i)
+        a.addi(2, 2, 1);
+    a.addi(1, 1, -1);
+    a.bne(1, 0, "loop");
+    a.halt();
+    prog::Program p;
+    p.addModule(a.finalize("chain", "main"));
+
+    SparseMemory mem;
+    const RunResult res = runBase(p, mem);
+    // The dependent chain allows roughly 1 add/cycle plus loop overhead.
+    EXPECT_LT(res.ipc(), 1.4);
+}
+
+TEST(Core, CacheMissesSlowExecution)
+{
+    // Random-ish strided loads over a 16MB footprint vs a tiny footprint.
+    auto make = [](i32 stride) {
+        prog::Assembler a(prog::kDefaultCodeBase);
+        a.label("main");
+        a.movi(1, 4000);              // iterations
+        a.movi(2, prog::kHeapBase);   // base
+        a.movi(3, 0);                 // offset
+        a.label("loop");
+        a.add(4, 2, 3);
+        a.ld(5, 4, 0);
+        a.addi(3, 3, stride);
+        a.andi(3, 3, 0xffffff);       // wrap at 16MB
+        a.addi(1, 1, -1);
+        a.bne(1, 0, "loop");
+        a.halt();
+        prog::Program p;
+        p.addModule(a.finalize("mem", "main"));
+        return p;
+    };
+
+    SparseMemory m1, m2;
+    const RunResult small = runBase(make(8), m1);   // fits in L1
+    const RunResult big = runBase(make(4099), m2);  // thrashes caches+TLB
+    EXPECT_GT(small.ipc(), big.ipc() * 1.5);
+}
+
+TEST(Core, MispredictsHurtIpc)
+{
+    // Data-dependent unpredictable branches from an LCG.
+    prog::Assembler a(prog::kDefaultCodeBase);
+    a.label("main");
+    a.movi(1, 3000);
+    a.movi(2, 12345);
+    a.label("loop");
+    a.muli(2, 2, 1103515245);
+    a.addi(2, 2, 12345);
+    a.shri(3, 2, 16);
+    a.andi(3, 3, 1);
+    a.bne(3, 0, "odd");
+    a.addi(4, 4, 1);
+    a.jmp("join");
+    a.label("odd");
+    a.addi(5, 5, 1);
+    a.label("join");
+    a.addi(1, 1, -1);
+    a.bne(1, 0, "loop");
+    a.halt();
+    prog::Program p;
+    p.addModule(a.finalize("br", "main"));
+
+    SparseMemory mem;
+    const RunResult res = runBase(p, mem);
+    EXPECT_TRUE(res.halted);
+    // ~3000 coin-flip branches: expect a substantial mispredict count.
+    EXPECT_GT(res.mispredicts, 500u);
+}
+
+TEST(Core, UniqueVsCommittedBranches)
+{
+    auto p = test::makeLoopCallProgram();
+    SparseMemory mem;
+    const RunResult res = runBase(p, mem);
+    EXPECT_GT(res.committedBranches, res.uniqueBranches);
+    EXPECT_GT(res.uniqueBranches, 2u);
+}
+
+TEST(Core, MaxInstrsBudgetStopsEarly)
+{
+    auto p = test::makeLoopCallProgram();
+    CoreConfig cfg;
+    cfg.maxInstrs = 10;
+    SparseMemory mem;
+    const RunResult res = runBase(p, mem, cfg);
+    // The budget stops at the first block boundary at/after the limit.
+    EXPECT_GE(res.instrs, 10u);
+    EXPECT_LT(res.instrs, 10u + cfg.splitLimits.maxInstrs + 1);
+    EXPECT_FALSE(res.halted);
+}
+
+TEST(Core, PreStepHookObservesExecution)
+{
+    auto p = test::makeLoopCallProgram();
+    SparseMemory mem;
+    mem::MemorySystem ms;
+    p.loadInto(mem);
+    Core core(p, mem, ms);
+    u64 calls = 0;
+    core.setPreStepHook([&](u64 idx, Addr pc) {
+        EXPECT_EQ(idx, calls);
+        EXPECT_NE(pc, 0u);
+        ++calls;
+    });
+    const RunResult res = core.run();
+    EXPECT_EQ(calls, res.instrs);
+}
+
+TEST(Core, InvalidBytesReportedAsViolation)
+{
+    auto p = test::makeLoopCallProgram();
+    SparseMemory mem;
+    mem::MemorySystem ms;
+    p.loadInto(mem);
+    mem.write8(p.entry(), 0xff);
+    Core core(p, mem, ms);
+    const RunResult res = core.run();
+    ASSERT_TRUE(res.violation.has_value());
+    EXPECT_FALSE(res.halted);
+}
+
+TEST(Core, NextLinePrefetcherWarmsL1I)
+{
+    // A long straight-line code run: with next-line prefetch the L1I
+    // demand misses drop (the prefetcher runs ahead of fetch).
+    prog::Assembler a(prog::kDefaultCodeBase);
+    a.label("main");
+    for (int i = 0; i < 4000; ++i)
+        a.addi(1, 1, 1);
+    a.halt();
+    prog::Program p;
+    p.addModule(a.finalize("straight", "main"));
+
+    CoreConfig with;
+    CoreConfig without;
+    without.nextLinePrefetch = false;
+
+    SparseMemory m1, m2;
+    mem::MemorySystem ms1, ms2;
+    p.loadInto(m1);
+    p.loadInto(m2);
+    Core c1(p, m1, ms1, with), c2(p, m2, ms2, without);
+    const RunResult r1 = c1.run();
+    const RunResult r2 = c2.run();
+    EXPECT_EQ(r1.instrs, r2.instrs);
+    EXPECT_GT(ms1.accesses(mem::AccessType::Prefetch), 100u);
+    EXPECT_EQ(ms2.accesses(mem::AccessType::Prefetch), 0u);
+    // Prefetched lines turn demand misses into hits.
+    EXPECT_LT(ms1.l1Misses(mem::AccessType::InstrFetch),
+              ms2.l1Misses(mem::AccessType::InstrFetch));
+    EXPECT_LE(r1.cycles, r2.cycles);
+}
+
+TEST(Core, StoresReachMemoryInBaseMode)
+{
+    auto p = test::makeLoopCallProgram();
+    SparseMemory mem;
+    runBase(p, mem);
+    EXPECT_EQ(mem.read64(test::kResultAddr), 110u);
+}
+
+} // namespace
+} // namespace rev::cpu

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Branch predictor tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/predictor.hpp"
+
+namespace rev::cpu
+{
+namespace
+{
+
+isa::Instr
+branchIns(i32 off = 0x40)
+{
+    return {.op = isa::Opcode::Beq, .rs1 = 1, .rs2 = 2, .imm = off};
+}
+
+TEST(Predictor, LearnsAlwaysTakenBranch)
+{
+    BranchPredictor bp;
+    const isa::Instr b = branchIns();
+    const Addr pc = 0x1000;
+    int wrong = 0;
+    for (int i = 0; i < 100; ++i)
+        wrong += bp.predictAndTrain(b, pc, true, b.directTarget(pc));
+    EXPECT_LE(wrong, 2); // warms up within a couple of iterations
+}
+
+TEST(Predictor, LearnsLoopExitPattern)
+{
+    // Taken 9 times, not-taken once, repeated: gshare should do well on
+    // the taken iterations.
+    BranchPredictor bp;
+    const isa::Instr b = branchIns(-0x20);
+    const Addr pc = 0x2000;
+    int wrong = 0, total = 0;
+    for (int rep = 0; rep < 50; ++rep) {
+        for (int i = 0; i < 9; ++i, ++total)
+            wrong += bp.predictAndTrain(b, pc, true, b.directTarget(pc));
+        ++total;
+        wrong += bp.predictAndTrain(b, pc, false, b.fallThrough(pc));
+    }
+    EXPECT_LT(static_cast<double>(wrong) / total, 0.25);
+}
+
+TEST(Predictor, DirectJumpNeverMispredicts)
+{
+    BranchPredictor bp;
+    const isa::Instr j{.op = isa::Opcode::Jmp, .imm = 0x100};
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(
+            bp.predictAndTrain(j, 0x3000, true, j.directTarget(0x3000)));
+}
+
+TEST(Predictor, IndirectJumpUsesBtb)
+{
+    BranchPredictor bp;
+    const isa::Instr j{.op = isa::Opcode::JmpR, .rs1 = 3};
+    const Addr pc = 0x4000;
+    // First encounter: no BTB entry -> mispredict.
+    EXPECT_TRUE(bp.predictAndTrain(j, pc, true, 0x5000));
+    // Stable target: now predicted.
+    EXPECT_FALSE(bp.predictAndTrain(j, pc, true, 0x5000));
+    // Target change: mispredict once, then learned.
+    EXPECT_TRUE(bp.predictAndTrain(j, pc, true, 0x6000));
+    EXPECT_FALSE(bp.predictAndTrain(j, pc, true, 0x6000));
+}
+
+TEST(Predictor, ReturnAddressStackPairsCallsAndReturns)
+{
+    BranchPredictor bp;
+    const isa::Instr call{.op = isa::Opcode::Call, .imm = 0x100};
+    const isa::Instr ret{.op = isa::Opcode::Ret};
+
+    // call from A (returns to A+5), call from B nested (returns to B+5).
+    EXPECT_FALSE(bp.predictAndTrain(call, 0x1000, true, 0x1100));
+    EXPECT_FALSE(bp.predictAndTrain(call, 0x1100, true, 0x1200));
+    EXPECT_FALSE(bp.predictAndTrain(ret, 0x1200, true, 0x1105));
+    EXPECT_FALSE(bp.predictAndTrain(ret, 0x1105, true, 0x1005));
+}
+
+TEST(Predictor, EmptyRasMispredictsReturn)
+{
+    BranchPredictor bp;
+    const isa::Instr ret{.op = isa::Opcode::Ret};
+    EXPECT_TRUE(bp.predictAndTrain(ret, 0x1000, true, 0x2000));
+}
+
+TEST(Predictor, RasOverflowDegradesGracefully)
+{
+    PredictorConfig cfg;
+    cfg.rasEntries = 4;
+    BranchPredictor bp(cfg);
+    const isa::Instr call{.op = isa::Opcode::Call, .imm = 0x100};
+    const isa::Instr ret{.op = isa::Opcode::Ret};
+
+    // Nest 8 calls into a 4-entry RAS: the deepest 4 returns predict
+    // correctly; beyond that the stale (clobbered) entries mispredict but
+    // never crash.
+    std::vector<Addr> sites;
+    Addr pc = 0x1000;
+    for (int i = 0; i < 8; ++i) {
+        bp.predictAndTrain(call, pc, true, pc + 0x100);
+        sites.push_back(pc + call.length());
+        pc += 0x100;
+    }
+    int wrong = 0;
+    for (int i = 7; i >= 0; --i) {
+        wrong += bp.predictAndTrain(ret, pc, true, sites[i]);
+        pc = sites[i];
+    }
+    EXPECT_GT(wrong, 0); // overflow lost the oldest frames
+    EXPECT_LE(wrong, 6); // but the innermost returns still predicted
+}
+
+TEST(Predictor, MispredictCounterTracksOnlyControlFlow)
+{
+    BranchPredictor bp;
+    const isa::Instr add{.op = isa::Opcode::Add, .rd = 1};
+    bp.predictAndTrain(add, 0x1000, false, 0x1004);
+    EXPECT_EQ(bp.mispredicts(), 0u);
+}
+
+} // namespace
+} // namespace rev::cpu

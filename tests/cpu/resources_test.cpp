@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Timing-resource helper tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/resources.hpp"
+
+namespace rev::cpu
+{
+namespace
+{
+
+TEST(WidthLimiter, PacksUpToWidthPerCycle)
+{
+    WidthLimiter w(4);
+    EXPECT_EQ(w.reserve(10), 10u);
+    EXPECT_EQ(w.reserve(10), 10u);
+    EXPECT_EQ(w.reserve(10), 10u);
+    EXPECT_EQ(w.reserve(10), 10u);
+    EXPECT_EQ(w.reserve(10), 11u); // 5th spills to next cycle
+}
+
+TEST(WidthLimiter, AdvancesWithLowerBound)
+{
+    WidthLimiter w(2);
+    EXPECT_EQ(w.reserve(5), 5u);
+    EXPECT_EQ(w.reserve(7), 7u);
+    EXPECT_EQ(w.reserve(7), 7u);
+    EXPECT_EQ(w.reserve(7), 8u);
+}
+
+TEST(OccupancyRing, BlocksWhenFull)
+{
+    OccupancyRing ring(2);
+    EXPECT_EQ(ring.allocReadyAt(), 0u);
+    ring.push(100); // slot 0 frees at 100
+    ring.push(50);  // slot 1 frees at 50
+    // Third allocation reuses slot 0: ready at 100.
+    EXPECT_EQ(ring.allocReadyAt(), 100u);
+    ring.push(200);
+    EXPECT_EQ(ring.allocReadyAt(), 50u);
+}
+
+TEST(FuPool, PicksEarliestFreeUnit)
+{
+    FuPool pool(2);
+    EXPECT_EQ(pool.acquire(10, 5), 10u); // unit 0 busy till 15
+    EXPECT_EQ(pool.acquire(10, 5), 10u); // unit 1 busy till 15
+    EXPECT_EQ(pool.acquire(10, 5), 15u); // waits
+}
+
+TEST(FuPool, PipelinedUnitsAcceptBackToBack)
+{
+    FuPool pool(1);
+    EXPECT_EQ(pool.acquire(10, 1), 10u);
+    EXPECT_EQ(pool.acquire(10, 1), 11u);
+    EXPECT_EQ(pool.acquire(10, 1), 12u);
+}
+
+} // namespace
+} // namespace rev::cpu

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Key vault (Sec. IX) tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/random.hpp"
+#include "crypto/keyvault.hpp"
+
+namespace rev::crypto
+{
+namespace
+{
+
+TEST(KeyVault, WrapUnwrapRoundTrip)
+{
+    KeyVault vault(1);
+    Rng rng(5);
+    const AesKey key = vault.generateModuleKey(rng);
+    const WrappedKey blob = vault.wrap(key);
+    const auto back = vault.unwrap(blob);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, key);
+}
+
+TEST(KeyVault, WrappedBlobHidesKey)
+{
+    KeyVault vault(1);
+    Rng rng(5);
+    const AesKey key = vault.generateModuleKey(rng);
+    const WrappedKey blob = vault.wrap(key);
+    // The key bytes must not appear in the clear at the blob head.
+    EXPECT_NE(0, std::memcmp(blob.data(), key.data(), 16));
+}
+
+TEST(KeyVault, TamperedBlobRejected)
+{
+    KeyVault vault(1);
+    Rng rng(5);
+    WrappedKey blob = vault.wrap(vault.generateModuleKey(rng));
+    for (std::size_t i = 0; i < blob.size(); i += 7) {
+        WrappedKey bad = blob;
+        bad[i] ^= 0x80;
+        EXPECT_FALSE(vault.unwrap(bad).has_value()) << "byte " << i;
+    }
+}
+
+TEST(KeyVault, WrongCpuCannotUnwrap)
+{
+    KeyVault cpu_a(1), cpu_b(2);
+    Rng rng(5);
+    const WrappedKey blob = cpu_a.wrap(cpu_a.generateModuleKey(rng));
+    EXPECT_FALSE(cpu_b.unwrap(blob).has_value());
+}
+
+TEST(KeyVault, GeneratedKeysDiffer)
+{
+    KeyVault vault(1);
+    Rng rng(5);
+    EXPECT_NE(vault.generateModuleKey(rng), vault.generateModuleKey(rng));
+}
+
+} // namespace
+} // namespace rev::crypto

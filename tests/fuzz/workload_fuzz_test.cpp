@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Whole-system fuzzing over randomized workload profiles:
+ *  - REV never fires on a legitimate execution (no false positives),
+ *  - the timing core's architectural results equal the plain
+ *    interpreter's (functional equivalence),
+ *  - determinism across repeated simulations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "program/interp.hpp"
+#include "workloads/generator.hpp"
+
+namespace rev
+{
+namespace
+{
+
+workloads::WorkloadProfile
+randomProfile(u64 seed)
+{
+    Rng rng(seed * 77 + 5);
+    workloads::WorkloadProfile p;
+    p.name = "fuzz" + std::to_string(seed);
+    p.seed = seed;
+    p.numFunctions = 48 + static_cast<unsigned>(rng.below(200));
+    p.entryFunctions = 1u << (1 + rng.below(3)); // 2..8
+    p.minConstructs = 2 + static_cast<unsigned>(rng.below(3));
+    p.maxConstructs = p.minConstructs + 1 +
+                      static_cast<unsigned>(rng.below(4));
+    p.straightLen = 3 + static_cast<unsigned>(rng.below(6));
+    p.callSitesPerFn = 1 + static_cast<unsigned>(rng.below(3));
+    p.callSpan = 8 + static_cast<unsigned>(rng.below(60));
+    p.callProb = 0.2 + rng.uniform() * 0.4;
+    p.gateSpread = rng.uniform() * 0.3;
+    p.hotReach = 8 + static_cast<unsigned>(rng.below(40));
+    p.indirectFnFrac = rng.uniform() * 0.3;
+    p.branchBias = 0.6 + rng.uniform() * 0.35;
+    p.loopFrac = rng.uniform() * 0.5;
+    p.loopIters = 2 + static_cast<unsigned>(rng.below(16));
+    p.fpFrac = rng.uniform() * 0.2;
+    p.mulFrac = rng.uniform() * 0.1;
+    p.loadFrac = rng.uniform() * 0.25;
+    p.storeFrac = rng.uniform() * 0.12;
+    p.dataFootprint = 1u << (16 + rng.below(8)); // 64 KB .. 8 MB
+    p.dataStride = rng.chance(0.5)
+                       ? 0
+                       : static_cast<unsigned>(8 << rng.below(4));
+    p.mainIterations = 200;
+    return p;
+}
+
+class WorkloadFuzz : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(WorkloadFuzz, NoFalsePositivesAcrossModes)
+{
+    const auto prof = randomProfile(GetParam());
+    const prog::Program program = workloads::generateWorkload(prof);
+
+    for (auto mode : {sig::ValidationMode::Full,
+                      sig::ValidationMode::Aggressive,
+                      sig::ValidationMode::CfiOnly}) {
+        core::SimConfig cfg;
+        cfg.mode = mode;
+        cfg.core.maxInstrs = 60'000;
+        core::Simulator sim(program, cfg);
+        const core::SimResult r = sim.run();
+        ASSERT_FALSE(r.run.violation.has_value())
+            << "profile seed " << GetParam() << " mode "
+            << sig::modeName(mode) << ": " << r.run.violation->reason;
+        EXPECT_GT(r.rev.bbValidated + 1, 0u);
+    }
+}
+
+TEST_P(WorkloadFuzz, TimingCoreMatchesInterpreter)
+{
+    const auto prof = randomProfile(GetParam() ^ 0x5555);
+    const prog::Program program = workloads::generateWorkload(prof);
+
+    // DUT: the full timing core with REV (stops at a block boundary at
+    // or after the budget).
+    core::SimConfig cfg;
+    cfg.core.maxInstrs = 60'000;
+    core::Simulator sim(program, cfg);
+    const core::SimResult r = sim.run();
+    ASSERT_FALSE(r.run.violation.has_value());
+
+    // Reference: plain interpreter, stepped exactly as many instructions
+    // as the core committed.
+    SparseMemory ref_mem;
+    program.loadInto(ref_mem);
+    prog::Machine ref(program, ref_mem);
+    for (u64 i = 0; i < r.run.instrs; ++i)
+        ref.step();
+
+    // Architectural state must agree exactly.
+    for (unsigned reg = 0; reg < isa::kNumArchRegs; ++reg)
+        ASSERT_EQ(sim.core().machine().reg(reg), ref.reg(reg))
+            << "r" << reg;
+    EXPECT_EQ(sim.core().machine().pc(), ref.pc());
+
+    // Spot-check data memory (the whole footprint is too large to scan).
+    Rng rng(GetParam());
+    for (int i = 0; i < 2000; ++i) {
+        const Addr a = prog::kHeapBase + rng.below(prof.dataFootprint);
+        ASSERT_EQ(sim.memory().read8(a), ref_mem.read8(a))
+            << std::hex << a;
+    }
+}
+
+TEST_P(WorkloadFuzz, DeterministicCycles)
+{
+    const auto prof = randomProfile(GetParam() ^ 0x9999);
+    const prog::Program program = workloads::generateWorkload(prof);
+    core::SimConfig cfg;
+    cfg.core.maxInstrs = 30'000;
+    core::Simulator a(program, cfg), b(program, cfg);
+    const auto ra = a.run();
+    const auto rb = b.run();
+    EXPECT_EQ(ra.run.cycles, rb.run.cycles);
+    EXPECT_EQ(ra.rev.scMisses(), rb.rev.scMisses());
+    EXPECT_EQ(ra.rev.commitStallCycles, rb.rev.commitStallCycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkloadFuzz,
+                         ::testing::Range<u64>(1, 9));
+
+} // namespace
+} // namespace rev

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Byte-exact encode/decode round-trip tests for the RVX codec.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hpp"
+#include "isa/codec.hpp"
+
+namespace rev::isa
+{
+namespace
+{
+
+std::vector<Opcode>
+allOpcodes()
+{
+    std::vector<Opcode> ops;
+    for (int raw = 0; raw < 256; ++raw)
+        if (opcodeValid(static_cast<u8>(raw)))
+            ops.push_back(static_cast<Opcode>(raw));
+    return ops;
+}
+
+TEST(Codec, AllOpcodesHaveNamesAndClasses)
+{
+    for (Opcode op : allOpcodes()) {
+        EXPECT_STRNE(opcodeName(op), "???");
+        EXPECT_GT(opcodeLength(op), 0u);
+    }
+}
+
+TEST(Codec, InvalidOpcodeBytesRejected)
+{
+    const u8 bad[] = {0xff, 0, 0, 0, 0, 0, 0};
+    EXPECT_FALSE(decode(bad, sizeof(bad)).has_value());
+    const u8 gap[] = {0x0b, 0, 0, 0, 0, 0, 0}; // hole after Syscall
+    EXPECT_FALSE(decode(gap, sizeof(gap)).has_value());
+}
+
+TEST(Codec, TruncatedEncodingRejected)
+{
+    // A branch is 7 bytes; offer fewer.
+    std::vector<u8> buf;
+    encode({.op = Opcode::Beq, .rs1 = 1, .rs2 = 2, .imm = 0x100}, buf);
+    ASSERT_EQ(buf.size(), 7u);
+    for (std::size_t avail = 0; avail < 7; ++avail)
+        EXPECT_FALSE(decode(buf.data(), avail).has_value())
+            << "avail=" << avail;
+    EXPECT_TRUE(decode(buf.data(), 7).has_value());
+}
+
+TEST(Codec, OutOfRangeRegisterRejected)
+{
+    std::vector<u8> buf;
+    encode({.op = Opcode::Add, .rd = 1, .rs1 = 2, .rs2 = 3}, buf);
+    buf[1] = 32; // rd out of range
+    EXPECT_FALSE(decode(buf.data(), buf.size()).has_value());
+}
+
+/** Round-trip every opcode with randomized fields. */
+class CodecRoundTrip : public ::testing::TestWithParam<Opcode>
+{
+};
+
+TEST_P(CodecRoundTrip, EncodeDecodeIdentity)
+{
+    const Opcode op = GetParam();
+    Rng rng(static_cast<u64>(op) + 1000);
+
+    for (int t = 0; t < 50; ++t) {
+        Instr ins;
+        ins.op = op;
+        // Populate only the fields the format encodes, since others don't
+        // survive the trip.
+        switch (opcodeLength(op)) {
+          case 1:
+            break;
+          case 2:
+            if (op == Opcode::Syscall)
+                ins.imm = static_cast<i32>(rng.below(256));
+            else
+                ins.rs1 = static_cast<u8>(rng.below(32));
+            break;
+          case 4:
+            ins.rd = static_cast<u8>(rng.below(32));
+            ins.rs1 = static_cast<u8>(rng.below(32));
+            ins.rs2 = static_cast<u8>(rng.below(32));
+            break;
+          case 5:
+            ins.imm = static_cast<i32>(rng.next());
+            break;
+          case 6:
+            ins.rd = static_cast<u8>(rng.below(32));
+            ins.imm = static_cast<i32>(rng.next());
+            break;
+          case 7:
+            if (opcodeClass(op) == InstrClass::Branch) {
+                ins.rs1 = static_cast<u8>(rng.below(32));
+                ins.rs2 = static_cast<u8>(rng.below(32));
+            } else {
+                ins.rd = static_cast<u8>(rng.below(32));
+                ins.rs1 = static_cast<u8>(rng.below(32));
+            }
+            ins.imm = static_cast<i32>(rng.next());
+            break;
+          default:
+            FAIL() << "unexpected length";
+        }
+
+        std::vector<u8> buf;
+        const unsigned len = encode(ins, buf);
+        EXPECT_EQ(len, ins.length());
+        auto back = decode(buf.data(), buf.size());
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, ins);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, CodecRoundTrip,
+                         ::testing::ValuesIn(allOpcodes()),
+                         [](const auto &info) {
+                             return std::string(opcodeName(info.param));
+                         });
+
+TEST(Codec, StreamOfInstructionsDecodesSequentially)
+{
+    // Encode a mixed stream and re-decode it instruction by instruction.
+    std::vector<Instr> stream = {
+        {.op = Opcode::Movi, .rd = 1, .imm = 42},
+        {.op = Opcode::Add, .rd = 2, .rs1 = 1, .rs2 = 1},
+        {.op = Opcode::St, .rd = 2, .rs1 = 30, .imm = -8},
+        {.op = Opcode::Beq, .rs1 = 2, .rs2 = 0, .imm = 64},
+        {.op = Opcode::Ret},
+    };
+    std::vector<u8> buf;
+    for (const auto &ins : stream)
+        encode(ins, buf);
+
+    std::size_t off = 0;
+    for (const auto &ins : stream) {
+        auto got = decode(buf.data() + off, buf.size() - off);
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(*got, ins);
+        off += got->length();
+    }
+    EXPECT_EQ(off, buf.size());
+}
+
+TEST(Codec, InstrPredicates)
+{
+    const Instr call{.op = Opcode::Call, .imm = 100};
+    EXPECT_TRUE(call.isCall());
+    EXPECT_TRUE(call.writesMem());
+    EXPECT_TRUE(call.isControlFlow());
+    EXPECT_FALSE(call.isComputed());
+
+    const Instr ret{.op = Opcode::Ret};
+    EXPECT_TRUE(ret.isReturn());
+    EXPECT_TRUE(ret.readsMem());
+
+    const Instr jmpr{.op = Opcode::JmpR, .rs1 = 4};
+    EXPECT_TRUE(jmpr.isComputed());
+
+    const Instr add{.op = Opcode::Add};
+    EXPECT_FALSE(add.isControlFlow());
+    EXPECT_FALSE(add.readsMem());
+    EXPECT_FALSE(add.writesMem());
+}
+
+TEST(Codec, DirectTargetArithmetic)
+{
+    const Instr b{.op = Opcode::Beq, .imm = -16};
+    EXPECT_EQ(b.directTarget(0x1000), 0xff0u);
+    EXPECT_EQ(b.fallThrough(0x1000), 0x1007u);
+}
+
+} // namespace
+} // namespace rev::isa

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Disassembler smoke tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/disasm.hpp"
+
+namespace rev::isa
+{
+namespace
+{
+
+TEST(Disasm, AluForms)
+{
+    EXPECT_EQ(disassemble({.op = Opcode::Add, .rd = 1, .rs1 = 2, .rs2 = 3},
+                          0),
+              "add r1, r2, r3");
+    EXPECT_EQ(disassemble({.op = Opcode::Movi, .rd = 5, .imm = -7}, 0),
+              "movi r5, -7");
+    EXPECT_EQ(disassemble({.op = Opcode::Addi, .rd = 1, .rs1 = 2, .imm = 9},
+                          0),
+              "addi r1, r2, 9");
+}
+
+TEST(Disasm, MemoryForms)
+{
+    EXPECT_EQ(disassemble({.op = Opcode::Ld, .rd = 3, .rs1 = 30, .imm = 16},
+                          0),
+              "ld r3, [r30+16]");
+    EXPECT_EQ(disassemble({.op = Opcode::St, .rd = 3, .rs1 = 30, .imm = -8},
+                          0),
+              "st [r30-8], r3");
+}
+
+TEST(Disasm, SubWordMemoryForms)
+{
+    EXPECT_EQ(disassemble({.op = Opcode::Lb, .rd = 1, .rs1 = 2, .imm = 4},
+                          0),
+              "lb r1, [r2+4]");
+    EXPECT_EQ(disassemble({.op = Opcode::Sw, .rd = 1, .rs1 = 2, .imm = -4},
+                          0),
+              "sw [r2-4], r1");
+}
+
+TEST(Disasm, ControlForms)
+{
+    EXPECT_EQ(
+        disassemble({.op = Opcode::Beq, .rs1 = 1, .rs2 = 2, .imm = 0x40},
+                    0x1000),
+        "beq r1, r2, 0x1040");
+    EXPECT_EQ(disassemble({.op = Opcode::Call, .imm = 0x100}, 0x2000),
+              "call 0x2100");
+    EXPECT_EQ(disassemble({.op = Opcode::CallR, .rs1 = 9}, 0), "callr r9");
+    EXPECT_EQ(disassemble({.op = Opcode::Ret}, 0), "ret");
+    EXPECT_EQ(disassemble({.op = Opcode::Syscall, .imm = 2}, 0),
+              "syscall 2");
+}
+
+} // namespace
+} // namespace rev::isa

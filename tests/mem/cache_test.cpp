@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Set-associative cache model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/random.hpp"
+#include "mem/cache.hpp"
+
+namespace rev::mem
+{
+namespace
+{
+
+TEST(Cache, ColdMissThenHit)
+{
+    SetAssocCache c("t", 1024, 2, 64);
+    EXPECT_FALSE(c.access(0x100, false));
+    EXPECT_TRUE(c.access(0x100, false));
+    EXPECT_TRUE(c.access(0x13f, false)); // same 64B line
+    EXPECT_FALSE(c.access(0x140, false)); // next line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruEvictionWithinSet)
+{
+    // 2-way, 64B lines, 1024B total -> 8 sets. Addresses mapping to set 0:
+    // 0x000, 0x200, 0x400 ...
+    SetAssocCache c("t", 1024, 2, 64);
+    c.access(0x000, false);
+    c.access(0x200, false);
+    c.access(0x000, false);      // refresh 0x000
+    c.access(0x400, false);      // evicts LRU = 0x200
+    EXPECT_TRUE(c.probe(0x000));
+    EXPECT_FALSE(c.probe(0x200));
+    EXPECT_TRUE(c.probe(0x400));
+}
+
+TEST(Cache, DirtyEvictionReportsWriteback)
+{
+    SetAssocCache c("t", 1024, 2, 64);
+    c.access(0x000, true); // dirty
+    c.access(0x200, false);
+    std::optional<Addr> wb;
+    c.access(0x400, false, &wb); // evicts dirty 0x000
+    ASSERT_TRUE(wb.has_value());
+    EXPECT_EQ(*wb, 0x000u);
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, CleanEvictionNoWriteback)
+{
+    SetAssocCache c("t", 1024, 2, 64);
+    c.access(0x000, false);
+    c.access(0x200, false);
+    std::optional<Addr> wb;
+    c.access(0x400, false, &wb);
+    EXPECT_FALSE(wb.has_value());
+}
+
+TEST(Cache, WriteHitMarksDirty)
+{
+    SetAssocCache c("t", 1024, 2, 64);
+    c.access(0x000, false);
+    c.access(0x000, true); // hit, now dirty
+    c.access(0x200, false);
+    std::optional<Addr> wb;
+    c.access(0x400, false, &wb);
+    ASSERT_TRUE(wb.has_value());
+}
+
+TEST(Cache, InvalidateLine)
+{
+    SetAssocCache c("t", 1024, 2, 64);
+    c.access(0x100, false);
+    c.invalidateLine(0x100);
+    EXPECT_FALSE(c.probe(0x100));
+}
+
+TEST(Cache, ProbeDoesNotPerturb)
+{
+    SetAssocCache c("t", 1024, 2, 64);
+    EXPECT_FALSE(c.probe(0x100));
+    EXPECT_EQ(c.hits() + c.misses(), 0u);
+}
+
+TEST(Cache, ResetClearsEverything)
+{
+    SetAssocCache c("t", 1024, 2, 64);
+    c.access(0x100, true);
+    c.reset();
+    EXPECT_FALSE(c.probe(0x100));
+    EXPECT_EQ(c.misses(), 0u);
+}
+
+TEST(Cache, RejectsBadGeometry)
+{
+    EXPECT_THROW(SetAssocCache("t", 1000, 2, 64), FatalError);
+    EXPECT_THROW(SetAssocCache("t", 1024, 0, 64), FatalError);
+    EXPECT_THROW(SetAssocCache("t", 1024, 2, 60), FatalError);
+}
+
+TEST(Cache, Table2Geometries)
+{
+    // The Table 2 configurations must construct.
+    SetAssocCache l1i("l1i", 64 * 1024, 4, 64);
+    SetAssocCache l1d("l1d", 64 * 1024, 4, 64);
+    SetAssocCache l2("l2", 512 * 1024, 8, 64);
+    EXPECT_EQ(l1i.sizeBytes(), 64u * 1024);
+    EXPECT_EQ(l2.sizeBytes(), 512u * 1024);
+}
+
+TEST(Cache, WorkingSetSmallerThanCacheEventuallyAllHits)
+{
+    SetAssocCache c("t", 64 * 1024, 4, 64);
+    Rng rng(1);
+    std::vector<Addr> set;
+    for (int i = 0; i < 256; ++i)
+        set.push_back((rng.next() % 512) * 64); // 32KB footprint
+    for (Addr a : set)
+        c.access(a, false);
+    const u64 misses_after_warm = c.misses();
+    for (int round = 0; round < 10; ++round)
+        for (Addr a : set)
+            c.access(a, false);
+    EXPECT_EQ(c.misses(), misses_after_warm);
+}
+
+} // namespace
+} // namespace rev::mem

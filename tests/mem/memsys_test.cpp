@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Memory-system composition tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memsys.hpp"
+
+namespace rev::mem
+{
+namespace
+{
+
+TEST(MemSys, L1HitLatency)
+{
+    MemorySystem ms;
+    ms.access(0x1000, AccessType::DataRead, 0); // warm caches + TLB
+    const AccessResult res = ms.access(0x1000, AccessType::DataRead, 100);
+    EXPECT_TRUE(res.l1Hit);
+    EXPECT_EQ(res.completeAt, 102u); // 2-cycle L1D
+}
+
+TEST(MemSys, L2HitLatency)
+{
+    MemorySystem ms;
+    ms.access(0x1000, AccessType::DataRead, 0);
+    // Evict from L1D by filling its set: L1D 64KB/4way/64B = 256 sets.
+    // Lines mapping to the same set differ by 256*64 = 16KB.
+    for (int i = 1; i <= 4; ++i)
+        ms.access(0x1000 + i * 16384, AccessType::DataRead, 0);
+    const AccessResult res = ms.access(0x1000, AccessType::DataRead, 1000);
+    EXPECT_FALSE(res.l1Hit);
+    EXPECT_TRUE(res.l2Hit);
+    EXPECT_EQ(res.completeAt, 1000u + 2 + 5); // L1 + L2 latency
+}
+
+TEST(MemSys, ColdMissGoesToDram)
+{
+    MemorySystem ms;
+    const AccessResult res = ms.access(0x9000, AccessType::DataRead, 0);
+    EXPECT_FALSE(res.l1Hit);
+    EXPECT_FALSE(res.l2Hit);
+    // TLB cold walk + L1 + L2 + DRAM first chunk.
+    EXPECT_GT(res.completeAt, 100u);
+}
+
+TEST(MemSys, InstrFetchUsesL1I)
+{
+    MemorySystem ms;
+    ms.access(0x1000, AccessType::InstrFetch, 0);
+    EXPECT_EQ(ms.l1i().misses(), 1u);
+    EXPECT_EQ(ms.l1d().misses(), 0u);
+    ms.access(0x1000, AccessType::DataRead, 0);
+    EXPECT_EQ(ms.l1d().misses(), 1u); // separate arrays
+}
+
+TEST(MemSys, ScFillUsesL1DPath)
+{
+    MemorySystem ms;
+    ms.access(0x6000000, AccessType::ScFill, 0);
+    EXPECT_EQ(ms.l1d().misses(), 1u);
+    EXPECT_EQ(ms.accesses(AccessType::ScFill), 1u);
+    EXPECT_EQ(ms.l1Misses(AccessType::ScFill), 1u);
+    EXPECT_EQ(ms.l2Misses(AccessType::ScFill), 1u);
+    // A second fill to the same line hits in L1D.
+    const AccessResult res = ms.access(0x6000000, AccessType::ScFill, 500);
+    EXPECT_TRUE(res.l1Hit);
+    EXPECT_EQ(ms.l1Misses(AccessType::ScFill), 1u);
+}
+
+TEST(MemSys, PerTypeCountersIndependent)
+{
+    MemorySystem ms;
+    ms.access(0x1000, AccessType::DataRead, 0);
+    ms.access(0x2000, AccessType::DataWrite, 0);
+    ms.access(0x3000, AccessType::InstrFetch, 0);
+    ms.access(0x4000, AccessType::ScFill, 0);
+    ms.access(0x5000, AccessType::Prefetch, 0);
+    for (unsigned i = 0; i < kNumAccessTypes; ++i)
+        EXPECT_EQ(ms.accesses(static_cast<AccessType>(i)), 1u);
+}
+
+TEST(MemSys, L2PortContentionSerializes)
+{
+    MemorySystem ms;
+    // Two same-cycle L1 misses to different lines; the second's L2 access
+    // starts one cycle later.
+    const AccessResult a = ms.access(0x10000, AccessType::DataRead, 0);
+    const AccessResult b = ms.access(0x20000, AccessType::DataRead, 0);
+    EXPECT_GT(b.completeAt, a.completeAt);
+}
+
+TEST(MemSys, ResetRestoresColdState)
+{
+    MemorySystem ms;
+    ms.access(0x1000, AccessType::DataRead, 0);
+    ms.reset();
+    EXPECT_EQ(ms.accesses(AccessType::DataRead), 0u);
+    const AccessResult res = ms.access(0x1000, AccessType::DataRead, 0);
+    EXPECT_FALSE(res.l1Hit);
+}
+
+TEST(MemSys, DirtyL1EvictionWritesBackToL2)
+{
+    MemorySystem ms;
+    // Dirty a line, then evict it by filling its L1D set (4 ways; same-set
+    // lines are 16 KB apart).
+    ms.access(0x1000, AccessType::DataWrite, 0);
+    for (int i = 1; i <= 4; ++i)
+        ms.access(0x1000 + i * 16384, AccessType::DataRead, 0);
+    // The victim was absorbed by the L2: reading it again hits L2, not
+    // DRAM.
+    const u64 dram_before = ms.dram().accesses();
+    const AccessResult res = ms.access(0x1000, AccessType::DataRead, 1000);
+    EXPECT_FALSE(res.l1Hit);
+    EXPECT_TRUE(res.l2Hit);
+    EXPECT_EQ(ms.dram().accesses(), dram_before);
+    EXPECT_GE(ms.l1d().writebacks(), 1u);
+}
+
+TEST(MemSys, PrefetchClassIsInstructionSide)
+{
+    MemorySystem ms;
+    ms.access(0x4000, AccessType::Prefetch, 0);
+    EXPECT_EQ(ms.l1i().misses(), 1u);
+    EXPECT_EQ(ms.l1d().misses(), 0u);
+    // A demand fetch of the prefetched line now hits.
+    const AccessResult res =
+        ms.access(0x4000, AccessType::InstrFetch, 100);
+    EXPECT_TRUE(res.l1Hit);
+}
+
+TEST(MemSys, BackgroundDmaOccupiesBanks)
+{
+    MemConfig cfg;
+    cfg.dmaIntervalCycles = 2; // aggressive DMA
+    MemorySystem busy(cfg);
+    MemorySystem quiet;
+
+    // Same DRAM-bound access stream (disjoint from the DMA buffers);
+    // bank contention from DMA must slow it down.
+    Cycle t_busy = 0, t_quiet = 0;
+    for (int i = 0; i < 200; ++i) {
+        const Addr a = 0x50000000 + static_cast<Addr>(i) * 4096;
+        t_busy = busy.access(a, AccessType::DataRead, t_busy).completeAt;
+        t_quiet = quiet.access(a, AccessType::DataRead, t_quiet).completeAt;
+    }
+    EXPECT_GT(busy.dmaBursts(), 100u);
+    EXPECT_GT(t_busy, t_quiet);
+}
+
+TEST(MemSys, DmaDisabledByDefault)
+{
+    MemorySystem ms;
+    ms.access(0x1000, AccessType::DataRead, 1'000'000);
+    EXPECT_EQ(ms.dmaBursts(), 0u);
+}
+
+TEST(MemSys, StatsDumpContainsAllGroups)
+{
+    MemorySystem ms;
+    stats::StatGroup group("mem");
+    ms.addStats(group);
+    ms.access(0x1000, AccessType::ScFill, 0);
+    EXPECT_EQ(group.get("req.sc_fill.count"), 1u);
+    EXPECT_EQ(group.get("req.sc_fill.l1_miss"), 1u);
+}
+
+} // namespace
+} // namespace rev::mem

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * TLB hierarchy tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/tlb.hpp"
+
+namespace rev::mem
+{
+namespace
+{
+
+TEST(Tlb, MissThenHitSamePage)
+{
+    Tlb tlb("t", 4);
+    EXPECT_FALSE(tlb.access(0x1000));
+    EXPECT_TRUE(tlb.access(0x1fff)); // same 4K page
+    EXPECT_FALSE(tlb.access(0x2000));
+}
+
+TEST(Tlb, LruReplacement)
+{
+    Tlb tlb("t", 2);
+    tlb.access(0x1000);
+    tlb.access(0x2000);
+    tlb.access(0x1000);  // refresh
+    tlb.access(0x3000);  // evicts 0x2000
+    EXPECT_TRUE(tlb.probe(0x1000));
+    EXPECT_FALSE(tlb.probe(0x2000));
+}
+
+TEST(TlbHierarchy, L1HitIsFree)
+{
+    TlbHierarchy h;
+    h.translate(0x1000, false);
+    EXPECT_EQ(h.translate(0x1000, false), 0u);
+}
+
+TEST(TlbHierarchy, L2HitCostsL2Latency)
+{
+    TlbConfig cfg;
+    cfg.dtlbEntries = 1;
+    TlbHierarchy h(cfg);
+    h.translate(0x1000, false); // fills D-TLB + L2
+    h.translate(0x2000, false); // evicts 0x1000 from 1-entry D-TLB
+    EXPECT_EQ(h.translate(0x1000, false), cfg.l2Latency);
+}
+
+TEST(TlbHierarchy, ColdMissPaysPageWalk)
+{
+    TlbConfig cfg;
+    TlbHierarchy h(cfg);
+    EXPECT_EQ(h.translate(0x5000, false),
+              cfg.l2Latency + cfg.pageWalkLatency);
+    EXPECT_EQ(h.pageWalks(), 1u);
+}
+
+TEST(TlbHierarchy, InstrAndDataPathsSeparateL1)
+{
+    TlbHierarchy h;
+    h.translate(0x1000, true); // I-TLB only
+    // Data access to the same page: misses D-TLB but hits shared L2.
+    EXPECT_GT(h.translate(0x1000, false), 0u);
+    EXPECT_EQ(h.translate(0x1000, false), 0u);
+}
+
+} // namespace
+} // namespace rev::mem

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Assembler / linker tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "isa/codec.hpp"
+#include "program/assembler.hpp"
+
+namespace rev::prog
+{
+namespace
+{
+
+TEST(Assembler, ForwardAndBackwardBranchFixups)
+{
+    Assembler a(0x10000);
+    a.label("start");
+    const Addr b1 = a.beq(1, 2, "end");   // forward
+    a.nop();
+    const Addr b2 = a.jmp("start");       // backward
+    a.label("end");
+    a.halt();
+
+    Module m = a.finalize("t", "start");
+
+    auto at = [&](Addr addr) {
+        const std::size_t off = addr - m.base;
+        return *isa::decode(m.image.data() + off, m.image.size() - off);
+    };
+    EXPECT_EQ(at(b1).directTarget(b1), m.symbol("end"));
+    EXPECT_EQ(at(b2).directTarget(b2), m.symbol("start"));
+}
+
+TEST(Assembler, LaLoadsAbsoluteAddress)
+{
+    Assembler a(0x10000);
+    a.label("main");
+    a.la(1, "data");
+    a.halt();
+    a.beginData();
+    a.align(8);
+    a.label("data");
+    a.word64(0x1234);
+
+    Module m = a.finalize("t", "main");
+    // Execute the lui+ori pair by hand.
+    const std::size_t off = 0;
+    auto lui = *isa::decode(m.image.data() + off, m.image.size());
+    auto ori = *isa::decode(m.image.data() + off + 6, m.image.size() - 6);
+    const u64 value = (static_cast<u64>(static_cast<u32>(lui.imm)) << 32) |
+                      static_cast<u32>(ori.imm);
+    EXPECT_EQ(value, m.symbol("data"));
+}
+
+TEST(Assembler, Word64LabelEmitsAbsolute)
+{
+    Assembler a(0x20000);
+    a.label("f");
+    a.halt();
+    a.beginData();
+    a.align(8);
+    a.label("tbl");
+    a.word64Label("f");
+
+    Module m = a.finalize("t", "f");
+    const std::size_t off = m.symbol("tbl") - m.base;
+    u64 v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | m.image[off + i];
+    EXPECT_EQ(v, m.symbol("f"));
+}
+
+TEST(Assembler, CodeSizeExcludesData)
+{
+    Assembler a(0x10000);
+    a.label("main");
+    a.halt();
+    a.beginData();
+    a.zeros(100);
+    Module m = a.finalize("t", "main");
+    EXPECT_EQ(m.codeSize, 1u);
+    EXPECT_EQ(m.image.size(), 101u);
+}
+
+TEST(Assembler, DuplicateLabelFatal)
+{
+    Assembler a(0x10000);
+    a.label("x");
+    EXPECT_THROW(a.label("x"), FatalError);
+}
+
+TEST(Assembler, UndefinedLabelFatal)
+{
+    Assembler a(0x10000);
+    a.jmp("nowhere");
+    EXPECT_THROW(a.finalize("t", ""), FatalError);
+}
+
+TEST(Assembler, InstructionAfterDataFatal)
+{
+    Assembler a(0x10000);
+    a.halt();
+    a.beginData();
+    a.word64(0);
+    EXPECT_THROW(a.nop(), FatalError);
+}
+
+TEST(Assembler, IndirectAnnotationsResolved)
+{
+    Assembler a(0x10000);
+    a.label("main");
+    const Addr site = a.jmpr(3);
+    a.annotateIndirect(site, {"a", "b"});
+    a.label("a");
+    a.nop();
+    a.label("b");
+    a.halt();
+
+    Module m = a.finalize("t", "main");
+    ASSERT_EQ(m.indirectTargets.count(site), 1u);
+    const auto &targets = m.indirectTargets.at(site);
+    ASSERT_EQ(targets.size(), 2u);
+    EXPECT_EQ(targets[0], m.symbol("a"));
+    EXPECT_EQ(targets[1], m.symbol("b"));
+}
+
+TEST(Assembler, AlignPadsWithNopsInCode)
+{
+    Assembler a(0x10000);
+    a.label("main");
+    a.nop();
+    a.align(8);
+    EXPECT_EQ(a.here() % 8, 0u);
+    a.halt();
+    Module m = a.finalize("t", "main");
+    // Bytes 1..7 must be NOPs (decodable).
+    for (std::size_t i = 1; i < 8; ++i)
+        EXPECT_EQ(m.image[i], static_cast<u8>(isa::Opcode::Nop));
+}
+
+TEST(Module, SymbolLookupFatalWhenMissing)
+{
+    Assembler a(0x10000);
+    a.label("main");
+    a.halt();
+    Module m = a.finalize("t", "main");
+    EXPECT_EQ(m.symbol("main"), m.base);
+    EXPECT_THROW(m.symbol("missing"), FatalError);
+}
+
+} // namespace
+} // namespace rev::prog

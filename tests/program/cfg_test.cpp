@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Static CFG extraction tests (Sec. IV/V analysis).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "program/cfg.hpp"
+#include "testutil.hpp"
+
+namespace rev::prog
+{
+namespace
+{
+
+bool
+hasSucc(const BasicBlock &bb, Addr target)
+{
+    return std::find(bb.succs.begin(), bb.succs.end(), target) !=
+           bb.succs.end();
+}
+
+TEST(Cfg, LoopCallProgramStructure)
+{
+    auto p = test::makeLoopCallProgram();
+    const Module &m = p.main();
+    Cfg cfg = buildCfg(m);
+
+    // Entry block: main..bne (branch terminator).
+    const BasicBlock *entry = cfg.blockAtStart(m.symbol("main"));
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->kind, TermKind::Branch);
+    EXPECT_TRUE(hasSucc(*entry, m.symbol("loop")));
+
+    // Loop block: loop..bne, successors = loop and fall-through.
+    const BasicBlock *loop = cfg.blockAtStart(m.symbol("loop"));
+    ASSERT_NE(loop, nullptr);
+    EXPECT_EQ(loop->kind, TermKind::Branch);
+    EXPECT_EQ(loop->succs.size(), 2u);
+    EXPECT_TRUE(hasSucc(*loop, m.symbol("loop")));
+
+    // The block after the loop ends with CALL helper.
+    const BasicBlock *callbb = cfg.blockAtStart(loop->end);
+    ASSERT_NE(callbb, nullptr);
+    EXPECT_EQ(callbb->kind, TermKind::Call);
+    EXPECT_TRUE(hasSucc(*callbb, m.symbol("helper")));
+
+    // Helper ends with RET whose successor is the call's return site.
+    const BasicBlock *helper = cfg.blockAtStart(m.symbol("helper"));
+    ASSERT_NE(helper, nullptr);
+    EXPECT_EQ(helper->kind, TermKind::Return);
+    ASSERT_EQ(helper->succs.size(), 1u);
+    EXPECT_EQ(helper->succs[0], callbb->end);
+
+    // The return site records the RET instruction as its predecessor
+    // (delayed return validation, Sec. V.A).
+    const BasicBlock *retsite = cfg.blockAtStart(callbb->end);
+    ASSERT_NE(retsite, nullptr);
+    ASSERT_EQ(retsite->retPreds.size(), 1u);
+    EXPECT_EQ(retsite->retPreds[0], helper->term);
+}
+
+TEST(Cfg, IndirectDispatchTargetsFromAnnotations)
+{
+    auto p = test::makeIndirectDispatchProgram();
+    const Module &m = p.main();
+    Cfg cfg = buildCfg(m);
+
+    // Find the CALLR block.
+    const BasicBlock *callr = nullptr;
+    for (const auto &bb : cfg.blocks())
+        if (bb.kind == TermKind::CallIndirect)
+            callr = &bb;
+    ASSERT_NE(callr, nullptr);
+    EXPECT_TRUE(hasSucc(*callr, m.symbol("fn_a")));
+    EXPECT_TRUE(hasSucc(*callr, m.symbol("fn_b")));
+
+    // Both functions' RETs return to the single return site; that site
+    // lists both RET addresses as predecessors.
+    const BasicBlock *retsite = cfg.blockAtStart(callr->end);
+    ASSERT_NE(retsite, nullptr);
+    EXPECT_EQ(retsite->retPreds.size(), 2u);
+}
+
+TEST(Cfg, BranchIntoBlockMiddleCreatesSuffixBlock)
+{
+    Assembler a(0x10000);
+    a.label("main");
+    a.movi(1, 5);
+    a.label("mid"); // branch target inside a straight-line run
+    a.addi(1, 1, -1);
+    a.bne(1, 0, "mid");
+    a.halt();
+
+    auto m = a.finalize("t", "main");
+    Cfg cfg = buildCfg(m);
+
+    const BasicBlock *full = cfg.blockAtStart(m.symbol("main"));
+    const BasicBlock *suffix = cfg.blockAtStart(m.symbol("mid"));
+    ASSERT_NE(full, nullptr);
+    ASSERT_NE(suffix, nullptr);
+    // Same terminator, different entry points and lengths.
+    EXPECT_EQ(full->term, suffix->term);
+    EXPECT_GT(full->numInstrs, suffix->numInstrs);
+    // Both are indexed under the shared terminator.
+    EXPECT_EQ(cfg.blocksAtTerm(full->term).size(), 2u);
+}
+
+TEST(Cfg, ArtificialSplitOnInstrLimit)
+{
+    Assembler a(0x10000);
+    a.label("main");
+    for (int i = 0; i < 20; ++i)
+        a.addi(1, 1, 1);
+    a.halt();
+    auto m = a.finalize("t", "main");
+
+    SplitLimits limits;
+    limits.maxInstrs = 8;
+    Cfg cfg = buildCfg(m, limits);
+
+    const BasicBlock *first = cfg.blockAtStart(m.symbol("main"));
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(first->kind, TermKind::Split);
+    EXPECT_EQ(first->numInstrs, 8u);
+    ASSERT_EQ(first->succs.size(), 1u);
+
+    // Chain: 8 + 8 + 4 instrs + halt.
+    const BasicBlock *second = cfg.blockAtStart(first->succs[0]);
+    ASSERT_NE(second, nullptr);
+    EXPECT_EQ(second->kind, TermKind::Split);
+    const BasicBlock *third = cfg.blockAtStart(second->succs[0]);
+    ASSERT_NE(third, nullptr);
+    EXPECT_EQ(third->kind, TermKind::Halt);
+    EXPECT_EQ(third->numInstrs, 5u);
+}
+
+TEST(Cfg, ArtificialSplitOnStoreLimit)
+{
+    Assembler a(0x10000);
+    a.label("main");
+    for (int i = 0; i < 6; ++i)
+        a.st(1, 30, -8 * (i + 1));
+    a.halt();
+    auto m = a.finalize("t", "main");
+
+    SplitLimits limits;
+    limits.maxInstrs = 100;
+    limits.maxStores = 2;
+    Cfg cfg = buildCfg(m, limits);
+
+    const BasicBlock *first = cfg.blockAtStart(m.symbol("main"));
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(first->kind, TermKind::Split);
+    EXPECT_EQ(first->numStores, 2u);
+}
+
+TEST(Cfg, StatsAreConsistent)
+{
+    auto p = test::makeLoopCallProgram();
+    Cfg cfg = buildCfg(p.main());
+    const CfgStats s = cfg.stats();
+    EXPECT_GT(s.numBlocks, 3u);
+    EXPECT_GT(s.avgInstrsPerBlock, 1.0);
+    EXPECT_GT(s.avgSuccsPerBlock, 0.5);
+    EXPECT_EQ(s.numComputedSites, 0u);
+    EXPECT_LE(s.numTerminators, s.numBlocks);
+}
+
+TEST(Cfg, ComputedSiteCounted)
+{
+    auto p = test::makeIndirectDispatchProgram();
+    Cfg cfg = buildCfg(p.main());
+    EXPECT_EQ(cfg.stats().numComputedSites, 1u);
+}
+
+TEST(Cfg, HaltHasNoSuccessors)
+{
+    Assembler a(0x10000);
+    a.label("main");
+    a.halt();
+    auto m = a.finalize("t", "main");
+    Cfg cfg = buildCfg(m);
+    const BasicBlock *bb = cfg.blockAtStart(m.base);
+    ASSERT_NE(bb, nullptr);
+    EXPECT_TRUE(bb->succs.empty());
+}
+
+TEST(Cfg, LinkCfgsIsIdempotent)
+{
+    auto p = test::makeLoopCallProgram();
+    Cfg cfg = buildCfg(p.main());
+    auto snapshot = cfg.blocks();
+    linkCfgs({&cfg});
+    linkCfgs({&cfg});
+    ASSERT_EQ(cfg.blocks().size(), snapshot.size());
+    for (std::size_t i = 0; i < snapshot.size(); ++i) {
+        EXPECT_EQ(cfg.blocks()[i].succs, snapshot[i].succs) << i;
+        EXPECT_EQ(cfg.blocks()[i].retPreds, snapshot[i].retPreds) << i;
+    }
+}
+
+TEST(Cfg, UnknownStartReturnsNull)
+{
+    auto p = test::makeLoopCallProgram();
+    Cfg cfg = buildCfg(p.main());
+    EXPECT_EQ(cfg.blockAtStart(0xdead), nullptr);
+    EXPECT_TRUE(cfg.blocksAtTerm(0xdead).empty());
+}
+
+} // namespace
+} // namespace rev::prog

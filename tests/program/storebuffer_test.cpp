@@ -1,0 +1,107 @@
+/**
+ * @file
+ * StoreBuffer (deferred memory update, Requirement R5) tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "program/interp.hpp"
+
+namespace rev::prog
+{
+namespace
+{
+
+TEST(StoreBuffer, ForwardsLatestValue)
+{
+    SparseMemory mem;
+    StoreBuffer sb;
+    mem.write64(0x100, 1);
+    sb.push(1, 0x100, 2);
+    sb.push(2, 0x100, 3);
+    EXPECT_EQ(sb.read64(mem, 0x100), 3u);
+    EXPECT_EQ(mem.read64(0x100), 1u); // memory untouched
+}
+
+TEST(StoreBuffer, DrainReleasesInOrder)
+{
+    SparseMemory mem;
+    StoreBuffer sb;
+    sb.push(1, 0x100, 10);
+    sb.push(2, 0x108, 20);
+    sb.push(3, 0x100, 30);
+
+    sb.drain(mem, 2);
+    EXPECT_EQ(mem.read64(0x100), 10u);
+    EXPECT_EQ(mem.read64(0x108), 20u);
+    // Newest store still pending; forwarding still sees it.
+    EXPECT_EQ(sb.read64(mem, 0x100), 30u);
+
+    sb.drain(mem, 3);
+    EXPECT_EQ(mem.read64(0x100), 30u);
+    EXPECT_TRUE(sb.empty());
+}
+
+TEST(StoreBuffer, SquashDiscardsYoungest)
+{
+    SparseMemory mem;
+    StoreBuffer sb;
+    sb.push(1, 0x100, 10);
+    sb.push(2, 0x100, 20);
+    sb.squash(2);
+    // Forwarding falls back to the older pending store.
+    EXPECT_EQ(sb.read64(mem, 0x100), 10u);
+    sb.drain(mem, 10);
+    EXPECT_EQ(mem.read64(0x100), 10u);
+}
+
+TEST(StoreBuffer, SquashAllRestoresMemoryView)
+{
+    SparseMemory mem;
+    mem.write64(0x200, 7);
+    StoreBuffer sb;
+    sb.push(5, 0x200, 99);
+    sb.squash(1);
+    EXPECT_TRUE(sb.empty());
+    EXPECT_EQ(sb.read64(mem, 0x200), 7u);
+}
+
+TEST(StoreBuffer, OverlappingUnalignedStores)
+{
+    SparseMemory mem;
+    StoreBuffer sb;
+    sb.push(1, 0x100, 0x1111111111111111ULL);
+    sb.push(2, 0x104, 0x2222222222222222ULL);
+    // Bytes 0x100..0x103 from store 1, 0x104..0x10b from store 2.
+    EXPECT_EQ(sb.read64(mem, 0x100), 0x2222222211111111ULL);
+    sb.drain(mem, 2);
+    EXPECT_EQ(mem.read64(0x100), 0x2222222211111111ULL);
+}
+
+TEST(StoreBuffer, PartialDrainBoundary)
+{
+    SparseMemory mem;
+    StoreBuffer sb;
+    sb.push(10, 0x100, 1);
+    sb.push(20, 0x108, 2);
+    sb.drain(mem, 15);
+    EXPECT_EQ(mem.read64(0x100), 1u);
+    EXPECT_EQ(mem.read64(0x108), 0u);
+    EXPECT_EQ(sb.size(), 1u);
+    EXPECT_EQ(sb.oldestSeq(), 20u);
+}
+
+TEST(StoreBuffer, SquashThenRepushSameAddress)
+{
+    SparseMemory mem;
+    StoreBuffer sb;
+    sb.push(1, 0x100, 10);
+    sb.squash(1);
+    sb.push(2, 0x100, 20);
+    EXPECT_EQ(sb.read64(mem, 0x100), 20u);
+    sb.drain(mem, 2);
+    EXPECT_EQ(mem.read64(0x100), 20u);
+}
+
+} // namespace
+} // namespace rev::prog

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Shared helpers for building small test programs.
+ */
+
+#ifndef REV_TESTS_TESTUTIL_HPP
+#define REV_TESTS_TESTUTIL_HPP
+
+#include "program/assembler.hpp"
+#include "program/program.hpp"
+
+namespace rev::test
+{
+
+/**
+ * A minimal program: main() sums 1..10 into r1 via a loop, calls helper()
+ * which doubles r1, stores the result at kResultAddr, and halts.
+ */
+inline constexpr Addr kResultAddr = prog::kHeapBase;
+
+inline prog::Program
+makeLoopCallProgram()
+{
+    using namespace isa;
+    prog::Assembler a(prog::kDefaultCodeBase);
+
+    a.label("main");
+    a.movi(1, 0);   // acc = 0
+    a.movi(2, 10);  // i = 10
+    a.label("loop");
+    a.add(1, 1, 2); // acc += i
+    a.addi(2, 2, -1);
+    a.bne(2, 0, "loop");
+    a.call("helper");
+    a.movi(5, static_cast<i32>(kResultAddr));
+    a.st(1, 5, 0);
+    a.halt();
+
+    a.label("helper");
+    a.add(1, 1, 1); // acc *= 2
+    a.ret();
+
+    prog::Program p;
+    p.addModule(a.finalize("main", "main"));
+    return p;
+}
+
+/**
+ * A program with an indirect call dispatched through a jump table:
+ * main calls fn_a or fn_b through CALLR depending on the loop parity,
+ * looping kDispatchIters times; fn_a adds 3, fn_b adds 5.
+ */
+inline constexpr int kDispatchIters = 8;
+
+inline prog::Program
+makeIndirectDispatchProgram()
+{
+    using namespace isa;
+    prog::Assembler a(prog::kDefaultCodeBase);
+
+    a.label("main");
+    a.movi(1, 0);               // acc
+    a.movi(2, kDispatchIters);  // counter
+    a.label("loop");
+    a.andi(3, 2, 1);            // parity
+    a.shli(3, 3, 3);            // *8
+    a.la(4, "table");
+    a.add(4, 4, 3);
+    a.ld(5, 4, 0);              // target = table[parity]
+    const Addr site = a.callr(5);
+    a.annotateIndirect(site, {"fn_a", "fn_b"});
+    a.addi(2, 2, -1);
+    a.bne(2, 0, "loop");
+    a.halt();
+
+    a.label("fn_a");
+    a.addi(1, 1, 3);
+    a.ret();
+
+    a.label("fn_b");
+    a.addi(1, 1, 5);
+    a.ret();
+
+    a.beginData();
+    a.align(8);
+    a.label("table");
+    a.word64Label("fn_a");
+    a.word64Label("fn_b");
+
+    prog::Program p;
+    p.addModule(a.finalize("main", "main"));
+    return p;
+}
+
+} // namespace rev::test
+
+#endif // REV_TESTS_TESTUTIL_HPP

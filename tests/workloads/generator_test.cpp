@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Workload generator tests: generated programs must be well-formed,
+ * deterministic, analyzable, and runnable under full REV validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "program/cfg.hpp"
+#include "program/interp.hpp"
+#include "workloads/generator.hpp"
+
+namespace rev::workloads
+{
+namespace
+{
+
+WorkloadProfile
+tinyProfile()
+{
+    WorkloadProfile p;
+    p.name = "tiny";
+    p.seed = 7;
+    p.numFunctions = 64;
+    p.entryFunctions = 4;
+    p.callSpan = 16;
+    p.hotReach = 16;
+    p.mainIterations = 50;
+    return p;
+}
+
+TEST(Generator, DeterministicForSameSeed)
+{
+    auto a = generateWorkload(tinyProfile());
+    auto b = generateWorkload(tinyProfile());
+    EXPECT_EQ(a.main().image, b.main().image);
+}
+
+TEST(Generator, DifferentSeedsDiffer)
+{
+    auto p1 = tinyProfile();
+    auto p2 = tinyProfile();
+    p2.seed = 8;
+    EXPECT_NE(generateWorkload(p1).main().image,
+              generateWorkload(p2).main().image);
+}
+
+TEST(Generator, CodeDecodesAndCfgBuilds)
+{
+    auto p = generateWorkload(tinyProfile());
+    prog::Cfg cfg = prog::buildCfg(p.main()); // fatal on bad code
+    EXPECT_GT(cfg.blocks().size(), 100u);
+}
+
+TEST(Generator, RunsToHaltFunctionally)
+{
+    auto p = generateWorkload(tinyProfile());
+    SparseMemory mem;
+    p.loadInto(mem);
+    prog::Machine machine(p, mem);
+    const u64 executed = prog::runToHalt(machine, 50'000'000);
+    EXPECT_TRUE(machine.halted()) << "executed " << executed;
+}
+
+TEST(Generator, CleanUnderFullRevValidation)
+{
+    auto p = generateWorkload(tinyProfile());
+    core::SimConfig cfg;
+    cfg.core.maxInstrs = 50'000;
+    core::Simulator sim(p, cfg);
+    const core::SimResult r = sim.run();
+    EXPECT_FALSE(r.run.violation.has_value())
+        << r.run.violation->reason;
+    EXPECT_GT(r.rev.bbValidated, 100u);
+}
+
+TEST(Generator, AnnotatesEveryComputedSite)
+{
+    auto p = generateWorkload(tinyProfile());
+    prog::Cfg cfg = prog::buildCfg(p.main());
+    for (const auto &bb : cfg.blocks()) {
+        if (termIsComputed(bb.kind)) {
+            EXPECT_FALSE(bb.succs.empty())
+                << "unannotated computed site at 0x" << std::hex << bb.term;
+        }
+    }
+}
+
+TEST(Generator, RejectsBadProfiles)
+{
+    auto p = tinyProfile();
+    p.entryFunctions = 3; // not a power of two
+    EXPECT_THROW(generateWorkload(p), FatalError);
+
+    auto q = tinyProfile();
+    q.numFunctions = 2; // fewer than entry functions
+    EXPECT_THROW(generateWorkload(q), FatalError);
+
+    auto r = tinyProfile();
+    r.dataFootprint = 3000; // not a power of two
+    EXPECT_THROW(generateWorkload(r), FatalError);
+}
+
+TEST(Generator, HotReachBoundsWorkingSet)
+{
+    auto narrow = tinyProfile();
+    narrow.numFunctions = 512;
+    narrow.hotReach = 8;
+    narrow.mainIterations = 400;
+    auto wide = narrow;
+    wide.hotReach = 0;
+    wide.gateSpread = 0.3;
+
+    auto run_unique = [](const WorkloadProfile &prof) {
+        auto p = generateWorkload(prof);
+        core::SimConfig cfg;
+        cfg.withRev = false;
+        cfg.core.maxInstrs = 150'000;
+        core::Simulator sim(p, cfg);
+        return sim.run().run.uniqueBranches;
+    };
+    EXPECT_LT(run_unique(narrow), run_unique(wide));
+}
+
+TEST(Generator, LoopFracAmplifiesLocality)
+{
+    // Compare unique-branch coverage at equal instruction budgets: loops
+    // re-execute the same blocks, so coverage must drop. Use a larger
+    // program so the property is not seed noise.
+    auto loopy = tinyProfile();
+    loopy.numFunctions = 256;
+    loopy.hotReach = 64;
+    loopy.callSpan = 32;
+    loopy.loopFrac = 0.7;
+    loopy.loopIters = 30;
+    auto flat = loopy;
+    flat.loopFrac = 0.0;
+
+    auto run_unique_per_instr = [](const WorkloadProfile &prof) {
+        auto p = generateWorkload(prof);
+        core::SimConfig cfg;
+        cfg.withRev = false;
+        cfg.core.maxInstrs = 100'000;
+        core::Simulator sim(p, cfg);
+        const auto r = sim.run().run;
+        return static_cast<double>(r.committedBranches) / r.instrs;
+    };
+    // Loops re-execute the same branches: fewer distinct... branch density
+    // per instruction is similar, but unique coverage drops. Compare
+    // coverage directly:
+    auto run_unique = [](const WorkloadProfile &prof) {
+        auto p = generateWorkload(prof);
+        core::SimConfig cfg;
+        cfg.withRev = false;
+        cfg.core.maxInstrs = 100'000;
+        core::Simulator sim(p, cfg);
+        return sim.run().run.uniqueBranches;
+    };
+    (void)run_unique_per_instr;
+    EXPECT_LT(run_unique(loopy), run_unique(flat));
+}
+
+} // namespace
+} // namespace rev::workloads

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * SPEC 2006 stand-in profile tests: the calibrated static anchors of
+ * Sec. VIII must hold (block-count ordering, instructions per block,
+ * successor ordering).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/logging.hpp"
+#include "program/cfg.hpp"
+#include "workloads/generator.hpp"
+
+namespace rev::workloads
+{
+namespace
+{
+
+/** Build CFG stats for one benchmark (cached across tests). */
+const prog::CfgStats &
+statsFor(const std::string &name)
+{
+    static std::map<std::string, prog::CfgStats> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        auto p = generateWorkload(specProfile(name));
+        it = cache.emplace(name, prog::buildCfg(p.main()).stats()).first;
+    }
+    return it->second;
+}
+
+TEST(Spec, FifteenBenchmarks)
+{
+    EXPECT_EQ(spec2006Profiles().size(), 15u);
+}
+
+TEST(Spec, LookupByName)
+{
+    EXPECT_EQ(specProfile("gcc").name, "gcc");
+    EXPECT_THROW(specProfile("nonesuch"), FatalError);
+}
+
+TEST(Spec, UniqueSeedsAndNames)
+{
+    std::set<std::string> names;
+    std::set<u64> seeds;
+    for (const auto &p : spec2006Profiles()) {
+        EXPECT_TRUE(names.insert(p.name).second);
+        EXPECT_TRUE(seeds.insert(p.seed).second);
+    }
+}
+
+TEST(Spec, McfIsSmallestGamessIsLargest)
+{
+    // Paper: BB counts range from 20266 (mcf) to 92218 (gamess).
+    const auto mcf = statsFor("mcf");
+    const auto gamess = statsFor("gamess");
+    for (const auto &p : spec2006Profiles()) {
+        const auto s = statsFor(p.name);
+        EXPECT_GE(s.numBlocks, mcf.numBlocks) << p.name;
+        EXPECT_LE(s.numBlocks, gamess.numBlocks) << p.name;
+    }
+    // Same order of magnitude as the paper's anchors.
+    EXPECT_GT(mcf.numBlocks, 10'000u);
+    EXPECT_LT(mcf.numBlocks, 30'000u);
+    EXPECT_GT(gamess.numBlocks, 70'000u);
+    EXPECT_LT(gamess.numBlocks, 130'000u);
+}
+
+TEST(Spec, InstrsPerBlockRange)
+{
+    // Paper: 5.5 (mcf) .. 10.02 (gamess); mcf shortest blocks.
+    const auto mcf = statsFor("mcf");
+    const auto gamess = statsFor("gamess");
+    EXPECT_LT(mcf.avgInstrsPerBlock, gamess.avgInstrsPerBlock);
+    for (const auto &p : spec2006Profiles()) {
+        const auto s = statsFor(p.name);
+        EXPECT_GT(s.avgInstrsPerBlock, 4.0) << p.name;
+        EXPECT_LT(s.avgInstrsPerBlock, 12.0) << p.name;
+    }
+}
+
+TEST(Spec, SoplexHasFewestSuccessors)
+{
+    // Paper: successors per block range from 1.68 (soplex) upward.
+    const auto soplex = statsFor("soplex");
+    for (const auto &p : spec2006Profiles()) {
+        if (p.name == "soplex")
+            continue;
+        EXPECT_LE(soplex.avgSuccsPerBlock,
+                  statsFor(p.name).avgSuccsPerBlock + 0.02)
+            << p.name;
+    }
+}
+
+TEST(Spec, ComputedSitesAreaSmallFractionOfBranches)
+{
+    // Paper Sec. V.D: dynamic (computed) branches are ~10% of branch
+    // sites on average.
+    for (const auto &p : spec2006Profiles()) {
+        const auto s = statsFor(p.name);
+        const double frac = static_cast<double>(s.numComputedSites) /
+                            static_cast<double>(s.numBranchInstrs);
+        EXPECT_LT(frac, 0.2) << p.name;
+    }
+}
+
+} // namespace
+} // namespace rev::workloads

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * revsim — the command-line driver a downstream user reaches for first.
+ *
+ *   revsim --bench gobmk --mode full --sc 32 --instrs 500000 --stats
+ *   revsim --bench gcc --mode cfi --base           # compare vs base core
+ *   revsim --list
+ *
+ * Options:
+ *   --bench NAME       SPEC stand-in to run (default mcf); --list shows all
+ *   --mode MODE        full | aggressive | cfi (default full)
+ *   --sc KB            signature cache capacity in KB (default 32)
+ *   --instrs N         committed-instruction budget (default 500000)
+ *   --base             also run the no-REV baseline and print overhead
+ *   --shadow-stack     use a shadow call stack instead of Sec. V.A
+ *   --page-shadowing   strict R5 whole-run transaction
+ *   --interrupts N     external interrupt every N cycles
+ *   --dma N            background DMA burst every N cycles
+ *   --no-wrong-path    disable wrong-path fetch modeling
+ *   --seed N           workload generation seed override
+ *   --stats            dump every component's statistics
+ *   --attack NAME      run a Table 1 attack instead of a workload
+ *                      (--attack list shows the classes)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "attacks/attack.hpp"
+#include "core/simulator.hpp"
+#include "workloads/generator.hpp"
+
+namespace
+{
+
+using namespace rev;
+
+void
+usage()
+{
+    std::printf(
+        "usage: revsim [--bench NAME] [--mode full|aggressive|cfi]\n"
+        "              [--sc KB] [--instrs N] [--base] [--shadow-stack]\n"
+        "              [--page-shadowing] [--interrupts N] [--dma N]\n"
+        "              [--no-wrong-path] [--seed N] [--stats] [--list]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = "mcf";
+    std::string attack;
+    std::string mode_s = "full";
+    unsigned sc_kb = 32;
+    u64 instrs = 500'000;
+    bool with_base = false;
+    bool shadow_stack = false;
+    bool page_shadowing = false;
+    bool stats = false;
+    bool wrong_path = true;
+    u64 interrupts = 0, dma = 0, seed = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--bench") {
+            bench = next();
+        } else if (arg == "--mode") {
+            mode_s = next();
+        } else if (arg == "--sc") {
+            sc_kb = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--instrs") {
+            instrs = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--base") {
+            with_base = true;
+        } else if (arg == "--shadow-stack") {
+            shadow_stack = true;
+        } else if (arg == "--page-shadowing") {
+            page_shadowing = true;
+        } else if (arg == "--interrupts") {
+            interrupts = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--dma") {
+            dma = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--no-wrong-path") {
+            wrong_path = false;
+        } else if (arg == "--seed") {
+            seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--stats") {
+            stats = true;
+        } else if (arg == "--attack") {
+            attack = next();
+        } else if (arg == "--list") {
+            for (const auto &p : workloads::spec2006Profiles())
+                std::printf("%s\n", p.name.c_str());
+            return 0;
+        } else {
+            usage();
+            return arg == "--help" || arg == "-h" ? 0 : 2;
+        }
+    }
+
+    sig::ValidationMode mode;
+    if (mode_s == "full")
+        mode = sig::ValidationMode::Full;
+    else if (mode_s == "aggressive")
+        mode = sig::ValidationMode::Aggressive;
+    else if (mode_s == "cfi")
+        mode = sig::ValidationMode::CfiOnly;
+    else {
+        usage();
+        return 2;
+    }
+
+    if (!attack.empty()) {
+        const auto all = attacks::makeAllAttacks();
+        if (attack == "list") {
+            for (const auto &atk : all)
+                std::printf("%s\n", atk->name());
+            return 0;
+        }
+        for (const auto &atk : all) {
+            if (attack != atk->name())
+                continue;
+            core::SimConfig acfg;
+            acfg.mode = mode_s == "aggressive"
+                            ? sig::ValidationMode::Aggressive
+                            : (mode_s == "cfi" ? sig::ValidationMode::CfiOnly
+                                               : sig::ValidationMode::Full);
+            const attacks::AttackOutcome out = atk->execute(acfg);
+            std::printf("attack               %s\n", atk->name());
+            std::printf("mechanism            %s\n",
+                        atk->table1Mechanism());
+            std::printf("triggered            %s\n",
+                        out.triggered ? "yes" : "no");
+            std::printf("detected             %s\n",
+                        out.detected ? out.reason.c_str() : "NO");
+            std::printf("attacker goal met    %s\n",
+                        out.succeeded ? "YES (tainted memory)" : "no");
+            return out.detected || !atk->detectableIn(acfg.mode) ? 0 : 1;
+        }
+        std::fprintf(stderr, "unknown attack '%s' (try --attack list)\n",
+                     attack.c_str());
+        return 2;
+    }
+
+    workloads::WorkloadProfile prof = workloads::specProfile(bench);
+    if (seed)
+        prof.seed = seed;
+    std::fprintf(stderr, "[revsim] generating %s...\n", bench.c_str());
+    const prog::Program program = workloads::generateWorkload(prof);
+
+    core::SimConfig cfg;
+    cfg.mode = mode;
+    cfg.rev.sc.sizeBytes = sc_kb * 1024ull;
+    cfg.core.maxInstrs = instrs;
+    cfg.core.modelWrongPath = wrong_path;
+    cfg.core.interruptInterval = interrupts;
+    cfg.mem.dmaIntervalCycles = dma;
+    cfg.pageShadowing = page_shadowing;
+    if (shadow_stack)
+        cfg.rev.returnValidation = core::ReturnValidation::ShadowStack;
+
+    double base_ipc = 0;
+    if (with_base) {
+        core::SimConfig bcfg = cfg;
+        bcfg.withRev = false;
+        std::fprintf(stderr, "[revsim] base run...\n");
+        base_ipc = core::Simulator(program, bcfg).run().run.ipc();
+    }
+
+    std::fprintf(stderr, "[revsim] REV run (%s, %u KB SC)...\n",
+                 sig::modeName(mode), sc_kb);
+    core::Simulator sim(program, cfg);
+    const core::SimResult r = sim.run();
+
+    std::printf("benchmark            %s\n", bench.c_str());
+    std::printf("mode                 %s\n", sig::modeName(mode));
+    std::printf("instructions         %llu\n",
+                static_cast<unsigned long long>(r.run.instrs));
+    std::printf("cycles               %llu\n",
+                static_cast<unsigned long long>(r.run.cycles));
+    std::printf("IPC                  %.4f\n", r.run.ipc());
+    if (with_base) {
+        std::printf("base IPC             %.4f\n", base_ipc);
+        std::printf("REV overhead         %.2f%%\n",
+                    100.0 * (base_ipc - r.run.ipc()) / base_ipc);
+    }
+    std::printf("branches             %llu (unique %llu, mispred %llu)\n",
+                static_cast<unsigned long long>(r.run.committedBranches),
+                static_cast<unsigned long long>(r.run.uniqueBranches),
+                static_cast<unsigned long long>(r.run.mispredicts));
+    std::printf("BBs validated        %llu\n",
+                static_cast<unsigned long long>(r.rev.bbValidated));
+    std::printf("SC misses            %llu complete + %llu partial\n",
+                static_cast<unsigned long long>(r.rev.scCompleteMisses),
+                static_cast<unsigned long long>(r.rev.scPartialMisses));
+    std::printf("commit stalls        %llu cycles\n",
+                static_cast<unsigned long long>(r.rev.commitStallCycles));
+    std::printf("signature tables     %llu bytes\n",
+                static_cast<unsigned long long>(r.sigTableBytes));
+    std::printf("violations           %s\n",
+                r.run.violation ? r.run.violation->reason.c_str() : "none");
+    if (stats) {
+        std::printf("---- component statistics ----\n");
+        sim.dumpStats(std::cout);
+    }
+    return 0;
+}
