@@ -13,11 +13,11 @@
 #include "bench/suite.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rev::bench;
     using rev::u64;
-    const Sweep &s = fullSweep();
+    const Sweep s = runSweep(sweepOptionsFromArgs(argc, argv));
 
     printHeader("Figure 10 -- signature cache miss counts (32 KB SC)",
                 "Sec. VIII, Fig. 10");

@@ -13,10 +13,10 @@
 #include "bench/suite.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rev::bench;
-    const Sweep &s = fullSweep();
+    const Sweep s = runSweep(sweepOptionsFromArgs(argc, argv));
 
     printHeader(
         "Figure 11 -- memory-hierarchy behaviour of SC miss service (32 KB)",

@@ -13,10 +13,10 @@
 #include "bench/suite.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rev::bench;
-    const Sweep &s = fullSweep();
+    const Sweep s = runSweep(sweepOptionsFromArgs(argc, argv));
 
     printHeader("Figure 12 -- IPC overhead (%) with aggressive validation",
                 "Sec. VIII, Fig. 12");

@@ -14,10 +14,10 @@
 #include "bench/suite.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rev::bench;
-    const Sweep &s = fullSweep();
+    const Sweep s = runSweep(sweepOptionsFromArgs(argc, argv));
 
     printHeader("Figure 6 -- IPC: base vs REV (32 KB SC) vs REV (64 KB SC)",
                 "Sec. VIII, Fig. 6");

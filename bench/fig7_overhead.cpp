@@ -12,10 +12,10 @@
 #include "bench/suite.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rev::bench;
-    const Sweep &s = fullSweep();
+    const Sweep s = runSweep(sweepOptionsFromArgs(argc, argv));
 
     printHeader("Figure 7 -- IPC overhead (%) vs base for REV",
                 "Sec. VIII, Fig. 7; avg 1.87% @32K, 1.63% @64K, gobmk ~15%");

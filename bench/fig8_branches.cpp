@@ -14,10 +14,10 @@
 #include "bench/suite.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rev::bench;
-    const Sweep &s = fullSweep();
+    const Sweep s = runSweep(sweepOptionsFromArgs(argc, argv));
 
     printHeader("Figure 8 -- committed branches during execution",
                 "Sec. VIII, Fig. 8");

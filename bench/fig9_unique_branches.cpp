@@ -14,11 +14,11 @@
 #include "bench/suite.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rev::bench;
     using rev::u64;
-    const Sweep &s = fullSweep();
+    const Sweep s = runSweep(sweepOptionsFromArgs(argc, argv));
 
     printHeader("Figure 9 -- unique branches during execution",
                 "Sec. VIII, Fig. 9");

@@ -13,10 +13,10 @@
 #include "bench/suite.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rev::bench;
-    const Sweep &s = fullSweep();
+    const Sweep s = runSweep(sweepOptionsFromArgs(argc, argv));
 
     printHeader("Sec. VIII -- static basic-block statistics",
                 "blocks 20266(mcf)..92218(gamess); inst/BB 5.5..10.02; "

@@ -12,10 +12,10 @@
 #include "bench/suite.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rev::bench;
-    const Sweep &s = fullSweep();
+    const Sweep s = runSweep(sweepOptionsFromArgs(argc, argv));
 
     printHeader("CFI-only validation -- IPC overhead (%)",
                 "Sec. VIII text: 0.04% .. 1.68% across SPEC");

@@ -1,23 +1,32 @@
 #include "bench/suite.hpp"
 
 #include <cstdio>
-#include <fstream>
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
 
-#include "core/simulator.hpp"
+#include "bench/sweep_runner.hpp"
 #include "workloads/generator.hpp"
 
 namespace rev::bench
 {
 
-namespace
+const char *
+configName(Config c)
 {
-
-constexpr const char *kCacheFile = "rev_bench_cache.txt";
-constexpr int kCacheVersion = 4;
+    switch (c) {
+      case Config::Base: return "base";
+      case Config::Full32: return "full32";
+      case Config::Full64: return "full64";
+      case Config::Agg32: return "agg32";
+      case Config::Agg64: return "agg64";
+      case Config::Cfi32: return "cfi32";
+    }
+    return "?";
+}
 
 core::SimConfig
-simConfig(Config c, u64 budget)
+sweepSimConfig(Config c, u64 budget)
 {
     core::SimConfig cfg;
     cfg.core.maxInstrs = budget;
@@ -49,161 +58,71 @@ simConfig(Config c, u64 budget)
     return cfg;
 }
 
-void
-saveSweep(const Sweep &s, u64 budget)
+SweepOptions
+SweepOptions::quick()
 {
-    std::ofstream os(kCacheFile);
-    os << "version " << kCacheVersion << ' ' << budget << '\n';
-    for (const auto &b : s.benchmarks) {
-        const auto &st = s.statics.at(b);
-        os << "static " << b << ' ' << st.numBlocks << ' '
-           << st.numTerminators << ' ' << st.instrsPerBlock << ' '
-           << st.succsPerBlock << ' ' << st.codeBytes << ' '
-           << st.computedSites << ' ' << st.branchSites << ' '
-           << st.tableBytesFull << ' ' << st.tableBytesAggressive << ' '
-           << st.tableBytesCfi << '\n';
-        for (Config c : kAllConfigs) {
-            const auto &r = s.at(b, c);
-            os << "run " << b << ' ' << configName(c) << ' ' << r.ipc
-               << ' ' << r.cycles << ' ' << r.instrs << ' '
-               << r.committedBranches << ' ' << r.uniqueBranches << ' '
-               << r.mispredicts << ' ' << r.scCompleteMisses << ' '
-               << r.scPartialMisses << ' ' << r.commitStallCycles << ' '
-               << r.scFillAccesses << ' ' << r.scFillL1Misses << ' '
-               << r.scFillL2Misses << ' ' << r.violations << '\n';
-        }
-    }
-}
-
-bool
-loadSweep(Sweep &s, u64 budget)
-{
-    std::ifstream is(kCacheFile);
-    if (!is)
-        return false;
-    std::string tag;
-    int version = 0;
-    u64 cached_budget = 0;
-    is >> tag >> version >> cached_budget;
-    if (tag != "version" || version != kCacheVersion ||
-        cached_budget != budget)
-        return false;
-
-    std::map<std::string, Config> by_name;
-    for (Config c : kAllConfigs)
-        by_name[configName(c)] = c;
-
-    while (is >> tag) {
-        if (tag == "static") {
-            std::string b;
-            StaticNumbers st;
-            is >> b >> st.numBlocks >> st.numTerminators >>
-                st.instrsPerBlock >> st.succsPerBlock >> st.codeBytes >>
-                st.computedSites >> st.branchSites >> st.tableBytesFull >>
-                st.tableBytesAggressive >> st.tableBytesCfi;
-            s.benchmarks.push_back(b);
-            s.statics[b] = st;
-        } else if (tag == "run") {
-            std::string b, cname;
-            RunNumbers r;
-            is >> b >> cname >> r.ipc >> r.cycles >> r.instrs >>
-                r.committedBranches >> r.uniqueBranches >> r.mispredicts >>
-                r.scCompleteMisses >> r.scPartialMisses >>
-                r.commitStallCycles >> r.scFillAccesses >>
-                r.scFillL1Misses >> r.scFillL2Misses >> r.violations;
-            if (!by_name.count(cname))
-                return false;
-            s.runs[{b, by_name[cname]}] = r;
-        } else {
-            return false;
-        }
-    }
-    return !s.benchmarks.empty();
+    SweepOptions opts;
+    const auto profiles = workloads::spec2006Profiles();
+    for (std::size_t i = 0; i < profiles.size() && i < 3; ++i)
+        opts.benchmarks.push_back(profiles[i].name);
+    opts.instrBudget = kQuickInstrBudget;
+    opts.useCache = false;
+    return opts;
 }
 
 Sweep
-computeSweep(bool quick)
+runSweep(const SweepOptions &opts)
 {
-    const u64 budget = quick ? 100'000 : kInstrBudget;
-    Sweep sweep;
-
-    auto profiles = workloads::spec2006Profiles();
-    if (quick)
-        profiles.resize(3);
-
-    for (const auto &prof : profiles) {
-        std::fprintf(stderr, "[suite] %s: generating...\n",
-                     prof.name.c_str());
-        const prog::Program program = workloads::generateWorkload(prof);
-        sweep.benchmarks.push_back(prof.name);
-
-        // Static facts.
-        {
-            const prog::Cfg cfg = prog::buildCfg(program.main());
-            const prog::CfgStats cs = cfg.stats();
-            StaticNumbers st;
-            st.numBlocks = cs.numBlocks;
-            st.numTerminators = cs.numTerminators;
-            st.instrsPerBlock = cs.avgInstrsPerBlock;
-            st.succsPerBlock = cs.avgSuccsPerBlock;
-            st.codeBytes = program.main().codeSize;
-            st.computedSites = cs.numComputedSites;
-            st.branchSites = cs.numBranchInstrs;
-            sweep.statics[prof.name] = st;
-        }
-
-        for (Config c : kAllConfigs) {
-            std::fprintf(stderr, "[suite] %s: %s...\n", prof.name.c_str(),
-                         configName(c));
-            core::Simulator sim(program, simConfig(c, budget));
-            const core::SimResult res = sim.run();
-            if (res.run.violation)
-                fatal("bench sweep: unexpected violation in ", prof.name,
-                      " (", configName(c), "): ",
-                      res.run.violation->reason);
-
-            RunNumbers r;
-            r.ipc = res.run.ipc();
-            r.cycles = res.run.cycles;
-            r.instrs = res.run.instrs;
-            r.committedBranches = res.run.committedBranches;
-            r.uniqueBranches = res.run.uniqueBranches;
-            r.mispredicts = res.run.mispredicts;
-            r.scCompleteMisses = res.rev.scCompleteMisses;
-            r.scPartialMisses = res.rev.scPartialMisses;
-            r.commitStallCycles = res.rev.commitStallCycles;
-            r.scFillAccesses = res.scFillAccesses;
-            r.scFillL1Misses = res.scFillL1Misses;
-            r.scFillL2Misses = res.scFillL2Misses;
-            r.violations = res.rev.violations;
-            sweep.runs[{prof.name, c}] = r;
-
-            auto &st = sweep.statics[prof.name];
-            if (c == Config::Full32)
-                st.tableBytesFull = res.sigTableBytes;
-            else if (c == Config::Agg32)
-                st.tableBytesAggressive = res.sigTableBytes;
-            else if (c == Config::Cfi32)
-                st.tableBytesCfi = res.sigTableBytes;
-        }
-    }
-    return sweep;
+    return SweepRunner(opts).run();
 }
 
-} // namespace
-
-const char *
-configName(Config c)
+SweepOptions
+sweepOptionsFromArgs(int argc, char **argv)
 {
-    switch (c) {
-      case Config::Base: return "base";
-      case Config::Full32: return "full32";
-      case Config::Full64: return "full64";
-      case Config::Agg32: return "agg32";
-      case Config::Agg64: return "agg64";
-      case Config::Cfi32: return "cfi32";
+    auto usage = [&](int code) {
+        std::printf(
+            "usage: %s [--quick] [--no-cache] [--threads N] [--instrs N]\n"
+            "          [--bench a,b,c] [--cache PATH]\n",
+            argc > 0 ? argv[0] : "bench");
+        std::exit(code);
+    };
+    // --quick is a base preset: apply it first so the other flags
+    // override it regardless of their position on the command line.
+    SweepOptions opts;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--quick")
+            opts = SweepOptions::quick();
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(2);
+            return argv[++i];
+        };
+        if (arg == "--quick") {
+            // applied above
+        } else if (arg == "--no-cache") {
+            opts.useCache = false;
+        } else if (arg == "--threads") {
+            opts.threads = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--instrs") {
+            opts.instrBudget = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--bench") {
+            opts.benchmarks.clear();
+            std::istringstream names(next());
+            std::string name;
+            while (std::getline(names, name, ','))
+                if (!name.empty())
+                    opts.benchmarks.push_back(name);
+        } else if (arg == "--cache") {
+            opts.cachePath = next();
+        } else if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else {
+            usage(2);
+        }
     }
-    return "?";
+    return opts;
 }
 
 const Sweep &
@@ -211,17 +130,11 @@ fullSweep(bool quick)
 {
     static Sweep sweep;
     static bool ready = false;
-    if (!ready) {
-        const u64 budget = quick ? 100'000 : kInstrBudget;
-        if (!quick && loadSweep(sweep, budget)) {
-            std::fprintf(stderr, "[suite] loaded cached sweep (%s)\n",
-                         kCacheFile);
-        } else {
-            sweep = computeSweep(quick);
-            if (!quick)
-                saveSweep(sweep, budget);
-        }
+    static bool readyQuick = false;
+    if (!ready || readyQuick != quick) {
+        sweep = runSweep(quick ? SweepOptions::quick() : SweepOptions{});
         ready = true;
+        readyQuick = quick;
     }
     return sweep;
 }

@@ -5,10 +5,16 @@
  * Every figure/table binary consumes the same underlying experiment: the
  * 15 SPEC stand-ins, each simulated under the base core and under REV in
  * several configurations (Full with 32/64 KB SC, Aggressive with 32/64 KB,
- * CFI-only with 32 KB). The sweep is computed once and cached on disk
- * (rev_bench_cache.txt in the working directory) so that running all
- * bench binaries in sequence only pays for simulation once. Delete the
- * cache file to force a re-run.
+ * CFI-only with 32 KB). The 90 (benchmark, config) jobs are mutually
+ * independent, so the sweep engine (SweepRunner) fans them out across a
+ * worker pool and collects results deterministically — parallel output is
+ * identical to a serial run.
+ *
+ * Entry point: runSweep(SweepOptions). Options select the benchmark
+ * subset, instruction budget, thread count, and the on-disk cache.
+ * Completed jobs are cached in rev_bench_cache.txt keyed by a hash of the
+ * full simulation configuration and workload profile, so editing any knob
+ * invalidates exactly the affected jobs and untouched ones are reused.
  */
 
 #ifndef REV_BENCH_SUITE_HPP
@@ -19,6 +25,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/simulator.hpp"
 
 namespace rev::bench
 {
@@ -40,6 +47,9 @@ inline constexpr Config kAllConfigs[] = {Config::Base,  Config::Full32,
 
 const char *configName(Config c);
 
+/** The core::SimConfig a sweep uses for @p c at @p budget instructions. */
+core::SimConfig sweepSimConfig(Config c, u64 budget);
+
 /** One (benchmark, config) measurement. */
 struct RunNumbers
 {
@@ -58,6 +68,8 @@ struct RunNumbers
     u64 violations = 0;
 
     u64 scMisses() const { return scCompleteMisses + scPartialMisses; }
+
+    bool operator==(const RunNumbers &) const = default;
 };
 
 /** Static per-benchmark facts (independent of the simulated config). */
@@ -73,6 +85,8 @@ struct StaticNumbers
     u64 tableBytesFull = 0;
     u64 tableBytesAggressive = 0;
     u64 tableBytesCfi = 0;
+
+    bool operator==(const StaticNumbers &) const = default;
 };
 
 /** The whole sweep. */
@@ -87,15 +101,75 @@ struct Sweep
     {
         return runs.at({bench, c});
     }
+
+    bool operator==(const Sweep &) const = default;
 };
 
 /** Instructions simulated per benchmark per config. */
 inline constexpr u64 kInstrBudget = 2'000'000;
 
+/** Instruction budget of the quick (smoke-test) sweep. */
+inline constexpr u64 kQuickInstrBudget = 100'000;
+
 /**
- * Compute (or load from cache) the full sweep.
- * @param quick Restrict to three benchmarks and a small budget (tests).
+ * How to run a sweep. The default-constructed options reproduce the
+ * paper sweep: all 15 stand-ins, 2 M instructions per run, as many
+ * worker threads as the hardware offers, results cached on disk.
  */
+struct SweepOptions
+{
+    /** Benchmark subset (paper order preserved); empty = all 15. */
+    std::vector<std::string> benchmarks;
+
+    /** Committed-instruction budget per (benchmark, config) run. */
+    u64 instrBudget = kInstrBudget;
+
+    /**
+     * Worker threads for the job fan-out. 0 = the REV_BENCH_THREADS
+     * environment variable if set, else std::thread::hardware_concurrency.
+     * 1 forces the fully serial path (no threads spawned).
+     */
+    unsigned threads = 0;
+
+    /** Load/refresh the on-disk job cache. */
+    bool useCache = true;
+
+    /** Cache location. */
+    std::string cachePath = "rev_bench_cache.txt";
+
+    /** Per-job progress lines on stderr. */
+    bool progress = true;
+
+    /** Three benchmarks at a small budget, no cache (tests / CI smoke). */
+    static SweepOptions quick();
+};
+
+/**
+ * Compute the sweep described by @p opts. Results are keyed by
+ * (benchmark, config) independent of job completion order, so the
+ * returned Sweep is identical for any thread count.
+ */
+Sweep runSweep(const SweepOptions &opts = {});
+
+/**
+ * Parse the standard bench-binary command line into SweepOptions:
+ *
+ *   --quick            3 benchmarks, small budget, cache off
+ *   --no-cache         ignore and do not write rev_bench_cache.txt
+ *   --threads N        worker threads (default: REV_BENCH_THREADS or all)
+ *   --instrs N         per-run committed-instruction budget
+ *   --bench a,b,c      benchmark subset
+ *   --cache PATH       cache file location
+ *
+ * Prints usage and exits on --help or an unknown flag.
+ */
+SweepOptions sweepOptionsFromArgs(int argc, char **argv);
+
+/**
+ * @deprecated Transitional shim over runSweep() for older callers; new
+ * code should construct SweepOptions and call runSweep() directly.
+ */
+[[deprecated("use runSweep(const SweepOptions &)")]]
 const Sweep &fullSweep(bool quick = false);
 
 /** Percentage IPC overhead of @p cfg relative to the base run. */

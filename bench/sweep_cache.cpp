@@ -1,0 +1,264 @@
+#include "bench/sweep_cache.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace rev::bench
+{
+
+namespace
+{
+
+/** Bump whenever the file format or the describe*() vocabulary changes. */
+constexpr const char *kCacheMagic = "revcache";
+constexpr int kCacheVersion = 5;
+
+/** Doubles must round-trip exactly for cache hits to be bit-identical. */
+std::ostream &
+precise(std::ostream &os)
+{
+    os << std::setprecision(17);
+    return os;
+}
+
+} // namespace
+
+u64
+fnv1a64(const std::string &s)
+{
+    u64 h = 0xcbf29ce484222325ULL;
+    for (const char ch : s) {
+        h ^= static_cast<unsigned char>(ch);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string
+describeSimConfig(const core::SimConfig &cfg)
+{
+    std::ostringstream os;
+    precise(os);
+    const cpu::CoreConfig &c = cfg.core;
+    os << "fetchWidth=" << c.fetchWidth << " fetchQueueSize="
+       << c.fetchQueueSize << " dispatchWidth=" << c.dispatchWidth
+       << " issueWidth=" << c.issueWidth << " commitWidth=" << c.commitWidth
+       << " robSize=" << c.robSize << " lsqSize=" << c.lsqSize
+       << " iqSize=" << c.iqSize << " numPhysRegs=" << c.numPhysRegs
+       << " frontendDepth=" << c.frontendDepth
+       << " redirectPenalty=" << c.redirectPenalty
+       << " intAluLat=" << c.intAluLat << " intMulLat=" << c.intMulLat
+       << " intDivLat=" << c.intDivLat << " fpAluLat=" << c.fpAluLat
+       << " fpMulLat=" << c.fpMulLat << " fpDivLat=" << c.fpDivLat
+       << " numIntAlu=" << c.numIntAlu << " numFpu=" << c.numFpu
+       << " numLoadPorts=" << c.numLoadPorts
+       << " numStorePorts=" << c.numStorePorts
+       << " splitMaxInstrs=" << c.splitLimits.maxInstrs
+       << " splitMaxStores=" << c.splitLimits.maxStores
+       << " gshareEntries=" << c.predictor.gshareEntries
+       << " btbEntries=" << c.predictor.btbEntries
+       << " rasEntries=" << c.predictor.rasEntries
+       << " interruptInterval=" << c.interruptInterval
+       << " interruptPenalty=" << c.interruptPenalty
+       << " modelWrongPath=" << c.modelWrongPath
+       << " wrongPathInstrs=" << c.wrongPathInstrs
+       << " nextLinePrefetch=" << c.nextLinePrefetch
+       << " maxInstrs=" << c.maxInstrs;
+
+    const mem::MemConfig &m = cfg.mem;
+    os << " l1iBytes=" << m.l1iBytes << " l1iAssoc=" << m.l1iAssoc
+       << " l1iLatency=" << m.l1iLatency << " l1dBytes=" << m.l1dBytes
+       << " l1dAssoc=" << m.l1dAssoc << " l1dLatency=" << m.l1dLatency
+       << " l2Bytes=" << m.l2Bytes << " l2Assoc=" << m.l2Assoc
+       << " l2Latency=" << m.l2Latency << " lineBytes=" << m.lineBytes
+       << " dramBanks=" << m.dram.banks
+       << " dramFirstChunkLatency=" << m.dram.firstChunkLatency
+       << " dramOpenPageLatency=" << m.dram.openPageLatency
+       << " dramBurstBytes=" << m.dram.burstBytes
+       << " dramRowBytes=" << m.dram.rowBytes
+       << " dramBurstCycles=" << m.dram.burstCycles
+       << " itlbEntries=" << m.tlb.itlbEntries
+       << " dtlbEntries=" << m.tlb.dtlbEntries
+       << " tlbL2Entries=" << m.tlb.l2Entries
+       << " tlbL2Latency=" << m.tlb.l2Latency
+       << " pageWalkLatency=" << m.tlb.pageWalkLatency
+       << " dmaChannels=" << m.dmaChannels
+       << " dmaIntervalCycles=" << m.dmaIntervalCycles
+       << " dmaBufferBase=" << m.dmaBufferBase;
+
+    const core::RevConfig &r = cfg.rev;
+    os << " scSizeBytes=" << r.sc.sizeBytes << " scAssoc=" << r.sc.assoc
+       << " scEntryBytes=" << r.sc.entryBytes
+       << " chgLatency=" << r.chg.latency
+       << " chgHashRounds=" << r.chg.hashRounds
+       << " sagEntries=" << r.sagEntries
+       << " sagMissPenalty=" << r.sagMissPenalty
+       << " decryptLatency=" << r.decryptLatency
+       << " startEnabled=" << r.startEnabled
+       << " returnValidation=" << static_cast<int>(r.returnValidation)
+       << " shadowStackEntries=" << r.shadowStackEntries
+       << " shadowSpillPenalty=" << r.shadowSpillPenalty;
+
+    os << " mode=" << static_cast<int>(cfg.mode)
+       << " withRev=" << cfg.withRev
+       << " pageShadowing=" << cfg.pageShadowing
+       << " cpuSeed=" << cfg.cpuSeed
+       << " toolchainSeed=" << cfg.toolchainSeed;
+    return os.str();
+}
+
+std::string
+describeProfile(const workloads::WorkloadProfile &p)
+{
+    std::ostringstream os;
+    precise(os);
+    os << "name=" << p.name << " seed=" << p.seed
+       << " numFunctions=" << p.numFunctions
+       << " entryFunctions=" << p.entryFunctions
+       << " minConstructs=" << p.minConstructs
+       << " maxConstructs=" << p.maxConstructs
+       << " straightLen=" << p.straightLen
+       << " callSitesPerFn=" << p.callSitesPerFn
+       << " callSpan=" << p.callSpan << " callProb=" << p.callProb
+       << " gateSpread=" << p.gateSpread << " hotReach=" << p.hotReach
+       << " indirectFnFrac=" << p.indirectFnFrac
+       << " branchBias=" << p.branchBias << " loopFrac=" << p.loopFrac
+       << " loopIters=" << p.loopIters << " fpFrac=" << p.fpFrac
+       << " mulFrac=" << p.mulFrac << " loadFrac=" << p.loadFrac
+       << " storeFrac=" << p.storeFrac
+       << " dataFootprint=" << p.dataFootprint
+       << " dataStride=" << p.dataStride
+       << " mainIterations=" << p.mainIterations;
+    return os.str();
+}
+
+u64
+runCacheKey(const workloads::WorkloadProfile &p, const core::SimConfig &cfg)
+{
+    return fnv1a64(describeProfile(p) + " | " + describeSimConfig(cfg));
+}
+
+u64
+staticCacheKey(const workloads::WorkloadProfile &p)
+{
+    return fnv1a64(describeProfile(p));
+}
+
+bool
+SweepCache::load()
+{
+    runs_.clear();
+    statics_.clear();
+    std::ifstream is(path_);
+    if (!is)
+        return false;
+
+    std::string magic;
+    std::string vtag;
+    int version = 0;
+    is >> magic >> vtag;
+    if (magic != kCacheMagic || vtag.size() < 2 || vtag[0] != 'v')
+        return false;
+    version = std::atoi(vtag.c_str() + 1);
+    if (version != kCacheVersion)
+        return false;
+
+    std::map<std::string, Config> by_name;
+    for (Config c : kAllConfigs)
+        by_name[configName(c)] = c;
+
+    std::string tag;
+    while (is >> tag) {
+        if (tag == "static") {
+            std::string b;
+            u64 key = 0;
+            StaticNumbers st;
+            is >> b >> key >> st.numBlocks >> st.numTerminators >>
+                st.instrsPerBlock >> st.succsPerBlock >> st.codeBytes >>
+                st.computedSites >> st.branchSites >> st.tableBytesFull >>
+                st.tableBytesAggressive >> st.tableBytesCfi;
+            if (!is)
+                return false;
+            statics_[{b, key}] = st;
+        } else if (tag == "run") {
+            std::string b, cname;
+            u64 key = 0;
+            CachedRun cr;
+            RunNumbers &r = cr.numbers;
+            is >> b >> cname >> key >> r.ipc >> r.cycles >> r.instrs >>
+                r.committedBranches >> r.uniqueBranches >> r.mispredicts >>
+                r.scCompleteMisses >> r.scPartialMisses >>
+                r.commitStallCycles >> r.scFillAccesses >>
+                r.scFillL1Misses >> r.scFillL2Misses >> r.violations >>
+                cr.sigTableBytes;
+            if (!is || !by_name.count(cname))
+                return false;
+            runs_[{b, by_name[cname], key}] = cr;
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+SweepCache::save() const
+{
+    std::ofstream os(path_);
+    if (!os)
+        return false;
+    precise(os);
+    os << kCacheMagic << " v" << kCacheVersion << '\n';
+    for (const auto &[k, st] : statics_) {
+        os << "static " << k.first << ' ' << k.second << ' '
+           << st.numBlocks << ' ' << st.numTerminators << ' '
+           << st.instrsPerBlock << ' ' << st.succsPerBlock << ' '
+           << st.codeBytes << ' ' << st.computedSites << ' '
+           << st.branchSites << ' ' << st.tableBytesFull << ' '
+           << st.tableBytesAggressive << ' ' << st.tableBytesCfi << '\n';
+    }
+    for (const auto &[k, cr] : runs_) {
+        const RunNumbers &r = cr.numbers;
+        os << "run " << std::get<0>(k) << ' ' << configName(std::get<1>(k))
+           << ' ' << std::get<2>(k) << ' ' << r.ipc << ' ' << r.cycles
+           << ' ' << r.instrs << ' ' << r.committedBranches << ' '
+           << r.uniqueBranches << ' ' << r.mispredicts << ' '
+           << r.scCompleteMisses << ' ' << r.scPartialMisses << ' '
+           << r.commitStallCycles << ' ' << r.scFillAccesses << ' '
+           << r.scFillL1Misses << ' ' << r.scFillL2Misses << ' '
+           << r.violations << ' ' << cr.sigTableBytes << '\n';
+    }
+    return static_cast<bool>(os);
+}
+
+const CachedRun *
+SweepCache::findRun(const std::string &bench, Config c, u64 key) const
+{
+    const auto it = runs_.find({bench, c, key});
+    return it == runs_.end() ? nullptr : &it->second;
+}
+
+const StaticNumbers *
+SweepCache::findStatic(const std::string &bench, u64 key) const
+{
+    const auto it = statics_.find({bench, key});
+    return it == statics_.end() ? nullptr : &it->second;
+}
+
+void
+SweepCache::putRun(const std::string &bench, Config c, u64 key,
+                   const CachedRun &run)
+{
+    runs_[{bench, c, key}] = run;
+}
+
+void
+SweepCache::putStatic(const std::string &bench, u64 key,
+                      const StaticNumbers &st)
+{
+    statics_[{bench, key}] = st;
+}
+
+} // namespace rev::bench

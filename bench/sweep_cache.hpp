@@ -1,0 +1,94 @@
+/**
+ * @file
+ * On-disk cache for sweep jobs, keyed precisely.
+ *
+ * The old cache keyed on (format version, instruction budget) only, so
+ * editing any SimConfig knob — SC geometry, predictor sizes, hash
+ * rounds — silently served stale numbers. Records are now keyed by a
+ * 64-bit FNV-1a hash over a canonical text serialization of the full
+ * simulation configuration and the workload profile. Any knob change
+ * produces a different key, misses the cache, and re-simulates exactly
+ * the affected jobs; untouched (benchmark, config) records keep hitting
+ * (partial reuse). Multiple records per (benchmark, config) may coexist
+ * (e.g. two budgets), distinguished by key.
+ */
+
+#ifndef REV_BENCH_SWEEP_CACHE_HPP
+#define REV_BENCH_SWEEP_CACHE_HPP
+
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "bench/suite.hpp"
+#include "workloads/profile.hpp"
+
+namespace rev::bench
+{
+
+/** 64-bit FNV-1a over @p s. */
+u64 fnv1a64(const std::string &s);
+
+/**
+ * Canonical "name=value" serialization of every result-affecting knob in
+ * @p cfg. New knobs must be added here to participate in cache keying
+ * (sweep_cache_test pins the field count as a tripwire).
+ */
+std::string describeSimConfig(const core::SimConfig &cfg);
+
+/** Canonical serialization of every generation knob in @p p. */
+std::string describeProfile(const workloads::WorkloadProfile &p);
+
+/** Cache key of one (benchmark, config) simulation job. */
+u64 runCacheKey(const workloads::WorkloadProfile &p,
+                const core::SimConfig &cfg);
+
+/** Cache key of a benchmark's static (CFG-derived) facts. */
+u64 staticCacheKey(const workloads::WorkloadProfile &p);
+
+/** One cached measurement plus the signature-table footprint of its run. */
+struct CachedRun
+{
+    RunNumbers numbers;
+    u64 sigTableBytes = 0;
+
+    bool operator==(const CachedRun &) const = default;
+};
+
+/**
+ * The cache itself: a load/lookup/insert/save map persisted as a small
+ * text file. Not internally synchronized — the sweep runner queries it
+ * before the fan-out and inserts after, on one thread.
+ */
+class SweepCache
+{
+  public:
+    explicit SweepCache(std::string path) : path_(std::move(path)) {}
+
+    /** Read the file; false (and empty cache) if missing or malformed. */
+    bool load();
+
+    /** Write every record back. False on I/O failure. */
+    bool save() const;
+
+    const CachedRun *findRun(const std::string &bench, Config c,
+                             u64 key) const;
+    const StaticNumbers *findStatic(const std::string &bench, u64 key) const;
+
+    void putRun(const std::string &bench, Config c, u64 key,
+                const CachedRun &run);
+    void putStatic(const std::string &bench, u64 key,
+                   const StaticNumbers &st);
+
+    std::size_t runCount() const { return runs_.size(); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::map<std::tuple<std::string, Config, u64>, CachedRun> runs_;
+    std::map<std::pair<std::string, u64>, StaticNumbers> statics_;
+};
+
+} // namespace rev::bench
+
+#endif // REV_BENCH_SWEEP_CACHE_HPP

@@ -1,0 +1,261 @@
+#include "bench/sweep_runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+
+#include "bench/sweep_cache.hpp"
+#include "common/parallel.hpp"
+#include "workloads/generator.hpp"
+
+namespace rev::bench
+{
+
+namespace
+{
+
+/** Everything per-benchmark the job matrix needs. */
+struct BenchPlan
+{
+    workloads::WorkloadProfile profile;
+    u64 staticKey = 0;
+    bool staticsFromCache = false;
+    bool needProgram = false;
+    std::optional<prog::Program> program;
+    StaticNumbers statics;
+};
+
+/** One cell of the job matrix. */
+struct Job
+{
+    std::size_t benchIdx = 0;
+    Config config = Config::Base;
+    core::SimConfig cfg;
+    u64 key = 0;
+    bool cached = false;
+    CachedRun result;
+    double wallSeconds = 0;
+};
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+std::vector<workloads::WorkloadProfile>
+selectProfiles(const std::vector<std::string> &wanted)
+{
+    auto all = workloads::spec2006Profiles();
+    if (wanted.empty())
+        return all;
+    for (const auto &name : wanted) {
+        bool known = false;
+        for (const auto &p : all)
+            known = known || p.name == name;
+        if (!known)
+            fatal("sweep: unknown benchmark '", name, "'");
+    }
+    std::vector<workloads::WorkloadProfile> out;
+    for (auto &p : all) {
+        for (const auto &name : wanted) {
+            if (p.name == name) {
+                out.push_back(std::move(p));
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+CachedRun
+simulateJob(const prog::Program &program, const Job &job,
+            const std::string &bench)
+{
+    core::Simulator sim(program, job.cfg);
+    const core::SimResult res = sim.run();
+    if (res.run.violation)
+        fatal("bench sweep: unexpected violation in ", bench, " (",
+              configName(job.config), "): ", res.run.violation->reason);
+
+    CachedRun out;
+    RunNumbers &r = out.numbers;
+    r.ipc = res.run.ipc();
+    r.cycles = res.run.cycles;
+    r.instrs = res.run.instrs;
+    r.committedBranches = res.run.committedBranches;
+    r.uniqueBranches = res.run.uniqueBranches;
+    r.mispredicts = res.run.mispredicts;
+    r.scCompleteMisses = res.rev.scCompleteMisses;
+    r.scPartialMisses = res.rev.scPartialMisses;
+    r.commitStallCycles = res.rev.commitStallCycles;
+    r.scFillAccesses = res.scFillAccesses;
+    r.scFillL1Misses = res.scFillL1Misses;
+    r.scFillL2Misses = res.scFillL2Misses;
+    r.violations = res.rev.violations;
+    out.sigTableBytes = res.sigTableBytes;
+    return out;
+}
+
+StaticNumbers
+computeStatics(const prog::Program &program)
+{
+    const prog::Cfg cfg = prog::buildCfg(program.main());
+    const prog::CfgStats cs = cfg.stats();
+    StaticNumbers st;
+    st.numBlocks = cs.numBlocks;
+    st.numTerminators = cs.numTerminators;
+    st.instrsPerBlock = cs.avgInstrsPerBlock;
+    st.succsPerBlock = cs.avgSuccsPerBlock;
+    st.codeBytes = program.main().codeSize;
+    st.computedSites = cs.numComputedSites;
+    st.branchSites = cs.numBranchInstrs;
+    return st;
+}
+
+} // namespace
+
+SweepRunner::SweepRunner(SweepOptions opts) : opts_(std::move(opts)) {}
+
+Sweep
+SweepRunner::run()
+{
+    const auto sweepStart = std::chrono::steady_clock::now();
+    threadsUsed_ = resolveThreadCount(opts_.threads);
+    timings_.clear();
+    cacheHits_ = 0;
+
+    SweepCache cache(opts_.cachePath);
+    if (opts_.useCache)
+        cache.load();
+
+    // Build the job matrix and satisfy what we can from the cache.
+    std::vector<BenchPlan> plans;
+    std::vector<Job> jobs;
+    for (auto &prof : selectProfiles(opts_.benchmarks)) {
+        BenchPlan plan;
+        plan.profile = std::move(prof);
+        plan.staticKey = staticCacheKey(plan.profile);
+        if (const StaticNumbers *st =
+                cache.findStatic(plan.profile.name, plan.staticKey)) {
+            plan.statics = *st;
+            plan.staticsFromCache = true;
+        } else {
+            plan.needProgram = true;
+        }
+
+        const std::size_t benchIdx = plans.size();
+        for (Config c : kAllConfigs) {
+            Job job;
+            job.benchIdx = benchIdx;
+            job.config = c;
+            job.cfg = sweepSimConfig(c, opts_.instrBudget);
+            job.key = runCacheKey(plan.profile, job.cfg);
+            if (const CachedRun *hit =
+                    cache.findRun(plan.profile.name, c, job.key)) {
+                job.cached = true;
+                job.result = *hit;
+                ++cacheHits_;
+            } else {
+                plan.needProgram = true;
+            }
+            jobs.push_back(std::move(job));
+        }
+        plans.push_back(std::move(plan));
+    }
+
+    // Phase 1: generate the programs still needed, in parallel across
+    // benchmarks. Programs are immutable afterwards; concurrent
+    // simulators only read them.
+    std::vector<std::size_t> genIdx;
+    for (std::size_t i = 0; i < plans.size(); ++i)
+        if (plans[i].needProgram)
+            genIdx.push_back(i);
+
+    std::mutex logMu;
+    std::atomic<std::size_t> genDone{0};
+    parallelFor(genIdx.size(), threadsUsed_, [&](std::size_t k) {
+        BenchPlan &plan = plans[genIdx[k]];
+        plan.program = workloads::generateWorkload(plan.profile);
+        if (!plan.staticsFromCache)
+            plan.statics = computeStatics(*plan.program);
+        if (opts_.progress) {
+            const std::size_t done = genDone.fetch_add(1) + 1;
+            std::lock_guard<std::mutex> lock(logMu);
+            std::fprintf(stderr, "[sweep] generated %-12s (%zu/%zu)\n",
+                         plan.profile.name.c_str(), done, genIdx.size());
+        }
+    });
+
+    // Phase 2: fan the uncached simulations out across the pool. Each
+    // job writes only its own slot; assembly below is order-independent.
+    std::vector<std::size_t> simIdx;
+    for (std::size_t j = 0; j < jobs.size(); ++j)
+        if (!jobs[j].cached)
+            simIdx.push_back(j);
+
+    std::atomic<std::size_t> simDone{0};
+    parallelFor(simIdx.size(), threadsUsed_, [&](std::size_t k) {
+        Job &job = jobs[simIdx[k]];
+        const BenchPlan &plan = plans[job.benchIdx];
+        const auto t0 = std::chrono::steady_clock::now();
+        job.result = simulateJob(*plan.program, job, plan.profile.name);
+        job.wallSeconds = secondsSince(t0);
+        if (opts_.progress) {
+            const std::size_t done = simDone.fetch_add(1) + 1;
+            std::lock_guard<std::mutex> lock(logMu);
+            std::fprintf(stderr, "[sweep] %-12s %-7s %6.2fs (%zu/%zu)\n",
+                         plan.profile.name.c_str(), configName(job.config),
+                         job.wallSeconds, done, simIdx.size());
+        }
+    });
+
+    // Assemble deterministically: benchmarks in plan order, configs in
+    // kAllConfigs order, every value pulled from its job slot.
+    Sweep sweep;
+    for (const auto &plan : plans)
+        sweep.benchmarks.push_back(plan.profile.name);
+    for (const Job &job : jobs) {
+        const std::string &bench = plans[job.benchIdx].profile.name;
+        sweep.runs[{bench, job.config}] = job.result.numbers;
+        StaticNumbers &st =
+            sweep.statics.try_emplace(bench, plans[job.benchIdx].statics)
+                .first->second;
+        if (job.config == Config::Full32)
+            st.tableBytesFull = job.result.sigTableBytes;
+        else if (job.config == Config::Agg32)
+            st.tableBytesAggressive = job.result.sigTableBytes;
+        else if (job.config == Config::Cfi32)
+            st.tableBytesCfi = job.result.sigTableBytes;
+        timings_.push_back(
+            {bench, job.config, job.wallSeconds, job.cached});
+    }
+
+    if (opts_.useCache) {
+        for (const Job &job : jobs)
+            if (!job.cached)
+                cache.putRun(plans[job.benchIdx].profile.name, job.config,
+                             job.key, job.result);
+        for (const auto &plan : plans)
+            cache.putStatic(plan.profile.name, plan.staticKey,
+                            sweep.statics.at(plan.profile.name));
+        if (!cache.save())
+            warn("sweep: could not write cache file ", opts_.cachePath);
+    }
+
+    if (opts_.progress) {
+        std::fprintf(stderr,
+                     "[sweep] %zu jobs (%zu cached) on %u thread%s in "
+                     "%.2fs\n",
+                     jobs.size(), cacheHits_, threadsUsed_,
+                     threadsUsed_ == 1 ? "" : "s",
+                     secondsSince(sweepStart));
+    }
+    return sweep;
+}
+
+} // namespace rev::bench

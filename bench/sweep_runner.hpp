@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The parallel sweep execution engine.
+ *
+ * A sweep is a fixed job matrix: |benchmarks| x |kAllConfigs| mutually
+ * independent simulations. SweepRunner materializes the matrix up front,
+ * satisfies what it can from the SweepCache, fans the remaining jobs out
+ * over a worker pool (common/parallel.hpp), and assembles the Sweep from
+ * per-job result slots — keyed by job index, never by completion order,
+ * so any thread count produces the identical Sweep.
+ */
+
+#ifndef REV_BENCH_SWEEP_RUNNER_HPP
+#define REV_BENCH_SWEEP_RUNNER_HPP
+
+#include <vector>
+
+#include "bench/suite.hpp"
+
+namespace rev::bench
+{
+
+/** Wall-time accounting for one (benchmark, config) job. */
+struct JobTiming
+{
+    std::string bench;
+    Config config = Config::Base;
+    double wallSeconds = 0; ///< 0 for cache hits
+    bool fromCache = false;
+};
+
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepOptions opts);
+
+    /** Execute the sweep. Callable once per runner. */
+    Sweep run();
+
+    /** Per-job wall times of the last run(), in job order. */
+    const std::vector<JobTiming> &timings() const { return timings_; }
+
+    /** Worker threads the fan-out actually used. */
+    unsigned threadsUsed() const { return threadsUsed_; }
+
+    /** Jobs served from the cache in the last run(). */
+    std::size_t cacheHits() const { return cacheHits_; }
+
+  private:
+    SweepOptions opts_;
+    std::vector<JobTiming> timings_;
+    unsigned threadsUsed_ = 1;
+    std::size_t cacheHits_ = 0;
+};
+
+} // namespace rev::bench
+
+#endif // REV_BENCH_SWEEP_RUNNER_HPP

@@ -14,10 +14,10 @@
 #include "bench/suite.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rev::bench;
-    const Sweep &s = fullSweep();
+    const Sweep s = runSweep(sweepOptionsFromArgs(argc, argv));
 
     printHeader("Sec. V -- signature table size as % of binary size",
                 "full 15-52% (avg 37), aggressive 40-65%, CFI-only 3-20% "

@@ -7,10 +7,12 @@
 #ifndef REV_COMMON_STATS_HPP
 #define REV_COMMON_STATS_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -36,6 +38,59 @@ class Counter
 };
 
 /**
+ * A flat, ordered snapshot of named statistic values. Unlike StatGroup
+ * (which holds live pointers into components), a StatSet owns plain
+ * (name, value) rows and can be returned by value, compared, diffed, or
+ * consumed programmatically — the structured counterpart of the old
+ * "parse the dumpStats() text" idiom.
+ */
+class StatSet
+{
+  public:
+    using Row = std::pair<std::string, u64>;
+
+    /** Append a row. Names are kept in insertion order. */
+    void
+    add(std::string name, u64 value)
+    {
+        rows_.emplace_back(std::move(name), value);
+    }
+
+    /** Value of the first row named @p name; 0 if absent. */
+    u64
+    get(const std::string &name) const
+    {
+        for (const auto &[rname, value] : rows_)
+            if (rname == name)
+                return value;
+        return 0;
+    }
+
+    bool
+    has(const std::string &name) const
+    {
+        for (const auto &[rname, value] : rows_)
+            if (rname == name)
+                return true;
+        return false;
+    }
+
+    const std::vector<Row> &rows() const { return rows_; }
+    std::size_t size() const { return rows_.size(); }
+
+    /** Emit every row as "name value" lines (dumpStats format). */
+    void
+    dump(std::ostream &os) const
+    {
+        for (const auto &[name, value] : rows_)
+            os << name << ' ' << value << '\n';
+    }
+
+  private:
+    std::vector<Row> rows_;
+};
+
+/**
  * A named collection of statistics belonging to one component. Components
  * register their counters by name; dump() emits "prefix.name value" rows.
  */
@@ -57,6 +112,14 @@ class StatGroup
     {
         for (const auto &[name, counter] : entries_)
             os << prefix_ << '.' << name << ' ' << counter->value() << '\n';
+    }
+
+    /** Append every registered counter to @p out as "prefix.name" rows. */
+    void
+    snapshot(StatSet &out) const
+    {
+        for (const auto &[name, counter] : entries_)
+            out.add(prefix_ + '.' + name, counter->value());
     }
 
     /** Look up a counter value by name; returns 0 if absent. */

@@ -43,29 +43,36 @@ Simulator::reloadProgram()
         pristine_ = mem_.clone();
 }
 
-void
-Simulator::dumpStats(std::ostream &os) const
+stats::StatSet
+Simulator::stats() const
 {
+    stats::StatSet set;
     stats::StatGroup group("sim");
     memsys_.addStats(group);
     core_->predictor().addStats(group);
     if (engine_)
         engine_->addStats(group);
-    group.dump(os);
+    group.snapshot(set);
 
     if (engine_) {
         const RevStats &rs = engine_->stats();
-        os << "sim.rev.bb_validated " << rs.bbValidated << '\n';
-        os << "sim.rev.sc_complete_misses " << rs.scCompleteMisses << '\n';
-        os << "sim.rev.sc_partial_misses " << rs.scPartialMisses << '\n';
-        os << "sim.rev.table_walk_reads " << rs.tableWalkReads << '\n';
-        os << "sim.rev.violations " << rs.violations << '\n';
-        os << "sim.rev.sag_exceptions " << rs.sagExceptions << '\n';
-        os << "sim.rev.commit_stall_cycles " << rs.commitStallCycles
-           << '\n';
-        os << "sim.rev.shadow_spills " << rs.shadowSpills << '\n';
-        os << "sim.rev.shadow_refills " << rs.shadowRefills << '\n';
+        set.add("sim.rev.bb_validated", rs.bbValidated);
+        set.add("sim.rev.sc_complete_misses", rs.scCompleteMisses);
+        set.add("sim.rev.sc_partial_misses", rs.scPartialMisses);
+        set.add("sim.rev.table_walk_reads", rs.tableWalkReads);
+        set.add("sim.rev.violations", rs.violations);
+        set.add("sim.rev.sag_exceptions", rs.sagExceptions);
+        set.add("sim.rev.commit_stall_cycles", rs.commitStallCycles);
+        set.add("sim.rev.shadow_spills", rs.shadowSpills);
+        set.add("sim.rev.shadow_refills", rs.shadowRefills);
     }
+    return set;
+}
+
+void
+Simulator::dumpStats(std::ostream &os) const
+{
+    stats().dump(os);
 }
 
 void

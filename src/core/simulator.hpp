@@ -20,6 +20,7 @@
 #include <memory>
 #include <ostream>
 
+#include "common/stats.hpp"
 #include "core/rev_engine.hpp"
 #include "cpu/core.hpp"
 
@@ -86,6 +87,14 @@ class Simulator
      * Safe to call from a pre-step hook while a run is in progress.
      */
     void reloadProgram();
+
+    /**
+     * Snapshot every component's statistics (caches, TLBs, DRAM,
+     * predictor, SC/SAG/CHG, engine counters) as structured
+     * (name, value) rows. This is the programmatic interface; dumpStats()
+     * is just stats().dump(os).
+     */
+    stats::StatSet stats() const;
 
     /**
      * Dump every component's statistics (caches, TLBs, DRAM, predictor,

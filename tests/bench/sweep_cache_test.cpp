@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Cache key + invalidation tests: any result-affecting knob change must
+ * produce a new key (the old cache keyed only on (version, budget) and
+ * silently served stale numbers after SimConfig edits).
+ */
+
+#include "bench/sweep_cache.hpp"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace rev::bench
+{
+namespace
+{
+
+workloads::WorkloadProfile
+profile()
+{
+    workloads::WorkloadProfile p;
+    p.name = "unit";
+    p.seed = 42;
+    return p;
+}
+
+TEST(SweepCacheKey, StableForIdenticalInputs)
+{
+    const core::SimConfig cfg = sweepSimConfig(Config::Full32, 100'000);
+    EXPECT_EQ(runCacheKey(profile(), cfg), runCacheKey(profile(), cfg));
+    EXPECT_EQ(staticCacheKey(profile()), staticCacheKey(profile()));
+}
+
+TEST(SweepCacheKey, BudgetChangesKey)
+{
+    EXPECT_NE(runCacheKey(profile(), sweepSimConfig(Config::Full32, 100'000)),
+              runCacheKey(profile(), sweepSimConfig(Config::Full32, 200'000)));
+}
+
+TEST(SweepCacheKey, ConfigChangesKey)
+{
+    EXPECT_NE(runCacheKey(profile(), sweepSimConfig(Config::Full32, 100'000)),
+              runCacheKey(profile(), sweepSimConfig(Config::Full64, 100'000)));
+}
+
+TEST(SweepCacheKey, SimKnobEditChangesKey)
+{
+    // The bug class this cache fixes: an edited knob must miss.
+    core::SimConfig a = sweepSimConfig(Config::Full32, 100'000);
+    core::SimConfig b = a;
+    b.rev.chg.hashRounds = a.rev.chg.hashRounds + 1;
+    EXPECT_NE(runCacheKey(profile(), a), runCacheKey(profile(), b));
+
+    core::SimConfig c = a;
+    c.core.robSize = 256;
+    EXPECT_NE(runCacheKey(profile(), a), runCacheKey(profile(), c));
+
+    core::SimConfig d = a;
+    d.mem.l2Bytes = 1024 * 1024;
+    EXPECT_NE(runCacheKey(profile(), a), runCacheKey(profile(), d));
+}
+
+TEST(SweepCacheKey, ProfileEditChangesKey)
+{
+    workloads::WorkloadProfile p = profile();
+    workloads::WorkloadProfile q = p;
+    q.seed = 43;
+    const core::SimConfig cfg = sweepSimConfig(Config::Base, 100'000);
+    EXPECT_NE(runCacheKey(p, cfg), runCacheKey(q, cfg));
+    EXPECT_NE(staticCacheKey(p), staticCacheKey(q));
+
+    workloads::WorkloadProfile r = p;
+    r.branchBias = 0.5;
+    EXPECT_NE(staticCacheKey(p), staticCacheKey(r));
+}
+
+TEST(SweepCacheKey, DescribeSimConfigCoversKnownKnobCount)
+{
+    // Tripwire: if someone adds a SimConfig knob without extending
+    // describeSimConfig(), cache keys would go stale again. Adding a
+    // knob should consciously bump this count.
+    const std::string desc =
+        describeSimConfig(sweepSimConfig(Config::Full32, 1000));
+    std::size_t fields = 0;
+    for (const char ch : desc)
+        fields += (ch == '=');
+    EXPECT_EQ(fields, 73u);
+}
+
+class SweepCacheFile : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = ::testing::TempDir() + "rev_sweep_cache_test.txt";
+        std::remove(path_.c_str());
+    }
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    std::string path_;
+};
+
+TEST_F(SweepCacheFile, RoundTripsRunsAndStatics)
+{
+    CachedRun run;
+    run.numbers.ipc = 1.234567890123456789; // must survive the round trip
+    run.numbers.cycles = 1000;
+    run.numbers.instrs = 1234;
+    run.sigTableBytes = 4096;
+
+    StaticNumbers st;
+    st.numBlocks = 77;
+    st.instrsPerBlock = 6.5;
+
+    {
+        SweepCache cache(path_);
+        cache.putRun("mcf", Config::Full32, 0xabcdef, run);
+        cache.putStatic("mcf", 0x1234, st);
+        ASSERT_TRUE(cache.save());
+    }
+
+    SweepCache cache(path_);
+    ASSERT_TRUE(cache.load());
+    const CachedRun *r = cache.findRun("mcf", Config::Full32, 0xabcdef);
+    ASSERT_NE(r, nullptr);
+    EXPECT_TRUE(*r == run); // doubles bit-identical via setprecision(17)
+    const StaticNumbers *s = cache.findStatic("mcf", 0x1234);
+    ASSERT_NE(s, nullptr);
+    EXPECT_TRUE(*s == st);
+}
+
+TEST_F(SweepCacheFile, StaleKeyMisses)
+{
+    SweepCache cache(path_);
+    cache.putRun("mcf", Config::Full32, 1, CachedRun{});
+    EXPECT_EQ(cache.findRun("mcf", Config::Full32, 2), nullptr);
+    EXPECT_EQ(cache.findRun("mcf", Config::Full64, 1), nullptr);
+    EXPECT_EQ(cache.findRun("gcc", Config::Full32, 1), nullptr);
+    EXPECT_NE(cache.findRun("mcf", Config::Full32, 1), nullptr);
+}
+
+TEST_F(SweepCacheFile, RecordsWithDifferentKeysCoexist)
+{
+    // Partial reuse: a quick-budget record must not clobber the full-
+    // budget record for the same (benchmark, config).
+    CachedRun quick, full;
+    quick.numbers.instrs = 100;
+    full.numbers.instrs = 2000;
+
+    SweepCache cache(path_);
+    cache.putRun("mcf", Config::Base, 1, quick);
+    cache.putRun("mcf", Config::Base, 2, full);
+    ASSERT_TRUE(cache.save());
+
+    SweepCache reread(path_);
+    ASSERT_TRUE(reread.load());
+    EXPECT_EQ(reread.runCount(), 2u);
+    EXPECT_EQ(reread.findRun("mcf", Config::Base, 1)->numbers.instrs, 100u);
+    EXPECT_EQ(reread.findRun("mcf", Config::Base, 2)->numbers.instrs, 2000u);
+}
+
+TEST_F(SweepCacheFile, MissingFileLoadsEmpty)
+{
+    SweepCache cache(path_);
+    EXPECT_FALSE(cache.load());
+    EXPECT_EQ(cache.runCount(), 0u);
+}
+
+TEST_F(SweepCacheFile, WrongVersionOrGarbageRejected)
+{
+    {
+        std::FILE *f = std::fopen(path_.c_str(), "w");
+        std::fputs("revcache v4\nrun mcf base 1 0 0 0 0 0 0 0 0 0 0 0 0 0 0\n",
+                   f);
+        std::fclose(f);
+    }
+    SweepCache cache(path_);
+    EXPECT_FALSE(cache.load());
+
+    {
+        std::FILE *f = std::fopen(path_.c_str(), "w");
+        std::fputs("version 4 2000000\n", f); // the old format
+        std::fclose(f);
+    }
+    EXPECT_FALSE(cache.load());
+}
+
+} // namespace
+} // namespace rev::bench

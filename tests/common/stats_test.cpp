@@ -60,5 +60,41 @@ TEST(StatGroup, GetByName)
     EXPECT_EQ(group.get("absent"), 0u);
 }
 
+TEST(StatSet, AddGetHas)
+{
+    StatSet set;
+    set.add("sim.cycles", 1234);
+    set.add("sim.instrs", 999);
+    EXPECT_EQ(set.size(), 2u);
+    EXPECT_TRUE(set.has("sim.cycles"));
+    EXPECT_FALSE(set.has("sim.absent"));
+    EXPECT_EQ(set.get("sim.instrs"), 999u);
+    EXPECT_EQ(set.get("sim.absent"), 0u);
+}
+
+TEST(StatSet, DumpMatchesStatGroupFormat)
+{
+    StatSet set;
+    set.add("l1d.hits", 3);
+    set.add("l1d.misses", 1);
+    std::ostringstream os;
+    set.dump(os);
+    EXPECT_EQ(os.str(), "l1d.hits 3\nl1d.misses 1\n");
+}
+
+TEST(StatGroup, SnapshotCopiesLiveCounters)
+{
+    StatGroup group("l1d");
+    Counter hits;
+    group.add("hits", &hits);
+    hits += 3;
+
+    StatSet set;
+    group.snapshot(set);
+    hits += 10; // snapshot must be a copy, not a live view
+    EXPECT_EQ(set.get("l1d.hits"), 3u);
+    EXPECT_EQ(group.get("hits"), 13u);
+}
+
 } // namespace
 } // namespace rev::stats

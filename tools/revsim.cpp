@@ -26,7 +26,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <iostream>
 
 #include "attacks/attack.hpp"
 #include "core/simulator.hpp"
@@ -211,8 +210,13 @@ main(int argc, char **argv)
     std::printf("violations           %s\n",
                 r.run.violation ? r.run.violation->reason.c_str() : "none");
     if (stats) {
+        // Structured accessor instead of text parsing: rows arrive as
+        // (name, value) pairs we can format (or filter) directly.
         std::printf("---- component statistics ----\n");
-        sim.dumpStats(std::cout);
+        const stats::StatSet set = sim.stats();
+        for (const auto &[name, value] : set.rows())
+            std::printf("%-36s %llu\n", name.c_str(),
+                        static_cast<unsigned long long>(value));
     }
     return 0;
 }
