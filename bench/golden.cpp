@@ -1,0 +1,93 @@
+#include "bench/golden.hpp"
+
+#include <sstream>
+
+#include "bench/sweep_cache.hpp"
+#include "workloads/generator.hpp"
+
+namespace rev::bench
+{
+
+namespace
+{
+
+/** Append "name golden=x got=y" for every field that differs. */
+void
+describeDiffs(const RunNumbers &golden, const RunNumbers &got,
+              std::ostringstream &os)
+{
+    auto field = [&](const char *name, auto g, auto r) {
+        if (g != r)
+            os << ' ' << name << " golden=" << g << " got=" << r;
+    };
+    field("ipc", golden.ipc, got.ipc);
+    field("cycles", golden.cycles, got.cycles);
+    field("instrs", golden.instrs, got.instrs);
+    field("committed_branches", golden.committedBranches,
+          got.committedBranches);
+    field("unique_branches", golden.uniqueBranches, got.uniqueBranches);
+    field("mispredicts", golden.mispredicts, got.mispredicts);
+    field("sc_complete_misses", golden.scCompleteMisses,
+          got.scCompleteMisses);
+    field("sc_partial_misses", golden.scPartialMisses, got.scPartialMisses);
+    field("commit_stall_cycles", golden.commitStallCycles,
+          got.commitStallCycles);
+    field("sc_fill_accesses", golden.scFillAccesses, got.scFillAccesses);
+    field("sc_fill_l1_misses", golden.scFillL1Misses, got.scFillL1Misses);
+    field("sc_fill_l2_misses", golden.scFillL2Misses, got.scFillL2Misses);
+    field("violations", golden.violations, got.violations);
+}
+
+} // namespace
+
+std::vector<GoldenDiff>
+compareToGolden(const Sweep &sweep, const SweepOptions &opts,
+                const std::string &golden_path)
+{
+    std::vector<GoldenDiff> diffs;
+
+    SweepCache golden(golden_path);
+    if (!golden.load()) {
+        diffs.push_back({"", Config::Base,
+                         "golden snapshot missing or unreadable: " +
+                             golden_path});
+        return diffs;
+    }
+
+    const auto profiles = workloads::spec2006Profiles();
+    for (const std::string &bench : sweep.benchmarks) {
+        const workloads::WorkloadProfile *profile = nullptr;
+        for (const auto &p : profiles)
+            if (p.name == bench)
+                profile = &p;
+        if (!profile) {
+            diffs.push_back({bench, Config::Base,
+                             "benchmark has no generator profile"});
+            continue;
+        }
+
+        for (Config c : kAllConfigs) {
+            const auto it = sweep.runs.find({bench, c});
+            if (it == sweep.runs.end())
+                continue; // sweep did not run this config
+            const u64 key =
+                runCacheKey(*profile, sweepSimConfig(c, opts.instrBudget));
+            const CachedRun *ref = golden.findRun(bench, c, key);
+            if (!ref) {
+                diffs.push_back(
+                    {bench, c,
+                     "no golden entry (snapshot stale, or the profile / "
+                     "config serialization changed)"});
+                continue;
+            }
+            if (ref->numbers == it->second)
+                continue;
+            std::ostringstream os;
+            describeDiffs(ref->numbers, it->second, os);
+            diffs.push_back({bench, c, "statistics differ:" + os.str()});
+        }
+    }
+    return diffs;
+}
+
+} // namespace rev::bench

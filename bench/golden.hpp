@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Golden-statistics comparison: pin every tracked simulated statistic of a
+ * sweep against an on-disk snapshot (sweep-cache format).
+ *
+ * The simulator's fast paths (predecoded-instruction cache, page-span
+ * memory accesses, store-buffer bounds checks) are pure software
+ * optimizations: they must never change a simulated number. The golden
+ * snapshot makes that contract executable — the quick sweep is compared
+ * bit-for-bit against a checked-in reference, both in the test suite and
+ * in the simperf harness, so a perf patch that perturbs the timing model
+ * fails loudly.
+ *
+ * The snapshot is a regular sweep-cache file; refresh it by deleting the
+ * file and re-running the quick sweep with --cache pointed at it (see
+ * docs/COOKBOOK.md).
+ */
+
+#ifndef REV_BENCH_GOLDEN_HPP
+#define REV_BENCH_GOLDEN_HPP
+
+#include <string>
+#include <vector>
+
+#include "bench/suite.hpp"
+
+namespace rev::bench
+{
+
+/** One tracked statistic (or whole run) that deviates from the snapshot. */
+struct GoldenDiff
+{
+    std::string bench;
+    Config config = Config::Base;
+    std::string detail; ///< human-readable description of the mismatch
+};
+
+/**
+ * Compare every (benchmark, config) run of @p sweep against the snapshot
+ * at @p golden_path. @p opts must be the options the sweep was run with
+ * (the per-run cache keys are recomputed from them). Returns one entry
+ * per mismatching run — empty means every tracked statistic is
+ * bit-identical to the snapshot.
+ */
+std::vector<GoldenDiff> compareToGolden(const Sweep &sweep,
+                                        const SweepOptions &opts,
+                                        const std::string &golden_path);
+
+} // namespace rev::bench
+
+#endif // REV_BENCH_GOLDEN_HPP

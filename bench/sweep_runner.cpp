@@ -3,11 +3,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 
 #include "bench/sweep_cache.hpp"
 #include "common/parallel.hpp"
+#include "sig/sigstore.hpp"
 #include "workloads/generator.hpp"
 
 namespace rev::bench
@@ -15,6 +18,17 @@ namespace rev::bench
 
 namespace
 {
+
+/** Build inputs a signature-store prototype was derived from. */
+struct ProtoParams
+{
+    u64 cpuSeed = 0;
+    u64 toolchainSeed = 0;
+    prog::SplitLimits limits;
+    unsigned hashRounds = 0;
+
+    bool operator==(const ProtoParams &) const = default;
+};
 
 /** Everything per-benchmark the job matrix needs. */
 struct BenchPlan
@@ -25,7 +39,22 @@ struct BenchPlan
     bool needProgram = false;
     std::optional<prog::Program> program;
     StaticNumbers statics;
+
+    // Signature tables are deterministic in (program, mode, seeds,
+    // limits, hash rounds), so configs differing only in timing
+    // parameters share one build: prototypes are built once per mode
+    // here, and each job's Simulator clones the matching one.
+    std::optional<ProtoParams> protoParams;
+    std::optional<crypto::KeyVault> protoVault;
+    std::map<sig::ValidationMode, std::unique_ptr<sig::SigStore>> protos;
 };
+
+ProtoParams
+protoParamsOf(const core::SimConfig &cfg)
+{
+    return ProtoParams{cfg.cpuSeed, cfg.toolchainSeed, cfg.core.splitLimits,
+                       cfg.rev.chg.hashRounds};
+}
 
 /** One cell of the job matrix. */
 struct Job
@@ -191,6 +220,39 @@ SweepRunner::run()
         }
     });
 
+    // Phase 1.5: one signature-table build per (benchmark, mode). The
+    // first mode of a benchmark pays the CFG derivation; later modes
+    // reuse it as a donor (mode only affects the table records). Plans
+    // build independently, so fan out across benchmarks.
+    std::vector<std::size_t> protoIdx;
+    for (std::size_t i = 0; i < plans.size(); ++i)
+        if (plans[i].program)
+            protoIdx.push_back(i);
+    parallelFor(protoIdx.size(), threadsUsed_, [&](std::size_t k) {
+        BenchPlan &plan = plans[protoIdx[k]];
+        for (Job &job : jobs) {
+            if (job.benchIdx != protoIdx[k] || job.cached ||
+                !job.cfg.withRev)
+                continue;
+            const ProtoParams params = protoParamsOf(job.cfg);
+            if (!plan.protoParams) {
+                plan.protoParams = params;
+                plan.protoVault.emplace(params.cpuSeed);
+            } else if (*plan.protoParams != params) {
+                continue; // heterogeneous seeds/limits: job builds its own
+            }
+            if (plan.protos.count(job.cfg.mode))
+                continue;
+            const sig::SigStore *donor =
+                plan.protos.empty() ? nullptr
+                                    : plan.protos.begin()->second.get();
+            plan.protos[job.cfg.mode] = std::make_unique<sig::SigStore>(
+                *plan.program, job.cfg.mode, *plan.protoVault,
+                params.toolchainSeed, params.limits, params.hashRounds,
+                donor);
+        }
+    });
+
     // Phase 2: fan the uncached simulations out across the pool. Each
     // job writes only its own slot; assembly below is order-independent.
     std::vector<std::size_t> simIdx;
@@ -202,6 +264,12 @@ SweepRunner::run()
     parallelFor(simIdx.size(), threadsUsed_, [&](std::size_t k) {
         Job &job = jobs[simIdx[k]];
         const BenchPlan &plan = plans[job.benchIdx];
+        if (job.cfg.withRev && plan.protoParams &&
+            *plan.protoParams == protoParamsOf(job.cfg)) {
+            auto it = plan.protos.find(job.cfg.mode);
+            if (it != plan.protos.end())
+                job.cfg.sigStorePrototype = it->second.get();
+        }
         const auto t0 = std::chrono::steady_clock::now();
         job.result = simulateJob(*plan.program, job, plan.profile.name);
         job.wallSeconds = secondsSince(t0);

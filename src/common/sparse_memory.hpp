@@ -5,12 +5,29 @@
  * The functional state of the machine lives here (code, data, stack). The
  * timing model (caches, DRAM) tracks tags and latencies only and reads
  * values from this image, mirroring how trace-driven cache models work.
+ *
+ * The hot paths (instruction fetch, loads/stores, CHG hashing, clone)
+ * resolve the page once per span and move whole runs of bytes with
+ * memcpy/word operations instead of one hash-map lookup per byte; a
+ * one-entry translation cache per direction short-circuits the map for
+ * consecutive accesses to the same page. Semantics are unchanged from the
+ * byte-at-a-time reference: reads of unwritten locations return zero,
+ * writes allocate pages on demand, and multi-byte values are
+ * little-endian.
+ *
+ * Every page carries a version counter bumped on each write span. Layers
+ * that memoize derived views of memory (the interpreter's predecoded-
+ * instruction cache, the CHG digest memo) validate against these counters
+ * instead of requiring explicit invalidation hooks, so self-modifying
+ * code — whether through the machine's own stores, attack injectors, or
+ * reloadProgram() — is picked up automatically.
  */
 
 #ifndef REV_COMMON_SPARSE_MEMORY_HPP
 #define REV_COMMON_SPARSE_MEMORY_HPP
 
 #include <array>
+#include <bit>
 #include <cstring>
 #include <memory>
 #include <unordered_map>
@@ -30,47 +47,114 @@ class SparseMemory
     static constexpr unsigned kPageShift = 12;
     static constexpr u64 kPageSize = u64{1} << kPageShift;
 
+    SparseMemory() = default;
+
+    // Pages are uniquely owned: copying is explicit via clone(). Moves
+    // transfer the page set; both operands' translation caches are reset
+    // so no cached pointer outlives the pages it refers to, and the epoch
+    // is bumped so external caches holding page views revalidate.
+    SparseMemory(SparseMemory &&other) noexcept
+        : pages_(std::move(other.pages_)), epoch_(other.epoch_ + 1)
+    {
+        other.pages_.clear();
+        other.resetTranslationCaches();
+        ++other.epoch_;
+    }
+
+    SparseMemory &
+    operator=(SparseMemory &&other) noexcept
+    {
+        if (this != &other) {
+            pages_ = std::move(other.pages_);
+            other.pages_.clear();
+            resetTranslationCaches();
+            other.resetTranslationCaches();
+            ++epoch_;
+            ++other.epoch_;
+        }
+        return *this;
+    }
+
     u8
     read8(Addr addr) const
     {
-        const Page *page = findPage(addr);
-        return page ? (*page)[addr & (kPageSize - 1)] : 0;
+        const Page *page = findPageCached(addr >> kPageShift);
+        return page ? page->bytes[addr & (kPageSize - 1)] : 0;
     }
 
     void
     write8(Addr addr, u8 value)
     {
-        getPage(addr)[addr & (kPageSize - 1)] = value;
+        Page &page = getPageCached(addr >> kPageShift);
+        ++page.version;
+        page.bytes[addr & (kPageSize - 1)] = value;
     }
 
+    /** Little-endian read of the low @p size bytes (1..8) at @p addr. */
     u64
-    read64(Addr addr) const
+    read(Addr addr, unsigned size) const
     {
+        const u64 off = addr & (kPageSize - 1);
+        if (off + size <= kPageSize) {
+            const Page *page = findPageCached(addr >> kPageShift);
+            return page ? loadLE(page->bytes.data() + off, size) : 0;
+        }
         u64 v = 0;
-        for (int i = 7; i >= 0; --i)
+        for (unsigned i = size; i-- > 0;)
             v = (v << 8) | read8(addr + i);
         return v;
     }
 
+    /** Little-endian write of the low @p size bytes (1..8) of @p value. */
     void
-    write64(Addr addr, u64 value)
+    write(Addr addr, u64 value, unsigned size)
     {
-        for (int i = 0; i < 8; ++i)
+        const u64 off = addr & (kPageSize - 1);
+        if (off + size <= kPageSize) {
+            Page &page = getPageCached(addr >> kPageShift);
+            ++page.version;
+            storeLE(page.bytes.data() + off, value, size);
+            return;
+        }
+        for (unsigned i = 0; i < size; ++i)
             write8(addr + i, static_cast<u8>(value >> (8 * i)));
     }
+
+    u64 read64(Addr addr) const { return read(addr, 8); }
+    void write64(Addr addr, u64 value) { write(addr, value, 8); }
 
     void
     readBytes(Addr addr, u8 *out, std::size_t len) const
     {
-        for (std::size_t i = 0; i < len; ++i)
-            out[i] = read8(addr + i);
+        while (len > 0) {
+            const u64 off = addr & (kPageSize - 1);
+            const std::size_t chunk =
+                static_cast<std::size_t>(std::min<u64>(len, kPageSize - off));
+            const Page *page = findPageCached(addr >> kPageShift);
+            if (page)
+                std::memcpy(out, page->bytes.data() + off, chunk);
+            else
+                std::memset(out, 0, chunk);
+            addr += chunk;
+            out += chunk;
+            len -= chunk;
+        }
     }
 
     void
     writeBytes(Addr addr, const u8 *data, std::size_t len)
     {
-        for (std::size_t i = 0; i < len; ++i)
-            write8(addr + i, data[i]);
+        while (len > 0) {
+            const u64 off = addr & (kPageSize - 1);
+            const std::size_t chunk =
+                static_cast<std::size_t>(std::min<u64>(len, kPageSize - off));
+            Page &page = getPageCached(addr >> kPageShift);
+            ++page.version;
+            std::memcpy(page.bytes.data() + off, data, chunk);
+            addr += chunk;
+            data += chunk;
+            len -= chunk;
+        }
     }
 
     void
@@ -81,6 +165,60 @@ class SparseMemory
 
     /** Number of populated pages (tests / diagnostics). */
     std::size_t pageCount() const { return pages_.size(); }
+
+    /**
+     * Write-version counter of a page (0 when the page is unpopulated).
+     * Bumped at least once per write span touching the page, never reset:
+     * derived caches compare it to detect content changes.
+     */
+    u64
+    pageVersion(u64 page_no) const
+    {
+        const Page *page = findPageCached(page_no);
+        return page ? page->version : 0;
+    }
+
+    /**
+     * Sum of page versions over the pages overlapping [start, end).
+     * Strictly increases whenever any byte in the span is written, so it
+     * serves as a cheap change tag for memoized digests of the span.
+     */
+    u64
+    spanVersionSum(Addr start, Addr end) const
+    {
+        if (end <= start)
+            return 0;
+        u64 sum = 0;
+        for (u64 p = start >> kPageShift; p <= (end - 1) >> kPageShift; ++p)
+            sum += pageVersion(p);
+        return sum;
+    }
+
+    /**
+     * Stable view of a populated page's bytes and version counter, or
+     * nulls when unpopulated. The pointers stay valid until this memory is
+     * destroyed or moved from; holders must revalidate via epoch().
+     */
+    struct PageView
+    {
+        const u8 *bytes = nullptr;
+        const u64 *version = nullptr;
+    };
+
+    PageView
+    pageView(u64 page_no) const
+    {
+        const Page *page = findPageCached(page_no);
+        return page ? PageView{page->bytes.data(), &page->version}
+                    : PageView{};
+    }
+
+    /**
+     * Bumped whenever the page set is replaced wholesale (move in/out,
+     * e.g. the page-shadowing rollback). External caches holding PageViews
+     * must drop them when the epoch changed.
+     */
+    u64 epoch() const { return epoch_; }
 
     /** Deep copy (pages are owned uniquely, so copying is explicit). */
     SparseMemory
@@ -100,31 +238,90 @@ class SparseMemory
     forEachPage(Fn &&fn) const
     {
         for (const auto &[page_no, page] : pages_)
-            fn(page_no, page->data());
+            fn(page_no, page->bytes.data());
     }
 
   private:
-    using Page = std::array<u8, kPageSize>;
+    struct Page
+    {
+        std::array<u8, kPageSize> bytes;
+        u64 version = 0;
+    };
+
+    static constexpr u64 kNoPage = ~u64{0};
+
+    static u64
+    loadLE(const u8 *p, unsigned size)
+    {
+        if constexpr (std::endian::native == std::endian::little) {
+            if (size == 8) {
+                u64 v;
+                std::memcpy(&v, p, 8);
+                return v;
+            }
+        }
+        u64 v = 0;
+        for (unsigned i = size; i-- > 0;)
+            v = (v << 8) | p[i];
+        return v;
+    }
+
+    static void
+    storeLE(u8 *p, u64 value, unsigned size)
+    {
+        if constexpr (std::endian::native == std::endian::little) {
+            if (size == 8) {
+                std::memcpy(p, &value, 8);
+                return;
+            }
+        }
+        for (unsigned i = 0; i < size; ++i)
+            p[i] = static_cast<u8>(value >> (8 * i));
+    }
 
     const Page *
-    findPage(Addr addr) const
+    findPageCached(u64 page_no) const
     {
-        auto it = pages_.find(addr >> kPageShift);
-        return it == pages_.end() ? nullptr : it->second.get();
+        if (page_no == readPageNo_)
+            return readPage_;
+        auto it = pages_.find(page_no);
+        if (it == pages_.end())
+            return nullptr; // absence is not cached: a write may populate
+        readPageNo_ = page_no;
+        readPage_ = it->second.get();
+        return readPage_;
     }
 
     Page &
-    getPage(Addr addr)
+    getPageCached(u64 page_no)
     {
-        auto &slot = pages_[addr >> kPageShift];
+        if (page_no == writePageNo_)
+            return *writePage_;
+        auto &slot = pages_[page_no];
         if (!slot) {
             slot = std::make_unique<Page>();
-            slot->fill(0);
+            slot->bytes.fill(0);
         }
-        return *slot;
+        writePageNo_ = page_no;
+        writePage_ = slot.get();
+        return *writePage_;
+    }
+
+    void
+    resetTranslationCaches()
+    {
+        readPageNo_ = kNoPage;
+        readPage_ = nullptr;
+        writePageNo_ = kNoPage;
+        writePage_ = nullptr;
     }
 
     std::unordered_map<u64, std::unique_ptr<Page>> pages_;
+    mutable u64 readPageNo_ = kNoPage;
+    mutable const Page *readPage_ = nullptr;
+    u64 writePageNo_ = kNoPage;
+    Page *writePage_ = nullptr;
+    u64 epoch_ = 0;
 };
 
 } // namespace rev

@@ -16,16 +16,17 @@ u32
 Chg::digest(Addr start, Addr term, Addr end)
 {
     const Key key{start, term};
+    const u64 ver = mem_.spanVersionSum(start, end);
     auto it = cache_.find(key);
-    if (it != cache_.end())
-        return it->second;
+    if (it != cache_.end() && it->second.verSum == ver)
+        return it->second.hash;
 
     ++blocksHashed_;
-    std::vector<u8> bytes(end - start);
-    mem_.readBytes(start, bytes.data(), bytes.size());
-    const u32 h = sig::bbHashBytes(bytes.data(), bytes.size(), start, term,
-                                   cfg_.hashRounds);
-    cache_.emplace(key, h);
+    scratch_.resize(end - start);
+    mem_.readBytes(start, scratch_.data(), scratch_.size());
+    const u32 h = sig::bbHashBytes(scratch_.data(), scratch_.size(), start,
+                                   term, cfg_.hashRounds);
+    cache_[key] = Memo{h, ver};
     return h;
 }
 

@@ -12,14 +12,18 @@
  * Function: the real 5-round CubeHash digest of the *fetched* bytes, bound
  * to the (start, term) address pair — identical to the builder's reference
  * computation only when the code in memory is genuine. Digests of
- * unmodified blocks are memoized; any external write into code space must
- * call invalidate() (the attack framework does).
+ * unmodified blocks are memoized; each memo entry records the summed
+ * write-version of the pages it hashed, so *any* store landing on those
+ * pages — the program's own stores included — forces a recompute from the
+ * current bytes. invalidate() additionally drops the whole memo (explicit
+ * resets, e.g. reloadProgram()).
  */
 
 #ifndef REV_CORE_CHG_HPP
 #define REV_CORE_CHG_HPP
 
 #include <unordered_map>
+#include <vector>
 
 #include "common/sparse_memory.hpp"
 #include "common/stats.hpp"
@@ -80,9 +84,16 @@ class Chg
         }
     };
 
+    struct Memo
+    {
+        u32 hash;
+        u64 verSum; ///< spanVersionSum of [start, end) when hashed
+    };
+
     const SparseMemory &mem_;
     ChgConfig cfg_;
-    std::unordered_map<Key, u32, KeyHash> cache_;
+    std::unordered_map<Key, Memo, KeyHash> cache_;
+    std::vector<u8> scratch_; ///< reused block-byte buffer
     stats::Counter blocksHashed_, flushes_;
 };
 

@@ -39,11 +39,18 @@ RevEngine::RevEngine(const sig::SigStore &store,
 {
     // The trusted linker pre-loads the SAG for statically linked modules
     // (Sec. IV.B); modules beyond the SAG capacity fault in at run time.
+    preloadSag();
+}
+
+void
+RevEngine::preloadSag()
+{
     unsigned installed = 0;
     for (const auto &ms : store_.moduleSigs()) {
-        if (installed++ >= sag_.capacity())
+        if (installed >= sag_.capacity())
             break;
         sag_.install(ms.module->base, ms.module->codeEnd(), ms.tableBase);
+        ++installed;
     }
 }
 
@@ -403,12 +410,7 @@ RevEngine::refreshTables()
     sc_.invalidateAll();
     chg_.invalidate();
     sag_.reset();
-    unsigned installed = 0;
-    for (const auto &ms : store_.moduleSigs()) {
-        if (installed++ >= sag_.capacity())
-            break;
-        sag_.install(ms.module->base, ms.module->codeEnd(), ms.tableBase);
-    }
+    preloadSag();
 }
 
 RevEngine::ThreadState

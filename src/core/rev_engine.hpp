@@ -222,6 +222,10 @@ class RevEngine : public cpu::RevHooks
 
     static bool isComputedClass(isa::InstrClass c);
 
+    /** Install module signature-table anchors until the SAG is full,
+     *  counting only modules actually installed. */
+    void preloadSag();
+
     const sig::TableReader &readerFor(Addr table_base);
 
     /**

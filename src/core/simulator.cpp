@@ -1,5 +1,7 @@
 #include "core/simulator.hpp"
 
+#include "common/logging.hpp"
+
 namespace rev::core
 {
 
@@ -16,9 +18,19 @@ Simulator::Simulator(const prog::Program &program, const SimConfig &cfg)
         }
         // Split limits of the toolchain and the front end must agree.
         prog::SplitLimits limits = cfg_.core.splitLimits;
-        store_ = std::make_unique<sig::SigStore>(
-            program_, cfg_.mode, vault_, cfg_.toolchainSeed, limits,
-            cfg_.rev.chg.hashRounds);
+        if (cfg_.sigStorePrototype) {
+            const sig::SigStore &proto = *cfg_.sigStorePrototype;
+            REV_ASSERT(proto.mode() == cfg_.mode &&
+                           proto.hashRounds() == cfg_.rev.chg.hashRounds,
+                       "sigStorePrototype was built with different "
+                       "validation parameters");
+            store_ = std::make_unique<sig::SigStore>(proto);
+            store_->rebindVault(vault_);
+        } else {
+            store_ = std::make_unique<sig::SigStore>(
+                program_, cfg_.mode, vault_, cfg_.toolchainSeed, limits,
+                cfg_.rev.chg.hashRounds);
+        }
         store_->loadInto(mem_);
         engine_ = std::make_unique<RevEngine>(*store_, vault_, mem_,
                                               memsys_, cfg_.rev);

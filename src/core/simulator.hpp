@@ -49,6 +49,18 @@ struct SimConfig
 
     u64 cpuSeed = 1;      ///< per-CPU key-vault fuses
     u64 toolchainSeed = 1; ///< per-module key generation
+
+    /**
+     * Optional pre-built signature store to clone instead of deriving the
+     * CFGs and building the tables from scratch (the most expensive part
+     * of constructing a Simulator). The prototype must have been built
+     * for the same program with the same mode, seeds, split limits, and
+     * hash rounds — the table build is deterministic in those inputs, so
+     * cloning yields byte-identical tables and therefore identical
+     * simulated statistics. The benchmark sweep uses this to share one
+     * build across configs that differ only in timing parameters.
+     */
+    const sig::SigStore *sigStorePrototype = nullptr;
 };
 
 /** Results of one simulated run. */

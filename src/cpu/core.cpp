@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
-#include "isa/codec.hpp"
 
 namespace rev::cpu
 {
@@ -15,77 +14,6 @@ namespace
 
 /** Decode/rename depth in cycles (part of the S-stage front end). */
 constexpr unsigned kDecodeDepth = 6;
-
-/** Source/destination register usage of one instruction. */
-struct RegUse
-{
-    u8 srcs[3];
-    unsigned nsrc = 0;
-    int dst = -1;
-};
-
-RegUse
-regUse(const isa::Instr &ins)
-{
-    RegUse u;
-    auto src = [&](u8 r) {
-        if (r != isa::kRegZero)
-            u.srcs[u.nsrc++] = r;
-    };
-    switch (ins.klass()) {
-      case InstrClass::Nop:
-      case InstrClass::Halt:
-      case InstrClass::Syscall:
-      case InstrClass::Jump:
-        break;
-      case InstrClass::Call:
-        src(isa::kRegSp);
-        u.dst = isa::kRegSp;
-        break;
-      case InstrClass::CallIndirect:
-        src(ins.rs1);
-        src(isa::kRegSp);
-        u.dst = isa::kRegSp;
-        break;
-      case InstrClass::JumpIndirect:
-        src(ins.rs1);
-        break;
-      case InstrClass::Return:
-        src(isa::kRegSp);
-        u.dst = isa::kRegSp;
-        break;
-      case InstrClass::Load:
-        src(ins.rs1);
-        u.dst = ins.rd;
-        break;
-      case InstrClass::Store:
-        src(ins.rs1);
-        src(ins.rd); // store data
-        break;
-      case InstrClass::Branch:
-        src(ins.rs1);
-        src(ins.rs2);
-        break;
-      default:
-        // ALU forms: R3 reads rs1/rs2; RI reads rs1; MOVI/LUI read none.
-        switch (ins.length()) {
-          case 4:
-            src(ins.rs1);
-            src(ins.rs2);
-            break;
-          case 7:
-            src(ins.rs1);
-            break;
-          default:
-            break;
-        }
-        u.dst = ins.rd;
-        break;
-    }
-    if (u.dst == isa::kRegZero)
-        u.dst = -1;
-    return u;
-}
 
 } // namespace
 
@@ -216,7 +144,7 @@ Core::run()
         fq.push(dispatch_at);
 
         // ---- issue / execute ----------------------------------------------
-        const RegUse use = regUse(rec.ins);
+        const isa::RegUse &use = rec.use;
         Cycle op_ready = 0;
         for (unsigned i = 0; i < use.nsrc; ++i)
             op_ready = std::max(op_ready, reg_ready[use.srcs[i]]);
@@ -303,9 +231,8 @@ Core::run()
                     for (unsigned i = 0;
                          i < cfg_.wrongPathInstrs && wpc != rec.nextPc;
                          ++i) {
-                        u8 raw[8];
-                        mem_.readBytes(wpc, raw, sizeof(raw));
-                        const auto wins = isa::decode(raw, sizeof(raw));
+                        const prog::Predecoded *wins =
+                            machine_.predecode(wpc);
                         if (!wins)
                             break;
                         const Addr line = wpc >> line_shift;
@@ -316,9 +243,9 @@ Core::run()
                             ++t;
                         }
                         ++res.wrongPathFetches;
-                        if (wins->isControlFlow())
+                        if (wins->ins.isControlFlow())
                             break; // cannot follow further without resolving
-                        wpc = wins->fallThrough(wpc);
+                        wpc = wpc + wins->len;
                     }
                 }
                 if (hooks_)

@@ -65,14 +65,31 @@ CubeHash::CubeHash(unsigned rounds, unsigned block_bytes,
     if (digestBits_ < 8 || digestBits_ > 512 || digestBits_ % 8 != 0)
         fatal("CubeHash: digest size must be 8..512 bits, multiple of 8");
 
-    // Initialize: state = (h/8, b, r, 0, ...), then 10*r rounds. Cache the
-    // resulting IV so reset() is cheap.
+    // Initialize: state = (h/8, b, r, 0, ...), then 10*r rounds. The IV
+    // depends only on the (r, b, h) parameters, so it is memoized
+    // per-thread: short-message callers (the per-basic-block signature
+    // hash) would otherwise spend more rounds deriving the IV than
+    // absorbing their data.
+    struct IvEntry
+    {
+        unsigned r, b, h;
+        std::array<u32, 32> iv;
+    };
+    thread_local std::vector<IvEntry> memo;
+    for (const auto &e : memo) {
+        if (e.r == rounds_ && e.b == blockBytes_ && e.h == digestBits_) {
+            iv_ = e.iv;
+            state_ = iv_;
+            return;
+        }
+    }
     state_.fill(0);
     state_[0] = digestBits_ / 8;
     state_[1] = blockBytes_;
     state_[2] = rounds_;
     permute(10 * rounds_);
     iv_ = state_;
+    memo.push_back({rounds_, blockBytes_, digestBits_, iv_});
 }
 
 void

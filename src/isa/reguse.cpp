@@ -1,0 +1,69 @@
+#include "isa/reguse.hpp"
+
+namespace rev::isa
+{
+
+RegUse
+regUse(const Instr &ins)
+{
+    RegUse u;
+    auto src = [&](u8 r) {
+        if (r != kRegZero)
+            u.srcs[u.nsrc++] = r;
+    };
+    switch (ins.klass()) {
+      case InstrClass::Nop:
+      case InstrClass::Halt:
+      case InstrClass::Syscall:
+      case InstrClass::Jump:
+        break;
+      case InstrClass::Call:
+        src(kRegSp);
+        u.dst = kRegSp;
+        break;
+      case InstrClass::CallIndirect:
+        src(ins.rs1);
+        src(kRegSp);
+        u.dst = kRegSp;
+        break;
+      case InstrClass::JumpIndirect:
+        src(ins.rs1);
+        break;
+      case InstrClass::Return:
+        src(kRegSp);
+        u.dst = kRegSp;
+        break;
+      case InstrClass::Load:
+        src(ins.rs1);
+        u.dst = static_cast<i8>(ins.rd);
+        break;
+      case InstrClass::Store:
+        src(ins.rs1);
+        src(ins.rd); // store data
+        break;
+      case InstrClass::Branch:
+        src(ins.rs1);
+        src(ins.rs2);
+        break;
+      default:
+        // ALU forms: R3 reads rs1/rs2; RI reads rs1; MOVI/LUI read none.
+        switch (ins.length()) {
+          case 4:
+            src(ins.rs1);
+            src(ins.rs2);
+            break;
+          case 7:
+            src(ins.rs1);
+            break;
+          default:
+            break;
+        }
+        u.dst = static_cast<i8>(ins.rd);
+        break;
+    }
+    if (u.dst == kRegZero)
+        u.dst = -1;
+    return u;
+}
+
+} // namespace rev::isa

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Source/destination register usage of a decoded instruction.
+ *
+ * Derived purely from the instruction encoding, so it can be computed once
+ * per static instruction and cached alongside the decode (the interpreter's
+ * predecoded-instruction cache does exactly that); the out-of-order core's
+ * dependence tracking consumes it on every dynamic execution.
+ */
+
+#ifndef REV_ISA_REGUSE_HPP
+#define REV_ISA_REGUSE_HPP
+
+#include "isa/instr.hpp"
+
+namespace rev::isa
+{
+
+/** Register operands of one instruction (zero register filtered out). */
+struct RegUse
+{
+    u8 srcs[3] = {0, 0, 0};
+    u8 nsrc = 0;
+    i8 dst = -1; ///< destination register, -1 when none (or r0)
+};
+
+/** Compute the register usage of @p ins. */
+RegUse regUse(const Instr &ins);
+
+} // namespace rev::isa
+
+#endif // REV_ISA_REGUSE_HPP

@@ -83,6 +83,8 @@ struct SplitLimits
 {
     unsigned maxInstrs = 48;
     unsigned maxStores = 8;
+
+    bool operator==(const SplitLimits &) const = default;
 };
 
 /** Aggregate statistics reported in Sec. VIII. */

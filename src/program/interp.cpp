@@ -26,11 +26,24 @@ StoreBuffer::push(SeqNum seq, Addr addr, u64 value, unsigned size)
         bv.value = static_cast<u8>(value >> (8 * i));
         ++bv.refs;
     }
+    boundLo_ = std::min(boundLo_, addr);
+    boundHi_ = std::max(boundHi_, addr + size);
+}
+
+void
+StoreBuffer::resetBounds()
+{
+    if (bytes_.empty()) {
+        boundLo_ = kNoAddr;
+        boundHi_ = 0;
+    }
 }
 
 u8
 StoreBuffer::readByte(const SparseMemory &mem, Addr addr) const
 {
+    if (bytes_.empty() || addr < boundLo_ || addr >= boundHi_)
+        return mem.read8(addr);
     auto it = bytes_.find(addr);
     return it != bytes_.end() ? it->second.value : mem.read8(addr);
 }
@@ -38,6 +51,8 @@ StoreBuffer::readByte(const SparseMemory &mem, Addr addr) const
 bool
 StoreBuffer::covers(Addr addr, unsigned size) const
 {
+    if (bytes_.empty() || addr + size <= boundLo_ || addr >= boundHi_)
+        return false;
     for (unsigned i = 0; i < size; ++i)
         if (bytes_.count(addr + i))
             return true;
@@ -47,6 +62,8 @@ StoreBuffer::covers(Addr addr, unsigned size) const
 u64
 StoreBuffer::read64(const SparseMemory &mem, Addr addr) const
 {
+    if (!covers(addr, 8))
+        return mem.read64(addr);
     u64 v = 0;
     for (int i = 7; i >= 0; --i)
         v = (v << 8) | readByte(mem, addr + i);
@@ -70,10 +87,10 @@ StoreBuffer::drain(SparseMemory &mem, SeqNum upTo)
     while (!queue_.empty() && queue_.front().seq <= upTo) {
         const Pending p = queue_.front();
         queue_.pop_front();
-        for (unsigned i = 0; i < p.size; ++i)
-            mem.write8(p.addr + i, static_cast<u8>(p.value >> (8 * i)));
+        mem.write(p.addr, p.value, p.size);
         removeBytes(p);
     }
+    resetBounds();
 }
 
 void
@@ -97,6 +114,108 @@ StoreBuffer::squash(SeqNum from)
             }
         }
     }
+    resetBounds();
+}
+
+// ---------------------------------------------------------------------------
+// DecodeCache
+// ---------------------------------------------------------------------------
+
+void
+DecodeCache::clear()
+{
+    pages_.clear();
+    lastPageNo_ = kNoAddr;
+    lastPage_ = nullptr;
+    memEpoch_ = ~u64{0};
+}
+
+DecodeCache::CodePage &
+DecodeCache::pageFor(const SparseMemory &mem, u64 page_no)
+{
+    if (mem.epoch() != memEpoch_) {
+        // The page set was replaced wholesale (e.g. rollback): every
+        // cached PageView may dangle. Start over.
+        clear();
+        memEpoch_ = mem.epoch();
+    }
+    if (page_no == lastPageNo_)
+        return *lastPage_;
+    CodePage &cp = pages_[page_no];
+    if (cp.slots.empty()) {
+        cp.slots.resize(SparseMemory::kPageSize);
+        cp.state.assign(SparseMemory::kPageSize, kUnknown);
+        cp.view = mem.pageView(page_no);
+        cp.version = cp.view.version ? *cp.view.version : 0;
+    }
+    lastPageNo_ = page_no;
+    lastPage_ = &cp;
+    return cp;
+}
+
+const Predecoded *
+DecodeCache::lookup(const SparseMemory &mem, Addr pc)
+{
+    const u64 page_no = pc >> SparseMemory::kPageShift;
+    const u64 off = pc & (SparseMemory::kPageSize - 1);
+    CodePage &cp = pageFor(mem, page_no);
+
+    // Revalidate against the live page version; any write to the page
+    // since the slots were filled drops them all.
+    if (!cp.view.version) {
+        // Page was unpopulated when first seen; a write may have created
+        // it since (writes to other pages cannot affect this one).
+        cp.view = mem.pageView(page_no);
+        if (cp.view.version) {
+            cp.state.assign(SparseMemory::kPageSize, kUnknown);
+            cp.version = *cp.view.version;
+        }
+    } else if (*cp.view.version != cp.version) {
+        cp.state.assign(SparseMemory::kPageSize, kUnknown);
+        cp.version = *cp.view.version;
+    }
+
+    switch (cp.state[off]) {
+      case kValid:
+        return &cp.slots[off];
+      case kInvalid:
+        return nullptr;
+      default:
+        break;
+    }
+
+    u8 raw[8];
+    mem.readBytes(pc, raw, sizeof(raw));
+    const auto decoded = isa::decode(raw, sizeof(raw));
+
+    // The decode result depends on bytes [pc, pc+len) — just the opcode
+    // byte when it is not a defined opcode. Cache only when all deciding
+    // bytes sit inside this page; otherwise a write to the *next* page
+    // could change the instruction without touching this page's version.
+    const unsigned declen =
+        decoded ? decoded->length()
+                : (isa::opcodeValid(raw[0])
+                       ? opcodeLength(static_cast<Opcode>(raw[0]))
+                       : 1);
+    const bool cacheable = off + declen <= SparseMemory::kPageSize;
+
+    if (!decoded) {
+        if (cacheable)
+            cp.state[off] = kInvalid;
+        return nullptr;
+    }
+
+    Predecoded pd;
+    pd.ins = *decoded;
+    pd.len = static_cast<u8>(decoded->length());
+    pd.use = isa::regUse(*decoded);
+    if (cacheable) {
+        cp.slots[off] = pd;
+        cp.state[off] = kValid;
+        return &cp.slots[off];
+    }
+    spanning_ = pd;
+    return &spanning_;
 }
 
 // ---------------------------------------------------------------------------
@@ -110,12 +229,6 @@ Machine::Machine(const Program &program, SparseMemory &mem)
     regs_[isa::kRegSp] = Program::initialSp();
 }
 
-u64
-Machine::readMem64(const StoreBuffer *sb, Addr addr) const
-{
-    return sb ? sb->read64(mem_, addr) : mem_.read64(addr);
-}
-
 ExecRecord
 Machine::step(StoreBuffer *sb, SeqNum seq)
 {
@@ -127,18 +240,18 @@ Machine::step(StoreBuffer *sb, SeqNum seq)
         return rec;
     }
 
-    u8 raw[8];
-    mem_.readBytes(pc_, raw, sizeof(raw));
-    auto decoded = isa::decode(raw, sizeof(raw));
-    if (!decoded) {
+    const Predecoded *pd = dcache_.lookup(mem_, pc_);
+    if (!pd) {
         rec.invalid = true;
         rec.halted = true;
         halted_ = true;
         return rec;
     }
-    const Instr &ins = *decoded;
+    const Instr &ins = pd->ins;
+    const Addr fall = pc_ + pd->len;
     rec.ins = ins;
-    rec.nextPc = ins.fallThrough(pc_);
+    rec.use = pd->use;
+    rec.nextPc = fall;
 
     auto wr = [&](u64 v) { setReg(ins.rd, v); };
     const u64 a = regs_[ins.rs1];
@@ -153,21 +266,22 @@ Machine::step(StoreBuffer *sb, SeqNum seq)
         rec.memAddr = addr;
         rec.memSize = size;
         rec.storeValue = value;
-        if (sb) {
+        if (sb)
             sb->push(seq, addr, value, size);
-        } else {
-            for (unsigned i = 0; i < size; ++i)
-                mem_.write8(addr + i, static_cast<u8>(value >> (8 * i)));
-        }
+        else
+            mem_.write(addr, value, size);
     };
     auto doLoad = [&](Addr addr, unsigned size = 8) {
         rec.isLoad = true;
         rec.memAddr = addr;
         rec.memSize = size;
-        u64 v = 0;
-        for (unsigned i = size; i-- > 0;) {
-            v = (v << 8) | (sb ? sb->readByte(mem_, addr + i)
-                               : mem_.read8(addr + i));
+        u64 v;
+        if (sb && sb->covers(addr, size)) {
+            v = 0;
+            for (unsigned i = size; i-- > 0;)
+                v = (v << 8) | sb->readByte(mem_, addr + i);
+        } else {
+            v = mem_.read(addr, size);
         }
         rec.loadValue = v;
         return v;
@@ -194,7 +308,7 @@ Machine::step(StoreBuffer *sb, SeqNum seq)
                                 : regs_[ins.rs1];
         const Addr sp = regs_[isa::kRegSp] - 8;
         regs_[isa::kRegSp] = sp;
-        doStore(sp, ins.fallThrough(pc_));
+        doStore(sp, fall);
         rec.nextPc = target;
         break;
       }

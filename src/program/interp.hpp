@@ -12,6 +12,14 @@
  * Stores may be redirected into a StoreBuffer instead of memory; this is
  * how the pipeline defers memory updates until REV validates the basic
  * block (Requirement R5). Loads transparently forward from the buffer.
+ *
+ * Instruction fetch goes through a DecodeCache: per-code-page arrays of
+ * decoded instructions plus precomputed register usage, validated against
+ * the page's write-version counter so that any store landing on a cached
+ * code page (the machine's own stores, attack injectors, reloadProgram())
+ * transparently forces a re-decode of the fresh bytes. The cache is purely
+ * a functional-layer speedup — decode results are byte-exact and timing
+ * statistics are computed identically with or without it.
  */
 
 #ifndef REV_PROGRAM_INTERP_HPP
@@ -20,9 +28,11 @@
 #include <array>
 #include <deque>
 #include <unordered_map>
+#include <vector>
 
 #include "common/sparse_memory.hpp"
 #include "isa/instr.hpp"
+#include "isa/reguse.hpp"
 #include "program/program.hpp"
 
 namespace rev::prog
@@ -77,9 +87,70 @@ class StoreBuffer
     };
 
     void removeBytes(const Pending &p);
+    void resetBounds();
 
     std::deque<Pending> queue_;
     std::unordered_map<Addr, ByteView> bytes_;
+
+    // Conservative address bounds of the pending bytes: covers() rejects
+    // non-overlapping loads with two compares instead of per-byte map
+    // probes. Bounds only grow while stores are pending and reset when the
+    // buffer empties; staleness is a missed fast path, never a wrong
+    // answer (the byte map stays authoritative).
+    Addr boundLo_ = kNoAddr;
+    Addr boundHi_ = 0; ///< one past the highest pending byte
+};
+
+/** One predecoded static instruction. */
+struct Predecoded
+{
+    isa::Instr ins;
+    u8 len = 0;      ///< encoded length in bytes
+    isa::RegUse use; ///< precomputed register operands
+};
+
+/**
+ * Per-code-page cache of decoded instructions keyed by PC, validated
+ * against SparseMemory page versions (plus the memory epoch for wholesale
+ * page-set replacement, e.g. the page-shadowing rollback). Entries whose
+ * bytes spill into the next page are decoded on demand and never cached,
+ * so a write to *any* byte of an instruction always invalidates it.
+ */
+class DecodeCache
+{
+  public:
+    /**
+     * Decoded instruction at @p pc, or nullptr when the bytes do not
+     * decode. The pointer is valid until the next lookup() or clear().
+     */
+    const Predecoded *lookup(const SparseMemory &mem, Addr pc);
+
+    /** Drop everything (tests / explicit resets). */
+    void clear();
+
+  private:
+    enum : u8
+    {
+        kUnknown = 0,
+        kValid = 1,
+        kInvalid = 2, ///< bytes at this offset do not decode
+    };
+
+    struct CodePage
+    {
+        u64 version = 0;             ///< page version the slots were filled at
+        SparseMemory::PageView view; ///< live version pointer for revalidation
+        std::vector<Predecoded> slots;
+        std::vector<u8> state;
+    };
+
+    CodePage &pageFor(const SparseMemory &mem, u64 page_no);
+
+    std::unordered_map<u64, CodePage> pages_;
+    u64 lastPageNo_ = kNoAddr;
+    CodePage *lastPage_ = nullptr;
+    u64 memEpoch_ = ~u64{0};
+    Predecoded spanning_; ///< scratch slot for page-crossing instructions
 };
 
 /**
@@ -89,6 +160,7 @@ struct ExecRecord
 {
     Addr pc = 0;
     isa::Instr ins;
+    isa::RegUse use; ///< register operands (from the decode cache)
     Addr nextPc = 0;
     bool taken = false;   ///< conditional branch outcome
     bool isLoad = false;  ///< load or RET pop
@@ -119,6 +191,13 @@ class Machine
      */
     ExecRecord step(StoreBuffer *sb = nullptr, SeqNum seq = 0);
 
+    /**
+     * Decode (through the cache) the instruction at @p pc without
+     * executing it; nullptr when the bytes do not decode. Used by the
+     * core's wrong-path fetch modeling.
+     */
+    const Predecoded *predecode(Addr pc) { return dcache_.lookup(mem_, pc); }
+
     u64 reg(unsigned idx) const { return regs_[idx]; }
     void setReg(unsigned idx, u64 v) { if (idx != 0) regs_[idx] = v; }
 
@@ -131,12 +210,11 @@ class Machine
     const SparseMemory &memory() const { return mem_; }
 
   private:
-    u64 readMem64(const StoreBuffer *sb, Addr addr) const;
-
     std::array<u64, isa::kNumArchRegs> regs_{};
     Addr pc_;
     bool halted_ = false;
     SparseMemory &mem_;
+    DecodeCache dcache_;
 };
 
 /**

@@ -7,15 +7,22 @@ namespace rev::sig
 
 SigStore::SigStore(const prog::Program &program, ValidationMode mode,
                    const crypto::KeyVault &vault, u64 seed,
-                   const prog::SplitLimits &limits, unsigned hash_rounds)
+                   const prog::SplitLimits &limits, unsigned hash_rounds,
+                   const SigStore *cfg_donor)
     : mode_(mode), hashRounds_(hash_rounds), vault_(&vault), seed_(seed),
       limits_(limits)
 {
-    rebuild(program);
+    rebuildWith(program, cfg_donor);
 }
 
 void
 SigStore::rebuild(const prog::Program &program)
+{
+    rebuildWith(program, nullptr);
+}
+
+void
+SigStore::rebuildWith(const prog::Program &program, const SigStore *cfg_donor)
 {
     sigs_.clear();
     images_.clear();
@@ -23,18 +30,36 @@ SigStore::rebuild(const prog::Program &program)
     ++generation_;
     Addr next_base = kSigTableRegion;
 
+    // A donor is usable only when it analyzed exactly these modules with
+    // the same split limits; CFG derivation does not depend on the mode.
+    const bool donate = cfg_donor && cfg_donor->limits_ == limits_ &&
+                        cfg_donor->sigs_.size() == program.modules().size() &&
+                        [&] {
+                            for (std::size_t i = 0;
+                                 i < cfg_donor->sigs_.size(); ++i)
+                                if (cfg_donor->sigs_[i].module !=
+                                    &program.modules()[i])
+                                    return false;
+                            return true;
+                        }();
+
     // Derive every module's CFG, then resolve cross-module return edges
-    // (the trusted static linker's knowledge, Sec. IV.B).
-    for (const auto &mod : program.modules()) {
+    // (the trusted static linker's knowledge, Sec. IV.B). linkCfgs is
+    // idempotent, so donated CFGs (already linked) need no second pass.
+    for (std::size_t i = 0; i < program.modules().size(); ++i) {
+        const auto &mod = program.modules()[i];
         ModuleSig sig;
         sig.module = &mod;
-        sig.cfg = prog::buildCfg(mod, limits_);
+        sig.cfg = donate ? cfg_donor->sigs_[i].cfg
+                         : prog::buildCfg(mod, limits_);
         sigs_.push_back(std::move(sig));
     }
-    std::vector<prog::Cfg *> cfgs;
-    for (auto &sig : sigs_)
-        cfgs.push_back(&sig.cfg);
-    prog::linkCfgs(cfgs);
+    if (!donate) {
+        std::vector<prog::Cfg *> cfgs;
+        for (auto &sig : sigs_)
+            cfgs.push_back(&sig.cfg);
+        prog::linkCfgs(cfgs);
+    }
 
     for (auto &sig : sigs_) {
         const crypto::AesKey key = vault_->generateModuleKey(rng);

@@ -49,11 +49,17 @@ class SigStore
      * @param mode      Validation mode shared by all tables.
      * @param vault     CPU key vault the tables are bound to.
      * @param seed      Seeds per-module key generation.
+     * @param cfg_donor Optional store built for the same program and split
+     *                  limits (any mode): its already-derived CFGs are
+     *                  copied instead of re-derived. CFG derivation is
+     *                  mode-independent, so the resulting tables are
+     *                  byte-identical either way.
      */
     SigStore(const prog::Program &program, ValidationMode mode,
              const crypto::KeyVault &vault, u64 seed = 1,
              const prog::SplitLimits &limits = {},
-             unsigned hash_rounds = 5);
+             unsigned hash_rounds = 5,
+             const SigStore *cfg_donor = nullptr);
 
     /**
      * Re-derive every CFG and rebuild every table from @p program's
@@ -68,6 +74,14 @@ class SigStore
     /** Copy every table image into simulated RAM. */
     void loadInto(SparseMemory &mem) const;
 
+    /**
+     * Point future rebuild()s at @p vault. A copied store (e.g. one
+     * cloned from a shared prototype) still references its builder's
+     * vault; the copy's owner rebinds it to a vault with the same fuses
+     * so the copy has no lifetime ties to the prototype's owner.
+     */
+    void rebindVault(const crypto::KeyVault &vault) { vault_ = &vault; }
+
     /** Per-module signature records, in program module order. */
     const std::vector<ModuleSig> &moduleSigs() const { return sigs_; }
 
@@ -81,6 +95,8 @@ class SigStore
     u64 totalTableBytes() const;
 
   private:
+    void rebuildWith(const prog::Program &program, const SigStore *cfg_donor);
+
     ValidationMode mode_;
     unsigned hashRounds_;
     const crypto::KeyVault *vault_;

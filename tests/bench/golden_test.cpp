@@ -1,0 +1,36 @@
+/**
+ * Golden-statistics pinning: the quick sweep's tracked simulated numbers
+ * must be bit-identical to the checked-in snapshot. This is the guard
+ * that keeps the simulator's fast paths (decode cache, page-span memory
+ * ops, store-buffer bounds) purely observational — any change to a
+ * simulated statistic is a timing-model change and must come with a
+ * deliberate snapshot refresh (see docs/COOKBOOK.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench/golden.hpp"
+#include "bench/suite.hpp"
+
+namespace rev::bench
+{
+namespace
+{
+
+TEST(GoldenStats, QuickSweepMatchesPinnedSnapshot)
+{
+    SweepOptions opts = SweepOptions::quick();
+    opts.threads = 0; // honor REV_BENCH_THREADS / hardware concurrency
+    opts.progress = false;
+    const Sweep sweep = runSweep(opts);
+
+    const auto diffs =
+        compareToGolden(sweep, opts, REV_GOLDEN_QUICK_SWEEP_PATH);
+    for (const auto &d : diffs)
+        ADD_FAILURE() << d.bench << "/" << configName(d.config) << ": "
+                      << d.detail;
+    EXPECT_TRUE(diffs.empty());
+}
+
+} // namespace
+} // namespace rev::bench

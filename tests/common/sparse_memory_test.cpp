@@ -59,5 +59,119 @@ TEST(SparseMemory, BulkBytes)
     EXPECT_EQ(back, data);
 }
 
+// The span fast paths must agree with a byte-at-a-time reference on every
+// alignment, including spans that cross page boundaries and spans over
+// pages that were never written (zero-fill).
+TEST(SparseMemory, SpanFastPathsMatchByteReference)
+{
+    SparseMemory fast;
+    SparseMemory ref;
+
+    // Straddle a page boundary with writes of every size 1..8.
+    const Addr boundary = 3 * SparseMemory::kPageSize;
+    for (unsigned size = 1; size <= 8; ++size) {
+        const Addr addr = boundary - size / 2;
+        const u64 value = 0x0123456789abcdefULL >> (8 * (8 - size));
+        fast.write(addr, value, size);
+        for (unsigned i = 0; i < size; ++i)
+            ref.write8(addr + i, static_cast<u8>(value >> (8 * i)));
+        EXPECT_EQ(fast.read(addr, size), value) << "size " << size;
+        for (unsigned i = 0; i < size; ++i)
+            EXPECT_EQ(fast.read8(addr + i), ref.read8(addr + i))
+                << "size " << size << " byte " << i;
+    }
+
+    // A bulk span covering written, partially written, and absent pages.
+    std::vector<u8> data(3 * SparseMemory::kPageSize);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<u8>(i * 13 + 1);
+    const Addr base = 7 * SparseMemory::kPageSize - 100;
+    fast.writeBytes(base, data);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        ref.write8(base + i, data[i]);
+
+    // Read a window that starts before the written span (zero-fill from
+    // the unmapped prefix) and ends past it (zero-fill suffix).
+    const Addr lo = base - 64;
+    const std::size_t n = data.size() + 256;
+    std::vector<u8> got(n), want(n);
+    fast.readBytes(lo, got.data(), n);
+    for (std::size_t i = 0; i < n; ++i)
+        want[i] = ref.read8(lo + i);
+    EXPECT_EQ(got, want);
+}
+
+TEST(SparseMemory, ReadsOfUnmappedPagesStayUnmapped)
+{
+    SparseMemory mem;
+    u8 buf[64];
+    mem.readBytes(0x100000, buf, sizeof(buf));
+    for (u8 b : buf)
+        EXPECT_EQ(b, 0);
+    EXPECT_EQ(mem.read(0x200000, 8), 0u);
+    EXPECT_EQ(mem.pageCount(), 0u); // reads must not materialize pages
+}
+
+TEST(SparseMemory, PageVersionsTrackWrites)
+{
+    SparseMemory mem;
+    const u64 page = 5;
+    const Addr addr = page * SparseMemory::kPageSize + 8;
+    EXPECT_EQ(mem.pageVersion(page), 0u); // absent page
+
+    mem.write8(addr, 1);
+    const u64 v1 = mem.pageVersion(page);
+    EXPECT_GT(v1, 0u);
+
+    mem.write64(addr, 2); // same page: version advances
+    const u64 v2 = mem.pageVersion(page);
+    EXPECT_GT(v2, v1);
+
+    mem.write8(addr + SparseMemory::kPageSize, 3); // other page untouched
+    EXPECT_EQ(mem.pageVersion(page), v2);
+
+    // A span write crossing both pages bumps each exactly once.
+    u8 buf[SparseMemory::kPageSize] = {0xff};
+    const Addr spanStart = (page + 1) * SparseMemory::kPageSize - 16;
+    mem.writeBytes(spanStart, buf, sizeof(buf));
+    EXPECT_EQ(mem.pageVersion(page), v2 + 1);
+
+    // Reads never move versions.
+    (void)mem.read64(addr);
+    u8 tmp[32];
+    mem.readBytes(addr, tmp, sizeof(tmp));
+    EXPECT_EQ(mem.pageVersion(page), v2 + 1);
+}
+
+TEST(SparseMemory, SpanVersionSumCoversSpanPages)
+{
+    SparseMemory mem;
+    const Addr a = 2 * SparseMemory::kPageSize;
+    mem.write8(a, 1);
+    mem.write8(a + SparseMemory::kPageSize, 2);
+    const u64 sum = mem.spanVersionSum(a, a + SparseMemory::kPageSize + 1);
+    EXPECT_EQ(sum, mem.pageVersion(2) + mem.pageVersion(3));
+    EXPECT_EQ(mem.spanVersionSum(a, a), 0u); // empty span
+    mem.write8(a + SparseMemory::kPageSize, 3);
+    EXPECT_GT(mem.spanVersionSum(a, a + SparseMemory::kPageSize + 1), sum);
+}
+
+TEST(SparseMemory, CloneKeepsVersionsAndMovesBumpEpoch)
+{
+    SparseMemory mem;
+    mem.write64(0x3000, 42);
+    mem.write64(0x3000, 43);
+    const u64 ver = mem.pageVersion(0x3000 / SparseMemory::kPageSize);
+    const u64 epoch = mem.epoch();
+
+    SparseMemory copy = mem.clone();
+    EXPECT_EQ(copy.read64(0x3000), 43u);
+    EXPECT_EQ(copy.pageVersion(0x3000 / SparseMemory::kPageSize), ver);
+
+    mem = copy.clone(); // move-assign replaces the page set
+    EXPECT_GT(mem.epoch(), epoch);
+    EXPECT_EQ(mem.read64(0x3000), 43u);
+}
+
 } // namespace
 } // namespace rev

@@ -235,6 +235,91 @@ TEST(Interp, SyscallRecorded)
     EXPECT_EQ(rec.syscallNo, 2);
 }
 
+TEST(Interp, DecodeCachePicksUpExternalCodePatch)
+{
+    // Overwrite already-executed code in place (attack-injector style,
+    // no manual invalidation): the refetched stream must decode the new
+    // bytes, because the decode cache revalidates page versions.
+    Assembler a(prog::kDefaultCodeBase);
+    a.label("main");
+    a.movi(3, 111);
+    a.halt();
+    Assembler b(prog::kDefaultCodeBase);
+    b.label("main");
+    b.movi(3, 222);
+    b.halt();
+    Program pa;
+    pa.addModule(a.finalize("t", "main"));
+    Program pb;
+    pb.addModule(b.finalize("t", "main"));
+
+    SparseMemory mem;
+    pa.loadInto(mem);
+    Machine machine(pa, mem);
+    machine.step();
+    EXPECT_EQ(machine.reg(3), 111u);
+
+    pb.loadInto(mem);
+    machine.setPc(pa.main().symbol("main"));
+    machine.step();
+    EXPECT_EQ(machine.reg(3), 222u);
+}
+
+TEST(Interp, SelfModifyingStoreRefetchesFreshBytes)
+{
+    // Locate the image byte where MOVI encodes the immediate 111 vs 222.
+    Assembler p1(prog::kDefaultCodeBase);
+    p1.label("main");
+    p1.movi(3, 111);
+    p1.halt();
+    Assembler p2(prog::kDefaultCodeBase);
+    p2.label("main");
+    p2.movi(3, 222);
+    p2.halt();
+    Program a1;
+    a1.addModule(p1.finalize("t", "main"));
+    Program a2;
+    a2.addModule(p2.finalize("t", "main"));
+    const auto &i1 = a1.main().image;
+    const auto &i2 = a2.main().image;
+    ASSERT_EQ(i1.size(), i2.size());
+    std::size_t k = 0;
+    u8 patch = 0;
+    unsigned diffs = 0;
+    for (std::size_t i = 0; i < i1.size(); ++i) {
+        if (i1[i] != i2[i]) {
+            k = i;
+            patch = i2[i];
+            ++diffs;
+        }
+    }
+    ASSERT_EQ(diffs, 1u);
+
+    // The program patches its own instruction stream through a plain
+    // store, then re-executes the patched instruction. Both decodes must
+    // take effect: r5 accumulates 111 + 222.
+    Assembler a(prog::kDefaultCodeBase);
+    a.label("main");
+    a.call("doit");
+    a.add(5, 5, 3);
+    a.la(1, "doit");
+    a.movi(2, patch);
+    a.sb(2, 1, static_cast<i32>(k));
+    a.call("doit");
+    a.add(5, 5, 3);
+    a.halt();
+    a.label("doit");
+    a.movi(3, 111);
+    a.ret();
+    Program p;
+    p.addModule(a.finalize("t", "main"));
+    SparseMemory mem;
+    p.loadInto(mem);
+    Machine machine(p, mem);
+    runToHalt(machine);
+    EXPECT_EQ(machine.reg(5), 333u);
+}
+
 TEST(Interp, StepAfterHaltIsIdempotent)
 {
     auto p = test::makeLoopCallProgram();

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * simperf — simulator-speed harness.
+ *
+ * Runs a benchmark sweep with the cache disabled, measures wall-clock
+ * simulation speed (simulated MIPS) per (benchmark, config) job, and
+ * writes the numbers to a JSON report (BENCH_sim_speed.json). Optionally
+ * compares every tracked simulated statistic of the sweep against a
+ * pinned golden snapshot and fails if anything deviates — the contract
+ * that simulator fast paths never change simulated results.
+ *
+ * Usage:
+ *   simperf [--quick] [--bench a,b,c] [--instrs N] [--threads N]
+ *           [--out FILE] [--golden FILE]
+ *
+ *   --quick    three-benchmark smoke preset (same as the bench binaries)
+ *   --out      JSON report path (default BENCH_sim_speed.json)
+ *   --golden   sweep-cache snapshot to compare statistics against;
+ *              any mismatch is reported and exits nonzero
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/golden.hpp"
+#include "bench/suite.hpp"
+#include "bench/sweep_runner.hpp"
+#include "common/logging.hpp"
+
+namespace
+{
+
+using namespace rev;
+using namespace rev::bench;
+
+struct Args
+{
+    SweepOptions opts;
+    std::string outPath = "BENCH_sim_speed.json";
+    std::string goldenPath; ///< empty = no comparison
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf("usage: simperf [--quick] [--bench a,b,c] [--instrs N]\n"
+                "               [--threads N] [--out FILE] [--golden FILE]\n");
+    std::exit(code);
+}
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    // Default to the quick preset: simperf is a measurement harness, not
+    // a figure generator, and must never read stale cached runs.
+    args.opts = SweepOptions::quick();
+    auto next = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(2);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            args.opts = SweepOptions::quick();
+        } else if (arg == "--bench") {
+            args.opts.benchmarks.clear();
+            std::string names = next(i);
+            std::size_t pos = 0;
+            while (pos != std::string::npos) {
+                const std::size_t comma = names.find(',', pos);
+                const std::string name =
+                    names.substr(pos, comma == std::string::npos
+                                          ? std::string::npos
+                                          : comma - pos);
+                if (!name.empty())
+                    args.opts.benchmarks.push_back(name);
+                pos = comma == std::string::npos ? comma : comma + 1;
+            }
+        } else if (arg == "--instrs") {
+            args.opts.instrBudget = std::strtoull(next(i), nullptr, 10);
+        } else if (arg == "--threads") {
+            args.opts.threads = static_cast<unsigned>(std::atoi(next(i)));
+        } else if (arg == "--out") {
+            args.outPath = next(i);
+        } else if (arg == "--golden") {
+            args.goldenPath = next(i);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else {
+            std::fprintf(stderr, "simperf: unknown argument '%s'\n",
+                         arg.c_str());
+            usage(2);
+        }
+    }
+    args.opts.useCache = false; // always measure real runs
+    return args;
+}
+
+void
+writeReport(const Args &args, const Sweep &sweep, const SweepRunner &runner,
+            double total_wall)
+{
+    std::ofstream os(args.outPath);
+    if (!os)
+        fatal("simperf: cannot write ", args.outPath);
+
+    u64 total_instrs = 0;
+    double total_job_wall = 0;
+    os << "{\n"
+       << "  \"schema\": \"rev-sim-speed-v1\",\n"
+       << "  \"instr_budget\": " << args.opts.instrBudget << ",\n"
+       << "  \"threads\": " << runner.threadsUsed() << ",\n"
+       << "  \"jobs\": [\n";
+    const auto &timings = runner.timings();
+    for (std::size_t i = 0; i < timings.size(); ++i) {
+        const JobTiming &t = timings[i];
+        const RunNumbers &r = sweep.at(t.bench, t.config);
+        const double mips = t.wallSeconds > 0
+                                ? static_cast<double>(r.instrs) /
+                                      t.wallSeconds / 1e6
+                                : 0;
+        total_instrs += r.instrs;
+        total_job_wall += t.wallSeconds;
+        os << "    {\"bench\": \"" << t.bench << "\", \"config\": \""
+           << configName(t.config) << "\", \"wall_seconds\": "
+           << t.wallSeconds << ", \"instrs\": " << r.instrs
+           << ", \"cycles\": " << r.cycles << ", \"sim_mips\": " << mips
+           << "}" << (i + 1 < timings.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n"
+       << "  \"total\": {\"wall_seconds\": " << total_wall
+       << ", \"job_wall_seconds\": " << total_job_wall
+       << ", \"instrs\": " << total_instrs << ", \"sim_mips\": "
+       << (total_job_wall > 0
+               ? static_cast<double>(total_instrs) / total_job_wall / 1e6
+               : 0)
+       << "}\n"
+       << "}\n";
+    std::printf("simperf: %zu jobs, %.2fs wall, report -> %s\n",
+                timings.size(), total_wall, args.outPath.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args args = parseArgs(argc, argv);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    SweepRunner runner(args.opts);
+    const Sweep sweep = runner.run();
+    const double total_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    writeReport(args, sweep, runner, total_wall);
+
+    if (!args.goldenPath.empty()) {
+        const auto diffs =
+            compareToGolden(sweep, args.opts, args.goldenPath);
+        if (!diffs.empty()) {
+            for (const auto &d : diffs)
+                std::fprintf(stderr, "simperf: GOLDEN MISMATCH %s/%s: %s\n",
+                             d.bench.c_str(), configName(d.config),
+                             d.detail.c_str());
+            return 1;
+        }
+        std::printf("simperf: all statistics match golden snapshot %s\n",
+                    args.goldenPath.c_str());
+    }
+    return 0;
+}
