@@ -5,6 +5,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "program/trace.hpp"
+
 namespace rev::bench
 {
 
@@ -13,7 +15,7 @@ namespace
 
 /** Bump whenever the file format or the describe*() vocabulary changes. */
 constexpr const char *kCacheMagic = "revcache";
-constexpr int kCacheVersion = 5;
+constexpr int kCacheVersion = 6;
 
 /** Doubles must round-trip exactly for cache hits to be bit-identical. */
 std::ostream &
@@ -105,7 +107,12 @@ describeSimConfig(const core::SimConfig &cfg)
        << " withRev=" << cfg.withRev
        << " pageShadowing=" << cfg.pageShadowing
        << " cpuSeed=" << cfg.cpuSeed
-       << " toolchainSeed=" << cfg.toolchainSeed;
+       << " toolchainSeed=" << cfg.toolchainSeed
+       // Results may have been produced by trace replay; a change to the
+       // trace format invalidates them even though no SimConfig field
+       // moved. (Replay is proven bit-identical to direct execution, but
+       // only for the format it was proven against.)
+       << " traceFormat=" << prog::kTraceFormatVersion;
     return os.str();
 }
 

@@ -3,13 +3,18 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 
+#include <unistd.h>
+
 #include "bench/sweep_cache.hpp"
 #include "common/parallel.hpp"
+#include "program/trace.hpp"
 #include "sig/sigstore.hpp"
 #include "workloads/generator.hpp"
 
@@ -18,6 +23,8 @@ namespace rev::bench
 
 namespace
 {
+
+constexpr std::size_t kNoJob = ~std::size_t{0};
 
 /** Build inputs a signature-store prototype was derived from. */
 struct ProtoParams
@@ -47,6 +54,17 @@ struct BenchPlan
     std::optional<ProtoParams> protoParams;
     std::optional<crypto::KeyVault> protoVault;
     std::map<sig::ValidationMode, std::unique_ptr<sig::SigStore>> protos;
+
+    // Execute-once state: the record job's trace, shared read-only by
+    // every replay job of this benchmark. Spilled traces are reloaded
+    // lazily by the first replay worker and released once the last one
+    // finishes (traceUsers counts the outstanding phase-2b jobs).
+    std::size_t recordJobIdx = kNoJob;
+    std::shared_ptr<prog::Trace> trace;
+    std::string spillPath;
+    bool spilled = false;
+    std::mutex traceMu;
+    std::size_t traceUsers = 0;
 };
 
 ProtoParams
@@ -64,6 +82,7 @@ struct Job
     core::SimConfig cfg;
     u64 key = 0;
     bool cached = false;
+    bool replayed = false;
     CachedRun result;
     double wallSeconds = 0;
 };
@@ -74,6 +93,22 @@ secondsSince(std::chrono::steady_clock::time_point t0)
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                          t0)
         .count();
+}
+
+bool
+replayEnabled()
+{
+    const char *env = std::getenv("REV_TRACE_REPLAY");
+    return !env || std::string_view(env) != "0";
+}
+
+std::size_t
+spillThresholdBytes()
+{
+    const char *env = std::getenv("REV_TRACE_SPILL_MB");
+    if (!env)
+        return std::size_t{64} << 20;
+    return static_cast<std::size_t>(std::strtoull(env, nullptr, 10)) << 20;
 }
 
 std::vector<workloads::WorkloadProfile>
@@ -103,10 +138,12 @@ selectProfiles(const std::vector<std::string> &wanted)
 
 CachedRun
 simulateJob(const prog::Program &program, const Job &job,
-            const std::string &bench)
+            const std::string &bench, bool *replayed = nullptr)
 {
     core::Simulator sim(program, job.cfg);
     const core::SimResult res = sim.run();
+    if (replayed)
+        *replayed = sim.replayActive();
     if (res.run.violation)
         fatal("bench sweep: unexpected violation in ", bench, " (",
               configName(job.config), "): ", res.run.violation->reason);
@@ -131,10 +168,14 @@ simulateJob(const prog::Program &program, const Job &job,
 }
 
 StaticNumbers
-computeStatics(const prog::Program &program)
+computeStatics(const prog::Program &program, const prog::Cfg *prebuilt)
 {
-    const prog::Cfg cfg = prog::buildCfg(program.main());
-    const prog::CfgStats cs = cfg.stats();
+    std::optional<prog::Cfg> own;
+    if (!prebuilt) {
+        own.emplace(prog::buildCfg(program.main()));
+        prebuilt = &*own;
+    }
+    const prog::CfgStats cs = prebuilt->stats();
     StaticNumbers st;
     st.numBlocks = cs.numBlocks;
     st.numTerminators = cs.numTerminators;
@@ -144,6 +185,19 @@ computeStatics(const prog::Program &program)
     st.computedSites = cs.numComputedSites;
     st.branchSites = cs.numBranchInstrs;
     return st;
+}
+
+std::string
+spillPathFor(const std::string &bench)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::path dir = fs::temp_directory_path(ec);
+    if (ec)
+        dir = ".";
+    return (dir / ("rev-trace-" + bench + "-" +
+                   std::to_string(::getpid()) + ".bin"))
+        .string();
 }
 
 } // namespace
@@ -156,6 +210,7 @@ SweepRunner::run()
     const auto sweepStart = std::chrono::steady_clock::now();
     threadsUsed_ = resolveThreadCount(opts_.threads);
     timings_.clear();
+    phases_ = SweepPhaseTimings{};
     cacheHits_ = 0;
 
     SweepCache cache(opts_.cachePath);
@@ -163,18 +218,19 @@ SweepRunner::run()
         cache.load();
 
     // Build the job matrix and satisfy what we can from the cache.
-    std::vector<BenchPlan> plans;
+    // Plans carry a mutex, so they live behind stable pointers.
+    std::vector<std::unique_ptr<BenchPlan>> plans;
     std::vector<Job> jobs;
     for (auto &prof : selectProfiles(opts_.benchmarks)) {
-        BenchPlan plan;
-        plan.profile = std::move(prof);
-        plan.staticKey = staticCacheKey(plan.profile);
+        auto plan = std::make_unique<BenchPlan>();
+        plan->profile = std::move(prof);
+        plan->staticKey = staticCacheKey(plan->profile);
         if (const StaticNumbers *st =
-                cache.findStatic(plan.profile.name, plan.staticKey)) {
-            plan.statics = *st;
-            plan.staticsFromCache = true;
+                cache.findStatic(plan->profile.name, plan->staticKey)) {
+            plan->statics = *st;
+            plan->staticsFromCache = true;
         } else {
-            plan.needProgram = true;
+            plan->needProgram = true;
         }
 
         const std::size_t benchIdx = plans.size();
@@ -183,14 +239,14 @@ SweepRunner::run()
             job.benchIdx = benchIdx;
             job.config = c;
             job.cfg = sweepSimConfig(c, opts_.instrBudget);
-            job.key = runCacheKey(plan.profile, job.cfg);
+            job.key = runCacheKey(plan->profile, job.cfg);
             if (const CachedRun *hit =
-                    cache.findRun(plan.profile.name, c, job.key)) {
+                    cache.findRun(plan->profile.name, c, job.key)) {
                 job.cached = true;
                 job.result = *hit;
                 ++cacheHits_;
             } else {
-                plan.needProgram = true;
+                plan->needProgram = true;
             }
             jobs.push_back(std::move(job));
         }
@@ -202,16 +258,15 @@ SweepRunner::run()
     // simulators only read them.
     std::vector<std::size_t> genIdx;
     for (std::size_t i = 0; i < plans.size(); ++i)
-        if (plans[i].needProgram)
+        if (plans[i]->needProgram)
             genIdx.push_back(i);
 
     std::mutex logMu;
     std::atomic<std::size_t> genDone{0};
+    const auto genStart = std::chrono::steady_clock::now();
     parallelFor(genIdx.size(), threadsUsed_, [&](std::size_t k) {
-        BenchPlan &plan = plans[genIdx[k]];
+        BenchPlan &plan = *plans[genIdx[k]];
         plan.program = workloads::generateWorkload(plan.profile);
-        if (!plan.staticsFromCache)
-            plan.statics = computeStatics(*plan.program);
         if (opts_.progress) {
             const std::size_t done = genDone.fetch_add(1) + 1;
             std::lock_guard<std::mutex> lock(logMu);
@@ -219,17 +274,22 @@ SweepRunner::run()
                          plan.profile.name.c_str(), done, genIdx.size());
         }
     });
+    phases_.generateSeconds = secondsSince(genStart);
 
     // Phase 1.5: one signature-table build per (benchmark, mode). The
-    // first mode of a benchmark pays the CFG derivation; later modes
-    // reuse it as a donor (mode only affects the table records). Plans
-    // build independently, so fan out across benchmarks.
+    // first mode of a benchmark pays the CFG derivation and the per-block
+    // hashing; later modes reuse both through the donor. Plans build
+    // independently, so fan out across benchmarks. The statics of a plan
+    // ride along here: with default split limits and a single-module
+    // program, the prototype's main-module CFG is exactly the CFG the
+    // statics are derived from, so it is not derived twice.
     std::vector<std::size_t> protoIdx;
     for (std::size_t i = 0; i < plans.size(); ++i)
-        if (plans[i].program)
+        if (plans[i]->program)
             protoIdx.push_back(i);
+    const auto protoStart = std::chrono::steady_clock::now();
     parallelFor(protoIdx.size(), threadsUsed_, [&](std::size_t k) {
-        BenchPlan &plan = plans[protoIdx[k]];
+        BenchPlan &plan = *plans[protoIdx[k]];
         for (Job &job : jobs) {
             if (job.benchIdx != protoIdx[k] || job.cached ||
                 !job.cfg.withRev)
@@ -251,47 +311,159 @@ SweepRunner::run()
                 params.toolchainSeed, params.limits, params.hashRounds,
                 donor);
         }
+        if (!plan.staticsFromCache) {
+            const prog::Cfg *main_cfg = nullptr;
+            if (!plan.protos.empty() &&
+                plan.program->modules().size() == 1 &&
+                plan.protoParams->limits == prog::SplitLimits{})
+                main_cfg =
+                    &plan.protos.begin()->second->moduleSigs().front().cfg;
+            plan.statics = computeStatics(*plan.program, main_cfg);
+        }
     });
+    phases_.protoSeconds = secondsSince(protoStart);
 
-    // Phase 2: fan the uncached simulations out across the pool. Each
-    // job writes only its own slot; assembly below is order-independent.
-    std::vector<std::size_t> simIdx;
-    for (std::size_t j = 0; j < jobs.size(); ++j)
-        if (!jobs[j].cached)
-            simIdx.push_back(j);
-
-    std::atomic<std::size_t> simDone{0};
-    parallelFor(simIdx.size(), threadsUsed_, [&](std::size_t k) {
-        Job &job = jobs[simIdx[k]];
-        const BenchPlan &plan = plans[job.benchIdx];
+    // Attach the benchmark's shared signature-table prototype, if any.
+    auto attachProto = [&](Job &job) {
+        const BenchPlan &plan = *plans[job.benchIdx];
         if (job.cfg.withRev && plan.protoParams &&
             *plan.protoParams == protoParamsOf(job.cfg)) {
             auto it = plan.protos.find(job.cfg.mode);
             if (it != plan.protos.end())
                 job.cfg.sigStorePrototype = it->second.get();
         }
+    };
+
+    // Phase 2a: record one architectural trace per benchmark that still
+    // has at least two uncached jobs. The recorder must be a REV config:
+    // its store-drain watermark is the lowest of any config, so the
+    // recorded forwarding distances dominate every replay (trace.hpp).
+    std::vector<std::size_t> recordIdx;
+    if (replayEnabled()) {
+        for (std::size_t i = 0; i < plans.size(); ++i) {
+            std::size_t uncached = 0, rec = kNoJob;
+            for (std::size_t j = 0; j < jobs.size(); ++j) {
+                if (jobs[j].benchIdx != i || jobs[j].cached)
+                    continue;
+                ++uncached;
+                if (rec == kNoJob && jobs[j].cfg.withRev)
+                    rec = j;
+            }
+            if (uncached >= 2 && rec != kNoJob) {
+                plans[i]->recordJobIdx = rec;
+                recordIdx.push_back(rec);
+            }
+        }
+    }
+
+    const std::size_t spill_limit = spillThresholdBytes();
+    std::atomic<std::size_t> simDone{0};
+    const std::size_t simTotal = [&] {
+        std::size_t n = 0;
+        for (const Job &job : jobs)
+            n += !job.cached;
+        return n;
+    }();
+    auto logJob = [&](const Job &job, const BenchPlan &plan,
+                      const char *tag) {
+        if (!opts_.progress)
+            return;
+        const std::size_t done = simDone.fetch_add(1) + 1;
+        std::lock_guard<std::mutex> lock(logMu);
+        std::fprintf(stderr, "[sweep] %-12s %-7s %6.2fs%s (%zu/%zu)\n",
+                     plan.profile.name.c_str(), configName(job.config),
+                     job.wallSeconds, tag, done, simTotal);
+    };
+
+    const auto recordStart = std::chrono::steady_clock::now();
+    parallelFor(recordIdx.size(), threadsUsed_, [&](std::size_t k) {
+        Job &job = jobs[recordIdx[k]];
+        BenchPlan &plan = *plans[job.benchIdx];
+        attachProto(job);
+        prog::TraceRecorder recorder;
+        job.cfg.traceRecorder = &recorder;
         const auto t0 = std::chrono::steady_clock::now();
         job.result = simulateJob(*plan.program, job, plan.profile.name);
         job.wallSeconds = secondsSince(t0);
-        if (opts_.progress) {
-            const std::size_t done = simDone.fetch_add(1) + 1;
-            std::lock_guard<std::mutex> lock(logMu);
-            std::fprintf(stderr, "[sweep] %-12s %-7s %6.2fs (%zu/%zu)\n",
-                         plan.profile.name.c_str(), configName(job.config),
-                         job.wallSeconds, done, simIdx.size());
+        job.cfg.traceRecorder = nullptr;
+
+        auto trace = std::make_shared<prog::Trace>(recorder.take());
+        if (trace->replayable()) {
+            if (trace->byteSize() > spill_limit) {
+                plan.spillPath = spillPathFor(plan.profile.name);
+                if (trace->save(plan.spillPath))
+                    plan.spilled = true; // reloaded lazily in phase 2b
+                else
+                    plan.trace = std::move(trace);
+            } else {
+                plan.trace = std::move(trace);
+            }
         }
+        logJob(job, plan, " (record)");
     });
+    phases_.recordSeconds = secondsSince(recordStart);
+
+    // Phase 2b: fan the remaining uncached simulations out across the
+    // pool, replaying the benchmark's trace where one attached. Each job
+    // writes only its own slot; assembly below is order-independent.
+    std::vector<std::size_t> simIdx;
+    for (std::size_t j = 0; j < jobs.size(); ++j)
+        if (!jobs[j].cached && plans[jobs[j].benchIdx]->recordJobIdx != j)
+            simIdx.push_back(j);
+    for (std::size_t j : simIdx)
+        ++plans[jobs[j].benchIdx]->traceUsers;
+
+    const auto replayStart = std::chrono::steady_clock::now();
+    parallelFor(simIdx.size(), threadsUsed_, [&](std::size_t k) {
+        Job &job = jobs[simIdx[k]];
+        BenchPlan &plan = *plans[job.benchIdx];
+        attachProto(job);
+
+        std::shared_ptr<prog::Trace> trace;
+        {
+            std::lock_guard<std::mutex> lock(plan.traceMu);
+            if (plan.spilled && !plan.trace) {
+                auto t = std::make_shared<prog::Trace>();
+                if (t->load(plan.spillPath))
+                    plan.trace = std::move(t);
+                else
+                    plan.spilled = false; // unreadable spill: run direct
+            }
+            trace = plan.trace;
+        }
+        job.cfg.replayTrace = trace.get();
+
+        const auto t0 = std::chrono::steady_clock::now();
+        job.result = simulateJob(*plan.program, job, plan.profile.name,
+                                 &job.replayed);
+        job.wallSeconds = secondsSince(t0);
+        job.cfg.replayTrace = nullptr;
+        trace.reset();
+
+        {
+            std::lock_guard<std::mutex> lock(plan.traceMu);
+            if (--plan.traceUsers == 0) {
+                plan.trace.reset();
+                if (plan.spilled) {
+                    std::error_code ec;
+                    std::filesystem::remove(plan.spillPath, ec);
+                }
+            }
+        }
+        logJob(job, plan, job.replayed ? " (replay)" : "");
+    });
+    phases_.replaySeconds = secondsSince(replayStart);
 
     // Assemble deterministically: benchmarks in plan order, configs in
     // kAllConfigs order, every value pulled from its job slot.
     Sweep sweep;
     for (const auto &plan : plans)
-        sweep.benchmarks.push_back(plan.profile.name);
+        sweep.benchmarks.push_back(plan->profile.name);
     for (const Job &job : jobs) {
-        const std::string &bench = plans[job.benchIdx].profile.name;
+        const std::string &bench = plans[job.benchIdx]->profile.name;
         sweep.runs[{bench, job.config}] = job.result.numbers;
         StaticNumbers &st =
-            sweep.statics.try_emplace(bench, plans[job.benchIdx].statics)
+            sweep.statics.try_emplace(bench, plans[job.benchIdx]->statics)
                 .first->second;
         if (job.config == Config::Full32)
             st.tableBytesFull = job.result.sigTableBytes;
@@ -299,27 +471,30 @@ SweepRunner::run()
             st.tableBytesAggressive = job.result.sigTableBytes;
         else if (job.config == Config::Cfi32)
             st.tableBytesCfi = job.result.sigTableBytes;
-        timings_.push_back(
-            {bench, job.config, job.wallSeconds, job.cached});
+        timings_.push_back({bench, job.config, job.wallSeconds, job.cached,
+                            job.replayed});
     }
 
     if (opts_.useCache) {
         for (const Job &job : jobs)
             if (!job.cached)
-                cache.putRun(plans[job.benchIdx].profile.name, job.config,
+                cache.putRun(plans[job.benchIdx]->profile.name, job.config,
                              job.key, job.result);
         for (const auto &plan : plans)
-            cache.putStatic(plan.profile.name, plan.staticKey,
-                            sweep.statics.at(plan.profile.name));
+            cache.putStatic(plan->profile.name, plan->staticKey,
+                            sweep.statics.at(plan->profile.name));
         if (!cache.save())
             warn("sweep: could not write cache file ", opts_.cachePath);
     }
 
     if (opts_.progress) {
+        std::size_t replayed = 0;
+        for (const Job &job : jobs)
+            replayed += job.replayed;
         std::fprintf(stderr,
-                     "[sweep] %zu jobs (%zu cached) on %u thread%s in "
-                     "%.2fs\n",
-                     jobs.size(), cacheHits_, threadsUsed_,
+                     "[sweep] %zu jobs (%zu cached, %zu replayed) on %u "
+                     "thread%s in %.2fs\n",
+                     jobs.size(), cacheHits_, replayed, threadsUsed_,
                      threadsUsed_ == 1 ? "" : "s",
                      secondsSince(sweepStart));
     }

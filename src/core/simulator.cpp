@@ -39,11 +39,48 @@ Simulator::Simulator(const prog::Program &program, const SimConfig &cfg)
                                         cfg_.core, engine_.get());
     if (cfg_.pageShadowing)
         pristine_ = mem_.clone();
+
+    REV_ASSERT(!(cfg_.traceRecorder && cfg_.replayTrace),
+               "cannot record and replay a trace in the same run");
+    if (cfg_.traceRecorder) {
+        cfg_.traceRecorder->begin(program_.entry(), cfg_.core.maxInstrs,
+                                  cfg_.core.splitLimits, mem_.epoch());
+        core_->machine().attachRecorder(cfg_.traceRecorder);
+    }
+    if (cfg_.replayTrace && traceAttachable(*cfg_.replayTrace)) {
+        replayer_ = std::make_unique<prog::TraceReplayer>(*cfg_.replayTrace);
+        core_->machine().attachReplayer(replayer_.get());
+    }
+}
+
+bool
+Simulator::traceAttachable(const prog::Trace &t) const
+{
+    if (!t.replayable() || t.entryPc != program_.entry() ||
+        t.maxInstrs != cfg_.core.maxInstrs ||
+        !(t.splitLimits == cfg_.core.splitLimits))
+        return false;
+    // Every page the recorded run decoded from must hold exactly the
+    // bytes it held then. Versions count writes since creation, and both
+    // simulators perform the same deterministic load; a mismatch means
+    // different code (or a page the recording run's mode wrote but this
+    // one did not, e.g. a signature-table page reached by a wild
+    // wrong-path fetch) — fall back to direct execution.
+    for (const auto &[page, version] : t.codePages) {
+        const SparseMemory::PageView v = mem_.pageView(page);
+        if ((v.version ? *v.version : 0) != version)
+            return false;
+    }
+    return true;
 }
 
 void
 Simulator::reloadProgram()
 {
+    // The code image is changing underneath the recording: a replay could
+    // decode different bytes than the recorded run executed.
+    if (cfg_.traceRecorder)
+        cfg_.traceRecorder->markExternalMutation();
     program_.loadInto(mem_);
     if (store_) {
         store_->rebuild(program_);
@@ -100,6 +137,11 @@ Simulator::run()
 {
     SimResult res;
     res.run = core_->run();
+    if (cfg_.traceRecorder) {
+        if (res.run.violation)
+            cfg_.traceRecorder->markViolation();
+        cfg_.traceRecorder->finish(core_->machine());
+    }
     if (engine_) {
         res.rev = engine_->stats();
         res.sigTableBytes = store_->totalTableBytes();

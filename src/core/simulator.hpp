@@ -23,6 +23,7 @@
 #include "common/stats.hpp"
 #include "core/rev_engine.hpp"
 #include "cpu/core.hpp"
+#include "program/trace.hpp"
 
 namespace rev::core
 {
@@ -61,6 +62,23 @@ struct SimConfig
      * build across configs that differ only in timing parameters.
      */
     const sig::SigStore *sigStorePrototype = nullptr;
+
+    /**
+     * Optional trace recorder: the architectural event stream of the run
+     * is appended to it (see program/trace.hpp). Mutually exclusive with
+     * @ref replayTrace.
+     */
+    prog::TraceRecorder *traceRecorder = nullptr;
+
+    /**
+     * Optional recorded trace to replay instead of executing semantics.
+     * Attached only when it matches this simulation (replayable, same
+     * entry PC, instruction budget, split limits, and code-page
+     * versions); otherwise the run silently falls back to direct
+     * execution — check replayActive() to see which happened. The Trace
+     * must outlive the Simulator.
+     */
+    const prog::Trace *replayTrace = nullptr;
 };
 
 /** Results of one simulated run. */
@@ -127,7 +145,14 @@ class Simulator
     mem::MemorySystem &memsys() { return memsys_; }
     const sig::SigStore *sigStore() const { return store_.get(); }
 
+    /** True while the core is consuming cfg.replayTrace (false when the
+     *  trace did not attach or a PreStepHook canceled the replay). */
+    bool replayActive() const { return core_->machine().replaying(); }
+
   private:
+    /** Does @p t describe this exact simulation's architectural run? */
+    bool traceAttachable(const prog::Trace &t) const;
+
     const prog::Program &program_;
     SimConfig cfg_;
 
@@ -138,6 +163,7 @@ class Simulator
     std::unique_ptr<sig::SigStore> store_;
     std::unique_ptr<RevEngine> engine_;
     std::unique_ptr<cpu::Core> core_;
+    std::unique_ptr<prog::TraceReplayer> replayer_;
 };
 
 } // namespace rev::core

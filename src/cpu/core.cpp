@@ -40,6 +40,16 @@ Core::run()
 {
     RunResult res;
 
+    // Attack injectors mutate machine/memory state mid-run, which a
+    // replayed trace cannot reflect: fall back to direct execution. Only
+    // legal before anything was consumed — the architectural state is
+    // still the recorded run's starting state at that point.
+    if (preStep_ && machine_.replaying()) {
+        REV_ASSERT(machine_.replayConsumed() == 0,
+                   "PreStepHook attached mid-replay");
+        machine_.cancelReplay();
+    }
+
     WidthLimiter fetch_w(cfg_.fetchWidth);
     WidthLimiter dispatch_w(cfg_.dispatchWidth);
     WidthLimiter commit_w(cfg_.commitWidth);
@@ -64,6 +74,11 @@ Core::run()
     Cycle prev_commit = clockBase_;
 
     SeqNum seq = 0;
+    // Newest sequence number released from the store buffer. During
+    // replay the buffer holds nothing (replay applies no stores), so
+    // store-queue forwarding is decided from the recorded cover distance
+    // against this config's own drain watermark instead of sb_.covers().
+    SeqNum drained_seq = 0;
     BBState bb{machine_.pc(), 0, 0, 1};
     BBSeq bb_counter = 1;
     Cycle next_interrupt =
@@ -176,7 +191,11 @@ Core::run()
           case InstrClass::Return: {
             issue_at = ld_port.acquire(issue_lower, 1);
             const Cycle agu_done = issue_at + 1;
-            if (sb_.covers(rec.memAddr, rec.memSize)) {
+            const bool forwards =
+                machine_.replaying()
+                    ? rec.coverDist != 0 && rec.coverDist < seq - drained_seq
+                    : sb_.covers(rec.memAddr, rec.memSize);
+            if (forwards) {
                 complete_at = agu_done + 1; // store-queue forwarding
             } else {
                 const auto r = memsys_.access(
@@ -294,10 +313,12 @@ Core::run()
             }
             sb_.drain(mem_, seq);
             drainStores(seq, commit_at);
+            drained_seq = seq;
             bb = BBState{rec.nextPc, 0, 0, ++bb_counter};
         } else if (!defer) {
             sb_.drain(mem_, seq);
             drainStores(seq, commit_at);
+            drained_seq = seq;
         }
 
         if (rec.halted)

@@ -94,6 +94,7 @@ class Core
     RunResult run();
 
     prog::Machine &machine() { return machine_; }
+    const prog::Machine &machine() const { return machine_; }
     const BranchPredictor &predictor() const { return predictor_; }
 
   private:

@@ -16,40 +16,33 @@ rotl32(u32 x, int k)
     return (x << k) | (x >> (32 - k));
 }
 
-/** One round of the CubeHash permutation (ten steps). */
+/**
+ * One round of the CubeHash permutation (ten steps). The spec's in-place
+ * add/rotate/swap/xor sequence is folded into gather-style assignments
+ * over fresh temporaries — the swap steps become xor-permuted indexing —
+ * which the compiler can keep in registers and auto-vectorize. With the
+ * halves A = x[0..15], B = x[16..31] and the spec's steps numbered 1-10:
+ *
+ *   b[i] = B[i] + A[i]                      (1)
+ *   a[i] = rotl(A[i^8], 7) ^ b[i]           (2,3,4)
+ *   c[i] = b[i^2] + a[i]                    (5,6)
+ *   A[i] = rotl(a[i^4], 11) ^ c[i]          (7,8,9)
+ *   B[i] = c[i^1]                           (10)
+ */
 inline void
 round(std::array<u32, 32> &x)
 {
-    // 1. x[16+i] += x[i]
+    u32 a[16], b[16], c[16];
     for (int i = 0; i < 16; ++i)
-        x[16 + i] += x[i];
-    // 2. rotate x[i] left by 7
+        b[i] = x[16 + i] + x[i];
     for (int i = 0; i < 16; ++i)
-        x[i] = rotl32(x[i], 7);
-    // 3. swap x[i] <-> x[i^8] within the first half
-    for (int i = 0; i < 8; ++i)
-        std::swap(x[i], x[i + 8]);
-    // 4. x[i] ^= x[16+i]
+        a[i] = rotl32(x[i ^ 8], 7) ^ b[i];
     for (int i = 0; i < 16; ++i)
-        x[i] ^= x[16 + i];
-    // 5. swap x[16+i] <-> x[16+(i^2)]
-    for (int i : {0, 1, 4, 5, 8, 9, 12, 13})
-        std::swap(x[16 + i], x[16 + i + 2]);
-    // 6. x[16+i] += x[i]
+        c[i] = b[i ^ 2] + a[i];
     for (int i = 0; i < 16; ++i)
-        x[16 + i] += x[i];
-    // 7. rotate x[i] left by 11
+        x[i] = rotl32(a[i ^ 4], 11) ^ c[i];
     for (int i = 0; i < 16; ++i)
-        x[i] = rotl32(x[i], 11);
-    // 8. swap x[i] <-> x[i^4]
-    for (int i : {0, 1, 2, 3, 8, 9, 10, 11})
-        std::swap(x[i], x[i + 4]);
-    // 9. x[i] ^= x[16+i]
-    for (int i = 0; i < 16; ++i)
-        x[i] ^= x[16 + i];
-    // 10. swap x[16+i] <-> x[16+(i^1)]
-    for (int i : {0, 2, 4, 6, 8, 10, 12, 14})
-        std::swap(x[16 + i], x[16 + i + 1]);
+        x[16 + i] = c[i ^ 1];
 }
 
 } // namespace

@@ -4,6 +4,7 @@
 #include <deque>
 #include <map>
 #include <set>
+#include <unordered_set>
 
 #include "common/logging.hpp"
 #include "isa/codec.hpp"
@@ -91,36 +92,47 @@ buildCfg(const Module &mod, const SplitLimits &limits)
     cfg.limits_ = limits;
 
     // ---- pass 1: linear decode of the code region -----------------------
-    std::map<Addr, Instr> instr_at;
+    // The code region is contiguous, so flat offset-indexed arrays replace
+    // tree searches on the per-instruction hot paths below.
+    const std::size_t code_size = mod.codeSize;
+    std::vector<Instr> instrs(code_size);
+    std::vector<u8> is_instr(code_size, 0);
     {
         Addr pc = mod.base;
         while (pc < mod.codeEnd()) {
             const std::size_t off = pc - mod.base;
             auto ins = isa::decode(mod.image.data() + off,
-                                   mod.codeSize - off);
+                                   code_size - off);
             if (!ins)
                 fatal("buildCfg: undecodable code in '", mod.name,
                       "' at offset ", off);
-            instr_at[pc] = *ins;
+            instrs[off] = *ins;
+            is_instr[off] = 1;
             pc += ins->length();
         }
     }
 
-    auto instr_exists = [&](Addr a) { return instr_at.count(a) != 0; };
+    auto instr_exists = [&](Addr a) {
+        return a >= mod.base && a < mod.codeEnd() && is_instr[a - mod.base];
+    };
 
     // ---- pass 2: leader discovery ---------------------------------------
-    std::set<Addr> leaders;
+    std::vector<u8> is_leader(code_size, 0);
     auto add_leader = [&](Addr a, const char *why) {
         if (!instr_exists(a))
             fatal("buildCfg: '", mod.name, "': ", why, " target 0x",
                   std::hex, a, " is not an instruction boundary");
-        leaders.insert(a);
+        is_leader[a - mod.base] = 1;
     };
 
     if (mod.codeSize > 0)
         add_leader(mod.entry, "entry");
 
-    for (const auto &[pc, ins] : instr_at) {
+    for (std::size_t off = 0; off < code_size; ++off) {
+        if (!is_instr[off])
+            continue;
+        const Addr pc = mod.base + off;
+        const Instr &ins = instrs[off];
         switch (ins.klass()) {
           case InstrClass::Branch:
           case InstrClass::Jump:
@@ -133,7 +145,7 @@ buildCfg(const Module &mod, const SplitLimits &limits)
         if (ins.isControlFlow()) {
             const Addr ft = ins.fallThrough(pc);
             if (instr_exists(ft))
-                leaders.insert(ft);
+                is_leader[ft - mod.base] = 1;
         }
     }
     for (const auto &[site, targets] : mod.indirectTargets) {
@@ -150,9 +162,13 @@ buildCfg(const Module &mod, const SplitLimits &limits)
 
     // ---- pass 3: walk each leader to its terminator ----------------------
     // Walking may create artificial-split fall-through leaders; use a
-    // worklist.
-    std::deque<Addr> work(leaders.begin(), leaders.end());
-    std::set<Addr> queued(leaders.begin(), leaders.end());
+    // worklist. Leaders seed it in ascending address order (block IDs — and
+    // thus table layout — depend on it).
+    std::deque<Addr> work;
+    std::vector<u8> queued = is_leader;
+    for (std::size_t off = 0; off < code_size; ++off)
+        if (is_leader[off])
+            work.push_back(mod.base + off);
 
     while (!work.empty()) {
         const Addr start = work.front();
@@ -166,11 +182,10 @@ buildCfg(const Module &mod, const SplitLimits &limits)
 
         Addr pc = start;
         while (true) {
-            auto it = instr_at.find(pc);
-            if (it == instr_at.end())
+            if (!instr_exists(pc))
                 fatal("buildCfg: '", mod.name, "': control falls off the ",
                       "end of code at 0x", std::hex, pc);
-            const Instr &ins = it->second;
+            const Instr &ins = instrs[pc - mod.base];
             ++bb.numInstrs;
             if (ins.writesMem())
                 ++bb.numStores;
@@ -191,9 +206,15 @@ buildCfg(const Module &mod, const SplitLimits &limits)
             pc = ins.fallThrough(pc);
         }
 
-        if (bb.kind == TermKind::Split && !queued.count(bb.end)) {
-            queued.insert(bb.end);
-            work.push_back(bb.end);
+        if (bb.kind == TermKind::Split) {
+            // A split's fall-through may sit past the code end; queue it
+            // anyway so the walk reports the fall-off error.
+            const bool in_code = bb.end >= mod.base && bb.end < mod.codeEnd();
+            if (!in_code || !queued[bb.end - mod.base]) {
+                if (in_code)
+                    queued[bb.end - mod.base] = 1;
+                work.push_back(bb.end);
+            }
         }
 
         cfg.byStart_[start] = bb.id;
@@ -214,7 +235,7 @@ buildCfg(const Module &mod, const SplitLimits &limits)
 
     for (const auto &[term, ids] : cfg.byTerm_) {
         const BasicBlock &bb = cfg.blocks_[ids.front()];
-        const Instr &ins = instr_at.at(term);
+        const Instr &ins = instrs[term - mod.base];
         switch (bb.kind) {
           case TermKind::Branch:
             add_succ(term, ins.directTarget(term));
@@ -264,8 +285,10 @@ linkCfgs(const std::vector<Cfg *> &cfgs)
         Cfg *cfg;
         u32 idx;
     };
-    std::map<Addr, Ref> by_start;
-    std::map<Addr, std::vector<Ref>> by_term;
+    // Hash containers: every traversal below iterates blocks_/worklists,
+    // never these indices, so edge order stays deterministic.
+    std::unordered_map<Addr, Ref> by_start;
+    std::unordered_map<Addr, std::vector<Ref>> by_term;
 
     for (Cfg *cfg : cfgs) {
         for (auto &bb : cfg->blocks_) {
@@ -289,14 +312,14 @@ linkCfgs(const std::vector<Cfg *> &cfgs)
 
     // RET instructions reachable intra-procedurally from a function entry,
     // following edges across modules.
-    std::map<Addr, std::vector<Addr>> rets_of_entry;
+    std::unordered_map<Addr, std::vector<Addr>> rets_of_entry;
     auto reachable_rets = [&](Addr entry) -> const std::vector<Addr> & {
         auto memo = rets_of_entry.find(entry);
         if (memo != rets_of_entry.end())
             return memo->second;
 
         std::vector<Addr> rets;
-        std::set<Addr> visited;
+        std::unordered_set<Addr> visited;
         std::deque<Addr> bfs{entry};
         while (!bfs.empty()) {
             const Addr s = bfs.front();
@@ -327,7 +350,7 @@ linkCfgs(const std::vector<Cfg *> &cfgs)
     };
 
     // Visit every call site once (by terminator address).
-    std::set<Addr> call_terms_seen;
+    std::unordered_set<Addr> call_terms_seen;
     for (Cfg *cfg : cfgs) {
         for (const auto &bb : cfg->blocks_) {
             if (bb.kind != TermKind::Call &&

@@ -1,9 +1,11 @@
 #include "program/interp.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/logging.hpp"
 #include "isa/codec.hpp"
+#include "program/trace.hpp"
 
 namespace rev::prog
 {
@@ -57,6 +59,17 @@ StoreBuffer::covers(Addr addr, unsigned size) const
         if (bytes_.count(addr + i))
             return true;
     return false;
+}
+
+SeqNum
+StoreBuffer::newestCoverSeq(Addr addr, unsigned size) const
+{
+    if (bytes_.empty() || addr + size <= boundLo_ || addr >= boundHi_)
+        return 0;
+    for (auto it = queue_.rbegin(); it != queue_.rend(); ++it)
+        if (addr < it->addr + it->size && it->addr < addr + size)
+            return it->seq;
+    return 0;
 }
 
 u64
@@ -128,6 +141,20 @@ DecodeCache::clear()
     lastPageNo_ = kNoAddr;
     lastPage_ = nullptr;
     memEpoch_ = ~u64{0};
+    spanPages_.clear();
+}
+
+std::vector<u64>
+DecodeCache::touchedPages() const
+{
+    std::vector<u64> out;
+    out.reserve(pages_.size() + spanPages_.size());
+    for (const auto &kv : pages_)
+        out.push_back(kv.first);
+    for (u64 p : spanPages_)
+        if (!pages_.count(p))
+            out.push_back(p);
+    return out;
 }
 
 DecodeCache::CodePage &
@@ -198,6 +225,10 @@ DecodeCache::lookup(const SparseMemory &mem, Addr pc)
                        ? opcodeLength(static_cast<Opcode>(raw[0]))
                        : 1);
     const bool cacheable = off + declen <= SparseMemory::kPageSize;
+    if (!cacheable &&
+        std::find(spanPages_.begin(), spanPages_.end(), page_no + 1) ==
+            spanPages_.end())
+        spanPages_.push_back(page_no + 1);
 
     if (!decoded) {
         if (cacheable)
@@ -232,6 +263,9 @@ Machine::Machine(const Program &program, SparseMemory &mem)
 ExecRecord
 Machine::step(StoreBuffer *sb, SeqNum seq)
 {
+    if (replayer_)
+        return replayStep();
+
     ExecRecord rec;
     rec.pc = pc_;
 
@@ -245,6 +279,8 @@ Machine::step(StoreBuffer *sb, SeqNum seq)
         rec.invalid = true;
         rec.halted = true;
         halted_ = true;
+        if (recorder_)
+            recorder_->markInvalid();
         return rec;
     }
     const Instr &ins = pd->ins;
@@ -277,6 +313,8 @@ Machine::step(StoreBuffer *sb, SeqNum seq)
         rec.memSize = size;
         u64 v;
         if (sb && sb->covers(addr, size)) {
+            if (recorder_)
+                rec.coverDist = seq - sb->newestCoverSeq(addr, size);
             v = 0;
             for (unsigned i = size; i-- > 0;)
                 v = (v << 8) | sb->readByte(mem_, addr + i);
@@ -391,6 +429,105 @@ Machine::step(StoreBuffer *sb, SeqNum seq)
         break;
     }
 
+    pc_ = rec.nextPc;
+    if (recorder_)
+        recorder_->record(rec, rec.coverDist);
+    return rec;
+}
+
+u64
+Machine::replayConsumed() const
+{
+    return replayer_ ? replayer_->consumed() : 0;
+}
+
+/**
+ * Re-derive one ExecRecord from the trace: decode the (unchanged) code
+ * image through the cache, then read only the data-dependent events the
+ * recorder emitted for this opcode. No architectural state beyond the PC
+ * is maintained — register values, load values, and store values are
+ * never timing inputs, and replay applies no stores.
+ */
+ExecRecord
+Machine::replayStep()
+{
+    ExecRecord rec;
+    rec.pc = pc_;
+
+    if (halted_) {
+        rec.halted = true;
+        return rec;
+    }
+    REV_ASSERT(!replayer_->exhausted(),
+               "trace replay: stepped past the recorded instruction stream");
+
+    const Predecoded *pd = dcache_.lookup(mem_, pc_);
+    REV_ASSERT(pd, "trace replay: undecodable bytes at recorded pc");
+    const Instr &ins = pd->ins;
+    rec.ins = ins;
+    rec.use = pd->use;
+    rec.nextPc = pc_ + pd->len;
+
+    auto load = [&](unsigned size) {
+        rec.isLoad = true;
+        rec.memAddr = replayer_->readMemAddr();
+        rec.memSize = size;
+        rec.coverDist = replayer_->readCoverDist();
+    };
+    auto store = [&](unsigned size) {
+        rec.isStore = true;
+        rec.memAddr = replayer_->readMemAddr();
+        rec.memSize = size;
+    };
+
+    switch (ins.op) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Bltu:
+        rec.taken = replayer_->readTaken();
+        if (rec.taken)
+            rec.nextPc = ins.directTarget(pc_);
+        break;
+      case Opcode::Ld: load(8); break;
+      case Opcode::Lb: load(1); break;
+      case Opcode::Lw: load(4); break;
+      case Opcode::St: store(8); break;
+      case Opcode::Sb: store(1); break;
+      case Opcode::Sw: store(4); break;
+      case Opcode::Ret:
+        load(8);
+        rec.nextPc = replayer_->readNextPc(pc_);
+        break;
+      case Opcode::Call:
+        store(8);
+        rec.nextPc = ins.directTarget(pc_);
+        break;
+      case Opcode::CallR:
+        store(8);
+        rec.nextPc = replayer_->readNextPc(pc_);
+        break;
+      case Opcode::JmpR:
+        rec.nextPc = replayer_->readNextPc(pc_);
+        break;
+      case Opcode::Jmp:
+        rec.nextPc = ins.directTarget(pc_);
+        break;
+      case Opcode::Halt:
+        halted_ = true;
+        rec.halted = true;
+        rec.nextPc = pc_;
+        break;
+      case Opcode::Syscall:
+        rec.isSyscall = true;
+        rec.syscallNo = static_cast<u8>(ins.imm);
+        break;
+      default:
+        break; // plain ALU / immediate: fall-through next pc, no events
+    }
+
+    replayer_->advance();
     pc_ = rec.nextPc;
     return rec;
 }

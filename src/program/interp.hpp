@@ -38,6 +38,9 @@
 namespace rev::prog
 {
 
+class TraceRecorder;
+class TraceReplayer;
+
 /**
  * Pending (not yet validated) stores, in program order. Loads forward from
  * the newest pending value per byte; drain() releases the oldest stores to
@@ -70,6 +73,10 @@ class StoreBuffer
 
     /** Sequence number of the oldest pending store (0 if none). */
     SeqNum oldestSeq() const { return queue_.empty() ? 0 : queue_.front().seq; }
+
+    /** Sequence number of the newest pending store covering any byte of
+     *  the @p size-byte access at @p addr (0 when covers() is false). */
+    SeqNum newestCoverSeq(Addr addr, unsigned size = 8) const;
 
   private:
     struct Pending
@@ -128,6 +135,11 @@ class DecodeCache
     /** Drop everything (tests / explicit resets). */
     void clear();
 
+    /** Every page number the decoder has read deciding bytes from since
+     *  the last clear() (includes spill pages of page-crossing
+     *  instructions). Input to the trace recorder's SMC verdict. */
+    std::vector<u64> touchedPages() const;
+
   private:
     enum : u8
     {
@@ -151,6 +163,7 @@ class DecodeCache
     CodePage *lastPage_ = nullptr;
     u64 memEpoch_ = ~u64{0};
     Predecoded spanning_; ///< scratch slot for page-crossing instructions
+    std::vector<u64> spanPages_; ///< spill pages of page-crossing instrs
 };
 
 /**
@@ -169,6 +182,8 @@ struct ExecRecord
     unsigned memSize = 8; ///< access width in bytes
     u64 storeValue = 0;
     u64 loadValue = 0;
+    u64 coverDist = 0; ///< seq - covering store seq when the load forwarded
+                       ///< from the store queue (0 otherwise)
     bool halted = false;
     bool invalid = false; ///< undecodable bytes at pc
     u8 syscallNo = 0;
@@ -209,12 +224,39 @@ class Machine
     SparseMemory &memory() { return mem_; }
     const SparseMemory &memory() const { return mem_; }
 
+    /** Attach a recorder: every committed step() is appended to it. */
+    void attachRecorder(TraceRecorder *rec) { recorder_ = rec; }
+
+    /**
+     * Attach a replayer: step() re-derives each ExecRecord from the trace
+     * plus the decode cache instead of executing semantics. Registers and
+     * data memory are NOT maintained while replaying; only the fields the
+     * timing model consumes are populated.
+     */
+    void attachReplayer(TraceReplayer *rep) { replayer_ = rep; }
+
+    /** Abandon replay (e.g. a PreStepHook wants to mutate state). Only
+     *  legal before the first replayed step — see Core::run(). */
+    void cancelReplay() { replayer_ = nullptr; }
+
+    bool replaying() const { return replayer_ != nullptr; }
+
+    /** Instructions consumed from the attached replayer (0 if none). */
+    u64 replayConsumed() const;
+
+    /** Pages the decoder has read deciding bytes from (trace SMC check). */
+    std::vector<u64> decodePages() const { return dcache_.touchedPages(); }
+
   private:
+    ExecRecord replayStep();
+
     std::array<u64, isa::kNumArchRegs> regs_{};
     Addr pc_;
     bool halted_ = false;
     SparseMemory &mem_;
     DecodeCache dcache_;
+    TraceRecorder *recorder_ = nullptr;
+    TraceReplayer *replayer_ = nullptr;
 };
 
 /**

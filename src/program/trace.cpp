@@ -1,0 +1,306 @@
+#include "program/trace.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.hpp"
+
+namespace rev::prog
+{
+
+using isa::Opcode;
+
+// ---------------------------------------------------------------------------
+// Trace (de)serialization
+// ---------------------------------------------------------------------------
+
+namespace
+{
+
+constexpr char kTraceMagic[4] = {'R', 'V', 'T', 'R'};
+
+void
+put64(std::ostream &os, u64 v)
+{
+    u8 buf[8];
+    for (int i = 0; i < 8; ++i)
+        buf[i] = static_cast<u8>(v >> (8 * i));
+    os.write(reinterpret_cast<const char *>(buf), sizeof(buf));
+}
+
+bool
+get64(std::istream &is, u64 &v)
+{
+    u8 buf[8];
+    is.read(reinterpret_cast<char *>(buf), sizeof(buf));
+    if (!is)
+        return false;
+    v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | buf[i];
+    return true;
+}
+
+bool
+getBlob(std::istream &is, std::vector<u8> &out)
+{
+    u64 size = 0;
+    if (!get64(is, size) || size > (u64{1} << 40))
+        return false;
+    out.resize(static_cast<std::size_t>(size));
+    is.read(reinterpret_cast<char *>(out.data()),
+            static_cast<std::streamsize>(size));
+    return static_cast<bool>(is);
+}
+
+} // namespace
+
+bool
+Trace::save(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        return false;
+    os.write(kTraceMagic, sizeof(kTraceMagic));
+    put64(os, formatVersion);
+    put64(os, entryPc);
+    put64(os, maxInstrs);
+    put64(os, splitLimits.maxInstrs);
+    put64(os, splitLimits.maxStores);
+    put64(os, instrCount);
+    const u64 flags = (complete ? 1u : 0u) | (sawViolation ? 2u : 0u) |
+                      (sawInvalid ? 4u : 0u) | (smcDetected ? 8u : 0u);
+    put64(os, flags);
+    put64(os, codePages.size());
+    for (const auto &[page, version] : codePages) {
+        put64(os, page);
+        put64(os, version);
+    }
+    put64(os, bytes.size());
+    os.write(reinterpret_cast<const char *>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+    put64(os, bits.size());
+    os.write(reinterpret_cast<const char *>(bits.data()),
+             static_cast<std::streamsize>(bits.size()));
+    put64(os, bitCount);
+    return static_cast<bool>(os);
+}
+
+bool
+Trace::load(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    char magic[4];
+    is.read(magic, sizeof(magic));
+    if (!is || std::memcmp(magic, kTraceMagic, sizeof(magic)) != 0)
+        return false;
+    u64 version = 0, split_instrs = 0, split_stores = 0, flags = 0,
+        npages = 0;
+    if (!get64(is, version) || version != kTraceFormatVersion)
+        return false;
+    formatVersion = static_cast<u32>(version);
+    if (!get64(is, entryPc) || !get64(is, maxInstrs) ||
+        !get64(is, split_instrs) || !get64(is, split_stores) ||
+        !get64(is, instrCount) || !get64(is, flags) || !get64(is, npages))
+        return false;
+    splitLimits.maxInstrs = static_cast<unsigned>(split_instrs);
+    splitLimits.maxStores = static_cast<unsigned>(split_stores);
+    complete = flags & 1;
+    sawViolation = flags & 2;
+    sawInvalid = flags & 4;
+    smcDetected = flags & 8;
+    codePages.clear();
+    codePages.reserve(static_cast<std::size_t>(npages));
+    for (u64 i = 0; i < npages; ++i) {
+        u64 page = 0, ver = 0;
+        if (!get64(is, page) || !get64(is, ver))
+            return false;
+        codePages.emplace_back(page, ver);
+    }
+    return getBlob(is, bytes) && getBlob(is, bits) && get64(is, bitCount);
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder
+// ---------------------------------------------------------------------------
+
+void
+TraceRecorder::begin(Addr entry_pc, u64 max_instrs, const SplitLimits &limits,
+                     u64 mem_epoch)
+{
+    trace_ = Trace{};
+    trace_.entryPc = entry_pc;
+    trace_.maxInstrs = max_instrs;
+    trace_.splitLimits = limits;
+    lastMemAddr_ = 0;
+    memEpochAtBegin_ = mem_epoch;
+    storePages_.clear();
+}
+
+void
+TraceRecorder::putVarint(u64 v)
+{
+    while (v >= 0x80) {
+        trace_.bytes.push_back(static_cast<u8>(v) | 0x80);
+        v >>= 7;
+    }
+    trace_.bytes.push_back(static_cast<u8>(v));
+}
+
+void
+TraceRecorder::putZigzag(i64 v)
+{
+    putVarint((static_cast<u64>(v) << 1) ^
+              static_cast<u64>(v >> 63));
+}
+
+void
+TraceRecorder::putBit(bool b)
+{
+    const u64 off = trace_.bitCount++;
+    if ((off & 7) == 0)
+        trace_.bits.push_back(0);
+    if (b)
+        trace_.bits.back() |= static_cast<u8>(1u << (off & 7));
+}
+
+void
+TraceRecorder::record(const ExecRecord &rec, u64 cover_dist)
+{
+    auto mem_addr = [&] {
+        putZigzag(static_cast<i64>(rec.memAddr - lastMemAddr_));
+        lastMemAddr_ = rec.memAddr;
+    };
+    auto next_pc = [&] {
+        putZigzag(static_cast<i64>(rec.nextPc - rec.pc));
+    };
+    auto store_pages = [&] {
+        for (u64 p = rec.memAddr >> SparseMemory::kPageShift;
+             p <= (rec.memAddr + rec.memSize - 1) >> SparseMemory::kPageShift;
+             ++p)
+            storePages_.insert(p);
+    };
+
+    switch (rec.ins.op) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Bltu:
+        putBit(rec.taken);
+        break;
+      case Opcode::Ld:
+      case Opcode::Lb:
+      case Opcode::Lw:
+        mem_addr();
+        putVarint(cover_dist);
+        break;
+      case Opcode::St:
+      case Opcode::Sb:
+      case Opcode::Sw:
+        mem_addr();
+        store_pages();
+        break;
+      case Opcode::Ret:
+        mem_addr();
+        putVarint(cover_dist);
+        next_pc();
+        break;
+      case Opcode::Call:
+        mem_addr();
+        store_pages();
+        break;
+      case Opcode::CallR:
+        mem_addr();
+        store_pages();
+        next_pc();
+        break;
+      case Opcode::JmpR:
+        next_pc();
+        break;
+      default:
+        break; // static-next-pc instruction: no data-dependent events
+    }
+    ++trace_.instrCount;
+}
+
+void
+TraceRecorder::finish(const Machine &machine)
+{
+    const SparseMemory &mem = machine.memory();
+    // A wholesale page-set replacement (e.g. a shadow-page rollback) wipes
+    // the decode cache's page history; be conservative.
+    if (mem.epoch() != memEpochAtBegin_)
+        trace_.smcDetected = true;
+
+    trace_.codePages.clear();
+    for (u64 page : machine.decodePages()) {
+        const SparseMemory::PageView v = mem.pageView(page);
+        trace_.codePages.emplace_back(page, v.version ? *v.version : 0);
+        // Any program store landing on a page the decoder fetched from
+        // (JIT-style write-then-execute, patch-after-decode, or a wrong-
+        // path fetch into written data) makes the static-code assumption
+        // unsound: replay would decode different bytes.
+        if (storePages_.count(page))
+            trace_.smcDetected = true;
+    }
+    std::sort(trace_.codePages.begin(), trace_.codePages.end());
+    trace_.complete = true;
+}
+
+// ---------------------------------------------------------------------------
+// TraceReplayer
+// ---------------------------------------------------------------------------
+
+u64
+TraceReplayer::readVarint()
+{
+    u64 v = 0;
+    unsigned shift = 0;
+    while (true) {
+        REV_ASSERT(byteOff_ < trace_->bytes.size(),
+                   "trace replay: varint stream exhausted");
+        const u8 b = trace_->bytes[byteOff_++];
+        v |= static_cast<u64>(b & 0x7f) << shift;
+        if (!(b & 0x80))
+            return v;
+        shift += 7;
+        REV_ASSERT(shift < 64, "trace replay: varint overflow");
+    }
+}
+
+i64
+TraceReplayer::readZigzag()
+{
+    const u64 v = readVarint();
+    return static_cast<i64>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+bool
+TraceReplayer::readTaken()
+{
+    REV_ASSERT(bitOff_ < trace_->bitCount,
+               "trace replay: taken-bit stream exhausted");
+    const u64 off = bitOff_++;
+    return (trace_->bits[static_cast<std::size_t>(off >> 3)] >>
+            (off & 7)) &
+           1;
+}
+
+Addr
+TraceReplayer::readMemAddr()
+{
+    lastMemAddr_ += static_cast<u64>(readZigzag());
+    return lastMemAddr_;
+}
+
+Addr
+TraceReplayer::readNextPc(Addr pc)
+{
+    return pc + static_cast<u64>(readZigzag());
+}
+
+} // namespace rev::prog

@@ -61,11 +61,30 @@ SigStore::rebuildWith(const prog::Program &program, const SigStore *cfg_donor)
         prog::linkCfgs(cfgs);
     }
 
-    for (auto &sig : sigs_) {
+    // Block hashes depend only on the module bytes and the round count, so
+    // a donor built with the same rounds (any non-CFI mode) supplies them.
+    const bool donate_hashes =
+        donate && cfg_donor->hashRounds_ == hashRounds_;
+
+    for (std::size_t i = 0; i < sigs_.size(); ++i) {
+        auto &sig = sigs_[i];
+        if (mode_ != ValidationMode::CfiOnly) {
+            if (donate_hashes && cfg_donor->sigs_[i].blockHashes.size() ==
+                                     sig.cfg.blocks().size()) {
+                sig.blockHashes = cfg_donor->sigs_[i].blockHashes;
+            } else {
+                sig.blockHashes.reserve(sig.cfg.blocks().size());
+                for (const auto &bb : sig.cfg.blocks())
+                    sig.blockHashes.push_back(
+                        bbHash(*sig.module, bb, hashRounds_));
+            }
+        }
         const crypto::AesKey key = vault_->generateModuleKey(rng);
         const u64 nonce = rng.next();
-        BuiltTable built = buildTable(*sig.module, sig.cfg, mode_, *vault_,
-                                      key, nonce, hashRounds_);
+        BuiltTable built =
+            buildTable(*sig.module, sig.cfg, mode_, *vault_, key, nonce,
+                       hashRounds_,
+                       sig.blockHashes.empty() ? nullptr : &sig.blockHashes);
         sig.tableBase = next_base;
         sig.stats = built.stats;
         next_base = roundUp(next_base + built.bytes.size() + 0x100, 0x40);

@@ -33,6 +33,10 @@ struct ModuleSig
     prog::Cfg cfg;
     Addr tableBase = 0;
     TableStats stats;
+    /** bbHash() per cfg block (empty in CFI-only mode). Kept so stores
+     *  built for other modes can reuse them — hashing every block is the
+     *  dominant table-build cost and is mode-independent. */
+    std::vector<u32> blockHashes;
 };
 
 /**

@@ -73,16 +73,24 @@ slotDecode(u32 slot)
     return kSlotBase + slot - 1;
 }
 
-/** One validation unit before packing. */
+/**
+ * One validation unit before packing. Target/predecessor sets are borrowed
+ * from the CFG's BasicBlock vectors (never copied — buildTable is on the
+ * sweep's proto-build critical path); CFI-only entries carry their single
+ * target inline instead.
+ */
 struct Logical
 {
     u32 termOff;
     u32 startOff;
     TermKind kind;
     u32 hash;
-    std::vector<Addr> targets;
-    std::vector<Addr> preds;
+    Addr cfiTarget;                          ///< CfiOnly: the one target
+    const std::vector<Addr> *targets;        ///< nullptr = none
+    const std::vector<Addr> *preds;          ///< nullptr = none
 };
+
+const std::vector<Addr> kNoAddrs;
 
 /** Slots available per continuation record. */
 unsigned
@@ -148,12 +156,16 @@ BuiltTable
 buildTable(const prog::Module &mod, const prog::Cfg &cfg,
            ValidationMode mode, const crypto::KeyVault &vault,
            const crypto::AesKey &module_key, u64 nonce,
-           unsigned hash_rounds)
+           unsigned hash_rounds, const std::vector<u32> *block_hashes)
 {
+    REV_ASSERT(!block_hashes ||
+                   block_hashes->size() == cfg.blocks().size(),
+               "buildTable: block-hash vector does not match the CFG");
     const unsigned rs = recordSize(mode);
 
     // ---- collect logical entries -----------------------------------------
     std::vector<Logical> entries;
+    entries.reserve(cfg.blocks().size());
     if (mode == ValidationMode::CfiOnly) {
         // One (site, target) record per legitimate transfer of computed
         // sites and returns; code hashes are not validated (Sec. V.D).
@@ -167,27 +179,29 @@ buildTable(const prog::Module &mod, const prog::Cfg &cfg,
                 Logical e{};
                 e.termOff = static_cast<u32>(bb.term - mod.base);
                 e.kind = bb.kind;
-                e.targets.push_back(t);
-                entries.push_back(std::move(e));
+                e.cfiTarget = t;
+                entries.push_back(e);
             }
         }
     } else {
-        for (const auto &bb : cfg.blocks()) {
+        for (std::size_t i = 0; i < cfg.blocks().size(); ++i) {
+            const auto &bb = cfg.blocks()[i];
             Logical e{};
             e.termOff = static_cast<u32>(bb.term - mod.base);
             e.startOff = static_cast<u32>(bb.start - mod.base);
             e.kind = bb.kind;
-            e.hash = bbHash(mod, bb, hash_rounds);
+            e.hash = block_hashes ? (*block_hashes)[i]
+                                  : bbHash(mod, bb, hash_rounds);
             if (mode == ValidationMode::Aggressive) {
                 // Verify every branch target explicitly (returns are
                 // still validated via predecessors, Sec. V.A).
                 if (bb.kind != TermKind::Return)
-                    e.targets = bb.succs;
+                    e.targets = &bb.succs;
             } else if (termIsComputed(bb.kind)) {
-                e.targets = bb.succs;
+                e.targets = &bb.succs;
             }
-            e.preds = bb.retPreds;
-            entries.push_back(std::move(e));
+            e.preds = &bb.retPreds;
+            entries.push_back(e);
         }
     }
 
@@ -197,9 +211,19 @@ buildTable(const prog::Module &mod, const prog::Cfg &cfg,
         ++buckets_wanted; // odd modulus spreads sequential offsets
     const u32 P = static_cast<u32>(buckets_wanted);
 
-    std::vector<std::vector<const Logical *>> buckets(P);
+    // Stable counting sort into one flat array (entry order within a
+    // bucket is part of the table layout).
+    std::vector<u32> bucket_begin(P + 1, 0);
     for (const auto &e : entries)
-        buckets[e.termOff % P].push_back(&e);
+        ++bucket_begin[e.termOff % P + 1];
+    for (u32 b = 0; b < P; ++b)
+        bucket_begin[b + 1] += bucket_begin[b];
+    std::vector<const Logical *> bucketed(entries.size());
+    {
+        std::vector<u32> cursor(bucket_begin.begin(), bucket_begin.end() - 1);
+        for (const auto &e : entries)
+            bucketed[cursor[e.termOff % P]++] = &e;
+    }
 
     // ---- emit records ------------------------------------------------------
     // Record index i (1-based) lives at byte (i-1)*rs; indices 1..P are the
@@ -222,35 +246,41 @@ buildTable(const prog::Module &mod, const prog::Cfg &cfg,
                                  (static_cast<u8>(e->kind) << 2));
         put24(rec + 1, e->termOff);
         if (mode == ValidationMode::CfiOnly) {
-            put24(rec + 4, slotEncode(e->targets.front()));
+            put24(rec + 4, slotEncode(e->cfiTarget));
             nt = 0;
             return;
         }
         put32(rec + 4, e->hash);
 
+        const std::vector<Addr> &targets = e->targets ? *e->targets
+                                                      : kNoAddrs;
+        const std::vector<Addr> &preds = e->preds ? *e->preds : kNoAddrs;
         std::size_t inline_targets = 0;
         if (mode == ValidationMode::Aggressive) {
-            if (!e->targets.empty())
-                put24(rec + 11, slotEncode(e->targets[0]));
-            if (e->targets.size() > 1)
-                put24(rec + 14, slotEncode(e->targets[1]));
-            inline_targets = std::min<std::size_t>(2, e->targets.size());
+            if (!targets.empty())
+                put24(rec + 11, slotEncode(targets[0]));
+            if (targets.size() > 1)
+                put24(rec + 14, slotEncode(targets[1]));
+            inline_targets = std::min<std::size_t>(2, targets.size());
         }
         nt = 0;
-        for (std::size_t i = inline_targets; i < e->targets.size(); ++i) {
-            overflow.push_back(slotEncode(e->targets[i]));
+        for (std::size_t i = inline_targets; i < targets.size(); ++i) {
+            overflow.push_back(slotEncode(targets[i]));
             ++nt;
         }
-        for (Addr p : e->preds)
+        for (Addr p : preds)
             overflow.push_back(slotEncode(p));
     };
 
+    std::vector<u32> overflow; // reused across entries
     for (u32 b = 0; b < P; ++b) {
-        max_chain = std::max<u64>(max_chain, buckets[b].size());
+        max_chain =
+            std::max<u64>(max_chain, bucket_begin[b + 1] - bucket_begin[b]);
         std::size_t prev_pos = ~std::size_t{0}; // record needing a next link
         bool first = true;
-        for (const Logical *e : buckets[b]) {
-            std::vector<u32> overflow;
+        for (u32 bi = bucket_begin[b]; bi < bucket_begin[b + 1]; ++bi) {
+            const Logical *e = bucketed[bi];
+            overflow.clear();
             unsigned n_extra_targets = 0;
 
             std::size_t my_pos;
@@ -304,10 +334,13 @@ buildTable(const prog::Module &mod, const prog::Cfg &cfg,
     // ---- hash-uniqueness accounting (Sec. V.B note) -----------------------
     u64 hash_dups = 0;
     if (mode != ValidationMode::CfiOnly) {
-        std::set<u32> hashes;
+        std::vector<u32> hashes;
+        hashes.reserve(entries.size());
         for (const auto &e : entries)
-            if (!hashes.insert(e.hash).second)
-                ++hash_dups;
+            hashes.push_back(e.hash);
+        std::sort(hashes.begin(), hashes.end());
+        for (std::size_t i = 1; i < hashes.size(); ++i)
+            hash_dups += hashes[i] == hashes[i - 1];
     }
 
     // ---- assemble and encrypt ---------------------------------------------

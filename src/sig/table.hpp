@@ -91,11 +91,18 @@ u32 bbHash(const prog::Module &mod, const prog::BasicBlock &bb,
 /**
  * Build the signature table for @p mod / @p cfg in @p mode, encrypted with
  * @p module_key (wrapped for the CPU owning @p vault) and @p nonce.
+ *
+ * @param block_hashes Optional precomputed bbHash() per cfg.blocks()
+ *        index (same module bytes and hash rounds). Hashing every block
+ *        dominates table-build time and is mode-independent, so stores
+ *        built for several modes share one computation. Ignored in
+ *        CFI-only mode (no hashes in the table).
  */
 BuiltTable buildTable(const prog::Module &mod, const prog::Cfg &cfg,
                       ValidationMode mode, const crypto::KeyVault &vault,
                       const crypto::AesKey &module_key, u64 nonce,
-                      unsigned hash_rounds = 5);
+                      unsigned hash_rounds = 5,
+                      const std::vector<u32> *block_hashes = nullptr);
 
 /**
  * Optional early-exit hints for a table walk: the hardware stops reading

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The replay contract: timing a config against a recorded architectural
+ * trace must produce results bit-identical to direct execution — for
+ * every sweep config, including the no-REV base core, and for the sweep
+ * engine end-to-end with replay forced on and off.
+ *
+ * The trace is recorded once under a REV config (the sweep records under
+ * the config with the lowest store-drain watermark, so forwarding
+ * distances dominate every other drain policy) and replayed everywhere.
+ */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "bench/suite.hpp"
+#include "bench/sweep_runner.hpp"
+#include "core/simulator.hpp"
+#include "program/trace.hpp"
+#include "workloads/generator.hpp"
+
+namespace rev::bench
+{
+namespace
+{
+
+constexpr u64 kBudget = 20'000;
+
+const prog::Program &
+benchProgram()
+{
+    static const prog::Program p =
+        workloads::generateWorkload(workloads::specProfile("bzip2"));
+    return p;
+}
+
+/** Trace recorded once under the sweep's recording config. */
+const prog::Trace &
+recordedTrace()
+{
+    static const prog::Trace t = [] {
+        prog::TraceRecorder rec;
+        core::SimConfig cfg = sweepSimConfig(Config::Full32, kBudget);
+        cfg.traceRecorder = &rec;
+        core::Simulator sim(benchProgram(), cfg);
+        sim.run();
+        return rec.take();
+    }();
+    return t;
+}
+
+class ReplayDeterminism : public ::testing::TestWithParam<Config>
+{
+};
+
+TEST_P(ReplayDeterminism, StatsBitIdenticalToDirect)
+{
+    ASSERT_TRUE(recordedTrace().replayable());
+
+    const core::SimConfig cfg = sweepSimConfig(GetParam(), kBudget);
+
+    core::Simulator direct(benchProgram(), cfg);
+    direct.run();
+
+    core::SimConfig rcfg = cfg;
+    rcfg.replayTrace = &recordedTrace();
+    core::Simulator replayed(benchProgram(), rcfg);
+    ASSERT_TRUE(replayed.replayActive());
+    replayed.run();
+
+    // Every tracked statistic of every component, not just the headline
+    // numbers: the timing model must be unable to tell the modes apart.
+    const stats::StatSet a = direct.stats();
+    const stats::StatSet b = replayed.stats();
+    ASSERT_EQ(a.rows().size(), b.rows().size());
+    for (std::size_t i = 0; i < a.rows().size(); ++i) {
+        EXPECT_EQ(a.rows()[i].first, b.rows()[i].first);
+        EXPECT_EQ(a.rows()[i].second, b.rows()[i].second)
+            << "stat " << a.rows()[i].first << " diverges under replay";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, ReplayDeterminism,
+                         ::testing::ValuesIn(kAllConfigs),
+                         [](const auto &info) {
+                             return std::string(configName(info.param));
+                         });
+
+TEST(ReplaySweep, ReplayOnAndOffProduceIdenticalSweeps)
+{
+    SweepOptions opts = SweepOptions::quick();
+    opts.instrBudget = kBudget;
+    opts.threads = 2;
+    opts.progress = false;
+
+    ::setenv("REV_TRACE_REPLAY", "0", 1);
+    const Sweep direct = runSweep(opts);
+    ::setenv("REV_TRACE_REPLAY", "1", 1);
+    const Sweep replayed = runSweep(opts);
+    ::unsetenv("REV_TRACE_REPLAY");
+
+    // operator== compares every field of every run bit-for-bit.
+    EXPECT_TRUE(direct == replayed);
+}
+
+} // namespace
+} // namespace rev::bench

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Trace replay must refuse to run — and silently fall back to direct
+ * execution — whenever replaying could diverge from what the machine
+ * would really do:
+ *
+ *  - self-modifying code: the recorded decode stream is stale after the
+ *    program patches itself, so the recorder marks the trace
+ *    non-replayable (DecodeCache page-version tracking);
+ *  - mismatched run parameters (different instruction budget);
+ *  - an attached PreStepHook (attack injectors mutate state mid-run),
+ *    which cancels an already-attached replay before the first step.
+ *
+ * In every case the simulated results must equal plain direct execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "program/trace.hpp"
+#include "smc_programs.hpp"
+#include "testutil.hpp"
+
+namespace rev::core
+{
+namespace
+{
+
+prog::Trace
+recordRun(const prog::Program &p, SimConfig cfg)
+{
+    prog::TraceRecorder rec;
+    cfg.traceRecorder = &rec;
+    Simulator sim(p, cfg);
+    sim.run();
+    return rec.take();
+}
+
+TEST(ReplayFallback, SmcTraceIsNotReplayable)
+{
+    const MoviPatch patch = findMoviPatch();
+    ASSERT_EQ(patch.diffs, 1u);
+    const auto p = makeSmcProgram(patch, /*trusted=*/true);
+
+    SimConfig cfg;
+    cfg.mode = sig::ValidationMode::Full;
+    const prog::Trace t = recordRun(p, cfg);
+    EXPECT_TRUE(t.complete);
+    EXPECT_TRUE(t.smcDetected);
+    EXPECT_FALSE(t.replayable());
+}
+
+TEST(ReplayFallback, SmcTraceFallsBackToDirectExecution)
+{
+    const MoviPatch patch = findMoviPatch();
+    ASSERT_EQ(patch.diffs, 1u);
+    const auto p = makeSmcProgram(patch, /*trusted=*/true);
+
+    SimConfig cfg;
+    cfg.mode = sig::ValidationMode::Full;
+    const prog::Trace t = recordRun(p, cfg);
+
+    cfg.replayTrace = &t;
+    Simulator sim(p, cfg);
+    EXPECT_FALSE(sim.replayActive()); // rejected at attach
+    const SimResult r = sim.run();
+    EXPECT_TRUE(r.run.halted);
+    // Both the original and the patched callee executed for real.
+    EXPECT_EQ(sim.core().machine().reg(5), 333u);
+}
+
+TEST(ReplayFallback, ViolatingRunIsNotReplayable)
+{
+    const MoviPatch patch = findMoviPatch();
+    ASSERT_EQ(patch.diffs, 1u);
+    const auto p = makeSmcProgram(patch, /*trusted=*/false);
+
+    SimConfig cfg;
+    cfg.mode = sig::ValidationMode::Full;
+    const prog::Trace t = recordRun(p, cfg);
+    EXPECT_FALSE(t.replayable());
+}
+
+TEST(ReplayFallback, BudgetMismatchRejectsAttachment)
+{
+    SimConfig cfg;
+    cfg.core.maxInstrs = 20'000;
+    const auto p = test::makeIndirectDispatchProgram();
+    const prog::Trace t = recordRun(p, cfg);
+    ASSERT_TRUE(t.replayable());
+
+    SimConfig other = cfg;
+    other.core.maxInstrs = 10'000;
+    other.replayTrace = &t;
+    Simulator sim(p, other);
+    EXPECT_FALSE(sim.replayActive());
+    const SimResult r = sim.run();        // direct, and still correct
+    EXPECT_LE(r.run.instrs, 10'000u);
+}
+
+TEST(ReplayFallback, PreStepHookCancelsReplayBeforeFirstStep)
+{
+    SimConfig cfg;
+    cfg.core.maxInstrs = 20'000;
+    const auto p = test::makeIndirectDispatchProgram();
+    const prog::Trace t = recordRun(p, cfg);
+    ASSERT_TRUE(t.replayable());
+
+    // Reference result: plain direct execution.
+    const SimResult direct = Simulator(p, cfg).run();
+
+    SimConfig rcfg = cfg;
+    rcfg.replayTrace = &t;
+    Simulator sim(p, rcfg);
+    EXPECT_TRUE(sim.replayActive());
+    u64 hook_calls = 0;
+    sim.core().setPreStepHook([&](u64, Addr) { ++hook_calls; });
+    const SimResult r = sim.run();
+    EXPECT_FALSE(sim.replayActive()); // canceled, ran direct
+    EXPECT_GT(hook_calls, 0u);
+    EXPECT_EQ(r.run.cycles, direct.run.cycles);
+    EXPECT_EQ(r.run.instrs, direct.run.instrs);
+}
+
+} // namespace
+} // namespace rev::core

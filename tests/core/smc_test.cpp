@@ -10,77 +10,13 @@
 #include <gtest/gtest.h>
 
 #include "core/simulator.hpp"
+#include "smc_programs.hpp"
 #include "testutil.hpp"
 
 namespace rev::core
 {
 namespace
 {
-
-struct MoviPatch
-{
-    std::size_t offset; ///< image offset of the differing immediate byte
-    u8 value;           ///< byte that turns `movi r3,111` into `movi r3,222`
-    unsigned diffs;     ///< number of differing bytes (must be 1)
-};
-
-MoviPatch findMoviPatch()
-{
-    prog::Assembler p1(prog::kDefaultCodeBase);
-    p1.label("main");
-    p1.movi(3, 111);
-    p1.halt();
-    prog::Assembler p2(prog::kDefaultCodeBase);
-    p2.label("main");
-    p2.movi(3, 222);
-    p2.halt();
-    prog::Program a1;
-    a1.addModule(p1.finalize("t", "main"));
-    prog::Program a2;
-    a2.addModule(p2.finalize("t", "main"));
-    const auto &i1 = a1.main().image;
-    const auto &i2 = a2.main().image;
-    MoviPatch patch{0, 0, 0};
-    for (std::size_t i = 0; i < i1.size(); ++i) {
-        if (i1[i] != i2[i]) {
-            patch.offset = i;
-            patch.value = i2[i];
-            ++patch.diffs;
-        }
-    }
-    return patch;
-}
-
-/**
- * Calls doit (movi r3,111; ret), patches the immediate to 222 through one
- * of the program's own stores, calls doit again, and accumulates
- * r5 = 111 + 222. When `trusted`, the patch and the re-execution are
- * bracketed by the REV disable/enable syscalls.
- */
-prog::Program makeSmcProgram(const MoviPatch &patch, bool trusted)
-{
-    prog::Assembler a(prog::kDefaultCodeBase);
-    a.label("main");
-    a.call("doit");
-    a.add(5, 5, 3);
-    a.la(1, "doit");
-    a.movi(2, patch.value);
-    if (trusted)
-        a.syscall(1); // REV off
-    a.sb(2, 1, static_cast<i32>(patch.offset));
-    a.call("doit");
-    a.add(5, 5, 3);
-    if (trusted)
-        a.syscall(2); // REV back on
-    a.movi(4, 44);
-    a.halt();
-    a.label("doit");
-    a.movi(3, 111);
-    a.ret();
-    prog::Program p;
-    p.addModule(a.finalize("smc", "main"));
-    return p;
-}
 
 TEST(Smc, UnauthorizedPatchRaisesViolation)
 {

@@ -21,6 +21,9 @@
  *   --stats            dump every component's statistics
  *   --attack NAME      run a Table 1 attack instead of a workload
  *                      (--attack list shows the classes)
+ *   --record-trace F   record the architectural trace to file F
+ *   --replay-trace F   time against the trace in F instead of re-executing
+ *                      (falls back to direct execution on any mismatch)
  */
 
 #include <cstdio>
@@ -29,6 +32,7 @@
 
 #include "attacks/attack.hpp"
 #include "core/simulator.hpp"
+#include "program/trace.hpp"
 #include "workloads/generator.hpp"
 
 namespace
@@ -43,7 +47,8 @@ usage()
         "usage: revsim [--bench NAME] [--mode full|aggressive|cfi]\n"
         "              [--sc KB] [--instrs N] [--base] [--shadow-stack]\n"
         "              [--page-shadowing] [--interrupts N] [--dma N]\n"
-        "              [--no-wrong-path] [--seed N] [--stats] [--list]\n");
+        "              [--no-wrong-path] [--seed N] [--stats] [--list]\n"
+        "              [--record-trace FILE] [--replay-trace FILE]\n");
 }
 
 } // namespace
@@ -62,6 +67,7 @@ main(int argc, char **argv)
     bool stats = false;
     bool wrong_path = true;
     u64 interrupts = 0, dma = 0, seed = 0;
+    std::string record_path, replay_path;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -98,6 +104,10 @@ main(int argc, char **argv)
             stats = true;
         } else if (arg == "--attack") {
             attack = next();
+        } else if (arg == "--record-trace") {
+            record_path = next();
+        } else if (arg == "--replay-trace") {
+            replay_path = next();
         } else if (arg == "--list") {
             for (const auto &p : workloads::spec2006Profiles())
                 std::printf("%s\n", p.name.c_str());
@@ -169,10 +179,32 @@ main(int argc, char **argv)
     if (shadow_stack)
         cfg.rev.returnValidation = core::ReturnValidation::ShadowStack;
 
+    prog::TraceRecorder recorder;
+    prog::Trace replay_trace;
+    if (!record_path.empty() && !replay_path.empty()) {
+        std::fprintf(stderr,
+                     "[revsim] --record-trace and --replay-trace are "
+                     "mutually exclusive\n");
+        return 2;
+    }
+    if (!record_path.empty())
+        cfg.traceRecorder = &recorder;
+    if (!replay_path.empty()) {
+        if (!replay_trace.load(replay_path)) {
+            std::fprintf(stderr, "[revsim] cannot read trace %s\n",
+                         replay_path.c_str());
+            return 2;
+        }
+        cfg.replayTrace = &replay_trace;
+    }
+
     double base_ipc = 0;
     if (with_base) {
         core::SimConfig bcfg = cfg;
         bcfg.withRev = false;
+        // The base run must not consume the recorder (one trace per
+        // simulation); replay attachment revalidates per Simulator.
+        bcfg.traceRecorder = nullptr;
         std::fprintf(stderr, "[revsim] base run...\n");
         base_ipc = core::Simulator(program, bcfg).run().run.ipc();
     }
@@ -180,7 +212,27 @@ main(int argc, char **argv)
     std::fprintf(stderr, "[revsim] REV run (%s, %u KB SC)...\n",
                  sig::modeName(mode), sc_kb);
     core::Simulator sim(program, cfg);
+    const bool replaying = sim.replayActive();
     const core::SimResult r = sim.run();
+
+    if (!record_path.empty()) {
+        const prog::Trace t = recorder.take();
+        if (!t.replayable())
+            std::fprintf(stderr,
+                         "[revsim] warning: recorded trace is not "
+                         "replayable (SMC or abnormal end)\n");
+        if (!t.save(record_path)) {
+            std::fprintf(stderr, "[revsim] cannot write trace %s\n",
+                         record_path.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "[revsim] trace -> %s (%llu instrs)\n",
+                     record_path.c_str(),
+                     static_cast<unsigned long long>(t.instrCount));
+    }
+    if (!replay_path.empty())
+        std::fprintf(stderr, "[revsim] replay %s\n",
+                     replaying ? "attached" : "rejected (ran direct)");
 
     std::printf("benchmark            %s\n", bench.c_str());
     std::printf("mode                 %s\n", sig::modeName(mode));

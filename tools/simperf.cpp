@@ -4,10 +4,14 @@
  *
  * Runs a benchmark sweep with the cache disabled, measures wall-clock
  * simulation speed (simulated MIPS) per (benchmark, config) job, and
- * writes the numbers to a JSON report (BENCH_sim_speed.json). Optionally
- * compares every tracked simulated statistic of the sweep against a
- * pinned golden snapshot and fails if anything deviates — the contract
- * that simulator fast paths never change simulated results.
+ * writes the numbers to a JSON report (BENCH_sim_speed.json): per-job
+ * wall times (tagged with whether the job replayed a recorded trace),
+ * the sweep's per-phase host wall-clock breakdown (generate / proto-hash
+ * / record / replay), and host microbenchmarks of the two hot primitives
+ * (per-block signature hash, memory-system access). Optionally compares
+ * every tracked simulated statistic of the sweep against a pinned golden
+ * snapshot and fails if anything deviates — the contract that simulator
+ * fast paths never change simulated results.
  *
  * Usage:
  *   simperf [--quick] [--bench a,b,c] [--instrs N] [--threads N]
@@ -30,6 +34,8 @@
 #include "bench/suite.hpp"
 #include "bench/sweep_runner.hpp"
 #include "common/logging.hpp"
+#include "mem/memsys.hpp"
+#include "sig/table.hpp"
 
 namespace
 {
@@ -102,9 +108,51 @@ parseArgs(int argc, char **argv)
     return args;
 }
 
+/** Host cost of the two primitives the sweep leans on hardest. */
+struct MicroNumbers
+{
+    double bbHashNs = 0;      ///< one 64-byte basic-block signature hash
+    double memsysAccessNs = 0; ///< one timing-model memory access
+};
+
+MicroNumbers
+runMicro()
+{
+    using Clock = std::chrono::steady_clock;
+    auto secsSince = [](Clock::time_point t0) {
+        return std::chrono::duration<double>(Clock::now() - t0).count();
+    };
+    MicroNumbers m;
+    {
+        u8 buf[64];
+        for (unsigned i = 0; i < sizeof(buf); ++i)
+            buf[i] = static_cast<u8>(i * 37 + 1);
+        constexpr int kIters = 20000;
+        u32 sink = 0;
+        const auto t0 = Clock::now();
+        for (int i = 0; i < kIters; ++i)
+            sink ^= sig::bbHashBytes(buf, sizeof(buf), 0x1000 + sink % 7,
+                                     0x1040, 5);
+        m.bbHashNs = secsSince(t0) * 1e9 / kIters;
+    }
+    {
+        mem::MemorySystem ms{mem::MemConfig{}};
+        constexpr int kIters = 200000;
+        Cycle at = 0;
+        const auto t0 = Clock::now();
+        for (int i = 0; i < kIters; ++i) {
+            const auto r = ms.access((static_cast<Addr>(i) * 64) & 0x3fffff,
+                                     mem::AccessType::DataRead, at);
+            at = std::max(at + 1, r.l1Hit ? at + 1 : r.completeAt);
+        }
+        m.memsysAccessNs = secsSince(t0) * 1e9 / kIters;
+    }
+    return m;
+}
+
 void
 writeReport(const Args &args, const Sweep &sweep, const SweepRunner &runner,
-            double total_wall)
+            double total_wall, const MicroNumbers &micro)
 {
     std::ofstream os(args.outPath);
     if (!os)
@@ -112,8 +160,9 @@ writeReport(const Args &args, const Sweep &sweep, const SweepRunner &runner,
 
     u64 total_instrs = 0;
     double total_job_wall = 0;
+    std::size_t replayed_jobs = 0;
     os << "{\n"
-       << "  \"schema\": \"rev-sim-speed-v1\",\n"
+       << "  \"schema\": \"rev-sim-speed-v2\",\n"
        << "  \"instr_budget\": " << args.opts.instrBudget << ",\n"
        << "  \"threads\": " << runner.threadsUsed() << ",\n"
        << "  \"jobs\": [\n";
@@ -127,23 +176,37 @@ writeReport(const Args &args, const Sweep &sweep, const SweepRunner &runner,
                                 : 0;
         total_instrs += r.instrs;
         total_job_wall += t.wallSeconds;
+        replayed_jobs += t.replayed;
         os << "    {\"bench\": \"" << t.bench << "\", \"config\": \""
            << configName(t.config) << "\", \"wall_seconds\": "
            << t.wallSeconds << ", \"instrs\": " << r.instrs
            << ", \"cycles\": " << r.cycles << ", \"sim_mips\": " << mips
-           << "}" << (i + 1 < timings.size() ? "," : "") << "\n";
+           << ", \"replayed\": " << (t.replayed ? "true" : "false") << "}"
+           << (i + 1 < timings.size() ? "," : "") << "\n";
     }
+    const SweepPhaseTimings &ph = runner.phaseTimings();
     os << "  ],\n"
+       << "  \"phases\": {\"generate_seconds\": " << ph.generateSeconds
+       << ", \"proto_seconds\": " << ph.protoSeconds
+       << ", \"record_seconds\": " << ph.recordSeconds
+       << ", \"replay_seconds\": " << ph.replaySeconds << "},\n"
+       << "  \"micro\": {\"bb_hash_ns\": " << micro.bbHashNs
+       << ", \"memsys_access_ns\": " << micro.memsysAccessNs << "},\n"
        << "  \"total\": {\"wall_seconds\": " << total_wall
        << ", \"job_wall_seconds\": " << total_job_wall
+       << ", \"replayed_jobs\": " << replayed_jobs
        << ", \"instrs\": " << total_instrs << ", \"sim_mips\": "
        << (total_job_wall > 0
                ? static_cast<double>(total_instrs) / total_job_wall / 1e6
                : 0)
        << "}\n"
        << "}\n";
-    std::printf("simperf: %zu jobs, %.2fs wall, report -> %s\n",
-                timings.size(), total_wall, args.outPath.c_str());
+    std::printf("simperf: %zu jobs (%zu replayed), %.2fs wall "
+                "(gen %.2f + proto %.2f + record %.2f + replay %.2f), "
+                "report -> %s\n",
+                timings.size(), replayed_jobs, total_wall,
+                ph.generateSeconds, ph.protoSeconds, ph.recordSeconds,
+                ph.replaySeconds, args.outPath.c_str());
 }
 
 } // namespace
@@ -160,7 +223,7 @@ main(int argc, char **argv)
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
 
-    writeReport(args, sweep, runner, total_wall);
+    writeReport(args, sweep, runner, total_wall, runMicro());
 
     if (!args.goldenPath.empty()) {
         const auto diffs =
