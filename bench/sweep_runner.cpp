@@ -95,13 +95,6 @@ secondsSince(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
-bool
-replayEnabled()
-{
-    const char *env = std::getenv("REV_TRACE_REPLAY");
-    return !env || std::string_view(env) != "0";
-}
-
 std::size_t
 spillThresholdBytes()
 {
@@ -339,7 +332,7 @@ SweepRunner::run()
     // its store-drain watermark is the lowest of any config, so the
     // recorded forwarding distances dominate every replay (trace.hpp).
     std::vector<std::size_t> recordIdx;
-    if (replayEnabled()) {
+    if (prog::replayEnabledFromEnv()) {
         for (std::size_t i = 0; i < plans.size(); ++i) {
             std::size_t uncached = 0, rec = kNoJob;
             for (std::size_t j = 0; j < jobs.size(); ++j) {

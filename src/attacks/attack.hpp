@@ -21,6 +21,32 @@
 namespace rev::attacks
 {
 
+/**
+ * Tampering taxonomy (Sec. V.D / Table 1). Every concrete attack — and
+ * every machine-generated injection in src/redteam — belongs to one of
+ * these classes, and per-mode detectability is a property of the class,
+ * not of the individual attack binary.
+ */
+enum class TamperClass : u8
+{
+    CodeSubstitution,  ///< code bytes rewritten in place, CF shape intact
+    ControlFlowHijack, ///< control redirected through signed code
+    ForeignCode,       ///< executes code with no reference signatures
+    SignatureTamper,   ///< the encrypted reference tables are corrupted
+};
+
+/** Short stable name, e.g. "code-substitution". */
+const char *tamperClassName(TamperClass c);
+
+/**
+ * Whether tampering of class @p c is detectable under @p mode. CFI-only
+ * validation keeps no basic-block hashes, so pure code substitution that
+ * leaves the control-flow shape intact is invisible to it (Sec. V.D);
+ * every other class perturbs either the control-flow path or the
+ * signature fetch itself and is caught in all modes.
+ */
+bool tamperDetectableIn(TamperClass c, sig::ValidationMode mode);
+
 /** Result of one attack run. */
 struct AttackOutcome
 {
@@ -47,16 +73,18 @@ class Attack
     /** Table 1 "How REV detects" summary. */
     virtual const char *table1Mechanism() const = 0;
 
+    /** Taxonomy class of this attack's tampering. */
+    virtual TamperClass tamperClass() const = 0;
+
     /**
-     * Whether this attack class is detectable in @p mode. CFI-only
-     * validation cannot see pure code substitution that leaves the control
-     * flow intact (Sec. V.D).
+     * Whether this attack is detectable in @p mode. Derived from the
+     * taxonomy — per-attack overrides are deliberately impossible, so
+     * expectations in the table/bench binaries always match the class.
      */
-    virtual bool
+    bool
     detectableIn(sig::ValidationMode mode) const
     {
-        (void)mode;
-        return true;
+        return tamperDetectableIn(tamperClass(), mode);
     }
 
     /** Build the victim, arm the tamper hook, run, and report. */

@@ -11,6 +11,7 @@
 
 #include "attacks/attack.hpp"
 
+#include "attacks/injector.hpp"
 #include "isa/codec.hpp"
 #include "program/assembler.hpp"
 
@@ -24,6 +25,30 @@ using sig::ValidationMode;
 
 /** The memory location the attacker tries to taint. */
 inline constexpr Addr kSecretAddr = prog::kHeapBase + 0x800;
+
+const char *
+tamperClassName(TamperClass c)
+{
+    switch (c) {
+      case TamperClass::CodeSubstitution: return "code-substitution";
+      case TamperClass::ControlFlowHijack: return "control-flow-hijack";
+      case TamperClass::ForeignCode: return "foreign-code";
+      case TamperClass::SignatureTamper: return "signature-tamper";
+    }
+    return "?";
+}
+
+bool
+tamperDetectableIn(TamperClass c, ValidationMode mode)
+{
+    // CFI-only validation keeps no hashes: substituted bytes behind an
+    // unchanged control-flow shape pass unseen (Sec. V.D). Hijacked
+    // control flow, unsigned code, and corrupted signature fetches are
+    // visible to every mode.
+    if (c == TamperClass::CodeSubstitution)
+        return mode != ValidationMode::CfiOnly;
+    return true;
+}
 
 AttackOutcome
 Attack::execute(const core::SimConfig &cfg)
@@ -77,13 +102,12 @@ class DirectCodeInjection : public Attack
         return "basic block crypto hash will not match reference hash";
     }
 
-    bool
-    detectableIn(ValidationMode mode) const override
+    TamperClass
+    tamperClass() const override
     {
-        // The injected code keeps the control-flow shape; without hashes
-        // (CFI-only) it is invisible (Sec. V.D assumes code integrity is
-        // protected by other means).
-        return mode != ValidationMode::CfiOnly;
+        // The injected code keeps the control-flow shape; the class is
+        // blind under CFI-only validation (no hashes, Sec. V.D).
+        return TamperClass::CodeSubstitution;
     }
 
   protected:
@@ -117,22 +141,19 @@ class DirectCodeInjection : public Attack
     {
         const Addr target = victim_.main().symbol("update");
         const Addr loop = victim_.main().symbol("loop");
-        sim.core().setPreStepHook([this, target, loop, &sim](u64 idx,
-                                                             Addr pc) {
-            // Strike from "another process" while the victim is between
-            // calls (never mid-way through the function being rewritten).
-            if (idx > 8 && pc == loop && !triggered_) {
+        // Strike from "another process" while the victim is between
+        // calls (never mid-way through the function being rewritten).
+        inject::onceAtPc(
+            sim, loop, /*min_index=*/9,
+            [target](core::Simulator &s) {
                 // Overwrite the update() body with the payload (padded
                 // with NOPs to preserve the RET alignment).
                 std::vector<u8> code = shellcode(Opcode::Nop);
                 while (code.size() < 21)
                     code.push_back(static_cast<u8>(Opcode::Nop));
-                sim.memory().writeBytes(target, code);
-                if (sim.engine())
-                    sim.engine()->invalidateCodeCache();
-                triggered_ = true;
-            }
-        });
+                inject::tamperCode(s, target, code);
+            },
+            triggered_);
     }
 
     bool
@@ -156,6 +177,13 @@ class IndirectCodeInjection : public Attack
     table1Mechanism() const override
     {
         return "hash mismatch; control-flow path not in static analysis";
+    }
+
+    TamperClass
+    tamperClass() const override
+    {
+        // The stack shellcode has no reference signatures at all.
+        return TamperClass::ForeignCode;
     }
 
   protected:
@@ -182,18 +210,15 @@ class IndirectCodeInjection : public Attack
     void
     arm(core::Simulator &sim) override
     {
-        sim.core().setPreStepHook([this, &sim](u64, Addr pc) {
-            if (pc == retPc_ && !triggered_) {
-                auto &m = sim.core().machine();
-                const Addr sp = m.reg(isa::kRegSp);
-                const Addr shell = sp - 128; // inside the overflowed buffer
-                sim.memory().writeBytes(shell, shellcode(Opcode::Halt));
-                sim.memory().write64(sp, shell); // smashed return address
-                if (sim.engine())
-                    sim.engine()->invalidateCodeCache();
-                triggered_ = true;
-            }
-        });
+        inject::onceAtPc(
+            sim, retPc_, /*min_index=*/0,
+            [](core::Simulator &s) {
+                const Addr sp = s.core().machine().reg(isa::kRegSp);
+                const Addr shell = sp - 128; // in the overflowed buffer
+                inject::tamperCode(s, shell, shellcode(Opcode::Halt));
+                inject::smashReturnAddress(s, shell);
+            },
+            triggered_);
     }
 
     bool
@@ -220,6 +245,12 @@ class ReturnOriented : public Attack
     table1Mechanism() const override
     {
         return "control-flow path will not match statically known path";
+    }
+
+    TamperClass
+    tamperClass() const override
+    {
+        return TamperClass::ControlFlowHijack;
     }
 
   protected:
@@ -251,13 +282,12 @@ class ReturnOriented : public Attack
     void
     arm(core::Simulator &sim) override
     {
-        sim.core().setPreStepHook([this, &sim](u64, Addr pc) {
-            if (pc == retPc_ && !triggered_) {
-                const Addr sp = sim.core().machine().reg(isa::kRegSp);
-                sim.memory().write64(sp, gadget_);
-                triggered_ = true;
-            }
-        });
+        inject::onceAtPc(
+            sim, retPc_, /*min_index=*/0,
+            [this](core::Simulator &s) {
+                inject::smashReturnAddress(s, gadget_);
+            },
+            triggered_);
     }
 
     bool
@@ -285,6 +315,12 @@ class JumpOriented : public Attack
     table1Mechanism() const override
     {
         return "gadget hash / control-flow path will not match reference";
+    }
+
+    TamperClass
+    tamperClass() const override
+    {
+        return TamperClass::ControlFlowHijack;
     }
 
   protected:
@@ -354,6 +390,12 @@ class VtableCompromise : public Attack
         return "control-flow path will not match statically known path";
     }
 
+    TamperClass
+    tamperClass() const override
+    {
+        return TamperClass::ControlFlowHijack;
+    }
+
   protected:
     Program
     buildVictim() override
@@ -395,14 +437,14 @@ class VtableCompromise : public Attack
     void
     arm(core::Simulator &sim) override
     {
-        sim.core().setPreStepHook([this, &sim](u64, Addr pc) {
-            // Overwrite the vtable slot after the constructor ran but
-            // before the dispatch loads it.
-            if (pc == dispatchPc_ - 7 /* the LD */ && !triggered_) {
-                sim.memory().write64(prog::kHeapBase, evil_);
-                triggered_ = true;
-            }
-        });
+        // Overwrite the vtable slot after the constructor ran but before
+        // the dispatch loads it.
+        inject::onceAtPc(
+            sim, dispatchPc_ - 7 /* the LD */, /*min_index=*/0,
+            [this](core::Simulator &s) {
+                s.memory().write64(prog::kHeapBase, evil_);
+            },
+            triggered_);
     }
 
     bool
@@ -430,6 +472,12 @@ class ReturnToLibc : public Attack
     table1Mechanism() const override
     {
         return "control-flow path will not match statically known path";
+    }
+
+    TamperClass
+    tamperClass() const override
+    {
+        return TamperClass::ControlFlowHijack;
     }
 
   protected:
@@ -465,13 +513,12 @@ class ReturnToLibc : public Attack
     void
     arm(core::Simulator &sim) override
     {
-        sim.core().setPreStepHook([this, &sim](u64, Addr pc) {
-            if (pc == retPc_ && !triggered_) {
-                const Addr sp = sim.core().machine().reg(isa::kRegSp);
-                sim.memory().write64(sp, libc_);
-                triggered_ = true;
-            }
-        });
+        inject::onceAtPc(
+            sim, retPc_, /*min_index=*/0,
+            [this](core::Simulator &s) {
+                inject::smashReturnAddress(s, libc_);
+            },
+            triggered_);
     }
 
     bool
@@ -501,6 +548,12 @@ class IllegalDynamicLinking : public Attack
     {
         return "callee has no reference signatures; transfer not in "
                "static analysis";
+    }
+
+    TamperClass
+    tamperClass() const override
+    {
+        return TamperClass::ForeignCode;
     }
 
   protected:
@@ -545,7 +598,7 @@ class IllegalDynamicLinking : public Attack
         a.st(2, 5, 0);
         a.ret();
         const prog::Module rogue = a.finalize("rogue", "entry");
-        sim.memory().writeBytes(rogue.base, rogue.image);
+        inject::tamperCode(sim, rogue.base, rogue.image);
         sim.memory().write64(slot_, rogue.symbol("entry"));
         triggered_ = true;
     }

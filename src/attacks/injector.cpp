@@ -1,0 +1,70 @@
+#include "attacks/injector.hpp"
+
+#include "isa/opcodes.hpp"
+
+namespace rev::attacks::inject
+{
+
+void
+tamperCode(core::Simulator &sim, Addr addr, const u8 *data, std::size_t len)
+{
+    sim.memory().writeBytes(addr, data, len);
+    if (sim.engine())
+        sim.engine()->invalidateCodeCache();
+}
+
+void
+smashReturnAddress(core::Simulator &sim, Addr target)
+{
+    const Addr sp = sim.core().machine().reg(isa::kRegSp);
+    if (sim.memory().read64(sp) == target)
+        ++target;
+    sim.memory().write64(sp, target);
+}
+
+bool
+returnAt(core::Simulator &sim, Addr pc)
+{
+    const prog::Predecoded *p = sim.core().machine().predecode(pc);
+    return p && p->ins.klass() == isa::InstrClass::Return;
+}
+
+void
+onceAtPc(core::Simulator &sim, Addr pc, u64 min_index, Action fn,
+         bool &fired)
+{
+    sim.core().setPreStepHook(
+        [&sim, pc, min_index, fn = std::move(fn), &fired](u64 idx,
+                                                          Addr cur) {
+            if (!fired && idx >= min_index && cur == pc) {
+                fired = true;
+                fn(sim);
+            }
+        });
+}
+
+void
+onceAtIndex(core::Simulator &sim, u64 index, Action fn, bool &fired)
+{
+    sim.core().setPreStepHook(
+        [&sim, index, fn = std::move(fn), &fired](u64 idx, Addr) {
+            if (!fired && idx >= index) {
+                fired = true;
+                fn(sim);
+            }
+        });
+}
+
+void
+onceAtReturn(core::Simulator &sim, u64 min_index, Action fn, bool &fired)
+{
+    sim.core().setPreStepHook(
+        [&sim, min_index, fn = std::move(fn), &fired](u64 idx, Addr pc) {
+            if (!fired && idx >= min_index && returnAt(sim, pc)) {
+                fired = true;
+                fn(sim);
+            }
+        });
+}
+
+} // namespace rev::attacks::inject

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reusable tamper-injection primitives.
+ *
+ * The hand-written Table 1 attacks and the machine-generated redteam
+ * campaigns (src/redteam) perform the same few physical operations —
+ * overwrite code bytes behind REV's back, smash the return-address slot,
+ * fire a one-shot hook at a precise point of the committed stream. This
+ * header centralizes them so both frameworks tamper through identical
+ * code paths and a detection result from one carries over to the other.
+ *
+ * All primitives install or compose Core::PreStepHook logic; a Simulator
+ * accepts one hook, so each attack arms exactly one primitive (or builds
+ * a custom hook out of the write helpers).
+ */
+
+#ifndef REV_ATTACKS_INJECTOR_HPP
+#define REV_ATTACKS_INJECTOR_HPP
+
+#include <functional>
+#include <vector>
+
+#include "core/simulator.hpp"
+
+namespace rev::attacks::inject
+{
+
+/** Tamper action run at the firing point. */
+using Action = std::function<void(core::Simulator &sim)>;
+
+/**
+ * Overwrite @p len bytes at @p addr as an external agent (another
+ * process, rogue DMA) would: the functional memory changes and REV's
+ * hash memo is dropped, but no pipeline event is generated.
+ */
+void tamperCode(core::Simulator &sim, Addr addr, const u8 *data,
+                std::size_t len);
+
+inline void
+tamperCode(core::Simulator &sim, Addr addr, const std::vector<u8> &data)
+{
+    tamperCode(sim, addr, data.data(), data.size());
+}
+
+/**
+ * Overwrite the return-address slot the next RET will pop ([sp]) with
+ * @p target. Call from a hook firing while the next instruction is a
+ * Return. If [sp] already equals @p target the slot is redirected to
+ * @p target + 1 so the smash is never a silent no-op.
+ */
+void smashReturnAddress(core::Simulator &sim, Addr target);
+
+/** True if the next instruction to execute at @p pc decodes as a RET. */
+bool returnAt(core::Simulator &sim, Addr pc);
+
+/**
+ * Fire @p fn once, the first time the next PC equals @p pc at committed-
+ * instruction index >= @p min_index. @p fired must outlive the run.
+ */
+void onceAtPc(core::Simulator &sim, Addr pc, u64 min_index, Action fn,
+              bool &fired);
+
+/** Fire @p fn once at committed-instruction index >= @p index. */
+void onceAtIndex(core::Simulator &sim, u64 index, Action fn, bool &fired);
+
+/**
+ * Fire @p fn once, immediately before the first Return instruction at
+ * committed-instruction index >= @p min_index ([sp] then holds the
+ * return address about to be popped).
+ */
+void onceAtReturn(core::Simulator &sim, u64 min_index, Action fn,
+                  bool &fired);
+
+} // namespace rev::attacks::inject
+
+#endif // REV_ATTACKS_INJECTOR_HPP

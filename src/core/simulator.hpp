@@ -142,6 +142,7 @@ class Simulator
     cpu::Core &core() { return *core_; }
     RevEngine *engine() { return engine_.get(); }
     SparseMemory &memory() { return mem_; }
+    const SparseMemory &memory() const { return mem_; }
     mem::MemorySystem &memsys() { return memsys_; }
     const sig::SigStore *sigStore() const { return store_.get(); }
 

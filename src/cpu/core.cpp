@@ -72,6 +72,7 @@ Core::run()
     Addr last_line = kNoAddr;
     Cycle line_ready = clockBase_;
     Cycle prev_commit = clockBase_;
+    lastCommit_ = clockBase_;
 
     SeqNum seq = 0;
     // Newest sequence number released from the store buffer. During
@@ -279,6 +280,7 @@ Core::run()
             commit_lower = hooks_->commitReadyAt(bb.seq, commit_lower);
         const Cycle commit_at = commit_w.reserve(commit_lower);
         prev_commit = commit_at;
+        lastCommit_ = commit_at;
         rob.push(commit_at);
         if (is_mem)
             lsq.push(commit_at);

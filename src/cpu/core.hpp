@@ -97,6 +97,14 @@ class Core
     const prog::Machine &machine() const { return machine_; }
     const BranchPredictor &predictor() const { return predictor_; }
 
+    /**
+     * Commit cycle of the most recently committed instruction (equals the
+     * run's clock base before anything commits). A PreStepHook can read
+     * it to timestamp a tamper injection; a later violation's cycle minus
+     * this value is the detection latency.
+     */
+    Cycle lastCommitCycle() const { return lastCommit_; }
+
   private:
     struct BBState
     {
@@ -130,6 +138,9 @@ class Core
 
     /** End cycle of the previous run() (resumed runs continue from it). */
     Cycle clockBase_ = 0;
+
+    /** Mirror of the run loop's commit frontier (see lastCommitCycle()). */
+    Cycle lastCommit_ = 0;
 };
 
 } // namespace rev::cpu

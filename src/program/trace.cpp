@@ -1,13 +1,22 @@
 #include "program/trace.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <string_view>
 
 #include "common/logging.hpp"
 
 namespace rev::prog
 {
+
+bool
+replayEnabledFromEnv()
+{
+    const char *env = std::getenv("REV_TRACE_REPLAY");
+    return !env || std::string_view(env) != "0";
+}
 
 using isa::Opcode;
 

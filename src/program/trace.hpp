@@ -57,6 +57,13 @@ namespace rev::prog
 inline constexpr u32 kTraceFormatVersion = 1;
 
 /**
+ * The REV_TRACE_REPLAY switch shared by every execute-once/time-many
+ * consumer (benchmark sweep, redteam campaigns): replay is on unless the
+ * variable is set to "0". Read per call — tests toggle it mid-process.
+ */
+bool replayEnabledFromEnv();
+
+/**
  * One recorded run. Plain data plus (de)serialization; TraceRecorder
  * fills it, any number of concurrent TraceReplayers read it.
  */

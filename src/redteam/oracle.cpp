@@ -1,0 +1,433 @@
+#include "redteam/oracle.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_set>
+
+#include "attacks/injector.hpp"
+#include "common/logging.hpp"
+#include "isa/codec.hpp"
+#include "sig/table.hpp"
+#include "workloads/generator.hpp"
+
+namespace rev::redteam
+{
+
+const char *
+verdictName(Verdict v)
+{
+    switch (v) {
+      case Verdict::Detected: return "detected";
+      case Verdict::Crashed: return "crashed";
+      case Verdict::Benign: return "benign";
+      case Verdict::Blind: return "blind";
+      case Verdict::Escape: return "escape";
+    }
+    return "?";
+}
+
+attacks::TamperClass
+tamperClassOf(InjectionClass c)
+{
+    using attacks::TamperClass;
+    switch (c) {
+      case InjectionClass::CodeFlip:
+      case InjectionClass::CfgRewire:
+      case InjectionClass::DmaWrite:
+      case InjectionClass::TimingJitter:
+        // All four rewrite signed code bytes in place; the control-flow
+        // *shape* REV models (block boundaries, signed edges) is only
+        // changed through those bytes, which is exactly what the hash
+        // covers — and what CFI-only validation cannot see.
+        return TamperClass::CodeSubstitution;
+      case InjectionClass::RetSmash:
+        return TamperClass::ControlFlowHijack;
+      case InjectionClass::SigCorrupt:
+        return TamperClass::SignatureTamper;
+      case InjectionClass::NoOp:
+        break;
+    }
+    return TamperClass::CodeSubstitution; // NoOp: unused, see below
+}
+
+bool
+classDetectableIn(InjectionClass c, sig::ValidationMode mode)
+{
+    if (c == InjectionClass::NoOp)
+        return false;
+    return attacks::tamperDetectableIn(tamperClassOf(c), mode);
+}
+
+bool
+mechanismMatches(InjectionClass c, const std::string &reason)
+{
+    const auto has = [&](const char *s) {
+        return reason.find(s) != std::string::npos;
+    };
+    // Primary mechanisms per class, plus the cascades a tamper can
+    // legitimately trigger (e.g. a code flip that corrupts a stack-
+    // pointer adjustment derails the next return). The shadow-stack
+    // reasons are excluded for everything but RetSmash: the campaign
+    // configuration uses delayed-predecessor return validation, and for
+    // code tampering they would indicate a misattributed detection.
+    switch (c) {
+      case InjectionClass::CodeFlip:
+      case InjectionClass::CfgRewire:
+      case InjectionClass::DmaWrite:
+      case InjectionClass::TimingJitter:
+      case InjectionClass::SigCorrupt:
+        return has("basic-block hash mismatch") ||
+               has("no reference signature") || has("illegal transfer") ||
+               has("return from");
+      case InjectionClass::RetSmash:
+        return has("illegal transfer") || has("return from") ||
+               has("return to") || has("shadow stack") ||
+               has("no reference signature") ||
+               has("basic-block hash mismatch");
+      case InjectionClass::NoOp:
+        break;
+    }
+    return false;
+}
+
+core::SimConfig
+campaignSimConfig(const CampaignSpec &spec, sig::ValidationMode mode,
+                  const TimingVariant &timing)
+{
+    core::SimConfig cfg;
+    cfg.mode = mode;
+    cfg.withRev = !spec.disableRev;
+    cfg.core.maxInstrs = spec.instrBudget;
+    // Wrong-path fetch reads bytes the architectural run never executes;
+    // an architecturally inert tamper would perturb I-side statistics
+    // through it and fake a divergence. The oracle compares against
+    // goldens, so both sides run without it.
+    cfg.core.modelWrongPath = false;
+    cfg.rev.sc.sizeBytes = timing.scSizeBytes;
+    return cfg;
+}
+
+namespace
+{
+
+/** The one statistic legitimately perturbed by architecturally inert
+ *  tampering: the CHG hash memo recompute counter (tamperCode drops the
+ *  memo, so untouched blocks re-hash without any simulated effect). */
+constexpr const char *kExcludedStat = "sim.chg.blocks_hashed";
+
+bool
+statsEqual(const stats::StatSet &a, const stats::StatSet &b)
+{
+    const auto &ra = a.rows();
+    const auto &rb = b.rows();
+    if (ra.size() != rb.size())
+        return false;
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+        if (ra[i].first != rb[i].first)
+            return false;
+        if (ra[i].first == kExcludedStat)
+            continue;
+        if (ra[i].second != rb[i].second)
+            return false;
+    }
+    return true;
+}
+
+bool
+runEqual(const core::SimResult &a, const core::SimResult &b)
+{
+    const cpu::RunResult &x = a.run;
+    const cpu::RunResult &y = b.run;
+    return x.cycles == y.cycles && x.instrs == y.instrs &&
+           x.committedBranches == y.committedBranches &&
+           x.uniqueBranches == y.uniqueBranches &&
+           x.mispredicts == y.mispredicts && x.loads == y.loads &&
+           x.stores == y.stores && x.interrupts == y.interrupts &&
+           x.wrongPathFetches == y.wrongPathFetches &&
+           x.halted == y.halted &&
+           a.scFillAccesses == b.scFillAccesses &&
+           a.scFillL1Misses == b.scFillL1Misses &&
+           a.scFillL2Misses == b.scFillL2Misses;
+}
+
+/**
+ * Compare final functional memory, ignoring (a) the signature-table
+ * region — its content is mode-specific and REV-internal — and (b) the
+ * byte ranges the injector itself dirtied (a tamper that was never
+ * re-fetched leaves its bytes behind without any architectural effect).
+ */
+bool
+memoryEqual(const SparseMemory &a, const SparseMemory &b,
+            const std::vector<std::pair<Addr, u64>> &masked)
+{
+    constexpr u64 kPageSize = SparseMemory::kPageSize;
+    const u64 sig_page = sig::kSigTableRegion >> SparseMemory::kPageShift;
+
+    std::vector<u64> pages;
+    a.forEachPage([&](u64 p, const u8 *) { pages.push_back(p); });
+    b.forEachPage([&](u64 p, const u8 *) { pages.push_back(p); });
+    std::sort(pages.begin(), pages.end());
+    pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+
+    std::vector<u8> bufA(kPageSize), bufB(kPageSize);
+    for (u64 p : pages) {
+        if (p >= sig_page)
+            continue;
+        const Addr base = p << SparseMemory::kPageShift;
+        a.readBytes(base, bufA.data(), kPageSize);
+        b.readBytes(base, bufB.data(), kPageSize);
+        for (const auto &[addr, len] : masked) {
+            if (addr + len <= base || addr >= base + kPageSize)
+                continue;
+            const u64 lo = std::max<u64>(addr, base) - base;
+            const u64 hi = std::min<u64>(addr + len, base + kPageSize) - base;
+            std::memset(bufA.data() + lo, 0, hi - lo);
+            std::memset(bufB.data() + lo, 0, hi - lo);
+        }
+        if (std::memcmp(bufA.data(), bufB.data(), kPageSize) != 0)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::unique_ptr<WorkloadContext>
+buildWorkloadContext(const workloads::WorkloadProfile &profile,
+                     const CampaignSpec &spec,
+                     const std::vector<sig::ValidationMode> &modes,
+                     const TimingVariant &record_timing)
+{
+    REV_ASSERT(!modes.empty(), "campaign needs at least one mode");
+    auto ctx = std::make_unique<WorkloadContext>();
+    ctx->name = profile.name;
+    ctx->program = workloads::generateWorkload(profile);
+
+    const core::SimConfig probe =
+        campaignSimConfig(spec, modes.front(), record_timing);
+
+    // One signature-table build per mode; the first build donates its
+    // CFGs and block hashes to the rest (mode-independent, and the
+    // dominant build cost). Mirrors the benchmark sweep's prototype
+    // sharing; the Simulator clones these instead of rebuilding.
+    if (!spec.disableRev) {
+        ctx->vault = std::make_unique<crypto::KeyVault>(probe.cpuSeed);
+        for (sig::ValidationMode mode : modes) {
+            const sig::SigStore *donor =
+                ctx->protos.empty() ? nullptr
+                                    : ctx->protos.begin()->second.get();
+            ctx->protos[mode] = std::make_unique<sig::SigStore>(
+                ctx->program, mode, *ctx->vault, probe.toolchainSeed,
+                probe.core.splitLimits, probe.rev.chg.hashRounds, donor);
+        }
+    }
+
+    // Golden record run: REV attached (its store-drain watermark
+    // dominates, see program/trace.hpp), trace recorded, executed pcs
+    // collected through a pre-step hook.
+    core::SimConfig cfg = probe;
+    if (!spec.disableRev)
+        cfg.sigStorePrototype = ctx->protos.at(modes.front()).get();
+    prog::TraceRecorder recorder;
+    if (!spec.disableRev)
+        cfg.traceRecorder = &recorder;
+    core::Simulator sim(ctx->program, cfg);
+    std::unordered_set<Addr> pcs;
+    sim.core().setPreStepHook(
+        [&pcs](u64, Addr pc) { pcs.insert(pc); });
+    const core::SimResult r = sim.run();
+    REV_ASSERT(!r.run.violation,
+               "campaign golden run raised a violation: " +
+                   r.run.violation->reason);
+
+    ctx->goldenMemory = sim.memory().clone();
+    ctx->goldenInstrs = r.run.instrs;
+    if (!spec.disableRev)
+        ctx->trace = recorder.take();
+    ctx->goldens[{modes.front(), record_timing.name}] =
+        GoldenRun{sim.stats(), r};
+
+    // Executed-site map: every committed pc inside the main module's
+    // code, decoded from the pristine image. Plans draw flip targets,
+    // rewirable direct branches, and return-redirect addresses from it.
+    std::vector<Addr> sorted(pcs.begin(), pcs.end());
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<Addr> call_fallthroughs;
+    for (Addr pc : sorted) {
+        const prog::Module *mod = ctx->program.findModule(pc);
+        if (!mod || !mod->containsCode(pc))
+            continue;
+        const std::size_t off = static_cast<std::size_t>(pc - mod->base);
+        const auto ins =
+            isa::decode(mod->image.data() + off, mod->codeSize - off);
+        if (!ins)
+            continue;
+        ExecSite site{pc, static_cast<u8>(ins->length()), ins->klass()};
+        if (site.klass == isa::InstrClass::Call ||
+            site.klass == isa::InstrClass::CallIndirect)
+            call_fallthroughs.push_back(pc + site.len);
+        ctx->sites.push_back(site);
+    }
+    REV_ASSERT(!ctx->sites.empty(), "campaign workload executed no code");
+    std::sort(call_fallthroughs.begin(), call_fallthroughs.end());
+    for (std::size_t i = 0; i < ctx->sites.size(); ++i) {
+        const ExecSite &s = ctx->sites[i];
+        if (s.klass == isa::InstrClass::Branch ||
+            s.klass == isa::InstrClass::Jump ||
+            s.klass == isa::InstrClass::Call)
+            ctx->branchSites.push_back(i);
+        // A pc that is not any call's fall-through can never be a legal
+        // return site, so a return smashed to it must trip validation.
+        if (!std::binary_search(call_fallthroughs.begin(),
+                                call_fallthroughs.end(), s.pc))
+            ctx->retRedirects.push_back(s.pc);
+    }
+    return ctx;
+}
+
+void
+addGolden(WorkloadContext &ctx, const CampaignSpec &spec,
+          sig::ValidationMode mode, const TimingVariant &timing)
+{
+    if (ctx.goldens.count({mode, timing.name}))
+        return;
+    core::SimConfig cfg = campaignSimConfig(spec, mode, timing);
+    if (!spec.disableRev)
+        cfg.sigStorePrototype = ctx.protos.at(mode).get();
+    if (!spec.disableRev && prog::replayEnabledFromEnv() &&
+        ctx.trace.replayable())
+        cfg.replayTrace = &ctx.trace;
+    core::Simulator sim(ctx.program, cfg);
+    const core::SimResult r = sim.run();
+    REV_ASSERT(!r.run.violation,
+               "campaign golden run raised a violation: " +
+                   r.run.violation->reason);
+    ctx.goldens[{mode, timing.name}] = GoldenRun{sim.stats(), r};
+}
+
+InjectionResult
+runInjection(const WorkloadContext &ctx, const CampaignSpec &spec,
+             const InjectionPlan &plan, const TimingVariant &timing)
+{
+    namespace inject = attacks::inject;
+    REV_ASSERT(timing.name == plan.timing, "plan/timing variant mismatch");
+
+    core::SimConfig cfg = campaignSimConfig(spec, plan.mode, timing);
+    if (!spec.disableRev)
+        cfg.sigStorePrototype = ctx.protos.at(plan.mode).get();
+    core::Simulator sim(ctx.program, cfg);
+
+    InjectionResult res;
+    res.planId = plan.id;
+
+    bool fired = false;
+    Cycle fire_cycle = 0;
+    std::vector<std::pair<Addr, u64>> dirtied;
+
+    const auto stamp = [&fire_cycle](core::Simulator &s) {
+        fire_cycle = s.core().lastCommitCycle();
+    };
+    const auto flip = [&](core::Simulator &s) {
+        stamp(s);
+        inject::tamperCode(s, plan.targetAddr, plan.payload);
+        dirtied.emplace_back(plan.targetAddr, plan.payload.size());
+    };
+
+    switch (plan.klass) {
+      case InjectionClass::NoOp:
+        inject::onceAtIndex(sim, plan.fireIndex, stamp, fired);
+        break;
+      case InjectionClass::CodeFlip:
+      case InjectionClass::CfgRewire:
+      case InjectionClass::DmaWrite:
+        inject::onceAtIndex(sim, plan.fireIndex, flip, fired);
+        break;
+      case InjectionClass::SigCorrupt:
+        // Straight into simulated RAM: the signature tables are data to
+        // the memory system, there is no decode/hash memo to drop.
+        inject::onceAtIndex(
+            sim, plan.fireIndex,
+            [&](core::Simulator &s) {
+                stamp(s);
+                s.memory().writeBytes(plan.targetAddr, plan.payload.data(),
+                                      plan.payload.size());
+                dirtied.emplace_back(plan.targetAddr, plan.payload.size());
+            },
+            fired);
+        break;
+      case InjectionClass::RetSmash:
+        inject::onceAtReturn(
+            sim, plan.fireIndex,
+            [&](core::Simulator &s) {
+                stamp(s);
+                dirtied.emplace_back(
+                    s.core().machine().reg(isa::kRegSp), 8);
+                inject::smashReturnAddress(s, plan.redirectTarget);
+            },
+            fired);
+        break;
+      case InjectionClass::TimingJitter:
+        switch (plan.phase) {
+          case JitterPhase::PreFetch:
+            inject::onceAtPc(sim, plan.watchPc, plan.fireIndex, flip,
+                             fired);
+            break;
+          case JitterPhase::MidBlock:
+            inject::onceAtIndex(sim, plan.fireIndex, flip, fired);
+            break;
+          case JitterPhase::PostCommit: {
+            // Arm when the watched pc is about to execute, fire right
+            // after it committed: the block was just validated, the flip
+            // must still be caught on its next execution (the paper's
+            // continuous-validation property).
+            sim.core().setPreStepHook([&, armed = false](
+                                          u64 idx, Addr pc) mutable {
+                if (fired)
+                    return;
+                if (!armed) {
+                    armed = idx >= plan.fireIndex && pc == plan.watchPc;
+                    return;
+                }
+                fired = true;
+                flip(sim);
+            });
+            break;
+          }
+        }
+        break;
+    }
+
+    const core::SimResult r = sim.run();
+    res.fired = fired;
+
+    if (r.run.violation) {
+        res.reason = r.run.violation->reason;
+        if (res.reason == "undecodable instruction bytes") {
+            res.verdict = Verdict::Crashed;
+        } else if (!fired) {
+            // A violation without any tamper means the harness itself is
+            // broken; surface it as loudly as an escape.
+            res.verdict = Verdict::Escape;
+        } else {
+            res.verdict = Verdict::Detected;
+            res.mechanismMatch = mechanismMatches(plan.klass, res.reason);
+            res.latencyCycles = r.run.violation->cycle - fire_cycle;
+        }
+        return res;
+    }
+
+    const GoldenRun &golden = ctx.goldens.at({plan.mode, timing.name});
+    const bool identical = runEqual(r, golden.result) &&
+                           statsEqual(sim.stats(), golden.stats) &&
+                           memoryEqual(sim.memory(), ctx.goldenMemory,
+                                       dirtied);
+    if (identical)
+        res.verdict = Verdict::Benign;
+    else if (!spec.disableRev && !classDetectableIn(plan.klass, plan.mode))
+        res.verdict = Verdict::Blind;
+    else
+        res.verdict = Verdict::Escape;
+    return res;
+}
+
+} // namespace rev::redteam

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The differential detection oracle.
+ *
+ * For each campaign workload the oracle records one golden run (trace +
+ * final memory + statistics per validation mode and timing variant), then
+ * executes every InjectionPlan against a fresh Simulator and classifies
+ * the outcome:
+ *
+ *  - Detected: REV raised a violation. The reason string is checked
+ *    against the mechanisms the tamper taxonomy predicts for the class,
+ *    and the detection latency (violation commit cycle minus the firing
+ *    cycle) is measured.
+ *  - Crashed: the machine itself refused (undecodable instruction
+ *    bytes). This is a loud failure, not a REV detection — random byte
+ *    tampering frequently produces garbage encodings — and is counted
+ *    separately so it can neither inflate the detection rate nor be
+ *    mistaken for an escape.
+ *  - Benign: no violation, and the run is bit-identical to the golden
+ *    run — same RunResult, same statistics (modulo the CHG memo
+ *    recompute counter, see oracle.cpp), same final memory outside the
+ *    signature-table region and the injector's own dirtied bytes.
+ *  - Blind: the run silently diverged, but the taxonomy predicts the
+ *    class is undetectable in this validation mode (e.g. pure code
+ *    substitution under CFI-only validation). Expected, not a bug.
+ *  - Escape: the run silently diverged although the taxonomy says the
+ *    class is detectable in this mode. This is the oracle's alarm — a
+ *    validated REV configuration must produce zero of these.
+ *
+ * Soundness of the comparison relies on campaignSimConfig(): wrong-path
+ * fetch is disabled (a wrong-path fetch would read architecturally inert
+ * tampered bytes and perturb I-side statistics), and all injections are
+ * restricted to executed code bytes, the signature tables, or the
+ * return-address slot a RET is about to pop.
+ */
+
+#ifndef REV_REDTEAM_ORACLE_HPP
+#define REV_REDTEAM_ORACLE_HPP
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "attacks/attack.hpp"
+#include "core/simulator.hpp"
+#include "redteam/plan.hpp"
+#include "workloads/profile.hpp"
+
+namespace rev::redteam
+{
+
+/** Oracle classification of one injection. */
+enum class Verdict : u8
+{
+    Detected,
+    Crashed,
+    Benign,
+    Blind,
+    Escape,
+};
+
+const char *verdictName(Verdict v);
+
+/** One timing configuration of the sweep matrix (SC capacity). */
+struct TimingVariant
+{
+    std::string name;
+    u64 scSizeBytes = 32 * 1024;
+};
+
+/** Map an injection class onto the Table-1 tamper taxonomy. */
+attacks::TamperClass tamperClassOf(InjectionClass c);
+
+/**
+ * Does the taxonomy predict detection of @p c under @p mode? NoOp is
+ * never "predicted detectable" (it tampers nothing).
+ */
+bool classDetectableIn(InjectionClass c, sig::ValidationMode mode);
+
+/** Is @p reason one of the violation mechanisms predicted for @p c? */
+bool mechanismMatches(InjectionClass c, const std::string &reason);
+
+/** One executed instruction site of the golden run. */
+struct ExecSite
+{
+    Addr pc = 0;
+    u8 len = 0;
+    isa::InstrClass klass = isa::InstrClass::Nop;
+};
+
+/** Golden results of one (mode, timing) configuration. */
+struct GoldenRun
+{
+    stats::StatSet stats;
+    core::SimResult result;
+};
+
+/**
+ * Everything the oracle knows about one campaign workload: the program,
+ * the shared signature-store prototypes (one per mode, donor-chained so
+ * the CFG derivation and block hashing are paid once), the recorded
+ * architectural trace, the golden final memory, the executed-site map
+ * plan generation draws targets from, and the per-(mode, timing) golden
+ * statistics.
+ */
+struct WorkloadContext
+{
+    std::string name;
+    prog::Program program;
+    std::unique_ptr<crypto::KeyVault> vault;
+    std::map<sig::ValidationMode, std::unique_ptr<sig::SigStore>> protos;
+
+    prog::Trace trace;        ///< recorded golden run (REV campaigns only)
+    SparseMemory goldenMemory; ///< final functional memory of the record run
+    u64 goldenInstrs = 0;      ///< committed instructions of the record run
+
+    std::vector<ExecSite> sites;        ///< executed sites, sorted by pc
+    std::vector<std::size_t> branchSites; ///< indices: direct Branch/Jump/Call
+    std::vector<Addr> retRedirects; ///< executed pcs that are never legal
+                                    ///< return sites (not call fall-throughs)
+
+    std::map<std::pair<sig::ValidationMode, std::string>, GoldenRun> goldens;
+};
+
+/** The shared simulation configuration of every campaign run. */
+core::SimConfig campaignSimConfig(const CampaignSpec &spec,
+                                  sig::ValidationMode mode,
+                                  const TimingVariant &timing);
+
+/**
+ * Generate the workload, build the per-mode signature prototypes, run
+ * the golden record run under (modes.front(), record_timing) — capturing
+ * the trace, the final memory, and the executed-site map — and store
+ * that configuration's golden results.
+ */
+std::unique_ptr<WorkloadContext>
+buildWorkloadContext(const workloads::WorkloadProfile &profile,
+                     const CampaignSpec &spec,
+                     const std::vector<sig::ValidationMode> &modes,
+                     const TimingVariant &record_timing);
+
+/**
+ * Run (or replay, when REV_TRACE_REPLAY allows) the golden configuration
+ * (mode, timing) and store it in ctx.goldens. No-op if already present.
+ */
+void addGolden(WorkloadContext &ctx, const CampaignSpec &spec,
+               sig::ValidationMode mode, const TimingVariant &timing);
+
+/** Outcome of one injection. */
+struct InjectionResult
+{
+    u64 planId = 0;
+    Verdict verdict = Verdict::Benign;
+    bool fired = false;          ///< the tamper hook actually triggered
+    bool mechanismMatch = false; ///< Detected: reason in the predicted set
+    std::string reason;          ///< violation reason, if any
+    u64 latencyCycles = 0;       ///< Detected: violation cycle - fire cycle
+};
+
+/**
+ * Execute @p plan against a fresh Simulator built from @p ctx and
+ * classify the outcome against the golden run of (plan.mode, timing).
+ */
+InjectionResult runInjection(const WorkloadContext &ctx,
+                             const CampaignSpec &spec,
+                             const InjectionPlan &plan,
+                             const TimingVariant &timing);
+
+} // namespace rev::redteam
+
+#endif // REV_REDTEAM_ORACLE_HPP

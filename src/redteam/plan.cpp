@@ -1,0 +1,474 @@
+#include "redteam/plan.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+
+namespace rev::redteam
+{
+
+const char *
+injectionClassName(InjectionClass c)
+{
+    switch (c) {
+      case InjectionClass::CodeFlip: return "code-flip";
+      case InjectionClass::SigCorrupt: return "sig-corrupt";
+      case InjectionClass::CfgRewire: return "cfg-rewire";
+      case InjectionClass::RetSmash: return "ret-smash";
+      case InjectionClass::DmaWrite: return "dma-write";
+      case InjectionClass::TimingJitter: return "timing-jitter";
+      case InjectionClass::NoOp: return "no-op";
+    }
+    return "?";
+}
+
+bool
+injectionClassFromName(const std::string &name, InjectionClass *out)
+{
+    const InjectionClass all[] = {
+        InjectionClass::CodeFlip,   InjectionClass::SigCorrupt,
+        InjectionClass::CfgRewire,  InjectionClass::RetSmash,
+        InjectionClass::DmaWrite,   InjectionClass::TimingJitter,
+        InjectionClass::NoOp,
+    };
+    for (InjectionClass c : all) {
+        if (name == injectionClassName(c)) {
+            *out = c;
+            return true;
+        }
+    }
+    return false;
+}
+
+const char *
+jitterPhaseName(JitterPhase p)
+{
+    switch (p) {
+      case JitterPhase::PreFetch: return "pre-fetch";
+      case JitterPhase::MidBlock: return "mid-block";
+      case JitterPhase::PostCommit: return "post-commit";
+    }
+    return "?";
+}
+
+namespace
+{
+
+bool
+jitterPhaseFromName(const std::string &name, JitterPhase *out)
+{
+    for (JitterPhase p : {JitterPhase::PreFetch, JitterPhase::MidBlock,
+                          JitterPhase::PostCommit}) {
+        if (name == jitterPhaseName(p)) {
+            *out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+hexBytes(const std::vector<u8> &bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string s;
+    s.reserve(bytes.size() * 2);
+    for (u8 b : bytes) {
+        s.push_back(digits[b >> 4]);
+        s.push_back(digits[b & 15]);
+    }
+    return s;
+}
+
+bool
+bytesFromHex(const std::string &s, std::vector<u8> *out)
+{
+    if (s.size() % 2)
+        return false;
+    out->clear();
+    out->reserve(s.size() / 2);
+    for (std::size_t i = 0; i < s.size(); i += 2) {
+        unsigned v = 0;
+        for (unsigned j = 0; j < 2; ++j) {
+            const char c = s[i + j];
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v |= static_cast<unsigned>(c - 'a' + 10);
+            else
+                return false;
+        }
+        out->push_back(static_cast<u8>(v));
+    }
+    return true;
+}
+
+std::string
+hexAddr(Addr a)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  static_cast<unsigned long long>(a));
+    return buf;
+}
+
+/**
+ * Minimal scanner over a flat JSON object: locates "key": and extracts
+ * the raw value token. Total — malformed input just fails the lookup.
+ */
+class FlatJson
+{
+  public:
+    explicit FlatJson(const std::string &text) : text_(text) {}
+
+    bool
+    number(const char *key, u64 *out) const
+    {
+        std::string raw;
+        if (!rawValue(key, &raw) || raw.empty())
+            return false;
+        u64 v = 0;
+        for (char c : raw) {
+            if (c < '0' || c > '9')
+                return false;
+            if (v > (~u64{0} - static_cast<u64>(c - '0')) / 10)
+                return false; // overflow
+            v = v * 10 + static_cast<u64>(c - '0');
+        }
+        *out = v;
+        return true;
+    }
+
+    bool
+    hexNumber(const char *key, u64 *out) const
+    {
+        std::string raw;
+        if (!string(key, &raw))
+            return false;
+        if (raw.size() < 3 || raw[0] != '0' || raw[1] != 'x')
+            return false;
+        u64 v = 0;
+        for (std::size_t i = 2; i < raw.size(); ++i) {
+            const char c = raw[i];
+            unsigned d;
+            if (c >= '0' && c <= '9')
+                d = static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                d = static_cast<unsigned>(c - 'a' + 10);
+            else
+                return false;
+            if (v >> 60)
+                return false; // overflow
+            v = (v << 4) | d;
+        }
+        *out = v;
+        return true;
+    }
+
+    bool
+    boolean(const char *key, bool *out) const
+    {
+        std::string raw;
+        if (!rawValue(key, &raw))
+            return false;
+        if (raw == "true") {
+            *out = true;
+            return true;
+        }
+        if (raw == "false") {
+            *out = false;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    string(const char *key, std::string *out) const
+    {
+        std::size_t pos;
+        if (!valueStart(key, &pos))
+            return false;
+        return readString(pos, out, nullptr);
+    }
+
+    /** Array of strings; false unless the value is exactly that shape. */
+    bool
+    stringArray(const char *key, std::vector<std::string> *out) const
+    {
+        std::size_t pos;
+        if (!valueStart(key, &pos))
+            return false;
+        if (pos >= text_.size() || text_[pos] != '[')
+            return false;
+        ++pos;
+        out->clear();
+        while (true) {
+            while (pos < text_.size() && std::isspace(
+                       static_cast<unsigned char>(text_[pos])))
+                ++pos;
+            if (pos >= text_.size())
+                return false;
+            if (text_[pos] == ']')
+                return true;
+            std::string item;
+            if (!readString(pos, &item, &pos))
+                return false;
+            out->push_back(std::move(item));
+            while (pos < text_.size() && std::isspace(
+                       static_cast<unsigned char>(text_[pos])))
+                ++pos;
+            if (pos < text_.size() && text_[pos] == ',')
+                ++pos;
+        }
+    }
+
+  private:
+    /** Position just past `"key":` with whitespace skipped. */
+    bool
+    valueStart(const char *key, std::size_t *out) const
+    {
+        const std::string needle = std::string("\"") + key + "\"";
+        std::size_t pos = 0;
+        while ((pos = text_.find(needle, pos)) != std::string::npos) {
+            std::size_t p = pos + needle.size();
+            while (p < text_.size() && std::isspace(
+                       static_cast<unsigned char>(text_[p])))
+                ++p;
+            if (p < text_.size() && text_[p] == ':') {
+                ++p;
+                while (p < text_.size() && std::isspace(
+                           static_cast<unsigned char>(text_[p])))
+                    ++p;
+                *out = p;
+                return true;
+            }
+            pos += 1; // quoted occurrence inside a value: keep looking
+        }
+        return false;
+    }
+
+    /** Raw unquoted token (number / true / false). */
+    bool
+    rawValue(const char *key, std::string *out) const
+    {
+        std::size_t pos;
+        if (!valueStart(key, &pos))
+            return false;
+        std::size_t end = pos;
+        while (end < text_.size() && text_[end] != ',' &&
+               text_[end] != '}' && text_[end] != ']' &&
+               !std::isspace(static_cast<unsigned char>(text_[end])))
+            ++end;
+        if (end == pos)
+            return false;
+        *out = text_.substr(pos, end - pos);
+        return true;
+    }
+
+    /** Quoted string at @p pos (no escape support: the writer emits
+     *  none). @p end, if given, receives the position past the quote. */
+    bool
+    readString(std::size_t pos, std::string *out, std::size_t *end) const
+    {
+        if (pos >= text_.size() || text_[pos] != '"')
+            return false;
+        const std::size_t close = text_.find('"', pos + 1);
+        if (close == std::string::npos)
+            return false;
+        *out = text_.substr(pos + 1, close - pos - 1);
+        if (end)
+            *end = close + 1;
+        return true;
+    }
+
+    const std::string &text_;
+};
+
+void
+appendQuoted(std::string &out, const char *key, const std::string &value)
+{
+    out += '"';
+    out += key;
+    out += "\":\"";
+    out += value;
+    out += '"';
+}
+
+void
+appendNumber(std::string &out, const char *key, u64 value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(value));
+    out += '"';
+    out += key;
+    out += "\":";
+    out += buf;
+}
+
+} // namespace
+
+bool
+modeFromName(const std::string &name, sig::ValidationMode *out)
+{
+    for (sig::ValidationMode m :
+         {sig::ValidationMode::Full, sig::ValidationMode::Aggressive,
+          sig::ValidationMode::CfiOnly}) {
+        if (name == sig::modeName(m)) {
+            *out = m;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+planToJson(const InjectionPlan &plan)
+{
+    std::string s = "{";
+    appendNumber(s, "id", plan.id);
+    s += ',';
+    appendNumber(s, "seed", plan.seed);
+    s += ',';
+    appendQuoted(s, "class", injectionClassName(plan.klass));
+    s += ',';
+    appendQuoted(s, "workload", plan.workload);
+    s += ',';
+    appendQuoted(s, "mode", sig::modeName(plan.mode));
+    s += ',';
+    appendQuoted(s, "timing", plan.timing);
+    s += ',';
+    appendNumber(s, "fire_index", plan.fireIndex);
+    s += ',';
+    appendQuoted(s, "target", hexAddr(plan.targetAddr));
+    s += ',';
+    appendQuoted(s, "payload", hexBytes(plan.payload));
+    s += ',';
+    appendQuoted(s, "redirect", hexAddr(plan.redirectTarget));
+    s += ',';
+    appendQuoted(s, "phase", jitterPhaseName(plan.phase));
+    s += ',';
+    appendQuoted(s, "watch", hexAddr(plan.watchPc));
+    s += '}';
+    return s;
+}
+
+bool
+planFromJson(const std::string &json, InjectionPlan *out)
+{
+    const FlatJson j(json);
+    InjectionPlan p;
+    std::string klass, mode, payload, phase;
+    u64 target = 0, redirect = 0, watch = 0;
+    if (!j.number("id", &p.id) || !j.number("seed", &p.seed) ||
+        !j.string("class", &klass) ||
+        !j.string("workload", &p.workload) || !j.string("mode", &mode) ||
+        !j.string("timing", &p.timing) ||
+        !j.number("fire_index", &p.fireIndex) ||
+        !j.hexNumber("target", &target) ||
+        !j.string("payload", &payload) ||
+        !j.hexNumber("redirect", &redirect) ||
+        !j.string("phase", &phase) || !j.hexNumber("watch", &watch))
+        return false;
+    if (!injectionClassFromName(klass, &p.klass) ||
+        !modeFromName(mode, &p.mode) ||
+        !jitterPhaseFromName(phase, &p.phase) ||
+        !bytesFromHex(payload, &p.payload))
+        return false;
+    p.targetAddr = target;
+    p.redirectTarget = redirect;
+    p.watchPc = watch;
+    *out = std::move(p);
+    return true;
+}
+
+std::string
+specToJson(const CampaignSpec &spec)
+{
+    std::string s = "{";
+    appendNumber(s, "seed", spec.seed);
+    s += ',';
+    appendNumber(s, "injections", spec.injections);
+    s += ',';
+    appendNumber(s, "instr_budget", spec.instrBudget);
+    s += ',';
+    appendNumber(s, "threads", spec.threads);
+    s += ",\"disable_rev\":";
+    s += spec.disableRev ? "true" : "false";
+    auto append_list = [&s](const char *key,
+                            const std::vector<std::string> &items) {
+        s += ",\"";
+        s += key;
+        s += "\":[";
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            if (i)
+                s += ',';
+            s += '"';
+            s += items[i];
+            s += '"';
+        }
+        s += ']';
+    };
+    append_list("workloads", spec.workloads);
+    append_list("timings", spec.timings);
+    std::vector<std::string> classes;
+    for (InjectionClass c : spec.classes)
+        classes.push_back(injectionClassName(c));
+    append_list("classes", classes);
+    s += '}';
+    return s;
+}
+
+bool
+specFromJson(const std::string &json, CampaignSpec *out)
+{
+    const FlatJson j(json);
+    CampaignSpec s;
+    u64 threads = 0;
+    std::vector<std::string> classes;
+    if (!j.number("seed", &s.seed) ||
+        !j.number("injections", &s.injections) ||
+        !j.number("instr_budget", &s.instrBudget) ||
+        !j.number("threads", &threads) ||
+        !j.boolean("disable_rev", &s.disableRev) ||
+        !j.stringArray("workloads", &s.workloads) ||
+        !j.stringArray("timings", &s.timings) ||
+        !j.stringArray("classes", &classes))
+        return false;
+    if (threads > ~0u)
+        return false;
+    s.threads = static_cast<unsigned>(threads);
+    for (const std::string &name : classes) {
+        InjectionClass c;
+        if (!injectionClassFromName(name, &c))
+            return false;
+        s.classes.push_back(c);
+    }
+    *out = std::move(s);
+    return true;
+}
+
+CampaignSpec
+CampaignSpec::quick(u64 seed)
+{
+    CampaignSpec s;
+    s.seed = seed;
+    s.injections = 500;
+    s.instrBudget = 20'000;
+    return s;
+}
+
+u64
+planFingerprint(const InjectionPlan &plan)
+{
+    const std::string json = planToJson(plan);
+    u64 h = 0xcbf29ce484222325ULL;
+    for (char c : json) {
+        h ^= static_cast<u8>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace rev::redteam

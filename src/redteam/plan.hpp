@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Campaign specifications and injection plans.
+ *
+ * A campaign is described by a CampaignSpec (seed, size, axes); the
+ * engine expands it into concrete InjectionPlans — one per tampering
+ * attempt, carrying every parameter explicitly (class, workload, mode,
+ * timing variant, firing point, target address, payload bytes) so a plan
+ * serialized to JSON is a self-contained reproducer: feed it back through
+ * the oracle and the exact same simulation runs.
+ *
+ * The JSON codec here is deliberately tiny and hand-rolled (the repo has
+ * no JSON dependency): a flat object per plan, hex strings for addresses
+ * and payloads. planFromJson/specFromJson are total — arbitrary input
+ * yields false, never a crash — and round-trip losslessly (fuzzed in
+ * tests/fuzz/campaign_codec_fuzz_test.cpp).
+ */
+
+#ifndef REV_REDTEAM_PLAN_HPP
+#define REV_REDTEAM_PLAN_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sig/mode.hpp"
+
+namespace rev::redteam
+{
+
+/**
+ * The six machine-generated tampering classes of the campaign engine,
+ * plus the no-op calibration class (hook fires, writes nothing) used by
+ * the oracle tests.
+ */
+enum class InjectionClass : u8
+{
+    CodeFlip,     ///< flip bytes of an executed instruction
+    SigCorrupt,   ///< corrupt encrypted signature-table bytes in RAM
+    CfgRewire,    ///< re-encode a direct branch to a different target
+    RetSmash,     ///< overwrite the return-address slot before a RET
+    DmaWrite,     ///< DMA-style burst write over the code region
+    TimingJitter, ///< code flip fired at a jittered phase around a block
+    NoOp,         ///< fires but writes nothing (must classify Benign)
+};
+
+/** The classes a default campaign sweeps (everything but NoOp). */
+inline constexpr InjectionClass kCampaignClasses[] = {
+    InjectionClass::CodeFlip,   InjectionClass::SigCorrupt,
+    InjectionClass::CfgRewire,  InjectionClass::RetSmash,
+    InjectionClass::DmaWrite,   InjectionClass::TimingJitter,
+};
+
+const char *injectionClassName(InjectionClass c);
+
+/** Parse a class name; false on an unknown string. */
+bool injectionClassFromName(const std::string &name, InjectionClass *out);
+
+/**
+ * Firing phase of a TimingJitter injection relative to the watched
+ * block's dynamic execution: before its first instruction is fetched,
+ * somewhere mid-stream, or after its terminator committed (testing the
+ * continuous-validation claim — an already-validated block must be
+ * re-validated when it executes again).
+ */
+enum class JitterPhase : u8
+{
+    PreFetch,
+    MidBlock,
+    PostCommit,
+};
+
+const char *jitterPhaseName(JitterPhase p);
+
+/** One concrete tampering attempt. */
+struct InjectionPlan
+{
+    u64 id = 0;   ///< ordinal within the campaign
+    u64 seed = 0; ///< per-plan PRNG seed (derived from the campaign seed)
+    InjectionClass klass = InjectionClass::NoOp;
+    std::string workload; ///< campaign workload name
+    sig::ValidationMode mode = sig::ValidationMode::Full;
+    std::string timing; ///< timing-variant name
+
+    /** Committed-instruction index the injection fires at/after. */
+    u64 fireIndex = 0;
+
+    /** Absolute address tampered (0 for RetSmash: resolved from [sp]). */
+    Addr targetAddr = 0;
+
+    /** Bytes written at targetAddr (empty for RetSmash / NoOp). */
+    std::vector<u8> payload;
+
+    /** RetSmash: where the smashed return is redirected. */
+    Addr redirectTarget = 0;
+
+    /** TimingJitter: firing phase and the watched instruction. */
+    JitterPhase phase = JitterPhase::PreFetch;
+    Addr watchPc = 0;
+
+    bool operator==(const InjectionPlan &) const = default;
+};
+
+/** How to run a campaign. */
+struct CampaignSpec
+{
+    u64 seed = 1;
+    u64 injections = 500;
+    u64 instrBudget = 20'000; ///< committed instructions per run
+    unsigned threads = 0;     ///< 0 = REV_BENCH_THREADS or all cores
+
+    /**
+     * Test-only: run everything without REV attached. Divergent
+     * injections of detectable classes then surface as escapes — the
+     * oracle's own regression check.
+     */
+    bool disableRev = false;
+
+    /** Axis subsets; empty = every campaign default. */
+    std::vector<std::string> workloads;
+    std::vector<std::string> timings;
+    std::vector<InjectionClass> classes;
+
+    /** The CI / acceptance campaign: ~500 injections, small budget. */
+    static CampaignSpec quick(u64 seed);
+
+    bool operator==(const CampaignSpec &) const = default;
+};
+
+/** Parse "full" / "aggressive" / "cfi-only"; false on anything else. */
+bool modeFromName(const std::string &name, sig::ValidationMode *out);
+
+// --- JSON codec ------------------------------------------------------------
+
+std::string planToJson(const InjectionPlan &plan);
+bool planFromJson(const std::string &json, InjectionPlan *out);
+
+std::string specToJson(const CampaignSpec &spec);
+bool specFromJson(const std::string &json, CampaignSpec *out);
+
+/** FNV-1a over the canonical JSON: the stable reproducer id of a plan. */
+u64 planFingerprint(const InjectionPlan &plan);
+
+} // namespace rev::redteam
+
+#endif // REV_REDTEAM_PLAN_HPP

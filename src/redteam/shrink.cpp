@@ -1,0 +1,71 @@
+#include "redteam/shrink.hpp"
+
+#include "common/logging.hpp"
+
+namespace rev::redteam
+{
+
+ShrinkResult
+shrinkEscape(const Campaign &campaign, InjectionPlan plan,
+             unsigned max_evals)
+{
+    ShrinkResult out;
+    InjectionResult current = campaign.runPlan(plan);
+    ++out.evaluations;
+    REV_ASSERT(current.verdict == Verdict::Escape,
+               "shrinkEscape called on a plan that does not escape");
+
+    const auto try_candidate = [&](InjectionPlan candidate) {
+        if (out.evaluations >= max_evals)
+            return false;
+        const InjectionResult r = campaign.runPlan(candidate);
+        ++out.evaluations;
+        if (r.verdict != Verdict::Escape)
+            return false;
+        plan = std::move(candidate);
+        current = r;
+        return true;
+    };
+
+    // Move 1: a jittered flip is just a code flip with extra machinery;
+    // drop to the simplest phase that still escapes.
+    if (plan.klass == InjectionClass::TimingJitter &&
+        plan.phase != JitterPhase::MidBlock) {
+        InjectionPlan c = plan;
+        c.phase = JitterPhase::MidBlock;
+        c.watchPc = 0;
+        try_candidate(std::move(c));
+    }
+
+    // Move 2: halve the payload (keep the leading bytes) while the
+    // escape survives. CfgRewire payloads are a fixed-width immediate
+    // and cannot shrink.
+    if (plan.klass != InjectionClass::CfgRewire) {
+        while (plan.payload.size() > 1) {
+            InjectionPlan c = plan;
+            c.payload.resize((c.payload.size() + 1) / 2);
+            if (!try_candidate(std::move(c)))
+                break;
+        }
+    }
+
+    // Move 3: minimal firing index — binary search the earliest point
+    // in the committed stream where the escape still reproduces.
+    u64 lo = 1, hi = plan.fireIndex;
+    while (lo < hi && out.evaluations < max_evals) {
+        const u64 mid = lo + (hi - lo) / 2;
+        InjectionPlan c = plan;
+        c.fireIndex = mid;
+        if (try_candidate(std::move(c)))
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+
+    out.plan = plan;
+    out.result = current;
+    out.reproducerSeed = planFingerprint(plan);
+    return out;
+}
+
+} // namespace rev::redteam

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Escape shrinker: reduce a reported escape to a minimal reproducer.
+ *
+ * Given a plan the oracle classified as Escape, the shrinker greedily
+ * tries simplifying moves — shorter payloads, earlier firing points,
+ * simpler jitter phases — re-running the oracle after each move and
+ * keeping any candidate that still escapes. The process is deterministic
+ * (fixed move order, no randomness) and bounded, so shrinking an
+ * already-shrunk plan is a fixpoint: the minimized plan plus its
+ * planFingerprint() form the stable reproducer id filed with a bug.
+ */
+
+#ifndef REV_REDTEAM_SHRINK_HPP
+#define REV_REDTEAM_SHRINK_HPP
+
+#include "redteam/campaign.hpp"
+
+namespace rev::redteam
+{
+
+struct ShrinkResult
+{
+    InjectionPlan plan;      ///< the minimized escaping plan
+    InjectionResult result;  ///< oracle outcome of the minimized plan
+    unsigned evaluations = 0; ///< oracle runs spent shrinking
+    u64 reproducerSeed = 0;   ///< planFingerprint(plan)
+};
+
+/**
+ * Minimize @p plan, which must currently classify as Escape under
+ * @p campaign (panics otherwise — shrinking a non-escape is a harness
+ * bug). At most @p max_evals oracle runs are spent.
+ */
+ShrinkResult shrinkEscape(const Campaign &campaign, InjectionPlan plan,
+                          unsigned max_evals = 64);
+
+} // namespace rev::redteam
+
+#endif // REV_REDTEAM_SHRINK_HPP

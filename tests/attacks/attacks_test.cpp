@@ -108,6 +108,35 @@ TEST(Attacks, AllAttackClassesPresent)
     }
 }
 
+TEST(Attacks, DetectabilityMatrixIsTaxonomyDriven)
+{
+    // Pin the full class x mode detectability matrix (Sec. V.D). Only
+    // pure code substitution under CFI-only validation is blind: no
+    // basic-block hashes are kept, and the control-flow shape is intact.
+    using TC = TamperClass;
+    const ValidationMode kModes[] = {ValidationMode::Full,
+                                     ValidationMode::Aggressive,
+                                     ValidationMode::CfiOnly};
+    for (auto mode : kModes) {
+        const bool hashed = mode != ValidationMode::CfiOnly;
+        EXPECT_EQ(tamperDetectableIn(TC::CodeSubstitution, mode), hashed)
+            << sig::modeName(mode);
+        EXPECT_TRUE(tamperDetectableIn(TC::ControlFlowHijack, mode))
+            << sig::modeName(mode);
+        EXPECT_TRUE(tamperDetectableIn(TC::ForeignCode, mode))
+            << sig::modeName(mode);
+        EXPECT_TRUE(tamperDetectableIn(TC::SignatureTamper, mode))
+            << sig::modeName(mode);
+    }
+    // Every concrete attack's detectableIn() must follow its class —
+    // there is no per-attack override path.
+    for (const auto &atk : makeAllAttacks())
+        for (auto mode : kModes)
+            EXPECT_EQ(atk->detectableIn(mode),
+                      tamperDetectableIn(atk->tamperClass(), mode))
+                << atk->name() << " in " << sig::modeName(mode);
+}
+
 TEST(Attacks, OnlyDirectInjectionEvadesCfiOnly)
 {
     const auto attacks = makeAllAttacks();

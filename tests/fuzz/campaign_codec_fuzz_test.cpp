@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Campaign-spec codec fuzzing: the JSON codec of redteam injection plans
+ * and campaign specs must be lossless on everything the engine can
+ * generate (seed -> plan -> JSON -> plan round-trips exactly) and total
+ * on arbitrary input (malformed JSON returns false, never crashes).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.hpp"
+#include "redteam/plan.hpp"
+
+namespace rev::redteam
+{
+namespace
+{
+
+const char kNameAlphabet[] =
+    "abcdefghijklmnopqrstuvwxyz0123456789-_.";
+
+std::string
+randomName(Rng &rng)
+{
+    std::string s;
+    const u64 len = rng.range(1, 12);
+    for (u64 i = 0; i < len; ++i)
+        s.push_back(kNameAlphabet[rng.below(sizeof(kNameAlphabet) - 1)]);
+    return s;
+}
+
+/** Any address the generator can emit; capped below the codec's 2^60
+ *  hex overflow guard (campaign addresses are far smaller). */
+Addr
+randomAddr(Rng &rng)
+{
+    return rng.next() >> 4;
+}
+
+InjectionPlan
+randomPlan(Rng &rng)
+{
+    InjectionPlan p;
+    p.id = rng.next();
+    p.seed = rng.next();
+    p.klass = static_cast<InjectionClass>(rng.below(7));
+    p.workload = randomName(rng);
+    p.mode = static_cast<sig::ValidationMode>(rng.below(3));
+    p.timing = randomName(rng);
+    p.fireIndex = rng.next();
+    p.targetAddr = randomAddr(rng);
+    const u64 n = rng.below(64);
+    p.payload.resize(n);
+    for (u8 &b : p.payload)
+        b = static_cast<u8>(rng.next());
+    p.redirectTarget = randomAddr(rng);
+    p.phase = static_cast<JitterPhase>(rng.below(3));
+    p.watchPc = randomAddr(rng);
+    return p;
+}
+
+CampaignSpec
+randomSpec(Rng &rng)
+{
+    CampaignSpec s;
+    s.seed = rng.next();
+    s.injections = rng.next();
+    s.instrBudget = rng.next();
+    s.threads = static_cast<unsigned>(rng.below(64));
+    s.disableRev = rng.chance(0.5);
+    for (u64 i = rng.below(4); i-- > 0;)
+        s.workloads.push_back(randomName(rng));
+    for (u64 i = rng.below(4); i-- > 0;)
+        s.timings.push_back(randomName(rng));
+    for (u64 i = rng.below(8); i-- > 0;)
+        s.classes.push_back(static_cast<InjectionClass>(rng.below(7)));
+    return s;
+}
+
+class CampaignCodecFuzz : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(CampaignCodecFuzz, PlanRoundTripsLosslessly)
+{
+    Rng rng(GetParam());
+    for (int t = 0; t < 2'000; ++t) {
+        const InjectionPlan plan = randomPlan(rng);
+        const std::string json = planToJson(plan);
+        InjectionPlan back;
+        ASSERT_TRUE(planFromJson(json, &back)) << json;
+        ASSERT_EQ(plan, back) << json;
+        // The fingerprint is a pure function of the canonical JSON.
+        ASSERT_EQ(planFingerprint(plan), planFingerprint(back));
+    }
+}
+
+TEST_P(CampaignCodecFuzz, SpecRoundTripsLosslessly)
+{
+    Rng rng(GetParam());
+    for (int t = 0; t < 2'000; ++t) {
+        const CampaignSpec spec = randomSpec(rng);
+        const std::string json = specToJson(spec);
+        CampaignSpec back;
+        ASSERT_TRUE(specFromJson(json, &back)) << json;
+        ASSERT_EQ(spec, back) << json;
+    }
+}
+
+TEST_P(CampaignCodecFuzz, DecoderIsTotalOnMutatedInput)
+{
+    Rng rng(GetParam());
+    for (int t = 0; t < 2'000; ++t) {
+        std::string json = rng.chance(0.5)
+                               ? planToJson(randomPlan(rng))
+                               : specToJson(randomSpec(rng));
+        switch (rng.below(3)) {
+          case 0: // truncate
+            json.resize(rng.below(json.size() + 1));
+            break;
+          case 1: // corrupt bytes in place
+            for (u64 i = rng.range(1, 8); i-- > 0 && !json.empty();)
+                json[rng.below(json.size())] =
+                    static_cast<char>(rng.next());
+            break;
+          case 2: // splice two documents
+            json += json.substr(rng.below(json.size() + 1));
+            break;
+        }
+        // Must never crash; success is allowed (mutations can be
+        // harmless), the parse result just has to be self-consistent.
+        InjectionPlan plan;
+        if (planFromJson(json, &plan)) {
+            InjectionPlan again;
+            ASSERT_TRUE(planFromJson(planToJson(plan), &again));
+            ASSERT_EQ(plan, again);
+        }
+        CampaignSpec spec;
+        if (specFromJson(json, &spec)) {
+            CampaignSpec again;
+            ASSERT_TRUE(specFromJson(specToJson(spec), &again));
+            ASSERT_EQ(spec, again);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CampaignCodecFuzz,
+                         ::testing::Values(1, 2, 3, 4));
+
+} // namespace
+} // namespace rev::redteam

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Campaign engine and differential-oracle tests.
+ *
+ * The fixture builds one shared Campaign (contexts, signature-store
+ * prototypes, goldens) and runs one shared detection matrix; individual
+ * tests assert oracle classifications on it and on hand-crafted plans.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "redteam/campaign.hpp"
+#include "redteam/shrink.hpp"
+
+namespace rev::redteam
+{
+namespace
+{
+
+CampaignSpec
+testSpec()
+{
+    CampaignSpec spec;
+    spec.seed = 1;
+    spec.injections = 180;
+    spec.instrBudget = 12'000;
+    return spec;
+}
+
+class CampaignTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        campaign_ = new Campaign(testSpec());
+        matrix_ = new DetectionMatrix(campaign_->run());
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete matrix_;
+        matrix_ = nullptr;
+        delete campaign_;
+        campaign_ = nullptr;
+    }
+
+    static const CellStats &
+    cell(const char *klass, const char *mode)
+    {
+        return matrix_->cells.at({klass, mode});
+    }
+
+    static Campaign *campaign_;
+    static DetectionMatrix *matrix_;
+};
+
+Campaign *CampaignTest::campaign_ = nullptr;
+DetectionMatrix *CampaignTest::matrix_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Aggregate matrix properties
+// ---------------------------------------------------------------------------
+
+TEST_F(CampaignTest, NoEscapesAndFullCellCoverage)
+{
+    EXPECT_EQ(matrix_->total.escapes, 0u) << matrixToJson(*matrix_);
+    EXPECT_TRUE(matrix_->coversAllCells());
+    EXPECT_EQ(matrix_->cells.size(), 6u * 3u); // classes x modes
+    EXPECT_EQ(matrix_->total.injections, testSpec().injections);
+    EXPECT_EQ(matrix_->total.offMechanism, 0u)
+        << "a detection fired outside its taxonomy-predicted mechanisms";
+}
+
+TEST_F(CampaignTest, Table1StyleAttacksAreDetected)
+{
+    // RetSmash is the machine-generated ReturnOriented (Table 1); the
+    // delayed-predecessor / explicit-target return validation catches it
+    // in every mode.
+    for (const char *mode : {"full", "aggressive", "cfi-only"}) {
+        const CellStats &c = cell("ret-smash", mode);
+        EXPECT_GT(c.detected, 0u) << mode;
+        EXPECT_EQ(c.escapes, 0u) << mode;
+    }
+    // Rewiring a signed direct branch is DirectCodeInjection's
+    // machine-generated cousin: hash-validated modes must catch it.
+    EXPECT_GT(cell("cfg-rewire", "full").detected, 0u);
+    EXPECT_GT(cell("cfg-rewire", "aggressive").detected, 0u);
+}
+
+TEST_F(CampaignTest, BlindVerdictsOnlyWhereTaxonomyPredictsThem)
+{
+    // Silent divergence is only acceptable for code substitution under
+    // CFI-only validation; everywhere else it would have been an escape.
+    for (const auto &[key, c] : matrix_->cells) {
+        if (key.second == "cfi-only")
+            continue;
+        EXPECT_EQ(c.blind, 0u) << key.first << "/" << key.second;
+    }
+    EXPECT_EQ(cell("ret-smash", "cfi-only").blind, 0u);
+    EXPECT_EQ(cell("sig-corrupt", "cfi-only").blind, 0u);
+}
+
+TEST_F(CampaignTest, DetectionLatencyIsMeasured)
+{
+    ASSERT_GT(matrix_->total.detected, 0u);
+    EXPECT_GT(matrix_->total.latencySum, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Single-plan oracle classifications
+// ---------------------------------------------------------------------------
+
+TEST_F(CampaignTest, NoOpInjectionClassifiesBenign)
+{
+    InjectionPlan plan;
+    plan.klass = InjectionClass::NoOp;
+    plan.workload = "rt-mix";
+    plan.mode = sig::ValidationMode::Full;
+    plan.timing = "sc32";
+    plan.fireIndex = 100;
+    const InjectionResult r = campaign_->runPlan(plan);
+    EXPECT_TRUE(r.fired);
+    EXPECT_EQ(r.verdict, Verdict::Benign) << r.reason;
+}
+
+TEST_F(CampaignTest, ReturnSmashClassifiesDetectedWithReturnMechanism)
+{
+    const WorkloadContext &ctx = campaign_->context("rt-mix");
+    ASSERT_FALSE(ctx.retRedirects.empty());
+    InjectionPlan plan;
+    plan.klass = InjectionClass::RetSmash;
+    plan.workload = "rt-mix";
+    plan.mode = sig::ValidationMode::Full;
+    plan.timing = "sc32";
+    plan.fireIndex = 100;
+    plan.redirectTarget = ctx.retRedirects.front();
+    const InjectionResult r = campaign_->runPlan(plan);
+    ASSERT_EQ(r.verdict, Verdict::Detected) << r.reason;
+    EXPECT_TRUE(r.fired);
+    EXPECT_TRUE(r.mechanismMatch) << r.reason;
+    EXPECT_GT(r.latencyCycles, 0u);
+}
+
+TEST_F(CampaignTest, UnfiredInjectionClassifiesBenign)
+{
+    // Firing condition past the instruction budget: nothing happens and
+    // the oracle must prove it (stats + memory bit-compare).
+    const WorkloadContext &ctx = campaign_->context("rt-mix");
+    InjectionPlan plan;
+    plan.klass = InjectionClass::RetSmash;
+    plan.workload = "rt-mix";
+    plan.mode = sig::ValidationMode::Aggressive;
+    plan.timing = "sc8";
+    plan.fireIndex = testSpec().instrBudget + 1;
+    plan.redirectTarget = ctx.retRedirects.front();
+    const InjectionResult r = campaign_->runPlan(plan);
+    EXPECT_FALSE(r.fired);
+    EXPECT_EQ(r.verdict, Verdict::Benign) << r.reason;
+}
+
+// ---------------------------------------------------------------------------
+// Disabled-REV: the oracle's own regression check
+// ---------------------------------------------------------------------------
+
+TEST(CampaignDisabledRev, DivergentInjectionsSurfaceAsEscapes)
+{
+    CampaignSpec spec;
+    spec.seed = 1;
+    spec.injections = 60;
+    spec.instrBudget = 6'000;
+    spec.disableRev = true;
+    spec.workloads = {"rt-mix"};
+    Campaign campaign(spec);
+    const DetectionMatrix m = campaign.run();
+    EXPECT_FALSE(m.revEnabled);
+    EXPECT_EQ(m.total.detected, 0u);
+    EXPECT_EQ(m.total.blind, 0u) << "without REV nothing may be excused";
+    EXPECT_GT(m.total.escapes, 0u)
+        << "divergent tampering with REV disabled must escape";
+    for (const EscapeRecord &e : m.escapes)
+        EXPECT_NE(e.fingerprint, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Shrinker
+// ---------------------------------------------------------------------------
+
+TEST(Shrinker, ConvergesToAStableMinimalReproducer)
+{
+    CampaignSpec spec;
+    spec.seed = 1;
+    spec.injections = 60;
+    spec.instrBudget = 6'000;
+    spec.disableRev = true;
+    spec.workloads = {"rt-mix"};
+    Campaign campaign(spec);
+    const DetectionMatrix m = campaign.run();
+    ASSERT_FALSE(m.escapes.empty());
+
+    const ShrinkResult once = shrinkEscape(campaign, m.escapes[0].plan, 256);
+    EXPECT_EQ(once.result.verdict, Verdict::Escape);
+    EXPECT_LE(once.plan.fireIndex, m.escapes[0].plan.fireIndex);
+    EXPECT_EQ(once.reproducerSeed, planFingerprint(once.plan));
+
+    // Shrinking the minimized plan again must be a fixpoint: same plan,
+    // same reproducer seed.
+    const ShrinkResult twice = shrinkEscape(campaign, once.plan, 256);
+    EXPECT_EQ(twice.plan, once.plan);
+    EXPECT_EQ(twice.reproducerSeed, once.reproducerSeed);
+}
+
+// ---------------------------------------------------------------------------
+// Replay-vs-direct differential regression
+// ---------------------------------------------------------------------------
+
+TEST(ReplayDifferential, DetectionMatricesAreBitIdentical)
+{
+    CampaignSpec spec;
+    spec.seed = 7;
+    spec.injections = 72;
+    spec.instrBudget = 6'000;
+
+    ::setenv("REV_TRACE_REPLAY", "1", 1);
+    std::string with_replay;
+    {
+        Campaign campaign(spec);
+        with_replay = matrixToJson(campaign.run());
+    }
+    ::setenv("REV_TRACE_REPLAY", "0", 1);
+    std::string direct;
+    {
+        Campaign campaign(spec);
+        direct = matrixToJson(campaign.run());
+    }
+    ::unsetenv("REV_TRACE_REPLAY");
+    EXPECT_EQ(with_replay, direct);
+}
+
+} // namespace
+} // namespace rev::redteam

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * revredteam — adversarial campaign CLI.
+ *
+ * Expands a seeded CampaignSpec into stratified tamper injections, runs
+ * them through the differential detection oracle (src/redteam), and
+ * writes the detection matrix as JSON. Exit status encodes the verdict:
+ * 0 = no escapes, 1 = at least one escape (each printed with its
+ * reproducer fingerprint, minimized first when --shrink is given),
+ * 2 = usage error.
+ *
+ * Usage:
+ *   revredteam [--seed N] [--quick] [--injections N] [--budget N]
+ *              [--threads N] [--workloads a,b] [--out FILE]
+ *              [--shrink] [--disable-rev]
+ *
+ *   --quick        the CI / acceptance campaign (500 injections)
+ *   --out          detection-matrix JSON path (default: stdout)
+ *   --shrink       minimize each escape to a reproducer plan
+ *   --disable-rev  run without REV attached (oracle self-test: divergent
+ *                  injections of detectable classes must surface as
+ *                  escapes)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "common/logging.hpp"
+#include "redteam/campaign.hpp"
+#include "redteam/shrink.hpp"
+
+namespace
+{
+
+using namespace rev;
+using namespace rev::redteam;
+
+struct Args
+{
+    CampaignSpec spec;
+    std::string outPath; ///< empty = stdout
+    bool shrink = false;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf(
+        "usage: revredteam [--seed N] [--quick] [--injections N]\n"
+        "                  [--budget N] [--threads N] [--workloads a,b]\n"
+        "                  [--out FILE] [--shrink] [--disable-rev]\n");
+    std::exit(code);
+}
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    args.spec = CampaignSpec::quick(1);
+    auto next = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(2);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--seed") {
+            args.spec.seed = std::strtoull(next(i), nullptr, 0);
+        } else if (arg == "--quick") {
+            args.spec = CampaignSpec::quick(args.spec.seed);
+        } else if (arg == "--injections") {
+            args.spec.injections = std::strtoull(next(i), nullptr, 0);
+        } else if (arg == "--budget") {
+            args.spec.instrBudget = std::strtoull(next(i), nullptr, 0);
+        } else if (arg == "--threads") {
+            args.spec.threads =
+                static_cast<unsigned>(std::strtoul(next(i), nullptr, 0));
+        } else if (arg == "--workloads") {
+            args.spec.workloads.clear();
+            std::string names = next(i);
+            std::size_t pos = 0;
+            while (pos != std::string::npos) {
+                const std::size_t comma = names.find(',', pos);
+                args.spec.workloads.push_back(
+                    names.substr(pos, comma - pos));
+                pos = comma == std::string::npos ? comma : comma + 1;
+            }
+        } else if (arg == "--out") {
+            args.outPath = next(i);
+        } else if (arg == "--shrink") {
+            args.shrink = true;
+        } else if (arg == "--disable-rev") {
+            args.spec.disableRev = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            usage(2);
+        }
+    }
+    return args;
+}
+
+void
+printSummary(const DetectionMatrix &m)
+{
+    std::fprintf(stderr,
+                 "campaign seed %llu: %llu injections, rev %s\n",
+                 static_cast<unsigned long long>(m.seed),
+                 static_cast<unsigned long long>(m.injections),
+                 m.revEnabled ? "on" : "off");
+    std::fprintf(stderr, "%-14s %-10s %9s %9s %7s %7s %6s %8s\n", "class",
+                 "mode", "injected", "detected", "crashed", "benign",
+                 "blind", "escapes");
+    for (const auto &[key, c] : m.cells)
+        std::fprintf(stderr,
+                     "%-14s %-10s %9llu %9llu %7llu %7llu %6llu %8llu\n",
+                     key.first.c_str(), key.second.c_str(),
+                     static_cast<unsigned long long>(c.injections),
+                     static_cast<unsigned long long>(c.detected),
+                     static_cast<unsigned long long>(c.crashed),
+                     static_cast<unsigned long long>(c.benign),
+                     static_cast<unsigned long long>(c.blind),
+                     static_cast<unsigned long long>(c.escapes));
+    const CellStats &t = m.total;
+    std::fprintf(stderr,
+                 "total: %llu detected, %llu crashed, %llu benign, "
+                 "%llu blind, %llu escapes (%llu unfired, "
+                 "%llu off-mechanism)\n",
+                 static_cast<unsigned long long>(t.detected),
+                 static_cast<unsigned long long>(t.crashed),
+                 static_cast<unsigned long long>(t.benign),
+                 static_cast<unsigned long long>(t.blind),
+                 static_cast<unsigned long long>(t.escapes),
+                 static_cast<unsigned long long>(t.unfired),
+                 static_cast<unsigned long long>(t.offMechanism));
+    if (t.detected) {
+        std::fprintf(stderr, "mean detection latency: %.1f cycles\n",
+                     static_cast<double>(t.latencySum) /
+                         static_cast<double>(t.detected));
+    }
+    if (!m.coversAllCells())
+        std::fprintf(stderr,
+                     "warning: some (class, mode) cells received no "
+                     "injections; raise --injections\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args args = parseArgs(argc, argv);
+    try {
+        Campaign campaign(args.spec);
+        DetectionMatrix matrix = campaign.run();
+
+        if (args.shrink && !matrix.escapes.empty()) {
+            for (EscapeRecord &e : matrix.escapes) {
+                const ShrinkResult s = shrinkEscape(campaign, e.plan);
+                e.plan = s.plan;
+                e.result = s.result;
+                e.fingerprint = s.reproducerSeed;
+            }
+        }
+
+        const std::string json = matrixToJson(matrix);
+        if (args.outPath.empty()) {
+            std::printf("%s\n", json.c_str());
+        } else {
+            std::ofstream os(args.outPath);
+            if (!os) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             args.outPath.c_str());
+                return 2;
+            }
+            os << json << "\n";
+        }
+        printSummary(matrix);
+
+        for (const EscapeRecord &e : matrix.escapes)
+            std::fprintf(stderr, "escape fp=0x%llx (%s): %s\n",
+                         static_cast<unsigned long long>(e.fingerprint),
+                         e.result.reason.empty() ? "silent divergence"
+                                                 : e.result.reason.c_str(),
+                         planToJson(e.plan).c_str());
+        // With REV disabled, escapes are the oracle working as intended.
+        if (args.spec.disableRev)
+            return 0;
+        return matrix.escapes.empty() ? 0 : 1;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+}
