@@ -40,7 +40,7 @@ main()
 
         core::SimConfig shadow;
         shadow.core.maxInstrs = kBudget;
-        shadow.rev.returnValidation = core::ReturnValidation::ShadowStack;
+        shadow.rev.returnValidation = validate::ReturnValidation::ShadowStack;
         const auto rs = core::Simulator(program, shadow).run();
 
         std::printf("%-10s %12.2f %12.2f %10llu %10llu\n", name,

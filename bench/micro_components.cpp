@@ -50,7 +50,7 @@ BENCHMARK(BM_AesCtr)->Arg(16)->Arg(4096);
 void
 BM_ScProbe(benchmark::State &state)
 {
-    core::SignatureCache sc;
+    validate::SignatureCache sc;
     Rng rng(1);
     for (int i = 0; i < 2048; ++i)
         sc.insert(0x10000 + rng.below(1 << 20), 0x10000);

@@ -82,7 +82,8 @@ sweepOptionsFromArgs(int argc, char **argv)
     auto usage = [&](int code) {
         std::printf(
             "usage: %s [--quick] [--no-cache] [--threads N] [--instrs N]\n"
-            "          [--bench a,b,c] [--cache PATH]\n",
+            "          [--bench a,b,c] [--cache PATH] [--backend NAME]\n"
+            "          [--list-backends]\n",
             argc > 0 ? argv[0] : "bench");
         std::exit(code);
     };
@@ -116,6 +117,17 @@ sweepOptionsFromArgs(int argc, char **argv)
                     opts.benchmarks.push_back(name);
         } else if (arg == "--cache") {
             opts.cachePath = next();
+        } else if (arg == "--backend") {
+            const char *name = next();
+            if (!validate::backendFromName(name, &opts.backend)) {
+                std::fprintf(stderr, "unknown backend '%s'\n", name);
+                usage(2);
+            }
+        } else if (arg == "--list-backends") {
+            for (const validate::BackendInfo &b :
+                 validate::ValidatorRegistry::instance().list())
+                std::printf("%-8s %s\n", b.name, b.summary);
+            std::exit(0);
         } else if (arg == "--help" || arg == "-h") {
             usage(0);
         } else {

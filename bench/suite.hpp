@@ -140,6 +140,13 @@ struct SweepOptions
     /** Per-job progress lines on stderr. */
     bool progress = true;
 
+    /**
+     * Validation backend applied to every with-validation config of the
+     * sweep (the Base config always runs without one). Part of the
+     * cache key, so switching backends never mixes cached numbers.
+     */
+    validate::Backend backend = validate::Backend::Rev;
+
     /** Three benchmarks at a small budget, no cache (tests / CI smoke). */
     static SweepOptions quick();
 };
@@ -160,6 +167,8 @@ Sweep runSweep(const SweepOptions &opts = {});
  *   --instrs N         per-run committed-instruction budget
  *   --bench a,b,c      benchmark subset
  *   --cache PATH       cache file location
+ *   --backend NAME     validation backend (rev, lofat, null)
+ *   --list-backends    print the registered backends and exit
  *
  * Prints usage and exits on --help or an unknown flag.
  */

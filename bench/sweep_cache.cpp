@@ -15,7 +15,7 @@ namespace
 
 /** Bump whenever the file format or the describe*() vocabulary changes. */
 constexpr const char *kCacheMagic = "revcache";
-constexpr int kCacheVersion = 6;
+constexpr int kCacheVersion = 7;
 
 /** Doubles must round-trip exactly for cache hits to be bit-identical. */
 std::ostream &
@@ -90,7 +90,7 @@ describeSimConfig(const core::SimConfig &cfg)
        << " dmaIntervalCycles=" << m.dmaIntervalCycles
        << " dmaBufferBase=" << m.dmaBufferBase;
 
-    const core::RevConfig &r = cfg.rev;
+    const validate::RevConfig &r = cfg.rev;
     os << " scSizeBytes=" << r.sc.sizeBytes << " scAssoc=" << r.sc.assoc
        << " scEntryBytes=" << r.sc.entryBytes
        << " chgLatency=" << r.chg.latency
@@ -103,7 +103,15 @@ describeSimConfig(const core::SimConfig &cfg)
        << " shadowStackEntries=" << r.shadowStackEntries
        << " shadowSpillPenalty=" << r.shadowSpillPenalty;
 
-    os << " mode=" << static_cast<int>(cfg.mode)
+    const validate::LoFatConfig &lf = cfg.lofat;
+    os << " lofatBufferEntries=" << lf.bufferEntries
+       << " lofatEntryBytes=" << lf.entryBytes
+       << " lofatChgLatency=" << lf.chg.latency
+       << " lofatChgHashRounds=" << lf.chg.hashRounds
+       << " lofatStartEnabled=" << lf.startEnabled;
+
+    os << " backend=" << static_cast<int>(cfg.backend)
+       << " mode=" << static_cast<int>(cfg.mode)
        << " withRev=" << cfg.withRev
        << " pageShadowing=" << cfg.pageShadowing
        << " cpuSeed=" << cfg.cpuSeed

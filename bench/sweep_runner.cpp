@@ -151,11 +151,11 @@ simulateJob(const prog::Program &program, const Job &job,
     r.mispredicts = res.run.mispredicts;
     r.scCompleteMisses = res.rev.scCompleteMisses;
     r.scPartialMisses = res.rev.scPartialMisses;
-    r.commitStallCycles = res.rev.commitStallCycles;
+    r.commitStallCycles = res.validation.commitStallCycles;
     r.scFillAccesses = res.scFillAccesses;
     r.scFillL1Misses = res.scFillL1Misses;
     r.scFillL2Misses = res.scFillL2Misses;
-    r.violations = res.rev.violations;
+    r.violations = res.validation.violations;
     out.sigTableBytes = res.sigTableBytes;
     return out;
 }
@@ -232,6 +232,8 @@ SweepRunner::run()
             job.benchIdx = benchIdx;
             job.config = c;
             job.cfg = sweepSimConfig(c, opts_.instrBudget);
+            if (job.cfg.withRev)
+                job.cfg.backend = opts_.backend;
             job.key = runCacheKey(plan->profile, job.cfg);
             if (const CachedRun *hit =
                     cache.findRun(plan->profile.name, c, job.key)) {

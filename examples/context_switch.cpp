@@ -26,7 +26,7 @@ struct ProcessContext
 {
     std::array<u64, isa::kNumArchRegs> regs{};
     Addr pc = 0;
-    core::RevEngine::ThreadState rev;
+    validate::RevValidator::ThreadState rev;
 };
 
 void

@@ -35,7 +35,7 @@ main()
     std::printf("%6s %10s %10s %10s %6s %8s %7s  %s\n", "cycle", "bb#",
                 "start", "term", "hash", "source", "stall", "verdict");
     sim.engine()->setTraceCallback(
-        [](const core::RevEngine::ValidationEvent &ev) {
+        [](const validate::RevValidator::ValidationEvent &ev) {
             std::printf("%6llu %10llu   0x%06llx   0x%06llx  %04x %8s %7llu  %s%s\n",
                         static_cast<unsigned long long>(ev.commitCycle),
                         static_cast<unsigned long long>(ev.bbSeq),

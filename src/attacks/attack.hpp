@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/simulator.hpp"
+#include "validate/coverage.hpp"
 
 namespace rev::attacks
 {
@@ -24,28 +25,23 @@ namespace rev::attacks
 /**
  * Tampering taxonomy (Sec. V.D / Table 1). Every concrete attack — and
  * every machine-generated injection in src/redteam — belongs to one of
- * these classes, and per-mode detectability is a property of the class,
- * not of the individual attack binary.
+ * these classes, and per-(backend, mode) detectability is a property of
+ * the class, not of the individual attack binary. The taxonomy and the
+ * per-backend claimed-coverage matrix live in validate/coverage.hpp.
  */
-enum class TamperClass : u8
-{
-    CodeSubstitution,  ///< code bytes rewritten in place, CF shape intact
-    ControlFlowHijack, ///< control redirected through signed code
-    ForeignCode,       ///< executes code with no reference signatures
-    SignatureTamper,   ///< the encrypted reference tables are corrupted
-};
-
-/** Short stable name, e.g. "code-substitution". */
-const char *tamperClassName(TamperClass c);
+using validate::TamperClass;
+using validate::tamperClassName;
 
 /**
- * Whether tampering of class @p c is detectable under @p mode. CFI-only
- * validation keeps no basic-block hashes, so pure code substitution that
- * leaves the control-flow shape intact is invisible to it (Sec. V.D);
- * every other class perturbs either the control-flow path or the
- * signature fetch itself and is caught in all modes.
+ * Whether tampering of class @p c is detectable by the REV backend under
+ * @p mode (the historical single-backend question; the general form is
+ * validate::backendClaims).
  */
-bool tamperDetectableIn(TamperClass c, sig::ValidationMode mode);
+inline bool
+tamperDetectableIn(TamperClass c, sig::ValidationMode mode)
+{
+    return validate::backendClaims(validate::Backend::Rev, c, mode);
+}
 
 /** Result of one attack run. */
 struct AttackOutcome
@@ -77,14 +73,16 @@ class Attack
     virtual TamperClass tamperClass() const = 0;
 
     /**
-     * Whether this attack is detectable in @p mode. Derived from the
-     * taxonomy — per-attack overrides are deliberately impossible, so
-     * expectations in the table/bench binaries always match the class.
+     * Whether this attack is detectable by @p backend in @p mode.
+     * Derived from the taxonomy's claimed-coverage matrix — per-attack
+     * overrides are deliberately impossible, so expectations in the
+     * table/bench binaries always match the class.
      */
     bool
-    detectableIn(sig::ValidationMode mode) const
+    detectableIn(sig::ValidationMode mode,
+                 validate::Backend backend = validate::Backend::Rev) const
     {
-        return tamperDetectableIn(tamperClass(), mode);
+        return validate::backendClaims(backend, tamperClass(), mode);
     }
 
     /** Build the victim, arm the tamper hook, run, and report. */

@@ -26,30 +26,6 @@ using sig::ValidationMode;
 /** The memory location the attacker tries to taint. */
 inline constexpr Addr kSecretAddr = prog::kHeapBase + 0x800;
 
-const char *
-tamperClassName(TamperClass c)
-{
-    switch (c) {
-      case TamperClass::CodeSubstitution: return "code-substitution";
-      case TamperClass::ControlFlowHijack: return "control-flow-hijack";
-      case TamperClass::ForeignCode: return "foreign-code";
-      case TamperClass::SignatureTamper: return "signature-tamper";
-    }
-    return "?";
-}
-
-bool
-tamperDetectableIn(TamperClass c, ValidationMode mode)
-{
-    // CFI-only validation keeps no hashes: substituted bytes behind an
-    // unchanged control-flow shape pass unseen (Sec. V.D). Hijacked
-    // control flow, unsigned code, and corrupted signature fetches are
-    // visible to every mode.
-    if (c == TamperClass::CodeSubstitution)
-        return mode != ValidationMode::CfiOnly;
-    return true;
-}
-
 AttackOutcome
 Attack::execute(const core::SimConfig &cfg)
 {

@@ -9,8 +9,7 @@ void
 tamperCode(core::Simulator &sim, Addr addr, const u8 *data, std::size_t len)
 {
     sim.memory().writeBytes(addr, data, len);
-    if (sim.engine())
-        sim.engine()->invalidateCodeCache();
+    sim.validator()->invalidateCodeCache();
 }
 
 void

@@ -5,15 +5,24 @@
 namespace rev::core
 {
 
+using validate::Backend;
+
 Simulator::Simulator(const prog::Program &program, const SimConfig &cfg)
     : program_(program), cfg_(cfg), memsys_(cfg.mem), vault_(cfg.cpuSeed)
 {
     program_.loadInto(mem_);
-    if (cfg_.withRev) {
+
+    const Backend backend = cfg_.effectiveBackend();
+    const validate::BackendInfo *info =
+        validate::ValidatorRegistry::instance().find(backend);
+    REV_ASSERT(info, "unregistered validation backend");
+
+    if (info->needsTables) {
         // CFI-only SC entries hold no hash and no predecessor (Sec. V.D):
         // the same SRAM budget holds twice as many entries.
-        if (cfg_.mode == sig::ValidationMode::CfiOnly &&
-            cfg_.rev.sc.entryBytes == ScConfig{}.entryBytes) {
+        if (backend == Backend::Rev &&
+            cfg_.mode == sig::ValidationMode::CfiOnly &&
+            cfg_.rev.sc.entryBytes == validate::ScConfig{}.entryBytes) {
             cfg_.rev.sc.entryBytes = 8;
         }
         // Split limits of the toolchain and the front end must agree.
@@ -32,11 +41,25 @@ Simulator::Simulator(const prog::Program &program, const SimConfig &cfg)
                 cfg_.rev.chg.hashRounds);
         }
         store_->loadInto(mem_);
-        engine_ = std::make_unique<RevEngine>(*store_, vault_, mem_,
-                                              memsys_, cfg_.rev);
     }
-    core_ = std::make_unique<cpu::Core>(program_, mem_, memsys_,
-                                        cfg_.core, engine_.get());
+
+    validate::BackendContext ctx;
+    ctx.store = store_.get();
+    ctx.vault = &vault_;
+    ctx.mem = &mem_;
+    ctx.memsys = &memsys_;
+    ctx.rev = cfg_.rev;
+    ctx.lofat = cfg_.lofat;
+    validator_ =
+        validate::ValidatorRegistry::instance().create(backend, ctx);
+    if (validator_->kind() == Backend::Rev)
+        revEngine_ = static_cast<validate::RevValidator *>(validator_.get());
+    else if (validator_->kind() == Backend::LoFat)
+        lofatEngine_ =
+            static_cast<validate::LoFatValidator *>(validator_.get());
+
+    core_ = std::make_unique<cpu::Core>(program_, mem_, memsys_, cfg_.core,
+                                        validator_.get());
     if (cfg_.pageShadowing)
         pristine_ = mem_.clone();
 
@@ -86,8 +109,7 @@ Simulator::reloadProgram()
         store_->rebuild(program_);
         store_->loadInto(mem_);
     }
-    if (engine_)
-        engine_->refreshTables();
+    validator_->refreshTables();
     if (cfg_.pageShadowing)
         pristine_ = mem_.clone();
 }
@@ -99,22 +121,10 @@ Simulator::stats() const
     stats::StatGroup group("sim");
     memsys_.addStats(group);
     core_->predictor().addStats(group);
-    if (engine_)
-        engine_->addStats(group);
+    validator_->addStats(group);
     group.snapshot(set);
 
-    if (engine_) {
-        const RevStats &rs = engine_->stats();
-        set.add("sim.rev.bb_validated", rs.bbValidated);
-        set.add("sim.rev.sc_complete_misses", rs.scCompleteMisses);
-        set.add("sim.rev.sc_partial_misses", rs.scPartialMisses);
-        set.add("sim.rev.table_walk_reads", rs.tableWalkReads);
-        set.add("sim.rev.violations", rs.violations);
-        set.add("sim.rev.sag_exceptions", rs.sagExceptions);
-        set.add("sim.rev.commit_stall_cycles", rs.commitStallCycles);
-        set.add("sim.rev.shadow_spills", rs.shadowSpills);
-        set.add("sim.rev.shadow_refills", rs.shadowRefills);
-    }
+    validator_->snapshotStats(set, "sim");
     return set;
 }
 
@@ -128,8 +138,7 @@ void
 Simulator::resetStats()
 {
     memsys_.resetStats();
-    if (engine_)
-        engine_->resetStats();
+    validator_->resetStats();
 }
 
 SimResult
@@ -142,10 +151,13 @@ Simulator::run()
             cfg_.traceRecorder->markViolation();
         cfg_.traceRecorder->finish(core_->machine());
     }
-    if (engine_) {
-        res.rev = engine_->stats();
+    res.validation = validator_->commonStats();
+    if (revEngine_)
+        res.rev = revEngine_->stats();
+    if (lofatEngine_)
+        res.lofat = lofatEngine_->stats();
+    if (store_)
         res.sigTableBytes = store_->totalTableBytes();
-    }
     res.scFillAccesses = memsys_.accesses(mem::AccessType::ScFill);
     res.scFillL1Misses = memsys_.l1Misses(mem::AccessType::ScFill);
     res.scFillL2Misses = memsys_.l2Misses(mem::AccessType::ScFill);

@@ -1,14 +1,15 @@
 /**
  * @file
  * Top-level simulation harness: wires a Program, its signature tables,
- * the functional memory, the memory hierarchy, the OoO core, and the REV
- * engine together. This is the primary entry point of the library.
+ * the functional memory, the memory hierarchy, the OoO core, and the
+ * selected validation backend together. This is the primary entry point
+ * of the library.
  *
  * Typical use:
  *
  *   prog::Program p = ...;             // build or generate a program
  *   core::SimConfig cfg;
- *   cfg.withRev = true;                // attach REV
+ *   cfg.backend = validate::Backend::Rev;  // the default
  *   core::Simulator sim(p, cfg);
  *   core::SimResult r = sim.run();
  *   std::cout << r.run.ipc();
@@ -21,9 +22,9 @@
 #include <ostream>
 
 #include "common/stats.hpp"
-#include "core/rev_engine.hpp"
 #include "cpu/core.hpp"
 #include "program/trace.hpp"
+#include "validate/registry.hpp"
 
 namespace rev::core
 {
@@ -33,11 +34,16 @@ struct SimConfig
 {
     cpu::CoreConfig core;
     mem::MemConfig mem;
-    RevConfig rev;
+    validate::RevConfig rev;     ///< Backend::Rev parameters
+    validate::LoFatConfig lofat; ///< Backend::LoFat parameters
     sig::ValidationMode mode = sig::ValidationMode::Full;
 
-    /** Attach the REV machinery (false = paper's base case). */
+    /** Attach validation machinery (false = paper's base case; the
+     *  selected backend is replaced by Backend::Null). */
     bool withRev = true;
+
+    /** Which validation backend to attach (see validate/registry.hpp). */
+    validate::Backend backend = validate::Backend::Rev;
 
     /**
      * Sec. IV.A strict R5: treat the whole run as a transaction against
@@ -79,15 +85,29 @@ struct SimConfig
      * must outlive the Simulator.
      */
     const prog::Trace *replayTrace = nullptr;
+
+    /** The backend actually attached: the configured one, or Null when
+     *  validation is off. */
+    validate::Backend
+    effectiveBackend() const
+    {
+        return withRev ? backend : validate::Backend::Null;
+    }
 };
 
 /** Results of one simulated run. */
 struct SimResult
 {
     cpu::RunResult run;
-    RevStats rev; ///< zeros when REV is not attached
 
-    // Fig. 10/11 inputs: SC-fill traffic through the hierarchy.
+    /** Backend-independent counter slice (any backend). */
+    validate::ValidationStats validation;
+
+    validate::RevStats rev;     ///< zeros unless the Rev backend ran
+    validate::LoFatStats lofat; ///< zeros unless the LoFat backend ran
+
+    // Fig. 10/11 inputs: validation fill/spill traffic through the
+    // hierarchy.
     u64 scFillAccesses = 0;
     u64 scFillL1Misses = 0;
     u64 scFillL2Misses = 0;
@@ -99,7 +119,7 @@ struct SimResult
 };
 
 /**
- * One program, one machine, one (optional) REV engine.
+ * One program, one machine, one validation backend.
  */
 class Simulator
 {
@@ -113,14 +133,14 @@ class Simulator
      * The program object changed (a module was added by the dynamic
      * linker, or trusted code generation produced new functions): reload
      * every module image into memory, rebuild + reload the signature
-     * tables, and refresh the engine's cached state (Sec. IV.B/IV.E).
+     * tables, and refresh the backend's cached state (Sec. IV.B/IV.E).
      * Safe to call from a pre-step hook while a run is in progress.
      */
     void reloadProgram();
 
     /**
      * Snapshot every component's statistics (caches, TLBs, DRAM,
-     * predictor, SC/SAG/CHG, engine counters) as structured
+     * predictor, backend components, backend counters) as structured
      * (name, value) rows. This is the programmatic interface; dumpStats()
      * is just stats().dump(os).
      */
@@ -128,7 +148,7 @@ class Simulator
 
     /**
      * Dump every component's statistics (caches, TLBs, DRAM, predictor,
-     * SC/SAG/CHG, engine counters) as "name value" rows.
+     * backend components, backend counters) as "name value" rows.
      */
     void dumpStats(std::ostream &os) const;
 
@@ -140,7 +160,17 @@ class Simulator
     void resetStats();
 
     cpu::Core &core() { return *core_; }
-    RevEngine *engine() { return engine_.get(); }
+
+    /** The attached backend (never null; NullValidator when none). */
+    validate::Validator *validator() { return validator_.get(); }
+    const validate::Validator *validator() const { return validator_.get(); }
+
+    /** The REV engine, or nullptr when another backend is attached. */
+    validate::RevValidator *engine() { return revEngine_; }
+
+    /** The LO-FAT engine, or nullptr when another backend is attached. */
+    validate::LoFatValidator *lofat() { return lofatEngine_; }
+
     SparseMemory &memory() { return mem_; }
     const SparseMemory &memory() const { return mem_; }
     mem::MemorySystem &memsys() { return memsys_; }
@@ -162,7 +192,9 @@ class Simulator
     mem::MemorySystem memsys_;
     crypto::KeyVault vault_;
     std::unique_ptr<sig::SigStore> store_;
-    std::unique_ptr<RevEngine> engine_;
+    std::unique_ptr<validate::Validator> validator_;
+    validate::RevValidator *revEngine_ = nullptr;     ///< typed view
+    validate::LoFatValidator *lofatEngine_ = nullptr; ///< typed view
     std::unique_ptr<cpu::Core> core_;
     std::unique_ptr<prog::TraceReplayer> replayer_;
 };

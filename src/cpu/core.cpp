@@ -19,9 +19,10 @@ constexpr unsigned kDecodeDepth = 6;
 
 Core::Core(const prog::Program &program, SparseMemory &mem,
            mem::MemorySystem &memsys, const CoreConfig &cfg,
-           RevHooks *hooks)
+           validate::Validator *hooks)
     : program_(program), mem_(mem), memsys_(memsys), cfg_(cfg),
-      hooks_(hooks), machine_(program, mem), predictor_(cfg.predictor)
+      hooks_(hooks ? *hooks : nullHooks_), machine_(program, mem),
+      predictor_(cfg.predictor)
 {
 }
 
@@ -136,8 +137,8 @@ Core::run()
                        bb.stores >= cfg_.splitLimits.maxStores);
         const bool is_term = is_cf || is_split;
 
-        if (is_term && hooks_) {
-            BBFetchInfo info;
+        if (is_term) {
+            validate::BBFetchInfo info;
             info.bbSeq = bb.seq;
             info.start = bb.start;
             info.term = pc;
@@ -147,7 +148,7 @@ Core::run()
             info.termSeq = seq;
             info.fetchDoneAt = fetch_at;
             info.nextStart = rec.nextPc;
-            hooks_->onBBFetched(info);
+            hooks_.onBBFetched(info);
         }
 
         // ---- rename / dispatch --------------------------------------------
@@ -268,16 +269,15 @@ Core::run()
                         wpc = wpc + wins->len;
                     }
                 }
-                if (hooks_)
-                    hooks_->onMispredictResolved(resolve);
+                hooks_.onMispredictResolved(resolve);
             }
         }
 
         // ---- commit ----------------------------------------------------------
         Cycle commit_lower = std::max<Cycle>(
             {complete_at + 1, fetch_at + cfg_.frontendDepth, prev_commit});
-        if (is_term && hooks_)
-            commit_lower = hooks_->commitReadyAt(bb.seq, commit_lower);
+        if (is_term)
+            commit_lower = hooks_.commitReadyAt(bb.seq, commit_lower);
         const Cycle commit_at = commit_w.reserve(commit_lower);
         prev_commit = commit_at;
         lastCommit_ = commit_at;
@@ -290,8 +290,8 @@ Core::run()
             ++res.committedBranches;
             unique_branches.insert(pc);
         }
-        if (rec.isSyscall && hooks_)
-            hooks_->onSyscall(rec.syscallNo, commit_at);
+        if (rec.isSyscall)
+            hooks_.onSyscall(rec.syscallNo, commit_at);
 
         // ---- external interrupts (taken at validated BB boundaries) ----
         if (is_term && commit_at >= next_interrupt) {
@@ -299,16 +299,15 @@ Core::run()
                                     commit_at + cfg_.interruptPenalty);
             next_interrupt = commit_at + cfg_.interruptInterval;
             ++res.interrupts;
-            if (hooks_)
-                hooks_->onInterrupt(commit_at);
+            hooks_.onInterrupt(commit_at);
         }
 
         // ---- validation & store release ---------------------------------------
-        const bool defer = hooks_ && hooks_->validationActive();
+        const bool defer = hooks_.validationActive();
         if (is_term) {
-            if (hooks_ && !hooks_->validateBB(bb.seq, rec.nextPc, commit_at)) {
+            if (!hooks_.validateBB(bb.seq, rec.nextPc, commit_at)) {
                 res.violation = Violation{commit_at, pc, seq,
-                                          hooks_->violationReason()};
+                                          hooks_.violationReason()};
                 // Tainted stores of the offending block never reach memory.
                 sb_.squash(seq - bb.instrs + 1);
                 break;

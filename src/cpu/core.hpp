@@ -26,9 +26,9 @@
 #include "cpu/config.hpp"
 #include "cpu/predictor.hpp"
 #include "cpu/resources.hpp"
-#include "cpu/revhooks.hpp"
 #include "mem/memsys.hpp"
 #include "program/interp.hpp"
+#include "validate/validator.hpp"
 
 namespace rev::cpu
 {
@@ -76,11 +76,13 @@ class Core
      * @param mem     Functional memory image.
      * @param memsys  Timing memory hierarchy.
      * @param cfg     Core configuration.
-     * @param hooks   REV engine, or nullptr for the base machine.
+     * @param hooks   Validation backend, or nullptr for the base machine
+     *                (an internal NullValidator stands in, so the core
+     *                never tests the pointer again).
      */
     Core(const prog::Program &program, SparseMemory &mem,
          mem::MemorySystem &memsys, const CoreConfig &cfg = {},
-         RevHooks *hooks = nullptr);
+         validate::Validator *hooks = nullptr);
 
     /**
      * Hook invoked before each architectural step; attack injectors use it
@@ -121,7 +123,8 @@ class Core
     SparseMemory &mem_;
     mem::MemorySystem &memsys_;
     CoreConfig cfg_;
-    RevHooks *hooks_;
+    validate::NullValidator nullHooks_; ///< stand-in when no backend given
+    validate::Validator &hooks_;
 
     prog::Machine machine_;
     prog::StoreBuffer sb_;

@@ -304,6 +304,7 @@ Campaign::run() const
     m.seed = spec_.seed;
     m.injections = spec_.injections;
     m.revEnabled = !spec_.disableRev;
+    m.backend = spec_.backend;
     for (InjectionClass c : classes_)
         for (sig::ValidationMode mode : modes_)
             m.cells[{injectionClassName(c), sig::modeName(mode)}] = {};
@@ -384,6 +385,13 @@ matrixToJson(const DetectionMatrix &m)
     out += ",\"injections\":" + std::to_string(m.injections);
     out += ",\"rev_enabled\":";
     out += m.revEnabled ? "true" : "false";
+    // Default-backend matrices stay byte-identical to the pre-framework
+    // rendering; only non-REV campaigns carry the extra field.
+    if (m.backend != validate::Backend::Rev) {
+        out += ",\"backend\":\"";
+        out += validate::backendName(m.backend);
+        out += "\"";
+    }
     out += ",\"cells\":[";
     bool first = true;
     for (const auto &[key, cell] : m.cells) {

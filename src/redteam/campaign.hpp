@@ -80,6 +80,7 @@ struct DetectionMatrix
     u64 seed = 0;
     u64 injections = 0;
     bool revEnabled = true;
+    validate::Backend backend = validate::Backend::Rev;
 
     /** (class name, mode name) -> verdict counts; every swept cell is
      *  present, including empty ones. */

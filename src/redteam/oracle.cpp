@@ -51,19 +51,43 @@ tamperClassOf(InjectionClass c)
 }
 
 bool
-classDetectableIn(InjectionClass c, sig::ValidationMode mode)
+classDetectableIn(InjectionClass c, sig::ValidationMode mode,
+                  validate::Backend backend)
 {
     if (c == InjectionClass::NoOp)
         return false;
-    return attacks::tamperDetectableIn(tamperClassOf(c), mode);
+    return validate::backendClaims(backend, tamperClassOf(c), mode);
 }
 
 bool
-mechanismMatches(InjectionClass c, const std::string &reason)
+mechanismMatches(InjectionClass c, const std::string &reason,
+                 validate::Backend backend)
 {
     const auto has = [&](const char *s) {
         return reason.find(s) != std::string::npos;
     };
+    if (backend == validate::Backend::LoFat) {
+        // LO-FAT has exactly three mechanisms: the attested-CFG lookup
+        // missing (tampered terminator bytes decode to a block shape the
+        // attestation never signed), an edge absent from the attested
+        // CFG, and a return to a non-return-site. Code tampering can
+        // cascade into any of them (a flipped branch immediate is an
+        // edge violation; a flipped opcode shifts the block boundary).
+        switch (c) {
+          case InjectionClass::CodeFlip:
+          case InjectionClass::CfgRewire:
+          case InjectionClass::DmaWrite:
+          case InjectionClass::TimingJitter:
+          case InjectionClass::SigCorrupt:
+          case InjectionClass::RetSmash:
+            return has("unattested code") ||
+                   has("absent from attested CFG") ||
+                   has("not an attested return site");
+          case InjectionClass::NoOp:
+            break;
+        }
+        return false;
+    }
     // Primary mechanisms per class, plus the cascades a tamper can
     // legitimately trigger (e.g. a code flip that corrupts a stack-
     // pointer adjustment derails the next return). The shadow-stack
@@ -97,6 +121,7 @@ campaignSimConfig(const CampaignSpec &spec, sig::ValidationMode mode,
     core::SimConfig cfg;
     cfg.mode = mode;
     cfg.withRev = !spec.disableRev;
+    cfg.backend = spec.backend;
     cfg.core.maxInstrs = spec.instrBudget;
     // Wrong-path fetch reads bytes the architectural run never executes;
     // an architecturally inert tamper would perturb I-side statistics
@@ -104,6 +129,11 @@ campaignSimConfig(const CampaignSpec &spec, sig::ValidationMode mode,
     // goldens, so both sides run without it.
     cfg.core.modelWrongPath = false;
     cfg.rev.sc.sizeBytes = timing.scSizeBytes;
+    // The LO-FAT backend has no SC; the timing axis scales its on-chip
+    // measurement buffer by the same SRAM budget instead (the default
+    // 32 KiB variant lands exactly on the default 64 entries).
+    cfg.lofat.bufferEntries =
+        std::max<u64>(16, timing.scSizeBytes / 512);
     return cfg;
 }
 
@@ -410,7 +440,8 @@ runInjection(const WorkloadContext &ctx, const CampaignSpec &spec,
             res.verdict = Verdict::Escape;
         } else {
             res.verdict = Verdict::Detected;
-            res.mechanismMatch = mechanismMatches(plan.klass, res.reason);
+            res.mechanismMatch =
+                mechanismMatches(plan.klass, res.reason, spec.backend);
             res.latencyCycles = r.run.violation->cycle - fire_cycle;
         }
         return res;
@@ -423,7 +454,8 @@ runInjection(const WorkloadContext &ctx, const CampaignSpec &spec,
                                        dirtied);
     if (identical)
         res.verdict = Verdict::Benign;
-    else if (!spec.disableRev && !classDetectableIn(plan.klass, plan.mode))
+    else if (!spec.disableRev &&
+             !classDetectableIn(plan.klass, plan.mode, spec.backend))
         res.verdict = Verdict::Blind;
     else
         res.verdict = Verdict::Escape;

@@ -74,13 +74,17 @@ struct TimingVariant
 attacks::TamperClass tamperClassOf(InjectionClass c);
 
 /**
- * Does the taxonomy predict detection of @p c under @p mode? NoOp is
- * never "predicted detectable" (it tampers nothing).
+ * Does @p backend's claimed-coverage matrix predict detection of @p c
+ * under @p mode? NoOp is never "predicted detectable" (it tampers
+ * nothing).
  */
-bool classDetectableIn(InjectionClass c, sig::ValidationMode mode);
+bool classDetectableIn(InjectionClass c, sig::ValidationMode mode,
+                       validate::Backend backend = validate::Backend::Rev);
 
-/** Is @p reason one of the violation mechanisms predicted for @p c? */
-bool mechanismMatches(InjectionClass c, const std::string &reason);
+/** Is @p reason one of the violation mechanisms @p backend predicts for
+ *  @p c? */
+bool mechanismMatches(InjectionClass c, const std::string &reason,
+                      validate::Backend backend = validate::Backend::Rev);
 
 /** One executed instruction site of the golden run. */
 struct ExecSite

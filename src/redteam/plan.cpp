@@ -396,6 +396,12 @@ specToJson(const CampaignSpec &spec)
     appendNumber(s, "threads", spec.threads);
     s += ",\"disable_rev\":";
     s += spec.disableRev ? "true" : "false";
+    // The backend field is omitted for the default (Rev) so pre-framework
+    // spec JSON remains byte-identical.
+    if (spec.backend != validate::Backend::Rev) {
+        s += ',';
+        appendQuoted(s, "backend", validate::backendName(spec.backend));
+    }
     auto append_list = [&s](const char *key,
                             const std::vector<std::string> &items) {
         s += ",\"";
@@ -439,6 +445,10 @@ specFromJson(const std::string &json, CampaignSpec *out)
     if (threads > ~0u)
         return false;
     s.threads = static_cast<unsigned>(threads);
+    std::string backend;
+    if (j.string("backend", &backend) &&
+        !validate::backendFromName(backend, &s.backend))
+        return false;
     for (const std::string &name : classes) {
         InjectionClass c;
         if (!injectionClassFromName(name, &c))

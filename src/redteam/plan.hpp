@@ -24,6 +24,7 @@
 
 #include "common/types.hpp"
 #include "sig/mode.hpp"
+#include "validate/validator.hpp"
 
 namespace rev::redteam
 {
@@ -110,11 +111,18 @@ struct CampaignSpec
     unsigned threads = 0;     ///< 0 = REV_BENCH_THREADS or all cores
 
     /**
-     * Test-only: run everything without REV attached. Divergent
+     * Test-only: run everything without validation attached. Divergent
      * injections of detectable classes then surface as escapes — the
      * oracle's own regression check.
      */
     bool disableRev = false;
+
+    /**
+     * Validation backend the campaign targets. Verdicts consult this
+     * backend's claimed-coverage matrix (validate/coverage.hpp), and its
+     * mechanism taxonomy decides on/off-mechanism detections.
+     */
+    validate::Backend backend = validate::Backend::Rev;
 
     /** Axis subsets; empty = every campaign default. */
     std::vector<std::string> workloads;

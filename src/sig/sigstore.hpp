@@ -71,7 +71,7 @@ class SigStore
      * Sec. IV.E: after new code is generated or a module is dynamically
      * linked (and its annotations merged), the tables are regenerated
      * with fresh keys before the code may execute. Call loadInto() and
-     * RevEngine::refreshTables() afterwards.
+     * Validator::refreshTables() afterwards.
      */
     void rebuild(const prog::Program &program);
 

@@ -1,10 +1,10 @@
-#include "core/chg.hpp"
+#include "validate/chg.hpp"
 
 #include <vector>
 
 #include "sig/table.hpp"
 
-namespace rev::core
+namespace rev::validate
 {
 
 Chg::Chg(const SparseMemory &mem, const ChgConfig &cfg)
@@ -37,4 +37,4 @@ Chg::addStats(stats::StatGroup &group) const
     group.add("chg.flushes", &flushes_);
 }
 
-} // namespace rev::core
+} // namespace rev::validate

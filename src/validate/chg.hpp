@@ -19,8 +19,8 @@
  * resets, e.g. reloadProgram()).
  */
 
-#ifndef REV_CORE_CHG_HPP
-#define REV_CORE_CHG_HPP
+#ifndef REV_VALIDATE_CHG_HPP
+#define REV_VALIDATE_CHG_HPP
 
 #include <unordered_map>
 #include <vector>
@@ -29,7 +29,7 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
-namespace rev::core
+namespace rev::validate
 {
 
 /** CHG parameters. */
@@ -97,6 +97,6 @@ class Chg
     stats::Counter blocksHashed_, flushes_;
 };
 
-} // namespace rev::core
+} // namespace rev::validate
 
-#endif // REV_CORE_CHG_HPP
+#endif // REV_VALIDATE_CHG_HPP

@@ -1,0 +1,39 @@
+#include "validate/coverage.hpp"
+
+namespace rev::validate
+{
+
+const char *
+tamperClassName(TamperClass c)
+{
+    switch (c) {
+      case TamperClass::CodeSubstitution: return "code-substitution";
+      case TamperClass::ControlFlowHijack: return "control-flow-hijack";
+      case TamperClass::ForeignCode: return "foreign-code";
+      case TamperClass::SignatureTamper: return "signature-tamper";
+    }
+    return "?";
+}
+
+bool
+backendClaims(Backend b, TamperClass c, sig::ValidationMode mode)
+{
+    switch (b) {
+      case Backend::Rev:
+        // CFI-only validation keeps no hashes: substituted bytes behind an
+        // unchanged control-flow shape pass unseen (Sec. V.D). Hijacked
+        // control flow, unsigned code, and corrupted signature fetches are
+        // visible to every mode.
+        if (c == TamperClass::CodeSubstitution)
+            return mode != sig::ValidationMode::CfiOnly;
+        return true;
+      case Backend::LoFat:
+        return c == TamperClass::ControlFlowHijack ||
+               c == TamperClass::ForeignCode;
+      case Backend::Null:
+        return false;
+    }
+    return false;
+}
+
+} // namespace rev::validate

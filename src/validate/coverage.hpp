@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The tampering taxonomy and each backend's claimed-coverage matrix.
+ *
+ * Every concrete attack (src/attacks) and machine-generated injection
+ * (src/redteam) tampers in one of four ways; whether a given backend
+ * *claims* to detect that tampering is a property of (backend, class,
+ * mode), centralized here. The red-team oracle uses the matrix to
+ * separate Blind verdicts (divergence the backend never claimed to see)
+ * from Escapes (claimed coverage that failed), and the attack binaries
+ * use it to print expectations.
+ */
+
+#ifndef REV_VALIDATE_COVERAGE_HPP
+#define REV_VALIDATE_COVERAGE_HPP
+
+#include "sig/mode.hpp"
+#include "validate/validator.hpp"
+
+namespace rev::validate
+{
+
+/**
+ * Tampering taxonomy (Sec. V.D / Table 1 of the paper).
+ */
+enum class TamperClass : u8
+{
+    CodeSubstitution,  ///< code bytes rewritten in place, CF shape intact
+    ControlFlowHijack, ///< control redirected through signed code
+    ForeignCode,       ///< executes code with no reference signatures
+    SignatureTamper,   ///< the encrypted reference tables are corrupted
+};
+
+/** Short stable name, e.g. "code-substitution". */
+const char *tamperClassName(TamperClass c);
+
+/**
+ * Whether backend @p b claims to detect tampering of class @p c under
+ * validation mode @p mode.
+ *
+ * - Rev: everything, except pure code substitution in CFI-only mode
+ *   (no hashes are kept, Sec. V.D).
+ * - LoFat: control-flow hijacks and foreign code (the eager CFG check);
+ *   in-place substitution only skews the measurement chain — adjudicated
+ *   remotely, not modeled — and signature tables are never read, so
+ *   neither is claimed. Mode-independent: the tables' encoding does not
+ *   change what the CFG verifier sees.
+ * - Null: nothing.
+ */
+bool backendClaims(Backend b, TamperClass c, sig::ValidationMode mode);
+
+} // namespace rev::validate
+
+#endif // REV_VALIDATE_COVERAGE_HPP

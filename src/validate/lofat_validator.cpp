@@ -1,0 +1,225 @@
+#include "validate/lofat_validator.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace rev::validate
+{
+
+using isa::InstrClass;
+using prog::TermKind;
+
+namespace
+{
+
+std::string
+hex(Addr a)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << a;
+    return os.str();
+}
+
+} // namespace
+
+LoFatValidator::LoFatValidator(const sig::SigStore &store,
+                               const SparseMemory &mem,
+                               mem::MemorySystem &memsys,
+                               const LoFatConfig &cfg)
+    : store_(store), memsys_(memsys), cfg_(cfg), chg_(mem, cfg.chg),
+      enabled_(cfg.startEnabled)
+{
+}
+
+void
+LoFatValidator::onBBFetched(const BBFetchInfo &info)
+{
+    cur_ = PendingBB{};
+    cur_.valid = true;
+    cur_.info = info;
+    if (!enabled_) {
+        cur_.bypass = true;
+        return;
+    }
+    // The CHG digests the fetched bytes; the digest is both the chain's
+    // code component and the earliest the event record can be sealed.
+    cur_.codeDigest = chg_.digest(info.start, info.term, info.end);
+    cur_.hashReadyAt = chg_.readyAt(info.fetchDoneAt);
+}
+
+Cycle
+LoFatValidator::commitReadyAt(BBSeq bb, Cycle earliest)
+{
+    if (!cur_.valid || cur_.info.bbSeq != bb || cur_.bypass)
+        return earliest;
+    Cycle ready = std::max(earliest, cur_.hashReadyAt);
+    // A still-draining measurement buffer backpressures commit: the next
+    // record needs a free slot.
+    if (bufferUsed_ >= cfg_.bufferEntries && drainReadyAt_ > ready)
+        ready = drainReadyAt_;
+    stats_.commitStallCycles += ready - earliest;
+    return ready;
+}
+
+bool
+LoFatValidator::fail(const BBFetchInfo &info, const std::string &reason)
+{
+    ++stats_.violations;
+    lastViolation_ = reason + " (bb " + hex(info.start) + ".." +
+                     hex(info.term) + ")";
+    cur_ = PendingBB{};
+    return false;
+}
+
+bool
+LoFatValidator::validateBB(BBSeq bb, Addr actual_target, Cycle commit_cycle)
+{
+    if (!cur_.valid || cur_.info.bbSeq != bb || cur_.bypass) {
+        cur_ = PendingBB{};
+        return true;
+    }
+    const BBFetchInfo info = cur_.info;
+
+    // --- eager verifier: the event must exist in the attested CFG ---------
+    const sig::ModuleSig *ms = store_.findByCode(info.term);
+    if (!ms) {
+        ++stats_.unattestedBlocks;
+        return fail(info, "unattested code at " + hex(info.term));
+    }
+    const std::vector<const prog::BasicBlock *> blocks =
+        ms->cfg.blocksAtTerm(info.term);
+    if (blocks.empty()) {
+        ++stats_.unattestedBlocks;
+        return fail(info, "unattested code at " + hex(info.term));
+    }
+
+    // Edge check: the taken edge must appear in some attested block with
+    // this terminator (Return succs are the statically derived return-site
+    // set; Split succs the fall-through; Halt has no successor).
+    bool edge_ok = false;
+    bool any_successor = false;
+    bool is_return = false;
+    for (const prog::BasicBlock *b : blocks) {
+        if (b->kind == TermKind::Halt) {
+            edge_ok = true;
+            continue;
+        }
+        any_successor = true;
+        if (b->kind == TermKind::Return)
+            is_return = true;
+        if (std::find(b->succs.begin(), b->succs.end(), actual_target) !=
+            b->succs.end())
+            edge_ok = true;
+    }
+    if (!edge_ok && any_successor) {
+        ++stats_.edgeViolations;
+        if (is_return)
+            return fail(info, "return to " + hex(actual_target) +
+                                  " not an attested return site");
+        return fail(info, "control-flow edge to " + hex(actual_target) +
+                              " absent from attested CFG");
+    }
+
+    fold(info, actual_target);
+    if (++bufferUsed_ >= cfg_.bufferEntries)
+        spill(commit_cycle);
+
+    ++stats_.bbValidated;
+    cur_ = PendingBB{};
+    return true;
+}
+
+void
+LoFatValidator::fold(const BBFetchInfo &info, Addr actual_target)
+{
+    // chain' = H(chain || start || term || target || code digest)
+    u8 buf[sizeof(crypto::Digest) + 3 * sizeof(Addr) + sizeof(u32)];
+    std::size_t off = 0;
+    std::memcpy(buf + off, chain_.data(), chain_.size());
+    off += chain_.size();
+    std::memcpy(buf + off, &info.start, sizeof(Addr));
+    off += sizeof(Addr);
+    std::memcpy(buf + off, &info.term, sizeof(Addr));
+    off += sizeof(Addr);
+    std::memcpy(buf + off, &actual_target, sizeof(Addr));
+    off += sizeof(Addr);
+    std::memcpy(buf + off, &cur_.codeDigest, sizeof(u32));
+    off += sizeof(u32);
+    chain_ = crypto::CubeHash::hash(buf, off, cfg_.chg.hashRounds);
+    ++stats_.chainUpdates;
+}
+
+void
+LoFatValidator::spill(Cycle from)
+{
+    // Drain the staged records to the measurement region, one line-sized
+    // write per group of records, through the validation-traffic port.
+    const u64 bytes = u64(bufferUsed_) * cfg_.entryBytes;
+    Cycle t = from;
+    for (u64 done = 0; done < bytes; done += 64) {
+        t = memsys_.access(spillCursor_, mem::AccessType::ScFill, t)
+                .completeAt;
+        spillCursor_ += 64;
+        // Wrap within a bounded window; the verifier consumes records
+        // faster than one window fills.
+        if (spillCursor_ >= kMeasurementRegion + 0x10000)
+            spillCursor_ = kMeasurementRegion;
+    }
+    drainReadyAt_ = t;
+    ++stats_.bufferSpills;
+    stats_.spillBytes += bytes;
+    bufferUsed_ = 0;
+}
+
+void
+LoFatValidator::onMispredictResolved(Cycle resolve_cycle)
+{
+    (void)resolve_cycle;
+    if (enabled_)
+        chg_.flush();
+}
+
+void
+LoFatValidator::onInterrupt(Cycle cycle)
+{
+    (void)cycle;
+    if (enabled_)
+        chg_.flush();
+}
+
+void
+LoFatValidator::onSyscall(u8 service, Cycle commit_cycle)
+{
+    (void)commit_cycle;
+    // Same trusted services as REV (Sec. VII): 1 suspends measurement,
+    // 2 resumes it.
+    if (service == 1)
+        enabled_ = false;
+    else if (service == 2)
+        enabled_ = true;
+}
+
+void
+LoFatValidator::addStats(stats::StatGroup &group) const
+{
+    chg_.addStats(group);
+}
+
+void
+LoFatValidator::snapshotStats(stats::StatSet &set,
+                              const std::string &prefix) const
+{
+    set.add(prefix + ".lofat.bb_validated", stats_.bbValidated);
+    set.add(prefix + ".lofat.violations", stats_.violations);
+    set.add(prefix + ".lofat.commit_stall_cycles", stats_.commitStallCycles);
+    set.add(prefix + ".lofat.chain_updates", stats_.chainUpdates);
+    set.add(prefix + ".lofat.buffer_spills", stats_.bufferSpills);
+    set.add(prefix + ".lofat.spill_bytes", stats_.spillBytes);
+    set.add(prefix + ".lofat.unattested_blocks", stats_.unattestedBlocks);
+    set.add(prefix + ".lofat.edge_violations", stats_.edgeViolations);
+}
+
+} // namespace rev::validate

@@ -1,11 +1,11 @@
-#include "core/rev_engine.hpp"
+#include "validate/rev_validator.hpp"
 
 #include <algorithm>
 #include <sstream>
 
 #include "common/logging.hpp"
 
-namespace rev::core
+namespace rev::validate
 {
 
 using isa::InstrClass;
@@ -30,9 +30,10 @@ hex(Addr a)
 
 } // namespace
 
-RevEngine::RevEngine(const sig::SigStore &store,
-                     const crypto::KeyVault &vault, const SparseMemory &mem,
-                     mem::MemorySystem &memsys, const RevConfig &cfg)
+RevValidator::RevValidator(const sig::SigStore &store,
+                           const crypto::KeyVault &vault,
+                           const SparseMemory &mem,
+                           mem::MemorySystem &memsys, const RevConfig &cfg)
     : store_(store), vault_(vault), mem_(mem), memsys_(memsys), cfg_(cfg),
       sc_(cfg.sc), sag_(cfg.sagEntries), chg_(mem, cfg.chg),
       enabled_(cfg.startEnabled)
@@ -43,7 +44,7 @@ RevEngine::RevEngine(const sig::SigStore &store,
 }
 
 void
-RevEngine::preloadSag()
+RevValidator::preloadSag()
 {
     unsigned installed = 0;
     for (const auto &ms : store_.moduleSigs()) {
@@ -55,30 +56,30 @@ RevEngine::preloadSag()
 }
 
 bool
-RevEngine::isComputedClass(InstrClass c)
+RevValidator::isComputedClass(InstrClass c)
 {
     return c == InstrClass::CallIndirect || c == InstrClass::JumpIndirect;
 }
 
 const sig::TableReader &
-RevEngine::readerFor(Addr table_base)
+RevValidator::readerFor(Addr table_base)
 {
-    auto it = readers_.find(table_base);
-    if (it == readers_.end()) {
-        it = readers_
-                 .emplace(table_base, std::make_unique<sig::TableReader>(
-                                          mem_, table_base, vault_))
-                 .first;
-        if (!it->second->valid())
-            warn("REV: signature table at ", hex(table_base),
-                 " failed authentication");
+    for (const auto &[base, reader] : readers_) {
+        if (base == table_base)
+            return *reader;
     }
-    return *it->second;
+    readers_.emplace_back(table_base, std::make_unique<sig::TableReader>(
+                                          mem_, table_base, vault_));
+    const sig::TableReader &reader = *readers_.back().second;
+    if (!reader.valid())
+        warn("REV: signature table at ", hex(table_base),
+             " failed authentication");
+    return reader;
 }
 
 sig::LookupResult
-RevEngine::walk(const SagEntry &sag_entry, Addr term, u32 key,
-                Cycle from, Cycle &ready_at, const sig::WalkNeeds &needs)
+RevValidator::walk(const SagEntry &sag_entry, Addr term, u32 key,
+                   Cycle from, Cycle &ready_at, const sig::WalkNeeds &needs)
 {
     const sig::TableReader &reader = readerFor(sag_entry.tableBase);
     sig::LookupResult res;
@@ -96,17 +97,15 @@ RevEngine::walk(const SagEntry &sag_entry, Addr term, u32 key,
 }
 
 void
-RevEngine::onBBFetched(const cpu::BBFetchInfo &info)
+RevValidator::onBBFetched(const BBFetchInfo &info)
 {
-    cur_ = PendingBB{};
-    cur_.valid = true;
-    cur_.info = info;
-    curScHit_ = false;
-    curPartial_ = false;
-    curStall_ = 0;
+    PendingBB &cur = slotFor(info.bbSeq);
+    cur = PendingBB{};
+    cur.valid = true;
+    cur.info = info;
 
     if (!enabled_) {
-        cur_.bypass = true;
+        cur.bypass = true;
         return;
     }
 
@@ -117,7 +116,7 @@ RevEngine::onBBFetched(const cpu::BBFetchInfo &info)
     if (mode == ValidationMode::CfiOnly &&
         !isComputedClass(info.termClass) &&
         info.termClass != InstrClass::Return) {
-        cur_.bypass = true;
+        cur.bypass = true;
         return;
     }
 
@@ -136,15 +135,15 @@ RevEngine::onBBFetched(const cpu::BBFetchInfo &info)
     }
     if (!sag_entry) {
         // Code outside every registered module: nothing can authenticate it.
-        cur_.refFound = false;
-        cur_.scReadyAt = t;
+        cur.refFound = false;
+        cur.scReadyAt = t;
         return;
     }
 
     // --- CHG ----------------------------------------------------------------
     if (mode != ValidationMode::CfiOnly) {
-        cur_.computedHash = chg_.digest(info.start, info.term, info.end);
-        cur_.hashReadyAt = chg_.readyAt(info.fetchDoneAt);
+        cur.computedHash = chg_.digest(info.start, info.term, info.end);
+        cur.hashReadyAt = chg_.readyAt(info.fetchDoneAt);
     }
 
     // --- SC probe -------------------------------------------------------------
@@ -177,20 +176,20 @@ RevEngine::onBBFetched(const cpu::BBFetchInfo &info)
             !need_pred || (entry->pred && *entry->pred == *pendingReturn_);
         if (target_ok && pred_ok) {
             // Full hit: validate from the cached entry.
-            curScHit_ = true;
-            cur_.refFound = true;
-            cur_.refHash = entry->hash;
+            cur.scHit = true;
+            cur.refFound = true;
+            cur.refHash = entry->hash;
             if (entry->succ)
-                cur_.refTargets.push_back(*entry->succ);
+                cur.refTargets.push_back(*entry->succ);
             if (two_slots && entry->succ2)
-                cur_.refTargets.push_back(*entry->succ2);
+                cur.refTargets.push_back(*entry->succ2);
             if (entry->pred)
-                cur_.refPreds.push_back(*entry->pred);
-            cur_.scReadyAt = t;
+                cur.refPreds.push_back(*entry->pred);
+            cur.scReadyAt = t;
             return;
         }
         // Partial miss: the entry lacks the needed successor/predecessor.
-        curPartial_ = true;
+        cur.partialMiss = true;
         ++stats_.scPartialMisses;
         sig::WalkNeeds needs;
         if (need_target)
@@ -200,13 +199,13 @@ RevEngine::onBBFetched(const cpu::BBFetchInfo &info)
         // Partial-miss walks present the entry's reference hash (the SC
         // already authenticated this block's code).
         const sig::LookupResult ref = walk(*sag_entry, info.term,
-                                           entry->hash, t, cur_.scReadyAt,
+                                           entry->hash, t, cur.scReadyAt,
                                            needs);
-        cur_.refFound = ref.found;
-        cur_.termSeen = ref.termSeen;
-        cur_.refHash = ref.found ? ref.hash : entry->hash;
-        cur_.refTargets = ref.targets;
-        cur_.refPreds = ref.retPreds;
+        cur.refFound = ref.found;
+        cur.termSeen = ref.termSeen;
+        cur.refHash = ref.found ? ref.hash : entry->hash;
+        cur.refTargets = ref.targets;
+        cur.refPreds = ref.retPreds;
         // MRU update (only legitimate addresses are cached).
         if (ref.found) {
             if (need_target && contains(ref.targets, info.nextStart)) {
@@ -229,13 +228,13 @@ RevEngine::onBBFetched(const cpu::BBFetchInfo &info)
         needs.pred = *pendingReturn_;
     // Complete-miss walks present the CHG digest as the discriminator.
     const sig::LookupResult ref = walk(*sag_entry, info.term,
-                                       cur_.computedHash, t,
-                                       cur_.scReadyAt, needs);
-    cur_.refFound = ref.found;
-    cur_.termSeen = ref.termSeen;
-    cur_.refHash = ref.hash;
-    cur_.refTargets = ref.targets;
-    cur_.refPreds = ref.retPreds;
+                                       cur.computedHash, t,
+                                       cur.scReadyAt, needs);
+    cur.refFound = ref.found;
+    cur.termSeen = ref.termSeen;
+    cur.refHash = ref.hash;
+    cur.refTargets = ref.targets;
+    cur.refPreds = ref.retPreds;
     if (ref.found) {
         ScEntry &fresh = sc_.insert(info.term, sc_start);
         fresh.hash = ref.hash;
@@ -260,27 +259,31 @@ RevEngine::onBBFetched(const cpu::BBFetchInfo &info)
 }
 
 Cycle
-RevEngine::commitReadyAt(BBSeq bb, Cycle earliest)
+RevValidator::commitReadyAt(BBSeq bb, Cycle earliest)
 {
-    if (!cur_.valid || cur_.info.bbSeq != bb || cur_.bypass)
+    PendingBB *cur = find(bb);
+    if (!cur || cur->bypass)
         return earliest;
-    Cycle ready = std::max({earliest, cur_.hashReadyAt, cur_.scReadyAt});
+    Cycle ready = std::max({earliest, cur->hashReadyAt, cur->scReadyAt});
     if (shadowPenaltyAt_ > ready)
         ready = shadowPenaltyAt_; // shadow-stack spill/refill round trip
     shadowPenaltyAt_ = 0;
-    curStall_ = ready - earliest;
-    stats_.commitStallCycles += curStall_;
+    cur->stall = ready - earliest;
+    stats_.commitStallCycles += cur->stall;
     return ready;
 }
 
 bool
-RevEngine::validateBB(BBSeq bb, Addr actual_target, Cycle commit_cycle)
+RevValidator::validateBB(BBSeq bb, Addr actual_target, Cycle commit_cycle)
 {
-    if (!cur_.valid || cur_.info.bbSeq != bb || cur_.bypass) {
-        cur_ = PendingBB{};
+    PendingBB *curp = find(bb);
+    if (!curp || curp->bypass) {
+        if (curp)
+            *curp = PendingBB{};
         return true;
     }
-    const cpu::BBFetchInfo info = cur_.info;
+    PendingBB &cur = *curp;
+    const BBFetchInfo info = cur.info;
     const ValidationMode mode = store_.mode();
 
     auto emit_trace = [&](bool passed, const std::string &reason) {
@@ -291,10 +294,10 @@ RevEngine::validateBB(BBSeq bb, Addr actual_target, Cycle commit_cycle)
         ev.start = info.start;
         ev.term = info.term;
         ev.commitCycle = commit_cycle;
-        ev.hash = cur_.computedHash;
-        ev.scHit = curScHit_;
-        ev.partialMiss = curPartial_;
-        ev.stallCycles = curStall_;
+        ev.hash = cur.computedHash;
+        ev.scHit = cur.scHit;
+        ev.partialMiss = cur.partialMiss;
+        ev.stallCycles = cur.stall;
         ev.passed = passed;
         ev.reason = reason;
         trace_(ev);
@@ -306,21 +309,21 @@ RevEngine::validateBB(BBSeq bb, Addr actual_target, Cycle commit_cycle)
                          hex(info.term) + ")";
         // Keep the offender's signature for later recognition
         // (paper, Sec. X).
-        offenders_.push_back({info.start, info.term, cur_.computedHash,
+        offenders_.push_back({info.start, info.term, cur.computedHash,
                               lastViolation_});
         emit_trace(false, lastViolation_);
-        cur_ = PendingBB{};
+        cur = PendingBB{};
         return false;
     };
 
-    if (!cur_.refFound) {
-        return fail(cur_.termSeen
+    if (!cur.refFound) {
+        return fail(cur.termSeen
                         ? "basic-block hash mismatch"
                         : "no reference signature for basic block");
     }
 
     if (mode != ValidationMode::CfiOnly) {
-        if (cur_.computedHash != cur_.refHash)
+        if (cur.computedHash != cur.refHash)
             return fail("basic-block hash mismatch");
 
         if (cfg_.returnValidation == ReturnValidation::DelayedPredecessor) {
@@ -328,7 +331,7 @@ RevEngine::validateBB(BBSeq bb, Addr actual_target, Cycle commit_cycle)
             // entered following a return; its entry lists the legitimate
             // RET predecessors.
             if (pendingReturn_) {
-                if (!contains(cur_.refPreds, *pendingReturn_))
+                if (!contains(cur.refPreds, *pendingReturn_))
                     return fail("return from " + hex(*pendingReturn_) +
                                 " to unexpected site");
                 pendingReturn_.reset();
@@ -346,7 +349,7 @@ RevEngine::validateBB(BBSeq bb, Addr actual_target, Cycle commit_cycle)
              info.termClass != InstrClass::Return &&
              info.termClass != InstrClass::Halt)
         check_target = true;
-    if (check_target && !contains(cur_.refTargets, actual_target))
+    if (check_target && !contains(cur.refTargets, actual_target))
         return fail("illegal transfer to " + hex(actual_target));
 
     if (mode != ValidationMode::CfiOnly &&
@@ -391,12 +394,12 @@ RevEngine::validateBB(BBSeq bb, Addr actual_target, Cycle commit_cycle)
 
     ++stats_.bbValidated;
     emit_trace(true, "");
-    cur_ = PendingBB{};
+    cur = PendingBB{};
     return true;
 }
 
 void
-RevEngine::onMispredictResolved(Cycle resolve_cycle)
+RevValidator::onMispredictResolved(Cycle resolve_cycle)
 {
     (void)resolve_cycle;
     if (enabled_)
@@ -404,7 +407,7 @@ RevEngine::onMispredictResolved(Cycle resolve_cycle)
 }
 
 void
-RevEngine::refreshTables()
+RevValidator::refreshTables()
 {
     readers_.clear();
     sc_.invalidateAll();
@@ -413,14 +416,14 @@ RevEngine::refreshTables()
     preloadSag();
 }
 
-RevEngine::ThreadState
-RevEngine::saveThreadState() const
+RevValidator::ThreadState
+RevValidator::saveThreadState() const
 {
     return ThreadState{pendingReturn_, shadowStack_, shadowSpilled_};
 }
 
 void
-RevEngine::restoreThreadState(const ThreadState &state)
+RevValidator::restoreThreadState(const ThreadState &state)
 {
     pendingReturn_ = state.pendingReturn;
     shadowStack_ = state.shadowStack;
@@ -428,7 +431,7 @@ RevEngine::restoreThreadState(const ThreadState &state)
 }
 
 void
-RevEngine::onInterrupt(Cycle cycle)
+RevValidator::onInterrupt(Cycle cycle)
 {
     (void)cycle;
     // The current block has already validated; the refetched stream
@@ -438,7 +441,7 @@ RevEngine::onInterrupt(Cycle cycle)
 }
 
 void
-RevEngine::onSyscall(u8 service, Cycle commit_cycle)
+RevValidator::onSyscall(u8 service, Cycle commit_cycle)
 {
     (void)commit_cycle;
     // Sec. VII: one protected system call disables REV (for trusted
@@ -450,11 +453,26 @@ RevEngine::onSyscall(u8 service, Cycle commit_cycle)
 }
 
 void
-RevEngine::addStats(stats::StatGroup &group) const
+RevValidator::addStats(stats::StatGroup &group) const
 {
     sc_.addStats(group);
     sag_.addStats(group);
     chg_.addStats(group);
 }
 
-} // namespace rev::core
+void
+RevValidator::snapshotStats(stats::StatSet &set,
+                            const std::string &prefix) const
+{
+    set.add(prefix + ".rev.bb_validated", stats_.bbValidated);
+    set.add(prefix + ".rev.sc_complete_misses", stats_.scCompleteMisses);
+    set.add(prefix + ".rev.sc_partial_misses", stats_.scPartialMisses);
+    set.add(prefix + ".rev.table_walk_reads", stats_.tableWalkReads);
+    set.add(prefix + ".rev.violations", stats_.violations);
+    set.add(prefix + ".rev.sag_exceptions", stats_.sagExceptions);
+    set.add(prefix + ".rev.commit_stall_cycles", stats_.commitStallCycles);
+    set.add(prefix + ".rev.shadow_spills", stats_.shadowSpills);
+    set.add(prefix + ".rev.shadow_refills", stats_.shadowRefills);
+}
+
+} // namespace rev::validate

@@ -1,8 +1,8 @@
 /**
  * @file
- * The REV engine: orchestrates the CHG, SC, SAG, and RAM table walker to
- * validate every committed basic block (Sec. IV), implementing the core's
- * RevHooks interface.
+ * The REV backend: orchestrates the CHG, SC, SAG, and RAM table walker to
+ * validate every committed basic block (Sec. IV), implementing the
+ * Validator interface.
  *
  * Flow per dynamic basic block:
  *  1. Front end fetches the terminator -> onBBFetched():
@@ -24,22 +24,23 @@
  * validateBB() passes — a failed block never taints memory (R5).
  */
 
-#ifndef REV_CORE_REV_ENGINE_HPP
-#define REV_CORE_REV_ENGINE_HPP
+#ifndef REV_VALIDATE_REV_VALIDATOR_HPP
+#define REV_VALIDATE_REV_VALIDATOR_HPP
 
+#include <array>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
+#include <utility>
 
-#include "core/chg.hpp"
-#include "core/sag.hpp"
-#include "core/sc.hpp"
-#include "cpu/revhooks.hpp"
 #include "mem/memsys.hpp"
 #include "sig/sigstore.hpp"
+#include "validate/chg.hpp"
+#include "validate/sag.hpp"
+#include "validate/sc.hpp"
+#include "validate/validator.hpp"
 
-namespace rev::core
+namespace rev::validate
 {
 
 /**
@@ -80,16 +81,15 @@ struct RevConfig
     Cycle shadowSpillPenalty = 12;      ///< per spill/refill batch
 };
 
-/** Engine statistics (drive Figs. 10/11 and the stall accounting). */
-struct RevStats
+/** Engine statistics (drive Figs. 10/11 and the stall accounting). The
+ *  backend-independent slice (bbValidated, violations, commitStallCycles)
+ *  is inherited from ValidationStats. */
+struct RevStats : ValidationStats
 {
-    u64 bbValidated = 0;
     u64 scCompleteMisses = 0;
     u64 scPartialMisses = 0;
     u64 tableWalkReads = 0;
-    u64 violations = 0;
     u64 sagExceptions = 0;
-    Cycle commitStallCycles = 0;
     u64 shadowSpills = 0;   ///< shadow-stack overflow spill batches
     u64 shadowRefills = 0;  ///< shadow-stack underflow refill batches
 
@@ -103,7 +103,7 @@ struct RevStats
 /**
  * The run-time execution validator.
  */
-class RevEngine : public cpu::RevHooks
+class RevValidator final : public Validator
 {
   public:
     /**
@@ -112,12 +112,13 @@ class RevEngine : public cpu::RevHooks
      * @param mem    Functional memory (holds code and the tables).
      * @param memsys Timing hierarchy for SC fill traffic.
      */
-    RevEngine(const sig::SigStore &store, const crypto::KeyVault &vault,
-              const SparseMemory &mem, mem::MemorySystem &memsys,
-              const RevConfig &cfg = {});
+    RevValidator(const sig::SigStore &store, const crypto::KeyVault &vault,
+                 const SparseMemory &mem, mem::MemorySystem &memsys,
+                 const RevConfig &cfg = {});
 
-    // --- RevHooks ---------------------------------------------------------
-    void onBBFetched(const cpu::BBFetchInfo &info) override;
+    // --- Validator --------------------------------------------------------
+    Backend kind() const override { return Backend::Rev; }
+    void onBBFetched(const BBFetchInfo &info) override;
     Cycle commitReadyAt(BBSeq bb, Cycle earliest) override;
     bool validateBB(BBSeq bb, Addr actual_target,
                     Cycle commit_cycle) override;
@@ -128,14 +129,25 @@ class RevEngine : public cpu::RevHooks
     std::string violationReason() const override { return lastViolation_; }
 
     /** Attacks that modify code space must invalidate memoized digests. */
-    void invalidateCodeCache() { chg_.invalidate(); }
+    void invalidateCodeCache() override { chg_.invalidate(); }
 
     /**
      * The trusted OS/linker rebuilt the signature tables (dynamic code
      * generation or dynamic linking, Sec. IV.E): drop every cached
      * decrypted signature and re-initialize the SAG from the store.
      */
-    void refreshTables();
+    void refreshTables() override;
+
+    ValidationStats commonStats() const override { return stats_; }
+
+    /** Zero the engine counters but keep SC/SAG/latch state. */
+    void resetStats() override { stats_ = RevStats{}; }
+
+    void addStats(stats::StatGroup &group) const override;
+    void snapshotStats(stats::StatSet &set,
+                       const std::string &prefix) const override;
+
+    // --- REV-specific surface ---------------------------------------------
 
     /**
      * Per-thread REV micro-state the OS saves/restores across context
@@ -193,23 +205,23 @@ class RevEngine : public cpu::RevHooks
     }
 
     const RevStats &stats() const { return stats_; }
-
-    /** Zero the engine counters but keep SC/SAG/latch state. */
-    void resetStats() { stats_ = RevStats{}; }
     const SignatureCache &sc() const { return sc_; }
     const Sag &sag() const { return sag_; }
     const Chg &chg() const { return chg_; }
     sig::ValidationMode mode() const { return store_.mode(); }
 
-    void addStats(stats::StatGroup &group) const;
-
   private:
-    /** In-flight state of the basic block between fetch and commit. */
+    /**
+     * In-flight state of a basic block between fetch and commit — one
+     * slot of the inflight ring. Per-block trace bookkeeping (scHit,
+     * partialMiss, stall) rides in the slot so the fetch- and commit-side
+     * hooks agree on which dynamic block they describe.
+     */
     struct PendingBB
     {
         bool valid = false;
         bool bypass = false; ///< REV disabled or no validation needed
-        cpu::BBFetchInfo info;
+        BBFetchInfo info;
         Cycle hashReadyAt = 0;
         Cycle scReadyAt = 0;
         u32 computedHash = 0;
@@ -218,7 +230,35 @@ class RevEngine : public cpu::RevHooks
         u32 refHash = 0;
         std::vector<Addr> refTargets;
         std::vector<Addr> refPreds;
+
+        bool scHit = false;
+        bool partialMiss = false;
+        Cycle stall = 0;
     };
+
+    /**
+     * Inflight ring capacity. The commit-gated core keeps exactly one
+     * block between onBBFetched() and validateBB(), but the ring is
+     * keyed by BBSeq so a deeper front end could keep several in flight;
+     * a power of two turns the slot lookup into a mask.
+     */
+    static constexpr std::size_t kInflightSlots = 4;
+    static_assert((kInflightSlots & (kInflightSlots - 1)) == 0,
+                  "ring indexing requires a power-of-two slot count");
+
+    PendingBB &
+    slotFor(BBSeq bb)
+    {
+        return ring_[static_cast<std::size_t>(bb) & (kInflightSlots - 1)];
+    }
+
+    /** The ring slot currently holding @p bb, or nullptr. */
+    PendingBB *
+    find(BBSeq bb)
+    {
+        PendingBB &slot = slotFor(bb);
+        return slot.valid && slot.info.bbSeq == bb ? &slot : nullptr;
+    }
 
     static bool isComputedClass(isa::InstrClass c);
 
@@ -248,7 +288,7 @@ class RevEngine : public cpu::RevHooks
     Chg chg_;
 
     bool enabled_;
-    PendingBB cur_;
+    std::array<PendingBB, kInflightSlots> ring_;
     std::optional<Addr> pendingReturn_; ///< Sec. V.A latch
 
     /**
@@ -266,14 +306,14 @@ class RevEngine : public cpu::RevHooks
     TraceCallback trace_;
     std::vector<OffenderRecord> offenders_;
 
-    /** Per-block trace bookkeeping filled across the fetch/commit hooks. */
-    bool curScHit_ = false;
-    bool curPartial_ = false;
-    Cycle curStall_ = 0;
-
-    std::map<Addr, std::unique_ptr<sig::TableReader>> readers_;
+    /**
+     * Per-table decrypt/walk state, keyed by table base. Programs link a
+     * handful of modules at most, so a flat vector with linear search
+     * beats a node-based map on the hot lookup path.
+     */
+    std::vector<std::pair<Addr, std::unique_ptr<sig::TableReader>>> readers_;
 };
 
-} // namespace rev::core
+} // namespace rev::validate
 
-#endif // REV_CORE_REV_ENGINE_HPP
+#endif // REV_VALIDATE_REV_VALIDATOR_HPP

@@ -1,8 +1,8 @@
-#include "core/sag.hpp"
+#include "validate/sag.hpp"
 
 #include "common/logging.hpp"
 
-namespace rev::core
+namespace rev::validate
 {
 
 Sag::Sag(unsigned num_entries)
@@ -60,4 +60,4 @@ Sag::addStats(stats::StatGroup &group) const
     group.add("sag.misses", &misses_);
 }
 
-} // namespace rev::core
+} // namespace rev::validate

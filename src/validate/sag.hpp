@@ -12,15 +12,15 @@
  * (the OS) refills a victim entry.
  */
 
-#ifndef REV_CORE_SAG_HPP
-#define REV_CORE_SAG_HPP
+#ifndef REV_VALIDATE_SAG_HPP
+#define REV_VALIDATE_SAG_HPP
 
 #include <vector>
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
-namespace rev::core
+namespace rev::validate
 {
 
 /** One base/limit register set. */
@@ -68,6 +68,6 @@ class Sag
     stats::Counter lookups_, misses_;
 };
 
-} // namespace rev::core
+} // namespace rev::validate
 
-#endif // REV_CORE_SAG_HPP
+#endif // REV_VALIDATE_SAG_HPP

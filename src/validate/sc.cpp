@@ -1,9 +1,9 @@
-#include "core/sc.hpp"
+#include "validate/sc.hpp"
 
 #include "common/bitutil.hpp"
 #include "common/logging.hpp"
 
-namespace rev::core
+namespace rev::validate
 {
 
 SignatureCache::SignatureCache(const ScConfig &cfg) : cfg_(cfg)
@@ -83,4 +83,4 @@ SignatureCache::addStats(stats::StatGroup &group) const
     group.add("sc.evictions", &evictions_);
 }
 
-} // namespace rev::core
+} // namespace rev::validate

@@ -15,8 +15,8 @@
  * SC tag therefore covers both addresses.
  */
 
-#ifndef REV_CORE_SC_HPP
-#define REV_CORE_SC_HPP
+#ifndef REV_VALIDATE_SC_HPP
+#define REV_VALIDATE_SC_HPP
 
 #include <optional>
 #include <vector>
@@ -24,7 +24,7 @@
 #include "common/stats.hpp"
 #include "program/cfg.hpp"
 
-namespace rev::core
+namespace rev::validate
 {
 
 /** SC geometry. */
@@ -88,6 +88,6 @@ class SignatureCache
     stats::Counter probes_, hits_, evictions_;
 };
 
-} // namespace rev::core
+} // namespace rev::validate
 
-#endif // REV_CORE_SC_HPP
+#endif // REV_VALIDATE_SC_HPP

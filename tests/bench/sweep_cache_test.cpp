@@ -86,7 +86,7 @@ TEST(SweepCacheKey, DescribeSimConfigCoversKnownKnobCount)
     std::size_t fields = 0;
     for (const char ch : desc)
         fields += (ch == '=');
-    EXPECT_EQ(fields, 74u);
+    EXPECT_EQ(fields, 80u);
 }
 
 class SweepCacheFile : public ::testing::Test

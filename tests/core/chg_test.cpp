@@ -5,10 +5,10 @@
 
 #include <gtest/gtest.h>
 
-#include "core/chg.hpp"
+#include "validate/chg.hpp"
 #include "sig/table.hpp"
 
-namespace rev::core
+namespace rev::validate
 {
 namespace
 {
@@ -64,4 +64,4 @@ TEST(Chg, FlushCounted)
 }
 
 } // namespace
-} // namespace rev::core
+} // namespace rev::validate

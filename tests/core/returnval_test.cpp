@@ -19,14 +19,14 @@ namespace
 {
 
 SimConfig
-cfgWith(ReturnValidation rv)
+cfgWith(validate::ReturnValidation rv)
 {
     SimConfig cfg;
     cfg.rev.returnValidation = rv;
     return cfg;
 }
 
-class ReturnSchemes : public ::testing::TestWithParam<ReturnValidation>
+class ReturnSchemes : public ::testing::TestWithParam<validate::ReturnValidation>
 {
 };
 
@@ -79,10 +79,10 @@ TEST_P(ReturnSchemes, ReturnHijackDetected)
 
 INSTANTIATE_TEST_SUITE_P(
     Schemes, ReturnSchemes,
-    ::testing::Values(ReturnValidation::DelayedPredecessor,
-                      ReturnValidation::ShadowStack),
+    ::testing::Values(validate::ReturnValidation::DelayedPredecessor,
+                      validate::ReturnValidation::ShadowStack),
     [](const auto &info) {
-        return info.param == ReturnValidation::DelayedPredecessor
+        return info.param == validate::ReturnValidation::DelayedPredecessor
                    ? std::string("DelayedPredecessor")
                    : std::string("ShadowStack");
     });
@@ -111,7 +111,7 @@ makeDeepRecursion(int depth)
 TEST(ShadowStack, DeepRecursionSpillsAndRefills)
 {
     auto p = makeDeepRecursion(300);
-    SimConfig cfg = cfgWith(ReturnValidation::ShadowStack);
+    SimConfig cfg = cfgWith(validate::ReturnValidation::ShadowStack);
     cfg.rev.shadowStackEntries = 32;
     Simulator sim(p, cfg);
     const SimResult r = sim.run();
@@ -124,7 +124,7 @@ TEST(ShadowStack, DeepRecursionSpillsAndRefills)
 TEST(ShadowStack, DelayedSchemeHandlesRecursionWithoutSpills)
 {
     auto p = makeDeepRecursion(300);
-    Simulator sim(p, cfgWith(ReturnValidation::DelayedPredecessor));
+    Simulator sim(p, cfgWith(validate::ReturnValidation::DelayedPredecessor));
     const SimResult r = sim.run();
     EXPECT_TRUE(r.run.halted);
     EXPECT_FALSE(r.run.violation.has_value());
@@ -134,9 +134,9 @@ TEST(ShadowStack, DelayedSchemeHandlesRecursionWithoutSpills)
 TEST(ShadowStack, SpillsCostCycles)
 {
     auto p = makeDeepRecursion(400);
-    SimConfig tight = cfgWith(ReturnValidation::ShadowStack);
+    SimConfig tight = cfgWith(validate::ReturnValidation::ShadowStack);
     tight.rev.shadowStackEntries = 8;
-    SimConfig roomy = cfgWith(ReturnValidation::ShadowStack);
+    SimConfig roomy = cfgWith(validate::ReturnValidation::ShadowStack);
     roomy.rev.shadowStackEntries = 1024;
 
     Simulator s1(p, tight), s2(p, roomy);

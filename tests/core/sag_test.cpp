@@ -5,9 +5,9 @@
 
 #include <gtest/gtest.h>
 
-#include "core/sag.hpp"
+#include "validate/sag.hpp"
 
-namespace rev::core
+namespace rev::validate
 {
 namespace
 {
@@ -68,4 +68,4 @@ TEST(Sag, ResetInvalidatesAll)
 }
 
 } // namespace
-} // namespace rev::core
+} // namespace rev::validate

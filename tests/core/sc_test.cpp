@@ -6,9 +6,9 @@
 #include <gtest/gtest.h>
 
 #include "common/logging.hpp"
-#include "core/sc.hpp"
+#include "validate/sc.hpp"
 
-namespace rev::core
+namespace rev::validate
 {
 namespace
 {
@@ -101,4 +101,4 @@ TEST(SignatureCache, HitCountersTrack)
 }
 
 } // namespace
-} // namespace rev::core
+} // namespace rev::validate

@@ -83,7 +83,7 @@ TEST(SimulatorFacade, ThreadStateRoundTrip)
 {
     auto p = test::makeLoopCallProgram();
     Simulator sim(p, SimConfig{});
-    RevEngine::ThreadState st = sim.engine()->saveThreadState();
+    validate::RevValidator::ThreadState st = sim.engine()->saveThreadState();
     EXPECT_FALSE(st.pendingReturn.has_value());
     st.pendingReturn = 0x1234;
     st.shadowStack = {1, 2, 3};
@@ -111,7 +111,7 @@ TEST(SimulatorFacade, ContextSwitchAcrossRetBoundaryNeedsThreadState)
     {
         std::array<u64, isa::kNumArchRegs> regs{};
         Addr pc;
-        RevEngine::ThreadState rev;
+        validate::RevValidator::ThreadState rev;
     };
     Ctx a{}, b{};
     for (unsigned r = 0; r < isa::kNumArchRegs; ++r)

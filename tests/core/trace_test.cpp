@@ -20,9 +20,9 @@ TEST(Trace, OneEventPerValidatedBlockInOrder)
     auto p = test::makeLoopCallProgram();
     Simulator sim(p, SimConfig{});
 
-    std::vector<RevEngine::ValidationEvent> events;
+    std::vector<validate::RevValidator::ValidationEvent> events;
     sim.engine()->setTraceCallback(
-        [&](const RevEngine::ValidationEvent &ev) {
+        [&](const validate::RevValidator::ValidationEvent &ev) {
             events.push_back(ev);
         });
 
@@ -52,9 +52,9 @@ TEST(Trace, FailureEventCarriesReason)
 {
     auto p = test::makeLoopCallProgram();
     Simulator sim(p, SimConfig{});
-    std::vector<RevEngine::ValidationEvent> events;
+    std::vector<validate::RevValidator::ValidationEvent> events;
     sim.engine()->setTraceCallback(
-        [&](const RevEngine::ValidationEvent &ev) {
+        [&](const validate::RevValidator::ValidationEvent &ev) {
             events.push_back(ev);
         });
 
@@ -79,7 +79,7 @@ TEST(Trace, StallAttributionSumsToCounter)
     Simulator sim(p, SimConfig{});
     Cycle total = 0;
     sim.engine()->setTraceCallback(
-        [&](const RevEngine::ValidationEvent &ev) {
+        [&](const validate::RevValidator::ValidationEvent &ev) {
             total += ev.stallCycles;
         });
     const SimResult r = sim.run();

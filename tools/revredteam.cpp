@@ -12,14 +12,20 @@
  * Usage:
  *   revredteam [--seed N] [--quick] [--injections N] [--budget N]
  *              [--threads N] [--workloads a,b] [--out FILE]
- *              [--shrink] [--disable-rev]
+ *              [--backend NAME] [--list-backends] [--shrink]
+ *              [--disable-rev]
  *
- *   --quick        the CI / acceptance campaign (500 injections)
- *   --out          detection-matrix JSON path (default: stdout)
- *   --shrink       minimize each escape to a reproducer plan
- *   --disable-rev  run without REV attached (oracle self-test: divergent
- *                  injections of detectable classes must surface as
- *                  escapes)
+ *   --quick          the CI / acceptance campaign (500 injections)
+ *   --out            detection-matrix JSON path (default: stdout)
+ *   --backend        validation backend under attack (default: rev);
+ *                    verdicts consult that backend's claimed-coverage
+ *                    matrix, so e.g. code substitution is Blind, not an
+ *                    escape, under lofat
+ *   --list-backends  print the registered backends and exit
+ *   --shrink         minimize each escape to a reproducer plan
+ *   --disable-rev    run without validation attached (oracle self-test:
+ *                    divergent injections of detectable classes must
+ *                    surface as escapes)
  */
 
 #include <cstdio>
@@ -50,7 +56,8 @@ usage(int code)
     std::printf(
         "usage: revredteam [--seed N] [--quick] [--injections N]\n"
         "                  [--budget N] [--threads N] [--workloads a,b]\n"
-        "                  [--out FILE] [--shrink] [--disable-rev]\n");
+        "                  [--out FILE] [--backend NAME] [--list-backends]\n"
+        "                  [--shrink] [--disable-rev]\n");
     std::exit(code);
 }
 
@@ -87,6 +94,17 @@ parseArgs(int argc, char **argv)
                     names.substr(pos, comma - pos));
                 pos = comma == std::string::npos ? comma : comma + 1;
             }
+        } else if (arg == "--backend") {
+            const char *name = next(i);
+            if (!validate::backendFromName(name, &args.spec.backend)) {
+                std::fprintf(stderr, "unknown backend '%s'\n", name);
+                usage(2);
+            }
+        } else if (arg == "--list-backends") {
+            for (const validate::BackendInfo &b :
+                 validate::ValidatorRegistry::instance().list())
+                std::printf("%-8s %s\n", b.name, b.summary);
+            std::exit(0);
         } else if (arg == "--out") {
             args.outPath = next(i);
         } else if (arg == "--shrink") {
@@ -107,10 +125,11 @@ void
 printSummary(const DetectionMatrix &m)
 {
     std::fprintf(stderr,
-                 "campaign seed %llu: %llu injections, rev %s\n",
+                 "campaign seed %llu: %llu injections, backend %s%s\n",
                  static_cast<unsigned long long>(m.seed),
                  static_cast<unsigned long long>(m.injections),
-                 m.revEnabled ? "on" : "off");
+                 validate::backendName(m.backend),
+                 m.revEnabled ? "" : " (validation off)");
     std::fprintf(stderr, "%-14s %-10s %9s %9s %7s %7s %6s %8s\n", "class",
                  "mode", "injected", "detected", "crashed", "benign",
                  "blind", "escapes");

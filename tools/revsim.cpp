@@ -24,6 +24,8 @@
  *   --record-trace F   record the architectural trace to file F
  *   --replay-trace F   time against the trace in F instead of re-executing
  *                      (falls back to direct execution on any mismatch)
+ *   --backend NAME     validation backend: rev (default), lofat, null
+ *   --list-backends    print the registered backends and exit
  */
 
 #include <cstdio>
@@ -48,7 +50,8 @@ usage()
         "              [--sc KB] [--instrs N] [--base] [--shadow-stack]\n"
         "              [--page-shadowing] [--interrupts N] [--dma N]\n"
         "              [--no-wrong-path] [--seed N] [--stats] [--list]\n"
-        "              [--record-trace FILE] [--replay-trace FILE]\n");
+        "              [--record-trace FILE] [--replay-trace FILE]\n"
+        "              [--backend NAME] [--list-backends]\n");
 }
 
 } // namespace
@@ -68,6 +71,7 @@ main(int argc, char **argv)
     bool wrong_path = true;
     u64 interrupts = 0, dma = 0, seed = 0;
     std::string record_path, replay_path;
+    validate::Backend backend = validate::Backend::Rev;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -108,6 +112,17 @@ main(int argc, char **argv)
             record_path = next();
         } else if (arg == "--replay-trace") {
             replay_path = next();
+        } else if (arg == "--backend") {
+            const char *name = next();
+            if (!validate::backendFromName(name, &backend)) {
+                std::fprintf(stderr, "unknown backend '%s'\n", name);
+                return 2;
+            }
+        } else if (arg == "--list-backends") {
+            for (const validate::BackendInfo &b :
+                 validate::ValidatorRegistry::instance().list())
+                std::printf("%-8s %s\n", b.name, b.summary);
+            return 0;
         } else if (arg == "--list") {
             for (const auto &p : workloads::spec2006Profiles())
                 std::printf("%s\n", p.name.c_str());
@@ -145,6 +160,7 @@ main(int argc, char **argv)
                             ? sig::ValidationMode::Aggressive
                             : (mode_s == "cfi" ? sig::ValidationMode::CfiOnly
                                                : sig::ValidationMode::Full);
+            acfg.backend = backend;
             const attacks::AttackOutcome out = atk->execute(acfg);
             std::printf("attack               %s\n", atk->name());
             std::printf("mechanism            %s\n",
@@ -155,7 +171,9 @@ main(int argc, char **argv)
                         out.detected ? out.reason.c_str() : "NO");
             std::printf("attacker goal met    %s\n",
                         out.succeeded ? "YES (tainted memory)" : "no");
-            return out.detected || !atk->detectableIn(acfg.mode) ? 0 : 1;
+            return out.detected || !atk->detectableIn(acfg.mode, backend)
+                       ? 0
+                       : 1;
         }
         std::fprintf(stderr, "unknown attack '%s' (try --attack list)\n",
                      attack.c_str());
@@ -170,6 +188,7 @@ main(int argc, char **argv)
 
     core::SimConfig cfg;
     cfg.mode = mode;
+    cfg.backend = backend;
     cfg.rev.sc.sizeBytes = sc_kb * 1024ull;
     cfg.core.maxInstrs = instrs;
     cfg.core.modelWrongPath = wrong_path;
@@ -177,7 +196,7 @@ main(int argc, char **argv)
     cfg.mem.dmaIntervalCycles = dma;
     cfg.pageShadowing = page_shadowing;
     if (shadow_stack)
-        cfg.rev.returnValidation = core::ReturnValidation::ShadowStack;
+        cfg.rev.returnValidation = validate::ReturnValidation::ShadowStack;
 
     prog::TraceRecorder recorder;
     prog::Trace replay_trace;
@@ -209,8 +228,9 @@ main(int argc, char **argv)
         base_ipc = core::Simulator(program, bcfg).run().run.ipc();
     }
 
-    std::fprintf(stderr, "[revsim] REV run (%s, %u KB SC)...\n",
-                 sig::modeName(mode), sc_kb);
+    std::fprintf(stderr, "[revsim] %s run (%s, %u KB SC)...\n",
+                 validate::backendName(backend), sig::modeName(mode),
+                 sc_kb);
     core::Simulator sim(program, cfg);
     const bool replaying = sim.replayActive();
     const core::SimResult r = sim.run();
@@ -251,12 +271,21 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(r.run.uniqueBranches),
                 static_cast<unsigned long long>(r.run.mispredicts));
     std::printf("BBs validated        %llu\n",
-                static_cast<unsigned long long>(r.rev.bbValidated));
-    std::printf("SC misses            %llu complete + %llu partial\n",
-                static_cast<unsigned long long>(r.rev.scCompleteMisses),
-                static_cast<unsigned long long>(r.rev.scPartialMisses));
+                static_cast<unsigned long long>(r.validation.bbValidated));
+    if (backend == validate::Backend::Rev)
+        std::printf("SC misses            %llu complete + %llu partial\n",
+                    static_cast<unsigned long long>(r.rev.scCompleteMisses),
+                    static_cast<unsigned long long>(r.rev.scPartialMisses));
+    if (backend == validate::Backend::LoFat) {
+        std::printf("chain updates        %llu\n",
+                    static_cast<unsigned long long>(r.lofat.chainUpdates));
+        std::printf("measurement spills   %llu (%llu bytes)\n",
+                    static_cast<unsigned long long>(r.lofat.bufferSpills),
+                    static_cast<unsigned long long>(r.lofat.spillBytes));
+    }
     std::printf("commit stalls        %llu cycles\n",
-                static_cast<unsigned long long>(r.rev.commitStallCycles));
+                static_cast<unsigned long long>(
+                    r.validation.commitStallCycles));
     std::printf("signature tables     %llu bytes\n",
                 static_cast<unsigned long long>(r.sigTableBytes));
     std::printf("violations           %s\n",
