@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "bench/sweep_runner.hpp"
+#include "validate/backend_cli.hpp"
 #include "workloads/generator.hpp"
 
 namespace rev::bench
@@ -117,17 +118,9 @@ sweepOptionsFromArgs(int argc, char **argv)
                     opts.benchmarks.push_back(name);
         } else if (arg == "--cache") {
             opts.cachePath = next();
-        } else if (arg == "--backend") {
-            const char *name = next();
-            if (!validate::backendFromName(name, &opts.backend)) {
-                std::fprintf(stderr, "unknown backend '%s'\n", name);
-                usage(2);
-            }
-        } else if (arg == "--list-backends") {
-            for (const validate::BackendInfo &b :
-                 validate::ValidatorRegistry::instance().list())
-                std::printf("%-8s %s\n", b.name, b.summary);
-            std::exit(0);
+        } else if (validate::backendCliOptions(argc, argv, &i,
+                                               &opts.backend)) {
+            // shared --backend / --list-backends handling
         } else if (arg == "--help" || arg == "-h") {
             usage(0);
         } else {
@@ -135,20 +128,6 @@ sweepOptionsFromArgs(int argc, char **argv)
         }
     }
     return opts;
-}
-
-const Sweep &
-fullSweep(bool quick)
-{
-    static Sweep sweep;
-    static bool ready = false;
-    static bool readyQuick = false;
-    if (!ready || readyQuick != quick) {
-        sweep = runSweep(quick ? SweepOptions::quick() : SweepOptions{});
-        ready = true;
-        readyQuick = quick;
-    }
-    return sweep;
 }
 
 double

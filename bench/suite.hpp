@@ -174,13 +174,6 @@ Sweep runSweep(const SweepOptions &opts = {});
  */
 SweepOptions sweepOptionsFromArgs(int argc, char **argv);
 
-/**
- * @deprecated Transitional shim over runSweep() for older callers; new
- * code should construct SweepOptions and call runSweep() directly.
- */
-[[deprecated("use runSweep(const SweepOptions &)")]]
-const Sweep &fullSweep(bool quick = false);
-
 /** Percentage IPC overhead of @p cfg relative to the base run. */
 double overheadPct(const Sweep &s, const std::string &bench, Config cfg);
 

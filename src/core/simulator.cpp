@@ -57,6 +57,8 @@ Simulator::Simulator(const prog::Program &program, const SimConfig &cfg)
     else if (validator_->kind() == Backend::LoFat)
         lofatEngine_ =
             static_cast<validate::LoFatValidator *>(validator_.get());
+    if (cfg_.measurementSink)
+        validator_->attachMeasurementSink(cfg_.measurementSink);
 
     core_ = std::make_unique<cpu::Core>(program_, mem_, memsys_, cfg_.core,
                                         validator_.get());
@@ -151,6 +153,11 @@ Simulator::run()
             cfg_.traceRecorder->markViolation();
         cfg_.traceRecorder->finish(core_->machine());
     }
+    // A finished execution seals the measurement session; a quantum that
+    // merely exhausted its instruction budget (warm-up/steady-state
+    // phases) leaves the session open for the next run().
+    if (res.run.halted || res.run.violation)
+        validator_->sealMeasurement();
     res.validation = validator_->commonStats();
     if (revEngine_)
         res.rev = revEngine_->stats();

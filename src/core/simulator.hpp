@@ -77,6 +77,16 @@ struct SimConfig
     prog::TraceRecorder *traceRecorder = nullptr;
 
     /**
+     * Optional prover-side measurement sink (validate/stream.hpp): the
+     * attached backend serializes its measurement session into it — the
+     * header at construction, one record per validated block, and the
+     * End seal when the run completes (halts or faults). A standalone
+     * StreamVerifier can then re-render the run's verdict from the bytes
+     * alone. Must outlive the Simulator.
+     */
+    validate::MeasurementSink *measurementSink = nullptr;
+
+    /**
      * Optional recorded trace to replay instead of executing semantics.
      * Attached only when it matches this simulation (replayable, same
      * entry PC, instruction budget, split limits, and code-page

@@ -1,0 +1,48 @@
+#include "validate/backend_cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "validate/registry.hpp"
+
+namespace rev::validate
+{
+
+void
+printBackendList(std::FILE *to)
+{
+    std::vector<BackendInfo> infos = ValidatorRegistry::instance().list();
+    std::sort(infos.begin(), infos.end(),
+              [](const BackendInfo &a, const BackendInfo &b) {
+                  return std::strcmp(a.name, b.name) < 0;
+              });
+    for (const BackendInfo &b : infos)
+        std::fprintf(to, "%-8s %s\n", b.name, b.summary);
+}
+
+bool
+backendCliOptions(int argc, char **argv, int *i, Backend *backend)
+{
+    const std::string arg = argv[*i];
+    if (arg == "--list-backends") {
+        printBackendList(stdout);
+        std::exit(0);
+    }
+    if (arg != "--backend")
+        return false;
+    if (*i + 1 >= argc) {
+        std::fprintf(stderr, "--backend requires a value\n");
+        std::exit(2);
+    }
+    const char *name = argv[++*i];
+    if (!backendFromName(name, backend)) {
+        std::fprintf(stderr, "unknown backend '%s'; registered:\n", name);
+        printBackendList(stderr);
+        std::exit(2);
+    }
+    return true;
+}
+
+} // namespace rev::validate

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared command-line handling for the validation-backend flags.
+ *
+ * Every binary that selects a backend accepts the same two flags:
+ *
+ *   --backend NAME     pick a registered backend by its stable CLI name
+ *   --list-backends    print the registered backends and exit
+ *
+ * backendCliOptions() is the one implementation of both, so the tools,
+ * the benchmark drivers, and future binaries cannot drift in parsing,
+ * error wording, or listing format. The listing is sorted by backend
+ * name (not registry order) so its output is stable as backends are
+ * added.
+ */
+
+#ifndef REV_VALIDATE_BACKEND_CLI_HPP
+#define REV_VALIDATE_BACKEND_CLI_HPP
+
+#include <cstdio>
+
+#include "validate/validator.hpp"
+
+namespace rev::validate
+{
+
+/** Usage-string fragment for the shared flags. */
+inline constexpr const char *kBackendCliUsage =
+    "[--backend NAME] [--list-backends]";
+
+/** Print "name  summary" rows for every registered backend, sorted by
+ *  name, to @p to. */
+void printBackendList(std::FILE *to);
+
+/**
+ * Shared --backend / --list-backends handling.
+ *
+ * Call with the current argv index; returns true when argv[*i] was one
+ * of the shared flags (advancing *i past a consumed value). Exits the
+ * process directly with status 0 after --list-backends and status 2 on
+ * a missing or unknown backend name — matching what every former inline
+ * copy of this parsing did.
+ */
+bool backendCliOptions(int argc, char **argv, int *i, Backend *backend);
+
+} // namespace rev::validate
+
+#endif // REV_VALIDATE_BACKEND_CLI_HPP

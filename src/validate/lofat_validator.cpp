@@ -2,28 +2,15 @@
 
 #include <algorithm>
 #include <cstring>
-#include <sstream>
 
 #include "common/logging.hpp"
+#include "validate/verdict.hpp"
 
 namespace rev::validate
 {
 
 using isa::InstrClass;
 using prog::TermKind;
-
-namespace
-{
-
-std::string
-hex(Addr a)
-{
-    std::ostringstream os;
-    os << "0x" << std::hex << a;
-    return os.str();
-}
-
-} // namespace
 
 LoFatValidator::LoFatValidator(const sig::SigStore &store,
                                const SparseMemory &mem,
@@ -68,8 +55,7 @@ bool
 LoFatValidator::fail(const BBFetchInfo &info, const std::string &reason)
 {
     ++stats_.violations;
-    lastViolation_ = reason + " (bb " + hex(info.start) + ".." +
-                     hex(info.term) + ")";
+    lastViolation_ = reason + verdict::bbSuffix(info.start, info.term);
     cur_ = PendingBB{};
     return false;
 }
@@ -83,17 +69,21 @@ LoFatValidator::validateBB(BBSeq bb, Addr actual_target, Cycle commit_cycle)
     }
     const BBFetchInfo info = cur_.info;
 
+    // Prover-side measurement: the block is recorded before the (eager,
+    // model-side) CFG check adjudicates it.
+    source_.emitBlock(info, actual_target, cur_.codeDigest);
+
     // --- eager verifier: the event must exist in the attested CFG ---------
     const sig::ModuleSig *ms = store_.findByCode(info.term);
     if (!ms) {
         ++stats_.unattestedBlocks;
-        return fail(info, "unattested code at " + hex(info.term));
+        return fail(info, verdict::reasonUnattested(info.term));
     }
     const std::vector<const prog::BasicBlock *> blocks =
         ms->cfg.blocksAtTerm(info.term);
     if (blocks.empty()) {
         ++stats_.unattestedBlocks;
-        return fail(info, "unattested code at " + hex(info.term));
+        return fail(info, verdict::reasonUnattested(info.term));
     }
 
     // Edge check: the taken edge must appear in some attested block with
@@ -117,10 +107,8 @@ LoFatValidator::validateBB(BBSeq bb, Addr actual_target, Cycle commit_cycle)
     if (!edge_ok && any_successor) {
         ++stats_.edgeViolations;
         if (is_return)
-            return fail(info, "return to " + hex(actual_target) +
-                                  " not an attested return site");
-        return fail(info, "control-flow edge to " + hex(actual_target) +
-                              " absent from attested CFG");
+            return fail(info, verdict::reasonBadReturnSite(actual_target));
+        return fail(info, verdict::reasonIllegalEdge(actual_target));
     }
 
     fold(info, actual_target);
@@ -172,6 +160,7 @@ LoFatValidator::spill(Cycle from)
     ++stats_.bufferSpills;
     stats_.spillBytes += bytes;
     bufferUsed_ = 0;
+    source_.emitSpill(bytes);
 }
 
 void
@@ -200,6 +189,21 @@ LoFatValidator::onSyscall(u8 service, Cycle commit_cycle)
         enabled_ = false;
     else if (service == 2)
         enabled_ = true;
+    if (service == 1 || service == 2)
+        source_.emitSyscall(service);
+}
+
+void
+LoFatValidator::attachMeasurementSink(MeasurementSink *sink)
+{
+    StreamHeader h;
+    h.backend = Backend::LoFat;
+    h.mode = store_.mode();
+    h.hashRounds = cfg_.chg.hashRounds;
+    h.bufferEntries = cfg_.bufferEntries;
+    h.entryBytes = cfg_.entryBytes;
+    h.startEnabled = enabled_;
+    source_.attach(sink, h);
 }
 
 void

@@ -29,6 +29,7 @@
 #include "mem/memsys.hpp"
 #include "sig/sigstore.hpp"
 #include "validate/chg.hpp"
+#include "validate/source.hpp"
 #include "validate/validator.hpp"
 
 namespace rev::validate
@@ -83,6 +84,8 @@ class LoFatValidator final : public Validator
     void onSyscall(u8 service, Cycle commit_cycle) override;
     bool validationActive() const override { return enabled_; }
     std::string violationReason() const override { return lastViolation_; }
+    void attachMeasurementSink(MeasurementSink *sink) override;
+    void sealMeasurement() override { source_.seal(chain_); }
     void invalidateCodeCache() override { chg_.invalidate(); }
     void refreshTables() override { chg_.invalidate(); }
     ValidationStats commonStats() const override { return stats_; }
@@ -132,6 +135,7 @@ class LoFatValidator final : public Validator
     Cycle drainReadyAt_ = 0;
     std::string lastViolation_;
     LoFatStats stats_;
+    MeasurementSource source_; ///< prover-side session emitter (stream.hpp)
 };
 
 } // namespace rev::validate

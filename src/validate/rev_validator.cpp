@@ -1,15 +1,16 @@
 #include "validate/rev_validator.hpp"
 
 #include <algorithm>
-#include <sstream>
 
 #include "common/logging.hpp"
+#include "validate/verdict.hpp"
 
 namespace rev::validate
 {
 
 using isa::InstrClass;
 using sig::ValidationMode;
+using verdict::hex;
 
 namespace
 {
@@ -18,14 +19,6 @@ bool
 contains(const std::vector<Addr> &v, Addr a)
 {
     return std::find(v.begin(), v.end(), a) != v.end();
-}
-
-std::string
-hex(Addr a)
-{
-    std::ostringstream os;
-    os << "0x" << std::hex << a;
-    return os.str();
 }
 
 } // namespace
@@ -286,6 +279,11 @@ RevValidator::validateBB(BBSeq bb, Addr actual_target, Cycle commit_cycle)
     const BBFetchInfo info = cur.info;
     const ValidationMode mode = store_.mode();
 
+    // Prover-side measurement: report the block before adjudicating it —
+    // real measurement hardware records what executed, including the
+    // block a verdict will reject.
+    source_.emitBlock(info, actual_target, cur.computedHash);
+
     auto emit_trace = [&](bool passed, const std::string &reason) {
         if (!trace_)
             return;
@@ -305,8 +303,7 @@ RevValidator::validateBB(BBSeq bb, Addr actual_target, Cycle commit_cycle)
 
     auto fail = [&](const std::string &reason) {
         ++stats_.violations;
-        lastViolation_ = reason + " (bb " + hex(info.start) + ".." +
-                         hex(info.term) + ")";
+        lastViolation_ = reason + verdict::bbSuffix(info.start, info.term);
         // Keep the offender's signature for later recognition
         // (paper, Sec. X).
         offenders_.push_back({info.start, info.term, cur.computedHash,
@@ -317,14 +314,13 @@ RevValidator::validateBB(BBSeq bb, Addr actual_target, Cycle commit_cycle)
     };
 
     if (!cur.refFound) {
-        return fail(cur.termSeen
-                        ? "basic-block hash mismatch"
-                        : "no reference signature for basic block");
+        return fail(cur.termSeen ? verdict::reasonHashMismatch()
+                                 : verdict::reasonNoReference());
     }
 
     if (mode != ValidationMode::CfiOnly) {
         if (cur.computedHash != cur.refHash)
-            return fail("basic-block hash mismatch");
+            return fail(verdict::reasonHashMismatch());
 
         if (cfg_.returnValidation == ReturnValidation::DelayedPredecessor) {
             // Delayed return validation (Sec. V.A): this block was
@@ -332,8 +328,7 @@ RevValidator::validateBB(BBSeq bb, Addr actual_target, Cycle commit_cycle)
             // RET predecessors.
             if (pendingReturn_) {
                 if (!contains(cur.refPreds, *pendingReturn_))
-                    return fail("return from " + hex(*pendingReturn_) +
-                                " to unexpected site");
+                    return fail(verdict::reasonBadReturn(*pendingReturn_));
                 pendingReturn_.reset();
             }
         }
@@ -350,7 +345,7 @@ RevValidator::validateBB(BBSeq bb, Addr actual_target, Cycle commit_cycle)
              info.termClass != InstrClass::Halt)
         check_target = true;
     if (check_target && !contains(cur.refTargets, actual_target))
-        return fail("illegal transfer to " + hex(actual_target));
+        return fail(verdict::reasonIllegalTransfer(actual_target));
 
     if (mode != ValidationMode::CfiOnly &&
         cfg_.returnValidation == ReturnValidation::DelayedPredecessor) {
@@ -372,7 +367,7 @@ RevValidator::validateBB(BBSeq bb, Addr actual_target, Cycle commit_cycle)
             }
         } else if (info.termClass == InstrClass::Return) {
             if (shadowStack_.empty())
-                return fail("shadow stack underflow on return");
+                return fail(verdict::reasonShadowUnderflow());
             if (shadowStack_.size() == shadowSpilled_ &&
                 shadowSpilled_ > 0) {
                 // On-chip stack empty: refill a batch from memory.
@@ -386,9 +381,8 @@ RevValidator::validateBB(BBSeq bb, Addr actual_target, Cycle commit_cycle)
             const Addr expected = shadowStack_.back();
             shadowStack_.pop_back();
             if (actual_target != expected)
-                return fail("return to " + hex(actual_target) +
-                            " violates shadow stack (expected " +
-                            hex(expected) + ")");
+                return fail(
+                    verdict::reasonShadowMismatch(actual_target, expected));
         }
     }
 
@@ -450,6 +444,21 @@ RevValidator::onSyscall(u8 service, Cycle commit_cycle)
         enabled_ = false;
     else if (service == 2)
         enabled_ = true;
+    if (service == 1 || service == 2)
+        source_.emitSyscall(service);
+}
+
+void
+RevValidator::attachMeasurementSink(MeasurementSink *sink)
+{
+    StreamHeader h;
+    h.backend = Backend::Rev;
+    h.mode = store_.mode();
+    h.returnValidation = static_cast<u8>(cfg_.returnValidation);
+    h.hashRounds = cfg_.chg.hashRounds;
+    h.shadowStackEntries = cfg_.shadowStackEntries;
+    h.startEnabled = enabled_;
+    source_.attach(sink, h);
 }
 
 void

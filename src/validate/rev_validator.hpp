@@ -38,6 +38,7 @@
 #include "validate/chg.hpp"
 #include "validate/sag.hpp"
 #include "validate/sc.hpp"
+#include "validate/source.hpp"
 #include "validate/validator.hpp"
 
 namespace rev::validate
@@ -127,6 +128,8 @@ class RevValidator final : public Validator
     void onSyscall(u8 service, Cycle commit_cycle) override;
     bool validationActive() const override { return enabled_; }
     std::string violationReason() const override { return lastViolation_; }
+    void attachMeasurementSink(MeasurementSink *sink) override;
+    void sealMeasurement() override { source_.seal(); }
 
     /** Attacks that modify code space must invalidate memoized digests. */
     void invalidateCodeCache() override { chg_.invalidate(); }
@@ -305,6 +308,7 @@ class RevValidator final : public Validator
     RevStats stats_;
     TraceCallback trace_;
     std::vector<OffenderRecord> offenders_;
+    MeasurementSource source_; ///< prover-side session emitter (stream.hpp)
 
     /**
      * Per-table decrypt/walk state, keyed by table base. Programs link a

@@ -1,0 +1,85 @@
+#include "validate/source.hpp"
+
+namespace rev::validate
+{
+
+void
+MeasurementSource::attach(MeasurementSink *sink, const StreamHeader &header)
+{
+    sink_ = sink;
+    blocks_ = 0;
+    sealed_ = false;
+    if (sink_)
+        sink_->onHeader(header);
+}
+
+void
+MeasurementSource::emitBlock(const BBFetchInfo &info, Addr target,
+                             u32 code_digest)
+{
+    if (!sink_ || sealed_)
+        return;
+    MeasurementEvent ev;
+    ev.kind = EventKind::Block;
+    ev.start = info.start;
+    ev.term = info.term;
+    ev.end = info.end;
+    ev.target = target;
+    ev.termClass = info.termClass;
+    ev.artificialSplit = info.artificialSplit;
+    ev.codeDigest = code_digest;
+    sink_->onEvent(ev);
+    ++blocks_;
+}
+
+void
+MeasurementSource::emitSyscall(u8 service)
+{
+    if (!sink_ || sealed_)
+        return;
+    MeasurementEvent ev;
+    ev.kind = EventKind::Syscall;
+    ev.service = service;
+    sink_->onEvent(ev);
+}
+
+void
+MeasurementSource::emitSpill(u64 bytes)
+{
+    if (!sink_ || sealed_)
+        return;
+    MeasurementEvent ev;
+    ev.kind = EventKind::SpillMark;
+    ev.spillBytes = bytes;
+    sink_->onEvent(ev);
+}
+
+void
+MeasurementSource::emitEnd(const crypto::Digest *chain)
+{
+    if (!sink_ || sealed_)
+        return;
+    MeasurementEvent ev;
+    ev.kind = EventKind::End;
+    ev.blockCount = blocks_;
+    if (chain) {
+        ev.hasChain = true;
+        ev.chain = *chain;
+    }
+    sink_->onEvent(ev);
+    sealed_ = true;
+}
+
+void
+MeasurementSource::seal()
+{
+    emitEnd(nullptr);
+}
+
+void
+MeasurementSource::seal(const crypto::Digest &chain)
+{
+    emitEnd(&chain);
+}
+
+} // namespace rev::validate

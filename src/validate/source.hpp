@@ -1,0 +1,66 @@
+/**
+ * @file
+ * MeasurementSource: the prover-side half of the attestation split.
+ *
+ * Each in-core backend owns one of these. When a sink is attached (via
+ * Validator::attachMeasurementSink) the backend reports every measured
+ * event through it — the session header on attach, one Block record per
+ * block reaching commit-time validation, Syscall markers for the trusted
+ * enable/disable services, SpillMark records mirroring measurement-buffer
+ * drains — and seals the session with an End record when the run
+ * completes. With no sink attached every emit is a no-op, so the inline
+ * backends' behavior (and their pinned golden stats) is untouched.
+ *
+ * The source is deliberately dumb: it serializes what the backend already
+ * measured and counts blocks for the seal. All checking lives on the
+ * verifier side (stream_verifier.hpp).
+ */
+
+#ifndef REV_VALIDATE_SOURCE_HPP
+#define REV_VALIDATE_SOURCE_HPP
+
+#include "validate/stream.hpp"
+
+namespace rev::validate
+{
+
+/**
+ * Event emitter each backend owns; inert until attach().
+ */
+class MeasurementSource
+{
+  public:
+    /** Bind @p sink and emit the session header. */
+    void attach(MeasurementSink *sink, const StreamHeader &header);
+
+    bool attached() const { return sink_ != nullptr; }
+
+    /** One basic block reached commit-time validation. */
+    void emitBlock(const BBFetchInfo &info, Addr target, u32 code_digest);
+
+    /** A trusted service call committed (1 suspends, 2 resumes). */
+    void emitSyscall(u8 service);
+
+    /** The measurement buffer drained @p bytes through the ScFill port. */
+    void emitSpill(u64 bytes);
+
+    /** Seal the session (REV flavor: no chain to report). */
+    void seal();
+
+    /** Seal the session with the final measurement chain (LO-FAT). */
+    void seal(const crypto::Digest &chain);
+
+    /** Block records emitted so far (reported in the End record). */
+    u64 blockCount() const { return blocks_; }
+
+  private:
+    void emitEnd(const crypto::Digest *chain);
+
+    MeasurementSink *sink_ = nullptr;
+    u64 blocks_ = 0;
+    bool sealed_ = false;
+};
+
+} // namespace rev::validate
+
+#endif // REV_VALIDATE_SOURCE_HPP

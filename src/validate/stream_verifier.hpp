@@ -1,0 +1,152 @@
+/**
+ * @file
+ * StreamVerifier: the verifier-side half of the attestation split.
+ *
+ * Consumes one measurement session (stream.hpp) incrementally and
+ * renders the verdict the in-core backend would have rendered on the
+ * same execution — the same Detected/Benign outcome, the same
+ * violation-reason string (verdict.hpp), and the same architectural
+ * counters (bbValidated, violations; LO-FAT chain/spill counters). The
+ * checking rules are the commit-time halves of RevValidator::validateBB
+ * and LoFatValidator::validateBB, driven by reference lookups against a
+ * module-sharded RefStore instead of the in-core SC/SAG path; the
+ * contract test (tests/validate/stream_contract_test.cpp) pins the
+ * equivalence across every sweep config.
+ *
+ * One deliberate difference from the in-core path: the in-core SC
+ * authenticates a block once and then trusts its cached reference hash,
+ * so a (term, digest) pair that collides with a *different* unit of the
+ * same terminator could in principle round-trip differently here. The
+ * discriminator is the table's own (termOff, hash) match either way, so
+ * the divergence window is a 32-bit collision within one terminator —
+ * the same residual the paper accepts for the SC itself.
+ *
+ * Beyond re-rendering verdicts, the verifier adjudicates the transport:
+ * truncated or malformed bytes, block-count or spill-record
+ * inconsistencies, and (LO-FAT) divergence of the reported measurement
+ * chain from the chain it re-folds from verified blocks all yield
+ * Detected with a transport reason. Transport failures do not touch the
+ * architectural counters — those mirror inline validation, which cannot
+ * experience a transport fault.
+ */
+
+#ifndef REV_VALIDATE_STREAM_VERIFIER_HPP
+#define REV_VALIDATE_STREAM_VERIFIER_HPP
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "validate/refstore.hpp"
+#include "validate/stream.hpp"
+
+namespace rev::validate
+{
+
+/** What a StreamVerifier renders for one session. */
+struct StreamVerdict
+{
+    bool complete = false; ///< session adjudicated (End seen or hard fail)
+    bool detected = false; ///< a violation (or transport fault) was found
+    std::string reason;    ///< first violation, inline-identical wording
+
+    u64 blocksSeen = 0; ///< Block records consumed (incl. skipped ones)
+
+    // Architectural counters, bit-identical to the inline backend's.
+    u64 bbValidated = 0;
+    u64 violations = 0;
+
+    // LO-FAT extras (zero for REV sessions).
+    u64 chainUpdates = 0;
+    u64 bufferSpills = 0;
+    u64 spillBytes = 0;
+    u64 unattestedBlocks = 0;
+    u64 edgeViolations = 0;
+};
+
+/**
+ * Incremental verifier for one session. Feed bytes as they arrive;
+ * finish() when the prover closes. Single-session, single-threaded —
+ * the service (verifier/service.hpp) runs one per session and shards
+ * concurrency across sessions.
+ */
+class StreamVerifier
+{
+  public:
+    explicit StreamVerifier(const RefStore &refs) : refs_(refs) {}
+
+    /**
+     * Append @p n session bytes and process every complete event.
+     * @return false once the session is adjudicated (further bytes are
+     *         ignored).
+     */
+    bool feed(const u8 *data, std::size_t n);
+
+    /** The prover closed the stream: adjudicate truncation. */
+    void finish();
+
+    bool done() const { return verdict_.complete; }
+    const StreamVerdict &verdict() const { return verdict_; }
+
+    /** Session header (valid once headerSeen()). */
+    const StreamHeader &header() const { return hdr_; }
+    bool headerSeen() const { return haveHeader_; }
+
+    /** Bytes consumed so far (drives the bytes/session report). */
+    u64 bytesConsumed() const { return bytesConsumed_; }
+
+  private:
+    void processAvailable();
+
+    /** Batch-resolve reference lookups for every decodable Block whose
+     *  (term, digest) is not yet memoized, grouped by shard. */
+    void prefetchLookups();
+
+    const sig::LookupResult &resolve(Addr term, u32 digest);
+
+    void handleEvent(const MeasurementEvent &ev);
+    void handleBlockRev(const MeasurementEvent &ev);
+    void handleBlockLoFat(const MeasurementEvent &ev);
+    void handleSpillMark(const MeasurementEvent &ev);
+    void handleEnd(const MeasurementEvent &ev);
+
+    /** Render a block-level violation exactly as the inline fail() does. */
+    void violation(const MeasurementEvent &ev, const std::string &reason);
+
+    /** Render a transport-level failure (no architectural counterpart). */
+    void transportFail(const std::string &reason);
+
+    void foldChain(const MeasurementEvent &ev);
+
+    const RefStore &refs_;
+
+    std::vector<u8> buf_;
+    StreamReader reader_;
+    u64 bytesConsumed_ = 0;
+
+    bool haveHeader_ = false;
+    StreamHeader hdr_;
+    StreamVerdict verdict_;
+
+    bool enabled_ = true; ///< tracks the trusted suspend/resume services
+
+    // Memoized reference lookups, keyed by (term, digest). One table
+    // walk per static validation unit instead of per dynamic block.
+    std::unordered_map<Addr, std::vector<std::pair<u32, sig::LookupResult>>>
+        memo_;
+
+    // --- REV session state (mirrors RevValidator) -----------------------
+    std::optional<Addr> pendingReturn_;
+    std::vector<Addr> shadowStack_;
+
+    // --- LO-FAT session state (mirrors LoFatValidator) ------------------
+    crypto::Digest chain_{};
+    unsigned bufferUsed_ = 0;
+    bool spillPending_ = false;
+    u64 expectedSpillBytes_ = 0;
+};
+
+} // namespace rev::validate
+
+#endif // REV_VALIDATE_STREAM_VERIFIER_HPP

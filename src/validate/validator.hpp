@@ -29,6 +29,8 @@
 namespace rev::validate
 {
 
+class MeasurementSink; // stream.hpp — the prover/verifier wire format
+
 /** The registered validation backends (see registry.hpp). */
 enum class Backend : u8
 {
@@ -143,6 +145,26 @@ class Validator
 
     /** Human-readable reason of the most recent validation failure. */
     virtual std::string violationReason() const { return {}; }
+
+    // --- prover-side measurement (the attestation split, stream.hpp) ----
+
+    /**
+     * Report every measured event to @p sink as a serialized session
+     * (header first, then one Block record per block reaching
+     * commit-time validation). The null-object default ignores the sink:
+     * a backend that measures nothing has no session to emit. @p sink
+     * must outlive the validator (or a later attach of nullptr).
+     */
+    virtual void attachMeasurementSink(MeasurementSink *sink)
+    {
+        (void)sink;
+    }
+
+    /**
+     * The run completed: emit the End record closing the session.
+     * Idempotent; a no-op when no sink is attached.
+     */
+    virtual void sealMeasurement() {}
 
     // --- harness-facing maintenance -------------------------------------
 

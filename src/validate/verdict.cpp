@@ -1,0 +1,124 @@
+#include "validate/verdict.hpp"
+
+#include <sstream>
+
+namespace rev::validate::verdict
+{
+
+std::string
+hex(Addr a)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << a;
+    return os.str();
+}
+
+std::string
+bbSuffix(Addr start, Addr term)
+{
+    return " (bb " + hex(start) + ".." + hex(term) + ")";
+}
+
+std::string
+reasonHashMismatch()
+{
+    return "basic-block hash mismatch";
+}
+
+std::string
+reasonNoReference()
+{
+    return "no reference signature for basic block";
+}
+
+std::string
+reasonBadReturn(Addr from)
+{
+    return "return from " + hex(from) + " to unexpected site";
+}
+
+std::string
+reasonIllegalTransfer(Addr target)
+{
+    return "illegal transfer to " + hex(target);
+}
+
+std::string
+reasonShadowUnderflow()
+{
+    return "shadow stack underflow on return";
+}
+
+std::string
+reasonShadowMismatch(Addr target, Addr expected)
+{
+    return "return to " + hex(target) + " violates shadow stack (expected " +
+           hex(expected) + ")";
+}
+
+std::string
+reasonUnattested(Addr term)
+{
+    return "unattested code at " + hex(term);
+}
+
+std::string
+reasonBadReturnSite(Addr target)
+{
+    return "return to " + hex(target) + " not an attested return site";
+}
+
+std::string
+reasonIllegalEdge(Addr target)
+{
+    return "control-flow edge to " + hex(target) +
+           " absent from attested CFG";
+}
+
+std::string
+reasonTruncatedStream()
+{
+    return "truncated measurement stream";
+}
+
+std::string
+reasonMalformedStream()
+{
+    return "malformed measurement stream";
+}
+
+std::string
+reasonChainDivergence()
+{
+    return "measurement chain divergence";
+}
+
+std::string
+reasonBlockCountMismatch(u64 claimed, u64 verified)
+{
+    return "measurement stream block count mismatch (stream says " +
+           std::to_string(claimed) + ", verified " +
+           std::to_string(verified) + ")";
+}
+
+std::string
+reasonMissingSpill()
+{
+    return "missing measurement spill record";
+}
+
+std::string
+reasonUnexpectedSpill()
+{
+    return "unexpected measurement spill record";
+}
+
+std::string
+reasonSpillSizeMismatch(u64 claimed, u64 expected)
+{
+    return "measurement spill size mismatch (stream says " +
+           std::to_string(claimed) + ", expected " +
+           std::to_string(expected) + ")";
+}
+
+} // namespace rev::validate::verdict

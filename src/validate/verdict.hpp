@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Violation-reason builders shared by the in-core validators and the
+ * stream verifiers.
+ *
+ * The attestation split (see stream.hpp) requires the standalone
+ * StreamVerifier to render verdicts *bit-identical* to the in-core
+ * backends — including the human-readable reason strings the red-team
+ * oracle and the session reports compare. Centralizing the formatting
+ * here turns "the strings happen to match" into "the strings cannot
+ * drift": both halves call the same builders.
+ */
+
+#ifndef REV_VALIDATE_VERDICT_HPP
+#define REV_VALIDATE_VERDICT_HPP
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace rev::validate::verdict
+{
+
+/** Hex-format @p a the way every validator reason does ("0x1f00"). */
+std::string hex(Addr a);
+
+/** The " (bb 0xS..0xT)" suffix appended to every block-level reason. */
+std::string bbSuffix(Addr start, Addr term);
+
+// --- REV reasons (rev_validator.cpp and RevStreamVerifier) --------------
+
+std::string reasonHashMismatch();
+std::string reasonNoReference();
+std::string reasonBadReturn(Addr from);
+std::string reasonIllegalTransfer(Addr target);
+std::string reasonShadowUnderflow();
+std::string reasonShadowMismatch(Addr target, Addr expected);
+
+// --- LO-FAT reasons (lofat_validator.cpp and LoFatStreamVerifier) -------
+
+std::string reasonUnattested(Addr term);
+std::string reasonBadReturnSite(Addr target);
+std::string reasonIllegalEdge(Addr target);
+
+// --- stream-transport reasons (StreamVerifier only) ---------------------
+
+std::string reasonTruncatedStream();
+std::string reasonMalformedStream();
+std::string reasonChainDivergence();
+std::string reasonBlockCountMismatch(u64 claimed, u64 verified);
+std::string reasonMissingSpill();
+std::string reasonUnexpectedSpill();
+std::string reasonSpillSizeMismatch(u64 claimed, u64 expected);
+
+} // namespace rev::validate::verdict
+
+#endif // REV_VALIDATE_VERDICT_HPP

@@ -1,0 +1,253 @@
+#include "verifier/loadgen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "core/simulator.hpp"
+#include "program/trace.hpp"
+#include "validate/refstore.hpp"
+#include "validate/stream.hpp"
+#include "workloads/generator.hpp"
+#include "workloads/profile.hpp"
+
+namespace rev::verifier
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** Reference material of one workload, shared by its corpus entries. */
+struct BenchRefs
+{
+    prog::Program program;
+    std::unique_ptr<crypto::KeyVault> vault;
+    std::unique_ptr<sig::SigStore> store;
+    std::unique_ptr<validate::RefStore> refs;
+};
+
+/** Compare one adjudicated session against its case's inline golden. */
+std::string
+divergenceDetail(const StreamCase &c, const validate::StreamVerdict &v)
+{
+    std::ostringstream os;
+    auto field = [&](const char *name, u64 got, u64 want) {
+        if (got != want)
+            os << name << " " << got << " != inline " << want << "; ";
+    };
+    if (!v.complete)
+        os << "session not adjudicated; ";
+    if (v.detected != c.detected)
+        os << "verdict " << (v.detected ? "Detected" : "Benign")
+           << " != inline " << (c.detected ? "Detected" : "Benign") << "; ";
+    else if (v.reason != c.reason)
+        os << "reason '" << v.reason << "' != inline '" << c.reason
+           << "'; ";
+    field("bbValidated", v.bbValidated, c.bbValidated);
+    field("violations", v.violations, c.violations);
+    field("chainUpdates", v.chainUpdates, c.chainUpdates);
+    field("bufferSpills", v.bufferSpills, c.bufferSpills);
+    field("spillBytes", v.spillBytes, c.spillBytes);
+    field("unattestedBlocks", v.unattestedBlocks, c.unattestedBlocks);
+    field("edgeViolations", v.edgeViolations, c.edgeViolations);
+    return os.str();
+}
+
+} // namespace
+
+LoadGenReport
+runLoadGen(const LoadGenOptions &opts)
+{
+    LoadGenReport report;
+    report.sessions = std::max(1u, opts.sessions);
+    report.workers = std::max(1u, opts.workers);
+    report.provers = std::max(1u, opts.provers);
+
+    std::vector<std::string> benches = opts.benchmarks;
+    if (benches.empty())
+        benches = {"bzip2", "mcf"};
+
+    // ---- Phase 1: corpus capture. One simulated run per (workload,
+    // backend), measurement stream and inline golden side by side.
+    const auto captureStart = Clock::now();
+    const core::SimConfig base; // defaults shared with every run below
+    std::vector<std::unique_ptr<BenchRefs>> refsByBench;
+    std::vector<std::size_t> caseRefIdx; // case -> refsByBench slot
+
+    for (const std::string &name : benches) {
+        auto br = std::make_unique<BenchRefs>();
+        br->program =
+            workloads::generateWorkload(workloads::specProfile(name));
+        // The verifier's reference material is the toolchain's, not the
+        // prover's: an independently built vault + store with the same
+        // fuses and seeds. The Simulator below clones this store, so the
+        // tables both sides hold are byte-identical by construction.
+        br->vault = std::make_unique<crypto::KeyVault>(base.cpuSeed);
+        br->store = std::make_unique<sig::SigStore>(
+            br->program, base.mode, *br->vault, base.toolchainSeed,
+            base.core.splitLimits, base.rev.chg.hashRounds);
+        br->refs = std::make_unique<validate::RefStore>(*br->store,
+                                                        br->vault.get());
+
+        // Record the architectural trace once (REV config: lowest drain
+        // watermark) and replay it into every backend's capture run when
+        // REV_TRACE_REPLAY allows — mirroring the sweep's record-once
+        // discipline and exercising the replay path end to end.
+        prog::Trace trace;
+        const bool replay = prog::replayEnabledFromEnv();
+        if (replay) {
+            core::SimConfig rc = base;
+            rc.core.maxInstrs = opts.instrBudget;
+            rc.sigStorePrototype = br->store.get();
+            prog::TraceRecorder recorder;
+            rc.traceRecorder = &recorder;
+            core::Simulator sim(br->program, rc);
+            sim.run();
+            trace = recorder.take();
+        }
+
+        for (const validate::Backend backend : opts.backends) {
+            core::SimConfig cfg = base;
+            cfg.core.maxInstrs = opts.instrBudget;
+            cfg.backend = backend;
+            cfg.sigStorePrototype = br->store.get();
+            validate::StreamWriter writer;
+            cfg.measurementSink = &writer;
+            if (replay && trace.replayable())
+                cfg.replayTrace = &trace;
+
+            core::Simulator sim(br->program, cfg);
+            const core::SimResult res = sim.run();
+            // Budget-exhausted runs neither halt nor fault; the harness
+            // owns the session end, so seal explicitly (idempotent).
+            sim.validator()->sealMeasurement();
+
+            StreamCase c;
+            c.bench = name;
+            c.backend = backend;
+            c.replayed = sim.replayActive();
+            c.stream = writer.take();
+            c.detected = res.run.violation.has_value();
+            c.reason = sim.validator()->violationReason();
+            c.bbValidated = res.validation.bbValidated;
+            c.violations = res.validation.violations;
+            c.chainUpdates = res.lofat.chainUpdates;
+            c.bufferSpills = res.lofat.bufferSpills;
+            c.spillBytes = res.lofat.spillBytes;
+            c.unattestedBlocks = res.lofat.unattestedBlocks;
+            c.edgeViolations = res.lofat.edgeViolations;
+            report.cases.push_back(std::move(c));
+            caseRefIdx.push_back(refsByBench.size());
+        }
+        refsByBench.push_back(std::move(br));
+    }
+    report.captureSeconds = secondsSince(captureStart);
+
+    // ---- Phase 2: session fan-out. Open every session up front, then
+    // prover threads interleave chunked writes across their sessions so
+    // the whole population is live concurrently.
+    VerifierService service(report.workers);
+    std::vector<std::size_t> sessionCase(report.sessions);
+    for (unsigned s = 0; s < report.sessions; ++s) {
+        sessionCase[s] = s % report.cases.size();
+        service.openSession(*refsByBench[caseRefIdx[sessionCase[s]]]->refs,
+                            opts.ringBytes);
+    }
+
+    const auto feedStart = Clock::now();
+    std::vector<std::thread> provers;
+    for (unsigned p = 0; p < report.provers; ++p) {
+        provers.emplace_back([&, p] {
+            // This thread is the single producer for sessions s where
+            // s % provers == p (the ByteRing SPSC contract).
+            struct Feed
+            {
+                u64 session;
+                const std::vector<u8> *stream;
+                std::size_t off = 0;
+                bool closed = false;
+            };
+            std::vector<Feed> feeds;
+            for (u64 s = p; s < report.sessions; s += report.provers)
+                feeds.push_back(
+                    {s, &report.cases[sessionCase[s]].stream, 0, false});
+            std::size_t open = feeds.size();
+            while (open != 0) {
+                bool progressed = false;
+                for (Feed &f : feeds) {
+                    if (f.closed)
+                        continue;
+                    if (f.off < f.stream->size()) {
+                        const std::size_t n =
+                            std::min(opts.chunkBytes,
+                                     f.stream->size() - f.off);
+                        const std::size_t accepted = service.offer(
+                            f.session, f.stream->data() + f.off, n);
+                        f.off += accepted;
+                        progressed |= accepted != 0;
+                    }
+                    if (f.off >= f.stream->size()) {
+                        service.closeSession(f.session);
+                        f.closed = true;
+                        --open;
+                        progressed = true;
+                    }
+                }
+                // Every ring full: let the verifier workers run.
+                if (!progressed)
+                    std::this_thread::yield();
+            }
+        });
+    }
+    for (std::thread &t : provers)
+        t.join();
+    service.drain();
+    report.wallSeconds = secondsSince(feedStart);
+
+    // ---- Phase 3: adjudicate divergences and summarize.
+    const std::vector<SessionReport> sessions = service.reports();
+    std::vector<double> latencies;
+    latencies.reserve(sessions.size());
+    for (const SessionReport &s : sessions) {
+        const std::size_t ci = sessionCase[s.id];
+        const std::string detail =
+            divergenceDetail(report.cases[ci], s.verdict);
+        if (!detail.empty())
+            report.divergences.push_back({s.id, ci, detail});
+        report.totalBytes += s.bytes;
+        latencies.push_back(s.latencySeconds);
+    }
+    std::sort(latencies.begin(), latencies.end());
+    auto pct = [&](double p) {
+        if (latencies.empty())
+            return 0.0;
+        const std::size_t i = std::min(
+            latencies.size() - 1,
+            static_cast<std::size_t>(p * static_cast<double>(
+                                             latencies.size() - 1)));
+        return latencies[i];
+    };
+    report.p50LatencySeconds = pct(0.50);
+    report.p99LatencySeconds = pct(0.99);
+    report.verificationsPerSec =
+        report.wallSeconds > 0
+            ? static_cast<double>(sessions.size()) / report.wallSeconds
+            : 0;
+    report.bytesPerSession =
+        sessions.empty() ? 0
+                         : static_cast<double>(report.totalBytes) /
+                               static_cast<double>(sessions.size());
+    return report;
+}
+
+} // namespace rev::verifier

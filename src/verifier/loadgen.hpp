@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Verifier load generator: N concurrent prover sessions against one
+ * VerifierService, with a built-in divergence oracle.
+ *
+ * The generator builds a small corpus of measurement streams — one per
+ * (workload, backend) pair — by running the real Simulator with a
+ * StreamWriter attached as the prover-side measurement sink, honoring
+ * the REV_TRACE_REPLAY execute-once/time-many switch (the architectural
+ * stream of a replayed run is identical to a direct run's, so the
+ * measurement session is too). Each corpus entry also captures the
+ * *inline golden*: the verdict and counters the in-core backend itself
+ * rendered for that run.
+ *
+ * It then opens N sessions on one VerifierService (round-robin over the
+ * corpus), fans the streams out from a pool of prover threads that
+ * interleave chunked writes across their sessions (so ~N sessions are
+ * live at once, not one at a time), drains the service, and compares
+ * every session's StreamVerdict against its inline golden: Detected /
+ * Benign, the violation-reason string, and the architectural counters
+ * must all be bit-identical. Any deviation is a divergence — the CI
+ * gate fails on a nonzero count.
+ *
+ * Reported throughput numbers: verified sessions per second, p50/p99
+ * close-to-verdict session latency, and mean stream bytes per session.
+ */
+
+#ifndef REV_VERIFIER_LOADGEN_HPP
+#define REV_VERIFIER_LOADGEN_HPP
+
+#include <string>
+#include <vector>
+
+#include "validate/validator.hpp"
+#include "verifier/service.hpp"
+
+namespace rev::verifier
+{
+
+/** Load-generator knobs. */
+struct LoadGenOptions
+{
+    /** Workload names (workloads::specProfile); empty = {bzip2, mcf}. */
+    std::vector<std::string> benchmarks;
+
+    /** Backends to build corpus streams for. */
+    std::vector<validate::Backend> backends = {validate::Backend::Rev,
+                                               validate::Backend::LoFat};
+
+    u64 instrBudget = 100000; ///< per-stream recorded run length
+    unsigned sessions = 1000; ///< concurrent prover sessions
+    unsigned workers = 2;     ///< verifier worker threads
+    unsigned provers = 2;     ///< prover (producer) threads
+    std::size_t chunkBytes = 1024; ///< prover write granularity
+    std::size_t ringBytes = kDefaultRingBytes;
+};
+
+/** One corpus entry: a recorded stream plus its inline golden. */
+struct StreamCase
+{
+    std::string bench;
+    validate::Backend backend = validate::Backend::Rev;
+    bool replayed = false; ///< the capture run replayed a recorded trace
+
+    std::vector<u8> stream; ///< the serialized measurement session
+
+    // Inline golden: what the in-core backend rendered for this run.
+    bool detected = false;
+    std::string reason;
+    u64 bbValidated = 0;
+    u64 violations = 0;
+    u64 chainUpdates = 0;
+    u64 bufferSpills = 0;
+    u64 spillBytes = 0;
+    u64 unattestedBlocks = 0;
+    u64 edgeViolations = 0;
+};
+
+/** One session whose verdict deviated from its inline golden. */
+struct Divergence
+{
+    u64 session = 0;
+    std::size_t caseIdx = 0;
+    std::string detail;
+};
+
+/** Everything one load-generator run produced. */
+struct LoadGenReport
+{
+    std::vector<StreamCase> cases;
+    std::vector<Divergence> divergences;
+
+    unsigned sessions = 0;
+    unsigned workers = 0;
+    unsigned provers = 0;
+
+    double captureSeconds = 0; ///< corpus build (simulate + record)
+    double wallSeconds = 0;    ///< feed + verify + drain
+    double verificationsPerSec = 0;
+    double p50LatencySeconds = 0;
+    double p99LatencySeconds = 0;
+    double bytesPerSession = 0;
+    u64 totalBytes = 0;
+};
+
+/** Build the corpus, run the session fan-out, adjudicate divergences. */
+LoadGenReport runLoadGen(const LoadGenOptions &opts);
+
+} // namespace rev::verifier
+
+#endif // REV_VERIFIER_LOADGEN_HPP

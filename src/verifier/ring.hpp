@@ -1,0 +1,117 @@
+/**
+ * @file
+ * ByteRing: the per-session transport between one prover and the
+ * verifier service.
+ *
+ * A bounded single-producer / single-consumer byte queue. The prover
+ * side (exactly one thread per session) writes measurement bytes and
+ * eventually closes; the service side (one worker at a time — the
+ * service serializes workers per session) drains them into the
+ * session's StreamVerifier. Lock-free: head and tail are monotonic
+ * 64-bit positions with acquire/release ordering, so a full ring simply
+ * back-pressures the prover (write() accepts fewer bytes) instead of
+ * blocking the worker pool.
+ */
+
+#ifndef REV_VERIFIER_RING_HPP
+#define REV_VERIFIER_RING_HPP
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/types.hpp"
+
+namespace rev::verifier
+{
+
+/** Bounded SPSC byte queue with a close-of-stream marker. */
+class ByteRing
+{
+  public:
+    /** @param capacity Ring size in bytes; must be a power of two. */
+    explicit ByteRing(std::size_t capacity)
+        : buf_(capacity), mask_(capacity - 1)
+    {
+        REV_ASSERT(capacity != 0 && (capacity & mask_) == 0,
+                   "ByteRing capacity must be a power of two");
+    }
+
+    std::size_t capacity() const { return buf_.size(); }
+
+    /**
+     * Producer: append up to @p n bytes.
+     * @return Bytes accepted (less than @p n when the ring is full; the
+     *         prover retries after the consumer drains).
+     */
+    std::size_t
+    write(const u8 *data, std::size_t n)
+    {
+        const u64 head = head_.load(std::memory_order_acquire);
+        const u64 tail = tail_.load(std::memory_order_relaxed);
+        const std::size_t free = buf_.size() - static_cast<std::size_t>(
+                                                   tail - head);
+        if (n > free)
+            n = free;
+        for (std::size_t i = 0; i < n;) {
+            const std::size_t at = static_cast<std::size_t>(tail + i) & mask_;
+            const std::size_t run = std::min(n - i, buf_.size() - at);
+            std::memcpy(buf_.data() + at, data + i, run);
+            i += run;
+        }
+        tail_.store(tail + n, std::memory_order_release);
+        return n;
+    }
+
+    /**
+     * Consumer: drain up to @p max bytes into @p out.
+     * @return Bytes read (0 when empty).
+     */
+    std::size_t
+    read(u8 *out, std::size_t max)
+    {
+        const u64 head = head_.load(std::memory_order_relaxed);
+        const u64 tail = tail_.load(std::memory_order_acquire);
+        std::size_t n = static_cast<std::size_t>(tail - head);
+        if (n > max)
+            n = max;
+        for (std::size_t i = 0; i < n;) {
+            const std::size_t at = static_cast<std::size_t>(head + i) & mask_;
+            const std::size_t run = std::min(n - i, buf_.size() - at);
+            std::memcpy(out + i, buf_.data() + at, run);
+            i += run;
+        }
+        head_.store(head + n, std::memory_order_release);
+        return n;
+    }
+
+    /** Consumer-visible unread byte count. */
+    std::size_t
+    readable() const
+    {
+        return static_cast<std::size_t>(
+            tail_.load(std::memory_order_acquire) -
+            head_.load(std::memory_order_acquire));
+    }
+
+    /** Producer: no further bytes will be written. */
+    void closeWrite() { closed_.store(true, std::memory_order_release); }
+
+    bool
+    writeClosed() const
+    {
+        return closed_.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::vector<u8> buf_;
+    const std::size_t mask_;
+    std::atomic<u64> head_{0}; ///< consumer position (bytes read)
+    std::atomic<u64> tail_{0}; ///< producer position (bytes written)
+    std::atomic<bool> closed_{false};
+};
+
+} // namespace rev::verifier
+
+#endif // REV_VERIFIER_RING_HPP

@@ -1,0 +1,156 @@
+#include "verifier/service.hpp"
+
+#include <algorithm>
+
+namespace rev::verifier
+{
+
+VerifierService::VerifierService(unsigned workers)
+{
+    workers_.reserve(std::max(1u, workers));
+    for (unsigned i = 0; i < std::max(1u, workers); ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+VerifierService::~VerifierService()
+{
+    stop_.store(true, std::memory_order_release);
+    readyCv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+u64
+VerifierService::openSession(const validate::RefStore &refs,
+                             std::size_t ring_bytes)
+{
+    std::lock_guard<std::mutex> lock(sessionsLock_);
+    const u64 id = sessions_.size();
+    sessions_.push_back(std::make_unique<Session>(id, ring_bytes, refs));
+    return id;
+}
+
+std::size_t
+VerifierService::offer(u64 session, const u8 *data, std::size_t n)
+{
+    Session *s = sessions_[session].get();
+    const std::size_t accepted = s->ring.write(data, n);
+    if (accepted)
+        notify(s);
+    return accepted;
+}
+
+void
+VerifierService::closeSession(u64 session)
+{
+    Session *s = sessions_[session].get();
+    s->closedAt = Clock::now();
+    s->ring.closeWrite();
+    closed_.fetch_add(1, std::memory_order_relaxed);
+    notify(s);
+}
+
+void
+VerifierService::notify(Session *s)
+{
+    // One queue slot per session: first notifier wins, the worker that
+    // pops the session clears the flag before draining and re-checks the
+    // ring afterwards, so bytes arriving during the drain are never lost.
+    if (s->queued.exchange(true, std::memory_order_acq_rel))
+        return;
+    {
+        std::lock_guard<std::mutex> lock(readyLock_);
+        ready_.push_back(s);
+    }
+    readyCv_.notify_one();
+}
+
+void
+VerifierService::workerLoop()
+{
+    for (;;) {
+        Session *s = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(readyLock_);
+            readyCv_.wait(lock, [&] {
+                return stop_.load(std::memory_order_acquire) ||
+                       !ready_.empty();
+            });
+            if (ready_.empty())
+                return; // stop requested and queue drained
+            s = ready_.front();
+            ready_.pop_front();
+        }
+        s->queued.store(false, std::memory_order_release);
+        service(s);
+        // Re-notify if more bytes (or the close marker) raced in while
+        // this worker held the session.
+        if (!s->finished &&
+            (s->ring.readable() != 0 || s->ring.writeClosed()))
+            notify(s);
+    }
+}
+
+void
+VerifierService::service(Session *s)
+{
+    std::lock_guard<std::mutex> lock(s->work);
+    if (s->finished)
+        return;
+
+    u8 chunk[4096];
+    for (std::size_t n; (n = s->ring.read(chunk, sizeof(chunk))) != 0;)
+        s->verifier.feed(chunk, n);
+
+    if (!s->verifier.done()) {
+        if (!s->ring.writeClosed() || s->ring.readable() != 0)
+            return; // wait for more bytes
+        s->verifier.finish(); // stream closed mid-session: truncation
+    }
+
+    // Verdict rendered. A session that fails before its close still
+    // reports zero latency: the verdict predates the close.
+    if (s->ring.writeClosed()) {
+        const double lat = std::chrono::duration<double>(Clock::now() -
+                                                         s->closedAt)
+                               .count();
+        s->latencySeconds = std::max(0.0, lat);
+    }
+    s->finished = true;
+    {
+        // Bump under doneLock_ so drain() cannot test its predicate
+        // between the increment and the notify (lost wakeup).
+        std::lock_guard<std::mutex> done(doneLock_);
+        completed_.fetch_add(1, std::memory_order_release);
+    }
+    doneCv_.notify_all();
+}
+
+void
+VerifierService::drain()
+{
+    std::unique_lock<std::mutex> lock(doneLock_);
+    doneCv_.wait(lock, [&] {
+        return completed_.load(std::memory_order_acquire) >=
+               closed_.load(std::memory_order_acquire);
+    });
+}
+
+std::vector<SessionReport>
+VerifierService::reports() const
+{
+    std::lock_guard<std::mutex> lock(sessionsLock_);
+    std::vector<SessionReport> out;
+    out.reserve(sessions_.size());
+    for (const auto &s : sessions_) {
+        SessionReport r;
+        r.id = s->id;
+        r.verdict = s->verifier.verdict();
+        r.bytes = s->verifier.bytesConsumed();
+        r.latencySeconds = s->latencySeconds;
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+} // namespace rev::verifier

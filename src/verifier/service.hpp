@@ -1,0 +1,156 @@
+/**
+ * @file
+ * VerifierService: the session-multiplexed attestation verifier.
+ *
+ * The service side of the attestation split (ScaRR-style
+ * attestation-as-a-service): any number of provers each hold one open
+ * *session* — a ByteRing they write their serialized measurement stream
+ * into — and a small worker pool drains ready sessions and advances
+ * their StreamVerifiers. The design is event-loop shaped:
+ *
+ *  - Provers never block workers: a session ring that fills up
+ *    back-pressures only its own prover.
+ *  - A session enters the ready queue at most once (an atomic `queued`
+ *    flag); whichever worker pops it drains everything available under
+ *    the session's own lock, so per-session verification stays
+ *    single-threaded (StreamVerifier is not concurrent) while different
+ *    sessions verify in parallel.
+ *  - Reference lookups batch inside StreamVerifier (RefStore::
+ *    lookupBatch groups a chunk's lookups by module shard), so a
+ *    thousand concurrent sessions contend on a handful of shard locks
+ *    a few times per chunk instead of per block.
+ *
+ * Session latency is measured from close (the prover sealed and
+ * closed the ring) to the verdict render; the load generator reports
+ * the p99 across sessions.
+ */
+
+#ifndef REV_VERIFIER_SERVICE_HPP
+#define REV_VERIFIER_SERVICE_HPP
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "validate/stream_verifier.hpp"
+#include "verifier/ring.hpp"
+
+namespace rev::verifier
+{
+
+/** Default per-session ring capacity (bytes, power of two). */
+inline constexpr std::size_t kDefaultRingBytes = 1u << 16;
+
+/** Outcome of one adjudicated session. */
+struct SessionReport
+{
+    u64 id = 0;
+    validate::StreamVerdict verdict;
+    u64 bytes = 0;          ///< stream bytes the verifier consumed
+    double latencySeconds = 0; ///< close-of-stream to verdict render
+};
+
+/**
+ * The verifier service: open sessions, feed bytes, collect verdicts.
+ *
+ * Thread contract: openSession()/drain()/reports() are called by the
+ * controlling thread; offer()/closeSession() for one session are called
+ * by that session's single prover thread (different sessions may use
+ * different threads).
+ */
+class VerifierService
+{
+  public:
+    /** @param workers Verification worker threads (min 1). */
+    explicit VerifierService(unsigned workers);
+    ~VerifierService();
+
+    VerifierService(const VerifierService &) = delete;
+    VerifierService &operator=(const VerifierService &) = delete;
+
+    /**
+     * Open a session adjudicated against @p refs (per-session: one
+     * service multiplexes sessions of any number of attested programs).
+     * @p refs must outlive the service. Returns the session id (dense,
+     * starting at 0). Open every session before provers start feeding.
+     */
+    u64 openSession(const validate::RefStore &refs,
+                    std::size_t ringBytes = kDefaultRingBytes);
+
+    /**
+     * Prover: append up to @p n measurement bytes to @p session.
+     * @return Bytes accepted (back-pressure when the ring is full —
+     *         retry the rest after the service drains).
+     */
+    std::size_t offer(u64 session, const u8 *data, std::size_t n);
+
+    /** Prover: the measurement stream is complete. */
+    void closeSession(u64 session);
+
+    /** Block until every closed session is adjudicated. */
+    void drain();
+
+    /** Per-session outcomes (stable by session id). Call after drain(). */
+    std::vector<SessionReport> reports() const;
+
+    u64 sessionsOpened() const { return sessions_.size(); }
+    u64 sessionsCompleted() const
+    {
+        return completed_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Session
+    {
+        u64 id = 0;
+        ByteRing ring;
+        validate::StreamVerifier verifier;
+        std::mutex work; ///< serializes workers over this session
+        std::atomic<bool> queued{false}; ///< present in the ready queue
+        bool finished = false;           ///< verdict rendered and recorded
+        Clock::time_point closedAt{};
+        double latencySeconds = 0;
+
+        Session(u64 id_, std::size_t ring_bytes,
+                const validate::RefStore &refs)
+            : id(id_), ring(ring_bytes), verifier(refs)
+        {
+        }
+    };
+
+    /** Enqueue @p s for a worker unless it is already queued. */
+    void notify(Session *s);
+
+    void workerLoop();
+
+    /** Drain and verify everything available for @p s (one worker). */
+    void service(Session *s);
+
+    // Sessions are append-only; openSession() is controller-only, and
+    // provers/workers touch only their own Session objects.
+    std::vector<std::unique_ptr<Session>> sessions_;
+    mutable std::mutex sessionsLock_; ///< guards sessions_ growth vs readers
+
+    std::deque<Session *> ready_;
+    std::mutex readyLock_;
+    std::condition_variable readyCv_;
+
+    std::atomic<u64> closed_{0};
+    std::atomic<u64> completed_{0};
+    std::condition_variable doneCv_; ///< signaled on session completion
+    std::mutex doneLock_;
+
+    std::atomic<bool> stop_{false};
+    std::vector<std::thread> workers_;
+};
+
+} // namespace rev::verifier
+
+#endif // REV_VERIFIER_SERVICE_HPP

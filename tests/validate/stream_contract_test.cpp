@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The attestation-split equivalence contract: for every sweep config and
+ * every measuring backend, the verdict a standalone StreamVerifier
+ * renders from the serialized measurement session must be bit-identical
+ * to what the in-core backend rendered inline — same Detected/Benign
+ * outcome, same violation-reason string, same architectural counters.
+ * Also pins the execute-once/time-many invariant on the wire: a run that
+ * replays a recorded trace emits byte-for-byte the same session as the
+ * direct run it replaces, so REV_TRACE_REPLAY can never change a
+ * verifier-side verdict.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/suite.hpp"
+#include "core/simulator.hpp"
+#include "program/trace.hpp"
+#include "validate/refstore.hpp"
+#include "validate/stream.hpp"
+#include "validate/stream_verifier.hpp"
+#include "workloads/generator.hpp"
+#include "workloads/profile.hpp"
+
+namespace rev::validate
+{
+namespace
+{
+
+constexpr u64 kBudget = 20000;
+constexpr const char *kBench = "bzip2";
+
+struct Captured
+{
+    std::vector<u8> stream;
+    bool detected = false;
+    std::string reason;
+    ValidationStats validation;
+    LoFatStats lofat;
+};
+
+/** One simulated run with the measurement sink attached. */
+Captured
+capture(const prog::Program &program, core::SimConfig cfg,
+        const prog::Trace *replay)
+{
+    StreamWriter writer;
+    cfg.measurementSink = &writer;
+    cfg.replayTrace = replay;
+    core::Simulator sim(program, cfg);
+    const core::SimResult res = sim.run();
+    sim.validator()->sealMeasurement(); // budget-exhausted runs don't halt
+
+    Captured c;
+    c.stream = writer.take();
+    c.detected = res.run.violation.has_value();
+    c.reason = sim.validator()->violationReason();
+    c.validation = res.validation;
+    c.lofat = res.lofat;
+    return c;
+}
+
+class StreamContract : public ::testing::TestWithParam<Backend>
+{
+};
+
+TEST_P(StreamContract, SplitVerdictMatchesInlineAcrossAllConfigs)
+{
+    const Backend backend = GetParam();
+    const prog::Program program =
+        workloads::generateWorkload(workloads::specProfile(kBench));
+
+    for (const bench::Config config : bench::kAllConfigs) {
+        core::SimConfig cfg = bench::sweepSimConfig(config, kBudget);
+        if (!cfg.withRev)
+            continue; // Base attaches the Null backend: no session
+        cfg.backend = backend;
+        SCOPED_TRACE(bench::configName(config));
+
+        const Captured c = capture(program, cfg, nullptr);
+        ASSERT_FALSE(c.stream.empty());
+
+        // The verifier holds independently built reference material with
+        // the same fuses/seeds the simulated CPU and toolchain used.
+        crypto::KeyVault vault(cfg.cpuSeed);
+        sig::SigStore store(program, cfg.mode, vault, cfg.toolchainSeed,
+                            cfg.core.splitLimits, cfg.rev.chg.hashRounds);
+        RefStore refs(store, &vault);
+
+        StreamVerifier verifier(refs);
+        verifier.feed(c.stream.data(), c.stream.size());
+        verifier.finish();
+
+        const StreamVerdict &v = verifier.verdict();
+        EXPECT_TRUE(v.complete);
+        EXPECT_EQ(v.detected, c.detected);
+        EXPECT_EQ(v.reason, c.reason);
+        EXPECT_EQ(v.bbValidated, c.validation.bbValidated);
+        EXPECT_EQ(v.violations, c.validation.violations);
+        EXPECT_EQ(v.chainUpdates, c.lofat.chainUpdates);
+        EXPECT_EQ(v.bufferSpills, c.lofat.bufferSpills);
+        EXPECT_EQ(v.spillBytes, c.lofat.spillBytes);
+        EXPECT_EQ(v.unattestedBlocks, c.lofat.unattestedBlocks);
+        EXPECT_EQ(v.edgeViolations, c.lofat.edgeViolations);
+    }
+}
+
+TEST_P(StreamContract, ReplayEmitsIdenticalSession)
+{
+    const Backend backend = GetParam();
+    const prog::Program program =
+        workloads::generateWorkload(workloads::specProfile(kBench));
+
+    // Record under a REV configuration (lowest drain watermark).
+    core::SimConfig rc = bench::sweepSimConfig(bench::Config::Full32,
+                                               kBudget);
+    prog::TraceRecorder recorder;
+    rc.traceRecorder = &recorder;
+    core::Simulator rec(program, rc);
+    rec.run();
+    const prog::Trace trace = recorder.take();
+    ASSERT_TRUE(trace.replayable());
+
+    for (const bench::Config config : bench::kAllConfigs) {
+        core::SimConfig cfg = bench::sweepSimConfig(config, kBudget);
+        if (!cfg.withRev)
+            continue;
+        cfg.backend = backend;
+        SCOPED_TRACE(bench::configName(config));
+
+        const Captured direct = capture(program, cfg, nullptr);
+        const Captured replayed = capture(program, cfg, &trace);
+        EXPECT_EQ(direct.stream, replayed.stream);
+        EXPECT_EQ(direct.detected, replayed.detected);
+        EXPECT_EQ(direct.reason, replayed.reason);
+    }
+}
+
+TEST(StreamContractNull, BaseConfigEmitsNoSession)
+{
+    const prog::Program program =
+        workloads::generateWorkload(workloads::specProfile(kBench));
+    core::SimConfig cfg = bench::sweepSimConfig(bench::Config::Base,
+                                                kBudget);
+    const Captured c = capture(program, cfg, nullptr);
+    EXPECT_TRUE(c.stream.empty()); // Null backend measures nothing
+    EXPECT_FALSE(c.detected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, StreamContract,
+                         ::testing::Values(Backend::Rev, Backend::LoFat),
+                         [](const auto &info) {
+                             return std::string(backendName(info.param));
+                         });
+
+} // namespace
+} // namespace rev::validate

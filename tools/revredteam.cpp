@@ -36,6 +36,7 @@
 #include "common/logging.hpp"
 #include "redteam/campaign.hpp"
 #include "redteam/shrink.hpp"
+#include "validate/backend_cli.hpp"
 
 namespace
 {
@@ -94,17 +95,9 @@ parseArgs(int argc, char **argv)
                     names.substr(pos, comma - pos));
                 pos = comma == std::string::npos ? comma : comma + 1;
             }
-        } else if (arg == "--backend") {
-            const char *name = next(i);
-            if (!validate::backendFromName(name, &args.spec.backend)) {
-                std::fprintf(stderr, "unknown backend '%s'\n", name);
-                usage(2);
-            }
-        } else if (arg == "--list-backends") {
-            for (const validate::BackendInfo &b :
-                 validate::ValidatorRegistry::instance().list())
-                std::printf("%-8s %s\n", b.name, b.summary);
-            std::exit(0);
+        } else if (validate::backendCliOptions(argc, argv, &i,
+                                               &args.spec.backend)) {
+            // shared --backend / --list-backends handling
         } else if (arg == "--out") {
             args.outPath = next(i);
         } else if (arg == "--shrink") {

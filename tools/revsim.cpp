@@ -35,6 +35,7 @@
 #include "attacks/attack.hpp"
 #include "core/simulator.hpp"
 #include "program/trace.hpp"
+#include "validate/backend_cli.hpp"
 #include "workloads/generator.hpp"
 
 namespace
@@ -112,17 +113,8 @@ main(int argc, char **argv)
             record_path = next();
         } else if (arg == "--replay-trace") {
             replay_path = next();
-        } else if (arg == "--backend") {
-            const char *name = next();
-            if (!validate::backendFromName(name, &backend)) {
-                std::fprintf(stderr, "unknown backend '%s'\n", name);
-                return 2;
-            }
-        } else if (arg == "--list-backends") {
-            for (const validate::BackendInfo &b :
-                 validate::ValidatorRegistry::instance().list())
-                std::printf("%-8s %s\n", b.name, b.summary);
-            return 0;
+        } else if (validate::backendCliOptions(argc, argv, &i, &backend)) {
+            // shared --backend / --list-backends handling
         } else if (arg == "--list") {
             for (const auto &p : workloads::spec2006Profiles())
                 std::printf("%s\n", p.name.c_str());

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * revverify — the standalone attestation-verifier service harness.
+ *
+ * Drives the session-multiplexed VerifierService with the built-in load
+ * generator: records one measurement stream per (workload, backend)
+ * with the real simulator, fans the corpus out as N concurrent prover
+ * sessions, and adjudicates every session's verdict against the inline
+ * backend's golden. Reports verifications/sec, p50/p99 close-to-verdict
+ * session latency, and bytes/session, and writes them to a JSON report
+ * (BENCH_verifier.json). Exits nonzero when any session's verdict,
+ * reason, or counters diverge from inline validation — the CI contract
+ * that the attestation split changes no result.
+ *
+ * Usage:
+ *   revverify [--sessions N] [--workers N] [--provers N] [--instrs N]
+ *             [--bench a,b,c] [--chunk BYTES] [--backend NAME]
+ *             [--list-backends] [--quick] [--out FILE]
+ *
+ *   --quick      small smoke preset (64 sessions, 20k instrs, bzip2)
+ *   --backend    restrict the corpus to one backend (default: rev+lofat)
+ *   --out        JSON report path (default BENCH_verifier.json)
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/logging.hpp"
+#include "validate/backend_cli.hpp"
+#include "verifier/loadgen.hpp"
+
+namespace
+{
+
+using namespace rev;
+
+struct Args
+{
+    verifier::LoadGenOptions opts;
+    std::string outPath = "BENCH_verifier.json";
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf(
+        "usage: revverify [--sessions N] [--workers N] [--provers N]\n"
+        "                 [--instrs N] [--bench a,b,c] [--chunk BYTES]\n"
+        "                 [--quick] [--out FILE] %s\n",
+        validate::kBackendCliUsage);
+    std::exit(code);
+}
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    validate::Backend backend = validate::Backend::Rev;
+    auto next = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(2);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--sessions") {
+            args.opts.sessions =
+                static_cast<unsigned>(std::atoi(next(i)));
+        } else if (arg == "--workers") {
+            args.opts.workers = static_cast<unsigned>(std::atoi(next(i)));
+        } else if (arg == "--provers") {
+            args.opts.provers = static_cast<unsigned>(std::atoi(next(i)));
+        } else if (arg == "--instrs") {
+            args.opts.instrBudget = std::strtoull(next(i), nullptr, 10);
+        } else if (arg == "--chunk") {
+            args.opts.chunkBytes =
+                static_cast<std::size_t>(std::strtoull(next(i), nullptr, 10));
+        } else if (arg == "--bench") {
+            args.opts.benchmarks.clear();
+            std::istringstream names(next(i));
+            std::string name;
+            while (std::getline(names, name, ','))
+                if (!name.empty())
+                    args.opts.benchmarks.push_back(name);
+        } else if (arg == "--quick") {
+            args.opts.sessions = 64;
+            args.opts.instrBudget = 20000;
+            args.opts.benchmarks = {"bzip2"};
+        } else if (arg == "--out") {
+            args.outPath = next(i);
+        } else if (validate::backendCliOptions(argc, argv, &i, &backend)) {
+            args.opts.backends = {backend};
+        } else if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else {
+            std::fprintf(stderr, "revverify: unknown argument '%s'\n",
+                         arg.c_str());
+            usage(2);
+        }
+    }
+    return args;
+}
+
+void
+writeReport(const Args &args, const verifier::LoadGenReport &r)
+{
+    std::ofstream os(args.outPath);
+    if (!os)
+        fatal("revverify: cannot write ", args.outPath);
+    os << "{\n"
+       << "  \"schema\": \"rev-verifier-v1\",\n"
+       << "  \"sessions\": " << r.sessions << ",\n"
+       << "  \"workers\": " << r.workers << ",\n"
+       << "  \"provers\": " << r.provers << ",\n"
+       << "  \"cases\": [\n";
+    for (std::size_t i = 0; i < r.cases.size(); ++i) {
+        const verifier::StreamCase &c = r.cases[i];
+        os << "    {\"bench\": \"" << c.bench << "\", \"backend\": \""
+           << validate::backendName(c.backend) << "\", \"stream_bytes\": "
+           << c.stream.size() << ", \"replayed\": "
+           << (c.replayed ? "true" : "false") << ", \"detected\": "
+           << (c.detected ? "true" : "false") << ", \"bb_validated\": "
+           << c.bbValidated << "}"
+           << (i + 1 < r.cases.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n"
+       << "  \"capture_seconds\": " << r.captureSeconds << ",\n"
+       << "  \"wall_seconds\": " << r.wallSeconds << ",\n"
+       << "  \"verifications_per_sec\": " << r.verificationsPerSec << ",\n"
+       << "  \"p50_latency_seconds\": " << r.p50LatencySeconds << ",\n"
+       << "  \"p99_latency_seconds\": " << r.p99LatencySeconds << ",\n"
+       << "  \"bytes_per_session\": " << r.bytesPerSession << ",\n"
+       << "  \"total_stream_bytes\": " << r.totalBytes << ",\n"
+       << "  \"divergences\": " << r.divergences.size() << "\n"
+       << "}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args args = parseArgs(argc, argv);
+
+    const verifier::LoadGenReport r = verifier::runLoadGen(args.opts);
+    writeReport(args, r);
+
+    std::printf("revverify: %u sessions (%zu cases), %.0f verifications/s, "
+                "p50 %.3fms p99 %.3fms, %.0f bytes/session, "
+                "capture %.2fs run %.2fs -> %s\n",
+                r.sessions, r.cases.size(), r.verificationsPerSec,
+                r.p50LatencySeconds * 1e3, r.p99LatencySeconds * 1e3,
+                r.bytesPerSession, r.captureSeconds, r.wallSeconds,
+                args.outPath.c_str());
+
+    if (!r.divergences.empty()) {
+        const std::size_t show =
+            std::min<std::size_t>(r.divergences.size(), 20);
+        for (std::size_t i = 0; i < show; ++i) {
+            const verifier::Divergence &d = r.divergences[i];
+            const verifier::StreamCase &c = r.cases[d.caseIdx];
+            std::fprintf(stderr,
+                         "revverify: DIVERGENCE session %llu (%s/%s): %s\n",
+                         static_cast<unsigned long long>(d.session),
+                         c.bench.c_str(),
+                         validate::backendName(c.backend),
+                         d.detail.c_str());
+        }
+        std::fprintf(stderr, "revverify: %zu/%u sessions diverged\n",
+                     r.divergences.size(), r.sessions);
+        return 1;
+    }
+    std::printf("revverify: all %u session verdicts match inline "
+                "validation\n",
+                r.sessions);
+    return 0;
+}

@@ -15,7 +15,8 @@
  *
  * Usage:
  *   simperf [--quick] [--bench a,b,c] [--instrs N] [--threads N]
- *           [--out FILE] [--golden FILE]
+ *           [--out FILE] [--golden FILE] [--backend NAME]
+ *           [--list-backends]
  *
  *   --quick    three-benchmark smoke preset (same as the bench binaries)
  *   --out      JSON report path (default BENCH_sim_speed.json)
@@ -36,6 +37,7 @@
 #include "common/logging.hpp"
 #include "mem/memsys.hpp"
 #include "sig/table.hpp"
+#include "validate/backend_cli.hpp"
 
 namespace
 {
@@ -54,7 +56,9 @@ struct Args
 usage(int code)
 {
     std::printf("usage: simperf [--quick] [--bench a,b,c] [--instrs N]\n"
-                "               [--threads N] [--out FILE] [--golden FILE]\n");
+                "               [--threads N] [--out FILE] [--golden FILE]\n"
+                "               %s\n",
+                rev::validate::kBackendCliUsage);
     std::exit(code);
 }
 
@@ -96,6 +100,9 @@ parseArgs(int argc, char **argv)
             args.outPath = next(i);
         } else if (arg == "--golden") {
             args.goldenPath = next(i);
+        } else if (validate::backendCliOptions(argc, argv, &i,
+                                               &args.opts.backend)) {
+            // shared --backend / --list-backends handling
         } else if (arg == "--help" || arg == "-h") {
             usage(0);
         } else {
