@@ -3,49 +3,16 @@
 #include <cstring>
 
 #include "common/logging.hpp"
+#include "crypto/cubehash_round.hpp"
 
 namespace rev::crypto
 {
 
-namespace
+const char *
+cubehashImpl()
 {
-
-inline u32
-rotl32(u32 x, int k)
-{
-    return (x << k) | (x >> (32 - k));
+    return detail::permuteImplName();
 }
-
-/**
- * One round of the CubeHash permutation (ten steps). The spec's in-place
- * add/rotate/swap/xor sequence is folded into gather-style assignments
- * over fresh temporaries — the swap steps become xor-permuted indexing —
- * which the compiler can keep in registers and auto-vectorize. With the
- * halves A = x[0..15], B = x[16..31] and the spec's steps numbered 1-10:
- *
- *   b[i] = B[i] + A[i]                      (1)
- *   a[i] = rotl(A[i^8], 7) ^ b[i]           (2,3,4)
- *   c[i] = b[i^2] + a[i]                    (5,6)
- *   A[i] = rotl(a[i^4], 11) ^ c[i]          (7,8,9)
- *   B[i] = c[i^1]                           (10)
- */
-inline void
-round(std::array<u32, 32> &x)
-{
-    u32 a[16], b[16], c[16];
-    for (int i = 0; i < 16; ++i)
-        b[i] = x[16 + i] + x[i];
-    for (int i = 0; i < 16; ++i)
-        a[i] = rotl32(x[i ^ 8], 7) ^ b[i];
-    for (int i = 0; i < 16; ++i)
-        c[i] = b[i ^ 2] + a[i];
-    for (int i = 0; i < 16; ++i)
-        x[i] = rotl32(a[i ^ 4], 11) ^ c[i];
-    for (int i = 0; i < 16; ++i)
-        x[16 + i] = c[i ^ 1];
-}
-
-} // namespace
 
 CubeHash::CubeHash(unsigned rounds, unsigned block_bytes,
                    unsigned digest_bits)
@@ -95,8 +62,7 @@ CubeHash::reset()
 void
 CubeHash::permute(unsigned n)
 {
-    for (unsigned i = 0; i < n; ++i)
-        round(state_);
+    detail::permuteActive(state_, n);
 }
 
 void

@@ -25,6 +25,13 @@ namespace rev::crypto
 using Digest = std::array<u8, 32>;
 
 /**
+ * Name of the compiled-in single-state permutation kernel: "avx2",
+ * "sse2", or "scalar" (the latter also when built with
+ * -DREV_DISABLE_SIMD_HASH). All kernels are bit-identical.
+ */
+const char *cubehashImpl();
+
+/**
  * Incremental CubeHash hasher.
  *
  * Parameters follow the CubeHashr/b-h naming: @p rounds rounds are applied
@@ -69,6 +76,9 @@ class CubeHash
     unsigned rounds() const { return rounds_; }
     unsigned blockBytes() const { return blockBytes_; }
     unsigned digestBits() const { return digestBits_; }
+
+    /** Post-initialization state for these (r, b, h) parameters. */
+    const std::array<u32, 32> &iv() const { return iv_; }
 
   private:
     /** Apply @p n rounds of the CubeHash permutation to the state. */

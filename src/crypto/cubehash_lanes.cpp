@@ -1,0 +1,136 @@
+#include "crypto/cubehash_lanes.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hpp"
+#include "crypto/cubehash_round.hpp"
+
+namespace rev::crypto
+{
+
+namespace
+{
+
+/**
+ * Per-lane absorb/finalize cursor. A lane walks the same event sequence
+ * the scalar hasher does — absorb each padded message block (r rounds
+ * each), xor 1 into word 31 (10r rounds), extract the digest — with the
+ * rounds themselves executed by the shared lockstep scheduler.
+ */
+struct Lane
+{
+    const u8 *data = nullptr;
+    std::size_t len = 0;
+    std::size_t off = 0;       ///< next message byte to absorb
+    bool absorbedPad = false;  ///< the 0x80-padded final block went in
+    bool finalXorDone = false; ///< word-31 xor injected
+    bool done = true;
+    unsigned pending = 0; ///< rounds owed before the next event
+};
+
+/** Xor one padded message block into lane @p l of the SoA state. */
+void
+absorbBlockLane(detail::SoaState4 &s, Lane &lane, unsigned l,
+                unsigned block_bytes)
+{
+    for (unsigned i = 0; i < block_bytes; ++i) {
+        u8 byte;
+        const std::size_t idx = lane.off + i;
+        if (idx < lane.len)
+            byte = lane.data[idx];
+        else if (idx == lane.len)
+            byte = 0x80;
+        else
+            byte = 0;
+        s.w[4 * (i / 4) + l] ^= static_cast<u32>(byte) << (8 * (i % 4));
+    }
+    lane.off += block_bytes;
+    if (lane.off > lane.len)
+        lane.absorbedPad = true;
+}
+
+} // namespace
+
+CubeHashX4::CubeHashX4(unsigned rounds, unsigned block_bytes,
+                       unsigned digest_bits, bool force_scalar)
+    : rounds_(rounds), blockBytes_(block_bytes), digestBits_(digest_bits),
+      forceScalar_(force_scalar),
+      ivSource_(rounds, block_bytes, digest_bits)
+{
+}
+
+bool
+CubeHashX4::simdCompiled()
+{
+    return REV_CUBEHASH_SIMD != 0;
+}
+
+void
+CubeHashX4::hashBatch(const Msg *msgs, unsigned n, Digest *out)
+{
+    if (n == 0 || n > kLanes)
+        fatal("CubeHashX4: batch size must be 1..4, got ", n);
+
+    detail::SoaState4 s;
+    const std::array<u32, 32> &iv = ivSource_.iv();
+    for (unsigned w = 0; w < 32; ++w)
+        for (unsigned l = 0; l < kLanes; ++l)
+            s.w[4 * w + l] = iv[w];
+
+    Lane lanes[kLanes];
+    for (unsigned l = 0; l < n; ++l) {
+        lanes[l].data = msgs[l].data;
+        lanes[l].len = msgs[l].len;
+        lanes[l].done = false;
+    }
+
+    auto runRounds = [&](unsigned k) {
+        if (forceScalar_) {
+            for (unsigned i = 0; i < k; ++i)
+                detail::roundX4Scalar(s);
+        } else {
+            detail::permuteX4Active(s, k);
+        }
+    };
+
+    for (;;) {
+        // Service every lane whose owed rounds ran out: absorb the next
+        // block, inject the finalization xor, or extract the digest.
+        for (unsigned l = 0; l < n; ++l) {
+            Lane &lane = lanes[l];
+            while (!lane.done && lane.pending == 0) {
+                if (!lane.absorbedPad) {
+                    absorbBlockLane(s, lane, l, blockBytes_);
+                    lane.pending = rounds_;
+                } else if (!lane.finalXorDone) {
+                    s.w[4 * 31 + l] ^= 1;
+                    lane.finalXorDone = true;
+                    lane.pending = 10 * rounds_;
+                } else {
+                    Digest d{};
+                    const unsigned bytes = digestBits_ / 8;
+                    for (unsigned i = 0; i < bytes && i < d.size(); ++i)
+                        d[i] = static_cast<u8>(s.w[4 * (i / 4) + l] >>
+                                               (8 * (i % 4)));
+                    out[l] = d;
+                    lane.done = true;
+                }
+            }
+        }
+
+        unsigned step = std::numeric_limits<unsigned>::max();
+        for (unsigned l = 0; l < n; ++l)
+            if (!lanes[l].done)
+                step = std::min(step, lanes[l].pending);
+        if (step == std::numeric_limits<unsigned>::max())
+            break; // all lanes done
+
+        runRounds(step);
+        for (unsigned l = 0; l < n; ++l)
+            if (!lanes[l].done)
+                lanes[l].pending -= step;
+    }
+}
+
+} // namespace rev::crypto

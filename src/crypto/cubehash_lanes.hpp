@@ -1,0 +1,83 @@
+/**
+ * @file
+ * CubeHashX4 — hash up to four independent messages in lockstep.
+ *
+ * The CubeHash round is pure add/rotate/xor over 32 words, so four
+ * unrelated states packed word-major (SoA) advance one round with the
+ * exact same instruction count as one state — a 4-word SIMD vector per
+ * state word. Messages of different lengths are handled by a lockstep
+ * scheduler: each lane owes a number of pending rounds (r after every
+ * absorbed block, 10r after the finalization xor), the engine runs
+ * min(pending) rounds across all live lanes, then services whichever
+ * lanes hit zero (absorb next block / inject the final xor / extract the
+ * digest). A finished lane's rows keep getting scrambled by later rounds,
+ * which is harmless — its digest was already extracted.
+ *
+ * Each lane's digest is bit-identical to CubeHash::hash() with the same
+ * parameters; tests/crypto pins this against pinned vectors and random
+ * lengths. Callers that batch fewer than 4 messages simply pass n < 4 —
+ * the scheduler runs with idle lanes at no extra per-round cost.
+ */
+
+#ifndef REV_CRYPTO_CUBEHASH_LANES_HPP
+#define REV_CRYPTO_CUBEHASH_LANES_HPP
+
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "crypto/cubehash.hpp"
+
+namespace rev::crypto
+{
+
+/** Batch hasher over up to four independent messages. */
+class CubeHashX4
+{
+  public:
+    static constexpr unsigned kLanes = 4;
+
+    /** One input message (borrowed bytes; must outlive hashBatch). */
+    struct Msg
+    {
+        const u8 *data = nullptr;
+        std::size_t len = 0;
+    };
+
+    /**
+     * @param rounds       Rounds per message block (paper uses 5).
+     * @param block_bytes  Message block size in bytes (1..128).
+     * @param digest_bits  Digest size in bits (8..512, multiple of 8).
+     * @param force_scalar Use the reference 4-lane kernel even when SIMD
+     *                     is compiled in (for equivalence tests).
+     */
+    explicit CubeHashX4(unsigned rounds = 5, unsigned block_bytes = 32,
+                        unsigned digest_bits = 256,
+                        bool force_scalar = false);
+
+    /**
+     * Hash @p n (1..4) messages; out[i] receives msgs[i]'s digest,
+     * bit-identical to the scalar CubeHash with the same parameters.
+     */
+    void hashBatch(const Msg *msgs, unsigned n, Digest *out);
+
+    /** True when the SIMD 4-lane kernel is compiled in. */
+    static bool simdCompiled();
+
+    /** Lanes advanced per permutation round by the active kernel. */
+    static unsigned statesPerRound() { return simdCompiled() ? kLanes : 1; }
+
+    unsigned rounds() const { return rounds_; }
+    unsigned blockBytes() const { return blockBytes_; }
+    unsigned digestBits() const { return digestBits_; }
+
+  private:
+    unsigned rounds_;
+    unsigned blockBytes_;
+    unsigned digestBits_;
+    bool forceScalar_;
+    CubeHash ivSource_; ///< scalar hasher, reused for its memoized IV
+};
+
+} // namespace rev::crypto
+
+#endif // REV_CRYPTO_CUBEHASH_LANES_HPP

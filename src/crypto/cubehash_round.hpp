@@ -1,0 +1,375 @@
+/**
+ * @file
+ * CubeHash round primitives shared by the scalar hasher (cubehash.cpp)
+ * and the multi-lane batch hasher (cubehash_lanes.cpp).
+ *
+ * Three implementations of the same permutation live here:
+ *
+ *  - roundScalar():    one state, plain u32 arithmetic (the reference).
+ *  - roundSimd():      one state, SSE2/AVX2. The spec's swap steps become
+ *                      xor-permuted indexing (see the comment on
+ *                      roundScalar); with the state split into 4-word
+ *                      vectors, i^8 and i^4 are register renamings and
+ *                      i^2 / i^1 are in-register shuffles.
+ *  - roundX4*():       four independent states in word-major SoA layout
+ *                      (row w holds word w of all four lanes), so every
+ *                      step is a plain vertical add/rot/xor with no
+ *                      shuffles at all.
+ *
+ * All three are bit-identical by construction; tests/crypto pins that.
+ * SIMD is compiled in when the target supports SSE2 (any x86-64); the
+ * AVX2 variants are additionally compiled as target("avx2") clones on
+ * GCC/Clang and chosen at run time via __builtin_cpu_supports, so a
+ * baseline build still uses them on AVX2 hardware. Everything can be
+ * disabled wholesale with -DREV_DISABLE_SIMD_HASH to keep the portable
+ * fallback honest.
+ */
+
+#ifndef REV_CRYPTO_CUBEHASH_ROUND_HPP
+#define REV_CRYPTO_CUBEHASH_ROUND_HPP
+
+#include <array>
+
+#include "common/types.hpp"
+
+#if !defined(REV_DISABLE_SIMD_HASH) &&                                       \
+    (defined(__AVX2__) || defined(__SSE2__) || defined(__x86_64__) ||        \
+     defined(_M_X64))
+#define REV_CUBEHASH_SIMD 1
+#include <immintrin.h>
+#else
+#define REV_CUBEHASH_SIMD 0
+#endif
+
+// GCC and Clang can compile AVX2 kernels into a baseline-ISA binary via
+// __attribute__((target("avx2"))) and select them at run time with
+// __builtin_cpu_supports, so the AVX2 paths below do not require -mavx2
+// (or REV_NATIVE_ARCH) at configure time.
+#if REV_CUBEHASH_SIMD && (defined(__GNUC__) || defined(__clang__))
+#define REV_CUBEHASH_AVX2_DISPATCH 1
+#else
+#define REV_CUBEHASH_AVX2_DISPATCH 0
+#endif
+
+#if defined(__AVX2__)
+#define REV_CH_TARGET_AVX2 /* already compiling for AVX2 */
+#elif REV_CUBEHASH_AVX2_DISPATCH
+#define REV_CH_TARGET_AVX2 __attribute__((target("avx2")))
+#endif
+
+namespace rev::crypto::detail
+{
+
+inline u32
+rotl32(u32 x, int k)
+{
+    return (x << k) | (x >> (32 - k));
+}
+
+/**
+ * One round of the CubeHash permutation (ten steps). The spec's in-place
+ * add/rotate/swap/xor sequence is folded into gather-style assignments
+ * over fresh temporaries — the swap steps become xor-permuted indexing —
+ * which the compiler can keep in registers and auto-vectorize. With the
+ * halves A = x[0..15], B = x[16..31] and the spec's steps numbered 1-10:
+ *
+ *   b[i] = B[i] + A[i]                      (1)
+ *   a[i] = rotl(A[i^8], 7) ^ b[i]           (2,3,4)
+ *   c[i] = b[i^2] + a[i]                    (5,6)
+ *   A[i] = rotl(a[i^4], 11) ^ c[i]          (7,8,9)
+ *   B[i] = c[i^1]                           (10)
+ */
+inline void
+roundScalar(std::array<u32, 32> &x)
+{
+    u32 a[16], b[16], c[16];
+    for (int i = 0; i < 16; ++i)
+        b[i] = x[16 + i] + x[i];
+    for (int i = 0; i < 16; ++i)
+        a[i] = rotl32(x[i ^ 8], 7) ^ b[i];
+    for (int i = 0; i < 16; ++i)
+        c[i] = b[i ^ 2] + a[i];
+    for (int i = 0; i < 16; ++i)
+        x[i] = rotl32(a[i ^ 4], 11) ^ c[i];
+    for (int i = 0; i < 16; ++i)
+        x[16 + i] = c[i ^ 1];
+}
+
+#if REV_CUBEHASH_SIMD
+
+#define REV_CH_ROT7_128(v)                                                   \
+    _mm_or_si128(_mm_slli_epi32((v), 7), _mm_srli_epi32((v), 25))
+#define REV_CH_ROT11_128(v)                                                  \
+    _mm_or_si128(_mm_slli_epi32((v), 11), _mm_srli_epi32((v), 21))
+
+/**
+ * n rounds on a single state, SSE2. The 32 words live in eight 4-word
+ * vectors A0..A3 (x[0..15]) and B0..B3 (x[16..31]); for element i of
+ * vector j (state index 4j+i):
+ *
+ *   i^8 — flips bit 3 of the state index: vector renaming j <-> j^2.
+ *   i^4 — flips bit 2: vector renaming j <-> j^1.
+ *   i^2 — flips bit 1: in-vector shuffle (1,0,3,2) = 0x4E.
+ *   i^1 — flips bit 0: in-vector shuffle (2,3,0,1) = 0xB1.
+ */
+inline void
+permuteSse2(std::array<u32, 32> &x, unsigned n)
+{
+    __m128i *p = reinterpret_cast<__m128i *>(x.data());
+    __m128i A0 = _mm_loadu_si128(p + 0), A1 = _mm_loadu_si128(p + 1);
+    __m128i A2 = _mm_loadu_si128(p + 2), A3 = _mm_loadu_si128(p + 3);
+    __m128i B0 = _mm_loadu_si128(p + 4), B1 = _mm_loadu_si128(p + 5);
+    __m128i B2 = _mm_loadu_si128(p + 6), B3 = _mm_loadu_si128(p + 7);
+    for (unsigned k = 0; k < n; ++k) {
+        const __m128i b0 = _mm_add_epi32(B0, A0);
+        const __m128i b1 = _mm_add_epi32(B1, A1);
+        const __m128i b2 = _mm_add_epi32(B2, A2);
+        const __m128i b3 = _mm_add_epi32(B3, A3);
+        const __m128i a0 = _mm_xor_si128(REV_CH_ROT7_128(A2), b0);
+        const __m128i a1 = _mm_xor_si128(REV_CH_ROT7_128(A3), b1);
+        const __m128i a2 = _mm_xor_si128(REV_CH_ROT7_128(A0), b2);
+        const __m128i a3 = _mm_xor_si128(REV_CH_ROT7_128(A1), b3);
+        const __m128i c0 = _mm_add_epi32(_mm_shuffle_epi32(b0, 0x4E), a0);
+        const __m128i c1 = _mm_add_epi32(_mm_shuffle_epi32(b1, 0x4E), a1);
+        const __m128i c2 = _mm_add_epi32(_mm_shuffle_epi32(b2, 0x4E), a2);
+        const __m128i c3 = _mm_add_epi32(_mm_shuffle_epi32(b3, 0x4E), a3);
+        A0 = _mm_xor_si128(REV_CH_ROT11_128(a1), c0);
+        A1 = _mm_xor_si128(REV_CH_ROT11_128(a0), c1);
+        A2 = _mm_xor_si128(REV_CH_ROT11_128(a3), c2);
+        A3 = _mm_xor_si128(REV_CH_ROT11_128(a2), c3);
+        B0 = _mm_shuffle_epi32(c0, 0xB1);
+        B1 = _mm_shuffle_epi32(c1, 0xB1);
+        B2 = _mm_shuffle_epi32(c2, 0xB1);
+        B3 = _mm_shuffle_epi32(c3, 0xB1);
+    }
+    _mm_storeu_si128(p + 0, A0);
+    _mm_storeu_si128(p + 1, A1);
+    _mm_storeu_si128(p + 2, A2);
+    _mm_storeu_si128(p + 3, A3);
+    _mm_storeu_si128(p + 4, B0);
+    _mm_storeu_si128(p + 5, B1);
+    _mm_storeu_si128(p + 6, B2);
+    _mm_storeu_si128(p + 7, B3);
+}
+
+#if defined(__AVX2__) || REV_CUBEHASH_AVX2_DISPATCH
+
+/** Whether the running CPU can execute the AVX2 kernels. */
+inline bool
+cpuHasAvx2()
+{
+#if defined(__AVX2__)
+    return true; // the whole binary already assumes it
+#else
+    static const bool has = __builtin_cpu_supports("avx2") != 0;
+    return has;
+#endif
+}
+
+#define REV_CH_ROT7_256(v)                                                   \
+    _mm256_or_si256(_mm256_slli_epi32((v), 7), _mm256_srli_epi32((v), 25))
+#define REV_CH_ROT11_256(v)                                                  \
+    _mm256_or_si256(_mm256_slli_epi32((v), 11), _mm256_srli_epi32((v), 21))
+
+/**
+ * n rounds on a single state, AVX2: four 8-word vectors A01/A23/B01/B23.
+ * i^8 is still a register renaming, i^2 and i^1 stay per-128-bit-lane
+ * shuffles, and i^4 becomes a 128-bit half swap (permute4x64 0x4E).
+ */
+REV_CH_TARGET_AVX2 inline void
+permuteAvx2(std::array<u32, 32> &x, unsigned n)
+{
+    __m256i *p = reinterpret_cast<__m256i *>(x.data());
+    __m256i A01 = _mm256_loadu_si256(p + 0);
+    __m256i A23 = _mm256_loadu_si256(p + 1);
+    __m256i B01 = _mm256_loadu_si256(p + 2);
+    __m256i B23 = _mm256_loadu_si256(p + 3);
+    for (unsigned k = 0; k < n; ++k) {
+        const __m256i b01 = _mm256_add_epi32(B01, A01);
+        const __m256i b23 = _mm256_add_epi32(B23, A23);
+        const __m256i a01 = _mm256_xor_si256(REV_CH_ROT7_256(A23), b01);
+        const __m256i a23 = _mm256_xor_si256(REV_CH_ROT7_256(A01), b23);
+        const __m256i c01 =
+            _mm256_add_epi32(_mm256_shuffle_epi32(b01, 0x4E), a01);
+        const __m256i c23 =
+            _mm256_add_epi32(_mm256_shuffle_epi32(b23, 0x4E), a23);
+        A01 = _mm256_xor_si256(
+            REV_CH_ROT11_256(_mm256_permute4x64_epi64(a01, 0x4E)), c01);
+        A23 = _mm256_xor_si256(
+            REV_CH_ROT11_256(_mm256_permute4x64_epi64(a23, 0x4E)), c23);
+        B01 = _mm256_shuffle_epi32(c01, 0xB1);
+        B23 = _mm256_shuffle_epi32(c23, 0xB1);
+    }
+    _mm256_storeu_si256(p + 0, A01);
+    _mm256_storeu_si256(p + 1, A23);
+    _mm256_storeu_si256(p + 2, B01);
+    _mm256_storeu_si256(p + 3, B23);
+}
+
+#endif // __AVX2__ || REV_CUBEHASH_AVX2_DISPATCH
+
+#endif // REV_CUBEHASH_SIMD
+
+/** n rounds on a single state with the fastest kernel the running CPU
+ *  supports (AVX2 is selected at run time, not configure time). */
+inline void
+permuteActive(std::array<u32, 32> &x, unsigned n)
+{
+#if REV_CUBEHASH_SIMD && (defined(__AVX2__) || REV_CUBEHASH_AVX2_DISPATCH)
+    if (cpuHasAvx2()) {
+        permuteAvx2(x, n);
+        return;
+    }
+#endif
+#if REV_CUBEHASH_SIMD
+    permuteSse2(x, n);
+#else
+    for (unsigned i = 0; i < n; ++i)
+        roundScalar(x);
+#endif
+}
+
+/** Name of the single-state kernel permuteActive() resolves to. */
+inline const char *
+permuteImplName()
+{
+#if REV_CUBEHASH_SIMD && (defined(__AVX2__) || REV_CUBEHASH_AVX2_DISPATCH)
+    if (cpuHasAvx2())
+        return "avx2";
+#endif
+#if REV_CUBEHASH_SIMD
+    return "sse2";
+#else
+    return "scalar";
+#endif
+}
+
+/**
+ * Four-lane SoA state: row w is an aligned group of 4 u32 holding word w
+ * of lanes 0..3, i.e. soa[4*w + lane] = lane's state word w.
+ */
+struct SoaState4
+{
+    alignas(32) u32 w[32 * 4];
+};
+
+/** One round applied to all four SoA lanes, reference implementation. */
+inline void
+roundX4Scalar(SoaState4 &s)
+{
+    u32 a[16][4], b[16][4], c[16][4];
+    for (int i = 0; i < 16; ++i)
+        for (int l = 0; l < 4; ++l)
+            b[i][l] = s.w[4 * (16 + i) + l] + s.w[4 * i + l];
+    for (int i = 0; i < 16; ++i)
+        for (int l = 0; l < 4; ++l)
+            a[i][l] = rotl32(s.w[4 * (i ^ 8) + l], 7) ^ b[i][l];
+    for (int i = 0; i < 16; ++i)
+        for (int l = 0; l < 4; ++l)
+            c[i][l] = b[i ^ 2][l] + a[i][l];
+    for (int i = 0; i < 16; ++i)
+        for (int l = 0; l < 4; ++l)
+            s.w[4 * i + l] = rotl32(a[i ^ 4][l], 11) ^ c[i][l];
+    for (int i = 0; i < 16; ++i)
+        for (int l = 0; l < 4; ++l)
+            s.w[4 * (16 + i) + l] = c[i ^ 1][l];
+}
+
+#if REV_CUBEHASH_SIMD
+
+/**
+ * n rounds applied to all four SoA lanes, SSE2. Each row is one vector,
+ * the xor-permuted indexing happens on whole rows, so the round body is
+ * pure vertical arithmetic — no shuffles.
+ */
+inline void
+permuteX4Sse2(SoaState4 &s, unsigned n)
+{
+    __m128i *row = reinterpret_cast<__m128i *>(s.w);
+    for (unsigned k = 0; k < n; ++k) {
+        __m128i a[16], b[16], c[16];
+        for (int i = 0; i < 16; ++i)
+            b[i] = _mm_add_epi32(row[16 + i], row[i]);
+        for (int i = 0; i < 16; ++i)
+            a[i] = _mm_xor_si128(REV_CH_ROT7_128(row[i ^ 8]), b[i]);
+        for (int i = 0; i < 16; ++i)
+            c[i] = _mm_add_epi32(b[i ^ 2], a[i]);
+        for (int i = 0; i < 16; ++i)
+            row[i] = _mm_xor_si128(REV_CH_ROT11_128(a[i ^ 4]), c[i]);
+        for (int i = 0; i < 16; ++i)
+            row[16 + i] = c[i ^ 1];
+    }
+}
+
+#if defined(__AVX2__) || REV_CUBEHASH_AVX2_DISPATCH
+
+/**
+ * n rounds on all four SoA lanes, AVX2. Rows i and i^8 are packed into
+ * the two 128-bit halves of one ymm register (V[i] = rows (i, i+8) of
+ * the A half, W[i] = rows (16+i, 24+i) of the B half, i = 0..7), so the
+ * full 4-lane state occupies exactly the sixteen ymm registers and every
+ * round runs register-resident:
+ *
+ *   i^8 — a half swap inside the register (permute4x64 0x4E);
+ *   i^4, i^2, i^1 — flip bits inside the 0..7 pair index: renamings.
+ */
+REV_CH_TARGET_AVX2 inline void
+permuteX4Avx2(SoaState4 &s, unsigned n)
+{
+    const __m128i *row = reinterpret_cast<const __m128i *>(s.w);
+    __m256i V[8], W[8];
+    for (int i = 0; i < 8; ++i) {
+        V[i] = _mm256_set_m128i(_mm_loadu_si128(row + (i + 8)),
+                                _mm_loadu_si128(row + i));
+        W[i] = _mm256_set_m128i(_mm_loadu_si128(row + (24 + i)),
+                                _mm_loadu_si128(row + (16 + i)));
+    }
+    for (unsigned k = 0; k < n; ++k) {
+        __m256i a[8], b[8], c[8];
+        for (int i = 0; i < 8; ++i)
+            b[i] = _mm256_add_epi32(W[i], V[i]);
+        for (int i = 0; i < 8; ++i)
+            a[i] = _mm256_xor_si256(
+                REV_CH_ROT7_256(_mm256_permute4x64_epi64(V[i], 0x4E)), b[i]);
+        for (int i = 0; i < 8; ++i)
+            c[i] = _mm256_add_epi32(b[i ^ 2], a[i]);
+        for (int i = 0; i < 8; ++i)
+            V[i] = _mm256_xor_si256(REV_CH_ROT11_256(a[i ^ 4]), c[i]);
+        for (int i = 0; i < 8; ++i)
+            W[i] = c[i ^ 1];
+    }
+    __m128i *out = reinterpret_cast<__m128i *>(s.w);
+    for (int i = 0; i < 8; ++i) {
+        _mm_storeu_si128(out + i, _mm256_castsi256_si128(V[i]));
+        _mm_storeu_si128(out + (i + 8), _mm256_extracti128_si256(V[i], 1));
+        _mm_storeu_si128(out + (16 + i), _mm256_castsi256_si128(W[i]));
+        _mm_storeu_si128(out + (24 + i), _mm256_extracti128_si256(W[i], 1));
+    }
+}
+
+#endif // __AVX2__ || REV_CUBEHASH_AVX2_DISPATCH
+
+#endif // REV_CUBEHASH_SIMD
+
+/** n rounds on all four SoA lanes with the fastest kernel the running
+ *  CPU supports (AVX2 is selected at run time, not configure time). */
+inline void
+permuteX4Active(SoaState4 &s, unsigned n)
+{
+#if REV_CUBEHASH_SIMD && (defined(__AVX2__) || REV_CUBEHASH_AVX2_DISPATCH)
+    if (cpuHasAvx2()) {
+        permuteX4Avx2(s, n);
+        return;
+    }
+#endif
+#if REV_CUBEHASH_SIMD
+    permuteX4Sse2(s, n);
+#else
+    for (unsigned i = 0; i < n; ++i)
+        roundX4Scalar(s);
+#endif
+}
+
+} // namespace rev::crypto::detail
+
+#endif // REV_CRYPTO_CUBEHASH_ROUND_HPP

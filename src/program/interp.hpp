@@ -117,6 +117,48 @@ struct Predecoded
 };
 
 /**
+ * Interpreter dispatch mode. Threaded (the default) executes through
+ * superblock token runs — whole decoded basic blocks committed off one
+ * cursor with a two-compare SMC guard per token — using a computed-goto
+ * label table where the compiler supports it. Switch is the legacy
+ * per-instruction decode-cache path. Both are bit-identical (pinned by
+ * tests/program dispatch-equivalence tests); the mode is deliberately a
+ * process-global knob, not a SimConfig field, so sweep-cache keys and
+ * golden stats are dispatch-independent.
+ */
+enum class DispatchMode : u8
+{
+    Switch,
+    Threaded,
+};
+
+/** Active mode: REV_DISPATCH env ("switch"/"threaded") else Threaded. */
+DispatchMode dispatchMode();
+
+/** Override the mode (CLI --dispatch; affects Machines built after). */
+void setDispatchMode(DispatchMode mode);
+
+/** "switch" or "threaded". */
+const char *dispatchModeName(DispatchMode mode);
+
+/**
+ * A superblock: one basic block's instructions predecoded into a flat
+ * token run. Built lazily per entry PC, bounded to one code page, ended
+ * at the first control-flow instruction (inclusive), an undecodable or
+ * page-crossing instruction (exclusive), or the token cap. Tagged with
+ * the page's write-version so any store landing on the page — the
+ * machine's own, a hook's, an attack injector's — invalidates the run.
+ */
+struct SuperBlock
+{
+    Addr start = 0;
+    u64 pageNo = 0;
+    u64 version = 0;                  ///< page version at build
+    const u64 *liveVersion = nullptr; ///< live counter for the SMC guard
+    std::vector<Predecoded> tokens;
+};
+
+/**
  * Per-code-page cache of decoded instructions keyed by PC, validated
  * against SparseMemory page versions (plus the memory epoch for wholesale
  * page-set replacement, e.g. the page-shadowing rollback). Entries whose
@@ -134,6 +176,18 @@ class DecodeCache
 
     /** Drop everything (tests / explicit resets). */
     void clear();
+
+    /**
+     * Superblock starting at @p pc, building (or rebuilding, when its
+     * page version moved) on demand. Returns nullptr when the first
+     * instruction is undecodable, page-crossing, or on an unpopulated
+     * page — the caller falls back to the per-instruction slow path.
+     * The pointer stays valid until clear() (map nodes are stable).
+     */
+    const SuperBlock *superblockAt(const SparseMemory &mem, Addr pc);
+
+    /** Token cap per superblock (bounds rebuild cost after SMC). */
+    static constexpr unsigned kMaxSuperBlockTokens = 128;
 
     /** Every page number the decoder has read deciding bytes from since
      *  the last clear() (includes spill pages of page-crossing
@@ -159,6 +213,7 @@ class DecodeCache
     CodePage &pageFor(const SparseMemory &mem, u64 page_no);
 
     std::unordered_map<u64, CodePage> pages_;
+    std::unordered_map<Addr, SuperBlock> sblocks_; ///< keyed by entry pc
     u64 lastPageNo_ = kNoAddr;
     CodePage *lastPage_ = nullptr;
     u64 memEpoch_ = ~u64{0};
@@ -250,6 +305,37 @@ class Machine
   private:
     ExecRecord replayStep();
 
+    /** Per-instruction decode-cache path (DispatchMode::Switch, and the
+     *  fallback for undecodable / page-crossing / unpopulated cases). */
+    ExecRecord stepSlow(StoreBuffer *sb, SeqNum seq);
+
+    /** Superblock-cursor path (DispatchMode::Threaded). */
+    ExecRecord stepThreaded(StoreBuffer *sb, SeqNum seq);
+
+    /**
+     * Attach or revalidate the superblock cursor at the current PC.
+     * Returns false when no superblock covers pc_ (caller uses the slow
+     * path). Checks, in order: memory epoch (the token storage may have
+     * been dropped wholesale), cursor continuity (pc_ must be the next
+     * token's address — setPc() and replay divergence break it), token
+     * bounds, and the page's live write-version (the per-block SMC
+     * guard; re-checked per committed token because hooks and store
+     * drains can land on the page mid-block).
+     */
+    bool cursorReady();
+
+    /** Execute one decoded instruction (shared semantic switch). */
+    void execIns(const isa::Instr &ins, unsigned len, ExecRecord &rec,
+                 StoreBuffer *sb, SeqNum seq);
+
+    /** Same semantics through the token label table (computed goto where
+     *  supported, identical switch otherwise). */
+    void execToken(const isa::Instr &ins, unsigned len, ExecRecord &rec,
+                   StoreBuffer *sb, SeqNum seq);
+
+    /** Re-derive one record's trace events (shared by replay paths). */
+    void replayExec(const isa::Instr &ins, ExecRecord &rec);
+
     std::array<u64, isa::kNumArchRegs> regs_{};
     Addr pc_;
     bool halted_ = false;
@@ -257,6 +343,12 @@ class Machine
     DecodeCache dcache_;
     TraceRecorder *recorder_ = nullptr;
     TraceReplayer *replayer_ = nullptr;
+
+    DispatchMode dispatch_ = DispatchMode::Threaded;
+    const SuperBlock *sbCur_ = nullptr; ///< superblock cursor (threaded)
+    unsigned sbIdx_ = 0;                ///< next token to commit
+    Addr sbNextPc_ = 0;                 ///< pc the next token must match
+    u64 sbEpoch_ = ~u64{0};             ///< memory epoch at attach
 };
 
 /**

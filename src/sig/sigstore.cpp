@@ -1,6 +1,10 @@
 #include "sig/sigstore.hpp"
 
+#include <algorithm>
+
 #include "common/bitutil.hpp"
+#include "common/logging.hpp"
+#include "crypto/cubehash_lanes.hpp"
 
 namespace rev::sig
 {
@@ -73,10 +77,28 @@ SigStore::rebuildWith(const prog::Program &program, const SigStore *cfg_donor)
                                      sig.cfg.blocks().size()) {
                 sig.blockHashes = cfg_donor->sigs_[i].blockHashes;
             } else {
-                sig.blockHashes.reserve(sig.cfg.blocks().size());
-                for (const auto &bb : sig.cfg.blocks())
-                    sig.blockHashes.push_back(
-                        bbHash(*sig.module, bb, hashRounds_));
+                // Hash the module's blocks four lanes at a time through
+                // the multi-lane CubeHash (bit-identical to bbHash).
+                const auto &blocks = sig.cfg.blocks();
+                const auto &mod = *sig.module;
+                sig.blockHashes.resize(blocks.size());
+                BbHashJob jobs[crypto::CubeHashX4::kLanes];
+                for (std::size_t b = 0; b < blocks.size();
+                     b += crypto::CubeHashX4::kLanes) {
+                    const unsigned n = static_cast<unsigned>(
+                        std::min<std::size_t>(crypto::CubeHashX4::kLanes,
+                                              blocks.size() - b));
+                    for (unsigned l = 0; l < n; ++l) {
+                        const auto &bb = blocks[b + l];
+                        REV_ASSERT(bb.start >= mod.base &&
+                                       bb.end <= mod.codeEnd(),
+                                   "SigStore: block outside module code");
+                        jobs[l] = {mod.image.data() + (bb.start - mod.base),
+                                   bb.sizeBytes(), bb.start, bb.term};
+                    }
+                    bbHashBatch(jobs, n, hashRounds_,
+                                sig.blockHashes.data() + b);
+                }
             }
         }
         const crypto::AesKey key = vault_->generateModuleKey(rng);

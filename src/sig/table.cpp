@@ -7,6 +7,7 @@
 
 #include "common/logging.hpp"
 #include "crypto/cubehash.hpp"
+#include "crypto/cubehash_lanes.hpp"
 #include "program/program.hpp"
 
 namespace rev::sig
@@ -140,6 +141,35 @@ bbHashBytes(const u8 *code, std::size_t len, Addr start, Addr term,
     }
     h.update(bind, sizeof(bind));
     return crypto::CubeHash::signature32(h.finalize());
+}
+
+void
+bbHashBatch(const BbHashJob *jobs, unsigned n, unsigned hash_rounds,
+            u32 *out)
+{
+    // Each lane's message is code || 16-byte (start, term) binding, same
+    // bytes bbHashBytes absorbs. The concatenation is staged in reused
+    // per-thread scratch so CubeHashX4 sees one contiguous message.
+    thread_local std::vector<u8> scratch[crypto::CubeHashX4::kLanes];
+    REV_ASSERT(n >= 1 && n <= crypto::CubeHashX4::kLanes,
+               "bbHashBatch: 1..4 jobs");
+    crypto::CubeHashX4::Msg msgs[crypto::CubeHashX4::kLanes];
+    for (unsigned i = 0; i < n; ++i) {
+        auto &buf = scratch[i];
+        buf.assign(jobs[i].code, jobs[i].code + jobs[i].len);
+        for (int b = 0; b < 8; ++b) {
+            buf.push_back(static_cast<u8>(jobs[i].start >> (8 * b)));
+        }
+        for (int b = 0; b < 8; ++b) {
+            buf.push_back(static_cast<u8>(jobs[i].term >> (8 * b)));
+        }
+        msgs[i] = {buf.data(), buf.size()};
+    }
+    crypto::CubeHashX4 hx(hash_rounds);
+    crypto::Digest digests[crypto::CubeHashX4::kLanes];
+    hx.hashBatch(msgs, n, digests);
+    for (unsigned i = 0; i < n; ++i)
+        out[i] = crypto::CubeHash::signature32(digests[i]);
 }
 
 u32

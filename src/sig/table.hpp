@@ -88,6 +88,24 @@ u32 bbHashBytes(const u8 *code, std::size_t len, Addr start, Addr term,
 u32 bbHash(const prog::Module &mod, const prog::BasicBlock &bb,
            unsigned hash_rounds);
 
+/** One block's input to bbHashBatch (borrowed code bytes). */
+struct BbHashJob
+{
+    const u8 *code = nullptr;
+    std::size_t len = 0;
+    Addr start = 0;
+    Addr term = 0;
+};
+
+/**
+ * Batched bbHashBytes: hash up to 4 blocks in one multi-lane CubeHash
+ * pass (crypto::CubeHashX4), writing out[i] = bbHashBytes(jobs[i]...).
+ * Bit-identical to the scalar path; proto-build (SigStore) feeds every
+ * module's block list through this 4 lanes at a time.
+ */
+void bbHashBatch(const BbHashJob *jobs, unsigned n, unsigned hash_rounds,
+                 u32 *out);
+
 /**
  * Build the signature table for @p mod / @p cfg in @p mode, encrypted with
  * @p module_key (wrapped for the CPU owning @p vault) and @p nonce.

@@ -47,11 +47,34 @@ class Chg
   public:
     Chg(const SparseMemory &mem, const ChgConfig &cfg = {});
 
+    /** Lane width of the batched hash path (crypto::CubeHashX4). */
+    static constexpr unsigned kLanes = 4;
+
     /**
      * Digest of the block [start, end) terminated at @p term, as hashed
-     * from the bytes currently in memory.
+     * from the bytes currently in memory. If the block is staged in the
+     * lane queue, the queue is flushed (multi-lane) first.
      */
     u32 digest(Addr start, Addr term, Addr end);
+
+    /**
+     * Stage a digest request in the lane queue without resolving it. The
+     * block's bytes and page-version sum are snapshotted now — exactly
+     * what an immediate digest() would hash — so a later flush computes
+     * the same value regardless of intervening stores, and blocksHashed
+     * counts here, where the scalar path would have hashed. Up to kLanes
+     * requests accumulate and are hashed in one CubeHashX4 pass by
+     * flushLanes() (or transparently by digest() / a full queue).
+     * Memo-fresh requests are dropped immediately, like a memo hit.
+     */
+    void queueDigest(Addr start, Addr term, Addr end);
+
+    /** Hash every staged request in one multi-lane pass. */
+    void flushLanes();
+
+    /** Host-side introspection of the batched path (not simulated stats). */
+    u64 laneFlushes() const { return laneFlushes_; }
+    u64 laneBlocksHashed() const { return laneBlocksHashed_; }
 
     /** Cycle the digest becomes available given the fetch-complete time. */
     Cycle readyAt(Cycle fetch_done) const { return fetch_done + cfg_.latency; }
@@ -59,8 +82,17 @@ class Chg
     /** A misprediction flushed the in-flight pipeline state. */
     void flush() { ++flushes_; }
 
-    /** Code space was modified externally: recompute future digests. */
-    void invalidate() { cache_.clear(); }
+    /**
+     * Code space was modified externally: recompute future digests.
+     * Staged lane requests are dropped (their hash was already counted
+     * when staged, matching the scalar path's count-at-fetch).
+     */
+    void
+    invalidate()
+    {
+        cache_.clear();
+        lanesUsed_ = 0;
+    }
 
     unsigned latency() const { return cfg_.latency; }
     u64 blocksHashed() const { return blocksHashed_; }
@@ -90,10 +122,24 @@ class Chg
         u64 verSum; ///< spanVersionSum of [start, end) when hashed
     };
 
+    /** One staged digest request: key + byte snapshot taken at queue time. */
+    struct PendingLane
+    {
+        Key key{};
+        Addr end = 0;
+        u64 verSum = 0;
+        std::vector<u8> bytes; ///< reused across flushes
+    };
+
+    bool pendingIndex(const Key &key, unsigned *idx) const;
+
     const SparseMemory &mem_;
     ChgConfig cfg_;
     std::unordered_map<Key, Memo, KeyHash> cache_;
     std::vector<u8> scratch_; ///< reused block-byte buffer
+    PendingLane lanes_[kLanes];
+    unsigned lanesUsed_ = 0;
+    u64 laneFlushes_ = 0, laneBlocksHashed_ = 0;
     stats::Counter blocksHashed_, flushes_;
 };
 

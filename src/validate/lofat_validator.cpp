@@ -32,8 +32,12 @@ LoFatValidator::onBBFetched(const BBFetchInfo &info)
         return;
     }
     // The CHG digests the fetched bytes; the digest is both the chain's
-    // code component and the earliest the event record can be sealed.
-    cur_.codeDigest = chg_.digest(info.start, info.term, info.end);
+    // code component and the earliest the event record can be sealed. The
+    // model stages the request (byte snapshot) in the CHG lane queue and
+    // resolves it at validateBB, batching in-flight units' hashes into
+    // one multi-lane pass.
+    chg_.queueDigest(info.start, info.term, info.end);
+    cur_.hashPending = true;
     cur_.hashReadyAt = chg_.readyAt(info.fetchDoneAt);
 }
 
@@ -68,6 +72,13 @@ LoFatValidator::validateBB(BBSeq bb, Addr actual_target, Cycle commit_cycle)
         return true;
     }
     const BBFetchInfo info = cur_.info;
+
+    // Resolve the lane-queued digest (one multi-lane flush) before the
+    // measurement record and the chain fold consume it.
+    if (cur_.hashPending) {
+        cur_.codeDigest = chg_.digest(info.start, info.term, info.end);
+        cur_.hashPending = false;
+    }
 
     // Prover-side measurement: the block is recorded before the (eager,
     // model-side) CFG check adjudicates it.

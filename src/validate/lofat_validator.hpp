@@ -111,6 +111,8 @@ class LoFatValidator final : public Validator
         bool bypass = false;
         BBFetchInfo info;
         u32 codeDigest = 0;
+        /** Digest staged in the CHG lane queue, resolved at validate. */
+        bool hashPending = false;
         Cycle hashReadyAt = 0;
     };
 

@@ -134,8 +134,14 @@ RevValidator::onBBFetched(const BBFetchInfo &info)
     }
 
     // --- CHG ----------------------------------------------------------------
+    // The hash unit starts digesting the fetched bytes now; the model
+    // stages the request in the CHG lane queue (byte snapshot taken here)
+    // and resolves it when the digest value is first consumed — by the
+    // table walk below on an SC miss, or at validateBB() on an SC hit —
+    // so several in-flight units' hashes flush as one multi-lane pass.
     if (mode != ValidationMode::CfiOnly) {
-        cur.computedHash = chg_.digest(info.start, info.term, info.end);
+        chg_.queueDigest(info.start, info.term, info.end);
+        cur.hashPending = true;
         cur.hashReadyAt = chg_.readyAt(info.fetchDoneAt);
     }
 
@@ -219,7 +225,9 @@ RevValidator::onBBFetched(const BBFetchInfo &info)
         needs.target = info.nextStart;
     if (need_pred)
         needs.pred = *pendingReturn_;
-    // Complete-miss walks present the CHG digest as the discriminator.
+    // Complete-miss walks present the CHG digest as the discriminator, so
+    // the staged hash must resolve now (flushing the lane queue).
+    resolveHash(cur);
     const sig::LookupResult ref = walk(*sag_entry, info.term,
                                        cur.computedHash, t,
                                        cur.scReadyAt, needs);
@@ -278,6 +286,11 @@ RevValidator::validateBB(BBSeq bb, Addr actual_target, Cycle commit_cycle)
     PendingBB &cur = *curp;
     const BBFetchInfo info = cur.info;
     const ValidationMode mode = store_.mode();
+
+    // SC-hit blocks deferred their digest; resolve it (one multi-lane
+    // flush covers every unit queued since the last resolve) before the
+    // measurement record and the hash compare below consume it.
+    resolveHash(cur);
 
     // Prover-side measurement: report the block before adjudicating it —
     // real measurement hardware records what executed, including the

@@ -228,6 +228,8 @@ class RevValidator final : public Validator
         Cycle hashReadyAt = 0;
         Cycle scReadyAt = 0;
         u32 computedHash = 0;
+        /** Digest staged in the CHG lane queue, resolved at validate. */
+        bool hashPending = false;
         bool refFound = false;
         bool termSeen = false; ///< terminator present, hash mismatched
         u32 refHash = 0;
@@ -276,6 +278,17 @@ class RevValidator final : public Validator
      * @param key For Full/Aggressive tables the generated hash (the
      *            Sec. V.B discriminator); ignored for CFI-only.
      */
+    /** Resolve a lane-queued digest (flushes the CHG lane queue). */
+    void
+    resolveHash(PendingBB &cur)
+    {
+        if (!cur.hashPending)
+            return;
+        cur.computedHash =
+            chg_.digest(cur.info.start, cur.info.term, cur.info.end);
+        cur.hashPending = false;
+    }
+
     sig::LookupResult walk(const SagEntry &sag_entry, Addr term, u32 key,
                            Cycle from, Cycle &ready_at,
                            const sig::WalkNeeds &needs);

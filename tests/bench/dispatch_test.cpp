@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Dispatch-mode golden equivalence at the simulator level: for every
+ * sweep config, every tracked statistic must be bit-identical whether
+ * the functional oracle runs superblock token-threaded dispatch or the
+ * legacy per-instruction switch — in direct execution and when timing
+ * against a recorded trace (including a trace recorded under the other
+ * mode; traces carry no dispatch artifacts).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bench/suite.hpp"
+#include "bench/sweep_runner.hpp"
+#include "core/simulator.hpp"
+#include "program/interp.hpp"
+#include "program/trace.hpp"
+#include "workloads/generator.hpp"
+
+namespace rev::bench
+{
+namespace
+{
+
+constexpr u64 kBudget = 20'000;
+
+struct DispatchGuard
+{
+    prog::DispatchMode saved = prog::dispatchMode();
+    ~DispatchGuard() { prog::setDispatchMode(saved); }
+};
+
+const prog::Program &
+benchProgram()
+{
+    static const prog::Program p =
+        workloads::generateWorkload(workloads::specProfile("sjeng"));
+    return p;
+}
+
+stats::StatSet
+runWith(prog::DispatchMode mode, const core::SimConfig &cfg)
+{
+    prog::setDispatchMode(mode);
+    core::Simulator sim(benchProgram(), cfg);
+    sim.run();
+    return sim.stats();
+}
+
+void
+expectStatsIdentical(const stats::StatSet &a, const stats::StatSet &b)
+{
+    ASSERT_EQ(a.rows().size(), b.rows().size());
+    for (std::size_t i = 0; i < a.rows().size(); ++i) {
+        EXPECT_EQ(a.rows()[i].first, b.rows()[i].first);
+        EXPECT_EQ(a.rows()[i].second, b.rows()[i].second)
+            << "stat " << a.rows()[i].first
+            << " diverges between dispatch modes";
+    }
+}
+
+class DispatchEquivalence : public ::testing::TestWithParam<Config>
+{
+};
+
+TEST_P(DispatchEquivalence, StatsBitIdenticalAcrossDispatchModes)
+{
+    DispatchGuard guard;
+    const core::SimConfig cfg = sweepSimConfig(GetParam(), kBudget);
+    const stats::StatSet sw = runWith(prog::DispatchMode::Switch, cfg);
+    const stats::StatSet th = runWith(prog::DispatchMode::Threaded, cfg);
+    expectStatsIdentical(sw, th);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, DispatchEquivalence,
+                         ::testing::ValuesIn(kAllConfigs),
+                         [](const auto &info) {
+                             return std::string(configName(info.param));
+                         });
+
+TEST(DispatchReplay, CrossModeTraceReplayBitIdentical)
+{
+    DispatchGuard guard;
+
+    // Record the trace under threaded dispatch...
+    prog::setDispatchMode(prog::DispatchMode::Threaded);
+    prog::TraceRecorder rec;
+    core::SimConfig rcfg = sweepSimConfig(Config::Full32, kBudget);
+    rcfg.traceRecorder = &rec;
+    core::Simulator recorder(benchProgram(), rcfg);
+    recorder.run();
+    const prog::Trace trace = rec.take();
+    ASSERT_TRUE(trace.replayable());
+
+    const core::SimConfig cfg = sweepSimConfig(Config::Full32, kBudget);
+    const stats::StatSet direct = runWith(prog::DispatchMode::Switch, cfg);
+
+    // ...and replay it under both modes: all three must agree.
+    for (const prog::DispatchMode mode :
+         {prog::DispatchMode::Switch, prog::DispatchMode::Threaded}) {
+        prog::setDispatchMode(mode);
+        core::SimConfig pcfg = cfg;
+        pcfg.replayTrace = &trace;
+        core::Simulator sim(benchProgram(), pcfg);
+        ASSERT_TRUE(sim.replayActive());
+        sim.run();
+        expectStatsIdentical(direct, sim.stats());
+    }
+}
+
+} // namespace
+} // namespace rev::bench

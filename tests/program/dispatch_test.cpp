@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Dispatch-mode equivalence: the superblock token-threaded interpreter
+ * and the legacy per-instruction switch path must be bit-identical —
+ * per-step ExecRecords, final architectural state, and self-modifying
+ * code behavior, including a store that lands inside the superblock
+ * currently being executed (the page-version guard must catch it before
+ * the next token commits).
+ */
+
+#include <gtest/gtest.h>
+
+#include "program/interp.hpp"
+#include "testutil.hpp"
+
+namespace rev::prog
+{
+namespace
+{
+
+/** Restore the process-global dispatch mode on scope exit. */
+struct DispatchGuard
+{
+    DispatchMode saved = dispatchMode();
+    ~DispatchGuard() { setDispatchMode(saved); }
+};
+
+Machine
+makeMachine(const Program &p, SparseMemory &mem, DispatchMode mode)
+{
+    setDispatchMode(mode);
+    return Machine(p, mem);
+}
+
+void
+expectRecordsEqual(const ExecRecord &a, const ExecRecord &b, u64 step)
+{
+    ASSERT_EQ(a.pc, b.pc) << "step " << step;
+    ASSERT_EQ(a.ins.op, b.ins.op) << "step " << step;
+    ASSERT_EQ(a.nextPc, b.nextPc) << "step " << step;
+    ASSERT_EQ(a.taken, b.taken) << "step " << step;
+    ASSERT_EQ(a.isLoad, b.isLoad) << "step " << step;
+    ASSERT_EQ(a.isStore, b.isStore) << "step " << step;
+    ASSERT_EQ(a.memAddr, b.memAddr) << "step " << step;
+    ASSERT_EQ(a.memSize, b.memSize) << "step " << step;
+    ASSERT_EQ(a.storeValue, b.storeValue) << "step " << step;
+    ASSERT_EQ(a.loadValue, b.loadValue) << "step " << step;
+    ASSERT_EQ(a.halted, b.halted) << "step " << step;
+    ASSERT_EQ(a.invalid, b.invalid) << "step " << step;
+    ASSERT_EQ(a.isSyscall, b.isSyscall) << "step " << step;
+    ASSERT_EQ(a.syscallNo, b.syscallNo) << "step " << step;
+}
+
+/** Lockstep-run @p p under both modes and compare every record. */
+void
+lockstepCompare(const Program &p, u64 max_steps = 200'000)
+{
+    DispatchGuard guard;
+    SparseMemory memSwitch, memThreaded;
+    p.loadInto(memSwitch);
+    p.loadInto(memThreaded);
+    Machine a = makeMachine(p, memSwitch, DispatchMode::Switch);
+    Machine b = makeMachine(p, memThreaded, DispatchMode::Threaded);
+
+    u64 steps = 0;
+    while (!a.halted() && steps < max_steps) {
+        const ExecRecord ra = a.step();
+        const ExecRecord rb = b.step();
+        expectRecordsEqual(ra, rb, steps);
+        ++steps;
+    }
+    EXPECT_TRUE(a.halted());
+    EXPECT_TRUE(b.halted());
+    for (unsigned r = 0; r < isa::kNumArchRegs; ++r)
+        EXPECT_EQ(a.reg(r), b.reg(r)) << "reg " << r;
+    EXPECT_EQ(memSwitch.read64(test::kResultAddr),
+              memThreaded.read64(test::kResultAddr));
+}
+
+TEST(Dispatch, LoopCallProgramLockstepIdentical)
+{
+    lockstepCompare(test::makeLoopCallProgram());
+}
+
+TEST(Dispatch, IndirectDispatchProgramLockstepIdentical)
+{
+    lockstepCompare(test::makeIndirectDispatchProgram());
+}
+
+/** Heap slot the SMC program loads its replacement word from. */
+constexpr Addr kPatchSlot = prog::kHeapBase + 0x100;
+
+/**
+ * A single straight-line basic block that stores over one of its own
+ * upcoming instructions: la/ld/st execute, then the patched site runs.
+ * In threaded mode all of it sits in one superblock, so the store must
+ * invalidate the token run mid-block and the rebuilt tokens must carry
+ * the fresh bytes.
+ */
+Program
+makeSmcProgram(i32 imm)
+{
+    Assembler a(prog::kDefaultCodeBase);
+    a.label("main");
+    a.movi(1, static_cast<i32>(kPatchSlot));
+    a.ld(2, 1, 0);  // r2 = replacement instruction word
+    a.la(3, "patch");
+    a.st(2, 3, 0);  // overwrite the code 2 instructions ahead
+    a.label("patch");
+    a.movi(4, imm); // the store above replaces this instruction
+    a.nop();
+    a.nop();
+    a.nop();
+    a.movi(5, static_cast<i32>(test::kResultAddr));
+    a.st(4, 5, 0);
+    a.halt();
+    Program p;
+    p.addModule(a.finalize("smc", "main"));
+    return p;
+}
+
+TEST(Dispatch, SelfModifyingStoreMidSuperblockSeenByBothModes)
+{
+    DispatchGuard guard;
+
+    // The donor image is identical except for the patched immediate; its
+    // bytes at "patch" are the replacement word the program stores.
+    const Program victim = makeSmcProgram(111);
+    const Program donor = makeSmcProgram(222);
+    const Addr patch = victim.main().symbol("patch");
+    SparseMemory donorMem;
+    donor.loadInto(donorMem);
+    const u64 replacement = donorMem.read64(patch);
+
+    u64 results[2];
+    const DispatchMode modes[2] = {DispatchMode::Switch,
+                                   DispatchMode::Threaded};
+    for (int m = 0; m < 2; ++m) {
+        SparseMemory mem;
+        victim.loadInto(mem);
+        mem.write(kPatchSlot, replacement, 8);
+        Machine machine = makeMachine(victim, mem, modes[m]);
+        runToHalt(machine);
+        EXPECT_TRUE(machine.halted());
+        results[m] = mem.read64(test::kResultAddr);
+    }
+    // Both modes executed the patched instruction, not the stale decode.
+    EXPECT_EQ(results[0], 222u);
+    EXPECT_EQ(results[1], 222u);
+}
+
+/** Same SMC program, but lockstep-compared record by record: the modes
+ *  must agree on every intermediate step too, not just the outcome. */
+TEST(Dispatch, SelfModifyingStoreLockstepIdentical)
+{
+    DispatchGuard guard;
+    const Program victim = makeSmcProgram(111);
+    const Program donor = makeSmcProgram(222);
+    const Addr patch = victim.main().symbol("patch");
+    SparseMemory donorMem;
+    donor.loadInto(donorMem);
+    const u64 replacement = donorMem.read64(patch);
+
+    SparseMemory memA, memB;
+    victim.loadInto(memA);
+    victim.loadInto(memB);
+    memA.write(kPatchSlot, replacement, 8);
+    memB.write(kPatchSlot, replacement, 8);
+    Machine a = makeMachine(victim, memA, DispatchMode::Switch);
+    Machine b = makeMachine(victim, memB, DispatchMode::Threaded);
+    u64 steps = 0;
+    while (!a.halted() && steps < 1000) {
+        expectRecordsEqual(a.step(), b.step(), steps);
+        ++steps;
+    }
+    EXPECT_TRUE(b.halted());
+}
+
+/** setPc() breaks cursor continuity; the threaded path must re-attach
+ *  rather than keep committing stale tokens. */
+TEST(Dispatch, SetPcMidBlockReattachesCursor)
+{
+    DispatchGuard guard;
+    Assembler a(prog::kDefaultCodeBase);
+    a.label("main");
+    a.movi(1, 1);
+    a.movi(2, 2);
+    a.movi(3, 3);
+    a.label("tail");
+    a.movi(4, 4);
+    a.halt();
+    Program p;
+    p.addModule(a.finalize("t", "main"));
+
+    SparseMemory mem;
+    p.loadInto(mem);
+    Machine machine = makeMachine(p, mem, DispatchMode::Threaded);
+    machine.step(); // movi r1 — cursor now mid-superblock
+    machine.setPc(p.main().symbol("tail"));
+    runToHalt(machine);
+    EXPECT_EQ(machine.reg(1), 1u);
+    EXPECT_EQ(machine.reg(2), 0u); // skipped by the redirect
+    EXPECT_EQ(machine.reg(3), 0u);
+    EXPECT_EQ(machine.reg(4), 4u);
+}
+
+} // namespace
+} // namespace rev::prog

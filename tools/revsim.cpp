@@ -26,6 +26,8 @@
  *                      (falls back to direct execution on any mismatch)
  *   --backend NAME     validation backend: rev (default), lofat, null
  *   --list-backends    print the registered backends and exit
+ *   --dispatch MODE    interpreter dispatch: threaded (default) | switch
+ *                      (host-speed knob only; simulated results identical)
  */
 
 #include <cstdio>
@@ -34,6 +36,7 @@
 
 #include "attacks/attack.hpp"
 #include "core/simulator.hpp"
+#include "program/interp.hpp"
 #include "program/trace.hpp"
 #include "validate/backend_cli.hpp"
 #include "workloads/generator.hpp"
@@ -52,7 +55,8 @@ usage()
         "              [--page-shadowing] [--interrupts N] [--dma N]\n"
         "              [--no-wrong-path] [--seed N] [--stats] [--list]\n"
         "              [--record-trace FILE] [--replay-trace FILE]\n"
-        "              [--backend NAME] [--list-backends]\n");
+        "              [--backend NAME] [--list-backends]\n"
+        "              [--dispatch threaded|switch]\n");
 }
 
 } // namespace
@@ -113,6 +117,16 @@ main(int argc, char **argv)
             record_path = next();
         } else if (arg == "--replay-trace") {
             replay_path = next();
+        } else if (arg == "--dispatch") {
+            const std::string mode = next();
+            if (mode == "switch")
+                prog::setDispatchMode(prog::DispatchMode::Switch);
+            else if (mode == "threaded")
+                prog::setDispatchMode(prog::DispatchMode::Threaded);
+            else {
+                usage();
+                return 2;
+            }
         } else if (validate::backendCliOptions(argc, argv, &i, &backend)) {
             // shared --backend / --list-backends handling
         } else if (arg == "--list") {

@@ -35,7 +35,10 @@
 #include "bench/suite.hpp"
 #include "bench/sweep_runner.hpp"
 #include "common/logging.hpp"
+#include "crypto/cubehash.hpp"
+#include "crypto/cubehash_lanes.hpp"
 #include "mem/memsys.hpp"
+#include "program/interp.hpp"
 #include "sig/table.hpp"
 #include "validate/backend_cli.hpp"
 
@@ -57,7 +60,7 @@ usage(int code)
 {
     std::printf("usage: simperf [--quick] [--bench a,b,c] [--instrs N]\n"
                 "               [--threads N] [--out FILE] [--golden FILE]\n"
-                "               %s\n",
+                "               [--dispatch switch|threaded] %s\n",
                 rev::validate::kBackendCliUsage);
     std::exit(code);
 }
@@ -100,6 +103,18 @@ parseArgs(int argc, char **argv)
             args.outPath = next(i);
         } else if (arg == "--golden") {
             args.goldenPath = next(i);
+        } else if (arg == "--dispatch") {
+            const std::string mode = next(i);
+            if (mode == "switch")
+                prog::setDispatchMode(prog::DispatchMode::Switch);
+            else if (mode == "threaded")
+                prog::setDispatchMode(prog::DispatchMode::Threaded);
+            else {
+                std::fprintf(stderr,
+                             "simperf: unknown dispatch mode '%s'\n",
+                             mode.c_str());
+                usage(2);
+            }
         } else if (validate::backendCliOptions(argc, argv, &i,
                                                &args.opts.backend)) {
             // shared --backend / --list-backends handling
@@ -120,6 +135,13 @@ struct MicroNumbers
 {
     double bbHashNs = 0;      ///< one 64-byte basic-block signature hash
     double memsysAccessNs = 0; ///< one timing-model memory access
+
+    // Hash-throughput breakdown: the single-state kernel vs the 4-lane
+    // batch kernel over the same total bytes (64-byte block-sized
+    // messages, the sweep's common case).
+    double hashScalarMBps = 0; ///< single-state permute kernel
+    double hashBatchMBps = 0;  ///< CubeHashX4 lockstep batches of 4
+    unsigned statesPerRound = 1; ///< lanes one round call advances
 };
 
 MicroNumbers
@@ -141,6 +163,45 @@ runMicro()
             sink ^= sig::bbHashBytes(buf, sizeof(buf), 0x1000 + sink % 7,
                                      0x1040, 5);
         m.bbHashNs = secsSince(t0) * 1e9 / kIters;
+    }
+    {
+        u8 buf[64];
+        for (unsigned i = 0; i < sizeof(buf); ++i)
+            buf[i] = static_cast<u8>(i * 11 + 5);
+        constexpr int kIters = 20000;
+        // Single-state kernel throughput.
+        {
+            u32 sink = 0;
+            const auto t0 = Clock::now();
+            for (int i = 0; i < kIters; ++i) {
+                crypto::CubeHash h(5, 32, 256);
+                h.update(buf, sizeof(buf));
+                sink ^= crypto::CubeHash::signature32(h.finalize());
+            }
+            const double secs = secsSince(t0);
+            m.hashScalarMBps =
+                secs > 0 ? kIters * sizeof(buf) / secs / 1e6 : 0;
+            (void)sink;
+        }
+        // 4-lane batch kernel throughput over the same bytes.
+        {
+            crypto::CubeHashX4::Msg msgs[4];
+            for (auto &msg : msgs)
+                msg = {buf, sizeof(buf)};
+            crypto::Digest out[4];
+            u32 sink = 0;
+            const auto t0 = Clock::now();
+            for (int i = 0; i < kIters / 4; ++i) {
+                crypto::CubeHashX4 hx(5, 32, 256);
+                hx.hashBatch(msgs, 4, out);
+                sink ^= crypto::CubeHash::signature32(out[i & 3]);
+            }
+            const double secs = secsSince(t0);
+            m.hashBatchMBps =
+                secs > 0 ? (kIters / 4) * 4 * sizeof(buf) / secs / 1e6 : 0;
+            (void)sink;
+        }
+        m.statesPerRound = crypto::CubeHashX4::statesPerRound();
     }
     {
         mem::MemorySystem ms{mem::MemConfig{}};
@@ -169,7 +230,9 @@ writeReport(const Args &args, const Sweep &sweep, const SweepRunner &runner,
     double total_job_wall = 0;
     std::size_t replayed_jobs = 0;
     os << "{\n"
-       << "  \"schema\": \"rev-sim-speed-v2\",\n"
+       << "  \"schema\": \"rev-sim-speed-v3\",\n"
+       << "  \"dispatch\": \""
+       << prog::dispatchModeName(prog::dispatchMode()) << "\",\n"
        << "  \"instr_budget\": " << args.opts.instrBudget << ",\n"
        << "  \"threads\": " << runner.threadsUsed() << ",\n"
        << "  \"jobs\": [\n";
@@ -198,7 +261,11 @@ writeReport(const Args &args, const Sweep &sweep, const SweepRunner &runner,
        << ", \"record_seconds\": " << ph.recordSeconds
        << ", \"replay_seconds\": " << ph.replaySeconds << "},\n"
        << "  \"micro\": {\"bb_hash_ns\": " << micro.bbHashNs
-       << ", \"memsys_access_ns\": " << micro.memsysAccessNs << "},\n"
+       << ", \"memsys_access_ns\": " << micro.memsysAccessNs
+       << ", \"hash_scalar_mbps\": " << micro.hashScalarMBps
+       << ", \"hash_batch_mbps\": " << micro.hashBatchMBps
+       << ", \"hash_states_per_round\": " << micro.statesPerRound
+       << ", \"hash_impl\": \"" << crypto::cubehashImpl() << "\"},\n"
        << "  \"total\": {\"wall_seconds\": " << total_wall
        << ", \"job_wall_seconds\": " << total_job_wall
        << ", \"replayed_jobs\": " << replayed_jobs
@@ -210,10 +277,15 @@ writeReport(const Args &args, const Sweep &sweep, const SweepRunner &runner,
        << "}\n";
     std::printf("simperf: %zu jobs (%zu replayed), %.2fs wall "
                 "(gen %.2f + proto %.2f + record %.2f + replay %.2f), "
+                "dispatch=%s hash=%s (%.0f MB/s scalar, %.0f MB/s x%u), "
                 "report -> %s\n",
                 timings.size(), replayed_jobs, total_wall,
                 ph.generateSeconds, ph.protoSeconds, ph.recordSeconds,
-                ph.replaySeconds, args.outPath.c_str());
+                ph.replaySeconds,
+                prog::dispatchModeName(prog::dispatchMode()),
+                crypto::cubehashImpl(), micro.hashScalarMBps,
+                micro.hashBatchMBps, micro.statesPerRound,
+                args.outPath.c_str());
 }
 
 } // namespace
