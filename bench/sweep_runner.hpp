@@ -19,6 +19,12 @@
  * REV_TRACE_REPLAY=0 disables the whole mechanism. Traces larger than
  * REV_TRACE_SPILL_MB (default 64) are spilled to a temp file between the
  * record and replay phases instead of held in memory.
+ *
+ * Load once, fork many: each benchmark's memory image (program bytes,
+ * plus the loaded signature tables per validation mode) is deposited
+ * into one shared SparseMemory and every job COW-forks it through
+ * SimConfig::memoryImage — O(pages touched) per job instead of
+ * re-loading the full footprint.
  */
 
 #ifndef REV_BENCH_SWEEP_RUNNER_HPP
@@ -46,6 +52,7 @@ struct SweepPhaseTimings
 {
     double generateSeconds = 0; ///< workload generation
     double protoSeconds = 0;    ///< signature-table prototype builds + statics
+    double imageSeconds = 0;    ///< shared warmed memory-image loads
     double recordSeconds = 0;   ///< trace-recording simulations
     double replaySeconds = 0;   ///< remaining simulations (replayed or direct)
 };

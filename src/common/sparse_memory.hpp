@@ -15,12 +15,22 @@
  * writes allocate pages on demand, and multi-byte values are
  * little-endian.
  *
- * Every page carries a version counter bumped on each write span. Layers
- * that memoize derived views of memory (the interpreter's predecoded-
+ * Pages are copy-on-write: fork() produces a memory sharing every page
+ * with its source, and either side's next write to a shared page clones
+ * just that page (O(dirty pages) per fork, not O(footprint)). The page
+ * *version counter* lives in the map slot, not the page, so it survives
+ * a COW clone: holders of PageView::version pointers (the decode cache,
+ * superblock SMC guards) keep revalidating against the same address even
+ * after the underlying bytes were replaced by a clone.
+ *
+ * Every slot's version counter is bumped on each write span. Layers that
+ * memoize derived views of memory (the interpreter's predecoded-
  * instruction cache, the CHG digest memo) validate against these counters
  * instead of requiring explicit invalidation hooks, so self-modifying
  * code — whether through the machine's own stores, attack injectors, or
- * reloadProgram() — is picked up automatically.
+ * reloadProgram() — is picked up automatically. Forked memories copy the
+ * version values, so a fork's counters evolve exactly as a cold run's
+ * would from the same point — memoized digests stay bit-identical.
  */
 
 #ifndef REV_COMMON_SPARSE_MEMORY_HPP
@@ -49,10 +59,10 @@ class SparseMemory
 
     SparseMemory() = default;
 
-    // Pages are uniquely owned: copying is explicit via clone(). Moves
-    // transfer the page set; both operands' translation caches are reset
-    // so no cached pointer outlives the pages it refers to, and the epoch
-    // is bumped so external caches holding page views revalidate.
+    // Copying is explicit via fork()/clone(). Moves transfer the page
+    // set; both operands' translation caches are reset so no cached
+    // pointer outlives the slots it refers to, and the epoch is bumped so
+    // external caches holding page views revalidate.
     SparseMemory(SparseMemory &&other) noexcept
         : pages_(std::move(other.pages_)), epoch_(other.epoch_ + 1)
     {
@@ -78,15 +88,14 @@ class SparseMemory
     u8
     read8(Addr addr) const
     {
-        const Page *page = findPageCached(addr >> kPageShift);
-        return page ? page->bytes[addr & (kPageSize - 1)] : 0;
+        const Slot *slot = findSlotCached(addr >> kPageShift);
+        return slot ? slot->page->bytes[addr & (kPageSize - 1)] : 0;
     }
 
     void
     write8(Addr addr, u8 value)
     {
-        Page &page = getPageCached(addr >> kPageShift);
-        ++page.version;
+        Page &page = writablePage(addr >> kPageShift);
         page.bytes[addr & (kPageSize - 1)] = value;
     }
 
@@ -96,8 +105,8 @@ class SparseMemory
     {
         const u64 off = addr & (kPageSize - 1);
         if (off + size <= kPageSize) {
-            const Page *page = findPageCached(addr >> kPageShift);
-            return page ? loadLE(page->bytes.data() + off, size) : 0;
+            const Slot *slot = findSlotCached(addr >> kPageShift);
+            return slot ? loadLE(slot->page->bytes.data() + off, size) : 0;
         }
         u64 v = 0;
         for (unsigned i = size; i-- > 0;)
@@ -111,8 +120,7 @@ class SparseMemory
     {
         const u64 off = addr & (kPageSize - 1);
         if (off + size <= kPageSize) {
-            Page &page = getPageCached(addr >> kPageShift);
-            ++page.version;
+            Page &page = writablePage(addr >> kPageShift);
             storeLE(page.bytes.data() + off, value, size);
             return;
         }
@@ -130,9 +138,9 @@ class SparseMemory
             const u64 off = addr & (kPageSize - 1);
             const std::size_t chunk =
                 static_cast<std::size_t>(std::min<u64>(len, kPageSize - off));
-            const Page *page = findPageCached(addr >> kPageShift);
-            if (page)
-                std::memcpy(out, page->bytes.data() + off, chunk);
+            const Slot *slot = findSlotCached(addr >> kPageShift);
+            if (slot)
+                std::memcpy(out, slot->page->bytes.data() + off, chunk);
             else
                 std::memset(out, 0, chunk);
             addr += chunk;
@@ -148,8 +156,7 @@ class SparseMemory
             const u64 off = addr & (kPageSize - 1);
             const std::size_t chunk =
                 static_cast<std::size_t>(std::min<u64>(len, kPageSize - off));
-            Page &page = getPageCached(addr >> kPageShift);
-            ++page.version;
+            Page &page = writablePage(addr >> kPageShift);
             std::memcpy(page.bytes.data() + off, data, chunk);
             addr += chunk;
             data += chunk;
@@ -174,8 +181,8 @@ class SparseMemory
     u64
     pageVersion(u64 page_no) const
     {
-        const Page *page = findPageCached(page_no);
-        return page ? page->version : 0;
+        const Slot *slot = findSlotCached(page_no);
+        return slot ? slot->version : 0;
     }
 
     /**
@@ -196,8 +203,11 @@ class SparseMemory
 
     /**
      * Stable view of a populated page's bytes and version counter, or
-     * nulls when unpopulated. The pointers stay valid until this memory is
-     * destroyed or moved from; holders must revalidate via epoch().
+     * nulls when unpopulated. The version pointer stays valid until this
+     * memory is destroyed or moved from (it lives in the page-table slot,
+     * which copy-on-write never relocates); the bytes pointer is only
+     * good until the next write to the page — holders must re-fetch the
+     * view whenever the version changed, and drop it on an epoch() bump.
      */
     struct PageView
     {
@@ -208,8 +218,8 @@ class SparseMemory
     PageView
     pageView(u64 page_no) const
     {
-        const Page *page = findPageCached(page_no);
-        return page ? PageView{page->bytes.data(), &page->version}
+        const Slot *slot = findSlotCached(page_no);
+        return slot ? PageView{slot->page->bytes.data(), &slot->version}
                     : PageView{};
     }
 
@@ -220,13 +230,32 @@ class SparseMemory
      */
     u64 epoch() const { return epoch_; }
 
-    /** Deep copy (pages are owned uniquely, so copying is explicit). */
+    /**
+     * Copy-on-write fork: the result shares every page with this memory;
+     * whichever side writes a shared page first clones just that page.
+     * O(populated pages) pointer copies, no byte copying. Version values
+     * carry over, so derived-cache revalidation behaves as if the fork
+     * had executed the source's whole history itself.
+     */
+    SparseMemory
+    fork() const
+    {
+        SparseMemory copy;
+        copy.pages_ = pages_; // shared_ptr copies: pages now aliased
+        return copy;
+    }
+
+    /** Deep copy. Kept for callers that want guaranteed page ownership;
+     *  fork() is observably identical and cheaper. */
     SparseMemory
     clone() const
     {
         SparseMemory copy;
-        for (const auto &[page_no, page] : pages_) {
-            auto dup = std::make_unique<Page>(*page);
+        copy.pages_.reserve(pages_.size());
+        for (const auto &[page_no, slot] : pages_) {
+            Slot dup;
+            dup.page = std::make_shared<Page>(*slot.page);
+            dup.version = slot.version;
             copy.pages_.emplace(page_no, std::move(dup));
         }
         return copy;
@@ -237,14 +266,24 @@ class SparseMemory
     void
     forEachPage(Fn &&fn) const
     {
-        for (const auto &[page_no, page] : pages_)
-            fn(page_no, page->bytes.data());
+        for (const auto &[page_no, slot] : pages_)
+            fn(page_no, slot.page->bytes.data());
     }
 
   private:
     struct Page
     {
         std::array<u8, kPageSize> bytes;
+    };
+
+    /**
+     * One page-table entry. The version counter lives here — outside the
+     * (possibly shared) page — so PageView::version pointers survive COW
+     * clones, and so each fork's counters advance independently.
+     */
+    struct Slot
+    {
+        std::shared_ptr<Page> page;
         u64 version = 0;
     };
 
@@ -279,48 +318,61 @@ class SparseMemory
             p[i] = static_cast<u8>(value >> (8 * i));
     }
 
-    const Page *
-    findPageCached(u64 page_no) const
+    const Slot *
+    findSlotCached(u64 page_no) const
     {
         if (page_no == readPageNo_)
-            return readPage_;
+            return readSlot_;
         auto it = pages_.find(page_no);
         if (it == pages_.end())
             return nullptr; // absence is not cached: a write may populate
         readPageNo_ = page_no;
-        readPage_ = it->second.get();
-        return readPage_;
+        readSlot_ = &it->second;
+        return readSlot_;
     }
 
+    /**
+     * Slot for a write span: allocated on demand, version bumped (exactly
+     * once per span — every write path funnels through here), and the
+     * page un-shared if a fork still references it. The shared-ness check
+     * runs on the cached-slot fast path too: a fork() between two writes
+     * re-shares the page, and the slot pointer alone cannot see that.
+     */
     Page &
-    getPageCached(u64 page_no)
+    writablePage(u64 page_no)
     {
-        if (page_no == writePageNo_)
-            return *writePage_;
-        auto &slot = pages_[page_no];
-        if (!slot) {
-            slot = std::make_unique<Page>();
-            slot->bytes.fill(0);
+        Slot *slot;
+        if (page_no == writePageNo_) {
+            slot = writeSlot_;
+        } else {
+            slot = &pages_[page_no];
+            if (!slot->page) {
+                slot->page = std::make_shared<Page>();
+                slot->page->bytes.fill(0);
+            }
+            writePageNo_ = page_no;
+            writeSlot_ = slot;
         }
-        writePageNo_ = page_no;
-        writePage_ = slot.get();
-        return *writePage_;
+        ++slot->version;
+        if (slot->page.use_count() > 1)
+            slot->page = std::make_shared<Page>(*slot->page);
+        return *slot->page;
     }
 
     void
     resetTranslationCaches()
     {
         readPageNo_ = kNoPage;
-        readPage_ = nullptr;
+        readSlot_ = nullptr;
         writePageNo_ = kNoPage;
-        writePage_ = nullptr;
+        writeSlot_ = nullptr;
     }
 
-    std::unordered_map<u64, std::unique_ptr<Page>> pages_;
+    std::unordered_map<u64, Slot> pages_;
     mutable u64 readPageNo_ = kNoPage;
-    mutable const Page *readPage_ = nullptr;
+    mutable const Slot *readSlot_ = nullptr;
     u64 writePageNo_ = kNoPage;
-    Page *writePage_ = nullptr;
+    Slot *writeSlot_ = nullptr;
     u64 epoch_ = 0;
 };
 

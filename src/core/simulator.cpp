@@ -10,13 +10,21 @@ using validate::Backend;
 Simulator::Simulator(const prog::Program &program, const SimConfig &cfg)
     : program_(program), cfg_(cfg), memsys_(cfg.mem), vault_(cfg.cpuSeed)
 {
-    program_.loadInto(mem_);
+    if (cfg_.memoryImage)
+        mem_ = cfg_.memoryImage->fork();
+    else
+        program_.loadInto(mem_);
 
     const Backend backend = cfg_.effectiveBackend();
     const validate::BackendInfo *info =
         validate::ValidatorRegistry::instance().find(backend);
     REV_ASSERT(info, "unregistered validation backend");
 
+    REV_ASSERT(!cfg_.memoryImage || !info->needsTables ||
+                   cfg_.sigStorePrototype,
+               "memoryImage with a table-backed validator requires the "
+               "matching sigStorePrototype (the image already holds its "
+               "loaded tables)");
     if (info->needsTables) {
         // CFI-only SC entries hold no hash and no predecessor (Sec. V.D):
         // the same SRAM budget holds twice as many entries.
@@ -33,30 +41,19 @@ Simulator::Simulator(const prog::Program &program, const SimConfig &cfg)
                            proto.hashRounds() == cfg_.rev.chg.hashRounds,
                        "sigStorePrototype was built with different "
                        "validation parameters");
-            store_ = std::make_unique<sig::SigStore>(proto);
+            store_ = std::make_shared<sig::SigStore>(proto);
             store_->rebindVault(vault_);
         } else {
-            store_ = std::make_unique<sig::SigStore>(
+            store_ = std::make_shared<sig::SigStore>(
                 program_, cfg_.mode, vault_, cfg_.toolchainSeed, limits,
                 cfg_.rev.chg.hashRounds);
         }
-        store_->loadInto(mem_);
+        // A pre-loaded image already holds the tables this store built.
+        if (!cfg_.memoryImage)
+            store_->loadInto(mem_);
     }
 
-    validate::BackendContext ctx;
-    ctx.store = store_.get();
-    ctx.vault = &vault_;
-    ctx.mem = &mem_;
-    ctx.memsys = &memsys_;
-    ctx.rev = cfg_.rev;
-    ctx.lofat = cfg_.lofat;
-    validator_ =
-        validate::ValidatorRegistry::instance().create(backend, ctx);
-    if (validator_->kind() == Backend::Rev)
-        revEngine_ = static_cast<validate::RevValidator *>(validator_.get());
-    else if (validator_->kind() == Backend::LoFat)
-        lofatEngine_ =
-            static_cast<validate::LoFatValidator *>(validator_.get());
+    createValidator();
     if (cfg_.measurementSink)
         validator_->attachMeasurementSink(cfg_.measurementSink);
 
@@ -76,6 +73,66 @@ Simulator::Simulator(const prog::Program &program, const SimConfig &cfg)
         replayer_ = std::make_unique<prog::TraceReplayer>(*cfg_.replayTrace);
         core_->machine().attachReplayer(replayer_.get());
     }
+}
+
+void
+Simulator::createValidator()
+{
+    validate::BackendContext ctx;
+    ctx.store = store_.get();
+    ctx.vault = &vault_;
+    ctx.mem = &mem_;
+    ctx.memsys = &memsys_;
+    ctx.rev = cfg_.rev;
+    ctx.lofat = cfg_.lofat;
+    validator_ = validate::ValidatorRegistry::instance().create(
+        cfg_.effectiveBackend(), ctx);
+    if (validator_->kind() == Backend::Rev)
+        revEngine_ = static_cast<validate::RevValidator *>(validator_.get());
+    else if (validator_->kind() == Backend::LoFat)
+        lofatEngine_ =
+            static_cast<validate::LoFatValidator *>(validator_.get());
+}
+
+Simulator::Simulator(const Snapshot &snap)
+    : program_(*snap.program), cfg_(snap.cfg), mem_(snap.mem.fork()),
+      memsys_(snap.memsys), vault_(snap.cfg.cpuSeed), store_(snap.store)
+{
+    // No loadInto(): the forked memory already holds the program image
+    // and signature tables exactly as the source left them, and the
+    // shared store carries the (immutable) table build.
+    createValidator();
+    core_ = std::make_unique<cpu::Core>(program_, mem_, memsys_, cfg_.core,
+                                        validator_.get());
+    core_->restoreState(snap.core);
+    if (snap.validatorState)
+        validator_->restoreSnapshot(*snap.validatorState);
+    if (cfg_.pageShadowing)
+        pristine_ = mem_.clone();
+}
+
+Snapshot
+Simulator::capture() const
+{
+    REV_ASSERT(!core_->machine().replaying(),
+               "snapshots require direct execution");
+    Snapshot snap;
+    snap.program = &program_;
+    snap.cfg = cfg_;
+    // Harness attachments describe THIS simulator's run, not a fork's:
+    // forks record/replay/measure only what their own harness attaches.
+    snap.cfg.traceRecorder = nullptr;
+    snap.cfg.replayTrace = nullptr;
+    snap.cfg.measurementSink = nullptr;
+    snap.cfg.sigStorePrototype = nullptr;
+    snap.cfg.memoryImage = nullptr; // snap.mem is the fork's image
+    snap.instrIndex = core_->committedInstrs();
+    snap.mem = mem_.fork();
+    snap.memsys = memsys_;
+    snap.core = core_->saveState();
+    snap.validatorState = validator_->saveSnapshot();
+    snap.store = store_;
+    return snap;
 }
 
 bool
@@ -108,6 +165,13 @@ Simulator::reloadProgram()
         cfg_.traceRecorder->markExternalMutation();
     program_.loadInto(mem_);
     if (store_) {
+        // The table build is shared by refcount with snapshots and
+        // sibling forks, and the attached validator references this
+        // exact store: rebuilding a shared build would corrupt every
+        // fork. Dynamic linking therefore requires an owned build.
+        REV_ASSERT(store_.use_count() == 1,
+                   "reloadProgram() on a simulator sharing its table "
+                   "build with snapshots/forks");
         store_->rebuild(program_);
         store_->loadInto(mem_);
     }

@@ -70,6 +70,20 @@ struct SimConfig
     const sig::SigStore *sigStorePrototype = nullptr;
 
     /**
+     * Optional pre-loaded memory image to COW-fork instead of loading
+     * the program image and signature tables page by page. Must hold
+     * exactly what this simulator's own load phase would produce — i.e.
+     * be the post-load memory of a Simulator built from the same
+     * program, mode, seeds, and (shared via @ref sigStorePrototype)
+     * table build; requires a prototype whenever the backend needs
+     * tables, so image and tables cannot drift apart. The benchmark
+     * sweep builds one image per (benchmark, mode) and forks it across
+     * every timing config, O(pages touched) instead of O(image bytes).
+     * Must outlive the Simulator.
+     */
+    const SparseMemory *memoryImage = nullptr;
+
+    /**
      * Optional trace recorder: the architectural event stream of the run
      * is appended to it (see program/trace.hpp). Mutually exclusive with
      * @ref replayTrace.
@@ -129,6 +143,32 @@ struct SimResult
 };
 
 /**
+ * A complete machine state captured mid-run at a committed-instruction
+ * boundary: the COW-forked memory image, the warmed memory hierarchy,
+ * the core's architectural + timing-loop state, and the validation
+ * backend's full mid-run state. Produced by Simulator::snapshotAt() /
+ * capture(); any number of Simulators can be forked from one snapshot
+ * (Simulator::forkFrom()), each continuing the run independently —
+ * bit-identical to a cold run that executed the same prefix.
+ *
+ * Self-contained: the snapshot shares the (immutable) signature-table
+ * build and the COW page set by refcount, so it remains valid after the
+ * Simulator it was captured from is destroyed. Only the Program object
+ * is borrowed and must outlive the snapshot and its forks.
+ */
+struct Snapshot
+{
+    const prog::Program *program = nullptr;
+    SimConfig cfg; ///< harness pointers (recorder/replay/sink) cleared
+    u64 instrIndex = 0; ///< committed instructions at capture
+    SparseMemory mem;   ///< COW fork of the source image
+    mem::MemorySystem memsys; ///< warmed caches / TLBs / DRAM banks
+    cpu::Core::Snapshot core; ///< arch regs + timing-loop state
+    std::unique_ptr<validate::ValidatorSnapshot> validatorState;
+    std::shared_ptr<sig::SigStore> store; ///< shared table build
+};
+
+/**
  * One program, one machine, one validation backend.
  */
 class Simulator
@@ -138,6 +178,47 @@ class Simulator
 
     /** Run to completion and collect results. */
     SimResult run();
+
+    /**
+     * Run forward until just before committed-instruction index
+     * @p index (cumulative since construction), so the next run() — or a
+     * fork — continues with @p index as its first pre-step, exactly as a
+     * cold run arriving there. Callable repeatedly with increasing
+     * indices (the campaign's snapshot cursor). Requires direct
+     * execution (no replay attached).
+     *
+     * @return true when paused at @p index; false when the run finished
+     *         first (halt / violation / instruction budget).
+     */
+    bool runUntil(u64 index) { return core_->runUntil(index); }
+
+    /**
+     * Capture a Snapshot of the current state — either the initial state
+     * (before any run) or a runUntil() pause point.
+     */
+    Snapshot capture() const;
+
+    /** runUntil(@p index) + capture(). Returns nothing when the run
+     *  ended before reaching @p index. */
+    std::optional<Snapshot>
+    snapshotAt(u64 index)
+    {
+        if (!runUntil(index))
+            return std::nullopt;
+        return capture();
+    }
+
+    /**
+     * Construct a Simulator continuing @p snap's run: O(dirty pages)
+     * memory fork, value-copied hierarchy state, restored core and
+     * validator. A subsequent run() commits exactly the instruction
+     * stream a cold run would from the snapshot index on.
+     */
+    static std::unique_ptr<Simulator>
+    forkFrom(const Snapshot &snap)
+    {
+        return std::unique_ptr<Simulator>(new Simulator(snap));
+    }
 
     /**
      * The program object changed (a module was added by the dynamic
@@ -191,6 +272,13 @@ class Simulator
     bool replayActive() const { return core_->machine().replaying(); }
 
   private:
+    /** Fork constructor — see forkFrom(). */
+    explicit Simulator(const Snapshot &snap);
+
+    /** Create the configured backend over this simulator's components
+     *  and wire the typed engine views (shared by both constructors). */
+    void createValidator();
+
     /** Does @p t describe this exact simulation's architectural run? */
     bool traceAttachable(const prog::Trace &t) const;
 
@@ -201,7 +289,7 @@ class Simulator
     SparseMemory pristine_; ///< pre-run snapshot (pageShadowing only)
     mem::MemorySystem memsys_;
     crypto::KeyVault vault_;
-    std::unique_ptr<sig::SigStore> store_;
+    std::shared_ptr<sig::SigStore> store_;
     std::unique_ptr<validate::Validator> validator_;
     validate::RevValidator *revEngine_ = nullptr;     ///< typed view
     validate::LoFatValidator *lofatEngine_ = nullptr; ///< typed view

@@ -36,11 +36,24 @@ Core::drainStores(SeqNum up_to, Cycle at)
     }
 }
 
+Core::RunState::RunState(const CoreConfig &cfg, Addr pc, Cycle clock_base)
+    : fetchW(cfg.fetchWidth), dispatchW(cfg.dispatchWidth),
+      commitW(cfg.commitWidth), rob(cfg.robSize), iq(cfg.iqSize),
+      lsq(cfg.lsqSize), fq(cfg.fetchQueueSize), alu(cfg.numIntAlu),
+      fpu(cfg.numFpu), ldPort(cfg.numLoadPorts), stPort(cfg.numStorePorts),
+      // Resumed runs continue the cycle timebase so the (persistent)
+      // memory-system port and bank timestamps stay coherent.
+      fetchResume(clock_base), fetchFrontier(clock_base),
+      lineReady(clock_base), prevCommit(clock_base), bb{pc, 0, 0, 1},
+      nextInterrupt(cfg.interruptInterval ? clock_base + cfg.interruptInterval
+                                          : kNoCycle),
+      clockStart(clock_base)
+{
+}
+
 RunResult
 Core::run()
 {
-    RunResult res;
-
     // Attack injectors mutate machine/memory state mid-run, which a
     // replayed trace cannot reflect: fall back to direct execution. Only
     // legal before anything was consumed — the architectural state is
@@ -51,47 +64,101 @@ Core::run()
         machine_.cancelReplay();
     }
 
-    WidthLimiter fetch_w(cfg_.fetchWidth);
-    WidthLimiter dispatch_w(cfg_.dispatchWidth);
-    WidthLimiter commit_w(cfg_.commitWidth);
-    OccupancyRing rob(cfg_.robSize);
-    OccupancyRing iq(cfg_.iqSize);
-    OccupancyRing lsq(cfg_.lsqSize);
-    OccupancyRing fq(cfg_.fetchQueueSize);
-    FuPool alu(cfg_.numIntAlu);
-    FuPool fpu(cfg_.numFpu);
-    FuPool ld_port(cfg_.numLoadPorts);
-    FuPool st_port(cfg_.numStorePorts);
+    if (!state_)
+        state_.emplace(cfg_, machine_.pc(), clockBase_);
+    lastCommit_ = state_->prevCommit;
+    const bool paused = loop(*state_, kNoStop);
+    REV_ASSERT(!paused, "run() cannot pause");
+    return finish(*state_);
+}
 
-    std::array<Cycle, isa::kNumArchRegs> reg_ready{};
-    std::unordered_set<Addr> unique_branches;
+bool
+Core::runUntil(u64 index, RunResult *out)
+{
+    // Snapshot cursors execute directly: a replayed machine maintains no
+    // architectural state to capture.
+    REV_ASSERT(!machine_.replaying(), "runUntil() on a replaying machine");
+    if (!state_)
+        state_.emplace(cfg_, machine_.pc(), clockBase_);
+    lastCommit_ = state_->prevCommit;
+    if (loop(*state_, index))
+        return true;
+    RunResult res = finish(*state_);
+    if (out)
+        *out = res;
+    return false;
+}
 
-    // Resumed runs continue the cycle timebase so the (persistent)
-    // memory-system port and bank timestamps stay coherent.
-    Cycle fetch_resume = clockBase_; ///< redirect lower bound
-    Cycle fetch_frontier = clockBase_; ///< last fetch cycle
-    Addr last_line = kNoAddr;
-    Cycle line_ready = clockBase_;
-    Cycle prev_commit = clockBase_;
-    lastCommit_ = clockBase_;
+Core::Snapshot
+Core::saveState() const
+{
+    Snapshot snap;
+    snap.regs = machine_.regs();
+    snap.pc = machine_.pc();
+    snap.halted = machine_.halted();
+    snap.storeBuffer = sb_;
+    snap.predictor = predictor_;
+    snap.pendingStores = pendingStores_;
+    snap.clockBase = clockBase_;
+    snap.lastCommit = lastCommit_;
+    snap.runState = state_;
+    return snap;
+}
 
-    SeqNum seq = 0;
+void
+Core::restoreState(const Snapshot &snap)
+{
+    machine_.restoreArch(snap.regs, snap.pc, snap.halted);
+    sb_ = snap.storeBuffer;
+    predictor_ = snap.predictor;
+    pendingStores_ = snap.pendingStores;
+    clockBase_ = snap.clockBase;
+    lastCommit_ = snap.lastCommit;
+    state_ = snap.runState;
+}
+
+bool
+Core::loop(RunState &st, u64 pause_before)
+{
+    RunResult &res = st.res;
+    WidthLimiter &fetch_w = st.fetchW;
+    WidthLimiter &dispatch_w = st.dispatchW;
+    WidthLimiter &commit_w = st.commitW;
+    OccupancyRing &rob = st.rob;
+    OccupancyRing &iq = st.iq;
+    OccupancyRing &lsq = st.lsq;
+    OccupancyRing &fq = st.fq;
+    FuPool &alu = st.alu;
+    FuPool &fpu = st.fpu;
+    FuPool &ld_port = st.ldPort;
+    FuPool &st_port = st.stPort;
+    std::array<Cycle, isa::kNumArchRegs> &reg_ready = st.regReady;
+    std::unordered_set<Addr> &unique_branches = st.uniqueBranches;
+    Cycle &fetch_resume = st.fetchResume;
+    Cycle &fetch_frontier = st.fetchFrontier;
+    Addr &last_line = st.lastLine;
+    Cycle &line_ready = st.lineReady;
+    Cycle &prev_commit = st.prevCommit;
+    SeqNum &seq = st.seq;
     // Newest sequence number released from the store buffer. During
     // replay the buffer holds nothing (replay applies no stores), so
     // store-queue forwarding is decided from the recorded cover distance
     // against this config's own drain watermark instead of sb_.covers().
-    SeqNum drained_seq = 0;
-    BBState bb{machine_.pc(), 0, 0, 1};
-    BBSeq bb_counter = 1;
-    Cycle next_interrupt =
-        cfg_.interruptInterval ? clockBase_ + cfg_.interruptInterval
-                               : kNoCycle;
+    SeqNum &drained_seq = st.drainedSeq;
+    BBState &bb = st.bb;
+    BBSeq &bb_counter = st.bbCounter;
+    Cycle &next_interrupt = st.nextInterrupt;
 
     const unsigned line_bytes = memsys_.config().lineBytes;
     const unsigned line_shift = 6; // 64-byte lines
     REV_ASSERT(line_bytes == 64, "core assumes 64-byte lines");
 
     while (true) {
+        // Pause BEFORE the pre-step of the stop instruction: the fork's
+        // (or the resumed run's) first pre-step then fires for exactly
+        // this index, as a cold run's would.
+        if (pause_before != kNoStop && res.instrs >= pause_before)
+            return true;
         if (preStep_)
             preStep_(res.instrs, machine_.pc());
         if (machine_.halted())
@@ -331,18 +398,26 @@ Core::run()
             break;
     }
 
+    return false;
+}
+
+RunResult
+Core::finish(RunState &st)
+{
     // An instruction-budget stop can land mid-block; release the already
     // executed stores so a follow-up run() (e.g., after a context switch)
     // resumes from consistent state.
-    if (!res.violation) {
-        sb_.drain(mem_, seq);
-        drainStores(seq, prev_commit);
+    if (!st.res.violation) {
+        sb_.drain(mem_, st.seq);
+        drainStores(st.seq, st.prevCommit);
     }
 
-    res.cycles = prev_commit - clockBase_;
-    clockBase_ = prev_commit;
-    res.uniqueBranches = unique_branches.size();
+    RunResult res = std::move(st.res);
+    res.cycles = st.prevCommit - st.clockStart;
+    clockBase_ = st.prevCommit;
+    res.uniqueBranches = st.uniqueBranches.size();
     res.halted = machine_.halted() && !res.violation;
+    state_.reset();
     return res;
 }
 

@@ -92,8 +92,32 @@ class Core
     using PreStepHook = std::function<void(u64 instr_index, Addr pc)>;
     void setPreStepHook(PreStepHook hook) { preStep_ = std::move(hook); }
 
-    /** Run to halt, violation, or the configured instruction budget. */
+    /**
+     * Run to halt, violation, or the configured instruction budget.
+     * Resumes a run paused by runUntil(), continuing its accumulated
+     * counters and timing frontiers so the final RunResult is identical
+     * to an uninterrupted run's.
+     */
     RunResult run();
+
+    /**
+     * Run until just before the pre-step of committed-instruction index
+     * @p index (cumulative across pauses of the same logical run). A
+     * subsequent run() — here or in a fork restored from saveState() —
+     * sees @p index as its first pre-step, exactly like a cold run
+     * arriving at the same point, so injector hooks fire identically.
+     *
+     * @return true when paused at @p index; false when the run finished
+     *         first (halt / violation / budget), with the final result
+     *         stored to @p out when non-null.
+     */
+    bool runUntil(u64 index, RunResult *out = nullptr);
+
+    /** A runUntil() pause is outstanding (run() would resume it). */
+    bool paused() const { return state_.has_value(); }
+
+    /** Committed instructions of the paused run (0 when not paused). */
+    u64 committedInstrs() const { return state_ ? state_->res.instrs : 0; }
 
     prog::Machine &machine() { return machine_; }
     const prog::Machine &machine() const { return machine_; }
@@ -107,7 +131,6 @@ class Core
      */
     Cycle lastCommitCycle() const { return lastCommit_; }
 
-  private:
     struct BBState
     {
         Addr start = 0;
@@ -115,6 +138,85 @@ class Core
         unsigned stores = 0;
         BBSeq seq = 0;
     };
+
+    /** Pending (not yet drained) store records for timing. */
+    struct PendingStore
+    {
+        SeqNum seq;
+        Addr addr;
+    };
+
+    /**
+     * The run loop's complete mid-flight state: resource frontiers,
+     * scoreboard, sequence counters, basic-block tracker, and the
+     * accumulated partial result. Plain-copyable, so a paused run can be
+     * duplicated into a fork.
+     */
+    struct RunState
+    {
+        RunState(const CoreConfig &cfg, Addr pc, Cycle clock_base);
+
+        WidthLimiter fetchW, dispatchW, commitW;
+        OccupancyRing rob, iq, lsq, fq;
+        FuPool alu, fpu, ldPort, stPort;
+        std::array<Cycle, isa::kNumArchRegs> regReady{};
+        std::unordered_set<Addr> uniqueBranches;
+        Cycle fetchResume;   ///< redirect lower bound
+        Cycle fetchFrontier; ///< last fetch cycle
+        Addr lastLine = kNoAddr;
+        Cycle lineReady;
+        Cycle prevCommit;
+        SeqNum seq = 0;
+        SeqNum drainedSeq = 0;
+        BBState bb;
+        BBSeq bbCounter = 1;
+        Cycle nextInterrupt;
+        Cycle clockStart; ///< clockBase_ when this logical run began
+        RunResult res;    ///< accumulated across pauses
+    };
+
+    /**
+     * Everything a fork needs to continue this core's run mid-flight:
+     * architectural registers, store buffer, predictor, store-drain
+     * queue, cycle frontiers, and the paused run-loop state. The memory
+     * image and the validator/memory-system state the core references
+     * are snapshotted separately (see core/snapshot.hpp).
+     */
+    struct Snapshot
+    {
+        std::array<u64, isa::kNumArchRegs> regs{};
+        Addr pc = 0;
+        bool halted = false;
+        prog::StoreBuffer storeBuffer;
+        BranchPredictor predictor;
+        std::deque<PendingStore> pendingStores;
+        Cycle clockBase = 0;
+        Cycle lastCommit = 0;
+        std::optional<RunState> runState;
+    };
+
+    /** Capture the core-side state of a paused (or idle) run. */
+    Snapshot saveState() const;
+
+    /**
+     * Adopt state captured by saveState() on a core over the same
+     * program/config whose memory image this core's Machine references a
+     * fork of. A following run() resumes exactly where the source paused.
+     */
+    void restoreState(const Snapshot &snap);
+
+  private:
+    static constexpr u64 kNoStop = ~u64{0};
+
+    /**
+     * The timing/commit loop. Runs @p st forward until the run ends
+     * (returns false) or, when @p pause_before is hit, pauses just
+     * before that instruction's pre-step (returns true).
+     */
+    bool loop(RunState &st, u64 pause_before);
+
+    /** Tail drains + result finalization; clears the paused state. */
+    RunResult finish(RunState &st);
 
     /** Issue the D-cache write traffic for stores released to memory. */
     void drainStores(SeqNum up_to, Cycle at);
@@ -131,13 +233,10 @@ class Core
     BranchPredictor predictor_;
     PreStepHook preStep_;
 
-    /** Pending (not yet drained) store records for timing. */
-    struct PendingStore
-    {
-        SeqNum seq;
-        Addr addr;
-    };
     std::deque<PendingStore> pendingStores_;
+
+    /** Present between a runUntil() pause and the resuming run(). */
+    std::optional<RunState> state_;
 
     /** End cycle of the previous run() (resumed runs continue from it). */
     Cycle clockBase_ = 0;

@@ -27,6 +27,32 @@ class Tlb
   public:
     Tlb(std::string name, unsigned entries, unsigned page_shift = 12);
 
+    // The page index holds iterators into lru_; a default copy would
+    // leave them pointing into the source's list. Rebuild the index from
+    // the copied list instead (snapshot capture/fork copies TLB state).
+    Tlb(const Tlb &other)
+        : name_(other.name_), pageShift_(other.pageShift_),
+          capacity_(other.capacity_), lru_(other.lru_),
+          hits_(other.hits_), misses_(other.misses_)
+    {
+        reindex();
+    }
+
+    Tlb &
+    operator=(const Tlb &other)
+    {
+        if (this != &other) {
+            name_ = other.name_;
+            pageShift_ = other.pageShift_;
+            capacity_ = other.capacity_;
+            lru_ = other.lru_;
+            hits_ = other.hits_;
+            misses_ = other.misses_;
+            reindex();
+        }
+        return *this;
+    }
+
     /** Look up (and allocate on miss). Returns true on hit. */
     bool access(Addr addr);
 
@@ -48,6 +74,14 @@ class Tlb
     void addStats(stats::StatGroup &group) const;
 
   private:
+    void
+    reindex()
+    {
+        index_.clear();
+        for (auto it = lru_.begin(); it != lru_.end(); ++it)
+            index_[*it] = it;
+    }
+
     // True-LRU with O(1) lookup: an MRU-ordered list plus a page index.
     // (A linear tag scan is what the hardware does in parallel; the map
     // only speeds the simulation, semantics are identical.)

@@ -271,6 +271,25 @@ class Machine
     u64 reg(unsigned idx) const { return regs_[idx]; }
     void setReg(unsigned idx, u64 v) { if (idx != 0) regs_[idx] = v; }
 
+    /** Architectural register file (snapshot capture). */
+    const std::array<u64, isa::kNumArchRegs> &regs() const { return regs_; }
+
+    /**
+     * Adopt architectural state captured from another Machine running the
+     * same program image (snapshot fork / restore). Drops the superblock
+     * cursor; decode-cache warmth is architecturally invisible, so the
+     * fork re-attaches lazily on its first threaded step.
+     */
+    void
+    restoreArch(const std::array<u64, isa::kNumArchRegs> &regs, Addr pc,
+                bool halted)
+    {
+        regs_ = regs;
+        pc_ = pc;
+        halted_ = halted;
+        sbCur_ = nullptr;
+    }
+
     Addr pc() const { return pc_; }
     void setPc(Addr pc) { pc_ = pc; halted_ = false; }
 

@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <optional>
+#include <string_view>
 
 #include "common/logging.hpp"
 #include "common/parallel.hpp"
 #include "common/random.hpp"
+#include "core/snapshot.hpp"
 #include "sig/table.hpp"
 
 namespace rev::redteam
@@ -56,6 +61,13 @@ campaignModes()
 {
     return {sig::ValidationMode::Full, sig::ValidationMode::Aggressive,
             sig::ValidationMode::CfiOnly};
+}
+
+bool
+snapshotForkEnabledFromEnv()
+{
+    const char *env = std::getenv("REV_SNAPSHOT_FORK");
+    return !env || std::string_view(env) != "0";
 }
 
 bool
@@ -291,14 +303,30 @@ Campaign::runPlan(const InjectionPlan &plan) const
     panic("campaign: unknown timing variant ", plan.timing);
 }
 
+bool
+Campaign::canRun(const InjectionPlan &plan) const
+{
+    bool timing_ok = false;
+    for (const TimingVariant &t : timings_)
+        timing_ok = timing_ok || t.name == plan.timing;
+    if (!timing_ok)
+        return false;
+    for (const auto &ctx : contexts_)
+        if (ctx->name == plan.workload)
+            return true;
+    return false;
+}
+
 DetectionMatrix
 Campaign::run() const
 {
+    return run(snapshotForkEnabledFromEnv());
+}
+
+DetectionMatrix
+Campaign::run(bool use_snapshots) const
+{
     const std::vector<InjectionPlan> plans = generatePlans();
-    std::vector<InjectionResult> results(plans.size());
-    parallelFor(plans.size(), threads_, [&](std::size_t i) {
-        results[i] = runPlan(plans[i]);
-    });
 
     DetectionMatrix m;
     m.seed = spec_.seed;
@@ -309,9 +337,15 @@ Campaign::run() const
         for (sig::ValidationMode mode : modes_)
             m.cells[{injectionClassName(c), sig::modeName(mode)}] = {};
 
-    for (std::size_t i = 0; i < plans.size(); ++i) {
-        const InjectionPlan &plan = plans[i];
-        const InjectionResult &r = results[i];
+    // Streaming aggregation: verdicts fold into the matrix as they
+    // arrive instead of collecting an O(injections) result vector, so a
+    // 100k-injection campaign runs at flat RSS. Cell counters are
+    // commutative; escapes are re-sorted below, so the rendered JSON is
+    // independent of completion order.
+    std::mutex mu;
+    const auto record = [&](const InjectionPlan &plan,
+                            const InjectionResult &r) {
+        std::lock_guard<std::mutex> lock(mu);
         CellStats &cell = m.cells[{injectionClassName(plan.klass),
                                    sig::modeName(plan.mode)}];
         ++cell.injections;
@@ -321,8 +355,11 @@ Campaign::run() const
           case Verdict::Detected:
             ++cell.detected;
             cell.latencySum += r.latencyCycles;
-            if (!r.mechanismMatch)
+            if (!r.mechanismMatch) {
                 ++cell.offMechanism;
+                m.nearMisses.push_back(
+                    EscapeRecord{plan, r, planFingerprint(plan)});
+            }
             break;
           case Verdict::Crashed: ++cell.crashed; break;
           case Verdict::Benign: ++cell.benign; break;
@@ -333,7 +370,111 @@ Campaign::run() const
                 EscapeRecord{plan, r, planFingerprint(plan)});
             break;
         }
+    };
+
+    if (!use_snapshots) {
+        parallelFor(plans.size(), threads_, [&](std::size_t i) {
+            record(plans[i], runPlan(plans[i]));
+        });
+    } else {
+        // One source simulator per (workload, mode, timing)
+        // configuration advances monotonically through that group's fire
+        // indices; every injection forks from a snapshot taken at its
+        // exact fire point instead of re-executing the prefix cold.
+        struct Group
+        {
+            const WorkloadContext *ctx = nullptr;
+            sig::ValidationMode mode{};
+            const TimingVariant *timing = nullptr;
+            std::vector<std::size_t> planIdx;
+        };
+        std::vector<Group> groups;
+        for (const auto &ctx : contexts_)
+            for (sig::ValidationMode mode : modes_)
+                for (const TimingVariant &t : timings_)
+                    groups.push_back(Group{ctx.get(), mode, &t, {}});
+        const std::size_t M = modes_.size();
+        const std::size_t T = timings_.size();
+        const auto groupOf = [&](const InjectionPlan &plan) -> Group & {
+            for (std::size_t w = 0; w < contexts_.size(); ++w) {
+                if (contexts_[w]->name != plan.workload)
+                    continue;
+                for (std::size_t mi = 0; mi < M; ++mi) {
+                    if (modes_[mi] != plan.mode)
+                        continue;
+                    for (std::size_t ti = 0; ti < T; ++ti)
+                        if (timings_[ti].name == plan.timing)
+                            return groups[(w * M + mi) * T + ti];
+                }
+            }
+            panic("campaign: plan matches no group");
+        };
+        for (std::size_t i = 0; i < plans.size(); ++i)
+            groupOf(plans[i]).planIdx.push_back(i);
+        for (Group &g : groups)
+            std::sort(g.planIdx.begin(), g.planIdx.end(),
+                      [&](std::size_t a, std::size_t b) {
+                          if (plans[a].fireIndex != plans[b].fireIndex)
+                              return plans[a].fireIndex < plans[b].fireIndex;
+                          return plans[a].id < plans[b].id;
+                      });
+
+        parallelFor(groups.size(), threads_, [&](std::size_t gi) {
+            Group &g = groups[gi];
+            if (g.planIdx.empty())
+                return;
+            core::SimConfig cfg =
+                campaignSimConfig(spec_, g.mode, *g.timing);
+            if (!spec_.disableRev)
+                cfg.sigStorePrototype = g.ctx->protos.at(g.mode).get();
+            core::Simulator source(g.ctx->program, cfg);
+            std::optional<core::Snapshot> snap;
+            // Once runUntil() reports the run finished, the source is
+            // done for good — re-calling would silently start a fresh
+            // run. Remaining plans (fire index beyond the golden end)
+            // fall back to cold execution.
+            bool exhausted = false;
+            for (std::size_t i : g.planIdx) {
+                const InjectionPlan &plan = plans[i];
+                // A hook the golden stream proves never fires, or a
+                // tamper confined to bytes the stream never touches
+                // again after the fire point, cannot change the run at
+                // all: classify Benign without executing (the
+                // non-snapshot mode still runs these, so the CI matrix
+                // comparison cross-checks the proof).
+                if (const std::optional<InjectionResult> fast =
+                        provablyBenignResult(*g.ctx, spec_, plan)) {
+                    record(plan, *fast);
+                    continue;
+                }
+                if (!exhausted &&
+                    (!snap || snap->instrIndex != plan.fireIndex)) {
+                    if (source.runUntil(plan.fireIndex))
+                        snap = source.capture();
+                    else
+                        exhausted = true;
+                }
+                if (exhausted || !snap ||
+                    snap->instrIndex != plan.fireIndex)
+                    record(plan,
+                           runInjection(*g.ctx, spec_, plan, *g.timing));
+                else
+                    record(plan, runInjectionFromSnapshot(
+                                     *g.ctx, spec_, plan, *g.timing, *snap));
+            }
+        });
     }
+
+    // Streaming appends escapes in completion order; plan order is the
+    // canonical rendering, byte-identical across strategies and thread
+    // counts.
+    const auto by_plan_id = [](const EscapeRecord &a,
+                               const EscapeRecord &b) {
+        return a.plan.id < b.plan.id;
+    };
+    std::sort(m.escapes.begin(), m.escapes.end(), by_plan_id);
+    std::sort(m.nearMisses.begin(), m.nearMisses.end(), by_plan_id);
+
     for (const auto &[key, cell] : m.cells)
         m.total.add(cell);
     return m;

@@ -14,6 +14,17 @@
  * permitting). Tampered runs always execute directly — the tamper
  * changes the architectural stream, which is the point — so detection
  * matrices are bit-identical with replay on and off.
+ *
+ * Injected runs themselves reuse state the same way: instead of paying
+ * the warm-up prefix (instruction 0 .. fireIndex) per injection, the
+ * campaign keeps one *source* simulator per (workload, mode, timing)
+ * configuration, advances it monotonically through the group's plans in
+ * fireIndex order, captures a copy-on-write Snapshot at each distinct
+ * fire point, and forks every injection from it (REV_SNAPSHOT_FORK=0
+ * disables). A fork's instruction/cycle/statistics stream is
+ * bit-identical to a cold run's from the snapshot index on
+ * (tests/bench/snapshot_test.cpp), so the rendered matrix is
+ * byte-identical either way — enforced in CI.
  */
 
 #ifndef REV_REDTEAM_CAMPAIGN_HPP
@@ -37,6 +48,10 @@ std::vector<TimingVariant> campaignTimings();
 
 /** Every validation mode, in canonical order. */
 std::vector<sig::ValidationMode> campaignModes();
+
+/** REV_SNAPSHOT_FORK: snapshot-forked injections are on unless the
+ *  variable is set to "0". Read per call — tests toggle it mid-process. */
+bool snapshotForkEnabledFromEnv();
 
 /** Per-(class, mode) verdict counts of a campaign. */
 struct CellStats
@@ -88,6 +103,11 @@ struct DetectionMatrix
     CellStats total;
     std::vector<EscapeRecord> escapes;
 
+    /** Off-mechanism detections: the tamper was caught, but not by a
+     *  mechanism the taxonomy predicts for its class. Near-misses, kept
+     *  with full reproducer plans so the corpus can persist them. */
+    std::vector<EscapeRecord> nearMisses;
+
     /** Did every swept (class, mode) cell receive >= 1 injection? */
     bool coversAllCells() const;
 };
@@ -118,8 +138,20 @@ class Campaign
     /** Run one plan through the oracle. Thread-safe. */
     InjectionResult runPlan(const InjectionPlan &plan) const;
 
-    /** Run the whole campaign across the worker pool. */
+    /** Can runPlan() execute @p plan — does this campaign hold its
+     *  workload context and timing variant? (Corpus plans may come from
+     *  campaigns swept over different axes.) */
+    bool canRun(const InjectionPlan &plan) const;
+
+    /** Run the whole campaign across the worker pool, with snapshot
+     *  forking per REV_SNAPSHOT_FORK. */
     DetectionMatrix run() const;
+
+    /** Run the whole campaign; @p use_snapshots selects between
+     *  snapshot-forked injections (fork the warmed source at each
+     *  plan's fire index) and cold per-plan runs. Both render
+     *  byte-identical matrices. */
+    DetectionMatrix run(bool use_snapshots) const;
 
     const CampaignSpec &spec() const { return spec_; }
     const std::vector<TimingVariant> &timings() const { return timings_; }

@@ -1,0 +1,65 @@
+#include "redteam/corpus.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+namespace rev::redteam
+{
+
+namespace fs = std::filesystem;
+
+std::vector<CorpusEntry>
+loadCorpus(const std::string &dir)
+{
+    std::vector<CorpusEntry> corpus;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec))
+        return corpus;
+
+    std::vector<fs::path> files;
+    for (const fs::directory_entry &e : fs::directory_iterator(dir, ec)) {
+        if (e.is_regular_file() && e.path().extension() == ".json")
+            files.push_back(e.path());
+    }
+    std::sort(files.begin(), files.end());
+
+    for (const fs::path &p : files) {
+        std::ifstream is(p);
+        std::ostringstream buf;
+        buf << is.rdbuf();
+        InjectionPlan plan;
+        if (!is || !planFromJson(buf.str(), &plan)) {
+            std::fprintf(stderr, "corpus: skipping unparsable %s\n",
+                         p.string().c_str());
+            continue;
+        }
+        corpus.push_back(CorpusEntry{p.string(), std::move(plan)});
+    }
+    return corpus;
+}
+
+std::string
+saveCorpusPlan(const std::string &dir, const InjectionPlan &plan)
+{
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+
+    char name[32];
+    std::snprintf(name, sizeof(name), "fp-%016llx.json",
+                  static_cast<unsigned long long>(planFingerprint(plan)));
+    const fs::path path = fs::path(dir) / name;
+    if (fs::exists(path, ec))
+        return {};
+
+    std::ofstream os(path);
+    if (!os)
+        return {};
+    os << planToJson(plan) << "\n";
+    return os ? path.string() : std::string();
+}
+
+} // namespace rev::redteam

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * On-disk reproducer corpus for campaign escapes and near-misses.
+ *
+ * A corpus is a flat directory of `fp-<fingerprint>.json` files, one
+ * self-contained InjectionPlan each (the plan codec of plan.hpp).
+ * Campaigns run with `--corpus <dir>` replay every stored plan before
+ * the fresh sweep — a regression gate over everything ever caught — and
+ * persist each new escape (post-shrink, so the minimized reproducer is
+ * what survives) and off-mechanism detection back into the directory.
+ * Filenames are the plan fingerprint, so re-running a campaign is
+ * idempotent and two campaigns can share one corpus.
+ */
+
+#ifndef REV_REDTEAM_CORPUS_HPP
+#define REV_REDTEAM_CORPUS_HPP
+
+#include <string>
+#include <vector>
+
+#include "redteam/plan.hpp"
+
+namespace rev::redteam
+{
+
+/** One stored reproducer. */
+struct CorpusEntry
+{
+    std::string file; ///< absolute or dir-relative path it was read from
+    InjectionPlan plan;
+};
+
+/**
+ * Load every parseable `*.json` plan in @p dir, sorted by filename so
+ * replay order is deterministic. A missing directory is an empty
+ * corpus; unparsable files are skipped with a warning on stderr.
+ */
+std::vector<CorpusEntry> loadCorpus(const std::string &dir);
+
+/**
+ * Persist @p plan as `<dir>/fp-<fingerprint>.json`, creating @p dir if
+ * needed. Returns the path written, or an empty string if the file
+ * already existed (idempotence) or could not be written.
+ */
+std::string saveCorpusPlan(const std::string &dir,
+                           const InjectionPlan &plan);
+
+} // namespace rev::redteam
+
+#endif // REV_REDTEAM_CORPUS_HPP

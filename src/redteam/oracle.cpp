@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "attacks/injector.hpp"
@@ -262,9 +263,12 @@ buildWorkloadContext(const workloads::WorkloadProfile &profile,
     if (!spec.disableRev)
         cfg.traceRecorder = &recorder;
     core::Simulator sim(ctx->program, cfg);
-    std::unordered_set<Addr> pcs;
+    // Every committed-stream position per executed pc (ascending by
+    // construction): feeds the executed-site map, the quiescence maps,
+    // and the pc-gated hook resolution of provablyBenignResult().
+    std::unordered_map<Addr, std::vector<u64>> exec_pos;
     sim.core().setPreStepHook(
-        [&pcs](u64, Addr pc) { pcs.insert(pc); });
+        [&exec_pos](u64 idx, Addr pc) { exec_pos[pc].push_back(idx); });
     const core::SimResult r = sim.run();
     REV_ASSERT(!r.run.violation,
                "campaign golden run raised a violation: " +
@@ -280,7 +284,10 @@ buildWorkloadContext(const workloads::WorkloadProfile &profile,
     // Executed-site map: every committed pc inside the main module's
     // code, decoded from the pristine image. Plans draw flip targets,
     // rewirable direct branches, and return-redirect addresses from it.
-    std::vector<Addr> sorted(pcs.begin(), pcs.end());
+    std::vector<Addr> sorted;
+    sorted.reserve(exec_pos.size());
+    for (const auto &[pc, positions] : exec_pos)
+        sorted.push_back(pc);
     std::sort(sorted.begin(), sorted.end());
     std::vector<Addr> call_fallthroughs;
     for (Addr pc : sorted) {
@@ -312,7 +319,133 @@ buildWorkloadContext(const workloads::WorkloadProfile &profile,
                                 call_fallthroughs.end(), s.pc))
             ctx->retRedirects.push_back(s.pc);
     }
+
+    // Quiescence maps (see the WorkloadContext docs). The exec map marks
+    // each executed instruction's own byte span with its last stream
+    // position. The hash map additionally spreads each block entry over
+    // the block's whole [start, end) span — the CHG digests exactly that
+    // span whenever the block is fetched — marked through the end of the
+    // digest's consumption window: the staged lane request snapshots the
+    // block bytes no later than the terminator's commit (position entry
+    // + numInstrs - 1), so a tamper at any position <= that can still be
+    // read by the in-flight digest and must not be treated as quiescent.
+    {
+        const prog::Module &mm = ctx->program.main();
+        ctx->quiescenceBase = mm.base;
+        ctx->quiescenceExec.assign(mm.codeSize, 0);
+        for (const ExecSite &s : ctx->sites) {
+            if (s.pc < mm.base || s.pc + s.len > mm.base + mm.codeSize)
+                continue;
+            const u64 idx = exec_pos.at(s.pc).back();
+            for (u64 b = s.pc - mm.base; b < s.pc - mm.base + s.len; ++b)
+                ctx->quiescenceExec[b] =
+                    std::max(ctx->quiescenceExec[b], idx);
+        }
+        ctx->quiescenceHash = ctx->quiescenceExec;
+        if (!spec.disableRev) {
+            for (const sig::ModuleSig &ms :
+                 ctx->protos.at(modes.front())->moduleSigs()) {
+                if (ms.module->base != mm.base)
+                    continue;
+                for (const prog::BasicBlock &bb : ms.cfg.blocks()) {
+                    const auto it = exec_pos.find(bb.start);
+                    if (it == exec_pos.end())
+                        continue; // block never entered, never digested
+                    const u64 mark = it->second.back() + bb.numInstrs;
+                    const Addr lo = std::max(bb.start, mm.base);
+                    const Addr hi =
+                        std::min(bb.end, mm.base + mm.codeSize);
+                    for (Addr a = lo; a < hi; ++a)
+                        ctx->quiescenceHash[a - mm.base] = std::max(
+                            ctx->quiescenceHash[a - mm.base], mark);
+                }
+            }
+        }
+    }
+    ctx->execPositions = std::move(exec_pos);
     return ctx;
+}
+
+std::optional<InjectionResult>
+provablyBenignResult(const WorkloadContext &ctx, const CampaignSpec &spec,
+                     const InjectionPlan &plan)
+{
+    InjectionResult res;
+    res.planId = plan.id;
+    res.verdict = Verdict::Benign;
+
+    // Resolve the hook's firing position against the golden stream. Up
+    // to that position the armed run is untampered and therefore
+    // bit-identical to golden, so the golden stream IS the armed run's
+    // stream — no firing position means the hook provably never fires.
+    std::optional<u64> fire_pos;
+    switch (plan.klass) {
+      case InjectionClass::NoOp:
+      case InjectionClass::CodeFlip:
+      case InjectionClass::CfgRewire:
+      case InjectionClass::DmaWrite:
+        // onceAtIndex fires iff the stream reaches the fire index.
+        if (plan.fireIndex < ctx.goldenInstrs)
+            fire_pos = plan.fireIndex;
+        break;
+      case InjectionClass::TimingJitter:
+        if (plan.phase == JitterPhase::MidBlock) {
+            if (plan.fireIndex < ctx.goldenInstrs)
+                fire_pos = plan.fireIndex;
+            break;
+        }
+        // PreFetch / PostCommit gate on watchPc: the hook arms at the
+        // first golden execution of watchPc at position >= fireIndex.
+        {
+            const auto it = ctx.execPositions.find(plan.watchPc);
+            if (it == ctx.execPositions.end())
+                break;
+            const std::vector<u64> &pos = it->second;
+            const auto lb =
+                std::lower_bound(pos.begin(), pos.end(), plan.fireIndex);
+            if (lb == pos.end())
+                break;
+            if (plan.phase == JitterPhase::PreFetch)
+                fire_pos = *lb; // flips before watchPc executes
+            // PostCommit flips one pre-step after the arming one — which
+            // never comes if the arming instruction ends the stream.
+            else if (*lb + 1 < ctx.goldenInstrs)
+                fire_pos = *lb + 1;
+            break;
+        }
+      case InjectionClass::SigCorrupt:
+      case InjectionClass::RetSmash:
+        // Whether a corrupted table record is ever re-walked (or a
+        // smashed slot popped into a violation) is timing-dependent;
+        // not provable from the recorded stream alone.
+        return std::nullopt;
+    }
+
+    if (!fire_pos)
+        return res; // never fires: the run is the untampered golden run
+    res.fired = true;
+    if (plan.klass == InjectionClass::NoOp)
+        return res; // fires but tampers nothing
+
+    // CFI-only never digests code bytes under the REV validator, so only
+    // re-execution matters there. The LO-FAT backend digests every fetched
+    // block regardless of the mode axis, so it always needs the hash map.
+    const bool hashes_code =
+        !spec.disableRev && (spec.backend != validate::Backend::Rev ||
+                             plan.mode != sig::ValidationMode::CfiOnly);
+    const std::vector<u64> &q =
+        hashes_code ? ctx.quiescenceHash : ctx.quiescenceExec;
+    if (q.empty() || plan.payload.empty())
+        return std::nullopt;
+    if (plan.targetAddr < ctx.quiescenceBase)
+        return std::nullopt;
+    const u64 off = plan.targetAddr - ctx.quiescenceBase;
+    if (off + plan.payload.size() > q.size())
+        return std::nullopt;
+    for (u64 i = 0; i < plan.payload.size(); ++i)
+        if (q[off + i] >= *fire_pos)
+            return std::nullopt;
+    return res;
 }
 
 void
@@ -335,90 +468,93 @@ addGolden(WorkloadContext &ctx, const CampaignSpec &spec,
     ctx.goldens[{mode, timing.name}] = GoldenRun{sim.stats(), r};
 }
 
-InjectionResult
-runInjection(const WorkloadContext &ctx, const CampaignSpec &spec,
-             const InjectionPlan &plan, const TimingVariant &timing)
+namespace
+{
+
+/** What the armed hooks record while the injected run executes. */
+struct FireState
+{
+    bool fired = false;
+    Cycle fireCycle = 0;
+    std::vector<std::pair<Addr, u64>> dirtied;
+};
+
+/** Install @p plan's tamper hook on @p sim. Every hook fires at
+ *  committed index >= plan.fireIndex, which is what makes forking the
+ *  machine at exactly that index equivalent to a cold run. @p st must
+ *  outlive the run. */
+void
+armPlan(core::Simulator &sim, const InjectionPlan &plan, FireState &st)
 {
     namespace inject = attacks::inject;
-    REV_ASSERT(timing.name == plan.timing, "plan/timing variant mismatch");
 
-    core::SimConfig cfg = campaignSimConfig(spec, plan.mode, timing);
-    if (!spec.disableRev)
-        cfg.sigStorePrototype = ctx.protos.at(plan.mode).get();
-    core::Simulator sim(ctx.program, cfg);
-
-    InjectionResult res;
-    res.planId = plan.id;
-
-    bool fired = false;
-    Cycle fire_cycle = 0;
-    std::vector<std::pair<Addr, u64>> dirtied;
-
-    const auto stamp = [&fire_cycle](core::Simulator &s) {
-        fire_cycle = s.core().lastCommitCycle();
+    const auto stamp = [&st](core::Simulator &s) {
+        st.fireCycle = s.core().lastCommitCycle();
     };
-    const auto flip = [&](core::Simulator &s) {
+    const auto flip = [&st, &plan, stamp](core::Simulator &s) {
         stamp(s);
         inject::tamperCode(s, plan.targetAddr, plan.payload);
-        dirtied.emplace_back(plan.targetAddr, plan.payload.size());
+        st.dirtied.emplace_back(plan.targetAddr, plan.payload.size());
     };
 
     switch (plan.klass) {
       case InjectionClass::NoOp:
-        inject::onceAtIndex(sim, plan.fireIndex, stamp, fired);
+        inject::onceAtIndex(sim, plan.fireIndex, stamp, st.fired);
         break;
       case InjectionClass::CodeFlip:
       case InjectionClass::CfgRewire:
       case InjectionClass::DmaWrite:
-        inject::onceAtIndex(sim, plan.fireIndex, flip, fired);
+        inject::onceAtIndex(sim, plan.fireIndex, flip, st.fired);
         break;
       case InjectionClass::SigCorrupt:
         // Straight into simulated RAM: the signature tables are data to
         // the memory system, there is no decode/hash memo to drop.
         inject::onceAtIndex(
             sim, plan.fireIndex,
-            [&](core::Simulator &s) {
+            [&st, &plan, stamp](core::Simulator &s) {
                 stamp(s);
                 s.memory().writeBytes(plan.targetAddr, plan.payload.data(),
                                       plan.payload.size());
-                dirtied.emplace_back(plan.targetAddr, plan.payload.size());
+                st.dirtied.emplace_back(plan.targetAddr,
+                                        plan.payload.size());
             },
-            fired);
+            st.fired);
         break;
       case InjectionClass::RetSmash:
         inject::onceAtReturn(
             sim, plan.fireIndex,
-            [&](core::Simulator &s) {
+            [&st, &plan, stamp](core::Simulator &s) {
                 stamp(s);
-                dirtied.emplace_back(
+                st.dirtied.emplace_back(
                     s.core().machine().reg(isa::kRegSp), 8);
                 inject::smashReturnAddress(s, plan.redirectTarget);
             },
-            fired);
+            st.fired);
         break;
       case InjectionClass::TimingJitter:
         switch (plan.phase) {
           case JitterPhase::PreFetch:
             inject::onceAtPc(sim, plan.watchPc, plan.fireIndex, flip,
-                             fired);
+                             st.fired);
             break;
           case JitterPhase::MidBlock:
-            inject::onceAtIndex(sim, plan.fireIndex, flip, fired);
+            inject::onceAtIndex(sim, plan.fireIndex, flip, st.fired);
             break;
           case JitterPhase::PostCommit: {
             // Arm when the watched pc is about to execute, fire right
             // after it committed: the block was just validated, the flip
             // must still be caught on its next execution (the paper's
             // continuous-validation property).
-            sim.core().setPreStepHook([&, armed = false](
-                                          u64 idx, Addr pc) mutable {
-                if (fired)
+            sim.core().setPreStepHook([&st, &plan, &sim, flip,
+                                       armed = false](u64 idx,
+                                                      Addr pc) mutable {
+                if (st.fired)
                     return;
                 if (!armed) {
                     armed = idx >= plan.fireIndex && pc == plan.watchPc;
                     return;
                 }
-                fired = true;
+                st.fired = true;
                 flip(sim);
             });
             break;
@@ -426,15 +562,28 @@ runInjection(const WorkloadContext &ctx, const CampaignSpec &spec,
         }
         break;
     }
+}
 
+/** Arm @p plan on @p sim, run to completion, classify against the
+ *  golden. Shared tail of the cold and snapshot-forked paths. */
+InjectionResult
+runArmed(const WorkloadContext &ctx, const CampaignSpec &spec,
+         const InjectionPlan &plan, const TimingVariant &timing,
+         core::Simulator &sim)
+{
+    InjectionResult res;
+    res.planId = plan.id;
+
+    FireState st;
+    armPlan(sim, plan, st);
     const core::SimResult r = sim.run();
-    res.fired = fired;
+    res.fired = st.fired;
 
     if (r.run.violation) {
         res.reason = r.run.violation->reason;
         if (res.reason == "undecodable instruction bytes") {
             res.verdict = Verdict::Crashed;
-        } else if (!fired) {
+        } else if (!st.fired) {
             // A violation without any tamper means the harness itself is
             // broken; surface it as loudly as an escape.
             res.verdict = Verdict::Escape;
@@ -442,7 +591,7 @@ runInjection(const WorkloadContext &ctx, const CampaignSpec &spec,
             res.verdict = Verdict::Detected;
             res.mechanismMatch =
                 mechanismMatches(plan.klass, res.reason, spec.backend);
-            res.latencyCycles = r.run.violation->cycle - fire_cycle;
+            res.latencyCycles = r.run.violation->cycle - st.fireCycle;
         }
         return res;
     }
@@ -451,7 +600,7 @@ runInjection(const WorkloadContext &ctx, const CampaignSpec &spec,
     const bool identical = runEqual(r, golden.result) &&
                            statsEqual(sim.stats(), golden.stats) &&
                            memoryEqual(sim.memory(), ctx.goldenMemory,
-                                       dirtied);
+                                       st.dirtied);
     if (identical)
         res.verdict = Verdict::Benign;
     else if (!spec.disableRev &&
@@ -460,6 +609,36 @@ runInjection(const WorkloadContext &ctx, const CampaignSpec &spec,
     else
         res.verdict = Verdict::Escape;
     return res;
+}
+
+} // namespace
+
+InjectionResult
+runInjection(const WorkloadContext &ctx, const CampaignSpec &spec,
+             const InjectionPlan &plan, const TimingVariant &timing)
+{
+    REV_ASSERT(timing.name == plan.timing, "plan/timing variant mismatch");
+
+    core::SimConfig cfg = campaignSimConfig(spec, plan.mode, timing);
+    if (!spec.disableRev)
+        cfg.sigStorePrototype = ctx.protos.at(plan.mode).get();
+    core::Simulator sim(ctx.program, cfg);
+    return runArmed(ctx, spec, plan, timing, sim);
+}
+
+InjectionResult
+runInjectionFromSnapshot(const WorkloadContext &ctx,
+                         const CampaignSpec &spec, const InjectionPlan &plan,
+                         const TimingVariant &timing,
+                         const core::Snapshot &snap)
+{
+    REV_ASSERT(timing.name == plan.timing, "plan/timing variant mismatch");
+    REV_ASSERT(snap.instrIndex == plan.fireIndex,
+               "snapshot captured at a different index than the plan fires");
+
+    const std::unique_ptr<core::Simulator> sim =
+        core::Simulator::forkFrom(snap);
+    return runArmed(ctx, spec, plan, timing, *sim);
 }
 
 } // namespace rev::redteam

@@ -39,7 +39,9 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -125,6 +127,25 @@ struct WorkloadContext
     std::vector<Addr> retRedirects; ///< executed pcs that are never legal
                                     ///< return sites (not call fall-throughs)
 
+    /**
+     * Quiescence maps over the main module's code bytes, recorded from
+     * the golden stream: per byte, the last committed-stream position
+     * whose instruction read it (exec), or additionally whose entered
+     * block's CHG hash span covered it (hash; the validator digests
+     * [start, end) of every block it fetches). A flip-class tamper
+     * confined to bytes quiescent after its fire index provably leaves
+     * the run bit-identical to golden — see provablyBenignResult().
+     */
+    Addr quiescenceBase = 0;
+    std::vector<u64> quiescenceExec;
+    std::vector<u64> quiescenceHash;
+
+    /** Every committed-stream position of each executed pc, ascending.
+     *  Lets the oracle resolve pc-gated hooks (TimingJitter PreFetch /
+     *  PostCommit) against the golden stream: the hook's firing position
+     *  is the first entry >= fireIndex, or "never fires" if none. */
+    std::unordered_map<Addr, std::vector<u64>> execPositions;
+
     std::map<std::pair<sig::ValidationMode, std::string>, GoldenRun> goldens;
 };
 
@@ -171,6 +192,54 @@ InjectionResult runInjection(const WorkloadContext &ctx,
                              const CampaignSpec &spec,
                              const InjectionPlan &plan,
                              const TimingVariant &timing);
+
+/**
+ * Execute @p plan against a Simulator forked from @p snap — a warmed
+ * snapshot of the plan's exact (workload, mode, timing) configuration,
+ * captured at plan.fireIndex — instead of re-executing the prefix from
+ * instruction zero. Every hook the campaign arms requires committed
+ * index >= fireIndex, and a fork's instruction/cycle/statistics stream
+ * from the snapshot index on is bit-identical to a cold run's
+ * (tests/bench/snapshot_test.cpp), so the verdict, the violation cycle,
+ * and therefore the detection matrix are unchanged.
+ */
+InjectionResult runInjectionFromSnapshot(const WorkloadContext &ctx,
+                                         const CampaignSpec &spec,
+                                         const InjectionPlan &plan,
+                                         const TimingVariant &timing,
+                                         const core::Snapshot &snap);
+
+/**
+ * Is @p plan's outcome provably Benign without executing anything? If
+ * so, return the exact InjectionResult executing it would produce;
+ * otherwise nullopt (the plan must run — conservative, never wrong).
+ *
+ * Two provable shapes, both decided purely from the recorded golden
+ * stream:
+ *
+ *  - The hook never fires. onceAtIndex hooks need the stream to reach
+ *    fireIndex; pc-gated jitter hooks need watchPc to execute at a
+ *    position >= fireIndex (PostCommit additionally needs one more
+ *    instruction after the arming one). If the golden stream rules that
+ *    out, nothing is ever tampered: Benign, fired = false.
+ *
+ *  - The hook fires (NoOp, or a code tamper — CodeFlip, CfgRewire,
+ *    DmaWrite, any TimingJitter phase) but the entire tampered range is
+ *    quiescent from the resolved firing position on: no instruction of
+ *    the golden stream at or after that position reads those bytes, and
+ *    (when the backend digests code — everything except Null and
+ *    REV/CFI-only) no block hash span consumed at or after it covers
+ *    them. The tamper lands but is never fetched, decoded, or digested,
+ *    so stream, statistics, and final memory are bit-identical to
+ *    golden: Benign, fired = true.
+ *
+ * Used by the campaign's snapshot mode to skip such runs; the
+ * non-snapshot mode still executes them, so the CI matrix comparison
+ * cross-checks this proof end to end.
+ */
+std::optional<InjectionResult>
+provablyBenignResult(const WorkloadContext &ctx, const CampaignSpec &spec,
+                     const InjectionPlan &plan);
 
 } // namespace rev::redteam
 

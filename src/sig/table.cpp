@@ -438,11 +438,39 @@ TableReader::TableReader(const SparseMemory &mem, Addr table_base,
     valid_ = true;
 }
 
+const u8 *
+TableReader::keystreamBlock(u64 counter) const
+{
+    auto [it, fresh] = keystream_.try_emplace(counter);
+    if (fresh) {
+        u8 *ks = it->second.data();
+        for (int i = 0; i < 8; ++i) {
+            ks[i] = static_cast<u8>(nonce_ >> (8 * i));
+            ks[8 + i] = static_cast<u8>(counter >> (8 * i));
+        }
+        cipher_->encryptBlock(ks);
+    }
+    return it->second.data();
+}
+
 void
 TableReader::readDec(u64 off, u8 *out, std::size_t len) const
 {
     mem_.readBytes(base_ + off, out, len);
-    cipher_->ctrCryptAt(out, len, nonce_, off - kHeaderBytes);
+    // Equivalent to cipher_->ctrCryptAt(out, len, nonce_, off -
+    // kHeaderBytes), but with the keystream blocks memoized — table
+    // walks revisit the same slots constantly and the AES work depends
+    // only on the stream position, not the ciphertext.
+    std::size_t done = 0;
+    while (done < len) {
+        const u64 stream_pos = off - kHeaderBytes + done;
+        const unsigned skip = static_cast<unsigned>(stream_pos % 16);
+        const u8 *ks = keystreamBlock(stream_pos / 16);
+        const std::size_t take = std::min<std::size_t>(16 - skip, len - done);
+        for (std::size_t i = 0; i < take; ++i)
+            out[done + i] ^= ks[skip + i];
+        done += take;
+    }
 }
 
 LookupResult
@@ -525,6 +553,15 @@ TableReader::lookup(Addr term, u32 hash, Addr module_base,
                         np = (cont[0] >> 4) & 3;
                     }
                     const unsigned *slot_off = contSlotOffsets(mode_);
+                    // A tampered count byte can decode more slots than
+                    // the record carries; the builder never emits more
+                    // than contSlots(), so the clamp is a no-op for
+                    // intact tables and bounds the walk for corrupt ones.
+                    const unsigned max_slots = contSlots(mode_);
+                    if (nt > max_slots)
+                        nt = max_slots;
+                    if (np > max_slots - nt)
+                        np = max_slots - nt;
                     for (unsigned sidx = 0; sidx < nt + np; ++sidx) {
                         const Addr a =
                             slotDecode(get24(cont + slot_off[sidx]));

@@ -22,6 +22,7 @@
 #ifndef REV_VALIDATE_CHG_HPP
 #define REV_VALIDATE_CHG_HPP
 
+#include <array>
 #include <unordered_map>
 #include <vector>
 
@@ -45,10 +46,43 @@ struct ChgConfig
 class Chg
 {
   public:
-    Chg(const SparseMemory &mem, const ChgConfig &cfg = {});
-
     /** Lane width of the batched hash path (crypto::CubeHashX4). */
     static constexpr unsigned kLanes = 4;
+
+  private:
+    // Implementation types first: the public State below aggregates them.
+    struct Key
+    {
+        Addr start;
+        Addr term;
+        bool operator==(const Key &) const = default;
+    };
+    struct KeyHash
+    {
+        std::size_t
+        operator()(const Key &k) const
+        {
+            return std::hash<u64>{}(k.start * 0x9e3779b97f4a7c15ULL ^ k.term);
+        }
+    };
+
+    struct Memo
+    {
+        u32 hash;
+        u64 verSum; ///< spanVersionSum of [start, end) when hashed
+    };
+
+    /** One staged digest request: key + byte snapshot taken at queue time. */
+    struct PendingLane
+    {
+        Key key{};
+        Addr end = 0;
+        u64 verSum = 0;
+        std::vector<u8> bytes; ///< reused across flushes
+    };
+
+  public:
+    Chg(const SparseMemory &mem, const ChgConfig &cfg = {});
 
     /**
      * Digest of the block [start, end) terminated at @p term, as hashed
@@ -100,44 +134,51 @@ class Chg
 
     void addStats(stats::StatGroup &group) const;
 
+    /**
+     * Copyable mid-run state — digest memo, staged lane queue, counters —
+     * for snapshot capture. The memory binding is not part of the state:
+     * a fork restores into a Chg constructed over its own (forked)
+     * memory, whose page versions match the source's, so memoized
+     * digests revalidate identically.
+     */
+    struct State
+    {
+        std::unordered_map<Key, Memo, KeyHash> cache;
+        std::array<PendingLane, kLanes> lanes;
+        unsigned lanesUsed = 0;
+        u64 laneFlushes = 0;
+        u64 laneBlocksHashed = 0;
+        stats::Counter blocksHashed, flushes;
+    };
+
+    State
+    saveState() const
+    {
+        return State{cache_,      lanes_,           lanesUsed_,
+                     laneFlushes_, laneBlocksHashed_, blocksHashed_,
+                     flushes_};
+    }
+
+    void
+    restoreState(const State &state)
+    {
+        cache_ = state.cache;
+        lanes_ = state.lanes;
+        lanesUsed_ = state.lanesUsed;
+        laneFlushes_ = state.laneFlushes;
+        laneBlocksHashed_ = state.laneBlocksHashed;
+        blocksHashed_ = state.blocksHashed;
+        flushes_ = state.flushes;
+    }
+
   private:
-    struct Key
-    {
-        Addr start;
-        Addr term;
-        bool operator==(const Key &) const = default;
-    };
-    struct KeyHash
-    {
-        std::size_t
-        operator()(const Key &k) const
-        {
-            return std::hash<u64>{}(k.start * 0x9e3779b97f4a7c15ULL ^ k.term);
-        }
-    };
-
-    struct Memo
-    {
-        u32 hash;
-        u64 verSum; ///< spanVersionSum of [start, end) when hashed
-    };
-
-    /** One staged digest request: key + byte snapshot taken at queue time. */
-    struct PendingLane
-    {
-        Key key{};
-        Addr end = 0;
-        u64 verSum = 0;
-        std::vector<u8> bytes; ///< reused across flushes
-    };
-
     bool pendingIndex(const Key &key, unsigned *idx) const;
 
     const SparseMemory &mem_;
     ChgConfig cfg_;
     std::unordered_map<Key, Memo, KeyHash> cache_;
     std::vector<u8> scratch_; ///< reused block-byte buffer
-    PendingLane lanes_[kLanes];
+    std::array<PendingLane, kLanes> lanes_;
     unsigned lanesUsed_ = 0;
     u64 laneFlushes_ = 0, laneBlocksHashed_ = 0;
     stats::Counter blocksHashed_, flushes_;

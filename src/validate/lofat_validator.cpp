@@ -237,4 +237,52 @@ LoFatValidator::snapshotStats(stats::StatSet &set,
     set.add(prefix + ".lofat.edge_violations", stats_.edgeViolations);
 }
 
+/** Everything LoFatValidator mutates between construction and a pause:
+ *  the running hash chain, measurement-buffer occupancy and spill cursor,
+ *  the in-flight block, the CHG state, and the counters. */
+struct LoFatValidator::Snapshot final : ValidatorSnapshot
+{
+    Chg::State chg;
+    bool enabled = true;
+    PendingBB cur;
+    crypto::Digest chain{};
+    unsigned bufferUsed = 0;
+    Addr spillCursor = kMeasurementRegion;
+    Cycle drainReadyAt = 0;
+    std::string lastViolation;
+    LoFatStats stats;
+};
+
+std::unique_ptr<ValidatorSnapshot>
+LoFatValidator::saveSnapshot() const
+{
+    auto snap = std::make_unique<Snapshot>();
+    snap->chg = chg_.saveState();
+    snap->enabled = enabled_;
+    snap->cur = cur_;
+    snap->chain = chain_;
+    snap->bufferUsed = bufferUsed_;
+    snap->spillCursor = spillCursor_;
+    snap->drainReadyAt = drainReadyAt_;
+    snap->lastViolation = lastViolation_;
+    snap->stats = stats_;
+    return snap;
+}
+
+void
+LoFatValidator::restoreSnapshot(const ValidatorSnapshot &snap)
+{
+    const auto *s = dynamic_cast<const Snapshot *>(&snap);
+    REV_ASSERT(s, "snapshot restored into a different backend");
+    chg_.restoreState(s->chg);
+    enabled_ = s->enabled;
+    cur_ = s->cur;
+    chain_ = s->chain;
+    bufferUsed_ = s->bufferUsed;
+    spillCursor_ = s->spillCursor;
+    drainReadyAt_ = s->drainReadyAt;
+    lastViolation_ = s->lastViolation;
+    stats_ = s->stats;
+}
+
 } // namespace rev::validate

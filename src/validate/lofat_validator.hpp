@@ -86,6 +86,8 @@ class LoFatValidator final : public Validator
     std::string violationReason() const override { return lastViolation_; }
     void attachMeasurementSink(MeasurementSink *sink) override;
     void sealMeasurement() override { source_.seal(chain_); }
+    std::unique_ptr<ValidatorSnapshot> saveSnapshot() const override;
+    void restoreSnapshot(const ValidatorSnapshot &snap) override;
     void invalidateCodeCache() override { chg_.invalidate(); }
     void refreshTables() override { chg_.invalidate(); }
     ValidationStats commonStats() const override { return stats_; }
@@ -105,6 +107,9 @@ class LoFatValidator final : public Validator
     unsigned bufferUsed() const { return bufferUsed_; }
 
   private:
+    /** Full mid-run state capture (defined in lofat_validator.cpp). */
+    struct Snapshot;
+
     struct PendingBB
     {
         bool valid = false;

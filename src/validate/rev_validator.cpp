@@ -497,4 +497,74 @@ RevValidator::snapshotStats(stats::StatSet &set,
     set.add(prefix + ".rev.shadow_refills", stats_.shadowRefills);
 }
 
+/**
+ * Everything RevValidator mutates between construction and a pause point.
+ * Table readers are carried as clones of their construction-time header
+ * caches (not re-parsed at restore: a tamper landing before the pause may
+ * have corrupted the header bytes in memory, and a cold run's reader —
+ * created at first use — would still hold the pre-tamper parse).
+ */
+struct RevValidator::Snapshot final : ValidatorSnapshot
+{
+    SignatureCache sc;
+    Sag sag;
+    Chg::State chg;
+    bool enabled = true;
+    std::array<PendingBB, kInflightSlots> ring;
+    std::optional<Addr> pendingReturn;
+    std::vector<Addr> shadowStack;
+    u64 shadowSpilled = 0;
+    Cycle shadowPenaltyAt = 0;
+    std::string lastViolation;
+    RevStats stats;
+    std::vector<OffenderRecord> offenders;
+    /** (table base, inert header-cache clone) — re-bound at restore. */
+    std::vector<std::pair<Addr, std::unique_ptr<sig::TableReader>>> readers;
+};
+
+std::unique_ptr<ValidatorSnapshot>
+RevValidator::saveSnapshot() const
+{
+    auto snap = std::make_unique<Snapshot>();
+    snap->sc = sc_;
+    snap->sag = sag_;
+    snap->chg = chg_.saveState();
+    snap->enabled = enabled_;
+    snap->ring = ring_;
+    snap->pendingReturn = pendingReturn_;
+    snap->shadowStack = shadowStack_;
+    snap->shadowSpilled = shadowSpilled_;
+    snap->shadowPenaltyAt = shadowPenaltyAt_;
+    snap->lastViolation = lastViolation_;
+    snap->stats = stats_;
+    snap->offenders = offenders_;
+    for (const auto &[base, reader] : readers_)
+        snap->readers.emplace_back(
+            base, std::make_unique<sig::TableReader>(*reader, mem_));
+    return snap;
+}
+
+void
+RevValidator::restoreSnapshot(const ValidatorSnapshot &snap)
+{
+    const auto *s = dynamic_cast<const Snapshot *>(&snap);
+    REV_ASSERT(s, "snapshot restored into a different backend");
+    sc_ = s->sc;
+    sag_ = s->sag;
+    chg_.restoreState(s->chg);
+    enabled_ = s->enabled;
+    ring_ = s->ring;
+    pendingReturn_ = s->pendingReturn;
+    shadowStack_ = s->shadowStack;
+    shadowSpilled_ = s->shadowSpilled;
+    shadowPenaltyAt_ = s->shadowPenaltyAt;
+    lastViolation_ = s->lastViolation;
+    stats_ = s->stats;
+    offenders_ = s->offenders;
+    readers_.clear();
+    for (const auto &[base, reader] : s->readers)
+        readers_.emplace_back(
+            base, std::make_unique<sig::TableReader>(*reader, mem_));
+}
+
 } // namespace rev::validate

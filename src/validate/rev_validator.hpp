@@ -130,6 +130,8 @@ class RevValidator final : public Validator
     std::string violationReason() const override { return lastViolation_; }
     void attachMeasurementSink(MeasurementSink *sink) override;
     void sealMeasurement() override { source_.seal(); }
+    std::unique_ptr<ValidatorSnapshot> saveSnapshot() const override;
+    void restoreSnapshot(const ValidatorSnapshot &snap) override;
 
     /** Attacks that modify code space must invalidate memoized digests. */
     void invalidateCodeCache() override { chg_.invalidate(); }
@@ -214,6 +216,9 @@ class RevValidator final : public Validator
     sig::ValidationMode mode() const { return store_.mode(); }
 
   private:
+    /** Full mid-run state capture (defined in rev_validator.cpp). */
+    struct Snapshot;
+
     /**
      * In-flight state of a basic block between fetch and commit — one
      * slot of the inflight ring. Per-block trace bookkeeping (scHit,

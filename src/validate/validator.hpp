@@ -20,6 +20,7 @@
 #ifndef REV_VALIDATE_VALIDATOR_HPP
 #define REV_VALIDATE_VALIDATOR_HPP
 
+#include <memory>
 #include <string>
 
 #include "common/stats.hpp"
@@ -37,6 +38,19 @@ enum class Backend : u8
     Rev = 0,   ///< the paper's signature-based validation engine
     LoFat = 1, ///< LO-FAT-style hash-chained control-flow attestation
     Null = 2,  ///< no validation (the paper's base case)
+};
+
+/**
+ * Opaque capture of a backend's complete mid-run state — inflight ring,
+ * hash chain, CHG lane queue and memo, caches, latches, counters.
+ * Produced by Validator::saveSnapshot() and consumed by
+ * restoreSnapshot() on a validator of the same backend and configuration
+ * bound to a fork of the source's memory image (snapshot forking,
+ * core/snapshot.hpp). The base type is the null backend's (empty) state.
+ */
+struct ValidatorSnapshot
+{
+    virtual ~ValidatorSnapshot() = default;
 };
 
 /** Stable CLI name, e.g. "rev". */
@@ -165,6 +179,33 @@ class Validator
      * Idempotent; a no-op when no sink is attached.
      */
     virtual void sealMeasurement() {}
+
+    // --- snapshot fork / restore ----------------------------------------
+
+    /**
+     * Capture the backend's complete mid-run state for a snapshot fork.
+     * Deliberately excluded: the measurement sink and trace callback (a
+     * restored validator reports to whatever its own harness attached —
+     * campaign forks attach none) and the construction-time bindings
+     * (store, vault, memory, memory system), which the restoring
+     * validator already owns fork-side.
+     */
+    virtual std::unique_ptr<ValidatorSnapshot>
+    saveSnapshot() const
+    {
+        return std::make_unique<ValidatorSnapshot>();
+    }
+
+    /**
+     * Adopt state captured by saveSnapshot() on a validator of the same
+     * backend and configuration whose memory image this validator's is a
+     * fork of. After the restore, this validator answers every hook
+     * exactly as the source would have from the pause point.
+     */
+    virtual void restoreSnapshot(const ValidatorSnapshot &snap)
+    {
+        (void)snap;
+    }
 
     // --- harness-facing maintenance -------------------------------------
 

@@ -225,8 +225,12 @@ runLoadGen(const LoadGenOptions &opts)
         if (!detail.empty())
             report.divergences.push_back({s.id, ci, detail});
         report.totalBytes += s.bytes;
+        report.peakBytesPerSession += static_cast<double>(s.peakBytes);
+        report.maxPeakBytes = std::max(report.maxPeakBytes, s.peakBytes);
         latencies.push_back(s.latencySeconds);
     }
+    if (!sessions.empty())
+        report.peakBytesPerSession /= static_cast<double>(sessions.size());
     std::sort(latencies.begin(), latencies.end());
     auto pct = [&](double p) {
         if (latencies.empty())

@@ -101,6 +101,13 @@ struct LoadGenReport
     double p99LatencySeconds = 0;
     double bytesPerSession = 0;
     u64 totalBytes = 0;
+
+    // Per-session transport-memory accounting (ByteRing occupancy
+    // high-water): the mean across sessions and the single worst
+    // session. Bounded by the ring capacity — a maxed-out high-water
+    // means the prover hit back-pressure.
+    double peakBytesPerSession = 0;
+    u64 maxPeakBytes = 0;
 };
 
 /** Build the corpus, run the session fan-out, adjudicate divergences. */

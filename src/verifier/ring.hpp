@@ -61,6 +61,12 @@ class ByteRing
             i += run;
         }
         tail_.store(tail + n, std::memory_order_release);
+        // Producer-side occupancy high-water mark: head may have advanced
+        // since the load above, so this can only over-estimate — the
+        // right direction for a memory-accounting ceiling.
+        const u64 occ = tail + n - head;
+        if (occ > highWater_.load(std::memory_order_relaxed))
+            highWater_.store(occ, std::memory_order_relaxed);
         return n;
     }
 
@@ -95,6 +101,16 @@ class ByteRing
             head_.load(std::memory_order_acquire));
     }
 
+    /** Peak buffered occupancy in bytes over the ring's lifetime (the
+     *  session's transport-memory high-water; capacity is the ceiling).
+     *  Updated by the producer; exact once writing stopped. */
+    std::size_t
+    highWater() const
+    {
+        return static_cast<std::size_t>(
+            highWater_.load(std::memory_order_acquire));
+    }
+
     /** Producer: no further bytes will be written. */
     void closeWrite() { closed_.store(true, std::memory_order_release); }
 
@@ -109,6 +125,7 @@ class ByteRing
     const std::size_t mask_;
     std::atomic<u64> head_{0}; ///< consumer position (bytes read)
     std::atomic<u64> tail_{0}; ///< producer position (bytes written)
+    std::atomic<u64> highWater_{0}; ///< peak (tail - head) seen by write()
     std::atomic<bool> closed_{false};
 };
 

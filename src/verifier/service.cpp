@@ -147,6 +147,7 @@ VerifierService::reports() const
         r.id = s->id;
         r.verdict = s->verifier.verdict();
         r.bytes = s->verifier.bytesConsumed();
+        r.peakBytes = s->ring.highWater();
         r.latencySeconds = s->latencySeconds;
         out.push_back(std::move(r));
     }

@@ -52,6 +52,8 @@ struct SessionReport
     u64 id = 0;
     validate::StreamVerdict verdict;
     u64 bytes = 0;          ///< stream bytes the verifier consumed
+    u64 peakBytes = 0;      ///< ring-occupancy high-water (transport
+                            ///< memory this session actually held)
     double latencySeconds = 0; ///< close-of-stream to verdict render
 };
 

@@ -173,5 +173,109 @@ TEST(SparseMemory, CloneKeepsVersionsAndMovesBumpEpoch)
     EXPECT_EQ(mem.read64(0x3000), 43u);
 }
 
+// --- copy-on-write fork semantics -----------------------------------------
+
+TEST(SparseMemory, ForkSharesPagesUntilWritten)
+{
+    SparseMemory parent;
+    parent.write64(0x1000, 0x11);
+    parent.write64(0x5000, 0x22);
+
+    SparseMemory child = parent.fork();
+    EXPECT_EQ(child.read64(0x1000), 0x11u);
+    EXPECT_EQ(child.read64(0x5000), 0x22u);
+    EXPECT_EQ(child.pageCount(), parent.pageCount());
+
+    // The fork is O(pages in the map), not O(bytes): until someone
+    // writes, both sides read the same physical page.
+    child.write64(0x1000, 0x33); // un-shares page 1 only
+    EXPECT_EQ(child.read64(0x1000), 0x33u);
+    EXPECT_EQ(parent.read64(0x1000), 0x11u);
+    EXPECT_EQ(child.read64(0x5000), 0x22u);
+}
+
+TEST(SparseMemory, SiblingForksDirtyingSamePageStayIsolated)
+{
+    SparseMemory parent;
+    const Addr addr = 9 * SparseMemory::kPageSize + 128;
+    parent.write64(addr, 0xaaaa);
+
+    SparseMemory a = parent.fork();
+    SparseMemory b = parent.fork();
+
+    // Both siblings dirty the SAME shared page; neither may observe the
+    // other's write, and the parent keeps the original bytes.
+    a.write64(addr, 0xbbbb);
+    b.write64(addr + 8, 0xcccc);
+    EXPECT_EQ(a.read64(addr), 0xbbbbu);
+    EXPECT_EQ(a.read64(addr + 8), 0u);
+    EXPECT_EQ(b.read64(addr), 0xaaaau);
+    EXPECT_EQ(b.read64(addr + 8), 0xccccu);
+    EXPECT_EQ(parent.read64(addr), 0xaaaau);
+    EXPECT_EQ(parent.read64(addr + 8), 0u);
+}
+
+TEST(SparseMemory, ForkVersionsAdvanceIndependently)
+{
+    SparseMemory parent;
+    const u64 page = 4;
+    const Addr addr = page * SparseMemory::kPageSize;
+    parent.write8(addr, 1);
+    parent.write8(addr, 2);
+    const u64 ver = parent.pageVersion(page);
+
+    SparseMemory a = parent.fork();
+    SparseMemory b = parent.fork();
+    EXPECT_EQ(a.pageVersion(page), ver); // fork preserves versions
+
+    a.write8(addr, 3);
+    EXPECT_EQ(a.pageVersion(page), ver + 1);
+    EXPECT_EQ(b.pageVersion(page), ver); // sibling untouched
+    EXPECT_EQ(parent.pageVersion(page), ver);
+
+    b.write8(addr, 4);
+    b.write8(addr, 5);
+    EXPECT_EQ(b.pageVersion(page), ver + 2);
+    EXPECT_EQ(a.pageVersion(page), ver + 1);
+}
+
+TEST(SparseMemory, PageViewVersionPointerSurvivesCowClone)
+{
+    SparseMemory parent;
+    const u64 page = 2;
+    const Addr addr = page * SparseMemory::kPageSize;
+    parent.write8(addr, 1);
+
+    // The view's version pointer must track the owning image's slot even
+    // after the underlying page is COW-cloned by a write (the CHG memo
+    // holds such pointers across arbitrary interleaved forks).
+    const SparseMemory::PageView view = parent.pageView(page);
+    ASSERT_NE(view.version, nullptr);
+    const u64 before = *view.version;
+
+    SparseMemory child = parent.fork(); // share the page...
+    parent.write8(addr, 2);             // ...then un-share by writing
+    EXPECT_EQ(*view.version, before + 1);
+
+    child.write8(addr, 3); // the child's version is a different counter
+    EXPECT_EQ(*view.version, before + 1);
+}
+
+TEST(SparseMemory, ForkOfForkChainsSharing)
+{
+    SparseMemory gen0;
+    gen0.write64(0x7000, 7);
+    SparseMemory gen1 = gen0.fork();
+    gen1.write64(0x8000, 8);
+    SparseMemory gen2 = gen1.fork();
+
+    EXPECT_EQ(gen2.read64(0x7000), 7u);
+    EXPECT_EQ(gen2.read64(0x8000), 8u);
+    gen2.write64(0x7000, 9);
+    EXPECT_EQ(gen0.read64(0x7000), 7u);
+    EXPECT_EQ(gen1.read64(0x7000), 7u);
+    EXPECT_EQ(gen2.read64(0x7000), 9u);
+}
+
 } // namespace
 } // namespace rev

@@ -369,5 +369,67 @@ TEST(SigTable, NoTruncatedHashDuplicatesInSmallPrograms)
     EXPECT_EQ(f.stats.hashDuplicates, 0u);
 }
 
+TEST(SigTable, TamperedContCountsStayBounded)
+{
+    // A tampered continuation record can advertise more target/pred
+    // slots than the record layout carries (an aggressive-mode count
+    // byte encodes up to 7+7 against 4 physical slots). The walker must
+    // clamp, not index past the slot-offset table: large sig-corrupt
+    // campaigns hit exactly this. AES-CTR is malleable, so flipping
+    // ciphertext bits flips the same plaintext bits — sweeping every
+    // XOR mask over the first continuation record's kind/count byte
+    // covers all 255 corrupt decodings, including kind=cont with both
+    // counts maxed.
+    prog::Assembler a(prog::kDefaultCodeBase);
+    a.label("main");
+    const Addr site = a.callr(2);
+    std::vector<std::string> fns;
+    a.jmp("end");
+    for (int i = 0; i < 7; ++i) {
+        fns.push_back("f" + std::to_string(i));
+        a.label(fns.back());
+        a.addi(1, 1, i);
+        a.ret();
+    }
+    a.label("end");
+    a.halt();
+    a.annotateIndirect(site, fns);
+    prog::Program p;
+    p.addModule(a.finalize("agg", "main"));
+
+    Fixture f(std::move(p), ValidationMode::Aggressive);
+    TableReader reader(f.mem, f.tableBase, f.vault);
+    const auto &mod = f.program.main();
+
+    const auto *callbb = f.cfg.blockAtStart(mod.base);
+    ASSERT_NE(callbb, nullptr);
+    const u32 hash = bbHash(mod, *callbb, 5);
+    const LookupResult clean = reader.lookup(callbb->term, hash, mod.base);
+    ASSERT_TRUE(clean.found);
+    EXPECT_EQ(clean.targets.size(), 7u);
+    // memAddrs[0] is the primary record, [1] its first continuation.
+    ASSERT_GE(clean.memAddrs.size(), 2u);
+    const Addr cont_kind_byte = clean.memAddrs[1];
+
+    for (unsigned mask = 1; mask < 256; ++mask) {
+        f.mem.write8(cont_kind_byte,
+                     f.mem.read8(cont_kind_byte) ^ static_cast<u8>(mask));
+        const LookupResult res =
+            reader.lookup(callbb->term, hash, mod.base);
+        // However the record decodes, one walked record may contribute
+        // at most its physical slots: 2 inline on the primary plus 4
+        // per continuation visited.
+        EXPECT_LE(res.targets.size() + res.retPreds.size(),
+                  2 + 4 * res.memAddrs.size())
+            << "mask 0x" << std::hex << mask;
+        f.mem.write8(cont_kind_byte,
+                     f.mem.read8(cont_kind_byte) ^ static_cast<u8>(mask));
+    }
+
+    // Restored table reads clean again.
+    const LookupResult after = reader.lookup(callbb->term, hash, mod.base);
+    EXPECT_EQ(after.targets.size(), 7u);
+}
+
 } // namespace
 } // namespace rev::sig

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Snapshot micro-benchmark: what does it cost to capture a warmed
+ * machine state, to COW-fork its memory image, and to stand up a full
+ * Simulator from the snapshot — versus re-executing the warm-up prefix
+ * from instruction zero, which is what every snapshot consumer (the
+ * red-team campaign, the sweep's shared memory images) avoids paying.
+ *
+ * Writes BENCH_snapshot.json:
+ *   {
+ *     "schema": "rev-bench-snapshot-v1",
+ *     "fork_index": ..., "iterations": ...,
+ *     "cold_prefix_us": ...,       // construct + runUntil(F), amortized
+ *     "snapshot_capture_us": ...,  // Simulator::capture()
+ *     "memory_fork_us": ...,       // SparseMemory::fork() alone
+ *     "snapshot_restore_us": ...,  // Simulator::forkFrom() total
+ *     "fork_speedup": ...          // cold_prefix_us / snapshot_restore_us
+ *   }
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench/suite.hpp"
+#include "core/snapshot.hpp"
+#include "workloads/generator.hpp"
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+usSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::micro>(Clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace rev;
+
+    const char *out_path = "BENCH_snapshot.json";
+    u64 budget = 20'000;
+    u64 fork_index = 7'000;
+    int iters = 50;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out_path = argv[++i];
+        else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc)
+            budget = std::strtoull(argv[++i], nullptr, 10);
+        else if (std::strcmp(argv[i], "--fork-index") == 0 && i + 1 < argc)
+            fork_index = std::strtoull(argv[++i], nullptr, 10);
+        else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc)
+            iters = std::atoi(argv[++i]);
+        else {
+            std::fprintf(stderr,
+                         "usage: bench_snapshot [--out FILE] [--budget N] "
+                         "[--fork-index N] [--iters N]\n");
+            return 2;
+        }
+    }
+
+    const prog::Program program =
+        workloads::generateWorkload(workloads::specProfile("sjeng"));
+    const core::SimConfig cfg =
+        bench::sweepSimConfig(bench::Config::Full32, budget);
+
+    // Cold prefix: what a fork avoids. Fewer iterations — it dominates.
+    const int cold_iters = iters / 10 + 1;
+    Clock::time_point t0 = Clock::now();
+    for (int i = 0; i < cold_iters; ++i) {
+        core::Simulator sim(program, cfg);
+        if (!sim.runUntil(fork_index)) {
+            std::fprintf(stderr, "bench_snapshot: run ended before fork "
+                                 "index %llu\n",
+                         static_cast<unsigned long long>(fork_index));
+            return 1;
+        }
+    }
+    const double cold_prefix_us = usSince(t0) / cold_iters;
+
+    core::Simulator source(program, cfg);
+    if (!source.runUntil(fork_index))
+        return 1;
+
+    t0 = Clock::now();
+    for (int i = 0; i < iters; ++i)
+        (void)source.capture();
+    const double capture_us = usSince(t0) / iters;
+
+    const core::Snapshot snap = source.capture();
+
+    t0 = Clock::now();
+    for (int i = 0; i < iters; ++i)
+        (void)snap.mem.fork();
+    const double mem_fork_us = usSince(t0) / iters;
+
+    t0 = Clock::now();
+    for (int i = 0; i < iters; ++i)
+        (void)core::Simulator::forkFrom(snap);
+    const double restore_us = usSince(t0) / iters;
+
+    const double speedup =
+        restore_us > 0.0 ? cold_prefix_us / restore_us : 0.0;
+
+    std::string json = "{";
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "\"schema\":\"rev-bench-snapshot-v1\","
+                  "\"fork_index\":%llu,\"budget\":%llu,\"iterations\":%d,"
+                  "\"cold_prefix_us\":%.1f,\"snapshot_capture_us\":%.1f,"
+                  "\"memory_fork_us\":%.1f,\"snapshot_restore_us\":%.1f,"
+                  "\"fork_speedup\":%.1f",
+                  static_cast<unsigned long long>(fork_index),
+                  static_cast<unsigned long long>(budget), iters,
+                  cold_prefix_us, capture_us, mem_fork_us, restore_us,
+                  speedup);
+    json += buf;
+    json += "}";
+
+    FILE *f = std::fopen(out_path, "w");
+    if (!f) {
+        std::fprintf(stderr, "bench_snapshot: cannot write %s\n", out_path);
+        return 1;
+    }
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+
+    std::fprintf(stderr,
+                 "cold prefix %.0f us | capture %.0f us | mem fork %.0f us "
+                 "| restore %.0f us | fork speedup %.1fx\n",
+                 cold_prefix_us, capture_us, mem_fork_us, restore_us,
+                 speedup);
+    return 0;
+}

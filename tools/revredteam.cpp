@@ -13,7 +13,8 @@
  *   revredteam [--seed N] [--quick] [--injections N] [--budget N]
  *              [--threads N] [--workloads a,b] [--out FILE]
  *              [--backend NAME] [--list-backends] [--shrink]
- *              [--disable-rev]
+ *              [--disable-rev] [--snapshots | --no-snapshots]
+ *              [--corpus DIR]
  *
  *   --quick          the CI / acceptance campaign (500 injections)
  *   --out            detection-matrix JSON path (default: stdout)
@@ -26,15 +27,26 @@
  *   --disable-rev    run without validation attached (oracle self-test:
  *                    divergent injections of detectable classes must
  *                    surface as escapes)
+ *   --snapshots      fork every injection from a warmed COW snapshot at
+ *                    its fire index (--no-snapshots: cold per-plan runs;
+ *                    default follows REV_SNAPSHOT_FORK, on). Matrices
+ *                    are byte-identical either way — enforced in CI.
+ *   --corpus DIR     replay every stored reproducer plan in DIR before
+ *                    the sweep (a persistent regression gate: a stored
+ *                    escape that still escapes fails the run), then
+ *                    persist new escapes (post-shrink) and off-mechanism
+ *                    detections into DIR as fp-<fingerprint>.json
  */
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 
 #include "common/logging.hpp"
 #include "redteam/campaign.hpp"
+#include "redteam/corpus.hpp"
 #include "redteam/shrink.hpp"
 #include "validate/backend_cli.hpp"
 
@@ -47,8 +59,10 @@ using namespace rev::redteam;
 struct Args
 {
     CampaignSpec spec;
-    std::string outPath; ///< empty = stdout
+    std::string outPath;    ///< empty = stdout
+    std::string corpusDir;  ///< empty = no corpus
     bool shrink = false;
+    std::optional<bool> snapshots; ///< unset = REV_SNAPSHOT_FORK default
 };
 
 [[noreturn]] void
@@ -58,7 +72,8 @@ usage(int code)
         "usage: revredteam [--seed N] [--quick] [--injections N]\n"
         "                  [--budget N] [--threads N] [--workloads a,b]\n"
         "                  [--out FILE] [--backend NAME] [--list-backends]\n"
-        "                  [--shrink] [--disable-rev]\n");
+        "                  [--shrink] [--disable-rev]\n"
+        "                  [--snapshots | --no-snapshots] [--corpus DIR]\n");
     std::exit(code);
 }
 
@@ -102,6 +117,12 @@ parseArgs(int argc, char **argv)
             args.outPath = next(i);
         } else if (arg == "--shrink") {
             args.shrink = true;
+        } else if (arg == "--snapshots") {
+            args.snapshots = true;
+        } else if (arg == "--no-snapshots") {
+            args.snapshots = false;
+        } else if (arg == "--corpus") {
+            args.corpusDir = next(i);
         } else if (arg == "--disable-rev") {
             args.spec.disableRev = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -167,7 +188,36 @@ main(int argc, char **argv)
     const Args args = parseArgs(argc, argv);
     try {
         Campaign campaign(args.spec);
-        DetectionMatrix matrix = campaign.run();
+
+        // Corpus replay: the persistent regression gate. Every stored
+        // reproducer must have stopped escaping before the fresh sweep
+        // counts for anything.
+        u64 corpusEscapes = 0;
+        if (!args.corpusDir.empty()) {
+            const std::vector<CorpusEntry> corpus =
+                loadCorpus(args.corpusDir);
+            for (const CorpusEntry &e : corpus) {
+                if (!campaign.canRun(e.plan)) {
+                    std::fprintf(stderr,
+                                 "corpus %s: skipped (workload/timing "
+                                 "not in this campaign)\n",
+                                 e.file.c_str());
+                    continue;
+                }
+                const InjectionResult r = campaign.runPlan(e.plan);
+                const bool escaped = r.verdict == Verdict::Escape &&
+                                     !args.spec.disableRev;
+                if (escaped)
+                    ++corpusEscapes;
+                std::fprintf(stderr, "corpus %s: %s%s\n", e.file.c_str(),
+                             verdictName(r.verdict),
+                             escaped ? " (STILL ESCAPING)" : "");
+            }
+        }
+
+        DetectionMatrix matrix = args.snapshots
+                                     ? campaign.run(*args.snapshots)
+                                     : campaign.run();
 
         if (args.shrink && !matrix.escapes.empty()) {
             for (EscapeRecord &e : matrix.escapes) {
@@ -198,10 +248,26 @@ main(int argc, char **argv)
                          e.result.reason.empty() ? "silent divergence"
                                                  : e.result.reason.c_str(),
                          planToJson(e.plan).c_str());
+
+        // Persist what this sweep caught: escapes post-shrink (the
+        // minimized plan is the reproducer worth keeping) and
+        // off-mechanism detections (near-misses).
+        if (!args.corpusDir.empty()) {
+            u64 saved = 0;
+            for (const EscapeRecord &e : matrix.escapes)
+                saved += !saveCorpusPlan(args.corpusDir, e.plan).empty();
+            for (const EscapeRecord &e : matrix.nearMisses)
+                saved += !saveCorpusPlan(args.corpusDir, e.plan).empty();
+            if (saved)
+                std::fprintf(
+                    stderr, "corpus: persisted %llu new reproducer(s)\n",
+                    static_cast<unsigned long long>(saved));
+        }
+
         // With REV disabled, escapes are the oracle working as intended.
         if (args.spec.disableRev)
             return 0;
-        return matrix.escapes.empty() ? 0 : 1;
+        return matrix.escapes.empty() && corpusEscapes == 0 ? 0 : 1;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "%s\n", e.what());
         return 2;

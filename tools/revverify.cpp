@@ -113,7 +113,7 @@ writeReport(const Args &args, const verifier::LoadGenReport &r)
     if (!os)
         fatal("revverify: cannot write ", args.outPath);
     os << "{\n"
-       << "  \"schema\": \"rev-verifier-v1\",\n"
+       << "  \"schema\": \"rev-verifier-v2\",\n"
        << "  \"sessions\": " << r.sessions << ",\n"
        << "  \"workers\": " << r.workers << ",\n"
        << "  \"provers\": " << r.provers << ",\n"
@@ -135,6 +135,9 @@ writeReport(const Args &args, const verifier::LoadGenReport &r)
        << "  \"p50_latency_seconds\": " << r.p50LatencySeconds << ",\n"
        << "  \"p99_latency_seconds\": " << r.p99LatencySeconds << ",\n"
        << "  \"bytes_per_session\": " << r.bytesPerSession << ",\n"
+       << "  \"peak_ring_bytes_per_session\": " << r.peakBytesPerSession
+       << ",\n"
+       << "  \"max_peak_ring_bytes\": " << r.maxPeakBytes << ",\n"
        << "  \"total_stream_bytes\": " << r.totalBytes << ",\n"
        << "  \"divergences\": " << r.divergences.size() << "\n"
        << "}\n";
@@ -151,12 +154,14 @@ main(int argc, char **argv)
     writeReport(args, r);
 
     std::printf("revverify: %u sessions (%zu cases), %.0f verifications/s, "
-                "p50 %.3fms p99 %.3fms, %.0f bytes/session, "
+                "p50 %.3fms p99 %.3fms, %.0f bytes/session "
+                "(ring peak %.0f avg / %llu max), "
                 "capture %.2fs run %.2fs -> %s\n",
                 r.sessions, r.cases.size(), r.verificationsPerSec,
                 r.p50LatencySeconds * 1e3, r.p99LatencySeconds * 1e3,
-                r.bytesPerSession, r.captureSeconds, r.wallSeconds,
-                args.outPath.c_str());
+                r.bytesPerSession, r.peakBytesPerSession,
+                static_cast<unsigned long long>(r.maxPeakBytes),
+                r.captureSeconds, r.wallSeconds, args.outPath.c_str());
 
     if (!r.divergences.empty()) {
         const std::size_t show =

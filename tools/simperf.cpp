@@ -7,8 +7,9 @@
  * writes the numbers to a JSON report (BENCH_sim_speed.json): per-job
  * wall times (tagged with whether the job replayed a recorded trace),
  * the sweep's per-phase host wall-clock breakdown (generate / proto-hash
- * / record / replay), and host microbenchmarks of the two hot primitives
- * (per-block signature hash, memory-system access). Optionally compares
+ * / image-load / record / replay), and host microbenchmarks of the hot
+ * primitives (per-block signature hash, memory-system access, machine
+ * snapshot capture / memory fork / restore). Optionally compares
  * every tracked simulated statistic of the sweep against a pinned golden
  * snapshot and fails if anything deviates — the contract that simulator
  * fast paths never change simulated results.
@@ -35,12 +36,14 @@
 #include "bench/suite.hpp"
 #include "bench/sweep_runner.hpp"
 #include "common/logging.hpp"
+#include "core/snapshot.hpp"
 #include "crypto/cubehash.hpp"
 #include "crypto/cubehash_lanes.hpp"
 #include "mem/memsys.hpp"
 #include "program/interp.hpp"
 #include "sig/table.hpp"
 #include "validate/backend_cli.hpp"
+#include "workloads/generator.hpp"
 
 namespace
 {
@@ -142,6 +145,13 @@ struct MicroNumbers
     double hashScalarMBps = 0; ///< single-state permute kernel
     double hashBatchMBps = 0;  ///< CubeHashX4 lockstep batches of 4
     unsigned statesPerRound = 1; ///< lanes one round call advances
+
+    // Machine-snapshot primitives (core/snapshot.hpp): what the
+    // campaign / sweep pay per warmed-state reuse instead of
+    // re-executing the prefix.
+    double snapshotCaptureUs = 0; ///< Simulator::capture()
+    double snapshotForkUs = 0;    ///< SparseMemory::fork() alone
+    double snapshotRestoreUs = 0; ///< Simulator::forkFrom() total
 };
 
 MicroNumbers
@@ -215,6 +225,31 @@ runMicro()
         }
         m.memsysAccessNs = secsSince(t0) * 1e9 / kIters;
     }
+    {
+        // Snapshot primitives over a small warmed machine.
+        const prog::Program program =
+            workloads::generateWorkload(workloads::specProfile("mcf"));
+        const core::SimConfig cfg = sweepSimConfig(Config::Full32, 6000);
+        core::Simulator src(program, cfg);
+        if (src.runUntil(2000)) {
+            constexpr int kIters = 25;
+            auto t0 = Clock::now();
+            for (int i = 0; i < kIters; ++i)
+                (void)src.capture();
+            m.snapshotCaptureUs = secsSince(t0) * 1e6 / kIters;
+
+            const core::Snapshot snap = src.capture();
+            t0 = Clock::now();
+            for (int i = 0; i < kIters; ++i)
+                (void)snap.mem.fork();
+            m.snapshotForkUs = secsSince(t0) * 1e6 / kIters;
+
+            t0 = Clock::now();
+            for (int i = 0; i < kIters; ++i)
+                (void)core::Simulator::forkFrom(snap);
+            m.snapshotRestoreUs = secsSince(t0) * 1e6 / kIters;
+        }
+    }
     return m;
 }
 
@@ -230,7 +265,7 @@ writeReport(const Args &args, const Sweep &sweep, const SweepRunner &runner,
     double total_job_wall = 0;
     std::size_t replayed_jobs = 0;
     os << "{\n"
-       << "  \"schema\": \"rev-sim-speed-v3\",\n"
+       << "  \"schema\": \"rev-sim-speed-v4\",\n"
        << "  \"dispatch\": \""
        << prog::dispatchModeName(prog::dispatchMode()) << "\",\n"
        << "  \"instr_budget\": " << args.opts.instrBudget << ",\n"
@@ -258,6 +293,7 @@ writeReport(const Args &args, const Sweep &sweep, const SweepRunner &runner,
     os << "  ],\n"
        << "  \"phases\": {\"generate_seconds\": " << ph.generateSeconds
        << ", \"proto_seconds\": " << ph.protoSeconds
+       << ", \"image_seconds\": " << ph.imageSeconds
        << ", \"record_seconds\": " << ph.recordSeconds
        << ", \"replay_seconds\": " << ph.replaySeconds << "},\n"
        << "  \"micro\": {\"bb_hash_ns\": " << micro.bbHashNs
@@ -265,7 +301,11 @@ writeReport(const Args &args, const Sweep &sweep, const SweepRunner &runner,
        << ", \"hash_scalar_mbps\": " << micro.hashScalarMBps
        << ", \"hash_batch_mbps\": " << micro.hashBatchMBps
        << ", \"hash_states_per_round\": " << micro.statesPerRound
-       << ", \"hash_impl\": \"" << crypto::cubehashImpl() << "\"},\n"
+       << ", \"hash_impl\": \"" << crypto::cubehashImpl() << "\""
+       << ", \"snapshot_capture_us\": " << micro.snapshotCaptureUs
+       << ", \"snapshot_mem_fork_us\": " << micro.snapshotForkUs
+       << ", \"snapshot_restore_us\": " << micro.snapshotRestoreUs
+       << "},\n"
        << "  \"total\": {\"wall_seconds\": " << total_wall
        << ", \"job_wall_seconds\": " << total_job_wall
        << ", \"replayed_jobs\": " << replayed_jobs
@@ -276,12 +316,13 @@ writeReport(const Args &args, const Sweep &sweep, const SweepRunner &runner,
        << "}\n"
        << "}\n";
     std::printf("simperf: %zu jobs (%zu replayed), %.2fs wall "
-                "(gen %.2f + proto %.2f + record %.2f + replay %.2f), "
+                "(gen %.2f + proto %.2f + image %.2f + record %.2f + "
+                "replay %.2f), "
                 "dispatch=%s hash=%s (%.0f MB/s scalar, %.0f MB/s x%u), "
                 "report -> %s\n",
                 timings.size(), replayed_jobs, total_wall,
-                ph.generateSeconds, ph.protoSeconds, ph.recordSeconds,
-                ph.replaySeconds,
+                ph.generateSeconds, ph.protoSeconds, ph.imageSeconds,
+                ph.recordSeconds, ph.replaySeconds,
                 prog::dispatchModeName(prog::dispatchMode()),
                 crypto::cubehashImpl(), micro.hashScalarMBps,
                 micro.hashBatchMBps, micro.statesPerRound,
