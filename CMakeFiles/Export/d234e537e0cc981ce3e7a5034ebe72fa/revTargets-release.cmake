@@ -1,0 +1,119 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "Release".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "rev::rev_common" for configuration "Release"
+set_property(TARGET rev::rev_common APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(rev::rev_common PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/librev_common.a"
+  )
+
+list(APPEND _cmake_import_check_targets rev::rev_common )
+list(APPEND _cmake_import_check_files_for_rev::rev_common "${_IMPORT_PREFIX}/lib/librev_common.a" )
+
+# Import target "rev::rev_crypto" for configuration "Release"
+set_property(TARGET rev::rev_crypto APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(rev::rev_crypto PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/librev_crypto.a"
+  )
+
+list(APPEND _cmake_import_check_targets rev::rev_crypto )
+list(APPEND _cmake_import_check_files_for_rev::rev_crypto "${_IMPORT_PREFIX}/lib/librev_crypto.a" )
+
+# Import target "rev::rev_isa" for configuration "Release"
+set_property(TARGET rev::rev_isa APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(rev::rev_isa PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/librev_isa.a"
+  )
+
+list(APPEND _cmake_import_check_targets rev::rev_isa )
+list(APPEND _cmake_import_check_files_for_rev::rev_isa "${_IMPORT_PREFIX}/lib/librev_isa.a" )
+
+# Import target "rev::rev_program" for configuration "Release"
+set_property(TARGET rev::rev_program APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(rev::rev_program PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/librev_program.a"
+  )
+
+list(APPEND _cmake_import_check_targets rev::rev_program )
+list(APPEND _cmake_import_check_files_for_rev::rev_program "${_IMPORT_PREFIX}/lib/librev_program.a" )
+
+# Import target "rev::rev_sig" for configuration "Release"
+set_property(TARGET rev::rev_sig APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(rev::rev_sig PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/librev_sig.a"
+  )
+
+list(APPEND _cmake_import_check_targets rev::rev_sig )
+list(APPEND _cmake_import_check_files_for_rev::rev_sig "${_IMPORT_PREFIX}/lib/librev_sig.a" )
+
+# Import target "rev::rev_mem" for configuration "Release"
+set_property(TARGET rev::rev_mem APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(rev::rev_mem PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/librev_mem.a"
+  )
+
+list(APPEND _cmake_import_check_targets rev::rev_mem )
+list(APPEND _cmake_import_check_files_for_rev::rev_mem "${_IMPORT_PREFIX}/lib/librev_mem.a" )
+
+# Import target "rev::rev_validate" for configuration "Release"
+set_property(TARGET rev::rev_validate APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(rev::rev_validate PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/librev_validate.a"
+  )
+
+list(APPEND _cmake_import_check_targets rev::rev_validate )
+list(APPEND _cmake_import_check_files_for_rev::rev_validate "${_IMPORT_PREFIX}/lib/librev_validate.a" )
+
+# Import target "rev::rev_cpu" for configuration "Release"
+set_property(TARGET rev::rev_cpu APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(rev::rev_cpu PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/librev_cpu.a"
+  )
+
+list(APPEND _cmake_import_check_targets rev::rev_cpu )
+list(APPEND _cmake_import_check_files_for_rev::rev_cpu "${_IMPORT_PREFIX}/lib/librev_cpu.a" )
+
+# Import target "rev::rev_core" for configuration "Release"
+set_property(TARGET rev::rev_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(rev::rev_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/librev_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets rev::rev_core )
+list(APPEND _cmake_import_check_files_for_rev::rev_core "${_IMPORT_PREFIX}/lib/librev_core.a" )
+
+# Import target "rev::rev_attacks" for configuration "Release"
+set_property(TARGET rev::rev_attacks APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(rev::rev_attacks PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/librev_attacks.a"
+  )
+
+list(APPEND _cmake_import_check_targets rev::rev_attacks )
+list(APPEND _cmake_import_check_files_for_rev::rev_attacks "${_IMPORT_PREFIX}/lib/librev_attacks.a" )
+
+# Import target "rev::rev_workloads" for configuration "Release"
+set_property(TARGET rev::rev_workloads APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(rev::rev_workloads PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/librev_workloads.a"
+  )
+
+list(APPEND _cmake_import_check_targets rev::rev_workloads )
+list(APPEND _cmake_import_check_files_for_rev::rev_workloads "${_IMPORT_PREFIX}/lib/librev_workloads.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

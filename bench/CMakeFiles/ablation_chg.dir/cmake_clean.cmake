@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_chg.dir/ablation_chg.cpp.o"
+  "CMakeFiles/ablation_chg.dir/ablation_chg.cpp.o.d"
+  "ablation_chg"
+  "ablation_chg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dma.dir/ablation_dma.cpp.o"
+  "CMakeFiles/ablation_dma.dir/ablation_dma.cpp.o.d"
+  "ablation_dma"
+  "ablation_dma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_return.dir/ablation_return.cpp.o"
+  "CMakeFiles/ablation_return.dir/ablation_return.cpp.o.d"
+  "ablation_return"
+  "ablation_return.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_return.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sc.dir/ablation_sc.cpp.o"
+  "CMakeFiles/ablation_sc.dir/ablation_sc.cpp.o.d"
+  "ablation_sc"
+  "ablation_sc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

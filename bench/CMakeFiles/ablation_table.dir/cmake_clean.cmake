@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_table.dir/ablation_table.cpp.o"
+  "CMakeFiles/ablation_table.dir/ablation_table.cpp.o.d"
+  "ablation_table"
+  "ablation_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_sc_misses.dir/fig10_sc_misses.cpp.o"
+  "CMakeFiles/fig10_sc_misses.dir/fig10_sc_misses.cpp.o.d"
+  "fig10_sc_misses"
+  "fig10_sc_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sc_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

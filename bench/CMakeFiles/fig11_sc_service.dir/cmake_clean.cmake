@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_sc_service.dir/fig11_sc_service.cpp.o"
+  "CMakeFiles/fig11_sc_service.dir/fig11_sc_service.cpp.o.d"
+  "fig11_sc_service"
+  "fig11_sc_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_sc_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

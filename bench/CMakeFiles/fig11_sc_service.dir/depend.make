@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_sc_service.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_aggressive.dir/fig12_aggressive.cpp.o"
+  "CMakeFiles/fig12_aggressive.dir/fig12_aggressive.cpp.o.d"
+  "fig12_aggressive"
+  "fig12_aggressive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_aggressive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_ipc.dir/fig6_ipc.cpp.o"
+  "CMakeFiles/fig6_ipc.dir/fig6_ipc.cpp.o.d"
+  "fig6_ipc"
+  "fig6_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

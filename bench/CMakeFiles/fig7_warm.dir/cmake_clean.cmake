@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_warm.dir/fig7_warm.cpp.o"
+  "CMakeFiles/fig7_warm.dir/fig7_warm.cpp.o.d"
+  "fig7_warm"
+  "fig7_warm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_warm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_branches.dir/fig8_branches.cpp.o"
+  "CMakeFiles/fig8_branches.dir/fig8_branches.cpp.o.d"
+  "fig8_branches"
+  "fig8_branches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_branches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

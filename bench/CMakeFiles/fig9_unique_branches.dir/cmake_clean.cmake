@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_unique_branches.dir/fig9_unique_branches.cpp.o"
+  "CMakeFiles/fig9_unique_branches.dir/fig9_unique_branches.cpp.o.d"
+  "fig9_unique_branches"
+  "fig9_unique_branches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_unique_branches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_bbstats.dir/fig_bbstats.cpp.o"
+  "CMakeFiles/fig_bbstats.dir/fig_bbstats.cpp.o.d"
+  "fig_bbstats"
+  "fig_bbstats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_bbstats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

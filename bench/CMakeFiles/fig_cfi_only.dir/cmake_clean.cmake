@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_cfi_only.dir/fig_cfi_only.cpp.o"
+  "CMakeFiles/fig_cfi_only.dir/fig_cfi_only.cpp.o.d"
+  "fig_cfi_only"
+  "fig_cfi_only.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_cfi_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rev_bench_suite.dir/golden.cpp.o"
+  "CMakeFiles/rev_bench_suite.dir/golden.cpp.o.d"
+  "CMakeFiles/rev_bench_suite.dir/suite.cpp.o"
+  "CMakeFiles/rev_bench_suite.dir/suite.cpp.o.d"
+  "CMakeFiles/rev_bench_suite.dir/sweep_cache.cpp.o"
+  "CMakeFiles/rev_bench_suite.dir/sweep_cache.cpp.o.d"
+  "CMakeFiles/rev_bench_suite.dir/sweep_runner.cpp.o"
+  "CMakeFiles/rev_bench_suite.dir/sweep_runner.cpp.o.d"
+  "librev_bench_suite.a"
+  "librev_bench_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rev_bench_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

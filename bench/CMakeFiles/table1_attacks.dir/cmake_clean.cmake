@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_attacks.dir/table1_attacks.cpp.o"
+  "CMakeFiles/table1_attacks.dir/table1_attacks.cpp.o.d"
+  "table1_attacks"
+  "table1_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

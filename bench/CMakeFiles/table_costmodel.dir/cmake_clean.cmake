@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_costmodel.dir/table_costmodel.cpp.o"
+  "CMakeFiles/table_costmodel.dir/table_costmodel.cpp.o.d"
+  "table_costmodel"
+  "table_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

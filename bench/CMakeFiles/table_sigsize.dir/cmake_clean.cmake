@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_sigsize.dir/table_sigsize.cpp.o"
+  "CMakeFiles/table_sigsize.dir/table_sigsize.cpp.o.d"
+  "table_sigsize"
+  "table_sigsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_sigsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/context_switch.dir/context_switch.cpp.o"
+  "CMakeFiles/context_switch.dir/context_switch.cpp.o.d"
+  "context_switch"
+  "context_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/context_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jit_demo.dir/jit_demo.cpp.o"
+  "CMakeFiles/jit_demo.dir/jit_demo.cpp.o.d"
+  "jit_demo"
+  "jit_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jit_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_module.dir/multi_module.cpp.o"
+  "CMakeFiles/multi_module.dir/multi_module.cpp.o.d"
+  "multi_module"
+  "multi_module.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_module.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_workload.dir/spec_workload.cpp.o"
+  "CMakeFiles/spec_workload.dir/spec_workload.cpp.o.d"
+  "spec_workload"
+  "spec_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("isa")
+subdirs("program")
+subdirs("sig")
+subdirs("mem")
+subdirs("validate")
+subdirs("cpu")
+subdirs("core")
+subdirs("verifier")
+subdirs("attacks")
+subdirs("workloads")
+subdirs("redteam")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rev_attacks.dir/attacks.cpp.o"
+  "CMakeFiles/rev_attacks.dir/attacks.cpp.o.d"
+  "CMakeFiles/rev_attacks.dir/injector.cpp.o"
+  "CMakeFiles/rev_attacks.dir/injector.cpp.o.d"
+  "librev_attacks.a"
+  "librev_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rev_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

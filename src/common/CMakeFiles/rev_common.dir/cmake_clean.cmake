@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rev_common.dir/parallel.cpp.o"
+  "CMakeFiles/rev_common.dir/parallel.cpp.o.d"
+  "librev_common.a"
+  "librev_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rev_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rev_core.dir/costmodel.cpp.o"
+  "CMakeFiles/rev_core.dir/costmodel.cpp.o.d"
+  "CMakeFiles/rev_core.dir/shadow.cpp.o"
+  "CMakeFiles/rev_core.dir/shadow.cpp.o.d"
+  "CMakeFiles/rev_core.dir/simulator.cpp.o"
+  "CMakeFiles/rev_core.dir/simulator.cpp.o.d"
+  "librev_core.a"
+  "librev_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rev_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rev_cpu.dir/core.cpp.o"
+  "CMakeFiles/rev_cpu.dir/core.cpp.o.d"
+  "CMakeFiles/rev_cpu.dir/predictor.cpp.o"
+  "CMakeFiles/rev_cpu.dir/predictor.cpp.o.d"
+  "librev_cpu.a"
+  "librev_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rev_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

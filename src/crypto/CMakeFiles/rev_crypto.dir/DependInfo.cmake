@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cpp" "src/crypto/CMakeFiles/rev_crypto.dir/aes.cpp.o" "gcc" "src/crypto/CMakeFiles/rev_crypto.dir/aes.cpp.o.d"
+  "/root/repo/src/crypto/cubehash.cpp" "src/crypto/CMakeFiles/rev_crypto.dir/cubehash.cpp.o" "gcc" "src/crypto/CMakeFiles/rev_crypto.dir/cubehash.cpp.o.d"
+  "/root/repo/src/crypto/cubehash_lanes.cpp" "src/crypto/CMakeFiles/rev_crypto.dir/cubehash_lanes.cpp.o" "gcc" "src/crypto/CMakeFiles/rev_crypto.dir/cubehash_lanes.cpp.o.d"
+  "/root/repo/src/crypto/keyvault.cpp" "src/crypto/CMakeFiles/rev_crypto.dir/keyvault.cpp.o" "gcc" "src/crypto/CMakeFiles/rev_crypto.dir/keyvault.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/common/CMakeFiles/rev_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rev_crypto.dir/aes.cpp.o"
+  "CMakeFiles/rev_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/rev_crypto.dir/cubehash.cpp.o"
+  "CMakeFiles/rev_crypto.dir/cubehash.cpp.o.d"
+  "CMakeFiles/rev_crypto.dir/cubehash_lanes.cpp.o"
+  "CMakeFiles/rev_crypto.dir/cubehash_lanes.cpp.o.d"
+  "CMakeFiles/rev_crypto.dir/keyvault.cpp.o"
+  "CMakeFiles/rev_crypto.dir/keyvault.cpp.o.d"
+  "librev_crypto.a"
+  "librev_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rev_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/codec.cpp" "src/isa/CMakeFiles/rev_isa.dir/codec.cpp.o" "gcc" "src/isa/CMakeFiles/rev_isa.dir/codec.cpp.o.d"
+  "/root/repo/src/isa/disasm.cpp" "src/isa/CMakeFiles/rev_isa.dir/disasm.cpp.o" "gcc" "src/isa/CMakeFiles/rev_isa.dir/disasm.cpp.o.d"
+  "/root/repo/src/isa/opcodes.cpp" "src/isa/CMakeFiles/rev_isa.dir/opcodes.cpp.o" "gcc" "src/isa/CMakeFiles/rev_isa.dir/opcodes.cpp.o.d"
+  "/root/repo/src/isa/reguse.cpp" "src/isa/CMakeFiles/rev_isa.dir/reguse.cpp.o" "gcc" "src/isa/CMakeFiles/rev_isa.dir/reguse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/common/CMakeFiles/rev_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rev_isa.dir/codec.cpp.o"
+  "CMakeFiles/rev_isa.dir/codec.cpp.o.d"
+  "CMakeFiles/rev_isa.dir/disasm.cpp.o"
+  "CMakeFiles/rev_isa.dir/disasm.cpp.o.d"
+  "CMakeFiles/rev_isa.dir/opcodes.cpp.o"
+  "CMakeFiles/rev_isa.dir/opcodes.cpp.o.d"
+  "CMakeFiles/rev_isa.dir/reguse.cpp.o"
+  "CMakeFiles/rev_isa.dir/reguse.cpp.o.d"
+  "librev_isa.a"
+  "librev_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rev_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

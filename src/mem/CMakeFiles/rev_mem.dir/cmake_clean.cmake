@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rev_mem.dir/cache.cpp.o"
+  "CMakeFiles/rev_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/rev_mem.dir/dram.cpp.o"
+  "CMakeFiles/rev_mem.dir/dram.cpp.o.d"
+  "CMakeFiles/rev_mem.dir/memsys.cpp.o"
+  "CMakeFiles/rev_mem.dir/memsys.cpp.o.d"
+  "CMakeFiles/rev_mem.dir/tlb.cpp.o"
+  "CMakeFiles/rev_mem.dir/tlb.cpp.o.d"
+  "librev_mem.a"
+  "librev_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rev_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

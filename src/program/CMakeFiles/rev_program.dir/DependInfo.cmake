@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/program/assembler.cpp" "src/program/CMakeFiles/rev_program.dir/assembler.cpp.o" "gcc" "src/program/CMakeFiles/rev_program.dir/assembler.cpp.o.d"
+  "/root/repo/src/program/cfg.cpp" "src/program/CMakeFiles/rev_program.dir/cfg.cpp.o" "gcc" "src/program/CMakeFiles/rev_program.dir/cfg.cpp.o.d"
+  "/root/repo/src/program/interp.cpp" "src/program/CMakeFiles/rev_program.dir/interp.cpp.o" "gcc" "src/program/CMakeFiles/rev_program.dir/interp.cpp.o.d"
+  "/root/repo/src/program/module.cpp" "src/program/CMakeFiles/rev_program.dir/module.cpp.o" "gcc" "src/program/CMakeFiles/rev_program.dir/module.cpp.o.d"
+  "/root/repo/src/program/profiler.cpp" "src/program/CMakeFiles/rev_program.dir/profiler.cpp.o" "gcc" "src/program/CMakeFiles/rev_program.dir/profiler.cpp.o.d"
+  "/root/repo/src/program/program.cpp" "src/program/CMakeFiles/rev_program.dir/program.cpp.o" "gcc" "src/program/CMakeFiles/rev_program.dir/program.cpp.o.d"
+  "/root/repo/src/program/trace.cpp" "src/program/CMakeFiles/rev_program.dir/trace.cpp.o" "gcc" "src/program/CMakeFiles/rev_program.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/isa/CMakeFiles/rev_isa.dir/DependInfo.cmake"
+  "/root/repo/src/common/CMakeFiles/rev_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

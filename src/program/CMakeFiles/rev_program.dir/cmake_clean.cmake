@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rev_program.dir/assembler.cpp.o"
+  "CMakeFiles/rev_program.dir/assembler.cpp.o.d"
+  "CMakeFiles/rev_program.dir/cfg.cpp.o"
+  "CMakeFiles/rev_program.dir/cfg.cpp.o.d"
+  "CMakeFiles/rev_program.dir/interp.cpp.o"
+  "CMakeFiles/rev_program.dir/interp.cpp.o.d"
+  "CMakeFiles/rev_program.dir/module.cpp.o"
+  "CMakeFiles/rev_program.dir/module.cpp.o.d"
+  "CMakeFiles/rev_program.dir/profiler.cpp.o"
+  "CMakeFiles/rev_program.dir/profiler.cpp.o.d"
+  "CMakeFiles/rev_program.dir/program.cpp.o"
+  "CMakeFiles/rev_program.dir/program.cpp.o.d"
+  "CMakeFiles/rev_program.dir/trace.cpp.o"
+  "CMakeFiles/rev_program.dir/trace.cpp.o.d"
+  "librev_program.a"
+  "librev_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rev_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

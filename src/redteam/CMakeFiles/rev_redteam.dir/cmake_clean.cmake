@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rev_redteam.dir/campaign.cpp.o"
+  "CMakeFiles/rev_redteam.dir/campaign.cpp.o.d"
+  "CMakeFiles/rev_redteam.dir/corpus.cpp.o"
+  "CMakeFiles/rev_redteam.dir/corpus.cpp.o.d"
+  "CMakeFiles/rev_redteam.dir/oracle.cpp.o"
+  "CMakeFiles/rev_redteam.dir/oracle.cpp.o.d"
+  "CMakeFiles/rev_redteam.dir/plan.cpp.o"
+  "CMakeFiles/rev_redteam.dir/plan.cpp.o.d"
+  "CMakeFiles/rev_redteam.dir/shrink.cpp.o"
+  "CMakeFiles/rev_redteam.dir/shrink.cpp.o.d"
+  "librev_redteam.a"
+  "librev_redteam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rev_redteam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

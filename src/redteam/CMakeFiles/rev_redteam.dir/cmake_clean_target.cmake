@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librev_redteam.a"
+)

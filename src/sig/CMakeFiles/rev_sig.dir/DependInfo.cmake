@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sig/mode.cpp" "src/sig/CMakeFiles/rev_sig.dir/mode.cpp.o" "gcc" "src/sig/CMakeFiles/rev_sig.dir/mode.cpp.o.d"
+  "/root/repo/src/sig/sigstore.cpp" "src/sig/CMakeFiles/rev_sig.dir/sigstore.cpp.o" "gcc" "src/sig/CMakeFiles/rev_sig.dir/sigstore.cpp.o.d"
+  "/root/repo/src/sig/table.cpp" "src/sig/CMakeFiles/rev_sig.dir/table.cpp.o" "gcc" "src/sig/CMakeFiles/rev_sig.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/program/CMakeFiles/rev_program.dir/DependInfo.cmake"
+  "/root/repo/src/crypto/CMakeFiles/rev_crypto.dir/DependInfo.cmake"
+  "/root/repo/src/common/CMakeFiles/rev_common.dir/DependInfo.cmake"
+  "/root/repo/src/isa/CMakeFiles/rev_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

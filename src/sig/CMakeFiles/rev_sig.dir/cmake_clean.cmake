@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rev_sig.dir/mode.cpp.o"
+  "CMakeFiles/rev_sig.dir/mode.cpp.o.d"
+  "CMakeFiles/rev_sig.dir/sigstore.cpp.o"
+  "CMakeFiles/rev_sig.dir/sigstore.cpp.o.d"
+  "CMakeFiles/rev_sig.dir/table.cpp.o"
+  "CMakeFiles/rev_sig.dir/table.cpp.o.d"
+  "librev_sig.a"
+  "librev_sig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rev_sig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

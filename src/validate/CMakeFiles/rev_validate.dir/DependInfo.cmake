@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/validate/backend_cli.cpp" "src/validate/CMakeFiles/rev_validate.dir/backend_cli.cpp.o" "gcc" "src/validate/CMakeFiles/rev_validate.dir/backend_cli.cpp.o.d"
+  "/root/repo/src/validate/chg.cpp" "src/validate/CMakeFiles/rev_validate.dir/chg.cpp.o" "gcc" "src/validate/CMakeFiles/rev_validate.dir/chg.cpp.o.d"
+  "/root/repo/src/validate/coverage.cpp" "src/validate/CMakeFiles/rev_validate.dir/coverage.cpp.o" "gcc" "src/validate/CMakeFiles/rev_validate.dir/coverage.cpp.o.d"
+  "/root/repo/src/validate/lofat_validator.cpp" "src/validate/CMakeFiles/rev_validate.dir/lofat_validator.cpp.o" "gcc" "src/validate/CMakeFiles/rev_validate.dir/lofat_validator.cpp.o.d"
+  "/root/repo/src/validate/refstore.cpp" "src/validate/CMakeFiles/rev_validate.dir/refstore.cpp.o" "gcc" "src/validate/CMakeFiles/rev_validate.dir/refstore.cpp.o.d"
+  "/root/repo/src/validate/registry.cpp" "src/validate/CMakeFiles/rev_validate.dir/registry.cpp.o" "gcc" "src/validate/CMakeFiles/rev_validate.dir/registry.cpp.o.d"
+  "/root/repo/src/validate/rev_validator.cpp" "src/validate/CMakeFiles/rev_validate.dir/rev_validator.cpp.o" "gcc" "src/validate/CMakeFiles/rev_validate.dir/rev_validator.cpp.o.d"
+  "/root/repo/src/validate/sag.cpp" "src/validate/CMakeFiles/rev_validate.dir/sag.cpp.o" "gcc" "src/validate/CMakeFiles/rev_validate.dir/sag.cpp.o.d"
+  "/root/repo/src/validate/sc.cpp" "src/validate/CMakeFiles/rev_validate.dir/sc.cpp.o" "gcc" "src/validate/CMakeFiles/rev_validate.dir/sc.cpp.o.d"
+  "/root/repo/src/validate/source.cpp" "src/validate/CMakeFiles/rev_validate.dir/source.cpp.o" "gcc" "src/validate/CMakeFiles/rev_validate.dir/source.cpp.o.d"
+  "/root/repo/src/validate/stream.cpp" "src/validate/CMakeFiles/rev_validate.dir/stream.cpp.o" "gcc" "src/validate/CMakeFiles/rev_validate.dir/stream.cpp.o.d"
+  "/root/repo/src/validate/stream_verifier.cpp" "src/validate/CMakeFiles/rev_validate.dir/stream_verifier.cpp.o" "gcc" "src/validate/CMakeFiles/rev_validate.dir/stream_verifier.cpp.o.d"
+  "/root/repo/src/validate/verdict.cpp" "src/validate/CMakeFiles/rev_validate.dir/verdict.cpp.o" "gcc" "src/validate/CMakeFiles/rev_validate.dir/verdict.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/sig/CMakeFiles/rev_sig.dir/DependInfo.cmake"
+  "/root/repo/src/mem/CMakeFiles/rev_mem.dir/DependInfo.cmake"
+  "/root/repo/src/crypto/CMakeFiles/rev_crypto.dir/DependInfo.cmake"
+  "/root/repo/src/program/CMakeFiles/rev_program.dir/DependInfo.cmake"
+  "/root/repo/src/common/CMakeFiles/rev_common.dir/DependInfo.cmake"
+  "/root/repo/src/isa/CMakeFiles/rev_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rev_validate.dir/backend_cli.cpp.o"
+  "CMakeFiles/rev_validate.dir/backend_cli.cpp.o.d"
+  "CMakeFiles/rev_validate.dir/chg.cpp.o"
+  "CMakeFiles/rev_validate.dir/chg.cpp.o.d"
+  "CMakeFiles/rev_validate.dir/coverage.cpp.o"
+  "CMakeFiles/rev_validate.dir/coverage.cpp.o.d"
+  "CMakeFiles/rev_validate.dir/lofat_validator.cpp.o"
+  "CMakeFiles/rev_validate.dir/lofat_validator.cpp.o.d"
+  "CMakeFiles/rev_validate.dir/refstore.cpp.o"
+  "CMakeFiles/rev_validate.dir/refstore.cpp.o.d"
+  "CMakeFiles/rev_validate.dir/registry.cpp.o"
+  "CMakeFiles/rev_validate.dir/registry.cpp.o.d"
+  "CMakeFiles/rev_validate.dir/rev_validator.cpp.o"
+  "CMakeFiles/rev_validate.dir/rev_validator.cpp.o.d"
+  "CMakeFiles/rev_validate.dir/sag.cpp.o"
+  "CMakeFiles/rev_validate.dir/sag.cpp.o.d"
+  "CMakeFiles/rev_validate.dir/sc.cpp.o"
+  "CMakeFiles/rev_validate.dir/sc.cpp.o.d"
+  "CMakeFiles/rev_validate.dir/source.cpp.o"
+  "CMakeFiles/rev_validate.dir/source.cpp.o.d"
+  "CMakeFiles/rev_validate.dir/stream.cpp.o"
+  "CMakeFiles/rev_validate.dir/stream.cpp.o.d"
+  "CMakeFiles/rev_validate.dir/stream_verifier.cpp.o"
+  "CMakeFiles/rev_validate.dir/stream_verifier.cpp.o.d"
+  "CMakeFiles/rev_validate.dir/verdict.cpp.o"
+  "CMakeFiles/rev_validate.dir/verdict.cpp.o.d"
+  "librev_validate.a"
+  "librev_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rev_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

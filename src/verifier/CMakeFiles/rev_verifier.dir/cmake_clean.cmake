@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rev_verifier.dir/loadgen.cpp.o"
+  "CMakeFiles/rev_verifier.dir/loadgen.cpp.o.d"
+  "CMakeFiles/rev_verifier.dir/service.cpp.o"
+  "CMakeFiles/rev_verifier.dir/service.cpp.o.d"
+  "librev_verifier.a"
+  "librev_verifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rev_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

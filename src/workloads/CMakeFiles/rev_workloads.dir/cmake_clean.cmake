@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rev_workloads.dir/generator.cpp.o"
+  "CMakeFiles/rev_workloads.dir/generator.cpp.o.d"
+  "CMakeFiles/rev_workloads.dir/spec.cpp.o"
+  "CMakeFiles/rev_workloads.dir/spec.cpp.o.d"
+  "librev_workloads.a"
+  "librev_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rev_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

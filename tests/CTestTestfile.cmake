@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("isa")
+subdirs("program")
+subdirs("sig")
+subdirs("mem")
+subdirs("cpu")
+subdirs("validate")
+subdirs("core")
+subdirs("attacks")
+subdirs("workloads")
+subdirs("bench")
+subdirs("redteam")
+subdirs("fuzz")

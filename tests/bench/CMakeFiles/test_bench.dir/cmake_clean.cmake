@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bench.dir/dispatch_test.cpp.o"
+  "CMakeFiles/test_bench.dir/dispatch_test.cpp.o.d"
+  "CMakeFiles/test_bench.dir/golden_test.cpp.o"
+  "CMakeFiles/test_bench.dir/golden_test.cpp.o.d"
+  "CMakeFiles/test_bench.dir/replay_test.cpp.o"
+  "CMakeFiles/test_bench.dir/replay_test.cpp.o.d"
+  "CMakeFiles/test_bench.dir/snapshot_test.cpp.o"
+  "CMakeFiles/test_bench.dir/snapshot_test.cpp.o.d"
+  "CMakeFiles/test_bench.dir/sweep_cache_test.cpp.o"
+  "CMakeFiles/test_bench.dir/sweep_cache_test.cpp.o.d"
+  "CMakeFiles/test_bench.dir/sweep_test.cpp.o"
+  "CMakeFiles/test_bench.dir/sweep_test.cpp.o.d"
+  "test_bench"
+  "test_bench.pdb"
+  "test_bench[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

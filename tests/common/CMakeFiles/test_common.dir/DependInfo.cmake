@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/bitutil_test.cpp" "tests/common/CMakeFiles/test_common.dir/bitutil_test.cpp.o" "gcc" "tests/common/CMakeFiles/test_common.dir/bitutil_test.cpp.o.d"
+  "/root/repo/tests/common/parallel_test.cpp" "tests/common/CMakeFiles/test_common.dir/parallel_test.cpp.o" "gcc" "tests/common/CMakeFiles/test_common.dir/parallel_test.cpp.o.d"
+  "/root/repo/tests/common/random_test.cpp" "tests/common/CMakeFiles/test_common.dir/random_test.cpp.o" "gcc" "tests/common/CMakeFiles/test_common.dir/random_test.cpp.o.d"
+  "/root/repo/tests/common/sparse_memory_test.cpp" "tests/common/CMakeFiles/test_common.dir/sparse_memory_test.cpp.o" "gcc" "tests/common/CMakeFiles/test_common.dir/sparse_memory_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "tests/common/CMakeFiles/test_common.dir/stats_test.cpp.o" "gcc" "tests/common/CMakeFiles/test_common.dir/stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/common/CMakeFiles/rev_common.dir/DependInfo.cmake"
+  "/root/repo/src/crypto/CMakeFiles/rev_crypto.dir/DependInfo.cmake"
+  "/root/repo/src/isa/CMakeFiles/rev_isa.dir/DependInfo.cmake"
+  "/root/repo/src/program/CMakeFiles/rev_program.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/chg_test.cpp" "tests/core/CMakeFiles/test_core.dir/chg_test.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/chg_test.cpp.o.d"
+  "/root/repo/tests/core/costmodel_test.cpp" "tests/core/CMakeFiles/test_core.dir/costmodel_test.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/costmodel_test.cpp.o.d"
+  "/root/repo/tests/core/dynlink_test.cpp" "tests/core/CMakeFiles/test_core.dir/dynlink_test.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/dynlink_test.cpp.o.d"
+  "/root/repo/tests/core/edge_test.cpp" "tests/core/CMakeFiles/test_core.dir/edge_test.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/edge_test.cpp.o.d"
+  "/root/repo/tests/core/engine_test.cpp" "tests/core/CMakeFiles/test_core.dir/engine_test.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/engine_test.cpp.o.d"
+  "/root/repo/tests/core/replay_fallback_test.cpp" "tests/core/CMakeFiles/test_core.dir/replay_fallback_test.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/replay_fallback_test.cpp.o.d"
+  "/root/repo/tests/core/returnval_test.cpp" "tests/core/CMakeFiles/test_core.dir/returnval_test.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/returnval_test.cpp.o.d"
+  "/root/repo/tests/core/sag_test.cpp" "tests/core/CMakeFiles/test_core.dir/sag_test.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/sag_test.cpp.o.d"
+  "/root/repo/tests/core/sc_test.cpp" "tests/core/CMakeFiles/test_core.dir/sc_test.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/sc_test.cpp.o.d"
+  "/root/repo/tests/core/shadow_test.cpp" "tests/core/CMakeFiles/test_core.dir/shadow_test.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/shadow_test.cpp.o.d"
+  "/root/repo/tests/core/simulator_test.cpp" "tests/core/CMakeFiles/test_core.dir/simulator_test.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/simulator_test.cpp.o.d"
+  "/root/repo/tests/core/smc_test.cpp" "tests/core/CMakeFiles/test_core.dir/smc_test.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/smc_test.cpp.o.d"
+  "/root/repo/tests/core/trace_test.cpp" "tests/core/CMakeFiles/test_core.dir/trace_test.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/common/CMakeFiles/rev_common.dir/DependInfo.cmake"
+  "/root/repo/src/crypto/CMakeFiles/rev_crypto.dir/DependInfo.cmake"
+  "/root/repo/src/isa/CMakeFiles/rev_isa.dir/DependInfo.cmake"
+  "/root/repo/src/program/CMakeFiles/rev_program.dir/DependInfo.cmake"
+  "/root/repo/src/core/CMakeFiles/rev_core.dir/DependInfo.cmake"
+  "/root/repo/src/workloads/CMakeFiles/rev_workloads.dir/DependInfo.cmake"
+  "/root/repo/src/cpu/CMakeFiles/rev_cpu.dir/DependInfo.cmake"
+  "/root/repo/src/validate/CMakeFiles/rev_validate.dir/DependInfo.cmake"
+  "/root/repo/src/sig/CMakeFiles/rev_sig.dir/DependInfo.cmake"
+  "/root/repo/src/mem/CMakeFiles/rev_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

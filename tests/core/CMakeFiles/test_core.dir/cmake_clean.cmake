@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/chg_test.cpp.o"
+  "CMakeFiles/test_core.dir/chg_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/costmodel_test.cpp.o"
+  "CMakeFiles/test_core.dir/costmodel_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/dynlink_test.cpp.o"
+  "CMakeFiles/test_core.dir/dynlink_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/edge_test.cpp.o"
+  "CMakeFiles/test_core.dir/edge_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/engine_test.cpp.o"
+  "CMakeFiles/test_core.dir/engine_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/replay_fallback_test.cpp.o"
+  "CMakeFiles/test_core.dir/replay_fallback_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/returnval_test.cpp.o"
+  "CMakeFiles/test_core.dir/returnval_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/sag_test.cpp.o"
+  "CMakeFiles/test_core.dir/sag_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/sc_test.cpp.o"
+  "CMakeFiles/test_core.dir/sc_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/shadow_test.cpp.o"
+  "CMakeFiles/test_core.dir/shadow_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/simulator_test.cpp.o"
+  "CMakeFiles/test_core.dir/simulator_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/smc_test.cpp.o"
+  "CMakeFiles/test_core.dir/smc_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/trace_test.cpp.o"
+  "CMakeFiles/test_core.dir/trace_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

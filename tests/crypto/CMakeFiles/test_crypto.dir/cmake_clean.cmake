@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto.dir/aes_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/aes_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/cubehash_lanes_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/cubehash_lanes_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/cubehash_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/cubehash_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/keyvault_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/keyvault_test.cpp.o.d"
+  "test_crypto"
+  "test_crypto.pdb"
+  "test_crypto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

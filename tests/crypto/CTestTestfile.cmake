@@ -1,0 +1,7 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/crypto
+# Build directory: /root/repo/tests/crypto
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/tests/crypto/test_crypto[1]_include.cmake")

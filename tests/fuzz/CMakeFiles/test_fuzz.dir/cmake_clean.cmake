@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz.dir/cache_fuzz_test.cpp.o"
+  "CMakeFiles/test_fuzz.dir/cache_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_fuzz.dir/campaign_codec_fuzz_test.cpp.o"
+  "CMakeFiles/test_fuzz.dir/campaign_codec_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_fuzz.dir/codec_fuzz_test.cpp.o"
+  "CMakeFiles/test_fuzz.dir/codec_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_fuzz.dir/mutation_fuzz_test.cpp.o"
+  "CMakeFiles/test_fuzz.dir/mutation_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_fuzz.dir/storebuffer_fuzz_test.cpp.o"
+  "CMakeFiles/test_fuzz.dir/storebuffer_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_fuzz.dir/stream_fuzz_test.cpp.o"
+  "CMakeFiles/test_fuzz.dir/stream_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_fuzz.dir/trace_fuzz_test.cpp.o"
+  "CMakeFiles/test_fuzz.dir/trace_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_fuzz.dir/workload_fuzz_test.cpp.o"
+  "CMakeFiles/test_fuzz.dir/workload_fuzz_test.cpp.o.d"
+  "test_fuzz"
+  "test_fuzz.pdb"
+  "test_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isa.dir/codec_test.cpp.o"
+  "CMakeFiles/test_isa.dir/codec_test.cpp.o.d"
+  "CMakeFiles/test_isa.dir/disasm_test.cpp.o"
+  "CMakeFiles/test_isa.dir/disasm_test.cpp.o.d"
+  "test_isa"
+  "test_isa.pdb"
+  "test_isa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

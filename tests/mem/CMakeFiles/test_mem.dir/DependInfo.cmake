@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem/cache_test.cpp" "tests/mem/CMakeFiles/test_mem.dir/cache_test.cpp.o" "gcc" "tests/mem/CMakeFiles/test_mem.dir/cache_test.cpp.o.d"
+  "/root/repo/tests/mem/dram_test.cpp" "tests/mem/CMakeFiles/test_mem.dir/dram_test.cpp.o" "gcc" "tests/mem/CMakeFiles/test_mem.dir/dram_test.cpp.o.d"
+  "/root/repo/tests/mem/memsys_test.cpp" "tests/mem/CMakeFiles/test_mem.dir/memsys_test.cpp.o" "gcc" "tests/mem/CMakeFiles/test_mem.dir/memsys_test.cpp.o.d"
+  "/root/repo/tests/mem/tlb_test.cpp" "tests/mem/CMakeFiles/test_mem.dir/tlb_test.cpp.o" "gcc" "tests/mem/CMakeFiles/test_mem.dir/tlb_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/common/CMakeFiles/rev_common.dir/DependInfo.cmake"
+  "/root/repo/src/crypto/CMakeFiles/rev_crypto.dir/DependInfo.cmake"
+  "/root/repo/src/isa/CMakeFiles/rev_isa.dir/DependInfo.cmake"
+  "/root/repo/src/program/CMakeFiles/rev_program.dir/DependInfo.cmake"
+  "/root/repo/src/mem/CMakeFiles/rev_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

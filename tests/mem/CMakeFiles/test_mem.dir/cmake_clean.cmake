@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/cache_test.cpp.o"
+  "CMakeFiles/test_mem.dir/cache_test.cpp.o.d"
+  "CMakeFiles/test_mem.dir/dram_test.cpp.o"
+  "CMakeFiles/test_mem.dir/dram_test.cpp.o.d"
+  "CMakeFiles/test_mem.dir/memsys_test.cpp.o"
+  "CMakeFiles/test_mem.dir/memsys_test.cpp.o.d"
+  "CMakeFiles/test_mem.dir/tlb_test.cpp.o"
+  "CMakeFiles/test_mem.dir/tlb_test.cpp.o.d"
+  "test_mem"
+  "test_mem.pdb"
+  "test_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

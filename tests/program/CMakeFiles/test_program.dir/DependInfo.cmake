@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/program/assembler_test.cpp" "tests/program/CMakeFiles/test_program.dir/assembler_test.cpp.o" "gcc" "tests/program/CMakeFiles/test_program.dir/assembler_test.cpp.o.d"
+  "/root/repo/tests/program/cfg_test.cpp" "tests/program/CMakeFiles/test_program.dir/cfg_test.cpp.o" "gcc" "tests/program/CMakeFiles/test_program.dir/cfg_test.cpp.o.d"
+  "/root/repo/tests/program/dispatch_test.cpp" "tests/program/CMakeFiles/test_program.dir/dispatch_test.cpp.o" "gcc" "tests/program/CMakeFiles/test_program.dir/dispatch_test.cpp.o.d"
+  "/root/repo/tests/program/interp_test.cpp" "tests/program/CMakeFiles/test_program.dir/interp_test.cpp.o" "gcc" "tests/program/CMakeFiles/test_program.dir/interp_test.cpp.o.d"
+  "/root/repo/tests/program/profiler_test.cpp" "tests/program/CMakeFiles/test_program.dir/profiler_test.cpp.o" "gcc" "tests/program/CMakeFiles/test_program.dir/profiler_test.cpp.o.d"
+  "/root/repo/tests/program/storebuffer_test.cpp" "tests/program/CMakeFiles/test_program.dir/storebuffer_test.cpp.o" "gcc" "tests/program/CMakeFiles/test_program.dir/storebuffer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/common/CMakeFiles/rev_common.dir/DependInfo.cmake"
+  "/root/repo/src/crypto/CMakeFiles/rev_crypto.dir/DependInfo.cmake"
+  "/root/repo/src/isa/CMakeFiles/rev_isa.dir/DependInfo.cmake"
+  "/root/repo/src/program/CMakeFiles/rev_program.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

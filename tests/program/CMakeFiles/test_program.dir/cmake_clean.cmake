@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_program.dir/assembler_test.cpp.o"
+  "CMakeFiles/test_program.dir/assembler_test.cpp.o.d"
+  "CMakeFiles/test_program.dir/cfg_test.cpp.o"
+  "CMakeFiles/test_program.dir/cfg_test.cpp.o.d"
+  "CMakeFiles/test_program.dir/dispatch_test.cpp.o"
+  "CMakeFiles/test_program.dir/dispatch_test.cpp.o.d"
+  "CMakeFiles/test_program.dir/interp_test.cpp.o"
+  "CMakeFiles/test_program.dir/interp_test.cpp.o.d"
+  "CMakeFiles/test_program.dir/profiler_test.cpp.o"
+  "CMakeFiles/test_program.dir/profiler_test.cpp.o.d"
+  "CMakeFiles/test_program.dir/storebuffer_test.cpp.o"
+  "CMakeFiles/test_program.dir/storebuffer_test.cpp.o.d"
+  "test_program"
+  "test_program.pdb"
+  "test_program[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

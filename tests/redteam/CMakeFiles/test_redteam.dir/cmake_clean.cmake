@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_redteam.dir/redteam_test.cpp.o"
+  "CMakeFiles/test_redteam.dir/redteam_test.cpp.o.d"
+  "test_redteam"
+  "test_redteam.pdb"
+  "test_redteam[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_redteam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sig.dir/sigstore_test.cpp.o"
+  "CMakeFiles/test_sig.dir/sigstore_test.cpp.o.d"
+  "CMakeFiles/test_sig.dir/table_test.cpp.o"
+  "CMakeFiles/test_sig.dir/table_test.cpp.o.d"
+  "test_sig"
+  "test_sig.pdb"
+  "test_sig[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stream_contract.dir/stream_contract_test.cpp.o"
+  "CMakeFiles/test_stream_contract.dir/stream_contract_test.cpp.o.d"
+  "test_stream_contract"
+  "test_stream_contract.pdb"
+  "test_stream_contract[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stream_contract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

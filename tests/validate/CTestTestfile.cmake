@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/validate
+# Build directory: /root/repo/tests/validate
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/tests/validate/test_validate[1]_include.cmake")
+include("/root/repo/tests/validate/test_stream_contract[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revredteam.dir/revredteam.cpp.o"
+  "CMakeFiles/revredteam.dir/revredteam.cpp.o.d"
+  "revredteam"
+  "revredteam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revredteam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revsim.dir/revsim.cpp.o"
+  "CMakeFiles/revsim.dir/revsim.cpp.o.d"
+  "revsim"
+  "revsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revverify.dir/revverify.cpp.o"
+  "CMakeFiles/revverify.dir/revverify.cpp.o.d"
+  "revverify"
+  "revverify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revverify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

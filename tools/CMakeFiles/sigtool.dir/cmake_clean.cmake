@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigtool.dir/sigtool.cpp.o"
+  "CMakeFiles/sigtool.dir/sigtool.cpp.o.d"
+  "sigtool"
+  "sigtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

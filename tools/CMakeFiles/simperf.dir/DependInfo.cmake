@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/simperf.cpp" "tools/CMakeFiles/simperf.dir/simperf.cpp.o" "gcc" "tools/CMakeFiles/simperf.dir/simperf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/bench/CMakeFiles/rev_bench_suite.dir/DependInfo.cmake"
+  "/root/repo/src/core/CMakeFiles/rev_core.dir/DependInfo.cmake"
+  "/root/repo/src/cpu/CMakeFiles/rev_cpu.dir/DependInfo.cmake"
+  "/root/repo/src/validate/CMakeFiles/rev_validate.dir/DependInfo.cmake"
+  "/root/repo/src/sig/CMakeFiles/rev_sig.dir/DependInfo.cmake"
+  "/root/repo/src/mem/CMakeFiles/rev_mem.dir/DependInfo.cmake"
+  "/root/repo/src/crypto/CMakeFiles/rev_crypto.dir/DependInfo.cmake"
+  "/root/repo/src/workloads/CMakeFiles/rev_workloads.dir/DependInfo.cmake"
+  "/root/repo/src/program/CMakeFiles/rev_program.dir/DependInfo.cmake"
+  "/root/repo/src/isa/CMakeFiles/rev_isa.dir/DependInfo.cmake"
+  "/root/repo/src/common/CMakeFiles/rev_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simperf.dir/simperf.cpp.o"
+  "CMakeFiles/simperf.dir/simperf.cpp.o.d"
+  "simperf"
+  "simperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

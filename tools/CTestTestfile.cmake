@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(simperf_smoke "/root/repo/tools/simperf" "--bench" "bzip2" "--instrs" "20000" "--threads" "1" "--out" "/root/repo/simperf_smoke.json")
+set_tests_properties(simperf_smoke PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(revsim_attack_list "/root/repo/tools/revsim" "--attack" "list")
+set_tests_properties(revsim_attack_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(revsim_rop "/root/repo/tools/revsim" "--attack" "return-oriented")
+set_tests_properties(revsim_rop PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(revsim_help "/root/repo/tools/revsim" "--help")
+set_tests_properties(revsim_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(revsim_bench_list "/root/repo/tools/revsim" "--list")
+set_tests_properties(revsim_bench_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;27;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(sigtool_verify "/root/repo/tools/sigtool" "mcf" "--verify")
+set_tests_properties(sigtool_verify PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;28;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(revredteam_smoke "/root/repo/tools/revredteam" "--seed" "1" "--injections" "72" "--budget" "6000" "--out" "/root/repo/redteam_smoke.json")
+set_tests_properties(revredteam_smoke PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(revverify_smoke "/root/repo/tools/revverify" "--quick" "--out" "/root/repo/revverify_smoke.json")
+set_tests_properties(revverify_smoke PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;32;add_test;/root/repo/tools/CMakeLists.txt;0;")
