@@ -55,6 +55,14 @@ StreamVerifier::finish()
 }
 
 void
+StreamVerifier::abortMalformed()
+{
+    if (verdict_.complete)
+        return;
+    transportFail(verdict::reasonMalformedStream());
+}
+
+void
 StreamVerifier::processAvailable()
 {
     if (!haveHeader_ && !verdict_.complete) {
@@ -128,6 +136,17 @@ StreamVerifier::prefetchLookups()
         const std::size_t shard = refs_.shardFor(ev.term);
         if (shard == kNoShard)
             continue; // resolve() renders these as not-found directly
+        // A session elsewhere may already have paid for this unit: the
+        // shared cache returns the identical table-walk result without
+        // touching the shard lock.
+        if (dedup_ != nullptr) {
+            sig::LookupResult cached;
+            if (dedup_->lookupUnit(&refs_, ev.term, key, &cached)) {
+                ++dedupHits_;
+                units.emplace_back(key, std::move(cached));
+                continue;
+            }
+        }
         // Reserve the memo slot so the scan queues each unit once.
         units.emplace_back(key, sig::LookupResult{});
         perShard[shard].push_back({ev.term, key});
@@ -140,6 +159,10 @@ StreamVerifier::prefetchLookups()
         refs_.lookupBatch(shard, perShard[shard], &results);
         for (std::size_t i = 0; i < results.size(); ++i) {
             const RefStore::LookupKey &k = perShard[shard][i];
+            if (dedup_ != nullptr) {
+                ++dedupMisses_;
+                dedup_->insertUnit(&refs_, k.term, k.hash, results[i]);
+            }
             for (auto &unit : memo_[k.term]) {
                 if (unit.first == k.hash)
                     unit.second = std::move(results[i]);
@@ -161,9 +184,21 @@ StreamVerifier::resolve(Addr term, u32 digest)
     const std::size_t shard = refs_.shardFor(term);
     if (shard == kNoShard)
         return kEmpty;
+    if (dedup_ != nullptr) {
+        sig::LookupResult cached;
+        if (dedup_->lookupUnit(&refs_, term, key, &cached)) {
+            ++dedupHits_;
+            units.emplace_back(key, std::move(cached));
+            return units.back().second;
+        }
+    }
     units.emplace_back(key, hdr_.mode == ValidationMode::CfiOnly
                                 ? refs_.lookupSite(shard, term)
                                 : refs_.lookup(shard, term, key));
+    if (dedup_ != nullptr) {
+        ++dedupMisses_;
+        dedup_->insertUnit(&refs_, term, key, units.back().second);
+    }
     return units.back().second;
 }
 
@@ -278,10 +313,15 @@ StreamVerifier::handleBlockLoFat(const MeasurementEvent &ev)
     if (!enabled_)
         return;
 
-    const std::size_t shard = refs_.shardFor(ev.term);
-    std::vector<const prog::BasicBlock *> blocks;
-    if (shard != kNoShard)
-        blocks = refs_.moduleSig(shard).cfg.blocksAtTerm(ev.term);
+    auto memo = lofatBlocks_.find(ev.term);
+    if (memo == lofatBlocks_.end()) {
+        const std::size_t shard = refs_.shardFor(ev.term);
+        std::vector<const prog::BasicBlock *> found;
+        if (shard != kNoShard)
+            found = refs_.moduleSig(shard).cfg.blocksAtTerm(ev.term);
+        memo = lofatBlocks_.emplace(ev.term, std::move(found)).first;
+    }
+    const std::vector<const prog::BasicBlock *> &blocks = memo->second;
     if (blocks.empty()) {
         ++verdict_.unattestedBlocks;
         violation(ev, verdict::reasonUnattested(ev.term));
@@ -327,6 +367,21 @@ StreamVerifier::handleBlockLoFat(const MeasurementEvent &ev)
 void
 StreamVerifier::foldChain(const MeasurementEvent &ev)
 {
+    // Cross-session dedup: the fold is a pure function of
+    // (chain, block, rounds), so sessions attesting the same execution
+    // share every link and a hit replaces the CubeHash with a cache
+    // read — bit-identical by construction.
+    UnitLookupCache::FoldKey key;
+    if (dedup_ != nullptr) {
+        key = {ev.start, ev.term, ev.target, ev.codeDigest,
+               hdr_.hashRounds};
+        crypto::Digest next;
+        if (dedup_->lookupFold(chain_, key, &next)) {
+            ++dedupHits_;
+            chain_ = next;
+            return;
+        }
+    }
     // Byte-for-byte the fold of LoFatValidator::fold():
     // chain' = H(chain || start || term || target || code digest)
     u8 buf[sizeof(crypto::Digest) + 3 * sizeof(Addr) + sizeof(u32)];
@@ -341,7 +396,12 @@ StreamVerifier::foldChain(const MeasurementEvent &ev)
     off += sizeof(Addr);
     std::memcpy(buf + off, &ev.codeDigest, sizeof(u32));
     off += sizeof(u32);
+    const crypto::Digest prev = chain_;
     chain_ = crypto::CubeHash::hash(buf, off, hdr_.hashRounds);
+    if (dedup_ != nullptr) {
+        ++dedupMisses_;
+        dedup_->insertFold(prev, key, chain_);
+    }
 }
 
 void

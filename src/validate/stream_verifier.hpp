@@ -44,6 +44,53 @@
 namespace rev::validate
 {
 
+/**
+ * Cross-session dedup of verification work (the verifier service's
+ * shared verified-unit cache implements this; src/verifier/unit_cache).
+ *
+ * Two kinds of work dedup across sessions of the same attested program:
+ *  - *unit lookups*: the (term, digest) reference-table walk REV
+ *    sessions pay per static validation unit. The result is a pure
+ *    function of the RefStore and the key, so a hit skips the
+ *    decrypt-and-walk entirely.
+ *  - *chain folds*: the LO-FAT measurement-chain link
+ *    chain' = H(chain || start || term || target || digest). The fold
+ *    is a pure function of (chain, block, rounds); sessions replaying
+ *    the same execution share every link, so a hit skips the CubeHash.
+ *
+ * Either way a hit returns bit-identical bytes to the computation it
+ * replaces — dedup on/off may never move a verdict (pinned by
+ * tests/verifier/unit_cache_test.cpp). Implementations must be
+ * thread-safe: many sessions on many workers share one cache. The
+ * RefStore pointer namespaces keys, so one service can multiplex
+ * sessions of different attested programs without cross-talk.
+ */
+class UnitLookupCache
+{
+  public:
+    /** Chain-fold key: everything the fold reads besides the chain. */
+    struct FoldKey
+    {
+        Addr start = 0;
+        Addr term = 0;
+        Addr target = 0;
+        u32 codeDigest = 0;
+        u32 hashRounds = 0;
+    };
+
+    virtual ~UnitLookupCache() = default;
+
+    virtual bool lookupUnit(const RefStore *ns, Addr term, u32 key,
+                            sig::LookupResult *out) const = 0;
+    virtual void insertUnit(const RefStore *ns, Addr term, u32 key,
+                            const sig::LookupResult &val) = 0;
+
+    virtual bool lookupFold(const crypto::Digest &chain, const FoldKey &key,
+                            crypto::Digest *out) const = 0;
+    virtual void insertFold(const crypto::Digest &chain, const FoldKey &key,
+                            const crypto::Digest &next) = 0;
+};
+
 /** What a StreamVerifier renders for one session. */
 struct StreamVerdict
 {
@@ -74,7 +121,13 @@ struct StreamVerdict
 class StreamVerifier
 {
   public:
-    explicit StreamVerifier(const RefStore &refs) : refs_(refs) {}
+    /** @param dedup Optional shared verified-unit cache; results are
+     *  bit-identical with or without it. Must outlive this verifier. */
+    explicit StreamVerifier(const RefStore &refs,
+                            UnitLookupCache *dedup = nullptr)
+        : refs_(refs), dedup_(dedup)
+    {
+    }
 
     /**
      * Append @p n session bytes and process every complete event.
@@ -95,6 +148,17 @@ class StreamVerifier
 
     /** Bytes consumed so far (drives the bytes/session report). */
     u64 bytesConsumed() const { return bytesConsumed_; }
+
+    /**
+     * The transport layer itself was violated (torn framing, bad length
+     * prefix): adjudicate the session as malformed now. No-op once the
+     * session is complete.
+     */
+    void abortMalformed();
+
+    /** Shared-cache dedup accounting for this session. */
+    u64 dedupHits() const { return dedupHits_; }
+    u64 dedupMisses() const { return dedupMisses_; }
 
   private:
     void processAvailable();
@@ -120,6 +184,9 @@ class StreamVerifier
     void foldChain(const MeasurementEvent &ev);
 
     const RefStore &refs_;
+    UnitLookupCache *dedup_ = nullptr; ///< shared cross-session cache
+    u64 dedupHits_ = 0;
+    u64 dedupMisses_ = 0;
 
     std::vector<u8> buf_;
     StreamReader reader_;
@@ -141,6 +208,9 @@ class StreamVerifier
     std::vector<Addr> shadowStack_;
 
     // --- LO-FAT session state (mirrors LoFatValidator) ------------------
+    // Per-session memo of cfg.blocksAtTerm so loops cost one CFG walk.
+    std::unordered_map<Addr, std::vector<const prog::BasicBlock *>>
+        lofatBlocks_;
     crypto::Digest chain_{};
     unsigned bufferUsed_ = 0;
     bool spillPending_ = false;

@@ -1,8 +1,10 @@
 #include "verifier/loadgen.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <thread>
 
@@ -63,6 +65,27 @@ divergenceDetail(const StreamCase &c, const validate::StreamVerdict &v)
     return os.str();
 }
 
+/** One canonical verdict line: everything adjudication-relevant, no
+ *  session id (ids depend on open-order races), so the sorted stream is
+ *  transport/worker/dedup-invariant. */
+std::string
+verdictLine(std::size_t caseIdx, const StreamCase &c,
+            const validate::StreamVerdict &v)
+{
+    std::ostringstream os;
+    os << "case=" << caseIdx << " bench=" << c.bench
+       << " backend=" << validate::backendName(c.backend)
+       << " complete=" << (v.complete ? 1 : 0)
+       << " detected=" << (v.detected ? 1 : 0) << " reason='" << v.reason
+       << "'"
+       << " bb=" << v.bbValidated << " viol=" << v.violations
+       << " chain=" << v.chainUpdates << " spills=" << v.bufferSpills
+       << " spillBytes=" << v.spillBytes
+       << " unattested=" << v.unattestedBlocks
+       << " edges=" << v.edgeViolations;
+    return os.str();
+}
+
 } // namespace
 
 LoadGenReport
@@ -72,6 +95,7 @@ runLoadGen(const LoadGenOptions &opts)
     report.sessions = std::max(1u, opts.sessions);
     report.workers = std::max(1u, opts.workers);
     report.provers = std::max(1u, opts.provers);
+    report.transport = opts.transport;
 
     std::vector<std::string> benches = opts.benchmarks;
     if (benches.empty())
@@ -153,40 +177,75 @@ runLoadGen(const LoadGenOptions &opts)
     }
     report.captureSeconds = secondsSince(captureStart);
 
-    // ---- Phase 2: session fan-out. Open every session up front, then
-    // prover threads interleave chunked writes across their sessions so
-    // the whole population is live concurrently.
-    VerifierService service(report.workers);
-    std::vector<std::size_t> sessionCase(report.sessions);
-    for (unsigned s = 0; s < report.sessions; ++s) {
-        sessionCase[s] = s % report.cases.size();
-        service.openSession(*refsByBench[caseRefIdx[sessionCase[s]]]->refs,
-                            opts.ringBytes);
-    }
+    // ---- Phase 2: session fan-out. Prover threads claim session slots
+    // from a shared counter and open them lazily, each keeping at most
+    // window/provers sessions live (SPSC holds: the claiming thread is
+    // the only producer its sessions ever see). Finished sessions free
+    // their transports inside the service, so a bounded window keeps
+    // 100k-session soaks at a flat memory profile.
+    ServiceOptions sopts;
+    sopts.workers = report.workers;
+    sopts.dedupEntries = opts.dedupEntries;
+    VerifierService service(sopts);
+
+    const unsigned window =
+        opts.window == 0 ? report.sessions
+                         : std::max(opts.window, report.provers);
+    const unsigned perProver =
+        std::max(1u, window / report.provers);
+
+    std::atomic<u64> nextSlot{0};
+    std::vector<std::pair<u64, std::size_t>> idToCase; // session id -> case
+    std::mutex idToCaseLock;
 
     const auto feedStart = Clock::now();
     std::vector<std::thread> provers;
     for (unsigned p = 0; p < report.provers; ++p) {
-        provers.emplace_back([&, p] {
-            // This thread is the single producer for sessions s where
-            // s % provers == p (the ByteRing SPSC contract).
+        provers.emplace_back([&] {
             struct Feed
             {
                 u64 session;
                 const std::vector<u8> *stream;
                 std::size_t off = 0;
-                bool closed = false;
             };
             std::vector<Feed> feeds;
-            for (u64 s = p; s < report.sessions; s += report.provers)
-                feeds.push_back(
-                    {s, &report.cases[sessionCase[s]].stream, 0, false});
-            std::size_t open = feeds.size();
-            while (open != 0) {
+            std::vector<std::pair<u64, std::size_t>> openedHere;
+            bool exhausted = false;
+            for (;;) {
+                // Refill the live window from the shared slot counter.
+                // The window bounds *unadjudicated* sessions, not just
+                // this prover's feeds: a closed session still holds its
+                // transport (fds, buffers) until the verifier renders
+                // its verdict, so opening ahead of the verification
+                // backlog would hoard fds at soak scale.
+                while (!exhausted && feeds.size() < perProver &&
+                       service.sessionsOpened() -
+                               service.sessionsAdjudicated() <
+                           window) {
+                    const u64 slot =
+                        nextSlot.fetch_add(1, std::memory_order_relaxed);
+                    if (slot >= report.sessions) {
+                        exhausted = true;
+                        break;
+                    }
+                    const std::size_t ci = slot % report.cases.size();
+                    const u64 id = service.openSession(
+                        *refsByBench[caseRefIdx[ci]]->refs, opts.transport,
+                        opts.ringBytes);
+                    openedHere.emplace_back(id, ci);
+                    feeds.push_back({id, &report.cases[ci].stream, 0});
+                }
+                if (feeds.empty()) {
+                    if (exhausted)
+                        break;
+                    // Backlogged: wait for the verifier to catch up.
+                    std::this_thread::yield();
+                    continue;
+                }
+
                 bool progressed = false;
-                for (Feed &f : feeds) {
-                    if (f.closed)
-                        continue;
+                for (std::size_t i = 0; i < feeds.size();) {
+                    Feed &f = feeds[i];
                     if (f.off < f.stream->size()) {
                         const std::size_t n =
                             std::min(opts.chunkBytes,
@@ -198,15 +257,20 @@ runLoadGen(const LoadGenOptions &opts)
                     }
                     if (f.off >= f.stream->size()) {
                         service.closeSession(f.session);
-                        f.closed = true;
-                        --open;
                         progressed = true;
+                        feeds[i] = feeds.back();
+                        feeds.pop_back();
+                        continue; // the swapped-in feed runs this pass
                     }
+                    ++i;
                 }
-                // Every ring full: let the verifier workers run.
+                // Every transport full: let the verifier workers run.
                 if (!progressed)
                     std::this_thread::yield();
             }
+            std::lock_guard<std::mutex> lock(idToCaseLock);
+            idToCase.insert(idToCase.end(), openedHere.begin(),
+                            openedHere.end());
         });
     }
     for (std::thread &t : provers)
@@ -215,20 +279,28 @@ runLoadGen(const LoadGenOptions &opts)
     report.wallSeconds = secondsSince(feedStart);
 
     // ---- Phase 3: adjudicate divergences and summarize.
+    std::vector<std::size_t> sessionCase(service.sessionsOpened());
+    for (const auto &[id, ci] : idToCase)
+        sessionCase[id] = ci;
+
     const std::vector<SessionReport> sessions = service.reports();
     std::vector<double> latencies;
     latencies.reserve(sessions.size());
+    report.verdictLines.reserve(sessions.size());
     for (const SessionReport &s : sessions) {
         const std::size_t ci = sessionCase[s.id];
         const std::string detail =
             divergenceDetail(report.cases[ci], s.verdict);
         if (!detail.empty())
             report.divergences.push_back({s.id, ci, detail});
+        report.verdictLines.push_back(
+            verdictLine(ci, report.cases[ci], s.verdict));
         report.totalBytes += s.bytes;
         report.peakBytesPerSession += static_cast<double>(s.peakBytes);
         report.maxPeakBytes = std::max(report.maxPeakBytes, s.peakBytes);
         latencies.push_back(s.latencySeconds);
     }
+    std::sort(report.verdictLines.begin(), report.verdictLines.end());
     if (!sessions.empty())
         report.peakBytesPerSession /= static_cast<double>(sessions.size());
     std::sort(latencies.begin(), latencies.end());
@@ -251,6 +323,14 @@ runLoadGen(const LoadGenOptions &opts)
         sessions.empty() ? 0
                          : static_cast<double>(report.totalBytes) /
                                static_cast<double>(sessions.size());
+
+    const UnitCacheStats cs = service.cacheStats();
+    report.dedupHits = cs.hits;
+    report.dedupMisses = cs.misses;
+    report.dedupEvictions = cs.evictions;
+    if (cs.hits + cs.misses != 0)
+        report.dedupHitRate = static_cast<double>(cs.hits) /
+                              static_cast<double>(cs.hits + cs.misses);
     return report;
 }
 

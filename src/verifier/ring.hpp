@@ -11,6 +11,15 @@
  * 64-bit positions with acquire/release ordering, so a full ring simply
  * back-pressures the prover (write() accepts fewer bytes) instead of
  * blocking the worker pool.
+ *
+ * Wrap-around audit (PR 9): occupancy is always `tail - head` on the
+ * monotonic u64 positions, never a masked index difference, so the
+ * exactly-full state (tail - head == capacity) is unambiguous — free
+ * space computes to 0 and write() accepts nothing; there is no
+ * full/empty aliasing and no reserved slot. Both copy loops split at
+ * the physical buffer edge (`run = min(n - i, size - at)`), so a span
+ * that crosses the wrap point is copied in two memcpys.
+ * tests/verifier/ring_test.cpp pins both properties.
  */
 
 #ifndef REV_VERIFIER_RING_HPP
@@ -18,7 +27,7 @@
 
 #include <atomic>
 #include <cstring>
-#include <vector>
+#include <memory>
 
 #include "common/logging.hpp"
 #include "common/types.hpp"
@@ -26,19 +35,28 @@
 namespace rev::verifier
 {
 
+/** Default per-session transport capacity (ring bytes / requested
+ *  socket buffer size). */
+inline constexpr std::size_t kDefaultRingBytes = 1u << 20;
+
 /** Bounded SPSC byte queue with a close-of-stream marker. */
 class ByteRing
 {
   public:
     /** @param capacity Ring size in bytes; must be a power of two. */
     explicit ByteRing(std::size_t capacity)
-        : buf_(capacity), mask_(capacity - 1)
+        // Default-initialized on purpose: every readable byte was
+        // written first (read() only returns up to tail), so zeroing
+        // the buffer would touch `capacity` worth of pages per session
+        // for nothing — at 100k sessions that memset dominates the
+        // open path and bloats RSS with pages the stream never uses.
+        : buf_(new u8[capacity]), size_(capacity), mask_(capacity - 1)
     {
         REV_ASSERT(capacity != 0 && (capacity & mask_) == 0,
                    "ByteRing capacity must be a power of two");
     }
 
-    std::size_t capacity() const { return buf_.size(); }
+    std::size_t capacity() const { return size_; }
 
     /**
      * Producer: append up to @p n bytes.
@@ -50,14 +68,14 @@ class ByteRing
     {
         const u64 head = head_.load(std::memory_order_acquire);
         const u64 tail = tail_.load(std::memory_order_relaxed);
-        const std::size_t free = buf_.size() - static_cast<std::size_t>(
+        const std::size_t free = size_ - static_cast<std::size_t>(
                                                    tail - head);
         if (n > free)
             n = free;
         for (std::size_t i = 0; i < n;) {
             const std::size_t at = static_cast<std::size_t>(tail + i) & mask_;
-            const std::size_t run = std::min(n - i, buf_.size() - at);
-            std::memcpy(buf_.data() + at, data + i, run);
+            const std::size_t run = std::min(n - i, size_ - at);
+            std::memcpy(buf_.get() + at, data + i, run);
             i += run;
         }
         tail_.store(tail + n, std::memory_order_release);
@@ -84,8 +102,8 @@ class ByteRing
             n = max;
         for (std::size_t i = 0; i < n;) {
             const std::size_t at = static_cast<std::size_t>(head + i) & mask_;
-            const std::size_t run = std::min(n - i, buf_.size() - at);
-            std::memcpy(out + i, buf_.data() + at, run);
+            const std::size_t run = std::min(n - i, size_ - at);
+            std::memcpy(out + i, buf_.get() + at, run);
             i += run;
         }
         head_.store(head + n, std::memory_order_release);
@@ -121,7 +139,8 @@ class ByteRing
     }
 
   private:
-    std::vector<u8> buf_;
+    std::unique_ptr<u8[]> buf_;
+    const std::size_t size_;
     const std::size_t mask_;
     std::atomic<u64> head_{0}; ///< consumer position (bytes read)
     std::atomic<u64> tail_{0}; ///< producer position (bytes written)

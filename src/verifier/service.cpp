@@ -1,53 +1,204 @@
 #include "verifier/service.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.hpp"
+
+#if defined(__linux__)
+#define REV_VERIFIER_EPOLL 1
+#include <cerrno>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+#endif
 
 namespace rev::verifier
 {
 
-VerifierService::VerifierService(unsigned workers)
+const char *
+transportName(TransportKind kind)
 {
-    workers_.reserve(std::max(1u, workers));
-    for (unsigned i = 0; i < std::max(1u, workers); ++i)
+    switch (kind) {
+    case TransportKind::Memory:
+        return "memory";
+    case TransportKind::Socket:
+        return "socket";
+    }
+    return "?";
+}
+
+VerifierService::VerifierService(const ServiceOptions &opts)
+{
+    if (opts.dedupEntries != 0)
+        cache_ = std::make_unique<VerifiedUnitCache>(opts.dedupEntries);
+
+#if REV_VERIFIER_EPOLL
+    // Escape hatch so the condvar fallback stays testable on epoll
+    // hosts (sockets degrade to rings under it).
+    const char *noEpoll = std::getenv("REV_VERIFIER_NO_EPOLL");
+    const bool wantEpoll =
+        noEpoll == nullptr || *noEpoll == '\0' || *noEpoll == '0';
+    if (wantEpoll)
+        epollFd_ = epoll_create1(EPOLL_CLOEXEC);
+    doorbellFd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    stopFd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (epollFd_ >= 0 && doorbellFd_ >= 0 && stopFd_ >= 0) {
+        epollMode_ = true;
+        epoll_event ev{};
+        // The doorbell is level-triggered: if rings queue while every
+        // worker is busy, the next epoll_wait still sees it readable.
+        ev.events = EPOLLIN;
+        ev.data.ptr = &doorbellFd_;
+        epoll_ctl(epollFd_, EPOLL_CTL_ADD, doorbellFd_, &ev);
+        // The stop fd is never read, so once written every worker's
+        // epoll_wait keeps returning it until they all exit.
+        ev.events = EPOLLIN;
+        ev.data.ptr = &stopFd_;
+        epoll_ctl(epollFd_, EPOLL_CTL_ADD, stopFd_, &ev);
+    }
+#endif
+
+    const unsigned workers = std::max(1u, opts.workers);
+    workers_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
         workers_.emplace_back([this] { workerLoop(); });
 }
 
 VerifierService::~VerifierService()
 {
     stop_.store(true, std::memory_order_release);
+#if REV_VERIFIER_EPOLL
+    if (epollMode_) {
+        const u64 one = 1;
+        [[maybe_unused]] ssize_t w = write(stopFd_, &one, sizeof(one));
+    }
+#endif
     readyCv_.notify_all();
     for (std::thread &t : workers_)
         t.join();
+#if REV_VERIFIER_EPOLL
+    if (epollFd_ >= 0)
+        close(epollFd_);
+    if (doorbellFd_ >= 0)
+        close(doorbellFd_);
+    if (stopFd_ >= 0)
+        close(stopFd_);
+#endif
+}
+
+u64
+VerifierService::addSession(const validate::RefStore &refs,
+                            std::unique_ptr<Transport> transport)
+{
+    auto s = std::make_unique<Session>();
+    s->transport = std::move(transport);
+    s->verifier =
+        std::make_unique<validate::StreamVerifier>(refs, cache_.get());
+    Session *raw = s.get();
+    u64 id;
+    {
+        std::lock_guard<std::mutex> lock(sessionsLock_);
+        id = sessions_.size();
+        s->id = id;
+        s->report.id = id;
+        sessions_.push_back(std::move(s));
+    }
+    opened_.fetch_add(1, std::memory_order_relaxed);
+
+#if REV_VERIFIER_EPOLL
+    const int fd = raw->transport->watchFd();
+    if (epollMode_ && fd >= 0) {
+        // One-shot readiness: exactly one worker wakes per event, owns
+        // the session while draining, and re-arms afterwards.
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLRDHUP | EPOLLONESHOT;
+        ev.data.ptr = raw;
+        if (epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev) == 0)
+            raw->watched = true;
+    }
+#else
+    (void)raw;
+#endif
+    return id;
 }
 
 u64
 VerifierService::openSession(const validate::RefStore &refs,
-                             std::size_t ring_bytes)
+                             TransportKind kind, std::size_t ring_bytes)
+{
+    std::unique_ptr<Transport> t;
+    if (kind == TransportKind::Socket) {
+        auto sock = std::make_unique<SocketTransport>(ring_bytes);
+        if (epollMode_ && sock->valid())
+            t = std::move(sock);
+        else
+            warn("verifier: socket transport unavailable, "
+                 "falling back to memory ring");
+    }
+    if (!t)
+        t = std::make_unique<RingTransport>(ring_bytes);
+    return addSession(refs, std::move(t));
+}
+
+u64
+VerifierService::openSessionWith(const validate::RefStore &refs,
+                                 std::unique_ptr<Transport> transport)
+{
+    const int fd = transport->watchFd();
+    if (fd >= 0 && !epollMode_)
+        fatal("verifier: fd-backed transports need the epoll event loop");
+    return addSession(refs, std::move(transport));
+}
+
+VerifierService::Session *
+VerifierService::sessionPtr(u64 id) const
 {
     std::lock_guard<std::mutex> lock(sessionsLock_);
-    const u64 id = sessions_.size();
-    sessions_.push_back(std::make_unique<Session>(id, ring_bytes, refs));
-    return id;
+    return sessions_[id].get();
 }
 
 std::size_t
 VerifierService::offer(u64 session, const u8 *data, std::size_t n)
 {
-    Session *s = sessions_[session].get();
-    const std::size_t accepted = s->ring.write(data, n);
-    if (accepted)
-        notify(s);
+    Session *s = sessionPtr(session);
+    if (s->done.load(std::memory_order_acquire))
+        return n; // verdict latched; swallow so the prover can finish
+    Transport *t = s->transport.get();
+    const std::size_t accepted = t->send(data, n);
+    if (accepted != 0 && t->watchFd() < 0)
+        notify(s); // socket sessions wake workers through epoll itself
     return accepted;
 }
 
 void
 VerifierService::closeSession(u64 session)
 {
-    Session *s = sessions_[session].get();
+    Session *s = sessionPtr(session);
     s->closedAt = Clock::now();
-    s->ring.closeWrite();
+    s->closeSeen.store(true, std::memory_order_seq_cst);
+    s->transport->closeSend();
     closed_.fetch_add(1, std::memory_order_relaxed);
-    notify(s);
+    if (s->transport->watchFd() < 0)
+        notify(s);
+    // Dekker pairing with finishSession(): whichever of close/finish
+    // runs second observes the other's flag and counts the session.
+    if (s->done.load(std::memory_order_seq_cst))
+        countDrained(s);
+}
+
+void
+VerifierService::countDrained(Session *s)
+{
+    if (s->counted.exchange(true, std::memory_order_acq_rel))
+        return;
+    {
+        // Bump under doneLock_ so drain() cannot test its predicate
+        // between the increment and the notify (lost wakeup).
+        std::lock_guard<std::mutex> done(doneLock_);
+        drained_.fetch_add(1, std::memory_order_release);
+    }
+    doneCv_.notify_all();
 }
 
 void
@@ -55,19 +206,81 @@ VerifierService::notify(Session *s)
 {
     // One queue slot per session: first notifier wins, the worker that
     // pops the session clears the flag before draining and re-checks the
-    // ring afterwards, so bytes arriving during the drain are never lost.
+    // transport afterwards, so bytes arriving during the drain are never
+    // lost.
     if (s->queued.exchange(true, std::memory_order_acq_rel))
         return;
     {
         std::lock_guard<std::mutex> lock(readyLock_);
         ready_.push_back(s);
     }
+#if REV_VERIFIER_EPOLL
+    if (epollMode_) {
+        const u64 one = 1;
+        [[maybe_unused]] ssize_t w = write(doorbellFd_, &one, sizeof(one));
+        return;
+    }
+#endif
     readyCv_.notify_one();
 }
 
 void
 VerifierService::workerLoop()
 {
+#if REV_VERIFIER_EPOLL
+    if (epollMode_) {
+        epoll_event evs[64];
+        for (;;) {
+            const int n = epoll_wait(epollFd_, evs, 64, -1);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return;
+            }
+            for (int i = 0; i < n; ++i) {
+                void *p = evs[i].data.ptr;
+                if (p == &stopFd_)
+                    return; // never consumed: all workers see it
+                if (p == &doorbellFd_) {
+                    u64 cnt;
+                    [[maybe_unused]] ssize_t r =
+                        read(doorbellFd_, &cnt, sizeof(cnt));
+                    for (;;) {
+                        Session *s = nullptr;
+                        {
+                            std::lock_guard<std::mutex> lock(readyLock_);
+                            if (ready_.empty())
+                                break;
+                            s = ready_.front();
+                            ready_.pop_front();
+                        }
+                        s->queued.store(false, std::memory_order_release);
+                        service(s);
+                        // Re-notify if bytes (or the close) raced in
+                        // while this worker held the session.
+                        Transport *t = s->transport.get();
+                        if (!s->done.load(std::memory_order_acquire) &&
+                            t != nullptr &&
+                            (t->readable() != 0 || t->finished()))
+                            notify(s);
+                    }
+                    continue;
+                }
+                Session *s = static_cast<Session *>(p);
+                if (service(s)) {
+                    // EPOLLONESHOT consumed: re-arm for the next bytes.
+                    epoll_event ev{};
+                    ev.events = EPOLLIN | EPOLLRDHUP | EPOLLONESHOT;
+                    ev.data.ptr = s;
+                    epoll_ctl(epollFd_, EPOLL_CTL_MOD,
+                              s->transport->watchFd(), &ev);
+                }
+            }
+        }
+    }
+#endif
+    // Fallback hosts: the PR 6 condvar ready queue (memory transports
+    // only; openSession degrades sockets to rings here).
     for (;;) {
         Session *s = nullptr;
         {
@@ -83,47 +296,90 @@ VerifierService::workerLoop()
         }
         s->queued.store(false, std::memory_order_release);
         service(s);
-        // Re-notify if more bytes (or the close marker) raced in while
-        // this worker held the session.
-        if (!s->finished &&
-            (s->ring.readable() != 0 || s->ring.writeClosed()))
+        Transport *t = s->transport.get();
+        if (!s->done.load(std::memory_order_acquire) && t != nullptr &&
+            (t->readable() != 0 || t->finished()))
             notify(s);
     }
 }
 
-void
+bool
 VerifierService::service(Session *s)
 {
     std::lock_guard<std::mutex> lock(s->work);
-    if (s->finished)
-        return;
+    Transport *t = s->transport.get();
+    if (t == nullptr)
+        return false; // settled and torn down
 
-    u8 chunk[4096];
-    for (std::size_t n; (n = s->ring.read(chunk, sizeof(chunk))) != 0;)
-        s->verifier.feed(chunk, n);
-
-    if (!s->verifier.done()) {
-        if (!s->ring.writeClosed() || s->ring.readable() != 0)
-            return; // wait for more bytes
-        s->verifier.finish(); // stream closed mid-session: truncation
+    u8 chunk[16384];
+    if (s->done.load(std::memory_order_relaxed)) {
+        // Verdict already rendered: keep draining so a prover that is
+        // still feeding can finish (its bytes are discarded).
+        while (t->recv(chunk, sizeof(chunk)) != 0) {
+        }
+        if (t->finished() || (t->corrupt() &&
+                              s->closeSeen.load(std::memory_order_acquire))) {
+            s->report.peakBytes = t->peakBytes();
+            s->transport.reset(); // fds close; epoll deregisters
+            return false;
+        }
+        return t->watchFd() >= 0;
     }
 
-    // Verdict rendered. A session that fails before its close still
-    // reports zero latency: the verdict predates the close.
-    if (s->ring.writeClosed()) {
-        const double lat = std::chrono::duration<double>(Clock::now() -
-                                                         s->closedAt)
-                               .count();
-        s->latencySeconds = std::max(0.0, lat);
+    validate::StreamVerifier &v = *s->verifier;
+    for (std::size_t n; (n = t->recv(chunk, sizeof(chunk))) != 0;) {
+        if (!v.feed(chunk, n))
+            break; // verdict latched; the drain continues next pass
     }
-    s->finished = true;
-    {
-        // Bump under doneLock_ so drain() cannot test its predicate
-        // between the increment and the notify (lost wakeup).
-        std::lock_guard<std::mutex> done(doneLock_);
-        completed_.fetch_add(1, std::memory_order_release);
+
+    if (!v.done()) {
+        if (t->corrupt()) {
+            v.abortMalformed(); // framing violated: adjudicate now
+        } else if (!t->finished()) {
+            return t->watchFd() >= 0; // wait for more bytes
+        } else {
+            v.finish(); // stream closed mid-session: truncation
+        }
     }
-    doneCv_.notify_all();
+
+    finishSession(s, t);
+    // A socket prover may still be feeding a latched session: keep the
+    // fd armed until EOF so its back-pressure eventually releases.
+    if (t == s->transport.get() && s->transport != nullptr)
+        return t->watchFd() >= 0 && !t->finished();
+    return false;
+}
+
+void
+VerifierService::finishSession(Session *s, Transport *t)
+{
+    validate::StreamVerifier &v = *s->verifier;
+
+    // A session that fails before its close still reports zero
+    // latency: the verdict predates the close.
+    if (s->closeSeen.load(std::memory_order_acquire)) {
+        const double lat =
+            std::chrono::duration<double>(Clock::now() - s->closedAt)
+                .count();
+        s->report.latencySeconds = std::max(0.0, lat);
+    }
+    s->report.verdict = v.verdict();
+    s->report.bytes = v.bytesConsumed();
+    s->report.peakBytes = t->peakBytes();
+    s->report.dedupHits = v.dedupHits();
+    s->report.dedupMisses = v.dedupMisses();
+
+    // Release the decode state now — a 100k-session soak must not hold
+    // every finished session's buffers. The transport goes too once the
+    // prover is known to be done with it (no offer() after close).
+    s->verifier.reset();
+    if (t->finished() && s->closeSeen.load(std::memory_order_acquire))
+        s->transport.reset();
+
+    adjudicated_.fetch_add(1, std::memory_order_relaxed);
+    s->done.store(true, std::memory_order_seq_cst);
+    if (s->closeSeen.load(std::memory_order_seq_cst))
+        countDrained(s);
 }
 
 void
@@ -131,7 +387,7 @@ VerifierService::drain()
 {
     std::unique_lock<std::mutex> lock(doneLock_);
     doneCv_.wait(lock, [&] {
-        return completed_.load(std::memory_order_acquire) >=
+        return drained_.load(std::memory_order_acquire) >=
                closed_.load(std::memory_order_acquire);
     });
 }
@@ -143,15 +399,30 @@ VerifierService::reports() const
     std::vector<SessionReport> out;
     out.reserve(sessions_.size());
     for (const auto &s : sessions_) {
-        SessionReport r;
-        r.id = s->id;
-        r.verdict = s->verifier.verdict();
-        r.bytes = s->verifier.bytesConsumed();
-        r.peakBytes = s->ring.highWater();
-        r.latencySeconds = s->latencySeconds;
+        if (s->done.load(std::memory_order_acquire)) {
+            out.push_back(s->report);
+            continue;
+        }
+        // Unsettled session (service torn down early): snapshot live.
+        std::lock_guard<std::mutex> work(s->work);
+        SessionReport r = s->report;
+        if (s->verifier) {
+            r.verdict = s->verifier->verdict();
+            r.bytes = s->verifier->bytesConsumed();
+            r.dedupHits = s->verifier->dedupHits();
+            r.dedupMisses = s->verifier->dedupMisses();
+        }
+        if (s->transport)
+            r.peakBytes = s->transport->peakBytes();
         out.push_back(std::move(r));
     }
     return out;
+}
+
+UnitCacheStats
+VerifierService::cacheStats() const
+{
+    return cache_ ? cache_->stats() : UnitCacheStats{};
 }
 
 } // namespace rev::verifier

@@ -4,25 +4,41 @@
  *
  * The service side of the attestation split (ScaRR-style
  * attestation-as-a-service): any number of provers each hold one open
- * *session* — a ByteRing they write their serialized measurement stream
- * into — and a small worker pool drains ready sessions and advances
- * their StreamVerifiers. The design is event-loop shaped:
+ * *session* — a Transport they write their serialized measurement
+ * stream into — and a small worker pool drains ready sessions and
+ * advances their StreamVerifiers. Since PR 9 the scheduling core is a
+ * real event loop, not a mutex/condvar ready queue:
  *
- *  - Provers never block workers: a session ring that fills up
- *    back-pressures only its own prover.
- *  - A session enters the ready queue at most once (an atomic `queued`
- *    flag); whichever worker pops it drains everything available under
- *    the session's own lock, so per-session verification stays
- *    single-threaded (StreamVerifier is not concurrent) while different
- *    sessions verify in parallel.
- *  - Reference lookups batch inside StreamVerifier (RefStore::
- *    lookupBatch groups a chunk's lookups by module shard), so a
- *    thousand concurrent sessions contend on a handful of shard locks
- *    a few times per chunk instead of per block.
+ *  - Every worker blocks in epoll_wait() on one shared epoll set.
+ *    Socket-transport sessions register their verifier-side fd with
+ *    EPOLLONESHOT, so readiness wakes exactly one worker, that worker
+ *    owns the session while it drains, and re-arms the fd afterwards.
+ *    In-memory (ring) sessions signal through an eventfd *doorbell*
+ *    plus a tiny ready deque — a session enters it at most once (the
+ *    atomic `queued` flag). One worker services tens of thousands of
+ *    idle sessions without a thread, a condvar wait, or a poll tick
+ *    each.
+ *  - Per-session decode state is fully resumable: the StreamVerifier
+ *    consumes partial records and the socket FrameDecoder reassembles
+ *    torn reads, so a worker can abandon a session mid-record at any
+ *    byte boundary and any other worker can resume it later.
+ *  - Provers never block workers: a full transport back-pressures only
+ *    its own prover.
+ *  - Cross-session dedup: all sessions share one VerifiedUnitCache, so
+ *    identical (term, digest) table walks and identical LO-FAT chain
+ *    folds are paid once service-wide instead of once per session.
+ *    Per-session hit/miss counts surface in SessionReport next to
+ *    peakBytes; service-wide counters via cacheStats().
+ *  - A finished session releases its verifier and transport memory
+ *    (the verdict is snapshotted into its report first), so a 100k
+ *    session soak holds live state only for the in-flight window.
  *
- * Session latency is measured from close (the prover sealed and
- * closed the ring) to the verdict render; the load generator reports
- * the p99 across sessions.
+ * On hosts without epoll the service falls back to the PR 6
+ * mutex/condvar loop (socket transports degrade to rings there).
+ *
+ * Session latency is measured from close (the prover sealed the
+ * transport) to the verdict render; the load generator reports the p99
+ * across sessions.
  */
 
 #ifndef REV_VERIFIER_SERVICE_HPP
@@ -38,38 +54,63 @@
 #include <vector>
 
 #include "validate/stream_verifier.hpp"
-#include "verifier/ring.hpp"
+#include "verifier/transport.hpp"
+#include "verifier/unit_cache.hpp"
 
 namespace rev::verifier
 {
 
-/** Default per-session ring capacity (bytes, power of two). */
-inline constexpr std::size_t kDefaultRingBytes = 1u << 16;
+/** Which transport a session runs over. */
+enum class TransportKind : u8
+{
+    Memory, ///< in-process SPSC ByteRing (PR 6 behavior)
+    Socket, ///< Unix-domain socketpair, length-framed chunks
+};
+
+const char *transportName(TransportKind kind);
+
+/** Service-wide knobs. */
+struct ServiceOptions
+{
+    unsigned workers = 1;
+
+    /** Shared verified-unit cache capacity (entries across unit + fold
+     *  key spaces); 0 disables cross-session dedup entirely. */
+    std::size_t dedupEntries = 1u << 16;
+};
 
 /** Outcome of one adjudicated session. */
 struct SessionReport
 {
     u64 id = 0;
     validate::StreamVerdict verdict;
-    u64 bytes = 0;          ///< stream bytes the verifier consumed
-    u64 peakBytes = 0;      ///< ring-occupancy high-water (transport
-                            ///< memory this session actually held)
+    u64 bytes = 0;     ///< stream bytes the verifier consumed
+    u64 peakBytes = 0; ///< transport-occupancy high-water (memory this
+                       ///< session actually held in transit)
+    u64 dedupHits = 0;   ///< shared-cache hits this session
+    u64 dedupMisses = 0; ///< shared-cache misses this session
     double latencySeconds = 0; ///< close-of-stream to verdict render
 };
 
 /**
  * The verifier service: open sessions, feed bytes, collect verdicts.
  *
- * Thread contract: openSession()/drain()/reports() are called by the
- * controlling thread; offer()/closeSession() for one session are called
- * by that session's single prover thread (different sessions may use
- * different threads).
+ * Thread contract: openSession() may be called from any thread at any
+ * time (sessions can be opened while others are mid-flight — the soak
+ * load generator opens lazily in a sliding window); offer() and
+ * closeSession() for one session are called by that session's single
+ * prover thread; drain()/reports() by the controlling thread after the
+ * provers finish. No offer() after closeSession() for the same session.
  */
 class VerifierService
 {
   public:
-    /** @param workers Verification worker threads (min 1). */
-    explicit VerifierService(unsigned workers);
+    explicit VerifierService(const ServiceOptions &opts);
+    /** Convenience: @p workers workers, default dedup. */
+    explicit VerifierService(unsigned workers)
+        : VerifierService(ServiceOptions{workers, 1u << 16})
+    {
+    }
     ~VerifierService();
 
     VerifierService(const VerifierService &) = delete;
@@ -79,15 +120,22 @@ class VerifierService
      * Open a session adjudicated against @p refs (per-session: one
      * service multiplexes sessions of any number of attested programs).
      * @p refs must outlive the service. Returns the session id (dense,
-     * starting at 0). Open every session before provers start feeding.
+     * in open order).
      */
     u64 openSession(const validate::RefStore &refs,
+                    TransportKind kind = TransportKind::Memory,
                     std::size_t ringBytes = kDefaultRingBytes);
+
+    /** Open a session over a caller-built transport (fault-injection
+     *  tests wrap transports in FlakyTransport decorators). */
+    u64 openSessionWith(const validate::RefStore &refs,
+                        std::unique_ptr<Transport> transport);
 
     /**
      * Prover: append up to @p n measurement bytes to @p session.
-     * @return Bytes accepted (back-pressure when the ring is full —
-     *         retry the rest after the service drains).
+     * @return Bytes accepted (back-pressure when the transport is full
+     *         — retry the rest after the service drains). A session
+     *         whose verdict is already rendered swallows further bytes.
      */
     std::size_t offer(u64 session, const u8 *data, std::size_t n);
 
@@ -100,10 +148,17 @@ class VerifierService
     /** Per-session outcomes (stable by session id). Call after drain(). */
     std::vector<SessionReport> reports() const;
 
-    u64 sessionsOpened() const { return sessions_.size(); }
-    u64 sessionsCompleted() const
+    /** Service-wide dedup counters (zeros when dedup is disabled). */
+    UnitCacheStats cacheStats() const;
+
+    u64 sessionsOpened() const
     {
-        return completed_.load(std::memory_order_relaxed);
+        return opened_.load(std::memory_order_relaxed);
+    }
+    /** Sessions whose verdict is rendered (closed or not). */
+    u64 sessionsAdjudicated() const
+    {
+        return adjudicated_.load(std::memory_order_relaxed);
     }
 
   private:
@@ -112,45 +167,68 @@ class VerifierService
     struct Session
     {
         u64 id = 0;
-        ByteRing ring;
-        validate::StreamVerifier verifier;
+        std::unique_ptr<Transport> transport;
+        std::unique_ptr<validate::StreamVerifier> verifier;
         std::mutex work; ///< serializes workers over this session
-        std::atomic<bool> queued{false}; ///< present in the ready queue
-        bool finished = false;           ///< verdict rendered and recorded
+        std::atomic<bool> queued{false}; ///< present in the ready deque
+        std::atomic<bool> done{false};   ///< verdict rendered
+        std::atomic<bool> closeSeen{false};
+        std::atomic<bool> counted{false}; ///< contributed to drained_
         Clock::time_point closedAt{};
-        double latencySeconds = 0;
-
-        Session(u64 id_, std::size_t ring_bytes,
-                const validate::RefStore &refs)
-            : id(id_), ring(ring_bytes), verifier(refs)
-        {
-        }
+        SessionReport report; ///< snapshotted at finish
+        bool watched = false; ///< fd registered with the event loop
     };
 
-    /** Enqueue @p s for a worker unless it is already queued. */
+    u64 addSession(const validate::RefStore &refs,
+                   std::unique_ptr<Transport> transport);
+    Session *sessionPtr(u64 id) const;
+
+    /** Enqueue @p s on the doorbell path unless already queued. */
     void notify(Session *s);
 
     void workerLoop();
 
-    /** Drain and verify everything available for @p s (one worker). */
-    void service(Session *s);
+    /**
+     * Drain and verify everything available for @p s (one worker).
+     * @return true when a socket session wants its fd re-armed.
+     */
+    bool service(Session *s);
 
-    // Sessions are append-only; openSession() is controller-only, and
-    // provers/workers touch only their own Session objects.
+    /** Verdict rendered: snapshot the report, release big state. */
+    void finishSession(Session *s, Transport *t);
+
+    /** Count @p s toward drain() once it is both closed and done. */
+    void countDrained(Session *s);
+
+    // Sessions are append-only; the vector grows under sessionsLock_
+    // and the unique_ptr elements give workers stable addresses.
     std::vector<std::unique_ptr<Session>> sessions_;
-    mutable std::mutex sessionsLock_; ///< guards sessions_ growth vs readers
+    mutable std::mutex sessionsLock_;
+    std::atomic<u64> opened_{0};
 
+    // Doorbell ready queue (in-memory transports only).
     std::deque<Session *> ready_;
     std::mutex readyLock_;
-    std::condition_variable readyCv_;
+    std::condition_variable readyCv_; ///< fallback hosts only
 
     std::atomic<u64> closed_{0};
-    std::atomic<u64> completed_{0};
+    std::atomic<u64> drained_{0}; ///< sessions both closed and done
+    std::atomic<u64> adjudicated_{0};
     std::condition_variable doneCv_; ///< signaled on session completion
-    std::mutex doneLock_;
+    mutable std::mutex doneLock_;
 
     std::atomic<bool> stop_{false};
     std::vector<std::thread> workers_;
+
+    std::unique_ptr<VerifiedUnitCache> cache_;
+
+    // Event loop (epoll hosts): all workers share one epoll set; the
+    // doorbell eventfd carries ring-session readiness, the stop eventfd
+    // fans shutdown out to every worker.
+    int epollFd_ = -1;
+    int doorbellFd_ = -1;
+    int stopFd_ = -1;
+    bool epollMode_ = false;
 };
 
 } // namespace rev::verifier

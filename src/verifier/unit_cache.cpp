@@ -1,0 +1,182 @@
+#include "verifier/unit_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rev::verifier
+{
+
+namespace
+{
+
+/** One word of splitmix-style avalanche; the fold path hashes ~2.4M
+ *  keys per 1000-session run, so this must be a handful of ALU ops per
+ *  word, not a byte loop. */
+inline u64
+mix(u64 h, u64 v)
+{
+    h ^= v;
+    h *= 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 29;
+    return h;
+}
+
+std::size_t
+roundUpPow2(std::size_t v)
+{
+    std::size_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+std::size_t
+VerifiedUnitCache::KeyHash::operator()(const Key &k) const
+{
+    u64 h = 0x243f6a8885a308d3ULL;
+    h = mix(h, k.kind);
+    h = mix(h, reinterpret_cast<std::uintptr_t>(k.ns));
+    u64 w[4];
+    static_assert(sizeof(k.chain) == sizeof(w));
+    std::memcpy(w, k.chain.data(), sizeof(w));
+    for (const u64 v : w)
+        h = mix(h, v);
+    h = mix(h, k.a);
+    h = mix(h, k.b);
+    h = mix(h, k.c);
+    h = mix(h, (static_cast<u64>(k.d) << 32) | k.e);
+    return static_cast<std::size_t>(h);
+}
+
+VerifiedUnitCache::VerifiedUnitCache(std::size_t maxEntries,
+                                     std::size_t shards)
+    : shards_(roundUpPow2(std::max<std::size_t>(1, shards)))
+{
+    shardMask_ = shards_.size() - 1;
+    perShardCap_ = std::max<std::size_t>(1, maxEntries / shards_.size());
+}
+
+VerifiedUnitCache::Shard &
+VerifiedUnitCache::shardFor(std::size_t keyHash) const
+{
+    return shards_[keyHash & shardMask_];
+}
+
+void
+VerifiedUnitCache::insert(const Key &k, std::size_t keyHash, Value &&v)
+{
+    Shard &s = shardFor(keyHash);
+    std::lock_guard<std::mutex> lock(s.lock);
+    // Two sessions can race the same miss; first insert wins and the
+    // duplicate (bit-identical by purity) is dropped.
+    const auto [it, inserted] = s.map.emplace(k, std::move(v));
+    (void)it;
+    if (!inserted)
+        return;
+    s.fifo.push_back(k);
+    while (s.map.size() > perShardCap_) {
+        s.map.erase(s.fifo.front());
+        s.fifo.pop_front();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+bool
+VerifiedUnitCache::lookupUnit(const validate::RefStore *ns, Addr term,
+                              u32 key, sig::LookupResult *out) const
+{
+    Key k;
+    k.kind = 0;
+    k.ns = ns;
+    k.a = term;
+    k.d = key;
+    const std::size_t h = KeyHash{}(k);
+    Shard &s = shardFor(h);
+    {
+        std::lock_guard<std::mutex> lock(s.lock);
+        const auto it = s.map.find(k);
+        if (it != s.map.end()) {
+            *out = it->second.unit; // one copy, straight off the entry
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+}
+
+void
+VerifiedUnitCache::insertUnit(const validate::RefStore *ns, Addr term,
+                              u32 key, const sig::LookupResult &val)
+{
+    Key k;
+    k.kind = 0;
+    k.ns = ns;
+    k.a = term;
+    k.d = key;
+    Value v;
+    v.unit = val;
+    insert(k, KeyHash{}(k), std::move(v));
+}
+
+bool
+VerifiedUnitCache::lookupFold(const crypto::Digest &chain, const FoldKey &key,
+                              crypto::Digest *out) const
+{
+    Key k;
+    k.kind = 1;
+    k.chain = chain;
+    k.a = key.start;
+    k.b = key.term;
+    k.c = key.target;
+    k.d = key.codeDigest;
+    k.e = key.hashRounds;
+    const std::size_t h = KeyHash{}(k);
+    Shard &s = shardFor(h);
+    {
+        std::lock_guard<std::mutex> lock(s.lock);
+        const auto it = s.map.find(k);
+        if (it != s.map.end()) {
+            *out = it->second.fold; // 32 bytes; skip the Value copy
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+}
+
+void
+VerifiedUnitCache::insertFold(const crypto::Digest &chain, const FoldKey &key,
+                              const crypto::Digest &next)
+{
+    Key k;
+    k.kind = 1;
+    k.chain = chain;
+    k.a = key.start;
+    k.b = key.term;
+    k.c = key.target;
+    k.d = key.codeDigest;
+    k.e = key.hashRounds;
+    Value v;
+    v.fold = next;
+    insert(k, KeyHash{}(k), std::move(v));
+}
+
+UnitCacheStats
+VerifiedUnitCache::stats() const
+{
+    UnitCacheStats out;
+    out.hits = hits_.load(std::memory_order_relaxed);
+    out.misses = misses_.load(std::memory_order_relaxed);
+    out.evictions = evictions_.load(std::memory_order_relaxed);
+    for (const Shard &s : shards_) {
+        std::lock_guard<std::mutex> lock(s.lock);
+        out.entries += s.map.size();
+    }
+    return out;
+}
+
+} // namespace rev::verifier

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Frame-boundary fuzzing for the verifier's socket transport: the
+ * length-framed chunk decoder must be total — any byte sequence, cut at
+ * any boundary, with any mutated length prefix, either decodes, reports
+ * honest truncation at EOF, or latches corrupt. It must never crash,
+ * never stall, and never fabricate payload bytes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.hpp"
+#include "verifier/transport.hpp"
+
+namespace rev::verifier
+{
+namespace
+{
+
+std::vector<u8>
+randomPayload(Rng &rng, std::size_t n)
+{
+    std::vector<u8> v(n);
+    for (u8 &b : v)
+        b = static_cast<u8>(rng.next());
+    return v;
+}
+
+/** Frame @p payload as the prover would: random record-ish chunks. */
+std::vector<u8>
+frameRandomly(Rng &rng, const std::vector<u8> &payload)
+{
+    std::vector<u8> framed;
+    std::size_t off = 0;
+    while (off < payload.size()) {
+        const std::size_t n = std::min<std::size_t>(
+            1 + static_cast<std::size_t>(rng.below(2000)),
+            payload.size() - off);
+        FrameDecoder::encodeFrame(&framed, payload.data() + off, n);
+        off += n;
+    }
+    return framed;
+}
+
+std::vector<u8>
+pushInSlivers(Rng &rng, FrameDecoder &d, const std::vector<u8> &bytes)
+{
+    std::vector<u8> out;
+    u8 buf[333];
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const std::size_t n = std::min<std::size_t>(
+            1 + static_cast<std::size_t>(rng.below(37)),
+            bytes.size() - off);
+        d.push(bytes.data() + off, n);
+        off += n;
+        for (std::size_t got; (got = d.take(buf, sizeof(buf))) != 0;)
+            out.insert(out.end(), buf, buf + got);
+    }
+    return out;
+}
+
+class FrameFuzz : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(FrameFuzz, RandomChunkSplitsRoundTripLosslessly)
+{
+    Rng rng(GetParam());
+    for (int t = 0; t < 200; ++t) {
+        const std::vector<u8> payload =
+            randomPayload(rng, rng.below(20000));
+        const std::vector<u8> framed = frameRandomly(rng, payload);
+
+        FrameDecoder d;
+        const std::vector<u8> got = pushInSlivers(rng, d, framed);
+        d.markEof();
+        EXPECT_FALSE(d.corrupt());
+        ASSERT_EQ(got, payload);
+        EXPECT_EQ(d.pending(), 0u);
+    }
+}
+
+TEST_P(FrameFuzz, TruncationAtAnyBoundaryYieldsTheDeliveredPrefix)
+{
+    Rng rng(GetParam());
+    for (int t = 0; t < 20; ++t) {
+        const std::vector<u8> payload = randomPayload(rng, 600);
+        std::vector<u8> framed;
+        // Fixed 100-byte frames make the expected prefix computable.
+        for (std::size_t off = 0; off < payload.size(); off += 100)
+            FrameDecoder::encodeFrame(&framed, payload.data() + off, 100);
+        const std::size_t frameBytes = 100 + kFrameHeaderBytes;
+
+        for (std::size_t cut = 0; cut <= framed.size(); ++cut) {
+            FrameDecoder d;
+            std::vector<u8> slice(framed.begin(), framed.begin() + cut);
+            const std::vector<u8> got = pushInSlivers(rng, d, slice);
+            d.markEof();
+            // A prefix of a valid stream is truncation, never corruption.
+            ASSERT_FALSE(d.corrupt()) << cut;
+            // Payload streams out incrementally: every received payload
+            // byte stands, only header bytes and the unsent tail vanish.
+            const std::size_t wholeFrames = cut / frameBytes;
+            const std::size_t inLast = cut % frameBytes;
+            const std::size_t expect =
+                wholeFrames * 100 +
+                (inLast > kFrameHeaderBytes ? inLast - kFrameHeaderBytes
+                                            : 0);
+            ASSERT_EQ(got.size(), expect) << cut;
+            ASSERT_TRUE(std::equal(got.begin(), got.end(),
+                                   payload.begin()))
+                << cut;
+        }
+    }
+}
+
+TEST_P(FrameFuzz, MutatedLengthPrefixesAreTotalAndNeverFabricate)
+{
+    Rng rng(GetParam());
+    for (int t = 0; t < 300; ++t) {
+        const std::vector<u8> payload =
+            randomPayload(rng, 1 + rng.below(5000));
+        std::vector<u8> framed = frameRandomly(rng, payload);
+        // Smash a few bytes; header hits flip length prefixes.
+        for (u64 i = rng.range(1, 8); i-- > 0;)
+            framed[rng.below(framed.size())] = static_cast<u8>(rng.next());
+
+        FrameDecoder d;
+        const std::vector<u8> got = pushInSlivers(rng, d, framed);
+        d.markEof();
+        // Totality: no crash, no stall, and the decoder never invents
+        // bytes beyond what framing could carry.
+        EXPECT_LE(got.size(), framed.size());
+        if (d.corrupt()) {
+            EXPECT_EQ(d.pending(), 0u); // corrupt decoders buffer nothing
+        }
+    }
+}
+
+TEST_P(FrameFuzz, PureNoiseNeverCrashesTheDecoder)
+{
+    Rng rng(GetParam());
+    for (int t = 0; t < 300; ++t) {
+        const std::vector<u8> noise =
+            randomPayload(rng, rng.below(4096));
+        FrameDecoder d;
+        const std::vector<u8> got = pushInSlivers(rng, d, noise);
+        d.markEof();
+        EXPECT_LE(got.size(), noise.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrameFuzz, ::testing::Values(1, 2, 3, 4));
+
+} // namespace
+} // namespace rev::verifier

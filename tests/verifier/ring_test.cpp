@@ -1,0 +1,149 @@
+/**
+ * @file
+ * ByteRing contract tests — in particular the PR 9 wrap-around audit
+ * regressions: exactly-full occupancy must be unambiguous (no
+ * full/empty aliasing, no reserved slot) and spans crossing the
+ * physical buffer edge must round-trip intact.
+ */
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "verifier/ring.hpp"
+
+namespace rev::verifier
+{
+namespace
+{
+
+std::vector<u8>
+pattern(std::size_t n, u8 seed = 0)
+{
+    std::vector<u8> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<u8>(seed + i * 131 + (i >> 8));
+    return v;
+}
+
+TEST(ByteRing, ExactlyFullAcceptsNothingAndDrainsFully)
+{
+    ByteRing ring(64);
+    const std::vector<u8> data = pattern(64);
+    ASSERT_EQ(ring.write(data.data(), data.size()), 64u);
+    EXPECT_EQ(ring.readable(), 64u);
+
+    // Exactly-full is a real state: free space is 0, not capacity.
+    const u8 extra = 0xAB;
+    EXPECT_EQ(ring.write(&extra, 1), 0u);
+    EXPECT_EQ(ring.highWater(), 64u);
+
+    std::vector<u8> out(64);
+    EXPECT_EQ(ring.read(out.data(), out.size()), 64u);
+    EXPECT_EQ(out, data);
+    EXPECT_EQ(ring.readable(), 0u);
+    EXPECT_EQ(ring.read(out.data(), out.size()), 0u);
+}
+
+TEST(ByteRing, RefillAfterExactlyFullKeepsByteOrder)
+{
+    ByteRing ring(32);
+    const std::vector<u8> a = pattern(32, 1);
+    ASSERT_EQ(ring.write(a.data(), a.size()), 32u);
+    std::vector<u8> out(32);
+    ASSERT_EQ(ring.read(out.data(), 32), 32u);
+
+    // Head == tail == capacity now: the next write starts exactly on
+    // the wrap boundary.
+    const std::vector<u8> b = pattern(32, 7);
+    ASSERT_EQ(ring.write(b.data(), b.size()), 32u);
+    ASSERT_EQ(ring.read(out.data(), 32), 32u);
+    EXPECT_EQ(out, b);
+}
+
+TEST(ByteRing, BoundarySpanningWriteIsSplitCorrectly)
+{
+    ByteRing ring(64);
+    std::vector<u8> out(64);
+
+    // Park the positions 48 bytes in so the next 32-byte span wraps.
+    const std::vector<u8> pre = pattern(48, 3);
+    ASSERT_EQ(ring.write(pre.data(), pre.size()), 48u);
+    ASSERT_EQ(ring.read(out.data(), 48), 48u);
+
+    const std::vector<u8> span = pattern(32, 9);
+    ASSERT_EQ(ring.write(span.data(), span.size()), 32u);
+    ASSERT_EQ(ring.readable(), 32u);
+    ASSERT_EQ(ring.read(out.data(), 32), 32u);
+    EXPECT_TRUE(std::equal(span.begin(), span.end(), out.begin()));
+}
+
+TEST(ByteRing, PartialAcceptNearFullTakesExactlyFreeBytes)
+{
+    ByteRing ring(32);
+    const std::vector<u8> a = pattern(30, 2);
+    ASSERT_EQ(ring.write(a.data(), a.size()), 30u);
+    const std::vector<u8> b = pattern(10, 5);
+    // Only 2 bytes free: accept exactly those, never a wrapped overwrite.
+    ASSERT_EQ(ring.write(b.data(), b.size()), 2u);
+    EXPECT_EQ(ring.readable(), 32u);
+
+    std::vector<u8> out(32);
+    ASSERT_EQ(ring.read(out.data(), 32), 32u);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), out.begin()));
+    EXPECT_EQ(out[30], b[0]);
+    EXPECT_EQ(out[31], b[1]);
+}
+
+TEST(ByteRing, CloseMarkerVisibleAfterDrain)
+{
+    ByteRing ring(16);
+    const u8 b = 1;
+    ring.write(&b, 1);
+    EXPECT_FALSE(ring.writeClosed());
+    ring.closeWrite();
+    EXPECT_TRUE(ring.writeClosed());
+    u8 out;
+    EXPECT_EQ(ring.read(&out, 1), 1u);
+    EXPECT_EQ(ring.readable(), 0u);
+}
+
+TEST(ByteRing, SpscStressRoundTripsEveryByteAcrossWraps)
+{
+    // Small ring + large stream: the transfer wraps hundreds of times
+    // and regularly hits exactly-full under real thread interleaving.
+    ByteRing ring(256);
+    const std::vector<u8> stream = pattern(100000, 11);
+
+    std::vector<u8> got;
+    got.reserve(stream.size());
+    std::thread consumer([&] {
+        u8 buf[97]; // deliberately not a divisor of the capacity
+        while (got.size() < stream.size()) {
+            const std::size_t n = ring.read(buf, sizeof(buf));
+            got.insert(got.end(), buf, buf + n);
+            if (n == 0)
+                std::this_thread::yield();
+        }
+    });
+
+    Rng rng(42);
+    std::size_t off = 0;
+    while (off < stream.size()) {
+        const std::size_t want = std::min<std::size_t>(
+            1 + static_cast<std::size_t>(rng.below(300)),
+            stream.size() - off);
+        off += ring.write(stream.data() + off, want);
+    }
+    ring.closeWrite();
+    consumer.join();
+
+    EXPECT_EQ(got, stream);
+    EXPECT_LE(ring.highWater(), ring.capacity());
+    EXPECT_GT(ring.highWater(), 0u);
+}
+
+} // namespace
+} // namespace rev::verifier
