@@ -114,8 +114,16 @@ VerifierService::addSession(const validate::RefStore &refs,
         epoll_event ev{};
         ev.events = EPOLLIN | EPOLLRDHUP | EPOLLONESHOT;
         ev.data.ptr = raw;
-        if (epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev) == 0)
-            raw->watched = true;
+        if (epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev) == 0) {
+            raw->watched.store(true, std::memory_order_relaxed);
+        } else {
+            // ADD can fail under fd/memory pressure (ENOMEM/ENOSPC) at
+            // soak scale. The session must not go dark: unwatched fd
+            // sessions are scheduled through the doorbell instead —
+            // offer() and closeSession() notify() for them.
+            warn("verifier: epoll ADD failed for session fd, "
+                 "falling back to doorbell scheduling");
+        }
     }
 #else
     (void)raw;
@@ -164,10 +172,17 @@ VerifierService::offer(u64 session, const u8 *data, std::size_t n)
     Session *s = sessionPtr(session);
     if (s->done.load(std::memory_order_acquire))
         return n; // verdict latched; swallow so the prover can finish
+    // Unlocked transport access is safe on the prover path: workers
+    // only reset s->transport after observing proverGone, which this
+    // same thread publishes at the end of closeSession() — and the
+    // session contract forbids offer() after closeSession().
     Transport *t = s->transport.get();
     const std::size_t accepted = t->send(data, n);
-    if (accepted != 0 && t->watchFd() < 0)
-        notify(s); // socket sessions wake workers through epoll itself
+    // Watched sockets wake workers through epoll itself; rings and fd
+    // sessions whose epoll registration failed go through the doorbell.
+    if (accepted != 0 &&
+        (t->watchFd() < 0 || !s->watched.load(std::memory_order_relaxed)))
+        notify(s);
     return accepted;
 }
 
@@ -176,11 +191,18 @@ VerifierService::closeSession(u64 session)
 {
     Session *s = sessionPtr(session);
     s->closedAt = Clock::now();
+    Transport *t = s->transport.get(); // safe: see offer()
     s->closeSeen.store(true, std::memory_order_seq_cst);
-    s->transport->closeSend();
+    t->closeSend();
+    // Last prover-side transport access is done: from here on a worker
+    // pass that observes this flag may tear the transport down.
+    s->proverGone.store(true, std::memory_order_seq_cst);
     closed_.fetch_add(1, std::memory_order_relaxed);
-    if (s->transport->watchFd() < 0)
-        notify(s);
+    // Every close schedules one doorbell pass guaranteed to observe
+    // proverGone (closeNotify's ordering argument), so even a session
+    // whose fd never fires again — EOF or corruption already consumed —
+    // is drained, retired, and counted.
+    closeNotify(s);
     // Dekker pairing with finishSession(): whichever of close/finish
     // runs second observes the other's flag and counts the session.
     if (s->done.load(std::memory_order_seq_cst))
@@ -225,6 +247,38 @@ VerifierService::notify(Session *s)
 }
 
 void
+VerifierService::closeNotify(Session *s)
+{
+    bool enqueued = false;
+    {
+        // Unlike notify(), take readyLock_ even when the session is
+        // already queued. Two cases, both of which order the next
+        // service pass after closeSession()'s proverGone store:
+        //  - the queued entry is still in the deque: its pop runs under
+        //    this same lock, after our unlock (mutex happens-before);
+        //  - the entry was popped but `queued` not yet cleared: our
+        //    seq_cst exchange precedes the worker's seq_cst clear in
+        //    the coherence order, so that pass's seq_cst proverGone
+        //    load (sequenced after the clear) must observe the store.
+        std::lock_guard<std::mutex> lock(readyLock_);
+        if (!s->queued.exchange(true, std::memory_order_seq_cst)) {
+            ready_.push_back(s);
+            enqueued = true;
+        }
+    }
+    if (!enqueued)
+        return;
+#if REV_VERIFIER_EPOLL
+    if (epollMode_) {
+        const u64 one = 1;
+        [[maybe_unused]] ssize_t w = write(doorbellFd_, &one, sizeof(one));
+        return;
+    }
+#endif
+    readyCv_.notify_one();
+}
+
+void
 VerifierService::workerLoop()
 {
 #if REV_VERIFIER_EPOLL
@@ -254,27 +308,30 @@ VerifierService::workerLoop()
                             s = ready_.front();
                             ready_.pop_front();
                         }
-                        s->queued.store(false, std::memory_order_release);
+                        // seq_cst: pairs with closeNotify's exchange so
+                        // a close that coalesced onto this entry is
+                        // seen by the pass below.
+                        s->queued.store(false, std::memory_order_seq_cst);
                         service(s);
                         // Re-notify if bytes (or the close) raced in
-                        // while this worker held the session.
-                        Transport *t = s->transport.get();
-                        if (!s->done.load(std::memory_order_acquire) &&
-                            t != nullptr &&
-                            (t->readable() != 0 || t->finished()))
-                            notify(s);
+                        // while this worker held the session. Under
+                        // s->work: another worker may be resetting the
+                        // transport concurrently.
+                        {
+                            std::lock_guard<std::mutex> work(s->work);
+                            Transport *t = s->transport.get();
+                            if (!s->done.load(std::memory_order_acquire) &&
+                                t != nullptr &&
+                                (t->readable() != 0 || t->finished()))
+                                notify(s);
+                        }
                     }
                     continue;
                 }
-                Session *s = static_cast<Session *>(p);
-                if (service(s)) {
-                    // EPOLLONESHOT consumed: re-arm for the next bytes.
-                    epoll_event ev{};
-                    ev.events = EPOLLIN | EPOLLRDHUP | EPOLLONESHOT;
-                    ev.data.ptr = s;
-                    epoll_ctl(epollFd_, EPOLL_CTL_MOD,
-                              s->transport->watchFd(), &ev);
-                }
+                // Watched fd session: service() re-arms the one-shot
+                // registration itself, under the session lock, so the
+                // re-arm can never race a concurrent transport reset.
+                service(static_cast<Session *>(p));
             }
         }
     }
@@ -294,60 +351,102 @@ VerifierService::workerLoop()
             s = ready_.front();
             ready_.pop_front();
         }
-        s->queued.store(false, std::memory_order_release);
+        s->queued.store(false, std::memory_order_seq_cst);
         service(s);
-        Transport *t = s->transport.get();
-        if (!s->done.load(std::memory_order_acquire) && t != nullptr &&
-            (t->readable() != 0 || t->finished()))
-            notify(s);
+        {
+            std::lock_guard<std::mutex> work(s->work);
+            Transport *t = s->transport.get();
+            if (!s->done.load(std::memory_order_acquire) && t != nullptr &&
+                (t->readable() != 0 || t->finished()))
+                notify(s);
+        }
     }
 }
 
-bool
+void
 VerifierService::service(Session *s)
 {
     std::lock_guard<std::mutex> lock(s->work);
     Transport *t = s->transport.get();
     if (t == nullptr)
-        return false; // settled and torn down
+        return; // settled and torn down
+
+    // Load before draining: a seq_cst read of true synchronizes with
+    // closeSession()'s store, so the drain below then sees every byte
+    // and the close the prover published. A stale false only defers
+    // teardown to the close-time doorbell pass, which is guaranteed to
+    // load true (see closeNotify).
+    const bool proverGone =
+        s->proverGone.load(std::memory_order_seq_cst);
 
     u8 chunk[16384];
     if (s->done.load(std::memory_order_relaxed)) {
         // Verdict already rendered: keep draining so a prover that is
-        // still feeding can finish (its bytes are discarded).
+        // still feeding can finish (its bytes are discarded, and the
+        // report stays frozen — it was published before `done`).
         while (t->recv(chunk, sizeof(chunk)) != 0) {
         }
-        if (t->finished() || (t->corrupt() &&
-                              s->closeSeen.load(std::memory_order_acquire))) {
-            s->report.peakBytes = t->peakBytes();
-            s->transport.reset(); // fds close; epoll deregisters
-            return false;
+    } else {
+        validate::StreamVerifier &v = *s->verifier;
+        for (std::size_t n; (n = t->recv(chunk, sizeof(chunk))) != 0;) {
+            if (!v.feed(chunk, n))
+                break; // verdict latched; the drain continues next pass
         }
-        return t->watchFd() >= 0;
-    }
 
-    validate::StreamVerifier &v = *s->verifier;
-    for (std::size_t n; (n = t->recv(chunk, sizeof(chunk))) != 0;) {
-        if (!v.feed(chunk, n))
-            break; // verdict latched; the drain continues next pass
-    }
-
-    if (!v.done()) {
-        if (t->corrupt()) {
-            v.abortMalformed(); // framing violated: adjudicate now
-        } else if (!t->finished()) {
-            return t->watchFd() >= 0; // wait for more bytes
-        } else {
-            v.finish(); // stream closed mid-session: truncation
+        if (!v.done()) {
+            if (t->corrupt()) {
+                v.abortMalformed(); // framing violated: adjudicate now
+            } else if (!t->finished()) {
+                rearm(s, t); // wait for more bytes
+                return;
+            } else {
+                v.finish(); // stream closed mid-session: truncation
+            }
         }
+
+        finishSession(s, t);
     }
 
-    finishSession(s, t);
-    // A socket prover may still be feeding a latched session: keep the
-    // fd armed until EOF so its back-pressure eventually releases.
-    if (t == s->transport.get() && s->transport != nullptr)
-        return t->watchFd() >= 0 && !t->finished();
-    return false;
+    // Retire the transport once the stream is over and the prover has
+    // published its close; until then keep fd sessions armed while the
+    // prover can still produce events (a latched socket session drains
+    // its prover's in-flight bytes so closeSend() never stalls). A
+    // finished-but-not-yet-closed fd stays unarmed — re-arming would
+    // busy-spin on EPOLLRDHUP — and is retired by the close pass.
+    if (!maybeRetire(s, t, proverGone) && !t->finished())
+        rearm(s, t);
+}
+
+void
+VerifierService::rearm(Session *s, Transport *t)
+{
+#if REV_VERIFIER_EPOLL
+    if (!epollMode_ || !s->watched.load(std::memory_order_relaxed))
+        return;
+    const int fd = t->watchFd();
+    if (fd < 0)
+        return;
+    // Caller holds s->work, so the fd cannot be concurrently closed by
+    // a transport reset (and thus never re-registered after reuse).
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP | EPOLLONESHOT;
+    ev.data.ptr = s;
+    epoll_ctl(epollFd_, EPOLL_CTL_MOD, fd, &ev);
+#else
+    (void)s;
+    (void)t;
+#endif
+}
+
+bool
+VerifierService::maybeRetire(Session *s, Transport *t, bool proverGone)
+{
+    if (!proverGone)
+        return false; // the close-time doorbell pass will retire it
+    if (!t->finished() && !t->corrupt())
+        return false;
+    s->transport.reset(); // fds close; epoll deregisters
+    return true;
 }
 
 void
@@ -370,11 +469,9 @@ VerifierService::finishSession(Session *s, Transport *t)
     s->report.dedupMisses = v.dedupMisses();
 
     // Release the decode state now — a 100k-session soak must not hold
-    // every finished session's buffers. The transport goes too once the
-    // prover is known to be done with it (no offer() after close).
+    // every finished session's buffers. The transport is retired by the
+    // caller (maybeRetire) once the prover has published its close.
     s->verifier.reset();
-    if (t->finished() && s->closeSeen.load(std::memory_order_acquire))
-        s->transport.reset();
 
     adjudicated_.fetch_add(1, std::memory_order_relaxed);
     s->done.store(true, std::memory_order_seq_cst);

@@ -86,7 +86,9 @@ struct SessionReport
     validate::StreamVerdict verdict;
     u64 bytes = 0;     ///< stream bytes the verifier consumed
     u64 peakBytes = 0; ///< transport-occupancy high-water (memory this
-                       ///< session actually held in transit)
+                       ///< session actually held in transit), frozen
+                       ///< when the verdict renders — bytes swallowed
+                       ///< after the verdict do not raise it
     u64 dedupHits = 0;   ///< shared-cache hits this session
     u64 dedupMisses = 0; ///< shared-cache misses this session
     double latencySeconds = 0; ///< close-of-stream to verdict render
@@ -167,16 +169,22 @@ class VerifierService
     struct Session
     {
         u64 id = 0;
+        /** Reset (under `work`) only once `proverGone` is observed, so
+         *  the prover-side offer()/closeSession() accesses never race
+         *  the teardown. */
         std::unique_ptr<Transport> transport;
         std::unique_ptr<validate::StreamVerifier> verifier;
         std::mutex work; ///< serializes workers over this session
         std::atomic<bool> queued{false}; ///< present in the ready deque
         std::atomic<bool> done{false};   ///< verdict rendered
         std::atomic<bool> closeSeen{false};
+        /** The prover made its last transport access (published at the
+         *  end of closeSession); gates transport teardown. */
+        std::atomic<bool> proverGone{false};
         std::atomic<bool> counted{false}; ///< contributed to drained_
         Clock::time_point closedAt{};
         SessionReport report; ///< snapshotted at finish
-        bool watched = false; ///< fd registered with the event loop
+        std::atomic<bool> watched{false}; ///< fd in the event loop
     };
 
     u64 addSession(const validate::RefStore &refs,
@@ -186,13 +194,26 @@ class VerifierService
     /** Enqueue @p s on the doorbell path unless already queued. */
     void notify(Session *s);
 
+    /** Close-time notify: guarantees a service pass that observes
+     *  proverGone even when the session is already queued or a worker
+     *  is mid-pass (see the ordering argument at the definition). */
+    void closeNotify(Session *s);
+
     void workerLoop();
 
-    /**
-     * Drain and verify everything available for @p s (one worker).
-     * @return true when a socket session wants its fd re-armed.
-     */
-    bool service(Session *s);
+    /** Drain and verify everything available for @p s (one worker);
+     *  re-arms / retires the transport under the session lock. */
+    void service(Session *s);
+
+    /** Re-register @p s's fd (EPOLLONESHOT) for the next readiness
+     *  event. Requires s->work; no-op for unwatched sessions. */
+    void rearm(Session *s, Transport *t);
+
+    /** Tear the transport down once the stream is over and the prover
+     *  has published its close (@p proverGone — load it before
+     *  draining so close-side state is visible). Requires s->work.
+     *  @return true when the transport was released. */
+    bool maybeRetire(Session *s, Transport *t, bool proverGone);
 
     /** Verdict rendered: snapshot the report, release big state. */
     void finishSession(Session *s, Transport *t);

@@ -212,7 +212,8 @@ TEST(FlakyTransport, SocketDisconnectMidFrameAdjudicates)
     pump(svc, id, c.lofat.stream, 777);
     svc.drain();
 
-    const validate::StreamVerdict &v = svc.reports()[id].verdict;
+    const std::vector<SessionReport> reports = svc.reports();
+    const validate::StreamVerdict &v = reports[id].verdict;
     EXPECT_TRUE(v.complete);
     EXPECT_TRUE(v.detected); // truncation: the torn tail is lost
     EXPECT_LE(v.bbValidated, cleanVerdict(c.lofat).bbValidated);

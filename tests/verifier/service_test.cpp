@@ -8,11 +8,16 @@
  */
 
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
 
 #include "common/random.hpp"
 #include "validate/stream_verifier.hpp"
@@ -123,6 +128,131 @@ TEST(VerifierService, CondvarFallbackRendersIdenticalVerdicts)
 
     expectSameVerdict(epoll[0], fallback[0]);
     expectSameVerdict(epoll[1], fallback[1]);
+}
+
+/** Ring transport that claims an un-epollable fd (a pipe read end we
+ *  replace with a regular-file style failure): watchFd() returns an fd
+ *  that EPOLL_CTL_ADD rejects, modelling registration failure under
+ *  fd/memory pressure. The session must fall back to doorbell
+ *  scheduling instead of going dark. */
+class UnepollableTransport final : public Transport
+{
+  public:
+    explicit UnepollableTransport(std::size_t capacity) : inner_(capacity)
+    {
+        // epoll rejects regular files with EPERM — a deterministic
+        // stand-in for ENOMEM/ENOSPC at soak scale.
+        char path[] = "/tmp/rev_unepollable_XXXXXX";
+        fd_ = mkstemp(path);
+        if (fd_ >= 0)
+            unlink(path);
+    }
+    ~UnepollableTransport() override
+    {
+        if (fd_ >= 0)
+            close(fd_);
+    }
+
+    std::size_t send(const u8 *d, std::size_t n) override
+    {
+        return inner_.send(d, n);
+    }
+    void closeSend() override { inner_.closeSend(); }
+    std::size_t recv(u8 *o, std::size_t m) override
+    {
+        return inner_.recv(o, m);
+    }
+    std::size_t readable() const override { return inner_.readable(); }
+    bool finished() const override { return inner_.finished(); }
+    std::size_t peakBytes() const override { return inner_.peakBytes(); }
+    int watchFd() const override { return fd_; }
+
+    bool valid() const { return fd_ >= 0; }
+
+  private:
+    RingTransport inner_;
+    int fd_ = -1;
+};
+
+TEST(VerifierService, EpollRegistrationFailureFallsBackToDoorbell)
+{
+    const char *noEpoll = std::getenv("REV_VERIFIER_NO_EPOLL");
+    if (noEpoll != nullptr && *noEpoll != '\0' && *noEpoll != '0')
+        GTEST_SKIP() << "REV_VERIFIER_NO_EPOLL set: no fd sessions";
+
+    const test::Corpus &c = test::corpus();
+    VerifierService svc(ServiceOptions{2, 1u << 16});
+
+    std::vector<u64> ids;
+    for (int i = 0; i < 4; ++i) {
+        auto t = std::make_unique<UnepollableTransport>(4096);
+        ASSERT_TRUE(t->valid());
+        ids.push_back(svc.openSessionWith(*c.refs, std::move(t)));
+    }
+
+    std::vector<std::thread> provers;
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        provers.emplace_back([&, i] {
+            const test::CapturedStream &cap = (i % 2) ? c.lofat : c.rev;
+            pump(svc, ids[i], cap.stream, 513);
+        });
+    for (std::thread &t : provers)
+        t.join();
+    svc.drain(); // the regression: unwatched sessions must not hang this
+
+    const std::vector<SessionReport> reports = svc.reports();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        const test::CapturedStream &cap = (i % 2) ? c.lofat : c.rev;
+        EXPECT_TRUE(reports[ids[i]].verdict.complete);
+        EXPECT_EQ(reports[ids[i]].verdict.detected, cap.detected);
+        EXPECT_EQ(reports[ids[i]].verdict.bbValidated, cap.bbValidated);
+    }
+}
+
+TEST(VerifierService, RapidSocketCloseNeverRacesTeardown)
+{
+    // Tight close-vs-worker window: tiny streams make the worker's EOF
+    // observation land while the prover is still inside closeSession().
+    // The transport may only be retired after the prover publishes its
+    // close, so under TSan this pins the teardown ordering.
+    const char *noEpoll = std::getenv("REV_VERIFIER_NO_EPOLL");
+    if (noEpoll != nullptr && *noEpoll != '\0' && *noEpoll != '0')
+        GTEST_SKIP() << "REV_VERIFIER_NO_EPOLL set: no socket sessions";
+
+    const test::Corpus &c = test::corpus();
+    VerifierService svc(ServiceOptions{4, 1u << 16});
+
+    std::vector<std::thread> provers;
+    std::atomic<u64> closedOk{0};
+    for (int p = 0; p < 4; ++p)
+        provers.emplace_back([&] {
+            for (int i = 0; i < 32; ++i) {
+                const u64 id = svc.openSession(
+                    *c.refs, TransportKind::Socket, 1u << 12);
+                // A short prefix, then immediate close: the verdict is
+                // honest truncation and the teardown races the close.
+                const std::size_t n =
+                    std::min<std::size_t>(c.rev.stream.size(), 96);
+                std::size_t off = 0;
+                while (off < n) {
+                    const std::size_t took =
+                        svc.offer(id, c.rev.stream.data() + off, n - off);
+                    off += took;
+                    if (took == 0)
+                        std::this_thread::yield();
+                }
+                svc.closeSession(id);
+                closedOk.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    for (std::thread &t : provers)
+        t.join();
+    svc.drain();
+
+    EXPECT_EQ(closedOk.load(), 128u);
+    EXPECT_EQ(svc.sessionsAdjudicated(), 128u);
+    for (const SessionReport &r : svc.reports())
+        EXPECT_TRUE(r.verdict.complete);
 }
 
 #endif // __linux__
