@@ -15,7 +15,7 @@ namespace
 
 /** Bump whenever the file format or the describe*() vocabulary changes. */
 constexpr const char *kCacheMagic = "revcache";
-constexpr int kCacheVersion = 7;
+constexpr int kCacheVersion = 8; ///< v8: multicore fields joined the key
 
 /** Doubles must round-trip exactly for cache hits to be bit-identical. */
 std::ostream &
@@ -114,6 +114,11 @@ describeSimConfig(const core::SimConfig &cfg)
        << " mode=" << static_cast<int>(cfg.mode)
        << " withRev=" << cfg.withRev
        << " pageShadowing=" << cfg.pageShadowing
+       // Multicore fields: a stale single-core entry must never alias a
+       // multicore run of the same timing config (and vice versa).
+       << " numCores=" << cfg.numCores
+       << " schedQuantumInstrs=" << cfg.schedQuantumInstrs
+       << " coreIdAddr=" << cfg.coreIdAddr
        << " cpuSeed=" << cfg.cpuSeed
        << " toolchainSeed=" << cfg.toolchainSeed
        // Results may have been produced by trace replay; a change to the

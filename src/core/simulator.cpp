@@ -1,5 +1,7 @@
 #include "core/simulator.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
 
 namespace rev::core
@@ -8,12 +10,19 @@ namespace rev::core
 using validate::Backend;
 
 Simulator::Simulator(const prog::Program &program, const SimConfig &cfg)
-    : program_(program), cfg_(cfg), memsys_(cfg.mem), vault_(cfg.cpuSeed)
+    : program_(program), cfg_(cfg),
+      memsys_(cfg.mem, cfg.numCores ? cfg.numCores : 1), vault_(cfg.cpuSeed)
 {
+    REV_ASSERT(cfg_.numCores >= 1, "SimConfig::numCores must be >= 1");
+    REV_ASSERT(cfg_.numCores == 1 || cfg_.schedQuantumInstrs > 0,
+               "multicore scheduling requires a nonzero quantum");
+
+    slots_.push_back(std::make_unique<CoreSlot>());
+    CoreSlot &s0 = slot0();
     if (cfg_.memoryImage)
-        mem_ = cfg_.memoryImage->fork();
+        s0.mem = cfg_.memoryImage->fork();
     else
-        program_.loadInto(mem_);
+        program_.loadInto(s0.mem);
 
     const Backend backend = cfg_.effectiveBackend();
     const validate::BackendInfo *info =
@@ -50,72 +59,119 @@ Simulator::Simulator(const prog::Program &program, const SimConfig &cfg)
         }
         // A pre-loaded image already holds the tables this store built.
         if (!cfg_.memoryImage)
-            store_->loadInto(mem_);
+            store_->loadInto(s0.mem);
     }
 
-    createValidator();
-    if (cfg_.measurementSink)
-        validator_->attachMeasurementSink(cfg_.measurementSink);
+    // Secondary cores run their own COW fork of the post-load image
+    // (program + tables): architectural execution is private per core,
+    // contention happens in the shared timing hierarchy.
+    for (unsigned c = 1; c < cfg_.numCores; ++c) {
+        slots_.push_back(std::make_unique<CoreSlot>());
+        slots_.back()->mem = s0.mem.fork();
+    }
+    // hartid words go in after the forks so each core reads its own id.
+    if (cfg_.coreIdAddr)
+        for (unsigned c = 0; c < cfg_.numCores; ++c)
+            slots_[c]->mem.write64(cfg_.coreIdAddr, c);
 
-    core_ = std::make_unique<cpu::Core>(program_, mem_, memsys_, cfg_.core,
-                                        validator_.get());
-    if (cfg_.pageShadowing)
-        pristine_ = mem_.clone();
+    for (unsigned c = 0; c < cfg_.numCores; ++c) {
+        CoreSlot &s = *slots_[c];
+        createValidator(s, c);
+        if (c == 0 && cfg_.measurementSink)
+            s.validator->attachMeasurementSink(cfg_.measurementSink);
+        s.core = std::make_unique<cpu::Core>(program_, s.mem, memsys_,
+                                             cfg_.core, s.validator.get(), c);
+        if (cfg_.pageShadowing)
+            s.pristine = s.mem.clone();
+    }
 
     REV_ASSERT(!(cfg_.traceRecorder && cfg_.replayTrace),
                "cannot record and replay a trace in the same run");
     if (cfg_.traceRecorder) {
         cfg_.traceRecorder->begin(program_.entry(), cfg_.core.maxInstrs,
-                                  cfg_.core.splitLimits, mem_.epoch());
-        core_->machine().attachRecorder(cfg_.traceRecorder);
+                                  cfg_.core.splitLimits, s0.mem.epoch());
+        s0.core->machine().attachRecorder(cfg_.traceRecorder);
     }
-    if (cfg_.replayTrace && traceAttachable(*cfg_.replayTrace)) {
-        replayer_ = std::make_unique<prog::TraceReplayer>(*cfg_.replayTrace);
-        core_->machine().attachReplayer(replayer_.get());
+    if (cfg_.replayTrace) {
+        for (unsigned c = 0; c < slots_.size(); ++c) {
+            CoreSlot &s = *slots_[c];
+            // A trace records core 0's architectural stream. With a
+            // hartid word set, the other cores legitimately diverge from
+            // it, so only core 0 may replay.
+            if (c > 0 && cfg_.coreIdAddr)
+                continue;
+            if (!traceAttachable(*cfg_.replayTrace, s.mem))
+                continue;
+            s.replayer =
+                std::make_unique<prog::TraceReplayer>(*cfg_.replayTrace);
+            s.core->machine().attachReplayer(s.replayer.get());
+        }
     }
 }
 
 void
-Simulator::createValidator()
+Simulator::createValidator(CoreSlot &slot, unsigned core_id)
 {
     validate::BackendContext ctx;
     ctx.store = store_.get();
     ctx.vault = &vault_;
-    ctx.mem = &mem_;
+    ctx.mem = &slot.mem;
     ctx.memsys = &memsys_;
     ctx.rev = cfg_.rev;
     ctx.lofat = cfg_.lofat;
-    validator_ = validate::ValidatorRegistry::instance().create(
+    ctx.coreId = core_id;
+    slot.validator = validate::ValidatorRegistry::instance().create(
         cfg_.effectiveBackend(), ctx);
-    if (validator_->kind() == Backend::Rev)
-        revEngine_ = static_cast<validate::RevValidator *>(validator_.get());
-    else if (validator_->kind() == Backend::LoFat)
-        lofatEngine_ =
-            static_cast<validate::LoFatValidator *>(validator_.get());
+    if (slot.validator->kind() == Backend::Rev)
+        slot.revEngine =
+            static_cast<validate::RevValidator *>(slot.validator.get());
+    else if (slot.validator->kind() == Backend::LoFat)
+        slot.lofatEngine =
+            static_cast<validate::LoFatValidator *>(slot.validator.get());
 }
 
 Simulator::Simulator(const Snapshot &snap)
-    : program_(*snap.program), cfg_(snap.cfg), mem_(snap.mem.fork()),
-      memsys_(snap.memsys), vault_(snap.cfg.cpuSeed), store_(snap.store)
+    : program_(*snap.program), cfg_(snap.cfg), memsys_(snap.memsys),
+      vault_(snap.cfg.cpuSeed), store_(snap.store)
 {
-    // No loadInto(): the forked memory already holds the program image
+    // No loadInto(): the forked memories already hold the program image
     // and signature tables exactly as the source left them, and the
     // shared store carries the (immutable) table build.
-    createValidator();
-    core_ = std::make_unique<cpu::Core>(program_, mem_, memsys_, cfg_.core,
-                                        validator_.get());
-    core_->restoreState(snap.core);
+    slots_.push_back(std::make_unique<CoreSlot>());
+    CoreSlot &s0 = slot0();
+    s0.mem = snap.mem.fork();
+    createValidator(s0, 0);
+    s0.core = std::make_unique<cpu::Core>(program_, s0.mem, memsys_,
+                                          cfg_.core, s0.validator.get(), 0);
+    s0.core->restoreState(snap.core);
     if (snap.validatorState)
-        validator_->restoreSnapshot(*snap.validatorState);
+        s0.validator->restoreSnapshot(*snap.validatorState);
     if (cfg_.pageShadowing)
-        pristine_ = mem_.clone();
+        s0.pristine = s0.mem.clone();
+
+    for (const Snapshot::ExtraSlot &e : snap.extra) {
+        const unsigned c = static_cast<unsigned>(slots_.size());
+        slots_.push_back(std::make_unique<CoreSlot>());
+        CoreSlot &s = *slots_.back();
+        s.mem = e.mem.fork();
+        createValidator(s, c);
+        s.core = std::make_unique<cpu::Core>(program_, s.mem, memsys_,
+                                             cfg_.core, s.validator.get(), c);
+        s.core->restoreState(e.core);
+        if (e.validatorState)
+            s.validator->restoreSnapshot(*e.validatorState);
+        s.finished = e.finished;
+        if (cfg_.pageShadowing)
+            s.pristine = s.mem.clone();
+    }
 }
 
 Snapshot
 Simulator::capture() const
 {
-    REV_ASSERT(!core_->machine().replaying(),
-               "snapshots require direct execution");
+    for (const auto &s : slots_)
+        REV_ASSERT(!s->core->machine().replaying(),
+                   "snapshots require direct execution");
     Snapshot snap;
     snap.program = &program_;
     snap.cfg = cfg_;
@@ -126,17 +182,26 @@ Simulator::capture() const
     snap.cfg.measurementSink = nullptr;
     snap.cfg.sigStorePrototype = nullptr;
     snap.cfg.memoryImage = nullptr; // snap.mem is the fork's image
-    snap.instrIndex = core_->committedInstrs();
-    snap.mem = mem_.fork();
+    snap.instrIndex = slot0().core->committedInstrs();
+    snap.mem = slot0().mem.fork();
     snap.memsys = memsys_;
-    snap.core = core_->saveState();
-    snap.validatorState = validator_->saveSnapshot();
+    snap.core = slot0().core->saveState();
+    snap.validatorState = slot0().validator->saveSnapshot();
     snap.store = store_;
+    for (std::size_t c = 1; c < slots_.size(); ++c) {
+        const CoreSlot &s = *slots_[c];
+        Snapshot::ExtraSlot e;
+        e.mem = s.mem.fork();
+        e.core = s.core->saveState();
+        e.validatorState = s.validator->saveSnapshot();
+        e.finished = s.finished;
+        snap.extra.push_back(std::move(e));
+    }
     return snap;
 }
 
 bool
-Simulator::traceAttachable(const prog::Trace &t) const
+Simulator::traceAttachable(const prog::Trace &t, const SparseMemory &mem) const
 {
     if (!t.replayable() || t.entryPc != program_.entry() ||
         t.maxInstrs != cfg_.core.maxInstrs ||
@@ -149,7 +214,7 @@ Simulator::traceAttachable(const prog::Trace &t) const
     // one did not, e.g. a signature-table page reached by a wild
     // wrong-path fetch) — fall back to direct execution.
     for (const auto &[page, version] : t.codePages) {
-        const SparseMemory::PageView v = mem_.pageView(page);
+        const SparseMemory::PageView v = mem.pageView(page);
         if ((v.version ? *v.version : 0) != version)
             return false;
     }
@@ -163,21 +228,79 @@ Simulator::reloadProgram()
     // decode different bytes than the recorded run executed.
     if (cfg_.traceRecorder)
         cfg_.traceRecorder->markExternalMutation();
-    program_.loadInto(mem_);
     if (store_) {
         // The table build is shared by refcount with snapshots and
-        // sibling forks, and the attached validator references this
+        // sibling forks, and the attached validators reference this
         // exact store: rebuilding a shared build would corrupt every
         // fork. Dynamic linking therefore requires an owned build.
         REV_ASSERT(store_.use_count() == 1,
                    "reloadProgram() on a simulator sharing its table "
                    "build with snapshots/forks");
         store_->rebuild(program_);
-        store_->loadInto(mem_);
     }
-    validator_->refreshTables();
-    if (cfg_.pageShadowing)
-        pristine_ = mem_.clone();
+    for (auto &sp : slots_) {
+        program_.loadInto(sp->mem);
+        if (store_)
+            store_->loadInto(sp->mem);
+        sp->validator->refreshTables();
+        if (cfg_.pageShadowing)
+            sp->pristine = sp->mem.clone();
+    }
+}
+
+bool
+Simulator::runUntil(u64 index)
+{
+    if (slots_.size() == 1)
+        return slot0().core->runUntil(index);
+
+    // Snapshot cursors execute directly: a replayed machine maintains no
+    // architectural state to capture.
+    REV_ASSERT(!replayActive(), "runUntil() on a replaying machine");
+    const u64 q = cfg_.schedQuantumInstrs;
+    while (true) {
+        if (slot0().finished)
+            return false;
+        CoreSlot *s = nextToRun();
+        if (!s)
+            return false;
+        const bool is0 = s == slots_.front().get();
+        const u64 committed = s->core->committedInstrs();
+        if (is0 && committed >= index)
+            return true;
+        u64 target = (committed / q + 1) * q;
+        if (is0)
+            target = std::min(target, index);
+        cpu::RunResult out;
+        if (!s->core->runSlice(target, &out)) {
+            s->finished = out;
+            if (is0)
+                return false;
+        }
+    }
+}
+
+Simulator::CoreSlot *
+Simulator::nextToRun()
+{
+    // Deterministic stateless schedule: the least-advanced slot (in
+    // completed quanta) runs next, ties to the lowest core id. Because
+    // the pick is a pure function of the per-core committed counts, a
+    // fork restored from a snapshot replays the identical cross-core
+    // interleaving of memory-system traffic a cold run produces.
+    const u64 q = cfg_.schedQuantumInstrs;
+    CoreSlot *best = nullptr;
+    u64 best_round = 0;
+    for (auto &sp : slots_) {
+        if (sp->finished)
+            continue;
+        const u64 round = sp->core->committedInstrs() / q;
+        if (!best || round < best_round) {
+            best = sp.get();
+            best_round = round;
+        }
+    }
+    return best;
 }
 
 stats::StatSet
@@ -186,11 +309,31 @@ Simulator::stats() const
     stats::StatSet set;
     stats::StatGroup group("sim");
     memsys_.addStats(group);
-    core_->predictor().addStats(group);
-    validator_->addStats(group);
-    group.snapshot(set);
+    if (slots_.size() == 1) {
+        // Single-core: the historical row set, byte for byte.
+        slot0().core->predictor().addStats(group);
+        slot0().validator->addStats(group);
+        group.snapshot(set);
+        slot0().validator->snapshotStats(set, "sim");
+        return set;
+    }
 
-    validator_->snapshotStats(set, "sim");
+    // Multicore: the memory system's shared + per-core rows, then one
+    // "sim.cK." block per core (predictor, backend components, backend
+    // counters).
+    group.snapshot(set);
+    for (std::size_t c = 0; c < slots_.size(); ++c) {
+        const CoreSlot &s = *slots_[c];
+        stats::StatGroup per("sim");
+        s.core->predictor().addStats(per);
+        s.validator->addStats(per);
+        stats::StatSet sub;
+        per.snapshot(sub);
+        s.validator->snapshotStats(sub, "sim");
+        const std::string prefix = "sim.c" + std::to_string(c) + ".";
+        for (const auto &[name, value] : sub.rows())
+            set.add(prefix + name.substr(4), value); // 4 = strlen("sim.")
+    }
     return set;
 }
 
@@ -204,29 +347,112 @@ void
 Simulator::resetStats()
 {
     memsys_.resetStats();
-    validator_->resetStats();
+    for (auto &sp : slots_)
+        sp->validator->resetStats();
 }
 
 SimResult
 Simulator::run()
 {
-    SimResult res;
-    res.run = core_->run();
-    if (cfg_.traceRecorder) {
-        if (res.run.violation)
-            cfg_.traceRecorder->markViolation();
-        cfg_.traceRecorder->finish(core_->machine());
+    if (slots_.size() == 1) {
+        slot0().finished = slot0().core->run();
+        return aggregate();
     }
-    // A finished execution seals the measurement session; a quantum that
-    // merely exhausted its instruction budget (warm-up/steady-state
-    // phases) leaves the session open for the next run().
-    if (res.run.halted || res.run.violation)
-        validator_->sealMeasurement();
-    res.validation = validator_->commonStats();
-    if (revEngine_)
-        res.rev = revEngine_->stats();
-    if (lofatEngine_)
-        res.lofat = lofatEngine_->stats();
+
+    // Slots that merely exhausted an instruction budget resume with a
+    // fresh budget, like a repeated run() does on a single core; halted
+    // or faulted slots keep their final result.
+    for (auto &sp : slots_)
+        if (sp->finished && !sp->finished->halted && !sp->finished->violation)
+            sp->finished.reset();
+
+    const u64 q = cfg_.schedQuantumInstrs;
+    while (CoreSlot *s = nextToRun()) {
+        const u64 target = (s->core->committedInstrs() / q + 1) * q;
+        cpu::RunResult out;
+        if (!s->core->runSlice(target, &out))
+            s->finished = out;
+    }
+    return aggregate();
+}
+
+SimResult
+Simulator::aggregate()
+{
+    SimResult res;
+    res.perCore.reserve(slots_.size());
+    for (auto &sp : slots_)
+        res.perCore.push_back(sp->finished ? *sp->finished
+                                           : cpu::RunResult{});
+
+    if (slots_.size() == 1) {
+        res.run = res.perCore.front();
+    } else {
+        bool all_halted = true;
+        for (std::size_t c = 0; c < res.perCore.size(); ++c) {
+            const cpu::RunResult &r = res.perCore[c];
+            res.run.cycles = std::max(res.run.cycles, r.cycles);
+            res.run.instrs += r.instrs;
+            res.run.committedBranches += r.committedBranches;
+            res.run.uniqueBranches += r.uniqueBranches;
+            res.run.mispredicts += r.mispredicts;
+            res.run.loads += r.loads;
+            res.run.stores += r.stores;
+            res.run.interrupts += r.interrupts;
+            res.run.wrongPathFetches += r.wrongPathFetches;
+            all_halted = all_halted && r.halted;
+            // Earliest violation wins (by cycle, then core id).
+            if (r.violation &&
+                (!res.run.violation ||
+                 r.violation->cycle < res.run.violation->cycle))
+                res.run.violation = r.violation;
+        }
+        res.run.halted = all_halted && !res.run.violation;
+    }
+
+    if (cfg_.traceRecorder) {
+        if (res.perCore.front().violation)
+            cfg_.traceRecorder->markViolation();
+        cfg_.traceRecorder->finish(slot0().core->machine());
+    }
+
+    for (std::size_t c = 0; c < slots_.size(); ++c) {
+        const std::unique_ptr<CoreSlot> &sp = slots_[c];
+        // A finished execution seals the measurement session; a quantum
+        // that merely exhausted its instruction budget (warm-up/steady-
+        // state phases) leaves the session open for the next run().
+        const cpu::RunResult &r = res.perCore[c];
+        if (r.halted || r.violation)
+            sp->validator->sealMeasurement();
+
+        const validate::ValidationStats v = sp->validator->commonStats();
+        res.validation.bbValidated += v.bbValidated;
+        res.validation.violations += v.violations;
+        res.validation.commitStallCycles += v.commitStallCycles;
+        if (sp->revEngine) {
+            const validate::RevStats r2 = sp->revEngine->stats();
+            res.rev.bbValidated += r2.bbValidated;
+            res.rev.violations += r2.violations;
+            res.rev.commitStallCycles += r2.commitStallCycles;
+            res.rev.scCompleteMisses += r2.scCompleteMisses;
+            res.rev.scPartialMisses += r2.scPartialMisses;
+            res.rev.tableWalkReads += r2.tableWalkReads;
+            res.rev.sagExceptions += r2.sagExceptions;
+            res.rev.shadowSpills += r2.shadowSpills;
+            res.rev.shadowRefills += r2.shadowRefills;
+        }
+        if (sp->lofatEngine) {
+            const validate::LoFatStats l = sp->lofatEngine->stats();
+            res.lofat.bbValidated += l.bbValidated;
+            res.lofat.violations += l.violations;
+            res.lofat.commitStallCycles += l.commitStallCycles;
+            res.lofat.chainUpdates += l.chainUpdates;
+            res.lofat.bufferSpills += l.bufferSpills;
+            res.lofat.spillBytes += l.spillBytes;
+            res.lofat.unattestedBlocks += l.unattestedBlocks;
+            res.lofat.edgeViolations += l.edgeViolations;
+        }
+    }
     if (store_)
         res.sigTableBytes = store_->totalTableBytes();
     res.scFillAccesses = memsys_.accesses(mem::AccessType::ScFill);
@@ -236,7 +462,8 @@ Simulator::run()
     if (cfg_.pageShadowing && res.run.violation) {
         // Strict R5 (Sec. IV.A): the compromised execution's shadow pages
         // are never mapped in; the original state survives intact.
-        mem_ = pristine_.clone();
+        for (auto &sp : slots_)
+            sp->mem = sp->pristine.clone();
         res.memoryRolledBack = true;
     }
     return res;

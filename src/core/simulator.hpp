@@ -19,7 +19,9 @@
 #define REV_CORE_SIMULATOR_HPP
 
 #include <memory>
+#include <optional>
 #include <ostream>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "cpu/core.hpp"
@@ -53,6 +55,38 @@ struct SimConfig
      * the page-granular mechanism itself.
      */
     bool pageShadowing = false;
+
+    /**
+     * Number of simulated cores. Each core is a full CoreSlot — its own
+     * COW fork of the loaded memory image, its own validator instance
+     * (per-core SC-fill traffic), its own OoO core — all contending for
+     * the one shared L2/DRAM through per-core memory-system ports. 1 is
+     * the historical single-core machine, bit-identical to every pinned
+     * golden; N>1 time-slices the slots deterministically (see
+     * schedQuantumInstrs).
+     */
+    unsigned numCores = 1;
+
+    /**
+     * Multicore scheduling quantum in committed instructions. The
+     * scheduler repeatedly runs the least-advanced slot (ties broken by
+     * core id) up to its next quantum boundary, so the cross-core
+     * interleaving of memory-system traffic is a pure function of the
+     * per-core committed counts — snapshots/forks resume the identical
+     * schedule. Ignored at numCores == 1 (the single core runs to
+     * completion in one slice).
+     */
+    u64 schedQuantumInstrs = 64;
+
+    /**
+     * When nonzero, the 8-byte word at this address in each core's
+     * private memory is set to the core index after load (a hartid
+     * register in disguise): workloads read it to diverge per core —
+     * e.g. the preemptive-scheduler workload rotates its thread schedule
+     * so threads migrate across cores. 0 (default) writes nothing, so
+     * single-core goldens and recorded traces are unaffected.
+     */
+    Addr coreIdAddr = 0;
 
     u64 cpuSeed = 1;      ///< per-CPU key-vault fuses
     u64 toolchainSeed = 1; ///< per-module key generation
@@ -122,7 +156,17 @@ struct SimConfig
 /** Results of one simulated run. */
 struct SimResult
 {
+    /**
+     * Aggregate run result. At numCores == 1 this is exactly the single
+     * core's result. At N>1: cycles is the maximum across cores (wall
+     * clock of the machine), the event counters are summed, halted means
+     * every core halted cleanly, and violation is the earliest across
+     * cores (by cycle, then core id).
+     */
     cpu::RunResult run;
+
+    /** Per-core results, one per slot (size == numCores). */
+    std::vector<cpu::RunResult> perCore;
 
     /** Backend-independent counter slice (any backend). */
     validate::ValidationStats validation;
@@ -160,12 +204,30 @@ struct Snapshot
 {
     const prog::Program *program = nullptr;
     SimConfig cfg; ///< harness pointers (recorder/replay/sink) cleared
-    u64 instrIndex = 0; ///< committed instructions at capture
-    SparseMemory mem;   ///< COW fork of the source image
+    u64 instrIndex = 0; ///< core 0's committed instructions at capture
+    SparseMemory mem;   ///< COW fork of core 0's image
     mem::MemorySystem memsys; ///< warmed caches / TLBs / DRAM banks
-    cpu::Core::Snapshot core; ///< arch regs + timing-loop state
+    cpu::Core::Snapshot core; ///< core 0's arch regs + timing-loop state
     std::unique_ptr<validate::ValidatorSnapshot> validatorState;
     std::shared_ptr<sig::SigStore> store; ///< shared table build
+
+    /** State of one additional core (multicore capture). */
+    struct ExtraSlot
+    {
+        SparseMemory mem; ///< COW fork of that core's private image
+        cpu::Core::Snapshot core;
+        std::unique_ptr<validate::ValidatorSnapshot> validatorState;
+        /** Set when that core's run already ended (halt / violation /
+         *  budget) before the capture: the fork must report the stored
+         *  result rather than re-running a drained core, or its
+         *  aggregate would diverge from a cold run's. */
+        std::optional<cpu::RunResult> finished;
+    };
+
+    /** Cores 1..N-1, in core-id order (empty at numCores == 1). The
+     *  scheduler itself needs no state here: the interleaving is a pure
+     *  function of the per-core committed counts these slots carry. */
+    std::vector<ExtraSlot> extra;
 };
 
 /**
@@ -189,8 +251,12 @@ class Simulator
      *
      * @return true when paused at @p index; false when the run finished
      *         first (halt / violation / instruction budget).
+     *
+     * At numCores > 1, @p index addresses core 0's committed stream; the
+     * other cores are advanced exactly as far as the deterministic
+     * schedule dictates, so a fork resumes the identical interleaving.
      */
-    bool runUntil(u64 index) { return core_->runUntil(index); }
+    bool runUntil(u64 index);
 
     /**
      * Capture a Snapshot of the current state — either the initial state
@@ -250,51 +316,105 @@ class Simulator
      */
     void resetStats();
 
-    cpu::Core &core() { return *core_; }
+    /** Number of core slots. */
+    unsigned numCores() const { return static_cast<unsigned>(slots_.size()); }
 
-    /** The attached backend (never null; NullValidator when none). */
-    validate::Validator *validator() { return validator_.get(); }
-    const validate::Validator *validator() const { return validator_.get(); }
+    /** Core @p id's core model (core 0 by default). */
+    cpu::Core &core(unsigned id = 0) { return *slots_[id]->core; }
 
-    /** The REV engine, or nullptr when another backend is attached. */
-    validate::RevValidator *engine() { return revEngine_; }
+    /** The attached backend of core @p id (never null; NullValidator
+     *  when none). */
+    validate::Validator *validator(unsigned id = 0)
+    {
+        return slots_[id]->validator.get();
+    }
+    const validate::Validator *validator(unsigned id = 0) const
+    {
+        return slots_[id]->validator.get();
+    }
 
-    /** The LO-FAT engine, or nullptr when another backend is attached. */
-    validate::LoFatValidator *lofat() { return lofatEngine_; }
+    /** Core @p id's REV engine, or nullptr when another backend is
+     *  attached. */
+    validate::RevValidator *engine(unsigned id = 0)
+    {
+        return slots_[id]->revEngine;
+    }
 
-    SparseMemory &memory() { return mem_; }
-    const SparseMemory &memory() const { return mem_; }
+    /** Core @p id's LO-FAT engine, or nullptr when another backend is
+     *  attached. */
+    validate::LoFatValidator *lofat(unsigned id = 0)
+    {
+        return slots_[id]->lofatEngine;
+    }
+
+    SparseMemory &memory(unsigned id = 0) { return slots_[id]->mem; }
+    const SparseMemory &memory(unsigned id = 0) const
+    {
+        return slots_[id]->mem;
+    }
     mem::MemorySystem &memsys() { return memsys_; }
     const sig::SigStore *sigStore() const { return store_.get(); }
 
-    /** True while the core is consuming cfg.replayTrace (false when the
+    /** True while core 0 is consuming cfg.replayTrace (false when the
      *  trace did not attach or a PreStepHook canceled the replay). */
-    bool replayActive() const { return core_->machine().replaying(); }
+    bool replayActive() const
+    {
+        return slots_.front()->core->machine().replaying();
+    }
 
   private:
+    /**
+     * One core's private column of the machine: its COW memory image,
+     * its validator instance, its OoO core, its replay cursor, and —
+     * once its run ends inside the slice scheduler — its final result.
+     * Heap-allocated so the references the core/validator hold into the
+     * slot's memory stay stable.
+     */
+    struct CoreSlot
+    {
+        SparseMemory mem;      ///< private functional image
+        SparseMemory pristine; ///< pre-run snapshot (pageShadowing only)
+        std::unique_ptr<validate::Validator> validator;
+        validate::RevValidator *revEngine = nullptr;     ///< typed view
+        validate::LoFatValidator *lofatEngine = nullptr; ///< typed view
+        std::unique_ptr<cpu::Core> core;
+        std::unique_ptr<prog::TraceReplayer> replayer;
+        std::optional<cpu::RunResult> finished; ///< run ended in a slice
+    };
+
     /** Fork constructor — see forkFrom(). */
     explicit Simulator(const Snapshot &snap);
 
-    /** Create the configured backend over this simulator's components
-     *  and wire the typed engine views (shared by both constructors). */
-    void createValidator();
+    /** Create the configured backend over @p slot's components and wire
+     *  the typed engine views (shared by both constructors). */
+    void createValidator(CoreSlot &slot, unsigned core_id);
 
-    /** Does @p t describe this exact simulation's architectural run? */
-    bool traceAttachable(const prog::Trace &t) const;
+    /** Build slot @p core_id's core model and, when the harness config
+     *  asks for it, attach a replay cursor. */
+
+    /** The slot the deterministic scheduler runs next: the unfinished
+     *  slot with the smallest (completed quanta, core id). Null when
+     *  every slot's run has ended. */
+    CoreSlot *nextToRun();
+
+    /** Fold the per-slot final results and counters into a SimResult
+     *  (recorder finish, measurement seals, page-shadow rollback). */
+    SimResult aggregate();
+
+    /** Does @p t describe the architectural run a core over @p mem would
+     *  execute here? */
+    bool traceAttachable(const prog::Trace &t, const SparseMemory &mem) const;
+
+    CoreSlot &slot0() { return *slots_.front(); }
+    const CoreSlot &slot0() const { return *slots_.front(); }
 
     const prog::Program &program_;
     SimConfig cfg_;
 
-    SparseMemory mem_;
-    SparseMemory pristine_; ///< pre-run snapshot (pageShadowing only)
     mem::MemorySystem memsys_;
     crypto::KeyVault vault_;
     std::shared_ptr<sig::SigStore> store_;
-    std::unique_ptr<validate::Validator> validator_;
-    validate::RevValidator *revEngine_ = nullptr;     ///< typed view
-    validate::LoFatValidator *lofatEngine_ = nullptr; ///< typed view
-    std::unique_ptr<cpu::Core> core_;
-    std::unique_ptr<prog::TraceReplayer> replayer_;
+    std::vector<std::unique_ptr<CoreSlot>> slots_; ///< core-id order
 };
 
 } // namespace rev::core

@@ -19,9 +19,9 @@ constexpr unsigned kDecodeDepth = 6;
 
 Core::Core(const prog::Program &program, SparseMemory &mem,
            mem::MemorySystem &memsys, const CoreConfig &cfg,
-           validate::Validator *hooks)
-    : program_(program), mem_(mem), memsys_(memsys), cfg_(cfg),
-      hooks_(hooks ? *hooks : nullHooks_), machine_(program, mem),
+           validate::Validator *hooks, unsigned core_id)
+    : program_(program), mem_(mem), memsys_(memsys), coreId_(core_id),
+      cfg_(cfg), hooks_(hooks ? *hooks : nullHooks_), machine_(program, mem),
       predictor_(cfg.predictor)
 {
 }
@@ -31,7 +31,7 @@ Core::drainStores(SeqNum up_to, Cycle at)
 {
     while (!pendingStores_.empty() && pendingStores_.front().seq <= up_to) {
         memsys_.access(pendingStores_.front().addr,
-                       mem::AccessType::DataWrite, at);
+                       mem::AccessType::DataWrite, at, coreId_);
         pendingStores_.pop_front();
     }
 }
@@ -54,6 +54,15 @@ Core::RunState::RunState(const CoreConfig &cfg, Addr pc, Cycle clock_base)
 RunResult
 Core::run()
 {
+    RunResult res;
+    const bool paused = runSlice(kRunToEnd, &res);
+    REV_ASSERT(!paused, "run() cannot pause");
+    return res;
+}
+
+bool
+Core::runSlice(u64 pause_before, RunResult *out)
+{
     // Attack injectors mutate machine/memory state mid-run, which a
     // replayed trace cannot reflect: fall back to direct execution. Only
     // legal before anything was consumed — the architectural state is
@@ -67,9 +76,12 @@ Core::run()
     if (!state_)
         state_.emplace(cfg_, machine_.pc(), clockBase_);
     lastCommit_ = state_->prevCommit;
-    const bool paused = loop(*state_, kNoStop);
-    REV_ASSERT(!paused, "run() cannot pause");
-    return finish(*state_);
+    if (loop(*state_, pause_before))
+        return true;
+    RunResult res = finish(*state_);
+    if (out)
+        *out = res;
+    return false;
 }
 
 bool
@@ -157,7 +169,7 @@ Core::loop(RunState &st, u64 pause_before)
         // Pause BEFORE the pre-step of the stop instruction: the fork's
         // (or the resumed run's) first pre-step then fires for exactly
         // this index, as a cold run's would.
-        if (pause_before != kNoStop && res.instrs >= pause_before)
+        if (pause_before != kRunToEnd && res.instrs >= pause_before)
             return true;
         if (preStep_)
             preStep_(res.instrs, machine_.pc());
@@ -182,12 +194,13 @@ Core::loop(RunState &st, u64 pause_before)
             last_line = line;
             const auto r = memsys_.access(line << line_shift,
                                           mem::AccessType::InstrFetch,
-                                          fetch_lower);
+                                          fetch_lower, coreId_);
             line_ready = r.l1Hit ? fetch_lower : r.completeAt;
             if (!r.l1Hit && cfg_.nextLinePrefetch) {
                 // Prefetch the next line at the lowest priority class.
                 memsys_.access((line + 1) << line_shift,
-                               mem::AccessType::Prefetch, fetch_lower);
+                               mem::AccessType::Prefetch, fetch_lower,
+                               coreId_);
             }
         }
         fetch_lower = std::max({fetch_lower, line_ready, fq.allocReadyAt()});
@@ -268,7 +281,8 @@ Core::loop(RunState &st, u64 pause_before)
                 complete_at = agu_done + 1; // store-queue forwarding
             } else {
                 const auto r = memsys_.access(
-                    rec.memAddr, mem::AccessType::DataRead, agu_done);
+                    rec.memAddr, mem::AccessType::DataRead, agu_done,
+                    coreId_);
                 complete_at = r.completeAt;
             }
             ++res.loads;
@@ -327,7 +341,8 @@ Core::loop(RunState &st, u64 pause_before)
                         if (line != wline) {
                             wline = line;
                             memsys_.access(line << line_shift,
-                                           mem::AccessType::InstrFetch, t);
+                                           mem::AccessType::InstrFetch, t,
+                                           coreId_);
                             ++t;
                         }
                         ++res.wrongPathFetches;

@@ -79,10 +79,12 @@ class Core
      * @param hooks   Validation backend, or nullptr for the base machine
      *                (an internal NullValidator stands in, so the core
      *                never tests the pointer again).
+     * @param core_id Memory-system port this core issues its traffic
+     *                through (multicore: one port per core).
      */
     Core(const prog::Program &program, SparseMemory &mem,
          mem::MemorySystem &memsys, const CoreConfig &cfg = {},
-         validate::Validator *hooks = nullptr);
+         validate::Validator *hooks = nullptr, unsigned core_id = 0);
 
     /**
      * Hook invoked before each architectural step; attack injectors use it
@@ -113,7 +115,21 @@ class Core
      */
     bool runUntil(u64 index, RunResult *out = nullptr);
 
-    /** A runUntil() pause is outstanding (run() would resume it). */
+    /** pause_before value meaning "never pause" (see runSlice()). */
+    static constexpr u64 kRunToEnd = ~u64{0};
+
+    /**
+     * One scheduling slice: run (or resume) until the run ends or the
+     * cumulative committed-instruction count reaches @p pause_before,
+     * whichever comes first. run() is runSlice(kRunToEnd, ...); unlike
+     * runUntil() this carries run()'s full preamble (PreStepHook replay
+     * cancellation), so a multicore scheduler can time-slice replayed
+     * runs. @return true when paused, false when the run finished (final
+     * result stored to @p out when non-null).
+     */
+    bool runSlice(u64 pause_before, RunResult *out = nullptr);
+
+    /** A runUntil()/runSlice() pause is outstanding (run() resumes it). */
     bool paused() const { return state_.has_value(); }
 
     /** Committed instructions of the paused run (0 when not paused). */
@@ -206,8 +222,6 @@ class Core
     void restoreState(const Snapshot &snap);
 
   private:
-    static constexpr u64 kNoStop = ~u64{0};
-
     /**
      * The timing/commit loop. Runs @p st forward until the run ends
      * (returns false) or, when @p pause_before is hit, pauses just
@@ -224,6 +238,7 @@ class Core
     const prog::Program &program_;
     SparseMemory &mem_;
     mem::MemorySystem &memsys_;
+    unsigned coreId_ = 0;
     CoreConfig cfg_;
     validate::NullValidator nullHooks_; ///< stand-in when no backend given
     validate::Validator &hooks_;

@@ -9,12 +9,25 @@
  * Sec. VIII; their priority relative to other request classes is realized
  * by issue order (the core issues data misses first, then SC fills, then
  * instruction fetches and prefetches in each cycle).
+ *
+ * Multicore: the system exposes one request *port* per core. Each port
+ * owns private L1 I/D tag arrays and a private TLB hierarchy; the L2,
+ * the DRAM banks, and the background DMA engine are shared. Cross-core
+ * arbitration is deterministic: requests serialize on the shared
+ * single-ported L2 in issue order (the simulator's core scheduler calls
+ * access() sequentially, lower core id first within a scheduling round),
+ * and per-port counters record how many cycles each core — and each
+ * core's SC-fill traffic specifically — spent waiting behind *another*
+ * core's request at the L2 port. With one port the model is exactly the
+ * historical single-core system, row for row in the stats output.
  */
 
 #ifndef REV_MEM_MEMSYS_HPP
 #define REV_MEM_MEMSYS_HPP
 
 #include <array>
+#include <string>
+#include <vector>
 
 #include "mem/cache.hpp"
 #include "mem/dram.hpp"
@@ -81,12 +94,14 @@ struct AccessResult
 class MemorySystem
 {
   public:
-    explicit MemorySystem(const MemConfig &cfg = {});
+    explicit MemorySystem(const MemConfig &cfg = {}, unsigned num_cores = 1);
 
     /**
-     * Perform an access of @p type to @p addr arriving at cycle @p now.
+     * Perform an access of @p type to @p addr arriving at cycle @p now
+     * through core @p core's port.
      */
-    AccessResult access(Addr addr, AccessType type, Cycle now);
+    AccessResult access(Addr addr, AccessType type, Cycle now,
+                        unsigned core = 0);
 
     void reset();
 
@@ -96,34 +111,81 @@ class MemorySystem
 
     const MemConfig &config() const { return cfg_; }
 
-    const SetAssocCache &l1i() const { return l1i_; }
-    const SetAssocCache &l1d() const { return l1d_; }
+    /** Number of request ports (= cores). */
+    unsigned numCores() const { return static_cast<unsigned>(ports_.size()); }
+
+    const SetAssocCache &l1i(unsigned core = 0) const { return ports_[core].l1i; }
+    const SetAssocCache &l1d(unsigned core = 0) const { return ports_[core].l1d; }
     const SetAssocCache &l2() const { return l2_; }
     const DramModel &dram() const { return dram_; }
-    const TlbHierarchy &tlbs() const { return tlbs_; }
+    const TlbHierarchy &tlbs(unsigned core = 0) const { return ports_[core].tlbs; }
 
     /** DMA bursts issued so far. */
     u64 dmaBursts() const { return dmaBursts_; }
 
-    /** Per-request-class counters (drives Figs. 10/11). */
+    /** Per-request-class counters, aggregated across cores (Figs. 10/11). */
     u64 accesses(AccessType t) const { return accesses_[idx(t)]; }
     u64 l1Misses(AccessType t) const { return l1Misses_[idx(t)]; }
     u64 l2Misses(AccessType t) const { return l2Misses_[idx(t)]; }
+
+    /** Per-core request-class counters. */
+    u64 coreAccesses(unsigned core, AccessType t) const
+    {
+        return ports_[core].accesses[idx(t)];
+    }
+    u64 coreL1Misses(unsigned core, AccessType t) const
+    {
+        return ports_[core].l1Misses[idx(t)];
+    }
+    u64 coreL2Misses(unsigned core, AccessType t) const
+    {
+        return ports_[core].l2Misses[idx(t)];
+    }
+
+    /** Cycles core @p core's requests spent queued behind another core at
+     *  the shared L2 port. */
+    u64 xcoreL2WaitCycles(unsigned core) const
+    {
+        return ports_[core].xcoreL2Wait;
+    }
+
+    /** The SC-fill-only portion of xcoreL2WaitCycles: signature-cache
+     *  fill starvation caused by other cores' traffic. */
+    u64 xcoreScFillWaitCycles(unsigned core) const
+    {
+        return ports_[core].xcoreScFillWait;
+    }
 
     void addStats(stats::StatGroup &group) const;
 
   private:
     static unsigned idx(AccessType t) { return static_cast<unsigned>(t); }
 
+    /** Per-core request port: private L1s + TLBs, private counters. */
+    struct Port
+    {
+        Port(const MemConfig &cfg, const std::string &prefix);
+
+        std::string prefix; ///< "" at N=1, "cK." at N>1
+        SetAssocCache l1i, l1d;
+        TlbHierarchy tlbs;
+        std::array<stats::Counter, kNumAccessTypes> accesses;
+        std::array<stats::Counter, kNumAccessTypes> l1Misses;
+        std::array<stats::Counter, kNumAccessTypes> l2Misses;
+        stats::Counter xcoreL2Wait;
+        stats::Counter xcoreScFillWait;
+    };
+
     MemConfig cfg_;
-    SetAssocCache l1i_, l1d_, l2_;
+    std::vector<Port> ports_;
+    SetAssocCache l2_;
     DramModel dram_;
-    TlbHierarchy tlbs_;
 
     /** Issue any background DMA bursts scheduled before @p now. */
     void advanceDma(Cycle now);
 
     Cycle l2PortFree_ = 0;
+    unsigned lastL2Core_ = 0;
     Cycle nextDmaAt_ = 0;
     unsigned dmaChannel_ = 0;
     stats::Counter dmaBursts_;

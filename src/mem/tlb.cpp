@@ -51,9 +51,10 @@ Tlb::addStats(stats::StatGroup &group) const
     group.add(name_ + ".misses", &misses_);
 }
 
-TlbHierarchy::TlbHierarchy(const TlbConfig &cfg)
-    : cfg_(cfg), itlb_("itlb", cfg.itlbEntries),
-      dtlb_("dtlb", cfg.dtlbEntries), l2_("l2tlb", cfg.l2Entries)
+TlbHierarchy::TlbHierarchy(const TlbConfig &cfg, const std::string &prefix)
+    : cfg_(cfg), prefix_(prefix), itlb_(prefix + "itlb", cfg.itlbEntries),
+      dtlb_(prefix + "dtlb", cfg.dtlbEntries),
+      l2_(prefix + "l2tlb", cfg.l2Entries)
 {
 }
 
@@ -84,7 +85,7 @@ TlbHierarchy::addStats(stats::StatGroup &group) const
     itlb_.addStats(group);
     dtlb_.addStats(group);
     l2_.addStats(group);
-    group.add("tlb.page_walks", &pageWalks_);
+    group.add(prefix_ + "tlb.page_walks", &pageWalks_);
 }
 
 } // namespace rev::mem

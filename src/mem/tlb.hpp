@@ -10,6 +10,7 @@
 #define REV_MEM_TLB_HPP
 
 #include <list>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -110,7 +111,10 @@ struct TlbConfig
 class TlbHierarchy
 {
   public:
-    explicit TlbHierarchy(const TlbConfig &cfg = {});
+    /** @param prefix Prepended to the stat names ("" for the historical
+     *  single-core rows, "cK." for core K's private TLBs). */
+    explicit TlbHierarchy(const TlbConfig &cfg = {},
+                          const std::string &prefix = "");
 
     /** @param instr Use the I-TLB path (otherwise D-TLB, shared with SC). */
     unsigned translate(Addr addr, bool instr);
@@ -136,6 +140,7 @@ class TlbHierarchy
 
   private:
     TlbConfig cfg_;
+    std::string prefix_;
     Tlb itlb_, dtlb_, l2_;
     stats::Counter pageWalks_;
 };

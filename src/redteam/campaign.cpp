@@ -12,6 +12,7 @@
 #include "common/random.hpp"
 #include "core/snapshot.hpp"
 #include "sig/table.hpp"
+#include "workloads/scheduler.hpp"
 
 namespace rev::redteam
 {
@@ -47,7 +48,16 @@ campaignWorkloads()
     branchy.storeFrac = 0.12;
     branchy.dataFootprint = 1 << 20;
 
-    return {mix, branchy};
+    // OS-pressure shape: the guest-side preemptive scheduler
+    // (src/workloads/scheduler.cpp). Context switches between guest
+    // threads churn the signature cache mid-quantum, so injections land
+    // in freshly re-fetched blocks as often as in warm ones.
+    workloads::WorkloadProfile sched = workloads::schedStormProfile();
+    sched.name = "rt-sched";
+    sched.seed = 13;
+    sched.mainIterations = 128; // scheduling slices
+
+    return {mix, branchy, sched};
 }
 
 std::vector<TimingVariant>

@@ -10,6 +10,7 @@
 #include "isa/codec.hpp"
 #include "sig/table.hpp"
 #include "workloads/generator.hpp"
+#include "workloads/scheduler.hpp"
 
 namespace rev::redteam
 {
@@ -232,7 +233,7 @@ buildWorkloadContext(const workloads::WorkloadProfile &profile,
     REV_ASSERT(!modes.empty(), "campaign needs at least one mode");
     auto ctx = std::make_unique<WorkloadContext>();
     ctx->name = profile.name;
-    ctx->program = workloads::generateWorkload(profile);
+    ctx->program = workloads::buildProgram(profile);
 
     const core::SimConfig probe =
         campaignSimConfig(spec, modes.front(), record_timing);

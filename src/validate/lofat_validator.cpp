@@ -15,9 +15,9 @@ using prog::TermKind;
 LoFatValidator::LoFatValidator(const sig::SigStore &store,
                                const SparseMemory &mem,
                                mem::MemorySystem &memsys,
-                               const LoFatConfig &cfg)
-    : store_(store), memsys_(memsys), cfg_(cfg), chg_(mem, cfg.chg),
-      enabled_(cfg.startEnabled)
+                               const LoFatConfig &cfg, unsigned core_id)
+    : store_(store), memsys_(memsys), coreId_(core_id), cfg_(cfg),
+      chg_(mem, cfg.chg), enabled_(cfg.startEnabled)
 {
 }
 
@@ -159,7 +159,7 @@ LoFatValidator::spill(Cycle from)
     const u64 bytes = u64(bufferUsed_) * cfg_.entryBytes;
     Cycle t = from;
     for (u64 done = 0; done < bytes; done += 64) {
-        t = memsys_.access(spillCursor_, mem::AccessType::ScFill, t)
+        t = memsys_.access(spillCursor_, mem::AccessType::ScFill, t, coreId_)
                 .completeAt;
         spillCursor_ += 64;
         // Wrap within a bounded window; the verifier consumes records

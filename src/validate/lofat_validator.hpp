@@ -68,10 +68,12 @@ class LoFatValidator final : public Validator
      * @param store  Reference CFGs (the same store the toolchain built;
      *               its tables are not read — only the CFGs).
      * @param mem    Functional memory (the CHG hashes fetched bytes).
-     * @param memsys Timing hierarchy for measurement spill traffic.
+     * @param memsys  Timing hierarchy for measurement spill traffic.
+     * @param core_id Memory-system port the spills issue through.
      */
     LoFatValidator(const sig::SigStore &store, const SparseMemory &mem,
-                   mem::MemorySystem &memsys, const LoFatConfig &cfg = {});
+                   mem::MemorySystem &memsys, const LoFatConfig &cfg = {},
+                   unsigned core_id = 0);
 
     // --- Validator --------------------------------------------------------
     Backend kind() const override { return Backend::LoFat; }
@@ -131,6 +133,7 @@ class LoFatValidator final : public Validator
 
     const sig::SigStore &store_;
     mem::MemorySystem &memsys_;
+    unsigned coreId_ = 0;
     LoFatConfig cfg_;
     Chg chg_;
 

@@ -34,6 +34,7 @@ struct BackendContext
     mem::MemorySystem *memsys = nullptr;
     RevConfig rev;
     LoFatConfig lofat;
+    unsigned coreId = 0; ///< memory-system port for SC-fill/spill traffic
 };
 
 /** One registered backend. */

@@ -26,10 +26,11 @@ contains(const std::vector<Addr> &v, Addr a)
 RevValidator::RevValidator(const sig::SigStore &store,
                            const crypto::KeyVault &vault,
                            const SparseMemory &mem,
-                           mem::MemorySystem &memsys, const RevConfig &cfg)
-    : store_(store), vault_(vault), mem_(mem), memsys_(memsys), cfg_(cfg),
-      sc_(cfg.sc), sag_(cfg.sagEntries), chg_(mem, cfg.chg),
-      enabled_(cfg.startEnabled)
+                           mem::MemorySystem &memsys, const RevConfig &cfg,
+                           unsigned core_id)
+    : store_(store), vault_(vault), mem_(mem), memsys_(memsys),
+      coreId_(core_id), cfg_(cfg), sc_(cfg.sc), sag_(cfg.sagEntries),
+      chg_(mem, cfg.chg), enabled_(cfg.startEnabled)
 {
     // The trusted linker pre-loads the SAG for statically linked modules
     // (Sec. IV.B); modules beyond the SAG capacity fault in at run time.
@@ -83,7 +84,8 @@ RevValidator::walk(const SagEntry &sag_entry, Addr term, u32 key,
     }
     Cycle t = from;
     for (Addr a : res.memAddrs)
-        t = memsys_.access(a, mem::AccessType::ScFill, t).completeAt;
+        t = memsys_.access(a, mem::AccessType::ScFill, t, coreId_)
+                .completeAt;
     stats_.tableWalkReads += res.memAddrs.size();
     ready_at = t + cfg_.decryptLatency;
     return res;

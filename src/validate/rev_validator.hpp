@@ -111,11 +111,12 @@ class RevValidator final : public Validator
      * @param store  Signature tables (already loaded into @p mem).
      * @param vault  CPU key vault for unwrapping module keys.
      * @param mem    Functional memory (holds code and the tables).
-     * @param memsys Timing hierarchy for SC fill traffic.
+     * @param memsys  Timing hierarchy for SC fill traffic.
+     * @param core_id Memory-system port the SC fills issue through.
      */
     RevValidator(const sig::SigStore &store, const crypto::KeyVault &vault,
                  const SparseMemory &mem, mem::MemorySystem &memsys,
-                 const RevConfig &cfg = {});
+                 const RevConfig &cfg = {}, unsigned core_id = 0);
 
     // --- Validator --------------------------------------------------------
     Backend kind() const override { return Backend::Rev; }
@@ -302,6 +303,7 @@ class RevValidator final : public Validator
     const crypto::KeyVault &vault_;
     const SparseMemory &mem_;
     mem::MemorySystem &memsys_;
+    unsigned coreId_ = 0;
     RevConfig cfg_;
 
     SignatureCache sc_;

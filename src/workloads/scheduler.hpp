@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Preemptive-scheduler workload generator (OS-pressure scenario).
+ *
+ * Grown out of examples/context_switch.cpp: where the example drives
+ * context switches from the harness (host-side save/restore of machine
+ * registers and validator thread state), this generator emits the
+ * scheduler INTO the guest program. The generated binary multiplexes T
+ * guest threads over one hardware context: an outer "timer tick" loop
+ * picks the next thread, restores its register context from an
+ * in-memory context block, runs a fixed quantum of generated work
+ * (indirect-dispatched function calls, the same construct mix as
+ * generator.cpp), and saves the context back. Every switch churns the
+ * signature cache and the branch predictor the way kernel preemption
+ * does, without leaving validated code.
+ *
+ * Multicore: the program begins by loading a hartid word (written by the
+ * Simulator when SimConfig::coreIdAddr == kSchedCoreIdWord) and rotates
+ * the thread schedule by it. On an N-core run each core therefore
+ * executes a different thread interleaving of the same program — the
+ * migration pattern a load-balancing scheduler produces — while at N=1
+ * (or with coreIdAddr unset) the word reads 0 and the schedule is the
+ * canonical single-core one.
+ */
+
+#ifndef REV_WORKLOADS_SCHEDULER_HPP
+#define REV_WORKLOADS_SCHEDULER_HPP
+
+#include "program/program.hpp"
+#include "workloads/profile.hpp"
+
+namespace rev::workloads
+{
+
+/**
+ * Where the generated scheduler expects its hartid word. Sits in the
+ * gap between the LO-FAT measurement region (0x28000000 + 64 KB) and
+ * the DMA buffers (0x30000000); reads 0 unless the Simulator was told
+ * to publish core ids there (SimConfig::coreIdAddr).
+ */
+inline constexpr Addr kSchedCoreIdWord = 0x2F000000;
+
+/** Knobs of the generated scheduler (around a work-shape profile). */
+struct SchedulerProfile
+{
+    /** Shape of the per-thread work functions (generator.cpp mix). */
+    WorkloadProfile work;
+    unsigned numThreads = 4; ///< guest threads; must be a power of two
+    /** Timer ticks (context switches) before the program halts. */
+    unsigned slices = 256;
+    /** Indirect work-function dispatches per quantum. */
+    unsigned sliceIters = 12;
+};
+
+/** The canonical "schedstorm" profile (small, campaign/revsim sized). */
+WorkloadProfile schedStormProfile();
+
+/** Scheduler knobs derived deterministically from @p work
+ *  (slices = work.mainIterations; threads/quantum fixed), so a plain
+ *  WorkloadProfile — the currency of revsim, the red-team campaign and
+ *  the sweep cache — fully describes the generated program. */
+SchedulerProfile schedulerProfileFor(const WorkloadProfile &work);
+
+/** Does @p name select the scheduler generator in buildProgram()? */
+bool isSchedulerWorkload(const std::string &name);
+
+prog::Program generateSchedulerWorkload(const SchedulerProfile &profile);
+
+/**
+ * Name-dispatched program builder: scheduler profiles (see
+ * isSchedulerWorkload) go through generateSchedulerWorkload, everything
+ * else through generateWorkload. Use this wherever a WorkloadProfile of
+ * either kind may arrive (revsim --bench, campaign workload lists).
+ */
+prog::Program buildProgram(const WorkloadProfile &profile);
+
+} // namespace rev::workloads
+
+#endif // REV_WORKLOADS_SCHEDULER_HPP

@@ -86,7 +86,28 @@ TEST(SweepCacheKey, DescribeSimConfigCoversKnownKnobCount)
     std::size_t fields = 0;
     for (const char ch : desc)
         fields += (ch == '=');
-    EXPECT_EQ(fields, 80u);
+    EXPECT_EQ(fields, 83u);
+}
+
+TEST(SweepCacheKey, MulticoreFieldsChangeKey)
+{
+    // Regression guard for the v7 -> v8 bump: a stale single-core cache
+    // entry must never satisfy a multicore run of the same timing
+    // config, and the multicore scheduling/hartid knobs are part of the
+    // simulated-result identity too.
+    const core::SimConfig a = sweepSimConfig(Config::Full32, 100'000);
+
+    core::SimConfig b = a;
+    b.numCores = 4;
+    EXPECT_NE(runCacheKey(profile(), a), runCacheKey(profile(), b));
+
+    core::SimConfig c = a;
+    c.schedQuantumInstrs = a.schedQuantumInstrs * 2;
+    EXPECT_NE(runCacheKey(profile(), a), runCacheKey(profile(), c));
+
+    core::SimConfig d = a;
+    d.coreIdAddr = 0x2F000000;
+    EXPECT_NE(runCacheKey(profile(), a), runCacheKey(profile(), d));
 }
 
 class SweepCacheFile : public ::testing::Test

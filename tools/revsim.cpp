@@ -8,6 +8,10 @@
  *
  * Options:
  *   --bench NAME       SPEC stand-in to run (default mcf); --list shows all
+ *                      ("schedstorm" selects the preemptive-scheduler
+ *                      workload from src/workloads/scheduler.cpp)
+ *   --cores N          simulate N cores over the shared L2/DRAM; each runs
+ *                      its own validator, stats aggregate (default 1)
  *   --mode MODE        full | aggressive | cfi (default full)
  *   --sc KB            signature cache capacity in KB (default 32)
  *   --instrs N         committed-instruction budget (default 500000)
@@ -40,6 +44,7 @@
 #include "program/trace.hpp"
 #include "validate/backend_cli.hpp"
 #include "workloads/generator.hpp"
+#include "workloads/scheduler.hpp"
 
 namespace
 {
@@ -50,7 +55,8 @@ void
 usage()
 {
     std::printf(
-        "usage: revsim [--bench NAME] [--mode full|aggressive|cfi]\n"
+        "usage: revsim [--bench NAME] [--cores N]\n"
+        "              [--mode full|aggressive|cfi]\n"
         "              [--sc KB] [--instrs N] [--base] [--shadow-stack]\n"
         "              [--page-shadowing] [--interrupts N] [--dma N]\n"
         "              [--no-wrong-path] [--seed N] [--stats] [--list]\n"
@@ -75,6 +81,7 @@ main(int argc, char **argv)
     bool stats = false;
     bool wrong_path = true;
     u64 interrupts = 0, dma = 0, seed = 0;
+    unsigned cores = 1;
     std::string record_path, replay_path;
     validate::Backend backend = validate::Backend::Rev;
 
@@ -91,6 +98,12 @@ main(int argc, char **argv)
             bench = next();
         } else if (arg == "--mode") {
             mode_s = next();
+        } else if (arg == "--cores") {
+            cores = static_cast<unsigned>(std::atoi(next()));
+            if (cores < 1) {
+                usage();
+                return 2;
+            }
         } else if (arg == "--sc") {
             sc_kb = static_cast<unsigned>(std::atoi(next()));
         } else if (arg == "--instrs") {
@@ -132,6 +145,7 @@ main(int argc, char **argv)
         } else if (arg == "--list") {
             for (const auto &p : workloads::spec2006Profiles())
                 std::printf("%s\n", p.name.c_str());
+            std::printf("schedstorm\n");
             return 0;
         } else {
             usage();
@@ -186,15 +200,20 @@ main(int argc, char **argv)
         return 2;
     }
 
-    workloads::WorkloadProfile prof = workloads::specProfile(bench);
+    workloads::WorkloadProfile prof = workloads::isSchedulerWorkload(bench)
+                                          ? workloads::schedStormProfile()
+                                          : workloads::specProfile(bench);
     if (seed)
         prof.seed = seed;
     std::fprintf(stderr, "[revsim] generating %s...\n", bench.c_str());
-    const prog::Program program = workloads::generateWorkload(prof);
+    const prog::Program program = workloads::buildProgram(prof);
 
     core::SimConfig cfg;
     cfg.mode = mode;
     cfg.backend = backend;
+    cfg.numCores = cores;
+    if (cores > 1)
+        cfg.coreIdAddr = workloads::kSchedCoreIdWord;
     cfg.rev.sc.sizeBytes = sc_kb * 1024ull;
     cfg.core.maxInstrs = instrs;
     cfg.core.modelWrongPath = wrong_path;
@@ -267,6 +286,17 @@ main(int argc, char **argv)
     std::printf("cycles               %llu\n",
                 static_cast<unsigned long long>(r.run.cycles));
     std::printf("IPC                  %.4f\n", r.run.ipc());
+    if (cores > 1) {
+        std::printf("cores                %u\n", cores);
+        for (std::size_t c = 0; c < r.perCore.size(); ++c) {
+            const cpu::RunResult &pc = r.perCore[c];
+            std::printf("  core %-2zu            %llu instrs, %llu cycles, "
+                        "IPC %.4f\n",
+                        c, static_cast<unsigned long long>(pc.instrs),
+                        static_cast<unsigned long long>(pc.cycles),
+                        pc.ipc());
+        }
+    }
     if (with_base) {
         std::printf("base IPC             %.4f\n", base_ipc);
         std::printf("REV overhead         %.2f%%\n",
